@@ -1,0 +1,33 @@
+//! E3 (Criterion) — event-driven vs time-driven advance at two event
+//! densities ("an event-driven DES is more efficient than a time-driven
+//! DES since it does not step through regular time intervals when no
+//! event occurs").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsds_bench::{run_event_driven, run_time_driven};
+
+fn bench_advance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("advance");
+    group.sample_size(20);
+
+    // sparse: 4 sources every 10 s over 1000 s (ticks dominate)
+    group.bench_function("event_driven/sparse", |b| {
+        b.iter(|| run_event_driven(4, 10.0, 1000.0))
+    });
+    group.bench_function("time_driven/sparse", |b| {
+        b.iter(|| run_time_driven(4, 10.0, 1000.0, 0.01))
+    });
+
+    // dense: 64 sources every 0.1 s (events amortize the ticks)
+    group.bench_function("event_driven/dense", |b| {
+        b.iter(|| run_event_driven(64, 0.1, 1000.0))
+    });
+    group.bench_function("time_driven/dense", |b| {
+        b.iter(|| run_time_driven(64, 0.1, 1000.0, 0.01))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_advance);
+criterion_main!(benches);

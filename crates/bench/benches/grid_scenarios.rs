@@ -1,0 +1,83 @@
+//! Macro benchmarks: end-to-end wall time of the six simulator facades'
+//! reference scenarios — the "performance runtime and the capability to
+//! model systems consisting of many resources" the paper says engine
+//! design decisions govern (§3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsds_grid::ReplicationPolicy;
+use lsds_simulators::bricks::Bricks;
+use lsds_simulators::chicagosim::ChicagoSim;
+use lsds_simulators::gridsim::GridSim;
+use lsds_simulators::monarc::Monarc;
+use lsds_simulators::optorsim::OptorSim;
+use lsds_simulators::simgrid::{SchedulingMode, SimGrid};
+
+fn bench_facades(c: &mut Criterion) {
+    let mut group = c.benchmark_group("facades");
+    group.sample_size(10);
+
+    group.bench_function("bricks_200_jobs", |b| {
+        b.iter(|| {
+            Bricks {
+                jobs_per_client: 25,
+                ..Bricks::default()
+            }
+            .run(1.0e6)
+        })
+    });
+
+    group.bench_function("optorsim_100_jobs_lru", |b| {
+        b.iter(|| {
+            OptorSim {
+                jobs: 100,
+                strategy: ReplicationPolicy::PullLru,
+                ..OptorSim::default()
+            }
+            .run(1.0e7)
+        })
+    });
+
+    group.bench_function("simgrid_200_tasks", |b| {
+        let hosts = vec![1.0, 2.0, 4.0, 1.5];
+        let tasks: Vec<f64> = (0..200).map(|i| 1.0 + (i % 37) as f64).collect();
+        b.iter(|| {
+            SimGrid::new(hosts.clone(), tasks.clone(), SchedulingMode::Runtime).run()
+        })
+    });
+
+    group.bench_function("gridsim_100_tasks", |b| {
+        b.iter(|| {
+            GridSim {
+                tasks: 100,
+                ..GridSim::default()
+            }
+            .run(1.0e7)
+        })
+    });
+
+    group.bench_function("chicagosim_90_jobs", |b| {
+        b.iter(|| {
+            ChicagoSim {
+                jobs_per_user: 30,
+                ..ChicagoSim::default()
+            }
+            .run(1.0e7)
+        })
+    });
+
+    group.bench_function("monarc_20_datasets", |b| {
+        b.iter(|| {
+            Monarc {
+                datasets: 20,
+                uplink_gbps: 15.0,
+                ..Monarc::default()
+            }
+            .run(1.0e6)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_facades);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E12 (Criterion) — job→context mapping schemes ("reusing threads …
+//! can yield higher simulation performances").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsds_bench::mapping_workload;
+use lsds_core::process::MappingScheme;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_10k_jobs");
+    group.sample_size(20);
+    for scheme in [
+        MappingScheme::PerJob,
+        MappingScheme::Pooled,
+        MappingScheme::Batched {
+            jobs_per_context: 8,
+        },
+    ] {
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| mapping_workload(scheme, 10_000, 4, 1_000.0, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

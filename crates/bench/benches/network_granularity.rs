@@ -1,0 +1,96 @@
+//! E13 (Criterion) — the wall-clock cost of packet-level vs flow-level
+//! network simulation for identical transfers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsds_core::{Ctx, EventDriven, Model, SimTime};
+use lsds_net::{FlowEvent, FlowNet, NodeId, NodeKind, PacketEvent, PacketNet, Topology};
+
+const BW: f64 = 1.0e6;
+const LAT: f64 = 0.005;
+const MTU: f64 = 1500.0;
+
+fn two_hop() -> Topology {
+    let mut t = Topology::new();
+    let a = t.add_node(NodeKind::Host, "a");
+    let r = t.add_node(NodeKind::Router, "r");
+    let b = t.add_node(NodeKind::Host, "b");
+    t.add_duplex(a, r, BW, LAT);
+    t.add_duplex(r, b, BW, LAT);
+    t
+}
+
+struct FlowH {
+    net: FlowNet,
+}
+enum FEv {
+    Kick(f64),
+    Net(FlowEvent),
+}
+impl Model for FlowH {
+    type Event = FEv;
+    fn handle(&mut self, ev: FEv, ctx: &mut Ctx<'_, FEv>) {
+        match ev {
+            FEv::Kick(bytes) => {
+                self.net
+                    .start(NodeId(0), NodeId(2), bytes, 0, &mut ctx.map(FEv::Net));
+            }
+            FEv::Net(fe) => {
+                self.net.handle(fe, &mut ctx.map(FEv::Net));
+            }
+        }
+    }
+}
+
+struct PacketH {
+    net: PacketNet,
+}
+enum PEv {
+    Kick(u32),
+    Net(PacketEvent),
+}
+impl Model for PacketH {
+    type Event = PEv;
+    fn handle(&mut self, ev: PEv, ctx: &mut Ctx<'_, PEv>) {
+        match ev {
+            PEv::Kick(packets) => {
+                self.net
+                    .inject_transfer(0, NodeId(0), NodeId(2), packets, MTU, &mut ctx.map(PEv::Net));
+            }
+            PEv::Net(pe) => {
+                self.net.handle(pe, &mut ctx.map(PEv::Net));
+            }
+        }
+    }
+}
+
+fn bench_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer_4x1MB");
+    group.sample_size(20);
+    group.bench_function("flow", |b| {
+        b.iter(|| {
+            let mut sim = EventDriven::new(FlowH {
+                net: FlowNet::new(two_hop()),
+            });
+            for i in 0..4 {
+                sim.schedule(SimTime::new(i as f64 * 0.001), FEv::Kick(1.0e6));
+            }
+            sim.run().events
+        })
+    });
+    group.bench_function("packet", |b| {
+        b.iter(|| {
+            let mut sim = EventDriven::new(PacketH {
+                net: PacketNet::new(two_hop(), 1_000_000),
+            });
+            let packets = (1.0e6 / MTU).ceil() as u32;
+            for i in 0..4 {
+                sim.schedule(SimTime::new(i as f64 * 0.001), PEv::Kick(packets));
+            }
+            sim.run().events
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_granularity);
+criterion_main!(benches);

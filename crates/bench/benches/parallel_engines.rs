@@ -1,0 +1,65 @@
+//! E4 (Criterion) — synchronization overhead of the distributed engines
+//! on a token-ring workload (results are identical across engines by the
+//! determinism guarantee; the benches measure only cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsds_core::SimTime;
+use lsds_parallel::cmb::InitialEvents;
+use lsds_parallel::{run_cmb, run_timestep, LogicalProcess, LpCtx};
+
+struct Ring {
+    n: usize,
+    delay: f64,
+    seen: u64,
+}
+
+impl LogicalProcess for Ring {
+    type Msg = u64;
+    fn handle(&mut self, _now: SimTime, hop: u64, ctx: &mut LpCtx<'_, u64>) {
+        self.seen += 1;
+        ctx.send((ctx.me() + 1) % self.n, self.delay, hop + 1);
+    }
+    fn lookahead(&self) -> f64 {
+        self.delay
+    }
+}
+
+impl InitialEvents for Ring {
+    fn initial_events(&mut self, ctx: &mut LpCtx<'_, u64>) {
+        if ctx.me() == 0 {
+            ctx.schedule_in(0.0, 0);
+        }
+    }
+}
+
+fn ring(n: usize) -> Vec<Ring> {
+    (0..n)
+        .map(|_| Ring {
+            n,
+            delay: 1.0,
+            seen: 0,
+        })
+        .collect()
+}
+
+fn edges(n: usize) -> Vec<(usize, usize)> {
+    (0..n).map(|i| (i, (i + 1) % n)).collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_ring_1000_hops");
+    group.sample_size(20);
+    let t_end = SimTime::new(1000.0);
+    for &n in &[2usize, 4] {
+        group.bench_function(format!("cmb/{n}lp"), |b| {
+            b.iter(|| run_cmb(ring(n), &edges(n), t_end))
+        });
+        group.bench_function(format!("timestep/{n}lp"), |b| {
+            b.iter(|| run_timestep(ring(n), 1.0, t_end))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

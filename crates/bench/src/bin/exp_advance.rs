@@ -1,0 +1,52 @@
+//! E3 — event-driven vs time-driven advance.
+//!
+//! "An event-driven DES is more efficient than a time-driven DES since it
+//! does not step through regular time intervals when no event occurs."
+//! (§3) — the sweep varies event density (sources × period) at a fixed
+//! tick resolution and shows where the fixed-increment engine's per-tick
+//! cost dominates, and where dense events amortize it.
+
+use lsds_bench::{run_event_driven, run_time_driven};
+use lsds_trace::TextTable;
+
+fn main() {
+    let horizon = 1000.0;
+    let dt = 0.01;
+    println!("E3 — advance mechanisms: horizon {horizon} s, tick {dt} s\n");
+    let mut table = TextTable::with_columns(&[
+        "sources",
+        "period (s)",
+        "events",
+        "ticks",
+        "event-driven (ms)",
+        "time-driven (ms)",
+        "slowdown",
+    ]);
+    for &(sources, period) in &[
+        (1u32, 100.0f64), // very sparse
+        (4, 10.0),
+        (16, 1.0),
+        (64, 0.1),
+        (256, 0.02), // denser than the tick
+    ] {
+        let (ev_e, _, wall_e) = run_event_driven(sources, period, horizon);
+        let (_ev_t, ticks, wall_t) = run_time_driven(sources, period, horizon, dt);
+        table.row(vec![
+            format!("{sources}"),
+            format!("{period}"),
+            format!("{ev_e}"),
+            format!("{ticks}"),
+            format!("{:.2}", wall_e * 1e3),
+            format!("{:.2}", wall_t * 1e3),
+            format!("{:.1}x", wall_t / wall_e.max(1e-9)),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nReading: sparse events → the time-driven engine burns its {} empty\n\
+         ticks and loses badly; as density approaches one event per tick the\n\
+         gap closes. (Delivery times also quantize to the tick — a fidelity\n\
+         cost E13 quantifies on the network side.)",
+        (horizon / dt) as u64
+    );
+}

@@ -1,0 +1,87 @@
+//! E9 — GridSim's deadline-and-budget-constrained economy scheduling:
+//! cost/time optimization curves over the constraint space.
+
+use lsds_grid::scheduler::EconomyGoal;
+use lsds_simulators::gridsim::GridSim;
+use lsds_trace::TextTable;
+
+fn main() {
+    println!("E9 — GridSim computational economy (200-task farm,");
+    println!("resources: 1x speed @ 1, 2x @ 3, 4x @ 8 currency/CPU-s)\n");
+
+    println!("budget sweep (deadline factor 6.0):");
+    let mut t1 = TextTable::with_columns(&[
+        "goal",
+        "budget factor",
+        "done",
+        "rejected",
+        "cost",
+        "mean time (s)",
+        "deadline hits",
+    ]);
+    for goal in [EconomyGoal::CostMin, EconomyGoal::TimeMin] {
+        for &bf in &[1.0, 2.0, 4.0, 8.0, 16.0] {
+            let rep = GridSim {
+                goal,
+                budget_factor: bf,
+                deadline_factor: 6.0,
+                seed: 31,
+                ..GridSim::default()
+            }
+            .run(1.0e7);
+            t1.row(vec![
+                match goal {
+                    EconomyGoal::CostMin => "cost-min".into(),
+                    EconomyGoal::TimeMin => "time-min".into(),
+                },
+                format!("{bf:.1}"),
+                format!("{}", rep.records.len()),
+                format!("{}", rep.rejected),
+                format!("{:.0}", rep.total_cost),
+                format!("{:.1}", rep.mean_makespan),
+                format!("{:.0}%", rep.deadline_hit_rate * 100.0),
+            ]);
+        }
+    }
+    print!("{}", t1.render());
+
+    println!("\ndeadline sweep (budget factor 8.0):");
+    let mut t2 = TextTable::with_columns(&[
+        "goal",
+        "deadline factor",
+        "done",
+        "rejected",
+        "cost",
+        "deadline hits",
+    ]);
+    for goal in [EconomyGoal::CostMin, EconomyGoal::TimeMin] {
+        for &df in &[1.5, 3.0, 6.0, 12.0] {
+            let rep = GridSim {
+                goal,
+                budget_factor: 8.0,
+                deadline_factor: df,
+                seed: 31,
+                ..GridSim::default()
+            }
+            .run(1.0e7);
+            t2.row(vec![
+                match goal {
+                    EconomyGoal::CostMin => "cost-min".into(),
+                    EconomyGoal::TimeMin => "time-min".into(),
+                },
+                format!("{df:.1}"),
+                format!("{}", rep.records.len()),
+                format!("{}", rep.rejected),
+                format!("{:.0}", rep.total_cost),
+                format!("{:.0}%", rep.deadline_hit_rate * 100.0),
+            ]);
+        }
+    }
+    print!("{}", t2.render());
+    println!(
+        "\nReading: cost optimization saturates the cheap tier and spends the\n\
+         minimum that meets the deadline; time optimization converts budget\n\
+         into fast-tier placements. Infeasible constraint pairs are rejected\n\
+         up front — GridSim's deadline-and-budget-constrained behavior."
+    );
+}

@@ -1,0 +1,105 @@
+//! E6 — the MONARC LHC T0/T1 replication study (Legrand et al. 2005).
+//!
+//! "The experiment tested the behavior of the Tier architecture envisioned
+//! by the two largest LHC experiments, CMS and ATLAS. The obtained results
+//! indicated the role of using a data replication agent for the
+//! intelligent transferring of the produced data. The obtained results
+//! also showed that the existing capacity of 2.5 Gbps was not sufficient
+//! and, in fact, not far afterwards the link was upgraded to a current
+//! 30 Gbps." (§5)
+//!
+//! Part A sweeps the shared T0 uplink and reports the sustainability
+//! verdict; part B contrasts agent-prestaged analysis with on-demand
+//! pulls. `--csv` emits the sweep as a plottable series.
+
+use lsds_simulators::monarc::Monarc;
+use lsds_trace::{ScatterPlot, Series, TextTable};
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let sweep = [0.6, 1.25, 2.5, 5.0, 10.0, 12.5, 15.0, 20.0, 30.0];
+
+    let mut table = TextTable::with_columns(&[
+        "uplink (Gbps)",
+        "offered (Gbps)",
+        "produced",
+        "shipped",
+        "mean lag (s)",
+        "max lag (s)",
+        "verdict",
+    ]);
+    let mut mean_series = Series::new("mean_availability_lag_s");
+    let mut max_series = Series::new("max_availability_lag_s");
+    for &uplink in &sweep {
+        let rep = Monarc {
+            uplink_gbps: uplink,
+            datasets: 40,
+            ..Monarc::default()
+        }
+        .run(2.0e6);
+        table.row(vec![
+            format!("{uplink:.2}"),
+            format!("{:.1}", rep.offered_gbps),
+            format!("{}", rep.produced),
+            format!("{}", rep.shipped),
+            format!("{:.0}", rep.mean_availability_lag),
+            format!("{:.0}", rep.max_availability_lag),
+            if rep.sustainable {
+                "sufficient".into()
+            } else {
+                "NOT sufficient".into()
+            },
+        ]);
+        mean_series.push(uplink, rep.mean_availability_lag);
+        max_series.push(uplink, rep.max_availability_lag);
+    }
+
+    if csv {
+        print!("{}", Series::merged_csv(&[mean_series, max_series]));
+        return;
+    }
+
+    println!("E6 — MONARC LHC T0→T1 study");
+    println!("5 tier-1 centers; 100 GB datasets every 320 s (≈2.5 Gbps raw,");
+    println!("≈12.5 Gbps of T0 egress demand once replicated to all T1s)\n");
+    print!("{}", table.render());
+
+    println!("\ndataset availability lag vs uplink (log y):\n");
+    let plot = ScatterPlot {
+        log_y: true,
+        ..ScatterPlot::default()
+    };
+    print!("{}", plot.render(&[mean_series.clone(), max_series.clone()]));
+
+    println!("\nPart B — the replication agent's role (10 Gbps uplink):");
+    let mut t2 = TextTable::with_columns(&[
+        "agent",
+        "mean stage (s)",
+        "mean makespan (s)",
+        "jobs",
+    ]);
+    for agent in [false, true] {
+        let rep = Monarc {
+            agent,
+            analysis_jobs: 25,
+            datasets: 10,
+            uplink_gbps: 10.0,
+            seed: 3,
+            ..Monarc::default()
+        }
+        .run(2.0e6);
+        t2.row(vec![
+            if agent { "on" } else { "off" }.into(),
+            format!("{:.1}", rep.grid.mean_stage_time),
+            format!("{:.1}", rep.grid.mean_makespan),
+            format!("{}", rep.grid.records.len()),
+        ]);
+    }
+    print!("{}", t2.render());
+    println!(
+        "\nReading: the 2.5 Gbps row cannot sustain the replicated production\n\
+         stream (lag grows with every dataset); capacity at or above the\n\
+         offered 12.5 Gbps drains it — and the 30 Gbps upgrade is comfortably\n\
+         sufficient. The agent removes staging from the analysis path."
+    );
+}

@@ -1,0 +1,148 @@
+//! E10 — the Bricks "central model" vs the MONARC "tier model".
+//!
+//! "Bricks uses a model which the authors call the 'central model'. In
+//! this simulation model it is assumed that all the jobs are processed at
+//! a single site. In contrast with the model, MONARC also proposed
+//! another simulation model, called the 'tier model', in which jobs are
+//! processed according to their hierarchical levels." (§4)
+//!
+//! The same aggregate capacity (48 cores) is organized both ways and
+//! driven by the same job stream at increasing load.
+
+use lsds_core::SimTime;
+use lsds_grid::model::{GridConfig, GridModel};
+use lsds_grid::organization::{central_grid, tiered_grid, SiteSpec};
+use lsds_grid::scheduler::{FixedSite, LeastLoaded};
+use lsds_grid::{Activity, ReplicationPolicy, SiteId};
+use lsds_stats::{Dist, SimRng};
+use lsds_trace::TextTable;
+
+const JOBS: u64 = 4000;
+const WORK_MEAN: f64 = 60.0;
+
+fn run_central(mean_ia: f64, seed: u64) -> (f64, f64) {
+    let grid = central_grid(
+        6,
+        SiteSpec {
+            cores: 48,
+            ..SiteSpec::default()
+        },
+        1.0e12,
+        lsds_net::mbps(622.0),
+        0.02,
+    );
+    let master = SimRng::new(seed);
+    let n_sites = grid.sites.len();
+    let cfg = GridConfig {
+        grid,
+        policy: Box::new(FixedSite(SiteId(0))),
+        replication: ReplicationPolicy::None,
+        activities: vec![Activity::compute(
+            0,
+            mean_ia,
+            Dist::exp_mean(WORK_MEAN),
+            master.fork(1),
+        )
+        .with_limit(JOBS)],
+        production: None,
+        agent: None,
+        eligible: Some((0..n_sites).map(|i| i == 0).collect()),
+        initial_files: vec![],
+        seed,
+    };
+    let mut sim = GridModel::build(cfg);
+    sim.run_until(SimTime::new(1.0e8));
+    let rep = sim.model().report();
+    assert_eq!(rep.records.len() as u64, JOBS);
+    let max_queue: f64 = rep
+        .records
+        .iter()
+        .map(|r| r.queue_time())
+        .fold(0.0, f64::max);
+    (rep.mean_makespan, max_queue)
+}
+
+fn run_tiered(mean_ia: f64, seed: u64) -> (f64, f64) {
+    // 48 cores spread over 1 T1-ish root (16) + 2×T1(8) + 4×T2(4)
+    let grid = tiered_grid(
+        SiteSpec {
+            cores: 16,
+            ..SiteSpec::default()
+        },
+        2,
+        SiteSpec {
+            cores: 8,
+            ..SiteSpec::default()
+        },
+        2,
+        SiteSpec {
+            cores: 4,
+            ..SiteSpec::default()
+        },
+        lsds_net::mbps(2500.0),
+        lsds_net::mbps(622.0),
+        0.02,
+    );
+    let master = SimRng::new(seed);
+    let cfg = GridConfig {
+        grid,
+        policy: Box::new(LeastLoaded),
+        replication: ReplicationPolicy::None,
+        activities: vec![Activity::compute(
+            0,
+            mean_ia,
+            Dist::exp_mean(WORK_MEAN),
+            master.fork(1),
+        )
+        .with_limit(JOBS)],
+        production: None,
+        agent: None,
+        eligible: None,
+        initial_files: vec![],
+        seed,
+    };
+    let mut sim = GridModel::build(cfg);
+    sim.run_until(SimTime::new(1.0e8));
+    let rep = sim.model().report();
+    assert_eq!(rep.records.len() as u64, JOBS);
+    let max_queue: f64 = rep
+        .records
+        .iter()
+        .map(|r| r.queue_time())
+        .fold(0.0, f64::max);
+    (rep.mean_makespan, max_queue)
+}
+
+fn main() {
+    println!("E10 — central model (Bricks) vs tier model (MONARC)");
+    println!("same 48 aggregate cores, same job stream (exp work, mean {WORK_MEAN} s)\n");
+    let mut table = TextTable::with_columns(&[
+        "mean interarrival (s)",
+        "offered load",
+        "central: mean makespan",
+        "central: max queue",
+        "tiered: mean makespan",
+        "tiered: max queue",
+    ]);
+    for &mean_ia in &[2.0, 1.5, 1.35, 1.28] {
+        // offered load = work rate / capacity = (WORK/ia) / 48
+        let rho = WORK_MEAN / mean_ia / 48.0;
+        let (mc, qc) = run_central(mean_ia, 5);
+        let (mt, qt) = run_tiered(mean_ia, 5);
+        table.row(vec![
+            format!("{mean_ia}"),
+            format!("{:.2}", rho),
+            format!("{mc:.1}"),
+            format!("{qc:.1}"),
+            format!("{mt:.1}"),
+            format!("{qt:.1}"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nReading: one pooled 48-core site beats the same capacity split\n\
+         across tiers (resource pooling), and the gap widens with load —\n\
+         the structural trade the two organizations make. The tier model's\n\
+         payoff is data locality and autonomy (E6), not raw queueing."
+    );
+}

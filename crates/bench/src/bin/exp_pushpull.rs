@@ -1,0 +1,94 @@
+//! E8 — push (ChicagoSim) vs pull (OptorSim) replication on one
+//! workload, across popularity skews.
+//!
+//! "It also allows for data replication but with a 'push' model in which,
+//! when a site contains a popular data file, it will replicate it to
+//! remote sites, rather than the 'pull' model used in OptorSim." (§4)
+
+use lsds_core::SimTime;
+use lsds_grid::model::{GridConfig, GridModel, GridReport};
+use lsds_grid::organization::{flat_grid, SiteSpec};
+use lsds_grid::scheduler::RoundRobin;
+use lsds_grid::{Activity, ReplicationPolicy, SiteId};
+use lsds_stats::{Dist, SimRng};
+use lsds_trace::TextTable;
+
+/// One shared workload: 6 sites, 30 files spread around, 180 Zipf jobs.
+fn run(policy: ReplicationPolicy, zipf_s: f64, seed: u64) -> GridReport {
+    let grid = flat_grid(
+        vec![
+            SiteSpec {
+                cores: 8,
+                disk: 15.0e9,
+                ..SiteSpec::default()
+            };
+            6
+        ],
+        lsds_net::mbps(622.0),
+        0.01,
+    );
+    let initial_files = (0..30).map(|i| (1.0e9, SiteId(i % 6))).collect();
+    let master = SimRng::new(seed);
+    let cfg = GridConfig {
+        grid,
+        policy: Box::new(RoundRobin::default()),
+        replication: policy,
+        activities: vec![Activity::analysis(
+            0,
+            40.0,
+            Dist::exp_mean(100.0),
+            2,
+            30,
+            zipf_s,
+            master.fork(1),
+        )
+        .with_limit(180)],
+        production: None,
+        agent: None,
+        eligible: None,
+        initial_files,
+        seed,
+    };
+    let mut sim = GridModel::build(cfg);
+    sim.run_until(SimTime::new(1.0e7));
+    sim.model().report()
+}
+
+fn main() {
+    println!("E8 — push vs pull replication (180 jobs, 6 sites, 30 files)\n");
+    let mut table = TextTable::with_columns(&[
+        "zipf s",
+        "policy",
+        "mean job (s)",
+        "mean staging (s)",
+        "WAN (GB)",
+        "pushes",
+    ]);
+    for &zipf_s in &[0.0, 0.6, 1.0, 1.4] {
+        for (policy, label) in [
+            (ReplicationPolicy::PullLru, "pull (OptorSim)"),
+            (ReplicationPolicy::Push { threshold: 4 }, "push (ChicagoSim)"),
+            (ReplicationPolicy::None, "none"),
+        ] {
+            let rep = run(policy, zipf_s, 21);
+            assert_eq!(rep.records.len(), 180);
+            table.row(vec![
+                format!("{zipf_s:.1}"),
+                label.into(),
+                format!("{:.1}", rep.mean_makespan),
+                format!("{:.1}", rep.mean_stage_time),
+                format!("{:.1}", rep.wan_bytes / 1e9),
+                format!("{}", rep.pushes),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!(
+        "\nReading: pull reacts to every consumer and wins across the board\n\
+         here. Push fires on *any* file crossing the threshold: at s = 0 the\n\
+         pushes are numerous but useless (uniform accesses — WAN even exceeds\n\
+         no-replication, since proactive copies are pure overhead); as skew\n\
+         grows the pushed hot files absorb later accesses and push pulls\n\
+         ahead of no-replication — the regime ChicagoSim was built for."
+    );
+}

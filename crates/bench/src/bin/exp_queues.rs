@@ -1,0 +1,67 @@
+//! E2 — event-list structures under the hold model.
+//!
+//! The paper: "A system using an O(1) structure for the event list will
+//! behave better than another one using an O(log n) queuing structure …
+//! There is not a single unanimity accepted queuing structure that
+//! performs best when modeling distributed systems, they all tend to
+//! behave different depending on various parameters." (§3)
+//!
+//! The experiment sweeps the pending-set size across four structures and
+//! two event-time distributions (well-behaved exponential vs adversarial
+//! bimodal), reporting nanoseconds per hold operation.
+
+use lsds_bench::hold_model;
+use lsds_core::QueueKind;
+use lsds_stats::Dist;
+use lsds_trace::TextTable;
+
+fn sweep(name: &str, increment: &Dist, sizes: &[usize], ops: u64) {
+    println!("\nincrement distribution: {name}");
+    let mut table = TextTable::with_columns(&[
+        "pending events",
+        "binary-heap (ns/op)",
+        "sorted-list (ns/op)",
+        "calendar (ns/op)",
+        "ladder (ns/op)",
+    ]);
+    for &size in sizes {
+        // the sorted list is O(n): cap its ops so the sweep finishes
+        let mut cells = vec![format!("{size}")];
+        for kind in QueueKind::ALL {
+            let kind_ops = if kind == QueueKind::SortedList && size > 10_000 {
+                ops / 50
+            } else {
+                ops
+            };
+            let wall = hold_model(kind, size, kind_ops, increment, 42);
+            cells.push(format!("{:.0}", wall * 1e9 / kind_ops as f64));
+        }
+        table.row(cells);
+    }
+    print!("{}", table.render());
+}
+
+fn main() {
+    println!("E2 — event-queue structures, hold model ({} ops/point)", 200_000);
+    let sizes = [100, 1_000, 10_000, 100_000];
+    sweep(
+        "exponential (mean 1) — the friendly case",
+        &Dist::Exponential { rate: 1.0 },
+        &sizes,
+        200_000,
+    );
+    sweep(
+        "bimodal (99% near 0.01, 1% at 100) — calendar-adversarial",
+        &Dist::HyperExp {
+            p: 0.99,
+            r1: 100.0,
+            r2: 0.01,
+        },
+        &sizes,
+        200_000,
+    );
+    println!(
+        "\nReading: the O(1) structures win at scale on friendly increments;\n\
+         skew narrows (or flips) the gap — exactly the paper's caveat."
+    );
+}

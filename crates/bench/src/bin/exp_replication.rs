@@ -1,0 +1,73 @@
+//! E7 — OptorSim: stability and transient behavior of replication
+//! optimization methods (pull family), across disk-pressure regimes.
+
+use lsds_grid::ReplicationPolicy;
+use lsds_simulators::optorsim::OptorSim;
+use lsds_trace::{BarChart, TextTable};
+
+fn main() {
+    println!("E7 — OptorSim replication strategies (200 Zipf jobs, 5 sites)\n");
+    for &(label, disk) in &[
+        ("plentiful disks (40 files fit)", 45.0e9),
+        ("tight disks (12 files fit) — replacement pressure", 12.0e9),
+        ("scarce disks (4 files fit)", 4.0e9),
+    ] {
+        println!("{label}:");
+        let mut table = TextTable::with_columns(&[
+            "strategy",
+            "mean job (s)",
+            "mean staging (s)",
+            "WAN (GB)",
+        ]);
+        for strategy in [
+            ReplicationPolicy::None,
+            ReplicationPolicy::PullLru,
+            ReplicationPolicy::PullLfu,
+            ReplicationPolicy::PullEconomic,
+        ] {
+            let rep = OptorSim {
+                strategy,
+                disk,
+                seed: 12,
+                ..OptorSim::default()
+            }
+            .run(1.0e7);
+            assert_eq!(rep.records.len(), 200);
+            table.row(vec![
+                strategy.name().into(),
+                format!("{:.1}", rep.mean_makespan),
+                format!("{:.1}", rep.mean_stage_time),
+                format!("{:.1}", rep.wan_bytes / 1e9),
+            ]);
+        }
+        print!("{}", table.render());
+        println!();
+    }
+    // visual output analyzer: WAN traffic per strategy at tight disks
+    println!("WAN traffic at tight disks (GB):");
+    let mut chart = BarChart::new();
+    for strategy in [
+        ReplicationPolicy::None,
+        ReplicationPolicy::PullLru,
+        ReplicationPolicy::PullLfu,
+        ReplicationPolicy::PullEconomic,
+    ] {
+        let rep = OptorSim {
+            strategy,
+            disk: 12.0e9,
+            seed: 12,
+            ..OptorSim::default()
+        }
+        .run(1.0e7);
+        chart.bar(strategy.name(), rep.wan_bytes / 1e9);
+    }
+    print!("{}", chart.render());
+    println!();
+    println!(
+        "Reading: with room to spare every pull strategy converges (each hot\n\
+         file staged once per site); under pressure the eviction choice starts\n\
+         to matter, and with scarce disks economic/LFU protect reused files\n\
+         where plain LRU churns — while no-replication pays full WAN cost\n\
+         in every regime."
+    );
+}

@@ -1,0 +1,71 @@
+//! E5 — SimGrid's analytic validation (Casanova 2001).
+//!
+//! "A validation of SimGrid was presented in its very first paper … The
+//! validation consisted in comparing the results of the simulator with
+//! the ones obtained analytically on a mathematically tractable
+//! scheduling problem." (§4)
+//!
+//! For a bag of independent tasks under a static schedule, per-host
+//! finish times are analytically computable; the simulated makespan must
+//! match to machine precision across many random instances. The runtime
+//! (agent) scheduler is then compared against the analytic lower bound.
+
+use lsds_simulators::simgrid::{SchedulingMode, SimGrid};
+use lsds_stats::{SimRng, Summary};
+use lsds_trace::TextTable;
+
+fn random_instance(rng: &mut SimRng, hosts: usize, tasks: usize) -> (Vec<f64>, Vec<f64>) {
+    let speeds = (0..hosts).map(|_| rng.range_f64(0.5, 4.0)).collect();
+    let works = (0..tasks).map(|_| rng.range_f64(1.0, 50.0)).collect();
+    (speeds, works)
+}
+
+fn main() {
+    println!("E5 — SimGrid validation against the tractable scheduling problem\n");
+    let mut rng = SimRng::new(2001);
+    let mut max_err = 0.0f64;
+    let mut ratio_static = Summary::new();
+    let mut ratio_dynamic = Summary::new();
+    let instances = 200;
+    for _ in 0..instances {
+        let hosts = 2 + rng.index(7);
+        let tasks = 10 + rng.index(190);
+        let (speeds, works) = random_instance(&mut rng, hosts, tasks);
+        let sg = SimGrid::new(speeds.clone(), works.clone(), SchedulingMode::CompileTime);
+        let (_, analytic) = sg.static_schedule();
+        let simulated = sg.run().makespan;
+        max_err = max_err.max((simulated - analytic).abs() / analytic);
+        let lb = sg.analytic_lower_bound();
+        ratio_static.add(simulated / lb);
+        let dynamic = SimGrid::new(speeds, works, SchedulingMode::Runtime)
+            .run()
+            .makespan;
+        ratio_dynamic.add(dynamic / lb);
+    }
+    let mut table = TextTable::with_columns(&["quantity", "value"]);
+    table.row(vec!["random instances".into(), format!("{instances}")]);
+    table.row(vec![
+        "max |sim − analytic| / analytic (static)".into(),
+        format!("{max_err:.3e}"),
+    ]);
+    table.row(vec![
+        "mean makespan / lower-bound (compile-time)".into(),
+        format!("{:.4}", ratio_static.mean()),
+    ]);
+    table.row(vec![
+        "mean makespan / lower-bound (runtime)".into(),
+        format!("{:.4}", ratio_dynamic.mean()),
+    ]);
+    table.row(vec![
+        "worst makespan / lower-bound (runtime)".into(),
+        format!("{:.4}", ratio_dynamic.max()),
+    ]);
+    print!("{}", table.render());
+    assert!(max_err < 1e-9, "simulation must reproduce the analytic schedule");
+    println!(
+        "\nReading: the simulator reproduces the tractable case exactly\n\
+         (mathematical validation). On uniform-speed machines greedy list\n\
+         scheduling can trail the bound by more than the identical-machine\n\
+         factor of 2 — visible in the runtime scheduler's worst case."
+    );
+}

@@ -1,0 +1,14 @@
+//! E1 — regenerates the paper's Table 1 (design comparison of the six
+//! surveyed simulators). `--csv` for machine-readable output.
+
+use lsds_simulators::table1;
+
+fn main() {
+    let t = table1();
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", t.to_csv());
+    } else {
+        println!("E1 / Table 1 — Design comparison of surveyed Grid simulation projects\n");
+        print!("{}", t.render());
+    }
+}

@@ -1,0 +1,191 @@
+//! Shared workload drivers used by both the experiment binaries and the
+//! Criterion benches, so measured numbers and printed tables come from
+//! the same code paths.
+
+use lsds_core::process::{Action, MappingScheme, ProcessEngine};
+use lsds_core::{
+    Ctx, EventDriven, EventQueue, Model, QueueKind, ScheduledEvent, SimTime, TimeDriven,
+};
+use lsds_stats::{Dist, SimRng};
+use std::time::Instant;
+
+/// The classic *hold model* for event-list benchmarking: keep `size`
+/// events pending; repeatedly pop the minimum and insert a replacement a
+/// random increment in the future. Returns wall seconds for `ops`
+/// hold operations.
+pub fn hold_model(kind: QueueKind, size: usize, ops: u64, increment: &Dist, seed: u64) -> f64 {
+    let mut q = kind.build::<u64>();
+    let mut rng = SimRng::new(seed);
+    let mut seq = 0u64;
+    for _ in 0..size {
+        let t = increment.sample(&mut rng).abs();
+        q.insert(ScheduledEvent::new(SimTime::new(t), seq, seq));
+        seq += 1;
+    }
+    let start = Instant::now();
+    for _ in 0..ops {
+        let ev = q.pop_min().expect("hold model never drains");
+        let dt = increment.sample(&mut rng).abs();
+        q.insert(ScheduledEvent::new(ev.time.after(dt), seq, seq));
+        seq += 1;
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// A sparse-event model: `n_sources` periodic sources with period
+/// `period`, simulated to `horizon`. Used by E3 to compare advance
+/// mechanisms at varying event density.
+pub struct SparseModel {
+    /// Sources re-arm themselves with this period.
+    pub period: f64,
+    /// Events handled.
+    pub handled: u64,
+}
+
+impl Model for SparseModel {
+    type Event = u32;
+    fn handle(&mut self, src: u32, ctx: &mut Ctx<'_, u32>) {
+        self.handled += 1;
+        ctx.schedule_in(self.period, src);
+    }
+}
+
+/// Runs the sparse model on the event-driven engine; returns
+/// `(events, ticks = 0, wall seconds)`.
+pub fn run_event_driven(n_sources: u32, period: f64, horizon: f64) -> (u64, u64, f64) {
+    let mut sim = EventDriven::new(SparseModel { period, handled: 0 });
+    for s in 0..n_sources {
+        sim.schedule(SimTime::ZERO, s);
+    }
+    let start = Instant::now();
+    let stats = sim.run_until(SimTime::new(horizon));
+    (stats.events, stats.ticks, start.elapsed().as_secs_f64())
+}
+
+/// Runs the sparse model on the time-driven engine with step `dt`;
+/// returns `(events, ticks, wall seconds)`.
+pub fn run_time_driven(n_sources: u32, period: f64, horizon: f64, dt: f64) -> (u64, u64, f64) {
+    let mut sim = TimeDriven::new(SparseModel { period, handled: 0 }, dt);
+    for s in 0..n_sources {
+        sim.schedule(SimTime::ZERO, s);
+    }
+    let start = Instant::now();
+    let stats = sim.run_until(SimTime::new(horizon));
+    (stats.events, stats.ticks, start.elapsed().as_secs_f64())
+}
+
+/// E12 job workload: `jobs` multi-phase jobs arriving over `spread`
+/// seconds, each holding `phases` times. Returns
+/// `(allocations, reuses, peak_live, wall seconds)`.
+pub fn mapping_workload(
+    scheme: MappingScheme,
+    jobs: u64,
+    phases: u32,
+    spread: f64,
+    seed: u64,
+) -> (u64, u64, u64, f64) {
+    let mut rng = SimRng::new(seed);
+    let mut sim = ProcessEngine::new(scheme);
+    for _ in 0..jobs {
+        let at = rng.range_f64(0.0, spread);
+        let mut left = phases;
+        let hold = rng.range_f64(0.5, 2.0);
+        sim.spawn_at(SimTime::new(at), move |_now: SimTime| {
+            if left == 0 {
+                Action::Done
+            } else {
+                left -= 1;
+                Action::Hold(hold)
+            }
+        });
+    }
+    let start = Instant::now();
+    sim.run();
+    let wall = start.elapsed().as_secs_f64();
+    let cs = sim.context_stats();
+    assert_eq!(sim.stats().completed, jobs);
+    (cs.allocations, cs.reuses, cs.peak_live, wall)
+}
+
+/// A queue-churn model that keeps an event list at a controlled size
+/// while running on a real engine (used by Criterion's E2 macro bench).
+pub struct ChurnModel {
+    /// Inter-event increment distribution.
+    pub increment: Dist,
+    /// RNG.
+    pub rng: SimRng,
+    /// Stop after this many events.
+    pub limit: u64,
+    /// Events handled.
+    pub handled: u64,
+}
+
+impl Model for ChurnModel {
+    type Event = ();
+    fn handle(&mut self, _: (), ctx: &mut Ctx<'_, ()>) {
+        self.handled += 1;
+        if self.handled >= self.limit {
+            ctx.stop();
+            return;
+        }
+        let dt = self.increment.sample(&mut self.rng).abs();
+        ctx.schedule_in(dt, ());
+    }
+}
+
+/// Runs `events` churn events over a queue of `size` pending events.
+pub fn churn_run(kind: QueueKind, size: usize, events: u64, seed: u64) -> u64 {
+    let model = ChurnModel {
+        increment: Dist::Exponential { rate: 1.0 },
+        rng: SimRng::new(seed),
+        limit: events,
+        handled: 0,
+    };
+    let mut sim = EventDriven::with_queue(model, kind.build::<()>());
+    for _ in 0..size {
+        sim.schedule(SimTime::ZERO, ());
+    }
+    sim.run();
+    sim.model().handled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hold_model_runs_all_kinds() {
+        for kind in QueueKind::ALL {
+            let wall = hold_model(kind, 100, 1000, &Dist::Exponential { rate: 1.0 }, 1);
+            assert!(wall >= 0.0);
+        }
+    }
+
+    #[test]
+    fn advance_mechanisms_agree_on_event_count() {
+        let (ev_e, ticks_e, _) = run_event_driven(4, 10.0, 1000.0);
+        let (ev_t, ticks_t, _) = run_time_driven(4, 10.0, 1000.0, 0.1);
+        // quantization shifts each source's phase by up to one step, so
+        // the horizon may cut one event per source
+        assert!(
+            ev_e.abs_diff(ev_t) <= 4,
+            "event-driven {ev_e} vs time-driven {ev_t}"
+        );
+        assert_eq!(ticks_e, 0);
+        assert!(ticks_t >= 10_000, "time-driven pays per tick: {ticks_t}");
+    }
+
+    #[test]
+    fn mapping_workload_counts() {
+        let (alloc_per_job, ..) = mapping_workload(MappingScheme::PerJob, 50, 3, 100.0, 2);
+        let (alloc_pooled, reuses, ..) = mapping_workload(MappingScheme::Pooled, 50, 3, 100.0, 2);
+        assert_eq!(alloc_per_job, 50);
+        assert!(alloc_pooled < 50);
+        assert!(reuses > 0);
+    }
+
+    #[test]
+    fn churn_counts_events() {
+        assert_eq!(churn_run(QueueKind::Calendar, 64, 5_000, 3), 5_000);
+    }
+}

@@ -1,0 +1,276 @@
+//! Event-driven executor: the clock jumps to the next pending event.
+
+use super::{Ctx, Model, RunStats};
+use crate::event::{EventSeq, ScheduledEvent};
+use crate::queue::{BinaryHeapQueue, EventQueue};
+use crate::time::SimTime;
+
+/// The canonical discrete-event executor.
+///
+/// Generic over the event-list structure `Q` so the queue experiments (E2)
+/// can swap implementations without touching models:
+///
+/// ```
+/// use lsds_core::{EventDriven, Model, Ctx, SimTime, CalendarQueue};
+///
+/// struct Counter(u64);
+/// impl Model for Counter {
+///     type Event = ();
+///     fn handle(&mut self, _ev: (), ctx: &mut Ctx<'_, ()>) {
+///         self.0 += 1;
+///         if self.0 < 10 {
+///             ctx.schedule_in(1.0, ());
+///         }
+///     }
+/// }
+///
+/// let mut sim = EventDriven::with_queue(Counter(0), CalendarQueue::new());
+/// sim.schedule(SimTime::ZERO, ());
+/// let stats = sim.run();
+/// assert_eq!(stats.events, 10);
+/// assert_eq!(sim.model().0, 10);
+/// ```
+pub struct EventDriven<M: Model, Q: EventQueue<M::Event> = BinaryHeapQueue<<M as Model>::Event>> {
+    model: M,
+    queue: Q,
+    clock: SimTime,
+    seq: EventSeq,
+    staged: Vec<ScheduledEvent<M::Event>>,
+    stopped: bool,
+    processed: u64,
+}
+
+impl<M: Model> EventDriven<M, BinaryHeapQueue<M::Event>> {
+    /// Creates an engine with the default binary-heap event list.
+    pub fn new(model: M) -> Self {
+        Self::with_queue(model, BinaryHeapQueue::new())
+    }
+}
+
+impl<M: Model, Q: EventQueue<M::Event>> EventDriven<M, Q> {
+    /// Creates an engine over a specific event-list structure.
+    pub fn with_queue(model: M, queue: Q) -> Self {
+        EventDriven {
+            model,
+            queue,
+            clock: SimTime::ZERO,
+            seq: 0,
+            staged: Vec::new(),
+            stopped: false,
+            processed: 0,
+        }
+    }
+
+    /// Schedules an initial event at absolute time `t`.
+    pub fn schedule(&mut self, t: SimTime, event: M::Event) {
+        assert!(t >= self.clock, "cannot schedule into the past");
+        let ev = ScheduledEvent::new(t, self.seq, event);
+        self.seq += 1;
+        self.queue.insert(ev);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Shared view of the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable view of the model (for instrumentation between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Whether a handler has requested a stop.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Delivers the next event, if any. Returns `false` when the event list
+    /// is empty or a stop was requested.
+    pub fn step(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        let Some(ev) = self.queue.pop_min() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.clock, "event list returned past event");
+        self.clock = ev.time;
+        self.processed += 1;
+        let mut ctx = Ctx::new(self.clock, &mut self.staged, &mut self.seq, &mut self.stopped);
+        self.model.handle(ev.event, &mut ctx);
+        for staged in self.staged.drain(..) {
+            self.queue.insert(staged);
+        }
+        true
+    }
+
+    /// Runs until the event list drains or a handler stops the run.
+    pub fn run(&mut self) -> RunStats {
+        let start = self.processed;
+        while self.step() {}
+        RunStats::new(self.processed - start, self.clock, 0)
+    }
+
+    /// Runs until simulated time `t_end` (inclusive of events at `t_end`),
+    /// the event list drains, or a handler stops the run. The clock is left
+    /// at `t_end` if the horizon was reached with events still pending.
+    pub fn run_until(&mut self, t_end: SimTime) -> RunStats {
+        let start = self.processed;
+        while !self.stopped {
+            match self.queue.peek_time() {
+                Some(t) if t <= t_end => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if !self.stopped && self.clock < t_end {
+            self.clock = t_end;
+        }
+        RunStats::new(self.processed - start, self.clock, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::{CalendarQueue, LadderQueue, SortedListQueue};
+
+    /// M/M/1-ish ping-pong used across engine tests.
+    struct PingPong {
+        hops: u64,
+        limit: u64,
+        times: Vec<f64>,
+    }
+
+    impl Model for PingPong {
+        type Event = u8;
+        fn handle(&mut self, ev: u8, ctx: &mut Ctx<'_, u8>) {
+            self.hops += 1;
+            self.times.push(ctx.now().seconds());
+            if self.hops >= self.limit {
+                ctx.stop();
+            } else {
+                ctx.schedule_in(0.5, 1 - ev);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_to_stop() {
+        let mut sim = EventDriven::new(PingPong {
+            hops: 0,
+            limit: 7,
+            times: vec![],
+        });
+        sim.schedule(SimTime::ZERO, 0);
+        let stats = sim.run();
+        assert_eq!(stats.events, 7);
+        assert_eq!(sim.model().hops, 7);
+        assert!((stats.end_time.seconds() - 3.0).abs() < 1e-12);
+        assert!(sim.is_stopped());
+        assert!(!sim.step(), "stopped engine must not step");
+    }
+
+    #[test]
+    fn run_until_horizon() {
+        let mut sim = EventDriven::new(PingPong {
+            hops: 0,
+            limit: u64::MAX,
+            times: vec![],
+        });
+        sim.schedule(SimTime::ZERO, 0);
+        let stats = sim.run_until(SimTime::new(10.0));
+        // events at 0.0, 0.5, ..., 10.0 => 21 events
+        assert_eq!(stats.events, 21);
+        assert_eq!(sim.now(), SimTime::new(10.0));
+        assert_eq!(sim.pending(), 1, "next event remains pending");
+    }
+
+    #[test]
+    fn clock_monotone_and_times_recorded() {
+        let mut sim = EventDriven::new(PingPong {
+            hops: 0,
+            limit: 100,
+            times: vec![],
+        });
+        sim.schedule(SimTime::new(1.0), 0);
+        sim.run();
+        let times = &sim.model().times;
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(times[0], 1.0);
+    }
+
+    #[test]
+    fn identical_results_across_queue_structures() {
+        fn run_with<Q: EventQueue<u8>>(q: Q) -> Vec<f64> {
+            let mut sim = EventDriven::with_queue(
+                PingPong {
+                    hops: 0,
+                    limit: 50,
+                    times: vec![],
+                },
+                q,
+            );
+            sim.schedule(SimTime::ZERO, 0);
+            sim.run();
+            sim.into_model().times
+        }
+        let heap = run_with(BinaryHeapQueue::new());
+        assert_eq!(heap, run_with(SortedListQueue::new()));
+        assert_eq!(heap, run_with(CalendarQueue::new()));
+        assert_eq!(heap, run_with(LadderQueue::new()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, _: (), ctx: &mut Ctx<'_, ()>) {
+                ctx.schedule_at(SimTime::ZERO, ());
+            }
+        }
+        let mut sim = EventDriven::new(Bad);
+        sim.schedule(SimTime::new(5.0), ());
+        sim.run();
+    }
+
+    #[test]
+    fn fifo_among_simultaneous_events() {
+        struct Recorder(Vec<u32>);
+        impl Model for Recorder {
+            type Event = u32;
+            fn handle(&mut self, ev: u32, _ctx: &mut Ctx<'_, u32>) {
+                self.0.push(ev);
+            }
+        }
+        let mut sim = EventDriven::new(Recorder(vec![]));
+        for i in 0..10 {
+            sim.schedule(SimTime::new(1.0), i);
+        }
+        sim.run();
+        assert_eq!(sim.model().0, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,269 @@
+//! Hybrid executor: continuous dynamics between discrete events.
+//!
+//! "A hybrid simulation comprises both continuous and discrete-event
+//! simulations." (§3) The continuous part — e.g. fluid approximations of
+//! link backlogs or thermal/load averages — is advanced with a classical
+//! fixed-step RK4 integrator between event instants; discrete events
+//! interrupt the integration exactly at their timestamps and may read and
+//! rewrite the continuous state.
+
+use super::{Ctx, RunStats};
+use crate::event::{EventSeq, ScheduledEvent};
+use crate::queue::{BinaryHeapQueue, EventQueue};
+use crate::time::SimTime;
+
+/// A model with both a continuous state vector and discrete events.
+pub trait HybridModel {
+    /// Discrete event payload.
+    type Event;
+
+    /// Writes `dy/dt` at time `t` into `dydt` (same length as `y`).
+    fn derivatives(&self, t: SimTime, y: &[f64], dydt: &mut [f64]);
+
+    /// Handles a discrete event; may inspect and mutate the continuous
+    /// state `y` and schedule further events.
+    fn handle(&mut self, event: Self::Event, y: &mut [f64], ctx: &mut Ctx<'_, Self::Event>);
+
+    /// Called after each integration step (threshold detection, logging).
+    fn on_step(&mut self, _t: SimTime, _y: &mut [f64], _ctx: &mut Ctx<'_, Self::Event>) {}
+}
+
+/// Hybrid continuous + discrete-event engine.
+pub struct Hybrid<M: HybridModel, Q: EventQueue<M::Event> = BinaryHeapQueue<<M as HybridModel>::Event>> {
+    model: M,
+    y: Vec<f64>,
+    dt_max: f64,
+    queue: Q,
+    clock: SimTime,
+    seq: EventSeq,
+    staged: Vec<ScheduledEvent<M::Event>>,
+    stopped: bool,
+    processed: u64,
+    integration_steps: u64,
+    // scratch buffers for RK4
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl<M: HybridModel> Hybrid<M, BinaryHeapQueue<M::Event>> {
+    /// Creates a hybrid engine with initial continuous state `y0` and
+    /// maximum integration step `dt_max`.
+    pub fn new(model: M, y0: Vec<f64>, dt_max: f64) -> Self {
+        assert!(dt_max.is_finite() && dt_max > 0.0, "dt_max must be positive");
+        let n = y0.len();
+        Hybrid {
+            model,
+            y: y0,
+            dt_max,
+            queue: BinaryHeapQueue::new(),
+            clock: SimTime::ZERO,
+            seq: 0,
+            staged: Vec::new(),
+            stopped: false,
+            processed: 0,
+            integration_steps: 0,
+            k1: vec![0.0; n],
+            k2: vec![0.0; n],
+            k3: vec![0.0; n],
+            k4: vec![0.0; n],
+            tmp: vec![0.0; n],
+        }
+    }
+}
+
+impl<M: HybridModel, Q: EventQueue<M::Event>> Hybrid<M, Q> {
+    /// Schedules a discrete event.
+    pub fn schedule(&mut self, t: SimTime, event: M::Event) {
+        assert!(t >= self.clock, "cannot schedule into the past");
+        let ev = ScheduledEvent::new(t, self.seq, event);
+        self.seq += 1;
+        self.queue.insert(ev);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Continuous state.
+    pub fn state(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Shared view of the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Consumes the engine, returning the model and final state.
+    pub fn into_parts(self) -> (M, Vec<f64>) {
+        (self.model, self.y)
+    }
+
+    /// RK4 integration steps taken so far.
+    pub fn integration_steps(&self) -> u64 {
+        self.integration_steps
+    }
+
+    fn rk4_step(&mut self, h: f64) {
+        let t = self.clock;
+        let n = self.y.len();
+        self.model.derivatives(t, &self.y, &mut self.k1);
+        for i in 0..n {
+            self.tmp[i] = self.y[i] + 0.5 * h * self.k1[i];
+        }
+        self.model
+            .derivatives(t.after(0.5 * h), &self.tmp, &mut self.k2);
+        for i in 0..n {
+            self.tmp[i] = self.y[i] + 0.5 * h * self.k2[i];
+        }
+        self.model
+            .derivatives(t.after(0.5 * h), &self.tmp, &mut self.k3);
+        for i in 0..n {
+            self.tmp[i] = self.y[i] + h * self.k3[i];
+        }
+        self.model.derivatives(t.after(h), &self.tmp, &mut self.k4);
+        for i in 0..n {
+            self.y[i] +=
+                h / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
+        }
+        self.integration_steps += 1;
+    }
+
+    /// Integrates the continuous state up to `t_target` in steps of at most
+    /// `dt_max`, invoking `on_step` after each step.
+    fn integrate_to(&mut self, t_target: SimTime) {
+        while self.clock < t_target && !self.stopped {
+            let remaining = t_target - self.clock;
+            let h = remaining.min(self.dt_max);
+            self.rk4_step(h);
+            self.clock += h;
+            let mut ctx = Ctx::new(self.clock, &mut self.staged, &mut self.seq, &mut self.stopped);
+            self.model.on_step(self.clock, &mut self.y, &mut ctx);
+            for staged in self.staged.drain(..) {
+                self.queue.insert(staged);
+            }
+        }
+    }
+
+    /// Runs until `t_end`, alternating integration and event delivery.
+    pub fn run_until(&mut self, t_end: SimTime) -> RunStats {
+        let start = self.processed;
+        let start_steps = self.integration_steps;
+        while !self.stopped {
+            match self.queue.peek_time() {
+                Some(t) if t <= t_end => {
+                    self.integrate_to(t);
+                    if self.stopped {
+                        break;
+                    }
+                    let ev = self.queue.pop_min().expect("peeked event vanished");
+                    // events scheduled by on_step during integration may
+                    // precede the one we saw; deliver strictly in order
+                    if ev.time > self.clock {
+                        // (integration already brought the clock to ev.time)
+                        debug_assert!(false, "clock behind event after integrate_to");
+                    }
+                    self.processed += 1;
+                    let mut ctx =
+                        Ctx::new(self.clock, &mut self.staged, &mut self.seq, &mut self.stopped);
+                    self.model.handle(ev.event, &mut self.y, &mut ctx);
+                    for staged in self.staged.drain(..) {
+                        self.queue.insert(staged);
+                    }
+                }
+                _ => {
+                    self.integrate_to(t_end);
+                    break;
+                }
+            }
+        }
+        RunStats::new(
+            self.processed - start,
+            self.clock,
+            self.integration_steps - start_steps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// dy/dt = -y, with a discrete event that doubles y.
+    struct Decay {
+        doubled_at: Vec<f64>,
+    }
+    impl HybridModel for Decay {
+        type Event = &'static str;
+        fn derivatives(&self, _t: SimTime, y: &[f64], dydt: &mut [f64]) {
+            dydt[0] = -y[0];
+        }
+        fn handle(&mut self, ev: &'static str, y: &mut [f64], ctx: &mut Ctx<'_, &'static str>) {
+            assert_eq!(ev, "double");
+            y[0] *= 2.0;
+            self.doubled_at.push(ctx.now().seconds());
+        }
+    }
+
+    #[test]
+    fn pure_decay_matches_closed_form() {
+        let mut sim = Hybrid::new(Decay { doubled_at: vec![] }, vec![1.0], 0.01);
+        sim.run_until(SimTime::new(2.0));
+        let expected = (-2.0f64).exp();
+        assert!(
+            (sim.state()[0] - expected).abs() < 1e-6,
+            "{} vs {expected}",
+            sim.state()[0]
+        );
+    }
+
+    #[test]
+    fn event_interrupts_integration_exactly() {
+        let mut sim = Hybrid::new(Decay { doubled_at: vec![] }, vec![1.0], 0.01);
+        sim.schedule(SimTime::new(1.0), "double");
+        sim.run_until(SimTime::new(2.0));
+        // y(2) = e^{-1} * 2 * e^{-1} = 2 e^{-2}
+        let expected = 2.0 * (-2.0f64).exp();
+        assert!((sim.state()[0] - expected).abs() < 1e-6);
+        assert_eq!(sim.model().doubled_at, vec![1.0]);
+    }
+
+    #[test]
+    fn step_count_scales_with_dt() {
+        let mut coarse = Hybrid::new(Decay { doubled_at: vec![] }, vec![1.0], 0.1);
+        coarse.run_until(SimTime::new(1.0));
+        let mut fine = Hybrid::new(Decay { doubled_at: vec![] }, vec![1.0], 0.001);
+        fine.run_until(SimTime::new(1.0));
+        assert!(fine.integration_steps() > 50 * coarse.integration_steps());
+    }
+
+    /// Threshold detection via on_step: stop when y crosses 0.5.
+    struct Threshold {
+        crossed: Option<f64>,
+    }
+    impl HybridModel for Threshold {
+        type Event = ();
+        fn derivatives(&self, _t: SimTime, y: &[f64], dydt: &mut [f64]) {
+            dydt[0] = -y[0];
+        }
+        fn handle(&mut self, _: (), _y: &mut [f64], _ctx: &mut Ctx<'_, ()>) {}
+        fn on_step(&mut self, t: SimTime, y: &mut [f64], ctx: &mut Ctx<'_, ()>) {
+            if self.crossed.is_none() && y[0] <= 0.5 {
+                self.crossed = Some(t.seconds());
+                ctx.stop();
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_detected_near_ln2() {
+        let mut sim = Hybrid::new(Threshold { crossed: None }, vec![1.0], 0.001);
+        sim.run_until(SimTime::new(5.0));
+        let t = sim.model().crossed.expect("threshold not crossed");
+        assert!((t - std::f64::consts::LN_2).abs() < 0.002, "crossed at {t}");
+    }
+}

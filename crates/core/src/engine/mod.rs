@@ -1,0 +1,174 @@
+//! Simulation executors ("engine mechanics" in the taxonomy).
+//!
+//! One model, four ways to advance it:
+//!
+//! * [`EventDriven`] — advances by irregular increments to the next pending
+//!   event ("useful for modeling events that may occur at any time").
+//! * [`TimeDriven`] — advances by fixed increments ("useful for modeling
+//!   events that occur at regular time intervals"), paying per-tick cost
+//!   even when nothing happens.
+//! * [`TraceDriven`] — "proceeds by reading in a set of events that are
+//!   collected independently from another environment", interleaved with
+//!   any internally scheduled events.
+//! * [`Hybrid`] — "comprises both continuous and discrete-event
+//!   simulations": a continuous state vector is integrated (RK4) between
+//!   discrete events.
+//!
+//! All four deliver events in `(time, seq)` order and share the [`Model`]
+//! callback interface and [`Ctx`] scheduling handle.
+
+mod event_driven;
+mod hybrid;
+mod time_driven;
+mod trace_driven;
+
+pub use event_driven::EventDriven;
+pub use hybrid::{Hybrid, HybridModel};
+pub use time_driven::TimeDriven;
+pub use trace_driven::{TraceDriven, TraceSource};
+
+use crate::event::{EventSeq, ScheduledEvent};
+use crate::time::SimTime;
+
+/// A discrete-event simulation model: application state plus an event
+/// handler. The engine owns the clock and the event list; the model reacts
+/// to delivered events and schedules new ones through [`Ctx`].
+pub trait Model {
+    /// The event payload type.
+    type Event;
+
+    /// Handles one delivered event at `ctx.now()`.
+    fn handle(&mut self, event: Self::Event, ctx: &mut Ctx<'_, Self::Event>);
+}
+
+/// Anything that can schedule events of type `E` at simulated times.
+///
+/// Substrate components (network models, grid middleware, …) are written
+/// against this trait rather than a concrete engine, so a component with
+/// its own event sub-type can be embedded in any larger model: the owner
+/// wraps its [`Ctx`] with [`Ctx::map`] to translate the component's events
+/// into its own event enum.
+pub trait Schedule<E> {
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+    /// Schedules `event` at absolute time `t ≥ now`.
+    fn schedule_at(&mut self, t: SimTime, event: E);
+    /// Schedules `event` after non-negative delay `dt`.
+    fn schedule_in(&mut self, dt: f64, event: E) {
+        let t = self.now().after(dt);
+        self.schedule_at(t, event);
+    }
+}
+
+/// Adapter translating a component's events into the owner's event type.
+///
+/// Created by [`Ctx::map`].
+pub struct MappedCtx<'c, 'a, E, F> {
+    inner: &'c mut Ctx<'a, E>,
+    wrap: F,
+}
+
+impl<'c, 'a, E, E2, F: Fn(E2) -> E> Schedule<E2> for MappedCtx<'c, 'a, E, F> {
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+    fn schedule_at(&mut self, t: SimTime, event: E2) {
+        self.inner.schedule_at(t, (self.wrap)(event));
+    }
+}
+
+/// Scheduling handle passed to [`Model::handle`].
+///
+/// New events are staged here and moved into the engine's event list after
+/// the handler returns, which keeps the borrow of the model and the queue
+/// disjoint without interior mutability.
+pub struct Ctx<'a, E> {
+    now: SimTime,
+    staged: &'a mut Vec<ScheduledEvent<E>>,
+    seq: &'a mut EventSeq,
+    stop: &'a mut bool,
+}
+
+impl<'a, E> Ctx<'a, E> {
+    pub(crate) fn new(
+        now: SimTime,
+        staged: &'a mut Vec<ScheduledEvent<E>>,
+        seq: &'a mut EventSeq,
+        stop: &'a mut bool,
+    ) -> Self {
+        Ctx {
+            now,
+            staged,
+            seq,
+            stop,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `t` (must not be in the past).
+    pub fn schedule_at(&mut self, t: SimTime, event: E) {
+        assert!(
+            t >= self.now,
+            "cannot schedule into the past: {t} < {}",
+            self.now
+        );
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.staged.push(ScheduledEvent::new(t, seq, event));
+    }
+
+    /// Schedules `event` after a non-negative delay `dt`.
+    pub fn schedule_in(&mut self, dt: f64, event: E) {
+        let t = self.now.after(dt);
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.staged.push(ScheduledEvent::new(t, seq, event));
+    }
+
+    /// Requests that the run stop after this handler returns.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+
+    /// Wraps this context for a component whose events embed into the
+    /// model's event type via `wrap`.
+    pub fn map<E2, F: Fn(E2) -> E>(&mut self, wrap: F) -> MappedCtx<'_, 'a, E, F> {
+        MappedCtx { inner: self, wrap }
+    }
+}
+
+impl<'a, E> Schedule<E> for Ctx<'a, E> {
+    fn now(&self) -> SimTime {
+        Ctx::now(self)
+    }
+    fn schedule_at(&mut self, t: SimTime, event: E) {
+        Ctx::schedule_at(self, t, event)
+    }
+}
+
+/// Outcome of a run: how much simulated and how much real work was done.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Events delivered to the model.
+    pub events: u64,
+    /// Simulated time at which the run ended.
+    pub end_time: SimTime,
+    /// Fixed time steps taken (0 for purely event-driven engines) — the
+    /// cost the paper attributes to time-driven advancement.
+    pub ticks: u64,
+}
+
+impl RunStats {
+    pub(crate) fn new(events: u64, end_time: SimTime, ticks: u64) -> Self {
+        RunStats {
+            events,
+            end_time,
+            ticks,
+        }
+    }
+}

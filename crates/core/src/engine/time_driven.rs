@@ -1,0 +1,198 @@
+//! Time-driven executor: the clock advances by fixed increments.
+//!
+//! "A time-driven DES advances by fixed time increments and is useful for
+//! modeling events that occur at regular time intervals. An event-driven
+//! DES is more efficient than a time-driven DES since it does not step
+//! through regular time intervals when no event occurs." (§3) — this engine
+//! exists to make that trade-off measurable (experiment E3): it performs a
+//! tick of bookkeeping at every step whether or not events are due, and it
+//! quantizes delivery times to step boundaries (the fidelity cost of coarse
+//! steps).
+
+use super::{Ctx, Model, RunStats};
+use crate::event::{EventSeq, ScheduledEvent};
+use crate::queue::{BinaryHeapQueue, EventQueue};
+use crate::time::SimTime;
+
+/// Fixed-increment executor over the same [`Model`] interface as
+/// [`super::EventDriven`].
+///
+/// Events scheduled for any time within a step `(k·dt, (k+1)·dt]` are
+/// delivered at the step boundary `(k+1)·dt`, in `(time, seq)` order.
+pub struct TimeDriven<M: Model, Q: EventQueue<M::Event> = BinaryHeapQueue<<M as Model>::Event>> {
+    model: M,
+    queue: Q,
+    dt: f64,
+    clock: SimTime,
+    seq: EventSeq,
+    staged: Vec<ScheduledEvent<M::Event>>,
+    stopped: bool,
+    processed: u64,
+    ticks: u64,
+}
+
+impl<M: Model> TimeDriven<M, BinaryHeapQueue<M::Event>> {
+    /// Creates a time-driven engine with step `dt` and the default queue.
+    pub fn new(model: M, dt: f64) -> Self {
+        Self::with_queue(model, dt, BinaryHeapQueue::new())
+    }
+}
+
+impl<M: Model, Q: EventQueue<M::Event>> TimeDriven<M, Q> {
+    /// Creates a time-driven engine with step `dt` over a specific queue.
+    pub fn with_queue(model: M, dt: f64, queue: Q) -> Self {
+        assert!(dt.is_finite() && dt > 0.0, "step must be positive");
+        TimeDriven {
+            model,
+            queue,
+            dt,
+            clock: SimTime::ZERO,
+            seq: 0,
+            staged: Vec::new(),
+            stopped: false,
+            processed: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Schedules an initial event.
+    pub fn schedule(&mut self, t: SimTime, event: M::Event) {
+        let ev = ScheduledEvent::new(t, self.seq, event);
+        self.seq += 1;
+        self.queue.insert(ev);
+    }
+
+    /// Current simulated time (always a step boundary after a run).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Shared view of the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Advances one fixed step, delivering every event due by the new
+    /// clock. Returns `false` once stopped.
+    pub fn tick(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        self.ticks += 1;
+        let next = self.clock.after(self.dt);
+        self.clock = next;
+        while let Some(t) = self.queue.peek_time() {
+            if t > next || self.stopped {
+                break;
+            }
+            let ev = self.queue.pop_min().expect("peeked event vanished");
+            self.processed += 1;
+            // Quantized delivery: the model observes the step boundary.
+            let mut ctx = Ctx::new(next, &mut self.staged, &mut self.seq, &mut self.stopped);
+            self.model.handle(ev.event, &mut ctx);
+            for staged in self.staged.drain(..) {
+                self.queue.insert(staged);
+            }
+        }
+        !self.stopped
+    }
+
+    /// Runs steps until `t_end` or until a handler stops the run.
+    pub fn run_until(&mut self, t_end: SimTime) -> RunStats {
+        let start_events = self.processed;
+        let start_ticks = self.ticks;
+        while !self.stopped && self.clock < t_end {
+            self.tick();
+        }
+        RunStats::new(
+            self.processed - start_events,
+            self.clock,
+            self.ticks - start_ticks,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Accumulator {
+        seen: Vec<f64>,
+    }
+    impl Model for Accumulator {
+        type Event = f64;
+        fn handle(&mut self, original_time: f64, ctx: &mut Ctx<'_, f64>) {
+            // record the quantization error between true and delivered time
+            self.seen.push(ctx.now().seconds() - original_time);
+        }
+    }
+
+    #[test]
+    fn events_are_quantized_to_step_boundaries() {
+        let mut sim = TimeDriven::new(Accumulator { seen: vec![] }, 1.0);
+        for &t in &[0.2, 0.9, 1.0, 1.1, 2.5] {
+            sim.schedule(SimTime::new(t), t);
+        }
+        let stats = sim.run_until(SimTime::new(5.0));
+        assert_eq!(stats.events, 5);
+        assert_eq!(stats.ticks, 5);
+        // errors are in [0, dt)
+        for &e in &sim.model().seen {
+            assert!((0.0..1.0).contains(&e), "quantization error {e}");
+        }
+    }
+
+    #[test]
+    fn ticks_accrue_even_without_events() {
+        let mut sim = TimeDriven::new(Accumulator { seen: vec![] }, 0.1);
+        sim.schedule(SimTime::new(0.05), 0.05);
+        let stats = sim.run_until(SimTime::new(100.0));
+        assert_eq!(stats.events, 1);
+        // 1000 steps of 0.1 (±1 for floating-point accumulation)
+        assert!(
+            (1000..=1001).contains(&stats.ticks),
+            "pays for every empty step: {} ticks",
+            stats.ticks
+        );
+    }
+
+    #[test]
+    fn finer_steps_reduce_quantization_error() {
+        fn max_err(dt: f64) -> f64 {
+            let mut sim = TimeDriven::new(Accumulator { seen: vec![] }, dt);
+            for i in 0..50 {
+                let t = 0.137 * (i as f64 + 1.0);
+                sim.schedule(SimTime::new(t), t);
+            }
+            sim.run_until(SimTime::new(10.0));
+            sim.model().seen.iter().cloned().fold(0.0, f64::max)
+        }
+        assert!(max_err(0.01) < max_err(1.0));
+    }
+
+    #[test]
+    fn stop_from_handler() {
+        struct StopAt3 {
+            n: u32,
+        }
+        impl Model for StopAt3 {
+            type Event = ();
+            fn handle(&mut self, _: (), ctx: &mut Ctx<'_, ()>) {
+                self.n += 1;
+                ctx.schedule_in(1.0, ());
+                if self.n == 3 {
+                    ctx.stop();
+                }
+            }
+        }
+        let mut sim = TimeDriven::new(StopAt3 { n: 0 }, 0.5);
+        sim.schedule(SimTime::ZERO, ());
+        sim.run_until(SimTime::new(1000.0));
+        assert_eq!(sim.model().n, 3);
+    }
+}

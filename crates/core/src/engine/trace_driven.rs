@@ -1,0 +1,288 @@
+//! Trace-driven executor: external, pre-collected events drive the model.
+//!
+//! "A trace-driven DES proceeds by reading in a set of events that are
+//! collected independently from another environment and are suitable for
+//! modeling a system that has executed before in another environment." (§3)
+//! The paper's input-data axis distinguishes simulators that accept
+//! monitored data sets (MONARC 2 via MonALISA) from pure generators
+//! (ChicagoSim); this engine is the replay half of that axis —
+//! `lsds-trace` supplies [`TraceSource`]s from recorded files or synthetic
+//! generators.
+
+use super::{Ctx, Model, RunStats};
+use crate::event::{EventSeq, ScheduledEvent};
+use crate::queue::{BinaryHeapQueue, EventQueue};
+use crate::time::SimTime;
+
+/// A time-ordered stream of externally collected events.
+///
+/// Implementations must yield records with non-decreasing timestamps; the
+/// engine validates this and panics on a disordered trace, because a
+/// disordered monitored-data file is a corrupt input, not a model state.
+pub trait TraceSource {
+    /// The replayed event payload.
+    type Record;
+    /// Returns the next record, or `None` at end of trace.
+    fn next_record(&mut self) -> Option<(SimTime, Self::Record)>;
+}
+
+impl<R, I: Iterator<Item = (SimTime, R)>> TraceSource for I {
+    type Record = R;
+    fn next_record(&mut self) -> Option<(SimTime, R)> {
+        self.next()
+    }
+}
+
+/// Replays a [`TraceSource`] into a [`Model`], merging the external stream
+/// with any events the model schedules internally.
+///
+/// External records and internal events are delivered in global `(time,
+/// arrival)` order; ties go to the internal event scheduled first, then the
+/// trace record, matching the convention that replayed inputs are causes
+/// and internal events are their consequences.
+pub struct TraceDriven<M: Model, S: TraceSource<Record = M::Event>, Q = BinaryHeapQueue<<M as Model>::Event>>
+where
+    Q: EventQueue<M::Event>,
+{
+    model: M,
+    source: S,
+    lookahead: Option<(SimTime, M::Event)>,
+    last_trace_time: SimTime,
+    queue: Q,
+    clock: SimTime,
+    seq: EventSeq,
+    staged: Vec<ScheduledEvent<M::Event>>,
+    stopped: bool,
+    processed: u64,
+    replayed: u64,
+}
+
+impl<M: Model, S: TraceSource<Record = M::Event>> TraceDriven<M, S, BinaryHeapQueue<M::Event>> {
+    /// Creates a trace-driven engine with the default internal queue.
+    pub fn new(model: M, source: S) -> Self {
+        Self::with_queue(model, source, BinaryHeapQueue::new())
+    }
+}
+
+impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>> TraceDriven<M, S, Q> {
+    /// Creates a trace-driven engine over a specific internal queue.
+    pub fn with_queue(model: M, source: S, queue: Q) -> Self {
+        TraceDriven {
+            model,
+            source,
+            lookahead: None,
+            last_trace_time: SimTime::ZERO,
+            queue,
+            clock: SimTime::ZERO,
+            seq: 0,
+            staged: Vec::new(),
+            stopped: false,
+            processed: 0,
+            replayed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Shared view of the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Records replayed from the trace so far.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    fn fill_lookahead(&mut self) {
+        if self.lookahead.is_none() {
+            if let Some((t, r)) = self.source.next_record() {
+                assert!(
+                    t >= self.last_trace_time,
+                    "trace is not time-ordered: {t} after {}",
+                    self.last_trace_time
+                );
+                self.last_trace_time = t;
+                self.lookahead = Some((t, r));
+            }
+        }
+    }
+
+    fn deliver(&mut self, t: SimTime, event: M::Event, from_trace: bool) {
+        debug_assert!(t >= self.clock);
+        self.clock = t;
+        self.processed += 1;
+        if from_trace {
+            self.replayed += 1;
+        }
+        let mut ctx = Ctx::new(self.clock, &mut self.staged, &mut self.seq, &mut self.stopped);
+        self.model.handle(event, &mut ctx);
+        for staged in self.staged.drain(..) {
+            self.queue.insert(staged);
+        }
+    }
+
+    /// Delivers the next event (trace or internal). Returns `false` when
+    /// both streams are exhausted or the run was stopped.
+    pub fn step(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        self.fill_lookahead();
+        let trace_t = self.lookahead.as_ref().map(|(t, _)| *t);
+        let queue_t = self.queue.peek_time();
+        match (trace_t, queue_t) {
+            (None, None) => false,
+            (Some(_), None) => {
+                let (t, r) = self.lookahead.take().expect("lookahead vanished");
+                self.deliver(t, r, true);
+                true
+            }
+            (None, Some(_)) => {
+                let ev = self.queue.pop_min().expect("peeked event vanished");
+                self.deliver(ev.time, ev.event, false);
+                true
+            }
+            (Some(tt), Some(qt)) => {
+                if qt <= tt {
+                    let ev = self.queue.pop_min().expect("peeked event vanished");
+                    self.deliver(ev.time, ev.event, false);
+                } else {
+                    let (t, r) = self.lookahead.take().expect("lookahead vanished");
+                    self.deliver(t, r, true);
+                }
+                true
+            }
+        }
+    }
+
+    /// Replays until both streams drain or a handler stops the run.
+    pub fn run(&mut self) -> RunStats {
+        let start = self.processed;
+        while self.step() {}
+        RunStats::new(self.processed - start, self.clock, 0)
+    }
+
+    /// Replays events up to and including `t_end`.
+    pub fn run_until(&mut self, t_end: SimTime) -> RunStats {
+        let start = self.processed;
+        loop {
+            if self.stopped {
+                break;
+            }
+            self.fill_lookahead();
+            let next = match (self.lookahead.as_ref().map(|(t, _)| *t), self.queue.peek_time()) {
+                (None, None) => break,
+                (Some(t), None) => t,
+                (None, Some(t)) => t,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            if next > t_end {
+                break;
+            }
+            self.step();
+        }
+        if !self.stopped && self.clock < t_end {
+            self.clock = t_end;
+        }
+        RunStats::new(self.processed - start, self.clock, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        External(u32),
+        Internal(u32),
+    }
+
+    struct Echo {
+        log: Vec<(f64, Ev)>,
+    }
+    impl Model for Echo {
+        type Event = Ev;
+        fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+            if let Ev::External(n) = ev {
+                // every external record spawns an internal follow-up
+                ctx.schedule_in(0.25, Ev::Internal(n));
+            }
+            self.log.push((ctx.now().seconds(), ev));
+        }
+    }
+
+    fn trace(records: Vec<(f64, u32)>) -> impl TraceSource<Record = Ev> {
+        records
+            .into_iter()
+            .map(|(t, n)| (SimTime::new(t), Ev::External(n)))
+    }
+
+    #[test]
+    fn replays_in_order_with_internal_events() {
+        let mut sim = TraceDriven::new(
+            Echo { log: vec![] },
+            trace(vec![(1.0, 1), (2.0, 2), (3.0, 3)]),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.events, 6);
+        assert_eq!(sim.replayed(), 3);
+        let log = &sim.model().log;
+        let times: Vec<f64> = log.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![1.0, 1.25, 2.0, 2.25, 3.0, 3.25]);
+    }
+
+    #[test]
+    fn internal_event_wins_tie() {
+        // external at 1.25 ties with the internal follow-up of t=1.0
+        let mut sim = TraceDriven::new(
+            Echo { log: vec![] },
+            trace(vec![(1.0, 1), (1.25, 2)]),
+        );
+        sim.run();
+        let log = &sim.model().log;
+        assert_eq!(log[1].1, Ev::Internal(1));
+        assert_eq!(log[2].1, Ev::External(2));
+    }
+
+    #[test]
+    fn run_until_cuts_at_horizon() {
+        let mut sim = TraceDriven::new(
+            Echo { log: vec![] },
+            trace(vec![(1.0, 1), (5.0, 2), (9.0, 3)]),
+        );
+        let stats = sim.run_until(SimTime::new(4.0));
+        assert_eq!(sim.replayed(), 1);
+        assert_eq!(stats.events, 2); // external 1 + its internal follow-up
+        assert_eq!(sim.now(), SimTime::new(4.0));
+        // the rest still replays afterwards
+        sim.run();
+        assert_eq!(sim.replayed(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn disordered_trace_panics() {
+        let mut sim = TraceDriven::new(
+            Echo { log: vec![] },
+            trace(vec![(2.0, 1), (1.0, 2)]),
+        );
+        sim.run();
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let mut sim = TraceDriven::new(Echo { log: vec![] }, trace(vec![]));
+        let stats = sim.run();
+        assert_eq!(stats.events, 0);
+    }
+}

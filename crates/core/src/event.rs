@@ -1,0 +1,48 @@
+//! Scheduled events and deterministic tie-breaking.
+
+use crate::time::SimTime;
+
+/// Monotone sequence number assigned at scheduling time.
+///
+/// Events with equal timestamps are delivered in scheduling order, which
+/// makes every engine in this workspace deterministic: "repeating the same
+/// simulation will always return the same simulation results" (§3).
+pub type EventSeq = u64;
+
+/// An event stamped with its due time and scheduling sequence number.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// Simulated time at which the event fires.
+    pub time: SimTime,
+    /// Scheduling sequence number; ties on `time` are broken by `seq`.
+    pub seq: EventSeq,
+    /// The model-defined payload.
+    pub event: E,
+}
+
+impl<E> ScheduledEvent<E> {
+    /// Bundles a payload with its due time and sequence number.
+    pub fn new(time: SimTime, seq: EventSeq, event: E) -> Self {
+        ScheduledEvent { time, seq, event }
+    }
+
+    /// The `(time, seq)` priority key.
+    #[inline]
+    pub fn key(&self) -> (SimTime, EventSeq) {
+        (self.time, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_orders_by_time_then_seq() {
+        let a = ScheduledEvent::new(SimTime::new(1.0), 5, ());
+        let b = ScheduledEvent::new(SimTime::new(1.0), 6, ());
+        let c = ScheduledEvent::new(SimTime::new(2.0), 1, ());
+        assert!(a.key() < b.key());
+        assert!(b.key() < c.key());
+    }
+}

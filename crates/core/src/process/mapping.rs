@@ -1,0 +1,274 @@
+//! Execution contexts and job→context mapping schemes.
+
+/// Size of one simulated execution context, matching a small thread stack.
+///
+/// The buffer is really allocated and written, so the cost difference
+/// between allocating per job and reusing contexts is physical, not
+/// notional — which is what experiment E12 measures.
+pub const CONTEXT_BYTES: usize = 16 * 1024;
+
+/// A stand-in for the per-active-object thread context (stack + registers).
+pub struct Context {
+    stack: Box<[u8]>,
+    /// Number of jobs currently sharing this context (batched mapping).
+    residents: usize,
+}
+
+impl Context {
+    fn allocate() -> Self {
+        // zeroed allocation: the kernel/allocator must actually provide
+        // the pages, as a thread spawn would
+        let mut stack = vec![0u8; CONTEXT_BYTES].into_boxed_slice();
+        // touch one byte per page so the cost is not deferred
+        for i in (0..CONTEXT_BYTES).step_by(4096) {
+            stack[i] = 1;
+        }
+        Context {
+            stack,
+            residents: 0,
+        }
+    }
+
+    /// "Context switch" bookkeeping: scribble a cache line, as a real
+    /// switch would dirty the stack top.
+    fn touch(&mut self) {
+        for b in self.stack.iter_mut().take(64) {
+            *b = b.wrapping_add(1);
+        }
+    }
+}
+
+/// How simulated jobs are mapped onto execution contexts (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingScheme {
+    /// A fresh context per job, dropped at completion — the naive
+    /// one-thread-per-job design.
+    PerJob,
+    /// Completed jobs return their context to a free pool for reuse —
+    /// "reusing threads".
+    Pooled,
+    /// Up to `jobs_per_context` concurrent jobs share one context —
+    /// "multiple jobs … running in the same thread context".
+    Batched {
+        /// Maximum concurrent jobs per shared context.
+        jobs_per_context: usize,
+    },
+}
+
+impl MappingScheme {
+    /// Display name for experiment output.
+    pub fn name(self) -> String {
+        match self {
+            MappingScheme::PerJob => "per-job".to_string(),
+            MappingScheme::Pooled => "pooled".to_string(),
+            MappingScheme::Batched { jobs_per_context } => {
+                format!("batched({jobs_per_context})")
+            }
+        }
+    }
+}
+
+/// Counters exposed by the pool for experiment E12.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextStats {
+    /// Contexts actually allocated.
+    pub allocations: u64,
+    /// Context acquisitions served from the free pool or by sharing.
+    pub reuses: u64,
+    /// High-water mark of simultaneously live contexts.
+    pub peak_live: u64,
+}
+
+/// Handle to an acquired context slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextHandle(usize);
+
+/// Pool of execution contexts governed by a [`MappingScheme`].
+pub struct ContextPool {
+    scheme: MappingScheme,
+    contexts: Vec<Option<Context>>,
+    free: Vec<usize>,
+    live: u64,
+    stats: ContextStats,
+}
+
+impl ContextPool {
+    /// Creates an empty pool with the given scheme.
+    pub fn new(scheme: MappingScheme) -> Self {
+        ContextPool {
+            scheme,
+            contexts: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            stats: ContextStats::default(),
+        }
+    }
+
+    /// The pool's mapping scheme.
+    pub fn scheme(&self) -> MappingScheme {
+        self.scheme
+    }
+
+    /// Observed counters.
+    pub fn stats(&self) -> ContextStats {
+        self.stats
+    }
+
+    fn fresh_slot(&mut self) -> usize {
+        self.stats.allocations += 1;
+        self.contexts.push(Some(Context::allocate()));
+        self.contexts.len() - 1
+    }
+
+    /// Acquires a context for a new job.
+    pub fn acquire(&mut self) -> ContextHandle {
+        let idx = match self.scheme {
+            MappingScheme::PerJob => self.fresh_slot(),
+            MappingScheme::Pooled => {
+                if let Some(idx) = self.free.pop() {
+                    self.stats.reuses += 1;
+                    idx
+                } else {
+                    self.fresh_slot()
+                }
+            }
+            MappingScheme::Batched { jobs_per_context } => {
+                // find a context with room; linear scan over live contexts
+                // is bounded by live/jobs_per_context in practice
+                let found = self
+                    .contexts
+                    .iter()
+                    .position(|c| c.as_ref().is_some_and(|c| c.residents < jobs_per_context));
+                if let Some(idx) = found {
+                    self.stats.reuses += 1;
+                    idx
+                } else {
+                    self.fresh_slot()
+                }
+            }
+        };
+        let ctx = self.contexts[idx]
+            .as_mut()
+            .expect("acquired slot is empty");
+        ctx.residents += 1;
+        if ctx.residents == 1 {
+            self.live += 1;
+            self.stats.peak_live = self.stats.peak_live.max(self.live);
+        }
+        ContextHandle(idx)
+    }
+
+    /// Performs per-resume context-switch work.
+    pub fn switch(&mut self, handle: ContextHandle) {
+        if let Some(ctx) = self.contexts[handle.0].as_mut() {
+            ctx.touch();
+        }
+    }
+
+    /// Releases a job's claim on its context.
+    pub fn release(&mut self, handle: ContextHandle) {
+        let idx = handle.0;
+        let emptied = {
+            let ctx = self.contexts[idx]
+                .as_mut()
+                .expect("release of empty slot");
+            assert!(ctx.residents > 0, "double release");
+            ctx.residents -= 1;
+            ctx.residents == 0
+        };
+        if emptied {
+            self.live -= 1;
+            match self.scheme {
+                MappingScheme::PerJob => {
+                    // drop the allocation outright
+                    self.contexts[idx] = None;
+                }
+                MappingScheme::Pooled => self.free.push(idx),
+                MappingScheme::Batched { .. } => {
+                    // shared contexts linger for future arrivals
+                }
+            }
+        }
+    }
+
+    /// Contexts currently holding at least one job.
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_job_allocates_every_time() {
+        let mut pool = ContextPool::new(MappingScheme::PerJob);
+        for _ in 0..10 {
+            let h = pool.acquire();
+            pool.release(h);
+        }
+        assert_eq!(pool.stats().allocations, 10);
+        assert_eq!(pool.stats().reuses, 0);
+        assert_eq!(pool.live(), 0);
+    }
+
+    #[test]
+    fn pooled_reuses_after_release() {
+        let mut pool = ContextPool::new(MappingScheme::Pooled);
+        for _ in 0..10 {
+            let h = pool.acquire();
+            pool.release(h);
+        }
+        assert_eq!(pool.stats().allocations, 1);
+        assert_eq!(pool.stats().reuses, 9);
+    }
+
+    #[test]
+    fn pooled_allocates_under_concurrency() {
+        let mut pool = ContextPool::new(MappingScheme::Pooled);
+        let hs: Vec<_> = (0..5).map(|_| pool.acquire()).collect();
+        assert_eq!(pool.stats().allocations, 5);
+        assert_eq!(pool.stats().peak_live, 5);
+        for h in hs {
+            pool.release(h);
+        }
+        let _h = pool.acquire();
+        assert_eq!(pool.stats().allocations, 5, "reuse after drain");
+    }
+
+    #[test]
+    fn batched_shares_contexts() {
+        let mut pool = ContextPool::new(MappingScheme::Batched {
+            jobs_per_context: 4,
+        });
+        let hs: Vec<_> = (0..8).map(|_| pool.acquire()).collect();
+        assert_eq!(pool.stats().allocations, 2, "8 jobs / 4 per context");
+        // all 8 share 2 live contexts
+        assert_eq!(pool.live(), 2);
+        for h in hs {
+            pool.release(h);
+        }
+        assert_eq!(pool.live(), 0);
+    }
+
+    #[test]
+    fn batched_respects_capacity() {
+        let mut pool = ContextPool::new(MappingScheme::Batched {
+            jobs_per_context: 2,
+        });
+        let _h1 = pool.acquire();
+        let _h2 = pool.acquire();
+        let _h3 = pool.acquire();
+        assert_eq!(pool.stats().allocations, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_release_panics() {
+        let mut pool = ContextPool::new(MappingScheme::Pooled);
+        let h = pool.acquire();
+        pool.release(h);
+        pool.release(h);
+    }
+}

@@ -1,0 +1,63 @@
+//! Process-oriented simulation: MONARC 2-style "active objects".
+//!
+//! "MONARC 2 is built based on a process oriented approach for discrete
+//! event simulation, which is well suited to describe concurrent running
+//! programs … Threaded objects or 'Active Objects' (having an execution
+//! thread, program counter, stack …) allow a natural way to map the
+//! specific behavior of distributed data processing into the simulation
+//! program." (§4)
+//!
+//! Here an active object is a resumable state machine ([`Process`]) bound
+//! to an *execution context* — a stand-in for the thread stack the Java
+//! original allocates per object. The paper observes that how simulated
+//! jobs map onto such contexts is a real engine design axis: "Reusing
+//! threads, using advanced mapping schemes in which multiple jobs can be
+//! simulated running in the same thread context, or any other aspect
+//! considered in this direction can yield higher simulation performances."
+//! (§3) The [`MappingScheme`] selects between one-context-per-job, pooled
+//! reuse, and batched sharing, and experiment E12 measures the difference.
+
+mod mapping;
+mod scheduler;
+
+pub use mapping::{ContextPool, ContextStats, MappingScheme, CONTEXT_BYTES};
+pub use scheduler::{ProcessEngine, ProcessStats, Resume};
+
+use crate::time::SimTime;
+
+/// Identifier of a live process within a [`ProcessEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub(crate) u64);
+
+impl ProcessId {
+    /// Raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// What a process wants to do next after being resumed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Sleep for the given non-negative simulated duration, then resume.
+    Hold(f64),
+    /// The process has finished; its context is released per the mapping
+    /// scheme.
+    Done,
+}
+
+/// A resumable simulated activity (job, transfer, daemon …).
+///
+/// `resume` is called with the current simulated time; the process advances
+/// its internal state machine and returns what to do next. This is the
+/// cooperative, deterministic equivalent of MONARC's threaded objects.
+pub trait Process {
+    /// Advances the process at time `now`.
+    fn resume(&mut self, now: SimTime) -> Action;
+}
+
+impl<F: FnMut(SimTime) -> Action> Process for F {
+    fn resume(&mut self, now: SimTime) -> Action {
+        self(now)
+    }
+}

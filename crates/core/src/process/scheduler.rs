@@ -1,0 +1,274 @@
+//! The process scheduler: runs active objects on the event-driven engine.
+
+use super::mapping::{ContextHandle, ContextPool, ContextStats, MappingScheme};
+use super::{Action, Process, ProcessId};
+use crate::engine::{Ctx, EventDriven, Model, RunStats};
+use crate::queue::{BinaryHeapQueue, EventQueue};
+use crate::time::SimTime;
+
+/// Aggregate process statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessStats {
+    /// Processes spawned.
+    pub spawned: u64,
+    /// Processes that returned [`Action::Done`].
+    pub completed: u64,
+    /// Resume calls delivered.
+    pub resumes: u64,
+}
+
+struct Slot {
+    proc: Box<dyn Process>,
+    /// Acquired lazily at the first resume, so context lifetime tracks
+    /// *simulated* concurrency, not spawn-registration order.
+    ctx: Option<ContextHandle>,
+}
+
+/// The internal model driving processes with resume events.
+struct ProcModel {
+    slots: Vec<Option<Slot>>,
+    free_slots: Vec<usize>,
+    pool: ContextPool,
+    stats: ProcessStats,
+}
+
+/// Engine event: resume the process in a slot. Public only because it
+/// appears in [`ProcessEngine`]'s queue-type parameter; not constructible
+/// outside this module.
+#[derive(Debug, Clone, Copy)]
+pub struct Resume {
+    slot: usize,
+    pid: u64,
+}
+
+impl ProcModel {
+    fn spawn(&mut self, proc: Box<dyn Process>, _pid: u64) -> usize {
+        let slot = Slot { proc, ctx: None };
+        self.stats.spawned += 1;
+        match self.free_slots.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i].is_none());
+                self.slots[i] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        }
+    }
+}
+
+impl Model for ProcModel {
+    type Event = Resume;
+
+    fn handle(&mut self, ev: Resume, ctx: &mut Ctx<'_, Resume>) {
+        if self.slots[ev.slot].is_none() {
+            return; // process finished before a stale resume arrived
+        }
+        // first resume binds an execution context per the mapping scheme
+        if self.slots[ev.slot].as_ref().is_some_and(|s| s.ctx.is_none()) {
+            let handle = self.pool.acquire();
+            self.slots[ev.slot].as_mut().expect("slot vanished").ctx = Some(handle);
+        }
+        let slot = self.slots[ev.slot].as_mut().expect("slot vanished");
+        self.stats.resumes += 1;
+        self.pool.switch(slot.ctx.expect("context bound above"));
+        match slot.proc.resume(ctx.now()) {
+            Action::Hold(dt) => {
+                assert!(dt >= 0.0 && dt.is_finite(), "invalid hold {dt}");
+                ctx.schedule_in(dt, ev);
+            }
+            Action::Done => {
+                let slot = self.slots[ev.slot].take().expect("slot vanished");
+                self.pool.release(slot.ctx.expect("context bound above"));
+                self.free_slots.push(ev.slot);
+                self.stats.completed += 1;
+                let _ = ev.pid;
+            }
+        }
+    }
+}
+
+/// Process-oriented simulation engine ("active objects").
+///
+/// ```
+/// use lsds_core::process::{ProcessEngine, MappingScheme, Action};
+/// use lsds_core::SimTime;
+///
+/// let mut sim = ProcessEngine::new(MappingScheme::Pooled);
+/// // a three-phase job: compute 2s, compute 3s, finish
+/// for _ in 0..10 {
+///     let mut phase = 0;
+///     sim.spawn_at(SimTime::ZERO, move |_now| {
+///         phase += 1;
+///         match phase {
+///             1 => Action::Hold(2.0),
+///             2 => Action::Hold(3.0),
+///             _ => Action::Done,
+///         }
+///     });
+/// }
+/// sim.run_until(SimTime::new(100.0));
+/// assert_eq!(sim.stats().completed, 10);
+/// ```
+pub struct ProcessEngine<Q: EventQueue<Resume> = BinaryHeapQueue<Resume>> {
+    inner: EventDriven<ProcModel, Q>,
+    next_pid: u64,
+}
+
+impl ProcessEngine<BinaryHeapQueue<Resume>> {
+    /// Creates a process engine with the given job→context mapping scheme.
+    pub fn new(scheme: MappingScheme) -> Self {
+        ProcessEngine {
+            inner: EventDriven::new(ProcModel {
+                slots: Vec::new(),
+                free_slots: Vec::new(),
+                pool: ContextPool::new(scheme),
+                stats: ProcessStats::default(),
+            }),
+            next_pid: 0,
+        }
+    }
+}
+
+impl<Q: EventQueue<Resume>> ProcessEngine<Q> {
+    /// Spawns a process whose first `resume` happens at time `at`.
+    pub fn spawn_at(&mut self, at: SimTime, proc: impl Process + 'static) -> ProcessId {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let slot = self.inner.model_mut().spawn(Box::new(proc), pid);
+        self.inner.schedule(at, Resume { slot, pid });
+        ProcessId(pid)
+    }
+
+    /// Runs until all processes finish or `t_end` is reached.
+    pub fn run_until(&mut self, t_end: SimTime) -> RunStats {
+        self.inner.run_until(t_end)
+    }
+
+    /// Runs until all processes finish.
+    pub fn run(&mut self) -> RunStats {
+        self.inner.run()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    /// Process counters.
+    pub fn stats(&self) -> ProcessStats {
+        self.inner.model().stats
+    }
+
+    /// Context-pool counters (allocations, reuses, peak live).
+    pub fn context_stats(&self) -> ContextStats {
+        self.inner.model().pool.stats()
+    }
+
+    /// Processes currently alive.
+    pub fn live(&self) -> usize {
+        self.inner.model().slots.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n_phase_job(phases: u32, hold: f64) -> impl Process {
+        let mut left = phases;
+        move |_now: SimTime| {
+            if left == 0 {
+                Action::Done
+            } else {
+                left -= 1;
+                Action::Hold(hold)
+            }
+        }
+    }
+
+    #[test]
+    fn completes_all_jobs() {
+        let mut sim = ProcessEngine::new(MappingScheme::Pooled);
+        for i in 0..100 {
+            sim.spawn_at(SimTime::new(i as f64 * 0.1), n_phase_job(3, 1.0));
+        }
+        sim.run();
+        assert_eq!(sim.stats().spawned, 100);
+        assert_eq!(sim.stats().completed, 100);
+        // each job resumes 4 times: 3 holds + 1 done
+        assert_eq!(sim.stats().resumes, 400);
+        assert_eq!(sim.live(), 0);
+    }
+
+    #[test]
+    fn finish_time_is_sum_of_holds() {
+        let mut sim = ProcessEngine::new(MappingScheme::PerJob);
+        sim.spawn_at(SimTime::new(2.0), n_phase_job(4, 1.5));
+        let stats = sim.run();
+        assert!((stats.end_time.seconds() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut sim = ProcessEngine::new(MappingScheme::Pooled);
+        // sequential jobs: at most 1 alive at a time
+        for i in 0..50 {
+            sim.spawn_at(SimTime::new(i as f64 * 10.0), n_phase_job(2, 1.0));
+        }
+        sim.run();
+        assert_eq!(sim.context_stats().peak_live, 1);
+        assert_eq!(sim.context_stats().allocations, 1);
+    }
+
+    #[test]
+    fn per_job_allocates_per_job() {
+        let mut sim = ProcessEngine::new(MappingScheme::PerJob);
+        for i in 0..50 {
+            sim.spawn_at(SimTime::new(i as f64 * 10.0), n_phase_job(2, 1.0));
+        }
+        sim.run();
+        assert_eq!(sim.context_stats().allocations, 50);
+    }
+
+    #[test]
+    fn batched_bounds_contexts_under_concurrency() {
+        let mut sim = ProcessEngine::new(MappingScheme::Batched {
+            jobs_per_context: 10,
+        });
+        for _ in 0..100 {
+            sim.spawn_at(SimTime::ZERO, n_phase_job(5, 1.0));
+        }
+        sim.run();
+        assert_eq!(sim.context_stats().allocations, 10);
+    }
+
+    #[test]
+    fn run_until_leaves_processes_live() {
+        let mut sim = ProcessEngine::new(MappingScheme::Pooled);
+        sim.spawn_at(SimTime::ZERO, n_phase_job(100, 1.0));
+        sim.run_until(SimTime::new(10.5));
+        assert_eq!(sim.stats().completed, 0);
+        assert_eq!(sim.live(), 1);
+        sim.run();
+        assert_eq!(sim.stats().completed, 1);
+    }
+
+    #[test]
+    fn closure_process_trait_impl() {
+        let mut sim = ProcessEngine::new(MappingScheme::Pooled);
+        let mut ticks = 0u32;
+        sim.spawn_at(SimTime::ZERO, move |_| {
+            ticks += 1;
+            if ticks > 2 {
+                Action::Done
+            } else {
+                Action::Hold(0.5)
+            }
+        });
+        let stats = sim.run();
+        assert!((stats.end_time.seconds() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! `O(log n)` binary-heap event list — the textbook default structure.
+
+use super::EventQueue;
+use crate::event::ScheduledEvent;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Entry wrapper ordering the heap by `(time, seq)` ascending.
+struct Entry<E>(ScheduledEvent<E>);
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.key().cmp(&other.0.key())
+    }
+}
+
+/// Event list backed by `std::collections::BinaryHeap`.
+///
+/// Insert and pop are `O(log n)`; this is the baseline the amortized-`O(1)`
+/// structures are compared against in experiment E2.
+pub struct BinaryHeapQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+}
+
+impl<E> BinaryHeapQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        BinaryHeapQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Creates an empty queue with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BinaryHeapQueue {
+            heap: BinaryHeap::with_capacity(cap),
+        }
+    }
+}
+
+impl<E> Default for BinaryHeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> for BinaryHeapQueue<E> {
+    fn insert(&mut self, ev: ScheduledEvent<E>) {
+        self.heap.push(Reverse(Entry(ev)));
+    }
+
+    fn pop_min(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop().map(|Reverse(Entry(ev))| ev)
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(Entry(ev))| ev.time)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "binary-heap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::conformance;
+    use super::*;
+
+    #[test]
+    fn fifo_same_time() {
+        conformance::fifo_within_same_time(BinaryHeapQueue::new());
+    }
+
+    #[test]
+    fn ordered() {
+        conformance::ordered_output(BinaryHeapQueue::new(), 5000, 1);
+    }
+
+    #[test]
+    fn hold() {
+        conformance::interleaved_hold_model(BinaryHeapQueue::new(), 2);
+    }
+
+    #[test]
+    fn peek() {
+        conformance::peek_agrees_with_pop(BinaryHeapQueue::new(), 3);
+    }
+
+    #[test]
+    fn empty() {
+        conformance::empty_behaviour(BinaryHeapQueue::<u32>::new());
+    }
+
+    #[test]
+    fn clustered() {
+        conformance::clustered_times(BinaryHeapQueue::new(), 4);
+    }
+}

@@ -1,0 +1,303 @@
+//! Calendar queue (R. Brown, 1988) — amortized `O(1)` event list.
+//!
+//! Events are hashed by due time into an array of day "buckets" spanning one
+//! "year"; dequeue walks the calendar from the current day, popping events
+//! whose time falls inside the current year. The bucket count and width
+//! adapt to the queue size and event-time density, giving amortized `O(1)`
+//! insert/pop on well-behaved workloads — the `O(1)` structure the paper
+//! contrasts with `O(log n)` heaps (§3). Skewed event-time distributions
+//! degrade it, which is exactly the "they all tend to behave different
+//! depending on various parameters" caveat experiment E2 demonstrates.
+
+use super::EventQueue;
+use crate::event::ScheduledEvent;
+use crate::time::SimTime;
+
+/// Self-resizing calendar queue.
+pub struct CalendarQueue<E> {
+    /// One sorted `Vec` per day; length always a power of two.
+    buckets: Vec<Vec<ScheduledEvent<E>>>,
+    /// Width of one day in simulated seconds.
+    width: f64,
+    /// Index of the day currently being dequeued.
+    cursor: usize,
+    /// Upper time bound of the cursor's day within the current year.
+    bucket_top: f64,
+    /// Priority of the last dequeued event (dequeue lower bound).
+    last_prio: f64,
+    /// Total number of pending events.
+    size: usize,
+}
+
+const INIT_BUCKETS: usize = 2;
+const INIT_WIDTH: f64 = 1.0;
+/// Resize sample size used to re-estimate bucket width (Brown's heuristic).
+const SAMPLE: usize = 25;
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty calendar queue.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..INIT_BUCKETS).map(|_| Vec::new()).collect(),
+            width: INIT_WIDTH,
+            cursor: 0,
+            bucket_top: INIT_WIDTH,
+            last_prio: 0.0,
+            size: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, t: f64) -> usize {
+        ((t / self.width) as u64 % self.buckets.len() as u64) as usize
+    }
+
+    /// Diagnostic: (nbuckets, width, max bucket len, nonempty buckets).
+    pub fn debug_shape(&self) -> (usize, f64, usize, usize) {
+        let maxb = self.buckets.iter().map(|b| b.len()).max().unwrap_or(0);
+        let ne = self.buckets.iter().filter(|b| !b.is_empty()).count();
+        (self.buckets.len(), self.width, maxb, ne)
+    }
+
+    /// Points the dequeue cursor at the day containing priority `t`.
+    fn seek(&mut self, t: f64) {
+        let day = (t / self.width) as u64;
+        self.cursor = (day % self.buckets.len() as u64) as usize;
+        self.bucket_top = (day + 1) as f64 * self.width;
+        self.last_prio = t;
+    }
+
+    /// Re-estimates the day width from a sample of the earliest events.
+    fn estimate_width(&mut self) -> f64 {
+        if self.size < 2 {
+            return INIT_WIDTH;
+        }
+        // Collect the SAMPLE earliest event times: buckets are sorted, so
+        // the union of each bucket's first SAMPLE entries contains the
+        // global SAMPLE minima exactly. (Sampling fewer per bucket is a
+        // trap: a transiently too-wide calendar concentrates events in a
+        // handful of buckets, a sparse head sample then overestimates the
+        // gaps, and the oversized width becomes self-reinforcing.)
+        let mut times: Vec<f64> = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.iter().take(SAMPLE).map(|ev| ev.time.seconds()))
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times.truncate(SAMPLE);
+        if times.len() < 2 {
+            return self.width;
+        }
+        let span = times[times.len() - 1] - times[0];
+        let avg_gap = span / (times.len() - 1) as f64;
+        if avg_gap <= 0.0 || !avg_gap.is_finite() {
+            self.width
+        } else {
+            3.0 * avg_gap
+        }
+    }
+
+    fn resize(&mut self, new_len: usize) {
+        let new_width = self.estimate_width();
+        let old = std::mem::take(&mut self.buckets);
+        self.width = new_width;
+        self.buckets = (0..new_len).map(|_| Vec::new()).collect();
+        let mut min_key: Option<(SimTime, u64)> = None;
+        for b in old {
+            for ev in b {
+                if min_key.is_none_or(|k| ev.key() < k) {
+                    min_key = Some(ev.key());
+                }
+                let i = self.bucket_of(ev.time.seconds());
+                insert_sorted(&mut self.buckets[i], ev);
+            }
+        }
+        if let Some((t, _)) = min_key {
+            self.seek(t.seconds());
+        }
+    }
+
+    /// Locates the globally minimal event (used when a full-year scan finds
+    /// nothing in the current year — the "direct search" of Brown's paper).
+    fn direct_search_min(&self) -> Option<(SimTime, u64)> {
+        self.buckets
+            .iter()
+            .filter_map(|b| b.first().map(|ev| ev.key()))
+            .min()
+    }
+}
+
+fn insert_sorted<E>(bucket: &mut Vec<ScheduledEvent<E>>, ev: ScheduledEvent<E>) {
+    let pos = bucket.partition_point(|x| x.key() <= ev.key());
+    bucket.insert(pos, ev);
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> for CalendarQueue<E> {
+    fn insert(&mut self, ev: ScheduledEvent<E>) {
+        let t = ev.time.seconds();
+        let i = self.bucket_of(t);
+        insert_sorted(&mut self.buckets[i], ev);
+        self.size += 1;
+        if t < self.last_prio {
+            // earlier than the dequeue point: rewind the cursor
+            self.seek(t);
+        }
+        if self.size > 2 * self.buckets.len() {
+            let n = self.buckets.len() * 2;
+            self.resize(n);
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<ScheduledEvent<E>> {
+        if self.size == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        for _ in 0..n {
+            let bucket = &mut self.buckets[self.cursor];
+            if let Some(first) = bucket.first() {
+                if first.time.seconds() < self.bucket_top {
+                    let ev = bucket.remove(0);
+                    self.last_prio = ev.time.seconds();
+                    self.size -= 1;
+                    if self.size > 0 && self.size < self.buckets.len() / 2 && self.buckets.len() > INIT_BUCKETS
+                    {
+                        let n = (self.buckets.len() / 2).max(INIT_BUCKETS);
+                        self.resize(n);
+                    }
+                    return Some(ev);
+                }
+            }
+            self.cursor = (self.cursor + 1) % n;
+            self.bucket_top += self.width;
+        }
+        // Nothing due this year: jump straight to the global minimum.
+        let (t, _) = self.direct_search_min().expect("size > 0 but no events");
+        self.seek(t.seconds());
+        // The global minimum has time `t`, and every event with time `t`
+        // hashes to the cursor's bucket, whose head is its `(time, seq)`
+        // minimum — so the head of the cursor bucket is the global minimum.
+        let bucket = &mut self.buckets[self.cursor];
+        debug_assert_eq!(bucket.first().map(|ev| ev.time), Some(t));
+        let ev = bucket.remove(0);
+        self.last_prio = ev.time.seconds();
+        self.size -= 1;
+        Some(ev)
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        if self.size == 0 {
+            return None;
+        }
+        // Fast path: earliest event in the cursor's day of this year.
+        let bucket = &self.buckets[self.cursor];
+        if let Some(first) = bucket.first() {
+            if first.time.seconds() < self.bucket_top {
+                return Some(first.time);
+            }
+        }
+        self.direct_search_min().map(|(t, _)| t)
+    }
+
+    fn len(&self) -> usize {
+        self.size
+    }
+
+    fn name(&self) -> &'static str {
+        "calendar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::conformance;
+    use super::*;
+    use lsds_stats::SimRng;
+
+    #[test]
+    fn fifo_same_time() {
+        conformance::fifo_within_same_time(CalendarQueue::new());
+    }
+
+    #[test]
+    fn ordered() {
+        conformance::ordered_output(CalendarQueue::new(), 5000, 21);
+    }
+
+    #[test]
+    fn hold() {
+        conformance::interleaved_hold_model(CalendarQueue::new(), 22);
+    }
+
+    #[test]
+    fn peek() {
+        conformance::peek_agrees_with_pop(CalendarQueue::new(), 23);
+    }
+
+    #[test]
+    fn empty() {
+        conformance::empty_behaviour(CalendarQueue::<u32>::new());
+    }
+
+    #[test]
+    fn clustered() {
+        conformance::clustered_times(CalendarQueue::new(), 24);
+    }
+
+    #[test]
+    fn sparse_far_future_events() {
+        // events many "years" apart exercise the direct-search path
+        let mut q = CalendarQueue::new();
+        for (s, t) in [(0u64, 1.0e6), (1, 3.0), (2, 5.0e9), (3, 7.0)] {
+            q.insert(ScheduledEvent::new(SimTime::new(t), s, s));
+        }
+        assert_eq!(q.pop_min().unwrap().event, 1);
+        assert_eq!(q.pop_min().unwrap().event, 3);
+        assert_eq!(q.pop_min().unwrap().event, 0);
+        assert_eq!(q.pop_min().unwrap().event, 2);
+        assert!(q.pop_min().is_none());
+    }
+
+    #[test]
+    fn grows_and_shrinks() {
+        let mut q = CalendarQueue::new();
+        let mut rng = SimRng::new(7);
+        for s in 0..10_000u64 {
+            q.insert(ScheduledEvent::new(
+                SimTime::new(rng.next_f64() * 100.0),
+                s,
+                s,
+            ));
+        }
+        assert!(q.buckets.len() >= 1024, "should have grown");
+        let mut last = SimTime::ZERO;
+        for _ in 0..9_990 {
+            let ev = q.pop_min().unwrap();
+            assert!(ev.time >= last);
+            last = ev.time;
+        }
+        assert!(q.buckets.len() <= 64, "should have shrunk, {} buckets", q.buckets.len());
+        assert_eq!(q.len(), 10);
+    }
+
+    #[test]
+    fn insert_earlier_than_cursor() {
+        let mut q = CalendarQueue::new();
+        for s in 0..100u64 {
+            q.insert(ScheduledEvent::new(SimTime::new(50.0 + s as f64), s, s));
+        }
+        // consume some, then insert an earlier event
+        for _ in 0..10 {
+            q.pop_min();
+        }
+        q.insert(ScheduledEvent::new(SimTime::new(55.0), 1000, 999));
+        let ev = q.pop_min().unwrap();
+        assert_eq!(ev.event, 999);
+    }
+}

@@ -1,0 +1,310 @@
+//! Ladder queue (after Tang & Goh, 2005) — amortized `O(1)` event list.
+//!
+//! Three tiers: an unsorted far-future *top*, a ladder of *rungs* whose
+//! buckets progressively refine the near future, and a small sorted
+//! *bottom* that events are actually popped from. Buckets are only sorted
+//! when they become imminent, and oversized buckets are split into a finer
+//! rung instead of being sorted, which keeps per-event work constant
+//! without the calendar queue's sensitivity to a single global bucket
+//! width. This is the second `O(1)` structure raced in experiment E2.
+
+use super::EventQueue;
+use crate::event::ScheduledEvent;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Maximum events sorted directly into the bottom from one bucket.
+const THRES: usize = 48;
+/// Maximum ladder depth; deeper overflow buckets are sorted regardless.
+const MAX_RUNGS: usize = 8;
+
+struct Rung<E> {
+    /// Start time of the rung's coverage.
+    start: f64,
+    /// Width of each bucket.
+    width: f64,
+    /// Buckets; unsorted until transferred.
+    buckets: Vec<Vec<ScheduledEvent<E>>>,
+    /// Index of the next bucket to consume.
+    cur: usize,
+    /// Events remaining in this rung.
+    count: usize,
+}
+
+impl<E> Rung<E> {
+    fn from_events(events: Vec<ScheduledEvent<E>>) -> Self {
+        debug_assert!(!events.is_empty());
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for ev in &events {
+            let t = ev.time.seconds();
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        let n = events.len();
+        let width = if hi > lo {
+            (hi - lo) / n as f64
+        } else {
+            1.0
+        };
+        // +1 so hi itself lands inside the last bucket
+        let nb = n + 1;
+        let mut rung = Rung {
+            start: lo,
+            width,
+            buckets: (0..nb).map(|_| Vec::new()).collect(),
+            cur: 0,
+            count: 0,
+        };
+        for ev in events {
+            rung.push(ev);
+        }
+        rung
+    }
+
+    /// Time at which the not-yet-consumed region begins.
+    #[inline]
+    fn cur_start(&self) -> f64 {
+        self.start + self.cur as f64 * self.width
+    }
+
+    /// End of the rung's coverage.
+    #[inline]
+    fn end(&self) -> f64 {
+        self.start + self.buckets.len() as f64 * self.width
+    }
+
+    #[inline]
+    fn accepts(&self, t: f64) -> bool {
+        t >= self.cur_start() && t < self.end()
+    }
+
+    fn push(&mut self, ev: ScheduledEvent<E>) {
+        let t = ev.time.seconds();
+        // Clamp into the unconsumed range: `accepts` guarantees
+        // t >= cur_start up to floating-point rounding at the boundary.
+        let i = (((t - self.start) / self.width) as usize)
+            .clamp(self.cur, self.buckets.len() - 1);
+        self.buckets[i].push(ev);
+        self.count += 1;
+    }
+
+    /// Takes the next non-empty bucket, advancing the cursor past it.
+    fn take_next_bucket(&mut self) -> Option<Vec<ScheduledEvent<E>>> {
+        while self.cur < self.buckets.len() {
+            let i = self.cur;
+            self.cur += 1;
+            if !self.buckets[i].is_empty() {
+                let b = std::mem::take(&mut self.buckets[i]);
+                self.count -= b.len();
+                return Some(b);
+            }
+        }
+        None
+    }
+}
+
+/// Tiered event list: unsorted top, refining rungs, sorted bottom.
+pub struct LadderQueue<E> {
+    top: Vec<ScheduledEvent<E>>,
+    top_start: f64,
+    top_max: f64,
+    rungs: Vec<Rung<E>>,
+    bottom: VecDeque<ScheduledEvent<E>>,
+    size: usize,
+}
+
+impl<E> LadderQueue<E> {
+    /// Creates an empty ladder queue.
+    pub fn new() -> Self {
+        LadderQueue {
+            top: Vec::new(),
+            top_start: 0.0,
+            top_max: 0.0,
+            rungs: Vec::new(),
+            bottom: VecDeque::new(),
+            size: 0,
+        }
+    }
+
+    fn insert_bottom(&mut self, ev: ScheduledEvent<E>) {
+        let key = ev.key();
+        let mut idx = self.bottom.len();
+        while idx > 0 && self.bottom[idx - 1].key() > key {
+            idx -= 1;
+        }
+        self.bottom.insert(idx, ev);
+    }
+
+    /// Moves one bucket's worth of events into the bottom, spawning finer
+    /// rungs for oversized buckets. Returns false when truly empty.
+    fn refill_bottom(&mut self) -> bool {
+        loop {
+            if let Some(rung) = self.rungs.last_mut() {
+                match rung.take_next_bucket() {
+                    Some(bucket) => {
+                        if bucket.len() > THRES && self.rungs.len() < MAX_RUNGS {
+                            self.rungs.push(Rung::from_events(bucket));
+                            continue;
+                        }
+                        let mut bucket = bucket;
+                        bucket.sort_by_key(|a| a.key());
+                        debug_assert!(self.bottom.is_empty());
+                        self.bottom = bucket.into();
+                        return true;
+                    }
+                    None => {
+                        self.rungs.pop();
+                        continue;
+                    }
+                }
+            } else if !self.top.is_empty() {
+                let events = std::mem::take(&mut self.top);
+                self.top_start = self.top_max;
+                self.rungs.push(Rung::from_events(events));
+                continue;
+            } else {
+                return false;
+            }
+        }
+    }
+}
+
+impl<E> Default for LadderQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> for LadderQueue<E> {
+    fn insert(&mut self, ev: ScheduledEvent<E>) {
+        self.size += 1;
+        let t = ev.time.seconds();
+        if self.rungs.is_empty() && self.bottom.is_empty() {
+            // nothing structured yet: everything goes to top
+            self.top_max = self.top_max.max(t);
+            self.top.push(ev);
+            return;
+        }
+        if t >= self.top_start {
+            self.top_max = self.top_max.max(t);
+            self.top.push(ev);
+            return;
+        }
+        // deepest (finest, earliest-range) rung that can take it
+        for rung in self.rungs.iter_mut().rev() {
+            if rung.accepts(t) {
+                rung.push(ev);
+                return;
+            }
+        }
+        self.insert_bottom(ev);
+    }
+
+    fn pop_min(&mut self) -> Option<ScheduledEvent<E>> {
+        if self.bottom.is_empty() && !self.refill_bottom() {
+            return None;
+        }
+        self.size -= 1;
+        self.bottom.pop_front()
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        if self.bottom.is_empty() && !self.refill_bottom() {
+            return None;
+        }
+        self.bottom.front().map(|ev| ev.time)
+    }
+
+    fn len(&self) -> usize {
+        self.size
+    }
+
+    fn name(&self) -> &'static str {
+        "ladder"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::conformance;
+    use super::*;
+    use lsds_stats::SimRng;
+
+    #[test]
+    fn fifo_same_time() {
+        conformance::fifo_within_same_time(LadderQueue::new());
+    }
+
+    #[test]
+    fn ordered() {
+        conformance::ordered_output(LadderQueue::new(), 5000, 31);
+    }
+
+    #[test]
+    fn hold() {
+        conformance::interleaved_hold_model(LadderQueue::new(), 32);
+    }
+
+    #[test]
+    fn peek() {
+        conformance::peek_agrees_with_pop(LadderQueue::new(), 33);
+    }
+
+    #[test]
+    fn empty() {
+        conformance::empty_behaviour(LadderQueue::<u32>::new());
+    }
+
+    #[test]
+    fn clustered() {
+        conformance::clustered_times(LadderQueue::new(), 34);
+    }
+
+    #[test]
+    fn all_same_time_bucket() {
+        // degenerate single-time bucket must not split forever
+        let mut q = LadderQueue::new();
+        for s in 0..500u64 {
+            q.insert(ScheduledEvent::new(SimTime::new(42.0), s, s));
+        }
+        for s in 0..500u64 {
+            assert_eq!(q.pop_min().unwrap().event, s);
+        }
+        assert!(q.pop_min().is_none());
+    }
+
+    #[test]
+    fn interleaved_inserts_respect_order() {
+        let mut q = LadderQueue::new();
+        let mut rng = SimRng::new(35);
+        let mut seq = 0u64;
+        for _ in 0..2000 {
+            q.insert(ScheduledEvent::new(
+                SimTime::new(rng.next_f64() * 100.0),
+                seq,
+                seq,
+            ));
+            seq += 1;
+        }
+        // drain half, interleaving new inserts at or after "now"
+        let mut now = SimTime::ZERO;
+        for _ in 0..1000 {
+            let ev = q.pop_min().unwrap();
+            assert!(ev.time >= now);
+            now = ev.time;
+            q.insert(ScheduledEvent::new(
+                now.after(rng.next_f64() * 50.0),
+                seq,
+                seq,
+            ));
+            seq += 1;
+        }
+        // drain rest, still ordered
+        let mut last = now;
+        while let Some(ev) = q.pop_min() {
+            assert!(ev.time >= last);
+            last = ev.time;
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Pending-event-set ("event list") structures.
+//!
+//! The paper singles the event list out as a first-order engine design
+//! choice: "a system using an O(1) structure for the event list will behave
+//! better than another one using an O(log n) queuing structure … Finding the
+//! best suitable queuing structure to be used for the simulation of large
+//! scale systems still represents a hot subject today. There is not a single
+//! unanimity accepted queuing structure that performs best when modeling
+//! distributed systems, they all tend to behave different depending on
+//! various parameters." (§3)
+//!
+//! Four structures are provided behind one trait so any engine can swap
+//! them (and experiment E2 races them against each other):
+//!
+//! | structure | insert | pop-min | notes |
+//! |---|---|---|---|
+//! | [`BinaryHeapQueue`] | O(log n) | O(log n) | the textbook default |
+//! | [`SortedListQueue`] | O(n) | O(1) | fine for tiny models, collapses at scale |
+//! | [`CalendarQueue`] | O(1) am. | O(1) am. | Brown 1988; self-resizing buckets |
+//! | [`LadderQueue`] | O(1) am. | O(1) am. | Tang/Goh-style tiered buckets |
+//!
+//! All four deliver events in identical `(time, seq)` order, so swapping the
+//! structure never changes simulation *results*, only simulator performance
+//! — a property the integration tests assert.
+
+mod binary_heap;
+mod calendar;
+mod ladder;
+mod sorted_list;
+
+pub use binary_heap::BinaryHeapQueue;
+pub use calendar::CalendarQueue;
+pub use ladder::LadderQueue;
+pub use sorted_list::SortedListQueue;
+
+use crate::event::ScheduledEvent;
+use crate::time::SimTime;
+
+/// A priority queue of [`ScheduledEvent`]s ordered by `(time, seq)`.
+pub trait EventQueue<E> {
+    /// Inserts an event.
+    fn insert(&mut self, ev: ScheduledEvent<E>);
+    /// Removes and returns the earliest event, if any.
+    fn pop_min(&mut self) -> Option<ScheduledEvent<E>>;
+    /// Due time of the earliest event, if any.
+    fn peek_time(&mut self) -> Option<SimTime>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// True when no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Human-readable structure name (for experiment output).
+    fn name(&self) -> &'static str;
+}
+
+/// Selector for the event-list structure, usable in experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// `O(log n)` binary heap.
+    BinaryHeap,
+    /// `O(n)`-insert sorted list.
+    SortedList,
+    /// Amortized `O(1)` calendar queue.
+    Calendar,
+    /// Amortized `O(1)` ladder queue.
+    Ladder,
+}
+
+impl QueueKind {
+    /// All selectable kinds, for parameter sweeps.
+    pub const ALL: [QueueKind; 4] = [
+        QueueKind::BinaryHeap,
+        QueueKind::SortedList,
+        QueueKind::Calendar,
+        QueueKind::Ladder,
+    ];
+
+    /// Builds an empty queue of this kind.
+    pub fn build<E: 'static>(self) -> Box<dyn EventQueue<E>> {
+        match self {
+            QueueKind::BinaryHeap => Box::new(BinaryHeapQueue::new()),
+            QueueKind::SortedList => Box::new(SortedListQueue::new()),
+            QueueKind::Calendar => Box::new(CalendarQueue::new()),
+            QueueKind::Ladder => Box::new(LadderQueue::new()),
+        }
+    }
+
+    /// Structure name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueKind::BinaryHeap => "binary-heap",
+            QueueKind::SortedList => "sorted-list",
+            QueueKind::Calendar => "calendar",
+            QueueKind::Ladder => "ladder",
+        }
+    }
+}
+
+impl<E> EventQueue<E> for Box<dyn EventQueue<E>> {
+    fn insert(&mut self, ev: ScheduledEvent<E>) {
+        (**self).insert(ev)
+    }
+    fn pop_min(&mut self) -> Option<ScheduledEvent<E>> {
+        (**self).pop_min()
+    }
+    fn peek_time(&mut self) -> Option<SimTime> {
+        (**self).peek_time()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! Shared conformance suite run against every queue implementation.
+    use super::*;
+    use lsds_stats::SimRng;
+
+    pub fn fifo_within_same_time<Q: EventQueue<u32>>(mut q: Q) {
+        let t = SimTime::new(1.0);
+        for i in 0..100u32 {
+            q.insert(ScheduledEvent::new(t, i as u64, i));
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop_min().unwrap().event, i, "{}", q.name());
+        }
+    }
+
+    pub fn ordered_output<Q: EventQueue<u64>>(mut q: Q, n: usize, seed: u64) {
+        let mut rng = SimRng::new(seed);
+        for s in 0..n as u64 {
+            let t = rng.next_f64() * 1000.0;
+            q.insert(ScheduledEvent::new(SimTime::new(t), s, s));
+        }
+        assert_eq!(q.len(), n);
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut popped = 0;
+        let mut first = true;
+        while let Some(ev) = q.pop_min() {
+            if !first {
+                assert!(
+                    ev.key() >= last,
+                    "{}: out of order {:?} after {:?}",
+                    q.name(),
+                    ev.key(),
+                    last
+                );
+            }
+            first = false;
+            last = ev.key();
+            popped += 1;
+        }
+        assert_eq!(popped, n);
+        assert!(q.is_empty());
+    }
+
+    pub fn interleaved_hold_model<Q: EventQueue<u64>>(mut q: Q, seed: u64) {
+        // classic hold: pop one, insert one slightly in the future
+        let mut rng = SimRng::new(seed);
+        let mut seq = 0u64;
+        for _ in 0..500 {
+            q.insert(ScheduledEvent::new(
+                SimTime::new(rng.next_f64() * 10.0),
+                seq,
+                seq,
+            ));
+            seq += 1;
+        }
+        let mut now = SimTime::ZERO;
+        for _ in 0..20_000 {
+            let ev = q.pop_min().expect("queue drained unexpectedly");
+            assert!(ev.time >= now, "{}: clock went backwards", q.name());
+            now = ev.time;
+            q.insert(ScheduledEvent::new(
+                now.after(rng.next_f64() * 5.0),
+                seq,
+                seq,
+            ));
+            seq += 1;
+        }
+        assert_eq!(q.len(), 500);
+    }
+
+    pub fn peek_agrees_with_pop<Q: EventQueue<u32>>(mut q: Q, seed: u64) {
+        let mut rng = SimRng::new(seed);
+        for s in 0..1000u64 {
+            q.insert(ScheduledEvent::new(
+                SimTime::new(rng.next_f64() * 50.0),
+                s,
+                s as u32,
+            ));
+        }
+        while let Some(t) = q.peek_time() {
+            let ev = q.pop_min().unwrap();
+            assert_eq!(ev.time, t, "{}", q.name());
+        }
+    }
+
+    pub fn empty_behaviour<Q: EventQueue<u32>>(mut q: Q) {
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.peek_time().is_none());
+        assert!(q.pop_min().is_none());
+        q.insert(ScheduledEvent::new(SimTime::new(3.0), 0, 7));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::new(3.0)));
+        assert_eq!(q.pop_min().unwrap().event, 7);
+        assert!(q.pop_min().is_none());
+    }
+
+    pub fn clustered_times<Q: EventQueue<u64>>(mut q: Q, seed: u64) {
+        // bimodal: half the events in a tight cluster, half spread far out —
+        // the adversarial profile for calendar-style bucket structures.
+        let mut rng = SimRng::new(seed);
+        let n = 4000u64;
+        for s in 0..n {
+            let t = if s % 2 == 0 {
+                100.0 + rng.next_f64() * 0.001
+            } else {
+                rng.next_f64() * 1.0e6
+            };
+            q.insert(ScheduledEvent::new(SimTime::new(t), s, s));
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some(ev) = q.pop_min() {
+            assert!(ev.time >= last, "{}", q.name());
+            last = ev.time;
+            count += 1;
+        }
+        assert_eq!(count, n);
+    }
+}

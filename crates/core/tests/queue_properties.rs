@@ -1,0 +1,129 @@
+//! Property-based conformance of every event-list structure against a
+//! reference model: arbitrary interleavings of inserts and pops must
+//! behave exactly like a sorted multimap keyed by `(time, seq)`.
+
+use lsds_core::{
+    BinaryHeapQueue, CalendarQueue, EventQueue, LadderQueue, ScheduledEvent, SimTime,
+    SortedListQueue,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Operations driven against both the queue under test and the reference.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert an event with the given non-negative time offset.
+    Insert(f64),
+    /// Pop the minimum.
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0.0..1.0e4f64).prop_map(Op::Insert),
+        2 => Just(Op::Pop),
+    ]
+}
+
+/// Drives the op sequence with monotone validity: like a real engine, an
+/// insert after a pop never schedules before the last popped time.
+fn check_against_reference<Q: EventQueue<u64>>(mut q: Q, ops: &[Op]) {
+    let mut reference: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut seq = 0u64;
+    let mut clock = 0.0f64;
+    for op in ops {
+        match op {
+            Op::Insert(dt) => {
+                let t = clock + dt;
+                q.insert(ScheduledEvent::new(SimTime::new(t), seq, seq));
+                reference.insert((t.to_bits(), seq), seq);
+                seq += 1;
+            }
+            Op::Pop => {
+                let expected = reference.keys().next().copied();
+                match (q.pop_min(), expected) {
+                    (None, None) => {}
+                    (Some(got), Some(key)) => {
+                        let want = reference.remove(&key).expect("key exists");
+                        assert_eq!(
+                            got.event,
+                            want,
+                            "{}: popped wrong event",
+                            q.name()
+                        );
+                        let t = f64::from_bits(key.0);
+                        assert_eq!(got.time, SimTime::new(t), "{}", q.name());
+                        assert!(t >= clock, "{}: time went backwards", q.name());
+                        clock = t;
+                    }
+                    (got, want) => panic!(
+                        "{}: emptiness mismatch: got {:?} want {:?}",
+                        q.name(),
+                        got.map(|e| e.event),
+                        want
+                    ),
+                }
+            }
+        }
+        assert_eq!(q.len(), reference.len(), "{}: len mismatch", q.name());
+        assert_eq!(q.is_empty(), reference.is_empty(), "{}", q.name());
+    }
+    // drain and verify full order
+    let mut last = clock;
+    while let Some(ev) = q.pop_min() {
+        let key = reference.keys().next().copied().expect("reference empty early");
+        assert_eq!(ev.event, reference.remove(&key).expect("key"));
+        assert!(ev.time.seconds() >= last, "{}", q.name());
+        last = ev.time.seconds();
+    }
+    assert!(reference.is_empty(), "{}: queue drained early", q.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_heap_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        check_against_reference(BinaryHeapQueue::new(), &ops);
+    }
+
+    #[test]
+    fn sorted_list_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        check_against_reference(SortedListQueue::new(), &ops);
+    }
+
+    #[test]
+    fn calendar_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        check_against_reference(CalendarQueue::new(), &ops);
+    }
+
+    #[test]
+    fn ladder_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        check_against_reference(LadderQueue::new(), &ops);
+    }
+
+    /// All four structures drain identically for any batch of events.
+    #[test]
+    fn structures_agree_pairwise(times in proptest::collection::vec(0.0..1.0e6f64, 1..200)) {
+        let mut heap = BinaryHeapQueue::new();
+        let mut list = SortedListQueue::new();
+        let mut cal = CalendarQueue::new();
+        let mut lad = LadderQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            let ev = ScheduledEvent::new(SimTime::new(t), i as u64, i as u64);
+            heap.insert(ev.clone());
+            list.insert(ev.clone());
+            cal.insert(ev.clone());
+            lad.insert(ev);
+        }
+        for _ in 0..times.len() {
+            let a = heap.pop_min().unwrap().event;
+            let b = list.pop_min().unwrap().event;
+            let c = cal.pop_min().unwrap().event;
+            let d = lad.pop_min().unwrap().event;
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(b, c);
+            prop_assert_eq!(c, d);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Users/Activities: stochastic job-stream generators.
+//!
+//! "Another set of components model the behavior of the applications and
+//! their interaction with users. Such components are the 'Users' or
+//! 'Activity' objects which are used to generate data processing jobs
+//! based on different scenarios." (§4, MONARC 2)
+
+use crate::job::{JobId, JobSpec};
+use crate::replication::FileId;
+use lsds_core::Schedule;
+#[cfg(test)]
+use lsds_core::SimTime;
+use lsds_stats::{Dist, SimRng, ZipfTable};
+
+/// Events of an activity generator.
+#[derive(Debug, Clone, Copy)]
+pub enum ActivityEvent {
+    /// Next job submission.
+    NextJob,
+}
+
+/// A job-generating activity owned by one user.
+pub struct Activity {
+    /// Submitting user id.
+    pub owner: u32,
+    /// Inter-submission time distribution.
+    pub interarrival: Dist,
+    /// CPU work distribution (reference-core seconds).
+    pub work: Dist,
+    /// Input files per job.
+    pub inputs_per_job: u32,
+    /// Popularity skew over the file catalog (rank 0 = hottest file).
+    pub popularity: Option<ZipfTable>,
+    /// Output bytes distribution.
+    pub output_bytes: Dist,
+    /// Deadline factor: deadline = factor × nominal work (None = no
+    /// deadline).
+    pub deadline_factor: Option<f64>,
+    /// Budget factor: budget = factor × work (None = no budget).
+    pub budget_factor: Option<f64>,
+    /// Stop after this many jobs (None = unbounded).
+    pub limit: Option<u64>,
+    rng: SimRng,
+    generated: u64,
+}
+
+impl Activity {
+    /// A compute-only activity: Poisson submissions of jobs with the
+    /// given work distribution.
+    pub fn compute(owner: u32, mean_interarrival: f64, work: Dist, rng: SimRng) -> Self {
+        Activity {
+            owner,
+            interarrival: Dist::exp_mean(mean_interarrival),
+            work,
+            inputs_per_job: 0,
+            popularity: None,
+            output_bytes: Dist::constant(0.0),
+            deadline_factor: None,
+            budget_factor: None,
+            limit: None,
+            rng,
+            generated: 0,
+        }
+    }
+
+    /// A data-analysis activity: each job reads `inputs_per_job` files
+    /// chosen by Zipf popularity over a catalog of `catalog_size` files.
+    pub fn analysis(
+        owner: u32,
+        mean_interarrival: f64,
+        work: Dist,
+        inputs_per_job: u32,
+        catalog_size: usize,
+        zipf_s: f64,
+        rng: SimRng,
+    ) -> Self {
+        Activity {
+            owner,
+            interarrival: Dist::exp_mean(mean_interarrival),
+            work,
+            inputs_per_job,
+            popularity: Some(ZipfTable::new(catalog_size, zipf_s)),
+            output_bytes: Dist::constant(0.0),
+            deadline_factor: None,
+            budget_factor: None,
+            limit: None,
+            rng,
+            generated: 0,
+        }
+    }
+
+    /// Caps the number of generated jobs.
+    pub fn with_limit(mut self, limit: u64) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Attaches deadline/budget constraints (economy scheduling).
+    pub fn with_economy(mut self, deadline_factor: f64, budget_factor: f64) -> Self {
+        self.deadline_factor = Some(deadline_factor);
+        self.budget_factor = Some(budget_factor);
+        self
+    }
+
+    /// Jobs generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Schedules the first submission.
+    pub fn prime(&mut self, sched: &mut impl Schedule<ActivityEvent>) {
+        if self.limit == Some(0) {
+            return;
+        }
+        let dt = self.interarrival.sample(&mut self.rng);
+        sched.schedule_in(dt, ActivityEvent::NextJob);
+    }
+
+    /// Handles a submission tick: emits the job and schedules the next
+    /// one (unless the limit is reached).
+    pub fn handle(
+        &mut self,
+        _ev: ActivityEvent,
+        job_id: u64,
+        sched: &mut impl Schedule<ActivityEvent>,
+    ) -> JobSpec {
+        let now = sched.now();
+        let work = self.work.sample_at_least(&mut self.rng, 1e-9);
+        let inputs: Vec<FileId> = match &self.popularity {
+            Some(z) => {
+                let mut v = Vec::with_capacity(self.inputs_per_job as usize);
+                for _ in 0..self.inputs_per_job {
+                    v.push(FileId(z.sample(&mut self.rng) as u64));
+                }
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            None => Vec::new(),
+        };
+        let output_bytes = self.output_bytes.sample_at_least(&mut self.rng, 0.0);
+        let spec = JobSpec {
+            id: JobId(job_id),
+            owner: self.owner,
+            work,
+            inputs,
+            output_bytes,
+            submitted: now,
+            deadline: self.deadline_factor.map(|f| f * work),
+            budget: self.budget_factor.map(|f| f * work),
+        };
+        self.generated += 1;
+        if self.limit.is_none_or(|l| self.generated < l) {
+            let dt = self.interarrival.sample(&mut self.rng);
+            sched.schedule_in(dt, ActivityEvent::NextJob);
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Collect {
+        now: SimTime,
+        scheduled: Vec<SimTime>,
+    }
+    impl Schedule<ActivityEvent> for Collect {
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn schedule_at(&mut self, t: SimTime, _e: ActivityEvent) {
+            self.scheduled.push(t);
+        }
+    }
+
+    #[test]
+    fn generates_until_limit() {
+        let mut a = Activity::compute(0, 1.0, Dist::constant(5.0), SimRng::new(1)).with_limit(3);
+        let mut s = Collect {
+            now: SimTime::ZERO,
+            scheduled: vec![],
+        };
+        a.prime(&mut s);
+        assert_eq!(s.scheduled.len(), 1);
+        for id in 0..3 {
+            let job = a.handle(ActivityEvent::NextJob, id, &mut s);
+            assert_eq!(job.owner, 0);
+            assert_eq!(job.work, 5.0);
+        }
+        // after the third job no further tick was scheduled
+        assert_eq!(s.scheduled.len(), 3);
+        assert_eq!(a.generated(), 3);
+    }
+
+    #[test]
+    fn analysis_jobs_reference_catalog_files() {
+        let mut a = Activity::analysis(1, 1.0, Dist::constant(1.0), 3, 50, 1.0, SimRng::new(2));
+        let mut s = Collect {
+            now: SimTime::ZERO,
+            scheduled: vec![],
+        };
+        a.prime(&mut s);
+        let job = a.handle(ActivityEvent::NextJob, 0, &mut s);
+        assert!(!job.inputs.is_empty() && job.inputs.len() <= 3);
+        for f in &job.inputs {
+            assert!(f.0 < 50);
+        }
+        // sorted + deduped
+        assert!(job.inputs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn economy_fields_attached() {
+        let mut a = Activity::compute(0, 1.0, Dist::constant(10.0), SimRng::new(3))
+            .with_economy(3.0, 2.0);
+        let mut s = Collect {
+            now: SimTime::new(5.0),
+            scheduled: vec![],
+        };
+        a.prime(&mut s);
+        let job = a.handle(ActivityEvent::NextJob, 0, &mut s);
+        assert_eq!(job.deadline, Some(30.0));
+        assert_eq!(job.budget, Some(20.0));
+        assert_eq!(job.submitted, SimTime::new(5.0));
+    }
+
+    #[test]
+    fn popular_files_dominate() {
+        let mut a = Activity::analysis(0, 1.0, Dist::constant(1.0), 1, 100, 1.2, SimRng::new(4));
+        let mut s = Collect {
+            now: SimTime::ZERO,
+            scheduled: vec![],
+        };
+        a.prime(&mut s);
+        let mut rank0 = 0;
+        for id in 0..2000 {
+            let job = a.handle(ActivityEvent::NextJob, id, &mut s);
+            if job.inputs.first() == Some(&FileId(0)) {
+                rank0 += 1;
+            }
+        }
+        // rank 0 should be far above uniform (1%)
+        assert!(rank0 > 200, "rank0 drawn {rank0} times");
+    }
+}

@@ -1,0 +1,138 @@
+//! The MONARC-style data replication agent.
+//!
+//! The LHC study (Legrand 2005, cited in §5) evaluated "the role of using
+//! a data replication agent for the intelligent transferring of the
+//! produced data": instead of tier-1 centers pulling datasets on first
+//! use (stalling analysis jobs behind WAN transfers), an agent at tier-0
+//! subscribes the tier-1 centers to the production stream and ships each
+//! newly produced dataset immediately. Experiment E6 reproduces the
+//! with/without-agent comparison across T0→T1 link capacities.
+
+use super::FileId;
+use crate::site::SiteId;
+use std::collections::VecDeque;
+
+/// Subscription-based replication agent.
+///
+/// The agent itself is pure bookkeeping: the owning model asks it what to
+/// transfer and performs the transfers on its network. `max_in_flight`
+/// models the agent's bounded transfer concurrency per subscriber.
+#[derive(Debug, Clone)]
+pub struct ReplicationAgent {
+    subscribers: Vec<SiteId>,
+    /// Pending (file, destination) transfers not yet started.
+    backlog: VecDeque<(FileId, SiteId)>,
+    /// Transfers currently running per subscriber slot.
+    in_flight: usize,
+    max_in_flight: usize,
+    shipped: u64,
+}
+
+impl ReplicationAgent {
+    /// Creates an agent shipping to `subscribers`, at most `max_in_flight`
+    /// concurrent transfers.
+    pub fn new(subscribers: Vec<SiteId>, max_in_flight: usize) -> Self {
+        assert!(max_in_flight > 0);
+        ReplicationAgent {
+            subscribers,
+            backlog: VecDeque::new(),
+            in_flight: 0,
+            max_in_flight,
+            shipped: 0,
+        }
+    }
+
+    /// Subscribed destinations.
+    pub fn subscribers(&self) -> &[SiteId] {
+        &self.subscribers
+    }
+
+    /// Datasets fully shipped (one count per (file, destination) pair).
+    pub fn shipped(&self) -> u64 {
+        self.shipped
+    }
+
+    /// Transfers waiting for a slot.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Transfers currently running.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Announces a newly produced dataset: enqueues one transfer per
+    /// subscriber and returns the transfers that may start immediately.
+    pub fn on_produced(&mut self, file: FileId) -> Vec<(FileId, SiteId)> {
+        for &s in &self.subscribers {
+            self.backlog.push_back((file, s));
+        }
+        self.drain_slots()
+    }
+
+    /// Marks one transfer finished and returns transfers that may now
+    /// start.
+    pub fn on_transfer_done(&mut self) -> Vec<(FileId, SiteId)> {
+        assert!(self.in_flight > 0, "completion without transfer");
+        self.in_flight -= 1;
+        self.shipped += 1;
+        self.drain_slots()
+    }
+
+    fn drain_slots(&mut self) -> Vec<(FileId, SiteId)> {
+        let mut out = Vec::new();
+        while self.in_flight < self.max_in_flight {
+            match self.backlog.pop_front() {
+                Some(x) => {
+                    self.in_flight += 1;
+                    out.push(x);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_to_all_subscribers() {
+        let mut a = ReplicationAgent::new(vec![SiteId(1), SiteId(2), SiteId(3)], 10);
+        let started = a.on_produced(FileId(7));
+        assert_eq!(started.len(), 3);
+        assert_eq!(a.in_flight(), 3);
+        assert_eq!(a.backlog_len(), 0);
+    }
+
+    #[test]
+    fn bounded_concurrency() {
+        let mut a = ReplicationAgent::new(vec![SiteId(1), SiteId(2)], 1);
+        let s1 = a.on_produced(FileId(0));
+        assert_eq!(s1.len(), 1);
+        assert_eq!(a.backlog_len(), 1);
+        let s2 = a.on_produced(FileId(1));
+        assert!(s2.is_empty(), "slot still busy");
+        assert_eq!(a.backlog_len(), 3);
+        let s3 = a.on_transfer_done();
+        assert_eq!(s3.len(), 1);
+        assert_eq!(a.shipped(), 1);
+    }
+
+    #[test]
+    fn drains_backlog_in_fifo_order() {
+        let mut a = ReplicationAgent::new(vec![SiteId(1)], 1);
+        a.on_produced(FileId(0));
+        a.on_produced(FileId(1));
+        a.on_produced(FileId(2));
+        let next = a.on_transfer_done();
+        assert_eq!(next, vec![(FileId(1), SiteId(1))]);
+        let next = a.on_transfer_done();
+        assert_eq!(next, vec![(FileId(2), SiteId(1))]);
+        assert!(a.on_transfer_done().is_empty());
+        assert_eq!(a.shipped(), 3);
+    }
+}

@@ -1,0 +1,203 @@
+//! Data replication: catalog, pull/push strategies, and the MONARC-style
+//! replication agent.
+//!
+//! The paper's survey splits the surveyed tools exactly along these lines:
+//! OptorSim "allows for data replication but with a … 'pull' model" driven
+//! by replica optimization strategies, ChicagoSim uses "a 'push' model in
+//! which, when a site contains a popular data file, it will replicate it
+//! to remote sites", and the MONARC LHC study showed "the role of using a
+//! data replication agent for the intelligent transferring of the produced
+//! data" (§4–§5). All three live here and are raced in E6–E8.
+
+mod agent;
+mod push;
+
+pub use agent::ReplicationAgent;
+pub use push::PushTracker;
+
+use crate::site::SiteId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Identifier of a logical file (dataset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileId(pub u64);
+
+/// Replica management strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplicationPolicy {
+    /// Stream remote inputs every time; never create replicas.
+    None,
+    /// Pull: replicate on access, evict least-recently-used.
+    PullLru,
+    /// Pull: replicate on access, evict least-frequently-used.
+    PullLfu,
+    /// Pull: replicate only when the new file's access-frequency value
+    /// exceeds the victims' (OptorSim's economic model, simplified to
+    /// observed access counts as value estimates).
+    PullEconomic,
+    /// Push: the holding site replicates a file to its heaviest remote
+    /// consumer once remote accesses reach `threshold`.
+    Push {
+        /// Remote accesses required before a push.
+        threshold: u64,
+    },
+}
+
+impl ReplicationPolicy {
+    /// Display name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplicationPolicy::None => "none",
+            ReplicationPolicy::PullLru => "pull-lru",
+            ReplicationPolicy::PullLfu => "pull-lfu",
+            ReplicationPolicy::PullEconomic => "pull-economic",
+            ReplicationPolicy::Push { .. } => "push",
+        }
+    }
+
+    /// Whether this is a pull-family policy (replicate on access).
+    pub fn is_pull(&self) -> bool {
+        matches!(
+            self,
+            ReplicationPolicy::PullLru
+                | ReplicationPolicy::PullLfu
+                | ReplicationPolicy::PullEconomic
+        )
+    }
+}
+
+/// Global replica catalog: which sites hold which files.
+#[derive(Debug, Clone, Default)]
+pub struct FileCatalog {
+    sizes: Vec<f64>,
+    locations: Vec<BTreeSet<usize>>,
+}
+
+impl FileCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        FileCatalog::default()
+    }
+
+    /// Registers a new file of `size` bytes initially held at `origin`.
+    pub fn register(&mut self, size: f64, origin: SiteId) -> FileId {
+        assert!(size > 0.0, "bad file size");
+        self.sizes.push(size);
+        let mut set = BTreeSet::new();
+        set.insert(origin.0);
+        self.locations.push(set);
+        FileId(self.sizes.len() as u64 - 1)
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// File size in bytes.
+    pub fn size(&self, file: FileId) -> f64 {
+        self.sizes[file.0 as usize]
+    }
+
+    /// Sites currently holding a replica.
+    pub fn holders(&self, file: FileId) -> impl Iterator<Item = SiteId> + '_ {
+        self.locations[file.0 as usize].iter().map(|&s| SiteId(s))
+    }
+
+    /// Whether `site` holds `file`.
+    pub fn holds(&self, file: FileId, site: SiteId) -> bool {
+        self.locations[file.0 as usize].contains(&site.0)
+    }
+
+    /// Records a new replica.
+    pub fn add_replica(&mut self, file: FileId, site: SiteId) {
+        self.locations[file.0 as usize].insert(site.0);
+    }
+
+    /// Removes a replica. Panics if it would leave the file with no copy.
+    pub fn remove_replica(&mut self, file: FileId, site: SiteId) {
+        let set = &mut self.locations[file.0 as usize];
+        assert!(set.len() > 1 || !set.contains(&site.0), "removing last replica");
+        set.remove(&site.0);
+    }
+
+    /// Chooses the best source replica for a consumer: the holder with
+    /// minimum `cost(holder)` (typically network latency or hop count).
+    pub fn best_source(
+        &self,
+        file: FileId,
+        cost: impl Fn(SiteId) -> f64,
+    ) -> Option<SiteId> {
+        self.holders(file)
+            .map(|s| (s, cost(s)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0 .0.cmp(&b.0 .0)))
+            .map(|(s, _)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = FileCatalog::new();
+        let f = c.register(1.0e9, SiteId(0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.size(f), 1.0e9);
+        assert!(c.holds(f, SiteId(0)));
+        assert!(!c.holds(f, SiteId(1)));
+    }
+
+    #[test]
+    fn replicas_add_remove() {
+        let mut c = FileCatalog::new();
+        let f = c.register(100.0, SiteId(0));
+        c.add_replica(f, SiteId(2));
+        assert_eq!(c.holders(f).count(), 2);
+        c.remove_replica(f, SiteId(0));
+        assert!(!c.holds(f, SiteId(0)));
+        assert!(c.holds(f, SiteId(2)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn cannot_remove_last_replica() {
+        let mut c = FileCatalog::new();
+        let f = c.register(100.0, SiteId(0));
+        c.remove_replica(f, SiteId(0));
+    }
+
+    #[test]
+    fn best_source_minimizes_cost() {
+        let mut c = FileCatalog::new();
+        let f = c.register(100.0, SiteId(0));
+        c.add_replica(f, SiteId(3));
+        c.add_replica(f, SiteId(7));
+        let best = c.best_source(f, |s| (s.0 as f64 - 3.0).abs()).unwrap();
+        assert_eq!(best, SiteId(3));
+    }
+
+    #[test]
+    fn best_source_tie_breaks_by_site_id() {
+        let mut c = FileCatalog::new();
+        let f = c.register(100.0, SiteId(5));
+        c.add_replica(f, SiteId(2));
+        let best = c.best_source(f, |_| 1.0).unwrap();
+        assert_eq!(best, SiteId(2));
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(ReplicationPolicy::PullLru.name(), "pull-lru");
+        assert!(ReplicationPolicy::PullEconomic.is_pull());
+        assert!(!ReplicationPolicy::Push { threshold: 3 }.is_pull());
+        assert!(!ReplicationPolicy::None.is_pull());
+    }
+}

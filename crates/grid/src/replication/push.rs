@@ -1,0 +1,151 @@
+//! Push replication: popularity tracking at the holding site.
+//!
+//! ChicagoSim's model: "when a site contains a popular data file, it will
+//! replicate it to remote sites" (§4). The tracker counts remote accesses
+//! per `(file, consumer)`; once a file's remote popularity crosses the
+//! threshold, it nominates a push to the heaviest consumer that does not
+//! yet hold a replica.
+
+use super::FileId;
+use crate::site::SiteId;
+use std::collections::HashMap;
+
+/// Remote-access popularity tracker for push replication.
+#[derive(Debug, Clone, Default)]
+pub struct PushTracker {
+    /// (file, consumer site) → remote access count since last push.
+    counts: HashMap<(u64, usize), u64>,
+    /// file → total remote accesses since last push of that file.
+    totals: HashMap<u64, u64>,
+    pushes: u64,
+}
+
+impl PushTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        PushTracker::default()
+    }
+
+    /// Pushes triggered so far.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Records a remote access of `file` by `consumer`. If the file's
+    /// accumulated remote popularity reaches `threshold`, returns the
+    /// consumer to push a replica to (the heaviest accessor for which
+    /// `already_holds` is false) and resets the file's counters.
+    pub fn record_remote_access(
+        &mut self,
+        file: FileId,
+        consumer: SiteId,
+        threshold: u64,
+        already_holds: impl Fn(SiteId) -> bool,
+    ) -> Option<SiteId> {
+        *self.counts.entry((file.0, consumer.0)).or_insert(0) += 1;
+        let total = self.totals.entry(file.0).or_insert(0);
+        *total += 1;
+        if *total < threshold {
+            return None;
+        }
+        // heaviest consumer without a replica; ties broken by site id
+        let target = self
+            .counts
+            .iter()
+            .filter(|((f, _), _)| *f == file.0)
+            .filter(|((_, s), _)| !already_holds(SiteId(*s)))
+            .max_by(|((_, sa), ca), ((_, sb), cb)| ca.cmp(cb).then(sb.cmp(sa)))
+            .map(|((_, s), _)| SiteId(*s));
+        if target.is_some() {
+            // reset the file's popularity window
+            self.counts.retain(|(f, _), _| *f != file.0);
+            self.totals.remove(&file.0);
+            self.pushes += 1;
+        }
+        target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_no_push() {
+        let mut t = PushTracker::new();
+        for _ in 0..2 {
+            assert!(t
+                .record_remote_access(FileId(1), SiteId(4), 3, |_| false)
+                .is_none());
+        }
+        assert_eq!(t.pushes(), 0);
+    }
+
+    #[test]
+    fn push_goes_to_heaviest_consumer() {
+        let mut t = PushTracker::new();
+        t.record_remote_access(FileId(1), SiteId(4), 10, |_| false);
+        t.record_remote_access(FileId(1), SiteId(5), 10, |_| false);
+        t.record_remote_access(FileId(1), SiteId(5), 10, |_| false);
+        for _ in 0..6 {
+            t.record_remote_access(FileId(1), SiteId(5), 10, |_| false);
+        }
+        let target = t.record_remote_access(FileId(1), SiteId(4), 10, |_| false);
+        assert_eq!(target, Some(SiteId(5)));
+        assert_eq!(t.pushes(), 1);
+    }
+
+    #[test]
+    fn holder_is_skipped() {
+        let mut t = PushTracker::new();
+        for _ in 0..4 {
+            t.record_remote_access(FileId(2), SiteId(9), 5, |_| false);
+        }
+        // site 9 already holds it now; the only other accessor is 3
+        t.record_remote_access(FileId(2), SiteId(3), 5, |s| s == SiteId(9));
+        // threshold hit on that access → target must be 3
+        let mut t2 = PushTracker::new();
+        for _ in 0..4 {
+            t2.record_remote_access(FileId(2), SiteId(9), 5, |_| false);
+        }
+        let target = t2.record_remote_access(FileId(2), SiteId(3), 5, |s| s == SiteId(9));
+        assert_eq!(target, Some(SiteId(3)));
+    }
+
+    #[test]
+    fn counters_reset_after_push() {
+        let mut t = PushTracker::new();
+        for _ in 0..2 {
+            t.record_remote_access(FileId(1), SiteId(4), 3, |_| false);
+        }
+        assert!(t
+            .record_remote_access(FileId(1), SiteId(4), 3, |_| false)
+            .is_some());
+        // window reset: takes another 3 accesses to trigger again
+        assert!(t
+            .record_remote_access(FileId(1), SiteId(4), 3, |_| false)
+            .is_none());
+    }
+
+    #[test]
+    fn all_holders_means_no_push_and_no_reset() {
+        let mut t = PushTracker::new();
+        for _ in 0..5 {
+            let r = t.record_remote_access(FileId(1), SiteId(4), 3, |_| true);
+            assert!(r.is_none());
+        }
+        assert_eq!(t.pushes(), 0);
+    }
+
+    #[test]
+    fn files_tracked_independently() {
+        let mut t = PushTracker::new();
+        t.record_remote_access(FileId(1), SiteId(4), 2, |_| false);
+        assert!(t
+            .record_remote_access(FileId(2), SiteId(4), 2, |_| false)
+            .is_none());
+        assert!(t
+            .record_remote_access(FileId(1), SiteId(4), 2, |_| false)
+            .is_some());
+    }
+}

@@ -1,0 +1,128 @@
+//! Sites (regional centers): the host bundles of the Grid.
+
+use crate::cpu::CpuFarm;
+use crate::storage::{DbServer, MassStorage, StorageElement};
+use lsds_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub usize);
+
+/// A regional center: CPU farm + disk pool attached to a network node.
+///
+/// "A first set of components was created for describing the physical
+/// resources of the distributed system under simulation. The largest one
+/// is the regional center, which contains a farm of processing nodes (CPU
+/// units), database servers and mass storage units, as well as one or
+/// more local and wide area networks." (§4, MONARC 2)
+pub struct Site {
+    /// Site id (index into the grid's site table).
+    pub id: SiteId,
+    /// Human-readable name.
+    pub name: String,
+    /// Tier level (0 = top of a MONARC-style hierarchy).
+    pub tier: u8,
+    /// Network attachment point.
+    pub node: NodeId,
+    /// Processing farm.
+    pub cpu: CpuFarm,
+    /// Disk pool.
+    pub disk: StorageElement,
+    /// Optional mass-storage (tape) silo holding archived datasets.
+    pub tape: Option<MassStorage>,
+    /// Optional database server answering metadata queries before jobs
+    /// can stage (the MONARC regional center's "database servers").
+    pub db: Option<DbServer>,
+    /// Grid-currency price per reference-CPU-second (economy scheduling).
+    pub price: f64,
+}
+
+impl Site {
+    /// Creates a site.
+    pub fn new(
+        id: SiteId,
+        name: impl Into<String>,
+        tier: u8,
+        node: NodeId,
+        cpu: CpuFarm,
+        disk: StorageElement,
+        price: f64,
+    ) -> Self {
+        assert!(price >= 0.0, "bad price");
+        Site {
+            id,
+            name: name.into(),
+            tier,
+            node,
+            cpu,
+            disk,
+            tape: None,
+            db: None,
+            price,
+        }
+    }
+
+    /// Attaches a mass-storage silo.
+    pub fn with_tape(mut self, tape: MassStorage) -> Self {
+        self.tape = Some(tape);
+        self
+    }
+
+    /// Attaches a database server.
+    pub fn with_db(mut self, db: DbServer) -> Self {
+        self.db = Some(db);
+        self
+    }
+
+    /// Cost of running `work` reference-core-seconds here.
+    pub fn cost_of(&self, work: f64) -> f64 {
+        self.price * work
+    }
+
+    /// Nominal (unloaded) runtime of `work` here.
+    pub fn nominal_exec(&self, work: f64) -> f64 {
+        self.cpu.nominal_exec(work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{Discipline, Sharing};
+
+    #[test]
+    fn construction_and_costs() {
+        let s = Site::new(
+            SiteId(1),
+            "T1-FR",
+            1,
+            NodeId(3),
+            CpuFarm::new(10, 2.0, Sharing::Space, Discipline::Fifo),
+            StorageElement::new(1.0e12),
+            0.5,
+        );
+        assert_eq!(s.id, SiteId(1));
+        assert_eq!(s.cost_of(100.0), 50.0);
+        assert_eq!(s.nominal_exec(100.0), 50.0);
+        assert!(s.tape.is_none() && s.db.is_none());
+    }
+
+    #[test]
+    fn tape_and_db_builders() {
+        use crate::storage::{DbServer, MassStorage};
+        let s = Site::new(
+            SiteId(0),
+            "T0",
+            0,
+            NodeId(0),
+            CpuFarm::new(1, 1.0, Sharing::Space, Discipline::Fifo),
+            StorageElement::new(1.0e12),
+            1.0,
+        )
+        .with_tape(MassStorage::new(2, 30.0, 200.0e6))
+        .with_db(DbServer::new(4, 0.05));
+        assert!(s.tape.is_some());
+        assert!(s.db.is_some());
+    }
+}

@@ -1,0 +1,467 @@
+//! Storage resources: disks, mass storage (tape), and database servers.
+//!
+//! "Such hosts may contain computing, data storage, and other resources"
+//! (§3); MONARC's regional centers bundle "database servers and mass
+//! storage units" (§4). Disk capacity and eviction order are what the
+//! replication strategies of E7/E8 manipulate.
+
+use crate::replication::FileId;
+use lsds_core::{Schedule, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Metadata for a file resident on a storage element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileMeta {
+    /// Size in bytes.
+    pub size: f64,
+    /// Last access time (LRU state).
+    pub last_access: SimTime,
+    /// Access count since arrival (LFU / economic state).
+    pub accesses: u64,
+    /// Pinned files (inputs of running jobs) cannot be evicted.
+    pub pins: u32,
+}
+
+/// A disk pool with finite capacity and replacement bookkeeping.
+#[derive(Debug, Clone)]
+pub struct StorageElement {
+    capacity: f64,
+    used: f64,
+    files: HashMap<u64, FileMeta>,
+}
+
+impl StorageElement {
+    /// Creates a disk of `capacity` bytes.
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity > 0.0, "bad capacity");
+        StorageElement {
+            capacity,
+            used: 0.0,
+            files: HashMap::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Bytes in use.
+    pub fn used(&self) -> f64 {
+        self.used
+    }
+
+    /// Free bytes.
+    pub fn free(&self) -> f64 {
+        self.capacity - self.used
+    }
+
+    /// Whether `file` is resident.
+    pub fn has(&self, file: FileId) -> bool {
+        self.files.contains_key(&file.0)
+    }
+
+    /// Number of resident files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Metadata of a resident file.
+    pub fn meta(&self, file: FileId) -> Option<&FileMeta> {
+        self.files.get(&file.0)
+    }
+
+    /// Records an access (updates LRU/LFU state). Returns false if the
+    /// file is not resident.
+    pub fn touch(&mut self, file: FileId, now: SimTime) -> bool {
+        match self.files.get_mut(&file.0) {
+            Some(m) => {
+                m.last_access = now;
+                m.accesses += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pins a resident file against eviction.
+    pub fn pin(&mut self, file: FileId) {
+        if let Some(m) = self.files.get_mut(&file.0) {
+            m.pins += 1;
+        }
+    }
+
+    /// Releases one pin.
+    pub fn unpin(&mut self, file: FileId) {
+        if let Some(m) = self.files.get_mut(&file.0) {
+            assert!(m.pins > 0, "unpin without pin");
+            m.pins -= 1;
+        }
+    }
+
+    /// Stores a file, assuming capacity was already freed. Panics if it
+    /// does not fit — callers must evict first (see [`evict_candidates`]).
+    ///
+    /// [`evict_candidates`]: StorageElement::evict_candidates
+    pub fn store(&mut self, file: FileId, size: f64, now: SimTime) {
+        assert!(size > 0.0, "bad size");
+        assert!(
+            self.used + size <= self.capacity * (1.0 + 1e-9),
+            "store without room: {} + {size} > {}",
+            self.used,
+            self.capacity
+        );
+        let prev = self.files.insert(
+            file.0,
+            FileMeta {
+                size,
+                last_access: now,
+                accesses: 1,
+                pins: 0,
+            },
+        );
+        assert!(prev.is_none(), "file already resident");
+        self.used += size;
+    }
+
+    /// Deletes a file (no-op if absent). Pinned files cannot be deleted.
+    pub fn delete(&mut self, file: FileId) {
+        if let Some(m) = self.files.get(&file.0) {
+            assert_eq!(m.pins, 0, "deleting pinned file");
+            self.used -= m.size;
+            self.files.remove(&file.0);
+        }
+    }
+
+    /// Unpinned resident files ordered by eviction preference under the
+    /// given comparator key: smaller key = evicted first.
+    pub fn evict_candidates(&self, key: impl Fn(&FileMeta) -> f64) -> Vec<(FileId, f64)> {
+        let mut v: Vec<(FileId, f64)> = self
+            .files
+            .iter()
+            .filter(|(_, m)| m.pins == 0)
+            .map(|(&id, m)| (FileId(id), key(m)))
+            .collect();
+        v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0 .0.cmp(&b.0 .0)));
+        v
+    }
+
+    /// Frees at least `needed` bytes by evicting unpinned files in order
+    /// of ascending `key`. Returns the evicted files, or `None` (state
+    /// unchanged) if even full eviction cannot make room.
+    pub fn make_room(
+        &mut self,
+        needed: f64,
+        key: impl Fn(&FileMeta) -> f64,
+    ) -> Option<Vec<FileId>> {
+        if self.free() >= needed {
+            return Some(Vec::new());
+        }
+        let candidates = self.evict_candidates(key);
+        let evictable: f64 = candidates
+            .iter()
+            .map(|(id, _)| self.files[&id.0].size)
+            .sum();
+        if self.free() + evictable < needed {
+            return None;
+        }
+        let mut evicted = Vec::new();
+        for (id, _) in candidates {
+            if self.free() >= needed {
+                break;
+            }
+            self.delete(id);
+            evicted.push(id);
+        }
+        Some(evicted)
+    }
+}
+
+/// Events of the mass-storage component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TapeEvent {
+    /// A drive finished a recall.
+    DriveDone {
+        /// Request tag being served.
+        tag: u64,
+    },
+}
+
+/// A tape silo: limited drives, mount latency, sequential read rate.
+///
+/// Requests queue FIFO for a free drive; service time is
+/// `mount_latency + bytes / read_rate`.
+pub struct MassStorage {
+    drives: usize,
+    busy: usize,
+    mount_latency: f64,
+    read_rate: f64,
+    waiting: VecDeque<(u64, f64)>,
+    served: u64,
+}
+
+impl MassStorage {
+    /// Creates a silo with `drives` drives.
+    pub fn new(drives: usize, mount_latency: f64, read_rate: f64) -> Self {
+        assert!(drives > 0 && read_rate > 0.0 && mount_latency >= 0.0);
+        MassStorage {
+            drives,
+            busy: 0,
+            mount_latency,
+            read_rate,
+            waiting: VecDeque::new(),
+            served: 0,
+        }
+    }
+
+    /// Requests queued for a drive.
+    pub fn queue_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Recalls served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Requests a recall of `bytes`, tagged `tag`. Completion arrives as
+    /// [`TapeEvent::DriveDone`].
+    pub fn recall(&mut self, tag: u64, bytes: f64, sched: &mut impl Schedule<TapeEvent>) {
+        if self.busy < self.drives {
+            self.busy += 1;
+            let service = self.mount_latency + bytes / self.read_rate;
+            sched.schedule_in(service, TapeEvent::DriveDone { tag });
+        } else {
+            self.waiting.push_back((tag, bytes));
+        }
+    }
+
+    /// Handles a drive completion; returns the finished tag.
+    pub fn handle(&mut self, ev: TapeEvent, sched: &mut impl Schedule<TapeEvent>) -> u64 {
+        let TapeEvent::DriveDone { tag } = ev;
+        self.served += 1;
+        if let Some((next_tag, bytes)) = self.waiting.pop_front() {
+            let service = self.mount_latency + bytes / self.read_rate;
+            sched.schedule_in(service, TapeEvent::DriveDone { tag: next_tag });
+        } else {
+            self.busy -= 1;
+        }
+        tag
+    }
+}
+
+/// Events of the database-server component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DbEvent {
+    /// A server finished a query.
+    QueryDone {
+        /// Request tag being served.
+        tag: u64,
+    },
+}
+
+/// A database server pool: `c` identical servers with a fixed service
+/// demand per query — an M/D/c station when arrivals are Poisson, which is
+/// exactly what the E11 validation checks against.
+pub struct DbServer {
+    servers: usize,
+    busy: usize,
+    service_seconds: f64,
+    waiting: VecDeque<u64>,
+    served: u64,
+}
+
+impl DbServer {
+    /// Creates a pool of `servers` with the given per-query service time.
+    pub fn new(servers: usize, service_seconds: f64) -> Self {
+        assert!(servers > 0 && service_seconds > 0.0);
+        DbServer {
+            servers,
+            busy: 0,
+            service_seconds,
+            waiting: VecDeque::new(),
+            served: 0,
+        }
+    }
+
+    /// Queries waiting for a server.
+    pub fn queue_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Queries served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Submits a query.
+    pub fn query(&mut self, tag: u64, sched: &mut impl Schedule<DbEvent>) {
+        if self.busy < self.servers {
+            self.busy += 1;
+            sched.schedule_in(self.service_seconds, DbEvent::QueryDone { tag });
+        } else {
+            self.waiting.push_back(tag);
+        }
+    }
+
+    /// Handles a completion; returns the finished tag.
+    pub fn handle(&mut self, ev: DbEvent, sched: &mut impl Schedule<DbEvent>) -> u64 {
+        let DbEvent::QueryDone { tag } = ev;
+        self.served += 1;
+        if let Some(next) = self.waiting.pop_front() {
+            sched.schedule_in(self.service_seconds, DbEvent::QueryDone { tag: next });
+        } else {
+            self.busy -= 1;
+        }
+        tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsds_core::{Ctx, EventDriven, Model};
+
+    #[test]
+    fn store_touch_delete() {
+        let mut d = StorageElement::new(100.0);
+        d.store(FileId(1), 40.0, SimTime::ZERO);
+        d.store(FileId(2), 30.0, SimTime::new(1.0));
+        assert_eq!(d.used(), 70.0);
+        assert!(d.has(FileId(1)));
+        assert!(d.touch(FileId(1), SimTime::new(2.0)));
+        assert_eq!(d.meta(FileId(1)).unwrap().accesses, 2);
+        d.delete(FileId(1));
+        assert!(!d.has(FileId(1)));
+        assert_eq!(d.used(), 30.0);
+        assert!(!d.touch(FileId(1), SimTime::new(3.0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn overfull_store_panics() {
+        let mut d = StorageElement::new(100.0);
+        d.store(FileId(1), 60.0, SimTime::ZERO);
+        d.store(FileId(2), 60.0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut d = StorageElement::new(100.0);
+        d.store(FileId(1), 40.0, SimTime::new(0.0));
+        d.store(FileId(2), 40.0, SimTime::new(1.0));
+        d.touch(FileId(1), SimTime::new(5.0)); // 1 is now most recent
+        let evicted = d.make_room(30.0, |m| m.last_access.seconds()).unwrap();
+        assert_eq!(evicted, vec![FileId(2)]);
+        assert!(d.has(FileId(1)));
+    }
+
+    #[test]
+    fn lfu_eviction_order() {
+        let mut d = StorageElement::new(100.0);
+        d.store(FileId(1), 40.0, SimTime::ZERO);
+        d.store(FileId(2), 40.0, SimTime::ZERO);
+        d.touch(FileId(2), SimTime::new(1.0));
+        d.touch(FileId(2), SimTime::new(2.0));
+        let evicted = d.make_room(30.0, |m| m.accesses as f64).unwrap();
+        assert_eq!(evicted, vec![FileId(1)]);
+    }
+
+    #[test]
+    fn pinned_files_survive_eviction() {
+        let mut d = StorageElement::new(100.0);
+        d.store(FileId(1), 50.0, SimTime::ZERO);
+        d.store(FileId(2), 50.0, SimTime::new(1.0));
+        d.pin(FileId(1));
+        let evicted = d.make_room(40.0, |m| m.last_access.seconds()).unwrap();
+        assert_eq!(evicted, vec![FileId(2)], "only unpinned file evicted");
+        assert!(d.has(FileId(1)));
+        // now nothing can be evicted
+        assert!(d.make_room(60.0, |m| m.last_access.seconds()).is_none());
+        d.unpin(FileId(1));
+        assert!(d.make_room(60.0, |m| m.last_access.seconds()).is_some());
+    }
+
+    #[test]
+    fn make_room_noop_when_space_free() {
+        let mut d = StorageElement::new(100.0);
+        d.store(FileId(1), 10.0, SimTime::ZERO);
+        assert_eq!(d.make_room(50.0, |m| m.size).unwrap(), vec![]);
+    }
+
+    // -- tape --
+
+    struct TapeHarness {
+        tape: MassStorage,
+        done: Vec<(u64, f64)>,
+    }
+    enum TE {
+        Recall(u64, f64),
+        Tape(TapeEvent),
+    }
+    impl Model for TapeHarness {
+        type Event = TE;
+        fn handle(&mut self, ev: TE, ctx: &mut Ctx<'_, TE>) {
+            match ev {
+                TE::Recall(tag, bytes) => self.tape.recall(tag, bytes, &mut ctx.map(TE::Tape)),
+                TE::Tape(te) => {
+                    let tag = self.tape.handle(te, &mut ctx.map(TE::Tape));
+                    self.done.push((tag, ctx.now().seconds()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tape_drives_limit_concurrency() {
+        let mut sim = EventDriven::new(TapeHarness {
+            tape: MassStorage::new(1, 10.0, 100.0), // mount 10s, 100 B/s
+            done: vec![],
+        });
+        sim.schedule(SimTime::ZERO, TE::Recall(1, 1000.0)); // 10+10=20s
+        sim.schedule(SimTime::ZERO, TE::Recall(2, 500.0)); // waits, 10+5
+        sim.run();
+        let m = sim.model();
+        assert_eq!(m.done[0], (1, 20.0));
+        assert_eq!(m.done[1], (2, 35.0));
+        assert_eq!(m.tape.served(), 2);
+    }
+
+    // -- db --
+
+    struct DbHarness {
+        db: DbServer,
+        done: Vec<(u64, f64)>,
+    }
+    enum DE {
+        Query(u64),
+        Db(DbEvent),
+    }
+    impl Model for DbHarness {
+        type Event = DE;
+        fn handle(&mut self, ev: DE, ctx: &mut Ctx<'_, DE>) {
+            match ev {
+                DE::Query(tag) => self.db.query(tag, &mut ctx.map(DE::Db)),
+                DE::Db(de) => {
+                    let tag = self.db.handle(de, &mut ctx.map(DE::Db));
+                    self.done.push((tag, ctx.now().seconds()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn db_pool_queues_excess_queries() {
+        let mut sim = EventDriven::new(DbHarness {
+            db: DbServer::new(2, 1.0),
+            done: vec![],
+        });
+        for tag in 0..4 {
+            sim.schedule(SimTime::ZERO, DE::Query(tag));
+        }
+        sim.run();
+        let ends: Vec<f64> = sim.model().done.iter().map(|&(_, t)| t).collect();
+        assert_eq!(ends, vec![1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(sim.model().db.queue_len(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based invariants of the composed grid model: jobs are
+//! conserved, lifecycle timestamps are ordered, runs are reproducible.
+
+use lsds_core::SimTime;
+use lsds_grid::model::{GridConfig, GridModel};
+use lsds_grid::organization::{flat_grid, SiteSpec};
+use lsds_grid::scheduler::LeastLoaded;
+use lsds_grid::{Activity, ReplicationPolicy, SiteId};
+use lsds_stats::{Dist, SimRng};
+use proptest::prelude::*;
+
+fn build(
+    n_sites: usize,
+    n_jobs: u64,
+    mean_ia: f64,
+    mean_work: f64,
+    files: usize,
+    replication: ReplicationPolicy,
+    seed: u64,
+) -> GridConfig {
+    let grid = flat_grid(
+        vec![SiteSpec::default(); n_sites],
+        lsds_net::mbps(622.0),
+        0.005,
+    );
+    let initial_files = (0..files).map(|i| (0.5e9, SiteId(i % n_sites))).collect();
+    let master = SimRng::new(seed);
+    let activity = if files > 0 {
+        Activity::analysis(
+            0,
+            mean_ia,
+            Dist::exp_mean(mean_work),
+            2,
+            files,
+            0.8,
+            master.fork(1),
+        )
+    } else {
+        Activity::compute(0, mean_ia, Dist::exp_mean(mean_work), master.fork(1))
+    };
+    GridConfig {
+        grid,
+        policy: Box::new(LeastLoaded),
+        replication,
+        activities: vec![activity.with_limit(n_jobs)],
+        production: None,
+        agent: None,
+        eligible: None,
+        initial_files,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated job completes exactly once, with ordered lifecycle
+    /// timestamps, under any replication policy.
+    #[test]
+    fn jobs_conserved_and_ordered(
+        n_sites in 2usize..5,
+        n_jobs in 1u64..40,
+        mean_ia in 1.0..30.0f64,
+        mean_work in 1.0..100.0f64,
+        files in 0usize..10,
+        policy_idx in 0usize..5,
+        seed in 0u64..500,
+    ) {
+        let policy = [
+            ReplicationPolicy::None,
+            ReplicationPolicy::PullLru,
+            ReplicationPolicy::PullLfu,
+            ReplicationPolicy::PullEconomic,
+            ReplicationPolicy::Push { threshold: 2 },
+        ][policy_idx];
+        let mut sim = GridModel::build(build(
+            n_sites, n_jobs, mean_ia, mean_work, files, policy, seed,
+        ));
+        sim.run_until(SimTime::new(1.0e7));
+        let m = sim.model();
+        let rep = m.report();
+        prop_assert_eq!(rep.records.len() as u64, n_jobs);
+        prop_assert_eq!(m.in_flight(), 0, "nothing stuck");
+        let mut ids: Vec<u64> = rep.records.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len() as u64, n_jobs, "no duplicate completions");
+        for r in &rep.records {
+            prop_assert!(r.submitted <= r.staged);
+            prop_assert!(r.staged <= r.started);
+            prop_assert!(r.started <= r.finished);
+            prop_assert!(r.site.0 < n_sites);
+            prop_assert!(r.staged_bytes >= 0.0);
+        }
+        if files == 0 {
+            prop_assert_eq!(rep.wan_bytes, 0.0);
+        }
+    }
+
+    /// Bit-for-bit reproducibility for any configuration.
+    #[test]
+    fn reproducible(
+        n_jobs in 1u64..25,
+        seed in 0u64..200,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [
+            ReplicationPolicy::None,
+            ReplicationPolicy::PullLru,
+            ReplicationPolicy::Push { threshold: 2 },
+        ][policy_idx];
+        let run = || {
+            let mut sim = GridModel::build(build(3, n_jobs, 5.0, 20.0, 6, policy, seed));
+            sim.run_until(SimTime::new(1.0e7));
+            sim.model()
+                .report()
+                .records
+                .iter()
+                .map(|r| (r.id.0, r.site.0, r.finished.seconds()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

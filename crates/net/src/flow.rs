@@ -1,0 +1,473 @@
+//! Flow-level (fluid) network model with max-min fair bandwidth sharing.
+//!
+//! Each transfer is a fluid flow along its routed path; concurrent flows
+//! share link bandwidth max-min fairly, recomputed on every arrival and
+//! departure. This is the granularity OptorSim- and SimGrid-class
+//! simulators use: cheap ("it can model only the flows of packets going
+//! from one end to another") at the price of ignoring per-packet effects —
+//! the other side of the E13 trade-off.
+
+use crate::routing::Routing;
+use crate::topology::{LinkId, NodeId, Topology};
+use lsds_core::{Schedule, SimTime};
+use std::collections::HashMap;
+
+/// Identifier of a flow within a [`FlowNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(pub u64);
+
+/// Events the flow model schedules for itself. Embed these in the owning
+/// model's event type and route them back to [`FlowNet::handle`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowEvent {
+    /// The flow's first byte reaches the path after propagation latency.
+    Begin { flow: u64 },
+    /// Predicted completion; stale generations are ignored.
+    Complete { flow: u64, gen: u64 },
+}
+
+/// Completion record returned to the owner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowDone {
+    /// The finished flow.
+    pub id: FlowId,
+    /// Owner-supplied tag (job id, file id …).
+    pub tag: u64,
+    /// Bytes transferred.
+    pub bytes: f64,
+    /// When the transfer was requested.
+    pub requested: SimTime,
+    /// When the last byte arrived.
+    pub finished: SimTime,
+}
+
+struct Flow {
+    path: Vec<LinkId>,
+    remaining: f64,
+    rate: f64,
+    last_update: SimTime,
+    gen: u64,
+    tag: u64,
+    requested: SimTime,
+    active: bool,
+    bytes: f64,
+}
+
+/// The fluid network state. Owns no clock; it is driven by an engine
+/// through [`lsds_core::Schedule`].
+pub struct FlowNet {
+    topo: Topology,
+    routing: Routing,
+    flows: HashMap<u64, Flow>,
+    next_id: u64,
+    /// Cumulative bytes carried per link (for utilization reports).
+    link_bytes: Vec<f64>,
+    completed: u64,
+}
+
+impl FlowNet {
+    /// Builds a flow network over a topology (routes are computed here).
+    pub fn new(topo: Topology) -> Self {
+        let routing = Routing::compute(&topo);
+        let n_links = topo.link_count();
+        FlowNet {
+            topo,
+            routing,
+            flows: HashMap::new(),
+            next_id: 0,
+            link_bytes: vec![0.0; n_links],
+            completed: 0,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The routing tables.
+    pub fn routing(&self) -> &Routing {
+        &self.routing
+    }
+
+    /// Starts a transfer of `bytes` from `src` to `dst`. The flow begins
+    /// consuming bandwidth after the path's propagation latency. `tag` is
+    /// returned in the [`FlowDone`] record.
+    ///
+    /// Panics if `dst` is unreachable from `src`.
+    pub fn start(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: f64,
+        tag: u64,
+        sched: &mut impl Schedule<FlowEvent>,
+    ) -> FlowId {
+        assert!(bytes > 0.0 && bytes.is_finite(), "bad transfer size");
+        let path = self
+            .routing
+            .path(&self.topo, src, dst)
+            .unwrap_or_else(|| panic!("no route {src:?} -> {dst:?}"));
+        assert!(!path.is_empty(), "src == dst transfer needs no network");
+        let latency: f64 = path.iter().map(|&l| self.topo.link(l).latency).sum();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                path,
+                remaining: bytes,
+                rate: 0.0,
+                last_update: sched.now(),
+                gen: 0,
+                tag,
+                requested: sched.now(),
+                active: false,
+                bytes,
+            },
+        );
+        sched.schedule_in(latency, FlowEvent::Begin { flow: id });
+        FlowId(id)
+    }
+
+    /// Number of flows currently in the system (including in latency phase).
+    pub fn in_flight(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Completed flow count.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Cumulative bytes carried by a link.
+    pub fn link_bytes(&self, link: LinkId) -> f64 {
+        self.link_bytes[link.0]
+    }
+
+    /// Instantaneous utilization of a link in `[0, 1]`.
+    pub fn link_utilization(&self, link: LinkId) -> f64 {
+        let used: f64 = self
+            .flows
+            .values()
+            .filter(|f| f.active && f.path.contains(&link))
+            .map(|f| f.rate)
+            .sum();
+        used / self.topo.link(link).bandwidth
+    }
+
+    /// Handles a flow event, returning any completions.
+    pub fn handle(
+        &mut self,
+        ev: FlowEvent,
+        sched: &mut impl Schedule<FlowEvent>,
+    ) -> Vec<FlowDone> {
+        match ev {
+            FlowEvent::Begin { flow } => {
+                let now = sched.now();
+                self.advance_progress(now);
+                if let Some(f) = self.flows.get_mut(&flow) {
+                    f.active = true;
+                    f.last_update = now;
+                }
+                self.reshare(now, sched);
+                Vec::new()
+            }
+            FlowEvent::Complete { flow, gen } => {
+                let now = sched.now();
+                let valid = self
+                    .flows
+                    .get(&flow)
+                    .is_some_and(|f| f.gen == gen && f.active);
+                if !valid {
+                    return Vec::new();
+                }
+                self.advance_progress(now);
+                let f = self.flows.remove(&flow).expect("validated above");
+                debug_assert!(
+                    f.remaining <= 1e-6 * f.bytes.max(1.0),
+                    "completion with {} bytes left",
+                    f.remaining
+                );
+                self.completed += 1;
+                let done = FlowDone {
+                    id: FlowId(flow),
+                    tag: f.tag,
+                    bytes: f.bytes,
+                    requested: f.requested,
+                    finished: now,
+                };
+                self.reshare(now, sched);
+                vec![done]
+            }
+        }
+    }
+
+    /// Moves every active flow's progress forward to `now` at its current
+    /// rate, charging the carried bytes to its links.
+    fn advance_progress(&mut self, now: SimTime) {
+        // deterministic order: link_bytes accumulation must not depend on
+        // HashMap iteration (float addition does not reassociate)
+        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let f = self.flows.get_mut(&id).expect("flow vanished");
+            if !f.active {
+                continue;
+            }
+            let dt = now - f.last_update;
+            if dt > 0.0 {
+                let moved = (f.rate * dt).min(f.remaining);
+                f.remaining -= moved;
+                for &l in &f.path {
+                    self.link_bytes[l.0] += moved;
+                }
+                f.last_update = now;
+            }
+        }
+    }
+
+    /// Recomputes max-min fair rates and reschedules completions.
+    fn reshare(&mut self, now: SimTime, sched: &mut impl Schedule<FlowEvent>) {
+        // progressive filling
+        let mut cap: Vec<f64> = (0..self.topo.link_count())
+            .map(|i| self.topo.link(LinkId(i)).bandwidth)
+            .collect();
+        let mut unassigned: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.active)
+            .map(|(&id, _)| id)
+            .collect();
+        unassigned.sort_unstable(); // determinism
+        let mut flows_on_link = vec![0usize; cap.len()];
+        for &id in &unassigned {
+            for &l in &self.flows[&id].path {
+                flows_on_link[l.0] += 1;
+            }
+        }
+        while !unassigned.is_empty() {
+            // bottleneck link: minimal fair share among links with load
+            let mut best: Option<(f64, usize)> = None;
+            for (li, &n) in flows_on_link.iter().enumerate() {
+                if n > 0 {
+                    let share = cap[li] / n as f64;
+                    if best.is_none_or(|(s, _)| share < s) {
+                        best = Some((share, li));
+                    }
+                }
+            }
+            let (share, bottleneck) = best.expect("unassigned flows but no loaded link");
+            // fix every unassigned flow crossing the bottleneck
+            let fixed: Vec<u64> = unassigned
+                .iter()
+                .copied()
+                .filter(|id| self.flows[id].path.contains(&LinkId(bottleneck)))
+                .collect();
+            debug_assert!(!fixed.is_empty());
+            for id in &fixed {
+                let f = self.flows.get_mut(id).expect("flow vanished");
+                f.rate = share;
+                let path = f.path.clone();
+                for l in path {
+                    cap[l.0] -= share;
+                    if cap[l.0] < 0.0 {
+                        cap[l.0] = 0.0; // guard accumulated rounding
+                    }
+                    flows_on_link[l.0] -= 1;
+                }
+            }
+            unassigned.retain(|id| !fixed.contains(id));
+        }
+        // Reschedule completions in flow-id order: scheduling order
+        // assigns engine sequence numbers, which break ties between
+        // equal-timestamp events — iterating the HashMap directly would
+        // make tie order (and thus ULP-level arithmetic) vary run to run.
+        let mut ids: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.active)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let f = self.flows.get_mut(&id).expect("flow vanished");
+            f.gen += 1;
+            debug_assert!(f.rate > 0.0, "active flow with zero rate");
+            let eta = f.remaining / f.rate;
+            sched.schedule_at(now.after(eta), FlowEvent::Complete { flow: id, gen: f.gen });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{mbps, NodeKind};
+    use lsds_core::{Ctx, EventDriven, Model};
+
+    /// Harness model: drives a FlowNet and records completions.
+    struct Harness {
+        net: FlowNet,
+        done: Vec<FlowDone>,
+        /// transfers to start at given times: (t, src, dst, bytes, tag)
+        plan: Vec<(f64, NodeId, NodeId, f64, u64)>,
+    }
+
+    enum Ev {
+        Kickoff(usize),
+        Net(FlowEvent),
+    }
+
+    impl Model for Harness {
+        type Event = Ev;
+        fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+            match ev {
+                Ev::Kickoff(i) => {
+                    let (_, src, dst, bytes, tag) = self.plan[i];
+                    self.net.start(src, dst, bytes, tag, &mut ctx.map(Ev::Net));
+                }
+                Ev::Net(fe) => {
+                    let done = self.net.handle(fe, &mut ctx.map(Ev::Net));
+                    self.done.extend(done);
+                }
+            }
+        }
+    }
+
+    fn run_plan(
+        topo: Topology,
+        plan: Vec<(f64, NodeId, NodeId, f64, u64)>,
+    ) -> (Vec<FlowDone>, FlowNet) {
+        let mut sim = EventDriven::new(Harness {
+            net: FlowNet::new(topo),
+            done: vec![],
+            plan: plan.clone(),
+        });
+        for (i, (t, ..)) in plan.iter().enumerate() {
+            sim.schedule(SimTime::new(*t), Ev::Kickoff(i));
+        }
+        sim.run();
+        let m = sim.into_model();
+        (m.done, m.net)
+    }
+
+    fn pair(bw: f64, lat: f64) -> (Topology, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        let b = t.add_node(NodeKind::Host, "b");
+        t.add_duplex(a, b, bw, lat);
+        (t, a, b)
+    }
+
+    #[test]
+    fn single_flow_full_bandwidth() {
+        let (t, a, b) = pair(mbps(80.0), 0.1); // 10 MB/s
+        let (done, net) = run_plan(t, vec![(0.0, a, b, 100.0e6, 7)]);
+        assert_eq!(done.len(), 1);
+        // latency 0.1 + 100 MB / 10 MB/s = 10.1 s
+        assert!((done[0].finished.seconds() - 10.1).abs() < 1e-6);
+        assert_eq!(done[0].tag, 7);
+        assert_eq!(net.completed(), 1);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_equally() {
+        let (t, a, b) = pair(mbps(80.0), 0.0);
+        let (done, _) = run_plan(
+            t,
+            vec![(0.0, a, b, 50.0e6, 1), (0.0, a, b, 50.0e6, 2)],
+        );
+        assert_eq!(done.len(), 2);
+        // both at 5 MB/s → both finish at 10 s
+        for d in &done {
+            assert!((d.finished.seconds() - 10.0).abs() < 1e-6, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn late_flow_speeds_up_after_first_completes() {
+        let (t, a, b) = pair(mbps(80.0), 0.0); // 10 MB/s
+        // flow1: 50 MB at t=0; flow2: 75 MB at t=0.
+        // shared 5 MB/s each; flow1 done at 10s; flow2 then has 25 MB left
+        // at 10 MB/s → done at 12.5 s
+        let (done, _) = run_plan(
+            t,
+            vec![(0.0, a, b, 50.0e6, 1), (0.0, a, b, 75.0e6, 2)],
+        );
+        let d2 = done.iter().find(|d| d.tag == 2).unwrap();
+        assert!((d2.finished.seconds() - 12.5).abs() < 1e-6, "{d2:?}");
+    }
+
+    #[test]
+    fn max_min_textbook_allocation() {
+        // Classic: flows A (l1), B (l1+l2), C (l2).
+        // l1 cap 10, l2 cap 6 (MB/s). Max-min: bottleneck l2 share 3 →
+        // B=C=3; l1 remaining 7 → A=7.
+        let mut t = Topology::new();
+        let n0 = t.add_node(NodeKind::Host, "n0");
+        let n1 = t.add_node(NodeKind::Router, "n1");
+        let n2 = t.add_node(NodeKind::Host, "n2");
+        t.add_link(n0, n1, 10.0e6, 0.0);
+        t.add_link(n1, n2, 6.0e6, 0.0);
+        // sizes chosen so nothing completes before we inspect rates
+        let mut sim = EventDriven::new(Harness {
+            net: FlowNet::new(t),
+            done: vec![],
+            plan: vec![
+                (0.0, n0, n1, 1.0e9, 1), // A over l1
+                (0.0, n0, n2, 1.0e9, 2), // B over l1+l2
+                (0.0, n1, n2, 1.0e9, 3), // C over l2
+            ],
+        });
+        for i in 0..3 {
+            sim.schedule(SimTime::ZERO, Ev::Kickoff(i));
+        }
+        sim.run_until(SimTime::new(1.0));
+        let net = &sim.model().net;
+        let rates: HashMap<u64, f64> =
+            net.flows.values().map(|f| (f.tag, f.rate)).collect();
+        assert!((rates[&1] - 7.0e6).abs() < 1.0, "A {}", rates[&1]);
+        assert!((rates[&2] - 3.0e6).abs() < 1.0, "B {}", rates[&2]);
+        assert!((rates[&3] - 3.0e6).abs() < 1.0, "C {}", rates[&3]);
+    }
+
+    #[test]
+    fn conservation_of_bytes() {
+        let (t, a, b) = pair(mbps(80.0), 0.01);
+        let plan: Vec<_> = (0..20)
+            .map(|i| (i as f64 * 0.37, a, b, 1.0e6 * (i + 1) as f64, i as u64))
+            .collect();
+        let injected: f64 = plan.iter().map(|p| p.3).sum();
+        let (done, net) = run_plan(t, plan);
+        assert_eq!(done.len(), 20);
+        let delivered: f64 = done.iter().map(|d| d.bytes).sum();
+        assert!((delivered - injected).abs() < 1.0);
+        // the single forward link carried everything
+        assert!((net.link_bytes(LinkId(0)) - injected).abs() < injected * 1e-6);
+    }
+
+    #[test]
+    fn utilization_reflects_active_flows() {
+        let (t, a, b) = pair(mbps(80.0), 0.0);
+        let mut sim = EventDriven::new(Harness {
+            net: FlowNet::new(t),
+            done: vec![],
+            plan: vec![(0.0, a, b, 1.0e9, 1)],
+        });
+        sim.schedule(SimTime::ZERO, Ev::Kickoff(0));
+        sim.run_until(SimTime::new(0.5));
+        assert!((sim.model().net.link_utilization(LinkId(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unroutable_transfer_panics() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        let b = t.add_node(NodeKind::Host, "b");
+        t.add_link(b, a, 1.0, 0.0); // reverse only
+        let _ = run_plan(t, vec![(0.0, a, b, 1.0, 0)]);
+    }
+}

@@ -1,0 +1,39 @@
+//! `lsds-net` — the network substrate.
+//!
+//! Implements the *network characteristics* axis of the taxonomy (§3):
+//! "network elements interconnecting hosts … routers, switches and other
+//! devices", infrastructure protocols (TCP/UDP-like transports), and
+//! higher-level application protocols (an FTP-like bulk transfer service).
+//!
+//! The taxonomy's *granularity* axis is first-class: "the simulation of the
+//! network can model in detail the flow of each packet through the network,
+//! a time consuming operation that leads to better output results, or it
+//! can model only the flows of packets going from one end to another":
+//!
+//! * [`flow`] — fluid, max-min fair bandwidth sharing (what OptorSim and
+//!   SimGrid-class simulators use);
+//! * [`packet`] — store-and-forward per-packet simulation with finite
+//!   drop-tail queues (ns-class granularity).
+//!
+//! Experiment E13 runs the same workload through both and reports the
+//! accuracy/cost trade-off.
+//!
+//! Everything is written as embeddable components driven through
+//! [`lsds_core::Schedule`], so the grid middleware layer (`lsds-grid`) can
+//! compose a network into its own models.
+
+pub mod flow;
+pub mod packet;
+pub mod routing;
+pub mod topology;
+pub mod traffic;
+pub mod transfer;
+pub mod transport;
+
+pub use flow::{FlowDone, FlowEvent, FlowId, FlowNet};
+pub use packet::{PacketEvent, PacketNet, PacketNote};
+pub use routing::Routing;
+pub use topology::{gbps, mbps, LinkId, NodeId, NodeKind, Topology};
+pub use traffic::{BackgroundTraffic, FlowDemand, TrafficEvent};
+pub use transfer::{FtpService, TransferDone, TransferRequest};
+pub use transport::{TcpConnection, TransportEvent, TransportNet, TransportNote, UdpStream};

@@ -1,0 +1,446 @@
+//! Packet-level network model: store-and-forward with drop-tail queues.
+//!
+//! The expensive end of the taxonomy's granularity axis: every packet is
+//! serialized over every link on its route, waits in finite FIFO queues,
+//! and can be dropped when a queue overflows. "A time consuming operation
+//! that leads to better output results" (§3) — it captures queueing delay,
+//! pipelining, and loss, which the fluid model cannot (E13).
+
+use crate::routing::Routing;
+use crate::topology::{LinkId, NodeId, Topology};
+use lsds_core::{Schedule, SimTime};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One packet in flight.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Owner-assigned transfer id.
+    pub transfer: u64,
+    /// Index within the transfer.
+    pub index: u32,
+    /// Size in bytes.
+    pub size: f64,
+    /// Link route (shared between the transfer's packets).
+    route: Arc<[LinkId]>,
+    /// Next hop to traverse (`route[hop]`).
+    hop: usize,
+    /// Injection time, for end-to-end latency accounting.
+    injected: SimTime,
+}
+
+/// Events the packet model schedules for itself.
+#[derive(Debug, Clone)]
+pub enum PacketEvent {
+    /// A link finished serializing its head packet.
+    TransmitDone { link: usize },
+    /// A packet arrived at the input of its next hop (or destination).
+    Arrive { pkt: Packet },
+}
+
+/// Notifications returned to the owning model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PacketNote {
+    /// A packet reached its destination.
+    Delivered {
+        /// Transfer the packet belongs to.
+        transfer: u64,
+        /// Index within the transfer.
+        index: u32,
+        /// End-to-end latency (injection → delivery).
+        latency: f64,
+    },
+    /// A packet was dropped at a full queue.
+    Dropped {
+        /// Transfer the packet belonged to.
+        transfer: u64,
+        /// Index within the transfer.
+        index: u32,
+        /// The congested link.
+        link: LinkId,
+    },
+}
+
+struct LinkState {
+    queue: VecDeque<Packet>,
+    busy: bool,
+}
+
+/// Store-and-forward packet network.
+pub struct PacketNet {
+    topo: Topology,
+    routing: Routing,
+    links: Vec<LinkState>,
+    /// Maximum queued packets per link (drop-tail beyond this).
+    queue_capacity: usize,
+    injected: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl PacketNet {
+    /// Builds a packet network with the given per-link queue capacity.
+    pub fn new(topo: Topology, queue_capacity: usize) -> Self {
+        assert!(queue_capacity > 0, "queue capacity must be positive");
+        let routing = Routing::compute(&topo);
+        let links = (0..topo.link_count())
+            .map(|_| LinkState {
+                queue: VecDeque::new(),
+                busy: false,
+            })
+            .collect();
+        PacketNet {
+            topo,
+            routing,
+            links,
+            queue_capacity,
+            injected: 0,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Packets injected / delivered / dropped so far.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.injected, self.delivered, self.dropped)
+    }
+
+    /// Injects the packets of a transfer at `src`, all at `now` (the
+    /// transport layer is responsible for pacing). Returns the number of
+    /// packets injected. Panics if `dst` is unreachable.
+    pub fn inject_transfer(
+        &mut self,
+        transfer: u64,
+        src: NodeId,
+        dst: NodeId,
+        n_packets: u32,
+        packet_size: f64,
+        sched: &mut impl Schedule<PacketEvent>,
+    ) -> Vec<PacketNote> {
+        let route: Arc<[LinkId]> = self
+            .routing
+            .path(&self.topo, src, dst)
+            .unwrap_or_else(|| panic!("no route {src:?} -> {dst:?}"))
+            .into();
+        assert!(!route.is_empty(), "src == dst");
+        let mut notes = Vec::new();
+        for index in 0..n_packets {
+            let pkt = Packet {
+                transfer,
+                index,
+                size: packet_size,
+                route: route.clone(),
+                hop: 0,
+                injected: sched.now(),
+            };
+            self.injected += 1;
+            if let Some(note) = self.enqueue(pkt, sched) {
+                notes.push(note);
+            }
+        }
+        notes
+    }
+
+    /// Injects a single packet (used by transports for pacing and acks).
+    pub fn inject_packet(
+        &mut self,
+        transfer: u64,
+        index: u32,
+        src: NodeId,
+        dst: NodeId,
+        size: f64,
+        sched: &mut impl Schedule<PacketEvent>,
+    ) -> Option<PacketNote> {
+        let route: Arc<[LinkId]> = self
+            .routing
+            .path(&self.topo, src, dst)
+            .unwrap_or_else(|| panic!("no route {src:?} -> {dst:?}"))
+            .into();
+        assert!(!route.is_empty(), "src == dst");
+        let pkt = Packet {
+            transfer,
+            index,
+            size,
+            route,
+            hop: 0,
+            injected: sched.now(),
+        };
+        self.injected += 1;
+        self.enqueue(pkt, sched)
+    }
+
+    /// Places a packet at the tail of its next link's queue.
+    fn enqueue(
+        &mut self,
+        pkt: Packet,
+        sched: &mut impl Schedule<PacketEvent>,
+    ) -> Option<PacketNote> {
+        let lid = pkt.route[pkt.hop];
+        let cap = self.queue_capacity;
+        let state = &mut self.links[lid.0];
+        if state.queue.len() >= cap {
+            self.dropped += 1;
+            return Some(PacketNote::Dropped {
+                transfer: pkt.transfer,
+                index: pkt.index,
+                link: lid,
+            });
+        }
+        state.queue.push_back(pkt);
+        if !state.busy {
+            self.start_transmit(lid, sched);
+        }
+        None
+    }
+
+    fn start_transmit(&mut self, lid: LinkId, sched: &mut impl Schedule<PacketEvent>) {
+        let state = &mut self.links[lid.0];
+        debug_assert!(!state.busy && !state.queue.is_empty());
+        state.busy = true;
+        let size = state.queue.front().expect("queue emptied").size;
+        let tx_time = size / self.topo.link(lid).bandwidth;
+        sched.schedule_in(tx_time, PacketEvent::TransmitDone { link: lid.0 });
+    }
+
+    /// Handles a packet event, returning notifications.
+    pub fn handle(
+        &mut self,
+        ev: PacketEvent,
+        sched: &mut impl Schedule<PacketEvent>,
+    ) -> Vec<PacketNote> {
+        match ev {
+            PacketEvent::TransmitDone { link } => {
+                let lid = LinkId(link);
+                let mut pkt = {
+                    let state = &mut self.links[link];
+                    let pkt = state.queue.pop_front().expect("transmit from empty queue");
+                    state.busy = false;
+                    if !state.queue.is_empty() {
+                        self.start_transmit(lid, sched);
+                    }
+                    pkt
+                };
+                pkt.hop += 1;
+                let latency = self.topo.link(lid).latency;
+                sched.schedule_in(latency, PacketEvent::Arrive { pkt });
+                Vec::new()
+            }
+            PacketEvent::Arrive { pkt } => {
+                if pkt.hop >= pkt.route.len() {
+                    self.delivered += 1;
+                    return vec![PacketNote::Delivered {
+                        transfer: pkt.transfer,
+                        index: pkt.index,
+                        latency: sched.now() - pkt.injected,
+                    }];
+                }
+                match self.enqueue(pkt, sched) {
+                    Some(note) => vec![note],
+                    None => Vec::new(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeKind;
+    use lsds_core::{Ctx, EventDriven, Model};
+
+    struct Harness {
+        net: PacketNet,
+        notes: Vec<PacketNote>,
+    }
+
+    enum Ev {
+        Inject {
+            transfer: u64,
+            src: NodeId,
+            dst: NodeId,
+            n: u32,
+            size: f64,
+        },
+        Net(PacketEvent),
+    }
+
+    impl Model for Harness {
+        type Event = Ev;
+        fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+            match ev {
+                Ev::Inject {
+                    transfer,
+                    src,
+                    dst,
+                    n,
+                    size,
+                } => {
+                    let notes =
+                        self.net
+                            .inject_transfer(transfer, src, dst, n, size, &mut ctx.map(Ev::Net));
+                    self.notes.extend(notes);
+                }
+                Ev::Net(pe) => {
+                    let notes = self.net.handle(pe, &mut ctx.map(Ev::Net));
+                    self.notes.extend(notes);
+                }
+            }
+        }
+    }
+
+    fn two_hop(bw: f64, lat: f64, qcap: usize) -> (Harness, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        let r = t.add_node(NodeKind::Router, "r");
+        let b = t.add_node(NodeKind::Host, "b");
+        t.add_link(a, r, bw, lat);
+        t.add_link(r, b, bw, lat);
+        (
+            Harness {
+                net: PacketNet::new(t, qcap),
+                notes: vec![],
+            },
+            a,
+            b,
+        )
+    }
+
+    #[test]
+    fn single_packet_latency_is_store_and_forward() {
+        let (h, a, b) = two_hop(1000.0, 0.1, 64);
+        let mut sim = EventDriven::new(h);
+        sim.schedule(
+            SimTime::ZERO,
+            Ev::Inject {
+                transfer: 1,
+                src: a,
+                dst: b,
+                n: 1,
+                size: 100.0,
+            },
+        );
+        sim.run();
+        let m = sim.model();
+        assert_eq!(m.notes.len(), 1);
+        match &m.notes[0] {
+            PacketNote::Delivered { latency, .. } => {
+                // 2 × (100/1000 serialization + 0.1 propagation) = 0.4
+                assert!((latency - 0.4).abs() < 1e-9, "latency {latency}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipelining_beats_naive_serial_model() {
+        // N packets over 2 hops: last delivery ≈ N·tx + tx + 2·lat,
+        // not 2·N·tx (store-and-forward pipelines across links)
+        let (h, a, b) = two_hop(1000.0, 0.0, 1000);
+        let mut sim = EventDriven::new(h);
+        sim.schedule(
+            SimTime::ZERO,
+            Ev::Inject {
+                transfer: 1,
+                src: a,
+                dst: b,
+                n: 50,
+                size: 100.0,
+            },
+        );
+        let stats = sim.run();
+        let tx = 100.0 / 1000.0;
+        let expected = 50.0 * tx + tx;
+        assert!(
+            (stats.end_time.seconds() - expected).abs() < 1e-9,
+            "end {} vs {expected}",
+            stats.end_time.seconds()
+        );
+        let (inj, del, drop) = sim.model().net.counters();
+        assert_eq!((inj, del, drop), (50, 50, 0));
+    }
+
+    #[test]
+    fn drops_when_queue_overflows() {
+        // queue capacity 4: a burst of 10 packets loses some at the first
+        // link (the head starts transmitting, 4 wait, the rest drop)
+        let (h, a, b) = two_hop(10.0, 0.0, 4);
+        let mut sim = EventDriven::new(h);
+        sim.schedule(
+            SimTime::ZERO,
+            Ev::Inject {
+                transfer: 1,
+                src: a,
+                dst: b,
+                n: 10,
+                size: 100.0,
+            },
+        );
+        sim.run();
+        let (inj, del, drop) = sim.model().net.counters();
+        assert_eq!(inj, 10);
+        assert_eq!(del + drop, 10);
+        assert_eq!(drop, 6, "4 queued (incl. head in service) + rest dropped");
+    }
+
+    #[test]
+    fn delivery_order_preserved_within_transfer() {
+        let (h, a, b) = two_hop(1000.0, 0.01, 1000);
+        let mut sim = EventDriven::new(h);
+        sim.schedule(
+            SimTime::ZERO,
+            Ev::Inject {
+                transfer: 9,
+                src: a,
+                dst: b,
+                n: 20,
+                size: 50.0,
+            },
+        );
+        sim.run();
+        let delivered: Vec<u32> = sim
+            .model()
+            .notes
+            .iter()
+            .filter_map(|n| match n {
+                PacketNote::Delivered { index, .. } => Some(*index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queueing_delay_grows_with_position() {
+        let (h, a, b) = two_hop(100.0, 0.0, 1000);
+        let mut sim = EventDriven::new(h);
+        sim.schedule(
+            SimTime::ZERO,
+            Ev::Inject {
+                transfer: 1,
+                src: a,
+                dst: b,
+                n: 5,
+                size: 100.0,
+            },
+        );
+        sim.run();
+        let lats: Vec<f64> = sim
+            .model()
+            .notes
+            .iter()
+            .filter_map(|n| match n {
+                PacketNote::Delivered { latency, .. } => Some(*latency),
+                _ => None,
+            })
+            .collect();
+        for w in lats.windows(2) {
+            assert!(w[1] > w[0], "later packets wait longer: {lats:?}");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Shortest-path routing over a [`Topology`].
+
+use crate::topology::{LinkId, NodeId, Topology};
+
+/// All-pairs next-hop routing, computed with Dijkstra per source.
+///
+/// Path weight is propagation latency, with hop count as tie-break, which
+/// matches the static shortest-path routing the surveyed Grid simulators
+/// assume. Routes are computed once; the simulated network is static for a
+/// run (topology dynamics would be modeled as distinct scenarios).
+#[derive(Debug, Clone)]
+pub struct Routing {
+    /// `next[src][dst]` = first link on the path, or `None` if unreachable.
+    next: Vec<Vec<Option<LinkId>>>,
+}
+
+impl Routing {
+    /// Computes routes for every ordered node pair.
+    pub fn compute(topo: &Topology) -> Self {
+        let n = topo.node_count();
+        let mut next = vec![vec![None; n]; n];
+        for src in 0..n {
+            // Dijkstra from src; dist = (latency, hops)
+            let mut dist = vec![(f64::INFINITY, u32::MAX); n];
+            let mut first_link: Vec<Option<LinkId>> = vec![None; n];
+            let mut visited = vec![false; n];
+            dist[src] = (0.0, 0);
+            let mut heap = std::collections::BinaryHeap::new();
+            heap.push(std::cmp::Reverse((
+                ordered_float(0.0),
+                0u32,
+                src,
+                None::<LinkId>,
+            )));
+            while let Some(std::cmp::Reverse((d, hops, u, via))) = heap.pop() {
+                if visited[u] {
+                    continue;
+                }
+                visited[u] = true;
+                first_link[u] = via;
+                for &lid in topo.out_links(NodeId(u)) {
+                    let link = topo.link(lid);
+                    let v = link.to.0;
+                    if visited[v] {
+                        continue;
+                    }
+                    let nd = from_ordered(d) + link.latency;
+                    let nh = hops + 1;
+                    if (nd, nh) < dist[v] {
+                        dist[v] = (nd, nh);
+                        let via_v = via.or(Some(lid));
+                        heap.push(std::cmp::Reverse((ordered_float(nd), nh, v, via_v)));
+                    }
+                }
+            }
+            for dst in 0..n {
+                if dst != src {
+                    next[src][dst] = first_link[dst];
+                }
+            }
+        }
+        Routing { next }
+    }
+
+    /// First link on the route from `src` to `dst`, or `None`.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.next[src.0][dst.0]
+    }
+
+    /// Full link path from `src` to `dst`, or `None` if unreachable.
+    pub fn path(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
+        if src == dst {
+            return Some(Vec::new());
+        }
+        let mut at = src;
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while at != dst {
+            let lid = self.next[at.0][dst.0]?;
+            out.push(lid);
+            at = topo.link(lid).to;
+            guard += 1;
+            assert!(guard <= topo.node_count(), "routing loop");
+        }
+        Some(out)
+    }
+
+    /// Sum of link latencies along the path.
+    pub fn path_latency(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<f64> {
+        let p = self.path(topo, src, dst)?;
+        Some(p.iter().map(|&l| topo.link(l).latency).sum())
+    }
+
+    /// Minimum bandwidth along the path (the path's static bottleneck).
+    pub fn path_bottleneck(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<f64> {
+        let p = self.path(topo, src, dst)?;
+        p.iter()
+            .map(|&l| topo.link(l).bandwidth)
+            .fold(None, |acc, b| Some(acc.map_or(b, |a: f64| a.min(b))))
+    }
+}
+
+// BinaryHeap needs Ord; wrap latency as sortable bits (all values finite
+// and non-negative here, so the IEEE bit pattern orders correctly).
+fn ordered_float(x: f64) -> u64 {
+    debug_assert!(x >= 0.0 && x.is_finite());
+    x.to_bits()
+}
+
+fn from_ordered(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{mbps, NodeKind};
+
+    fn line3() -> (Topology, [NodeId; 3]) {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        let b = t.add_node(NodeKind::Router, "b");
+        let c = t.add_node(NodeKind::Host, "c");
+        t.add_duplex(a, b, mbps(100.0), 0.01);
+        t.add_duplex(b, c, mbps(10.0), 0.02);
+        (t, [a, b, c])
+    }
+
+    #[test]
+    fn line_path() {
+        let (t, [a, _b, c]) = line3();
+        let r = Routing::compute(&t);
+        let p = r.path(&t, a, c).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!((r.path_latency(&t, a, c).unwrap() - 0.03).abs() < 1e-12);
+        assert_eq!(r.path_bottleneck(&t, a, c).unwrap(), mbps(10.0));
+    }
+
+    #[test]
+    fn self_path_is_empty() {
+        let (t, [a, _, _]) = line3();
+        let r = Routing::compute(&t);
+        assert!(r.path(&t, a, a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        let b = t.add_node(NodeKind::Host, "b");
+        let c = t.add_node(NodeKind::Host, "c");
+        t.add_link(a, b, 1.0, 0.0); // one-way only, c isolated
+        let r = Routing::compute(&t);
+        assert!(r.path(&t, a, c).is_none());
+        assert!(r.path(&t, b, a).is_none());
+        assert!(r.path(&t, a, b).is_some());
+    }
+
+    #[test]
+    fn picks_lower_latency_path() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        let b = t.add_node(NodeKind::Router, "b");
+        let c = t.add_node(NodeKind::Host, "c");
+        // direct but slow; via b is faster
+        t.add_link(a, c, mbps(1.0), 0.10);
+        t.add_link(a, b, mbps(1.0), 0.01);
+        t.add_link(b, c, mbps(1.0), 0.01);
+        let r = Routing::compute(&t);
+        assert_eq!(r.path(&t, a, c).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn equal_latency_prefers_fewer_hops() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        let b = t.add_node(NodeKind::Router, "b");
+        let c = t.add_node(NodeKind::Host, "c");
+        t.add_link(a, c, mbps(1.0), 0.02);
+        t.add_link(a, b, mbps(1.0), 0.01);
+        t.add_link(b, c, mbps(1.0), 0.01);
+        let r = Routing::compute(&t);
+        assert_eq!(r.path(&t, a, c).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn star_routes_through_hub() {
+        let (t, hosts) = Topology::star(4, mbps(100.0), 0.001);
+        let r = Routing::compute(&t);
+        let p = r.path(&t, hosts[0], hosts[3]).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+}

@@ -1,0 +1,294 @@
+//! Network topologies: hosts, routers, switches, and the links between them.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Identifier of a directed link in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub usize);
+
+/// The kinds of network elements the taxonomy names (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An end host (computing/storage site attachment point).
+    Host,
+    /// A routing element.
+    Router,
+    /// A switching element.
+    Switch,
+}
+
+/// A network node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// What kind of element this is.
+    pub kind: NodeKind,
+    /// Human-readable name for traces and tables.
+    pub name: String,
+}
+
+/// A directed link with a serialization bandwidth and propagation latency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Propagation latency in seconds.
+    pub latency: f64,
+}
+
+/// Converts megabits/second to bytes/second.
+pub fn mbps(x: f64) -> f64 {
+    x * 1.0e6 / 8.0
+}
+
+/// Converts gigabits/second to bytes/second.
+pub fn gbps(x: f64) -> f64 {
+    x * 1.0e9 / 8.0
+}
+
+/// A directed network graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// Outgoing link ids per node.
+    adj: Vec<Vec<LinkId>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {
+        self.nodes.push(Node {
+            kind,
+            name: name.into(),
+        });
+        self.adj.push(Vec::new());
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a directed link, returning its id.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, bandwidth: f64, latency: f64) -> LinkId {
+        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "bad endpoint");
+        assert!(bandwidth > 0.0 && bandwidth.is_finite(), "bad bandwidth");
+        assert!(latency >= 0.0 && latency.is_finite(), "bad latency");
+        self.links.push(Link {
+            from,
+            to,
+            bandwidth,
+            latency,
+        });
+        let id = LinkId(self.links.len() - 1);
+        self.adj[from.0].push(id);
+        id
+    }
+
+    /// Adds a symmetric pair of links, returning `(forward, reverse)`.
+    pub fn add_duplex(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bandwidth: f64,
+        latency: f64,
+    ) -> (LinkId, LinkId) {
+        (
+            self.add_link(a, b, bandwidth, latency),
+            self.add_link(b, a, bandwidth, latency),
+        )
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Link accessor.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Outgoing links of a node.
+    pub fn out_links(&self, id: NodeId) -> &[LinkId] {
+        &self.adj[id.0]
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Builds a star: `n` hosts around one central switch, each spoke with
+    /// the given bandwidth/latency. Returns `(topology, hosts)`.
+    pub fn star(n: usize, bandwidth: f64, latency: f64) -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let hub = t.add_node(NodeKind::Switch, "hub");
+        let hosts: Vec<NodeId> = (0..n)
+            .map(|i| {
+                let h = t.add_node(NodeKind::Host, format!("host{i}"));
+                t.add_duplex(h, hub, bandwidth, latency);
+                h
+            })
+            .collect();
+        (t, hosts)
+    }
+
+    /// Builds a dumbbell: `n` sources and `n` sinks joined by one shared
+    /// bottleneck of bandwidth `bottleneck_bw`. Access links get
+    /// `access_bw`. Returns `(topology, sources, sinks)`.
+    pub fn dumbbell(
+        n: usize,
+        access_bw: f64,
+        bottleneck_bw: f64,
+        latency: f64,
+    ) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let left = t.add_node(NodeKind::Router, "left");
+        let right = t.add_node(NodeKind::Router, "right");
+        t.add_duplex(left, right, bottleneck_bw, latency);
+        let sources: Vec<NodeId> = (0..n)
+            .map(|i| {
+                let h = t.add_node(NodeKind::Host, format!("src{i}"));
+                t.add_duplex(h, left, access_bw, latency);
+                h
+            })
+            .collect();
+        let sinks: Vec<NodeId> = (0..n)
+            .map(|i| {
+                let h = t.add_node(NodeKind::Host, format!("dst{i}"));
+                t.add_duplex(right, h, access_bw, latency);
+                h
+            })
+            .collect();
+        (t, sources, sinks)
+    }
+
+    /// Builds a balanced tree (for MONARC-style tier models): `fanouts[d]`
+    /// children per node at depth `d`, link parameters per depth. Returns
+    /// `(topology, levels)` where `levels[d]` lists the node ids at depth
+    /// `d` (the root is `levels[0][0]`).
+    pub fn tiered_tree(
+        fanouts: &[usize],
+        bandwidths: &[f64],
+        latencies: &[f64],
+    ) -> (Topology, Vec<Vec<NodeId>>) {
+        assert_eq!(fanouts.len(), bandwidths.len());
+        assert_eq!(fanouts.len(), latencies.len());
+        let mut t = Topology::new();
+        let root = t.add_node(NodeKind::Host, "tier0");
+        let mut levels = vec![vec![root]];
+        for (d, &f) in fanouts.iter().enumerate() {
+            let mut next = Vec::new();
+            let parents = levels[d].clone();
+            for (pi, p) in parents.iter().enumerate() {
+                for c in 0..f {
+                    let id = t.add_node(
+                        NodeKind::Host,
+                        format!("tier{}-{}", d + 1, pi * f + c),
+                    );
+                    t.add_duplex(*p, id, bandwidths[d], latencies[d]);
+                    next.push(id);
+                }
+            }
+            levels.push(next);
+        }
+        (t, levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        let b = t.add_node(NodeKind::Router, "b");
+        let l = t.add_link(a, b, mbps(100.0), 0.01);
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.link_count(), 1);
+        assert_eq!(t.link(l).from, a);
+        assert_eq!(t.out_links(a), &[l]);
+        assert!(t.out_links(b).is_empty());
+        assert_eq!(t.node(b).kind, NodeKind::Router);
+    }
+
+    #[test]
+    fn duplex_adds_both_directions() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        let b = t.add_node(NodeKind::Host, "b");
+        let (f, r) = t.add_duplex(a, b, 1.0, 0.0);
+        assert_eq!(t.link(f).from, a);
+        assert_eq!(t.link(r).from, b);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(mbps(8.0), 1.0e6);
+        assert_eq!(gbps(8.0), 1.0e9);
+    }
+
+    #[test]
+    fn star_shape() {
+        let (t, hosts) = Topology::star(5, mbps(100.0), 0.001);
+        assert_eq!(hosts.len(), 5);
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.link_count(), 10);
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let (t, src, dst) = Topology::dumbbell(3, mbps(100.0), mbps(10.0), 0.01);
+        assert_eq!(src.len(), 3);
+        assert_eq!(dst.len(), 3);
+        // 2 routers + 6 hosts
+        assert_eq!(t.node_count(), 8);
+        // bottleneck pair + 6 access pairs
+        assert_eq!(t.link_count(), 14);
+    }
+
+    #[test]
+    fn tiered_tree_shape() {
+        // T0 -> 2x T1 -> 3x T2 each
+        let (t, levels) = Topology::tiered_tree(
+            &[2, 3],
+            &[gbps(2.5), gbps(1.0)],
+            &[0.05, 0.02],
+        );
+        assert_eq!(levels[0].len(), 1);
+        assert_eq!(levels[1].len(), 2);
+        assert_eq!(levels[2].len(), 6);
+        assert_eq!(t.node_count(), 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        let b = t.add_node(NodeKind::Host, "b");
+        t.add_link(a, b, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! FTP-like bulk transfer service — a "higher-level application protocol".
+//!
+//! The taxonomy also lists "higher-level application protocols such as
+//! FTP, NFS" (§3). This service sits on the fluid [`FlowNet`] and adds the
+//! application-level behavior grid middleware actually sees: per-server
+//! session limits and a FIFO request queue, so a site with `max_sessions`
+//! concurrent outbound transfers queues the rest — the mechanism behind
+//! replica-transfer contention in the replication experiments (E6–E8).
+
+use crate::flow::{FlowDone, FlowEvent, FlowNet};
+use crate::topology::NodeId;
+use lsds_core::{Schedule, SimTime};
+use std::collections::VecDeque;
+
+/// A queued file-transfer request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferRequest {
+    /// Serving (source) node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// File size in bytes.
+    pub bytes: f64,
+    /// Owner tag, passed through to the completion record.
+    pub tag: u64,
+    /// When the request entered the service queue.
+    pub requested: SimTime,
+}
+
+/// Completed transfer, including time spent waiting for a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferDone {
+    /// The original request.
+    pub request: TransferRequest,
+    /// When the transfer finished.
+    pub finished: SimTime,
+    /// Seconds spent queued before a session opened.
+    pub queue_wait: f64,
+}
+
+struct Server {
+    active: usize,
+    waiting: VecDeque<TransferRequest>,
+}
+
+/// FTP-like transfer service over a [`FlowNet`].
+pub struct FtpService {
+    net: FlowNet,
+    servers: Vec<Server>,
+    max_sessions: usize,
+    /// start time per in-flight flow tag (indexed by flow id)
+    started: std::collections::HashMap<u64, TransferRequest>,
+    completed: Vec<TransferDone>,
+}
+
+impl FtpService {
+    /// Wraps a flow network; each node serves at most `max_sessions`
+    /// concurrent outbound transfers.
+    pub fn new(net: FlowNet, max_sessions: usize) -> Self {
+        assert!(max_sessions > 0, "need at least one session");
+        let n = net.topology().node_count();
+        FtpService {
+            net,
+            servers: (0..n)
+                .map(|_| Server {
+                    active: 0,
+                    waiting: VecDeque::new(),
+                })
+                .collect(),
+            max_sessions,
+            started: std::collections::HashMap::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// The underlying flow network.
+    pub fn net(&self) -> &FlowNet {
+        &self.net
+    }
+
+    /// Transfers completed so far.
+    pub fn completed(&self) -> &[TransferDone] {
+        &self.completed
+    }
+
+    /// Requests queued at `node` (excluding active sessions).
+    pub fn queue_len(&self, node: NodeId) -> usize {
+        self.servers[node.0].waiting.len()
+    }
+
+    /// Active sessions at `node`.
+    pub fn active_sessions(&self, node: NodeId) -> usize {
+        self.servers[node.0].active
+    }
+
+    /// Submits a transfer request; it starts immediately if the source has
+    /// a free session, otherwise it queues FIFO.
+    pub fn request(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: f64,
+        tag: u64,
+        sched: &mut impl Schedule<FlowEvent>,
+    ) {
+        let req = TransferRequest {
+            src,
+            dst,
+            bytes,
+            tag,
+            requested: sched.now(),
+        };
+        if self.servers[src.0].active < self.max_sessions {
+            self.begin(req, sched);
+        } else {
+            self.servers[src.0].waiting.push_back(req);
+        }
+    }
+
+    fn begin(&mut self, req: TransferRequest, sched: &mut impl Schedule<FlowEvent>) {
+        self.servers[req.src.0].active += 1;
+        let id = self
+            .net
+            .start(req.src, req.dst, req.bytes, req.tag, sched);
+        self.started.insert(id.0, req);
+    }
+
+    /// Routes a flow event through the network, closing sessions and
+    /// starting queued transfers as flows complete. Returns the transfers
+    /// that finished on this event.
+    pub fn handle(
+        &mut self,
+        ev: FlowEvent,
+        sched: &mut impl Schedule<FlowEvent>,
+    ) -> Vec<TransferDone> {
+        let done: Vec<FlowDone> = self.net.handle(ev, sched);
+        let mut finished = Vec::new();
+        for d in done {
+            let req = self
+                .started
+                .remove(&d.id.0)
+                .expect("completion for unknown transfer");
+            let server = &mut self.servers[req.src.0];
+            server.active -= 1;
+            // a queued request takes over the freed session
+            if let Some(next) = server.waiting.pop_front() {
+                self.begin(next, sched);
+            }
+            let rec = TransferDone {
+                queue_wait: d.requested - req.requested,
+                request: req,
+                finished: d.finished,
+            };
+            self.completed.push(rec.clone());
+            finished.push(rec);
+        }
+        finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{mbps, NodeKind, Topology};
+    use lsds_core::{Ctx, EventDriven, Model};
+
+    struct Harness {
+        ftp: FtpService,
+    }
+
+    enum Ev {
+        Req(NodeId, NodeId, f64, u64),
+        Net(FlowEvent),
+    }
+
+    impl Model for Harness {
+        type Event = Ev;
+        fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+            match ev {
+                Ev::Req(s, d, b, tag) => {
+                    self.ftp.request(s, d, b, tag, &mut ctx.map(Ev::Net));
+                }
+                Ev::Net(fe) => {
+                    self.ftp.handle(fe, &mut ctx.map(Ev::Net));
+                }
+            }
+        }
+    }
+
+    fn setup(max_sessions: usize) -> (EventDriven<Harness>, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        let b = t.add_node(NodeKind::Host, "b");
+        t.add_duplex(a, b, mbps(80.0), 0.0); // 10 MB/s
+        let sim = EventDriven::new(Harness {
+            ftp: FtpService::new(FlowNet::new(t), max_sessions),
+        });
+        (sim, a, b)
+    }
+
+    #[test]
+    fn sessions_limit_concurrency() {
+        let (mut sim, a, b) = setup(1);
+        // three 10 MB files: serialized at 1 session → 1s each
+        for tag in 0..3 {
+            sim.schedule(SimTime::ZERO, Ev::Req(a, b, 10.0e6, tag));
+        }
+        sim.run();
+        let completed = sim.model().ftp.completed();
+        assert_eq!(completed.len(), 3);
+        let mut ends: Vec<f64> = completed.iter().map(|c| c.finished.seconds()).collect();
+        ends.sort_by(f64::total_cmp);
+        assert!((ends[0] - 1.0).abs() < 1e-9);
+        assert!((ends[1] - 2.0).abs() < 1e-9);
+        assert!((ends[2] - 3.0).abs() < 1e-9);
+        // the third request waited two service times
+        let waits: Vec<f64> = completed.iter().map(|c| c.queue_wait).collect();
+        assert!(waits.iter().cloned().fold(0.0, f64::max) >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn parallel_sessions_share_bandwidth() {
+        let (mut sim, a, b) = setup(3);
+        for tag in 0..3 {
+            sim.schedule(SimTime::ZERO, Ev::Req(a, b, 10.0e6, tag));
+        }
+        sim.run();
+        let completed = sim.model().ftp.completed();
+        // all three share 10 MB/s → all finish at 3s, no queue wait
+        for c in completed {
+            assert!((c.finished.seconds() - 3.0).abs() < 1e-9, "{c:?}");
+            assert_eq!(c.queue_wait, 0.0);
+        }
+    }
+
+    #[test]
+    fn queue_state_accessors() {
+        let (mut sim, a, b) = setup(1);
+        for tag in 0..4 {
+            sim.schedule(SimTime::ZERO, Ev::Req(a, b, 100.0e6, tag));
+        }
+        sim.run_until(SimTime::new(0.5));
+        let ftp = &sim.model().ftp;
+        assert_eq!(ftp.active_sessions(a), 1);
+        assert_eq!(ftp.queue_len(a), 3);
+        assert_eq!(ftp.active_sessions(b), 0);
+    }
+}

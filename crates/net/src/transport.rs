@@ -1,0 +1,676 @@
+//! Infrastructure transport protocols over the packet network.
+//!
+//! The taxonomy's protocol axis: "the infrastructure communication
+//! protocols refers to lower-level protocols such as TCP, UDP" (§3).
+//!
+//! * TCP-like connections — reliable, congestion-controlled bulk transfer:
+//!   slow start / congestion avoidance (AIMD), fast retransmit on three
+//!   duplicate acks, go-back-N recovery on timeout, adaptive
+//!   retransmission timers (Jacobson/Karn). Acks are modeled as
+//!   latency-only return signals (they do not consume forward bandwidth),
+//!   the usual simplification in grid-level simulators.
+//! * UDP-like streams — fixed-rate unreliable datagrams; loss is whatever
+//!   the drop-tail queues discard.
+
+use crate::packet::{PacketEvent, PacketNet, PacketNote};
+use crate::routing::Routing;
+use crate::topology::NodeId;
+use lsds_core::{Schedule, SimTime};
+use std::collections::BTreeSet;
+
+/// Transfer-id tag space: TCP segment vs UDP datagram.
+const UDP_KIND: u64 = 1 << 32;
+
+/// Events of the transport component.
+#[derive(Debug, Clone)]
+pub enum TransportEvent {
+    /// Underlying packet-network event.
+    Net(PacketEvent),
+    /// Cumulative ack reaching the sender of connection `conn`.
+    AckArrive {
+        /// Connection index.
+        conn: usize,
+        /// One past the highest contiguous segment received.
+        upto: u32,
+    },
+    /// Retransmission timer for segment `seq` of connection `conn`.
+    Timeout {
+        /// Connection index.
+        conn: usize,
+        /// Segment the timer guards.
+        seq: u32,
+        /// Recovery epoch the timer belongs to (stale epochs are ignored).
+        epoch: u64,
+    },
+    /// Pacing tick of UDP stream `stream`.
+    UdpTick {
+        /// Stream index.
+        stream: usize,
+    },
+}
+
+/// Notifications returned to the owner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportNote {
+    /// A TCP connection delivered all its segments.
+    TcpComplete {
+        /// Connection index.
+        conn: usize,
+        /// Completion time.
+        at: SimTime,
+        /// Total retransmitted segments (loss recovery cost).
+        retransmits: u64,
+    },
+    /// A UDP stream sent its last datagram (loss counted separately).
+    UdpFinished {
+        /// Stream index.
+        stream: usize,
+    },
+}
+
+/// Sender/receiver state of one TCP-like connection.
+#[derive(Debug)]
+pub struct TcpConnection {
+    src: NodeId,
+    dst: NodeId,
+    total: u32,
+    seg_size: f64,
+    /// Next segment index to send (go-back-N rewinds this).
+    next_seq: u32,
+    /// One past the highest cumulatively acked segment.
+    acked: u32,
+    in_flight: BTreeSet<u32>,
+    cwnd: f64,
+    ssthresh: f64,
+    dup_acks: u32,
+    /// Receiver side: which segments have arrived.
+    received: Vec<bool>,
+    recv_contig: u32,
+    /// Last send time per segment (NaN = never sent).
+    send_time: Vec<f64>,
+    /// Karn's rule: retransmitted segments are not RTT-sampled.
+    retx_flag: Vec<bool>,
+    srtt: Option<f64>,
+    rttvar: f64,
+    reverse_latency: f64,
+    /// Recovery epoch; bumping it invalidates all outstanding timers.
+    epoch: u64,
+    retransmits: u64,
+    started: SimTime,
+    finished: Option<SimTime>,
+    done: bool,
+}
+
+impl TcpConnection {
+    /// Current congestion window (segments).
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Segments retransmitted so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Whether all segments were acked.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Fraction of the transfer acked.
+    pub fn progress(&self) -> f64 {
+        self.acked as f64 / self.total as f64
+    }
+
+    /// When the connection opened.
+    pub fn started(&self) -> SimTime {
+        self.started
+    }
+
+    /// When the transfer completed, if it has.
+    pub fn finished(&self) -> Option<SimTime> {
+        self.finished
+    }
+
+    /// Current retransmission timeout.
+    ///
+    /// Jacobson's estimator with a 200 ms floor (as real stacks use):
+    /// without the floor, the self-induced queueing delay of slow start
+    /// doubles the RTT every round and the lagging EWMA fires spurious
+    /// timeouts on a perfectly lossless path.
+    fn rto(&self) -> f64 {
+        match self.srtt {
+            Some(s) => (2.0 * s + 4.0 * self.rttvar).max(0.2),
+            None => 1.0,
+        }
+    }
+
+    fn sample_rtt(&mut self, sample: f64) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - sample).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * sample);
+            }
+        }
+    }
+}
+
+/// A fixed-rate unreliable datagram stream.
+#[derive(Debug)]
+pub struct UdpStream {
+    src: NodeId,
+    dst: NodeId,
+    remaining: u32,
+    interval: f64,
+    size: f64,
+    /// Datagrams delivered end-to-end.
+    pub delivered: u64,
+    /// Datagrams dropped in the network.
+    pub dropped: u64,
+    next_index: u32,
+}
+
+/// Transport layer bundling a [`PacketNet`] with TCP connections and UDP
+/// streams. Drive it by routing [`TransportEvent`]s into [`handle`].
+///
+/// [`handle`]: TransportNet::handle
+pub struct TransportNet {
+    net: PacketNet,
+    routing: Routing,
+    conns: Vec<TcpConnection>,
+    streams: Vec<UdpStream>,
+}
+
+impl TransportNet {
+    /// Wraps a packet network.
+    pub fn new(net: PacketNet) -> Self {
+        let routing = Routing::compute(net.topology());
+        TransportNet {
+            net,
+            routing,
+            conns: Vec::new(),
+            streams: Vec::new(),
+        }
+    }
+
+    /// The underlying packet network.
+    pub fn net(&self) -> &PacketNet {
+        &self.net
+    }
+
+    /// Connection accessor.
+    pub fn conn(&self, i: usize) -> &TcpConnection {
+        &self.conns[i]
+    }
+
+    /// Stream accessor.
+    pub fn stream(&self, i: usize) -> &UdpStream {
+        &self.streams[i]
+    }
+
+    /// Opens a TCP-like connection transferring `total` segments of
+    /// `seg_size` bytes; slow start begins immediately.
+    pub fn open_tcp(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        total: u32,
+        seg_size: f64,
+        sched: &mut impl Schedule<TransportEvent>,
+    ) -> usize {
+        assert!(total > 0, "empty transfer");
+        let topo = self.net.topology();
+        assert!(
+            self.routing.path(topo, src, dst).is_some(),
+            "no route {src:?} -> {dst:?}"
+        );
+        let rev_lat = self
+            .routing
+            .path_latency(topo, dst, src)
+            .expect("no reverse route for acks");
+        let id = self.conns.len();
+        self.conns.push(TcpConnection {
+            src,
+            dst,
+            total,
+            seg_size,
+            next_seq: 0,
+            acked: 0,
+            in_flight: BTreeSet::new(),
+            cwnd: 1.0,
+            ssthresh: 64.0,
+            dup_acks: 0,
+            received: vec![false; total as usize],
+            recv_contig: 0,
+            send_time: vec![f64::NAN; total as usize],
+            retx_flag: vec![false; total as usize],
+            srtt: None,
+            rttvar: 0.0,
+            reverse_latency: rev_lat,
+            epoch: 0,
+            retransmits: 0,
+            started: sched.now(),
+            finished: None,
+            done: false,
+        });
+        self.pump(id, sched);
+        id
+    }
+
+    /// Starts a UDP stream of `count` datagrams of `size` bytes, one every
+    /// `interval` seconds.
+    pub fn open_udp(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        count: u32,
+        size: f64,
+        interval: f64,
+        sched: &mut impl Schedule<TransportEvent>,
+    ) -> usize {
+        assert!(count > 0 && interval > 0.0, "bad UDP stream");
+        let id = self.streams.len();
+        self.streams.push(UdpStream {
+            src,
+            dst,
+            remaining: count,
+            interval,
+            size,
+            delivered: 0,
+            dropped: 0,
+            next_index: 0,
+        });
+        sched.schedule_in(0.0, TransportEvent::UdpTick { stream: id });
+        id
+    }
+
+    /// Sends as many new segments as the congestion window allows.
+    fn pump(&mut self, conn: usize, sched: &mut impl Schedule<TransportEvent>) {
+        loop {
+            let c = &self.conns[conn];
+            if c.done
+                || c.next_seq >= c.total
+                || (c.in_flight.len() as f64) >= c.cwnd.floor().max(1.0)
+            {
+                break;
+            }
+            let seq = c.next_seq;
+            self.conns[conn].next_seq = seq + 1;
+            self.send_segment(conn, seq, sched);
+        }
+    }
+
+    fn send_segment(&mut self, conn: usize, seq: u32, sched: &mut impl Schedule<TransportEvent>) {
+        let (src, dst, size, rto, epoch) = {
+            let c = &mut self.conns[conn];
+            c.in_flight.insert(seq);
+            if !c.send_time[seq as usize].is_nan() {
+                c.retx_flag[seq as usize] = true; // Karn: exclude from RTT
+            }
+            c.send_time[seq as usize] = sched.now().seconds();
+            (c.src, c.dst, c.seg_size, c.rto(), c.epoch)
+        };
+        let _ = self.net.inject_packet(
+            conn as u64,
+            seq,
+            src,
+            dst,
+            size,
+            &mut map_net(sched),
+        ); // an injection drop is a loss the timer will recover
+        sched.schedule_in(rto, TransportEvent::Timeout { conn, seq, epoch });
+    }
+
+    /// Handles a transport event, returning notifications.
+    pub fn handle(
+        &mut self,
+        ev: TransportEvent,
+        sched: &mut impl Schedule<TransportEvent>,
+    ) -> Vec<TransportNote> {
+        match ev {
+            TransportEvent::Net(pe) => {
+                let notes = self.net.handle(pe, &mut map_net(sched));
+                let mut out = Vec::new();
+                for note in notes {
+                    out.extend(self.on_packet_note(note, sched));
+                }
+                out
+            }
+            TransportEvent::AckArrive { conn, upto } => self.on_ack(conn, upto, sched),
+            TransportEvent::Timeout { conn, seq, epoch } => {
+                self.on_timeout(conn, seq, epoch, sched)
+            }
+            TransportEvent::UdpTick { stream } => {
+                self.on_udp_tick(stream, sched);
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_packet_note(
+        &mut self,
+        note: PacketNote,
+        sched: &mut impl Schedule<TransportEvent>,
+    ) -> Vec<TransportNote> {
+        match note {
+            PacketNote::Delivered {
+                transfer, index, ..
+            } => {
+                if transfer & UDP_KIND != 0 {
+                    let stream = (transfer & 0xFFFF_FFFF) as usize;
+                    self.streams[stream].delivered += 1;
+                    return Vec::new();
+                }
+                let conn = transfer as usize;
+                let c = &mut self.conns[conn];
+                if let Some(slot) = c.received.get_mut(index as usize) {
+                    *slot = true;
+                }
+                while (c.recv_contig as usize) < c.received.len()
+                    && c.received[c.recv_contig as usize]
+                {
+                    c.recv_contig += 1;
+                }
+                // cumulative ack travels back latency-only
+                let upto = c.recv_contig;
+                let lat = c.reverse_latency;
+                sched.schedule_in(lat, TransportEvent::AckArrive { conn, upto });
+                Vec::new()
+            }
+            PacketNote::Dropped { transfer, .. } => {
+                if transfer & UDP_KIND != 0 {
+                    let stream = (transfer & 0xFFFF_FFFF) as usize;
+                    self.streams[stream].dropped += 1;
+                }
+                // TCP drops recover via timers / dup acks
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_ack(
+        &mut self,
+        conn: usize,
+        upto: u32,
+        sched: &mut impl Schedule<TransportEvent>,
+    ) -> Vec<TransportNote> {
+        let mut fast_retx = None;
+        let finish;
+        {
+            let c = &mut self.conns[conn];
+            if c.done {
+                return Vec::new();
+            }
+            if upto > c.acked {
+                let newly = (upto - c.acked) as f64;
+                // RTT sample from the highest newly acked, if never resent
+                let hi = (upto - 1) as usize;
+                if !c.retx_flag[hi] && !c.send_time[hi].is_nan() {
+                    let sample = sched.now().seconds() - c.send_time[hi];
+                    c.sample_rtt(sample);
+                }
+                c.acked = upto;
+                c.dup_acks = 0;
+                c.in_flight.retain(|&s| s >= upto);
+                // a go-back-N rewind may have left next_seq behind data the
+                // receiver already has; never (re)send below the ack point
+                c.next_seq = c.next_seq.max(upto);
+                if c.cwnd < c.ssthresh {
+                    c.cwnd += newly; // slow start
+                } else {
+                    c.cwnd += newly / c.cwnd; // congestion avoidance
+                }
+            } else {
+                c.dup_acks += 1;
+                if c.dup_acks == 3 {
+                    // fast retransmit + simplified fast recovery
+                    c.ssthresh = (c.cwnd / 2.0).max(2.0);
+                    c.cwnd = c.ssthresh;
+                    c.dup_acks = 0;
+                    c.retransmits += 1;
+                    fast_retx = Some(c.acked);
+                }
+            }
+            finish = c.acked >= c.total;
+            if finish {
+                c.done = true;
+                c.finished = Some(sched.now());
+            }
+        }
+        if finish {
+            let c = &self.conns[conn];
+            return vec![TransportNote::TcpComplete {
+                conn,
+                at: sched.now(),
+                retransmits: c.retransmits,
+            }];
+        }
+        if let Some(seq) = fast_retx {
+            self.send_segment(conn, seq, sched);
+        }
+        self.pump(conn, sched);
+        Vec::new()
+    }
+
+    fn on_timeout(
+        &mut self,
+        conn: usize,
+        seq: u32,
+        epoch: u64,
+        sched: &mut impl Schedule<TransportEvent>,
+    ) -> Vec<TransportNote> {
+        {
+            let c = &mut self.conns[conn];
+            let stale =
+                c.done || epoch != c.epoch || seq < c.acked || !c.in_flight.contains(&seq);
+            if stale {
+                return Vec::new();
+            }
+            // go-back-N: collapse the window and resend from the hole
+            c.epoch += 1;
+            c.ssthresh = (c.cwnd / 2.0).max(2.0);
+            c.cwnd = 1.0;
+            c.in_flight.clear();
+            c.next_seq = c.acked;
+            c.retransmits += 1;
+        }
+        self.pump(conn, sched);
+        Vec::new()
+    }
+
+    fn on_udp_tick(&mut self, stream: usize, sched: &mut impl Schedule<TransportEvent>) {
+        let (src, dst, size, index, more, interval) = {
+            let s = &mut self.streams[stream];
+            if s.remaining == 0 {
+                return;
+            }
+            s.remaining -= 1;
+            let idx = s.next_index;
+            s.next_index += 1;
+            (s.src, s.dst, s.size, idx, s.remaining > 0, s.interval)
+        };
+        let tag = UDP_KIND | stream as u64;
+        if let Some(PacketNote::Dropped { .. }) =
+            self.net.inject_packet(tag, index, src, dst, size, &mut map_net(sched))
+        {
+            self.streams[stream].dropped += 1;
+        }
+        if more {
+            sched.schedule_in(interval, TransportEvent::UdpTick { stream });
+        }
+    }
+}
+
+/// Adapter exposing a `Schedule<TransportEvent>` as `Schedule<PacketEvent>`.
+struct MapSched<'a, S>(&'a mut S);
+
+fn map_net<S: Schedule<TransportEvent>>(s: &mut S) -> MapSched<'_, S> {
+    MapSched(s)
+}
+
+impl<'a, S: Schedule<TransportEvent>> Schedule<PacketEvent> for MapSched<'a, S> {
+    fn now(&self) -> SimTime {
+        self.0.now()
+    }
+    fn schedule_at(&mut self, t: SimTime, event: PacketEvent) {
+        self.0.schedule_at(t, TransportEvent::Net(event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{NodeKind, Topology};
+    use lsds_core::{Ctx, EventDriven, Model};
+
+    struct Harness {
+        tn: TransportNet,
+        notes: Vec<TransportNote>,
+    }
+
+    enum Ev {
+        OpenTcp(NodeId, NodeId, u32, f64),
+        OpenUdp(NodeId, NodeId, u32, f64, f64),
+        T(TransportEvent),
+    }
+
+    impl Model for Harness {
+        type Event = Ev;
+        fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+            match ev {
+                Ev::OpenTcp(s, d, n, sz) => {
+                    self.tn.open_tcp(s, d, n, sz, &mut ctx.map(Ev::T));
+                }
+                Ev::OpenUdp(s, d, n, sz, iv) => {
+                    self.tn.open_udp(s, d, n, sz, iv, &mut ctx.map(Ev::T));
+                }
+                Ev::T(te) => {
+                    let notes = self.tn.handle(te, &mut ctx.map(Ev::T));
+                    self.notes.extend(notes);
+                }
+            }
+        }
+    }
+
+    fn bottleneck(bw: f64, lat: f64, qcap: usize) -> (Harness, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        let r = t.add_node(NodeKind::Router, "r");
+        let b = t.add_node(NodeKind::Host, "b");
+        t.add_duplex(a, r, bw * 10.0, lat);
+        t.add_duplex(r, b, bw, lat);
+        (
+            Harness {
+                tn: TransportNet::new(PacketNet::new(t, qcap)),
+                notes: vec![],
+            },
+            a,
+            b,
+        )
+    }
+
+    #[test]
+    fn tcp_completes_without_loss() {
+        let (h, a, b) = bottleneck(1.0e6, 0.001, 1000);
+        let mut sim = EventDriven::new(h);
+        sim.schedule(SimTime::ZERO, Ev::OpenTcp(a, b, 100, 1000.0));
+        sim.run();
+        let m = sim.model();
+        assert_eq!(m.notes.len(), 1);
+        match &m.notes[0] {
+            TransportNote::TcpComplete { retransmits, .. } => {
+                assert_eq!(*retransmits, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(m.tn.conn(0).is_done());
+        assert_eq!(m.tn.conn(0).progress(), 1.0);
+        assert!(m.tn.conn(0).finished().is_some());
+    }
+
+    #[test]
+    fn tcp_recovers_from_loss_and_completes() {
+        // tiny queue forces drops during slow start
+        let (h, a, b) = bottleneck(1.0e5, 0.005, 3);
+        let mut sim = EventDriven::new(h);
+        sim.schedule(SimTime::ZERO, Ev::OpenTcp(a, b, 200, 1000.0));
+        sim.run();
+        let m = sim.model();
+        assert_eq!(m.notes.len(), 1, "connection must still complete");
+        match &m.notes[0] {
+            TransportNote::TcpComplete { retransmits, .. } => {
+                assert!(*retransmits > 0, "loss must have occurred");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_goodput_bounded_by_bottleneck() {
+        let bw = 1.0e6;
+        let (h, a, b) = bottleneck(bw, 0.001, 50);
+        let mut sim = EventDriven::new(h);
+        sim.schedule(SimTime::ZERO, Ev::OpenTcp(a, b, 500, 1000.0));
+        sim.run();
+        let m = sim.model();
+        let end = m.tn.conn(0).finished().expect("must finish").seconds();
+        let goodput = 500.0 * 1000.0 / end;
+        assert!(goodput <= bw * 1.01, "goodput {goodput} vs {bw}");
+        assert!(goodput >= bw * 0.3, "goodput {goodput} unreasonably low");
+    }
+
+    #[test]
+    fn tcp_slow_start_grows_window() {
+        let (h, a, b) = bottleneck(1.0e7, 0.01, 10_000);
+        let mut sim = EventDriven::new(h);
+        sim.schedule(SimTime::ZERO, Ev::OpenTcp(a, b, 400, 1000.0));
+        sim.run();
+        // lossless run: window should have grown well past initial 1
+        assert!(sim.model().tn.conn(0).cwnd() > 16.0);
+    }
+
+    #[test]
+    fn udp_lossless_below_capacity() {
+        let (h, a, b) = bottleneck(1.0e6, 0.001, 50);
+        let mut sim = EventDriven::new(h);
+        // 1000-byte datagrams every 2ms = 500 kB/s < 1 MB/s
+        sim.schedule(SimTime::ZERO, Ev::OpenUdp(a, b, 200, 1000.0, 0.002));
+        sim.run();
+        let s = sim.model().tn.stream(0);
+        assert_eq!(s.delivered, 200);
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn udp_loss_fraction_matches_overload() {
+        let (h, a, b) = bottleneck(1.0e6, 0.001, 2);
+        let mut sim = EventDriven::new(h);
+        // 1000-byte datagrams every 0.5ms = 2 MB/s into a 1 MB/s link
+        sim.schedule(SimTime::ZERO, Ev::OpenUdp(a, b, 2000, 1000.0, 0.0005));
+        sim.run();
+        let s = sim.model().tn.stream(0);
+        assert_eq!(s.delivered + s.dropped, 2000);
+        let loss = s.dropped as f64 / 2000.0;
+        assert!(
+            (loss - 0.5).abs() < 0.1,
+            "expected ≈50% loss, got {loss} ({} dropped)",
+            s.dropped
+        );
+    }
+
+    #[test]
+    fn two_tcp_connections_share_bottleneck() {
+        let (h, a, b) = bottleneck(1.0e6, 0.001, 100);
+        let mut sim = EventDriven::new(h);
+        sim.schedule(SimTime::ZERO, Ev::OpenTcp(a, b, 300, 1000.0));
+        sim.schedule(SimTime::ZERO, Ev::OpenTcp(a, b, 300, 1000.0));
+        sim.run();
+        let m = sim.model();
+        assert_eq!(m.notes.len(), 2, "both complete");
+        assert!(m.tn.conn(0).is_done() && m.tn.conn(1).is_done());
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based tests of the network substrate: conservation of bytes
+//! and packets, completion-time lower bounds, routing sanity.
+
+use lsds_core::{Ctx, EventDriven, Model, SimTime};
+use lsds_net::{
+    mbps, FlowDone, FlowEvent, FlowNet, NodeId, NodeKind, PacketEvent, PacketNet, PacketNote,
+    Routing, Topology,
+};
+use proptest::prelude::*;
+
+// ---- fluid model harness ----
+
+struct FlowHarness {
+    net: FlowNet,
+    done: Vec<FlowDone>,
+    plan: Vec<(f64, NodeId, NodeId, f64)>,
+}
+
+enum FEv {
+    Kick(usize),
+    Net(FlowEvent),
+}
+
+impl Model for FlowHarness {
+    type Event = FEv;
+    fn handle(&mut self, ev: FEv, ctx: &mut Ctx<'_, FEv>) {
+        match ev {
+            FEv::Kick(i) => {
+                let (_, s, d, b) = self.plan[i];
+                self.net.start(s, d, b, i as u64, &mut ctx.map(FEv::Net));
+            }
+            FEv::Net(fe) => {
+                let done = self.net.handle(fe, &mut ctx.map(FEv::Net));
+                self.done.extend(done);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every byte injected into a star network is delivered, and no
+    /// transfer beats its physical lower bound (latency + size/bottleneck).
+    #[test]
+    fn fluid_conservation_and_bounds(
+        n_hosts in 2usize..6,
+        transfers in proptest::collection::vec(
+            (0.0..100.0f64, 0usize..6, 0usize..6, 1.0e3..1.0e8f64),
+            1..25,
+        ),
+    ) {
+        let bw = mbps(100.0);
+        let lat = 0.01;
+        let (topo, hosts) = Topology::star(n_hosts, bw, lat);
+        let plan: Vec<(f64, NodeId, NodeId, f64)> = transfers
+            .iter()
+            .map(|&(t, s, d, b)| {
+                let s = s % n_hosts;
+                let mut d = d % n_hosts;
+                if d == s {
+                    d = (d + 1) % n_hosts;
+                }
+                (t, hosts[s], hosts[d], b)
+            })
+            .collect();
+        let injected: f64 = plan.iter().map(|p| p.3).sum();
+        let mut sim = EventDriven::new(FlowHarness {
+            net: FlowNet::new(topo),
+            done: vec![],
+            plan: plan.clone(),
+        });
+        for (i, &(t, ..)) in plan.iter().enumerate() {
+            sim.schedule(SimTime::new(t), FEv::Kick(i));
+        }
+        sim.run();
+        let m = sim.model();
+        prop_assert_eq!(m.done.len(), plan.len(), "all transfers complete");
+        let delivered: f64 = m.done.iter().map(|d| d.bytes).sum();
+        prop_assert!((delivered - injected).abs() < injected * 1e-9 + 1e-6);
+        for d in &m.done {
+            let i = d.tag as usize;
+            let (t0, _, _, bytes) = plan[i];
+            // two hops through the hub: latency 2·lat, bottleneck bw
+            let lower = 2.0 * lat + bytes / bw;
+            let elapsed = d.finished.seconds() - t0;
+            prop_assert!(
+                elapsed >= lower - 1e-9,
+                "transfer {i}: {elapsed} < lower bound {lower}"
+            );
+        }
+        prop_assert_eq!(m.net.in_flight(), 0);
+    }
+
+    /// Fluid model determinism under identical plans.
+    #[test]
+    fn fluid_deterministic(
+        transfers in proptest::collection::vec(
+            (0.0..50.0f64, 1.0e3..1.0e7f64),
+            1..15,
+        ),
+    ) {
+        let run = || {
+            let (topo, hosts) = Topology::star(3, mbps(50.0), 0.005);
+            let plan: Vec<_> = transfers
+                .iter()
+                .map(|&(t, b)| (t, hosts[0], hosts[1], b))
+                .collect();
+            let mut sim = EventDriven::new(FlowHarness {
+                net: FlowNet::new(topo),
+                done: vec![],
+                plan: plan.clone(),
+            });
+            for (i, &(t, ..)) in plan.iter().enumerate() {
+                sim.schedule(SimTime::new(t), FEv::Kick(i));
+            }
+            sim.run();
+            sim.model()
+                .done
+                .iter()
+                .map(|d| (d.tag, d.finished.seconds()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+// ---- packet model harness ----
+
+struct PacketHarness {
+    net: PacketNet,
+    delivered: u64,
+    dropped: u64,
+}
+
+enum PEv {
+    Inject(u64, NodeId, NodeId, u32, f64),
+    Net(PacketEvent),
+}
+
+impl Model for PacketHarness {
+    type Event = PEv;
+    fn handle(&mut self, ev: PEv, ctx: &mut Ctx<'_, PEv>) {
+        let notes = match ev {
+            PEv::Inject(id, s, d, n, size) => {
+                self.net
+                    .inject_transfer(id, s, d, n, size, &mut ctx.map(PEv::Net))
+            }
+            PEv::Net(pe) => self.net.handle(pe, &mut ctx.map(PEv::Net)),
+        };
+        for note in notes {
+            match note {
+                PacketNote::Delivered { .. } => self.delivered += 1,
+                PacketNote::Dropped { .. } => self.dropped += 1,
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Packet conservation: delivered + dropped = injected, always.
+    #[test]
+    fn packet_conservation(
+        bursts in proptest::collection::vec((0.0..10.0f64, 1u32..80), 1..10),
+        qcap in 1usize..64,
+    ) {
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Host, "a");
+        let r = topo.add_node(NodeKind::Router, "r");
+        let b = topo.add_node(NodeKind::Host, "b");
+        topo.add_link(a, r, 1.0e5, 0.001);
+        topo.add_link(r, b, 5.0e4, 0.001);
+        let total: u32 = bursts.iter().map(|&(_, n)| n).sum();
+        let mut sim = EventDriven::new(PacketHarness {
+            net: PacketNet::new(topo, qcap),
+            delivered: 0,
+            dropped: 0,
+        });
+        for (i, &(t, n)) in bursts.iter().enumerate() {
+            sim.schedule(SimTime::new(t), PEv::Inject(i as u64, a, b, n, 500.0));
+        }
+        sim.run();
+        let m = sim.model();
+        prop_assert_eq!(m.delivered + m.dropped, total as u64);
+        let (inj, del, drop) = m.net.counters();
+        prop_assert_eq!(inj, total as u64);
+        prop_assert_eq!(del, m.delivered);
+        prop_assert_eq!(drop, m.dropped);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Routing on random trees: every pair connected, paths loop-free,
+    /// latency additive.
+    #[test]
+    fn routing_on_random_trees(parents in proptest::collection::vec(0usize..8, 1..8)) {
+        // node i+1 attaches to parents[i] % (i+1): always a valid tree
+        let mut topo = Topology::new();
+        let mut nodes = vec![topo.add_node(NodeKind::Host, "n0")];
+        for (i, &p) in parents.iter().enumerate() {
+            let n = topo.add_node(NodeKind::Host, format!("n{}", i + 1));
+            let parent = nodes[p % (i + 1)];
+            topo.add_duplex(parent, n, mbps(10.0), 0.01);
+            nodes.push(n);
+        }
+        let routing = Routing::compute(&topo);
+        for &s in &nodes {
+            for &d in &nodes {
+                let path = routing.path(&topo, s, d);
+                prop_assert!(path.is_some(), "{s:?} -> {d:?} unreachable");
+                let path = path.unwrap();
+                prop_assert!(path.len() < nodes.len(), "path too long (loop?)");
+                let lat = routing.path_latency(&topo, s, d).unwrap();
+                prop_assert!((lat - 0.01 * path.len() as f64).abs() < 1e-12);
+            }
+        }
+    }
+}

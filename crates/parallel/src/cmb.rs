@@ -1,0 +1,526 @@
+//! Chandy–Misra–Bryant conservative parallel execution with null messages.
+//!
+//! Each [`LogicalProcess`] runs on its own OS thread with a private event
+//! list and clock. An LP may only process an event at time `t` once every
+//! input channel guarantees no earlier message can arrive; the guarantee is
+//! propagated with **null messages** carrying lower bounds equal to the
+//! sender's earliest possible future send time (its next event or safe
+//! time, plus its lookahead). Positive lookahead makes the lower bounds
+//! strictly increase around any channel cycle, which is the classical
+//! deadlock-avoidance argument of Misra (1986) — reference \[5\] of the
+//! paper.
+//!
+//! The cost of conservatism is null-message traffic inversely proportional
+//! to lookahead; [`CmbStats::nulls_sent`] exposes it and experiment E4
+//! sweeps it.
+
+use crate::lp::{tie_key, LogicalProcess, LpCtx, LpId, Outgoing};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lsds_core::{BinaryHeapQueue, EventQueue, ScheduledEvent, SimTime};
+
+/// Per-LP execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CmbStats {
+    /// Events (local + remote) processed by this LP.
+    pub events: u64,
+    /// Null messages sent by this LP.
+    pub nulls_sent: u64,
+    /// Real messages sent to other LPs.
+    pub remote_sent: u64,
+    /// Blocking waits for input.
+    pub blocks: u64,
+}
+
+/// Result of a conservative parallel run.
+#[derive(Debug)]
+pub struct CmbReport<L> {
+    /// The logical processes, in id order, with their final state.
+    pub lps: Vec<L>,
+    /// Per-LP counters, in id order.
+    pub stats: Vec<CmbStats>,
+}
+
+impl<L> CmbReport<L> {
+    /// Total events processed across all LPs.
+    pub fn total_events(&self) -> u64 {
+        self.stats.iter().map(|s| s.events).sum()
+    }
+
+    /// Total null messages — the conservative-synchronization overhead.
+    pub fn total_nulls(&self) -> u64 {
+        self.stats.iter().map(|s| s.nulls_sent).sum()
+    }
+
+    /// Total real inter-LP messages.
+    pub fn total_remote(&self) -> u64 {
+        self.stats.iter().map(|s| s.remote_sent).sum()
+    }
+}
+
+enum Packet<M> {
+    /// Promise: no message with timestamp `< ts` will follow on this edge.
+    Null { ts: f64 },
+    /// A real message due at `at`, with its deterministic tie-break key.
+    Event { at: SimTime, tie: u64, msg: M },
+    /// The sender has finished the run; treat its channel clock as +∞.
+    Done,
+}
+
+struct Tagged<M> {
+    src: LpId,
+    packet: Packet<M>,
+}
+
+/// Out-edge table: `(destination, its channel, last promised bound)`.
+type OutEdges<'a, M> = Vec<(LpId, &'a Sender<Tagged<M>>, f64)>;
+/// One channel pair per LP.
+type Channels<M> = Vec<(Sender<Tagged<M>>, Receiver<Tagged<M>>)>;
+
+/// Initial-events hook: called once per LP at time zero, before the run.
+pub trait InitialEvents: LogicalProcess {
+    /// Schedules the LP's initial events (local or remote).
+    fn initial_events(&mut self, ctx: &mut LpCtx<'_, Self::Msg>);
+}
+
+struct Engine<'a, L: LogicalProcess> {
+    me: LpId,
+    lp: L,
+    queue: BinaryHeapQueue<L::Msg>,
+    clock: SimTime,
+    seq: u64,
+    /// channel clock per in-neighbor id
+    in_clocks: Vec<(LpId, f64)>,
+    /// (dst, sender, last promised lower bound)
+    outs: OutEdges<'a, L::Msg>,
+    rx: &'a Receiver<Tagged<L::Msg>>,
+    stats: CmbStats,
+    staged: Vec<Outgoing<L::Msg>>,
+    t_end: SimTime,
+}
+
+impl<'a, L: LogicalProcess> Engine<'a, L> {
+    fn apply(&mut self, tagged: Tagged<L::Msg>) {
+        let slot = self
+            .in_clocks
+            .iter_mut()
+            .find(|(id, _)| *id == tagged.src)
+            .expect("message from undeclared in-neighbor");
+        match tagged.packet {
+            Packet::Null { ts } => slot.1 = slot.1.max(ts),
+            Packet::Event { at, tie, msg } => {
+                slot.1 = slot.1.max(at.seconds());
+                self.queue.insert(ScheduledEvent::new(at, tie, msg));
+            }
+            Packet::Done => slot.1 = f64::INFINITY,
+        }
+    }
+
+    fn drain_nonblocking(&mut self) {
+        while let Ok(tagged) = self.rx.try_recv() {
+            self.apply(tagged);
+        }
+    }
+
+    fn safe_time(&self) -> f64 {
+        self.in_clocks
+            .iter()
+            .map(|(_, c)| *c)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn flush_staged(&mut self) {
+        for out in self.staged.drain(..) {
+            match out {
+                Outgoing::Local { at, msg } => {
+                    let tie = tie_key(self.me, self.seq);
+                    self.seq += 1;
+                    self.queue.insert(ScheduledEvent::new(at, tie, msg));
+                }
+                Outgoing::Remote { dst, at, msg } => {
+                    let tie = tie_key(self.me, self.seq);
+                    self.seq += 1;
+                    let (_, tx, last) = self
+                        .outs
+                        .iter_mut()
+                        .find(|(d, _, _)| *d == dst)
+                        .expect("send to undeclared out-neighbor");
+                    tx.send(Tagged {
+                        src: self.me,
+                        packet: Packet::Event { at, tie, msg },
+                    })
+                    .expect("receiver LP hung up early");
+                    *last = last.max(at.seconds());
+                    self.stats.remote_sent += 1;
+                }
+            }
+        }
+    }
+
+    fn handle_one(&mut self, at: SimTime, msg: L::Msg) {
+        debug_assert!(at >= self.clock, "causality violation");
+        self.clock = at;
+        self.stats.events += 1;
+        let mut ctx = LpCtx {
+            now: at,
+            me: self.me,
+            lookahead: self.lp.lookahead(),
+            staged: &mut self.staged,
+        };
+        self.lp.handle(at, msg, &mut ctx);
+        self.flush_staged();
+    }
+
+    fn send_nulls(&mut self) {
+        let next_local = self
+            .queue
+            .peek_time()
+            .map_or(f64::INFINITY, |t| t.seconds());
+        let lb = next_local.min(self.safe_time()).min(self.t_end.seconds())
+            + self.lp.lookahead();
+        for i in 0..self.outs.len() {
+            if lb > self.outs[i].2 {
+                let (_, tx, _) = &self.outs[i];
+                tx.send(Tagged {
+                    src: self.me,
+                    packet: Packet::Null { ts: lb },
+                })
+                .expect("receiver LP hung up early");
+                self.outs[i].2 = lb;
+                self.stats.nulls_sent += 1;
+            }
+        }
+    }
+
+    fn run(mut self) -> (L, CmbStats) {
+        loop {
+            self.drain_nonblocking();
+            let safe = self.safe_time();
+            // Process strictly below the safe time (a message may still
+            // arrive exactly at `safe`), and never beyond the horizon.
+            while let Some(t) = self.queue.peek_time() {
+                if t.seconds() < safe && t <= self.t_end {
+                    let ev = self.queue.pop_min().expect("peeked event vanished");
+                    self.handle_one(ev.time, ev.event);
+                } else {
+                    break;
+                }
+            }
+            let done_locally = self
+                .queue
+                .peek_time()
+                .is_none_or(|t| t > self.t_end);
+            if done_locally && safe > self.t_end.seconds() {
+                for (_, tx, _) in &self.outs {
+                    tx.send(Tagged {
+                        src: self.me,
+                        packet: Packet::Done,
+                    })
+                    .ok();
+                }
+                return (self.lp, self.stats);
+            }
+            // Blocked: publish our lower bound, then wait for progress.
+            self.send_nulls();
+            // A pure source (no in-edges) has safe = +inf, so it always
+            // drains its queue and returns above; reaching here with no
+            // in-neighbors would spin forever.
+            assert!(
+                !self.in_clocks.is_empty(),
+                "LP {} blocked with no in-edges",
+                self.me
+            );
+            self.stats.blocks += 1;
+            match self.rx.recv() {
+                Ok(tagged) => self.apply(tagged),
+                Err(_) => {
+                    // all senders done and channel drained
+                    return (self.lp, self.stats);
+                }
+            }
+        }
+    }
+}
+
+/// Runs logical processes to `t_end` under conservative CMB synchronization.
+///
+/// `edges` lists the directed communication channels `(src, dst)`; an LP
+/// may only `send` along a declared edge. Null messages flow on the same
+/// edges. Every LP must declare strictly positive [lookahead].
+///
+/// [lookahead]: LogicalProcess::lookahead
+pub fn run_cmb<L>(lps: Vec<L>, edges: &[(LpId, LpId)], t_end: SimTime) -> CmbReport<L>
+where
+    L: InitialEvents,
+{
+    let n = lps.len();
+    for &(s, d) in edges {
+        assert!(s < n && d < n && s != d, "bad edge ({s},{d})");
+    }
+    for (i, lp) in lps.iter().enumerate() {
+        assert!(
+            lp.lookahead() > 0.0 && lp.lookahead().is_finite(),
+            "LP {i} must declare positive finite lookahead"
+        );
+    }
+    let channels: Channels<L::Msg> = (0..n).map(|_| unbounded()).collect();
+
+    let mut results: Vec<Option<(L, CmbStats)>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (me, lp) in lps.into_iter().enumerate() {
+            let in_clocks: Vec<(LpId, f64)> = edges
+                .iter()
+                .filter(|(_, d)| *d == me)
+                .map(|(s, _)| (*s, 0.0))
+                .collect();
+            let outs: OutEdges<'_, L::Msg> = edges
+                .iter()
+                .filter(|(s, _)| *s == me)
+                .map(|(_, d)| (*d, &channels[*d].0, 0.0))
+                .collect();
+            let rx = &channels[me].1;
+            let handle = scope.spawn(move || {
+                let mut engine = Engine {
+                    me,
+                    lp,
+                    queue: BinaryHeapQueue::new(),
+                    clock: SimTime::ZERO,
+                    seq: 0,
+                    in_clocks,
+                    outs,
+                    rx,
+                    stats: CmbStats::default(),
+                    staged: Vec::new(),
+                    t_end,
+                };
+                // initial events at t = 0
+                let la = engine.lp.lookahead();
+                {
+                    let mut ctx = LpCtx {
+                        now: SimTime::ZERO,
+                        me,
+                        lookahead: la,
+                        staged: &mut engine.staged,
+                    };
+                    engine.lp.initial_events(&mut ctx);
+                }
+                engine.flush_staged();
+                engine.run()
+            });
+            handles.push((me, handle));
+        }
+        for (me, handle) in handles {
+            results[me] = Some(handle.join().expect("LP thread panicked"));
+        }
+    });
+
+    let mut lps_out = Vec::with_capacity(n);
+    let mut stats = Vec::with_capacity(n);
+    for r in results {
+        let (lp, st) = r.expect("missing LP result");
+        lps_out.push(lp);
+        stats.push(st);
+    }
+    CmbReport {
+        lps: lps_out,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ring of LPs passing a token; each hop takes `delay`, while the
+    /// declared lookahead `la ≤ delay` can be tightened independently to
+    /// study null-message overhead.
+    struct RingNode {
+        n: usize,
+        hops_seen: u64,
+        last_time: f64,
+        delay: f64,
+        la: f64,
+    }
+
+    impl LogicalProcess for RingNode {
+        type Msg = u64;
+        fn handle(&mut self, now: SimTime, hop: u64, ctx: &mut LpCtx<'_, u64>) {
+            self.hops_seen += 1;
+            self.last_time = now.seconds();
+            let next = (ctx.me() + 1) % self.n;
+            ctx.send(next, self.delay, hop + 1);
+        }
+        fn lookahead(&self) -> f64 {
+            self.la
+        }
+    }
+
+    impl InitialEvents for RingNode {
+        fn initial_events(&mut self, ctx: &mut LpCtx<'_, u64>) {
+            if ctx.me() == 0 {
+                ctx.schedule_in(0.0, 0);
+            }
+        }
+    }
+
+    fn ring_edges(n: usize) -> Vec<(usize, usize)> {
+        (0..n).map(|i| (i, (i + 1) % n)).collect()
+    }
+
+    fn run_ring(n: usize, delay: f64, la: f64, t_end: f64) -> CmbReport<RingNode> {
+        let lps: Vec<RingNode> = (0..n)
+            .map(|_| RingNode {
+                n,
+                hops_seen: 0,
+                last_time: 0.0,
+                delay,
+                la,
+            })
+            .collect();
+        run_cmb(lps, &ring_edges(n), SimTime::new(t_end))
+    }
+
+    #[test]
+    fn ring_token_count_matches_analytic() {
+        // token starts at LP0 t=0, hops every 1.0s; by t=100 inclusive the
+        // ring processes events at t=0,1,...,100 → 101 events total
+        let report = run_ring(4, 1.0, 1.0, 100.0);
+        assert_eq!(report.total_events(), 101);
+        // LP0 sees t=0,4,8,...,100 → 26 events
+        assert_eq!(report.lps[0].hops_seen, 26);
+        assert_eq!(report.lps[1].hops_seen, 25);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_ring(5, 0.7, 0.7, 50.0);
+        let b = run_ring(5, 0.7, 0.7, 50.0);
+        for i in 0..5 {
+            assert_eq!(a.lps[i].hops_seen, b.lps[i].hops_seen);
+            assert_eq!(a.lps[i].last_time, b.lps[i].last_time);
+        }
+        assert_eq!(a.total_events(), b.total_events());
+    }
+
+    #[test]
+    fn smaller_lookahead_more_nulls() {
+        // identical workload (hop delay 2.0), only the promise horizon
+        // differs — the fine lookahead must generate more null traffic
+        let coarse = run_ring(4, 2.0, 2.0, 200.0);
+        let fine = run_ring(4, 2.0, 0.25, 200.0);
+        assert_eq!(coarse.total_events(), fine.total_events());
+        assert!(
+            fine.total_nulls() > coarse.total_nulls(),
+            "fine {} vs coarse {}",
+            fine.total_nulls(),
+            coarse.total_nulls()
+        );
+    }
+
+    /// Source LP streams to a sink LP; no cycles.
+    struct Source {
+        sent: u64,
+        rate_dt: f64,
+        limit: u64,
+    }
+    impl LogicalProcess for Source {
+        type Msg = u64;
+        fn handle(&mut self, _now: SimTime, k: u64, ctx: &mut LpCtx<'_, u64>) {
+            if k < self.limit {
+                self.sent += 1;
+                ctx.send(1, self.rate_dt, k);
+                ctx.schedule_in(self.rate_dt, k + 1);
+            }
+        }
+        fn lookahead(&self) -> f64 {
+            self.rate_dt
+        }
+    }
+    impl InitialEvents for Source {
+        fn initial_events(&mut self, ctx: &mut LpCtx<'_, u64>) {
+            ctx.schedule_in(0.0, 0);
+        }
+    }
+
+    struct Sink {
+        received: Vec<u64>,
+    }
+    impl LogicalProcess for Sink {
+        type Msg = u64;
+        fn handle(&mut self, _now: SimTime, k: u64, _ctx: &mut LpCtx<'_, u64>) {
+            self.received.push(k);
+        }
+        fn lookahead(&self) -> f64 {
+            1.0
+        }
+    }
+    impl InitialEvents for Sink {
+        fn initial_events(&mut self, _ctx: &mut LpCtx<'_, u64>) {}
+    }
+
+    /// Heterogeneous LPs need a common type; wrap in an enum.
+    enum Node {
+        Source(Source),
+        Sink(Sink),
+    }
+    impl LogicalProcess for Node {
+        type Msg = u64;
+        fn handle(&mut self, now: SimTime, msg: u64, ctx: &mut LpCtx<'_, u64>) {
+            match self {
+                Node::Source(s) => s.handle(now, msg, ctx),
+                Node::Sink(s) => s.handle(now, msg, ctx),
+            }
+        }
+        fn lookahead(&self) -> f64 {
+            match self {
+                Node::Source(s) => s.lookahead(),
+                Node::Sink(s) => s.lookahead(),
+            }
+        }
+    }
+    impl InitialEvents for Node {
+        fn initial_events(&mut self, ctx: &mut LpCtx<'_, u64>) {
+            match self {
+                Node::Source(s) => s.initial_events(ctx),
+                Node::Sink(s) => s.initial_events(ctx),
+            }
+        }
+    }
+
+    #[test]
+    fn source_sink_pipeline_delivers_in_order() {
+        let lps = vec![
+            Node::Source(Source {
+                sent: 0,
+                rate_dt: 0.5,
+                limit: 40,
+            }),
+            Node::Sink(Sink { received: vec![] }),
+        ];
+        let report = run_cmb(lps, &[(0, 1)], SimTime::new(1000.0));
+        match &report.lps[1] {
+            Node::Sink(s) => {
+                assert_eq!(s.received.len(), 40);
+                assert!(s.received.windows(2).all(|w| w[0] < w[1]), "in order");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_lookahead_rejected() {
+        struct Zero;
+        impl LogicalProcess for Zero {
+            type Msg = ();
+            fn handle(&mut self, _: SimTime, _: (), _: &mut LpCtx<'_, ()>) {}
+            fn lookahead(&self) -> f64 {
+                0.0
+            }
+        }
+        impl InitialEvents for Zero {
+            fn initial_events(&mut self, _: &mut LpCtx<'_, ()>) {}
+        }
+        run_cmb(vec![Zero, Zero], &[(0, 1), (1, 0)], SimTime::new(1.0));
+    }
+}

@@ -1,0 +1,33 @@
+//! `lsds-parallel` — distributed simulation execution.
+//!
+//! The taxonomy (§3) classifies engines by *execution* into **centralized**
+//! (one execution unit, regardless of available cores — `lsds-core`'s
+//! engines) and **distributed** (multiple cooperating processors). The
+//! paper traces distributed simulation to Misra's 1986 survey and notes
+//! that "despite over two decades of research, the technology of
+//! distributed simulations has not significantly impressed the general
+//! simulation community" (Fujimoto 1993) — because "considerable efforts
+//! and expertise are still required to develop efficient simulation
+//! programs". This crate implements the two classical conservative
+//! designs so experiment E4 can quantify exactly that trade-off:
+//!
+//! * [`cmb`] — asynchronous conservative synchronization with **null
+//!   messages** (Chandy–Misra–Bryant). Each logical process advances as
+//!   far as its input-channel clocks allow; lookahead bounds the null-
+//!   message overhead.
+//! * [`timestep`] — synchronous (barrier) execution in fixed windows no
+//!   wider than the system lookahead.
+//!
+//! Both engines are deterministic: events are processed per logical
+//! process in `(time, source, sequence)` order, independent of thread
+//! interleaving, so a parallel run reproduces the centralized result.
+
+pub mod cmb;
+pub mod lp;
+pub mod partition;
+pub mod timestep;
+
+pub use cmb::{run_cmb, CmbReport, CmbStats, InitialEvents};
+pub use lp::{LogicalProcess, LpCtx, LpId};
+pub use partition::{block_partition, round_robin_partition};
+pub use timestep::{run_timestep, TimestepReport};

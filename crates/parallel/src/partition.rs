@@ -1,0 +1,90 @@
+//! Partitioning helpers: assigning simulated entities to logical processes.
+//!
+//! "Using the underlying physical distributed resources of clusters of
+//! nodes" (§5) requires splitting the model; these helpers provide the two
+//! standard static assignments. The mapping affects inter-LP traffic (and
+//! hence null-message overhead) but never results, since the engines are
+//! deterministic.
+
+use crate::lp::LpId;
+
+/// Assigns `n_entities` to `n_lps` in contiguous blocks.
+///
+/// Block partitioning keeps neighborhoods together, which minimizes
+/// cross-LP traffic for locally-connected topologies.
+pub fn block_partition(n_entities: usize, n_lps: usize) -> Vec<LpId> {
+    assert!(n_lps > 0, "need at least one LP");
+    let base = n_entities / n_lps;
+    let extra = n_entities % n_lps;
+    let mut out = Vec::with_capacity(n_entities);
+    for lp in 0..n_lps {
+        let count = base + usize::from(lp < extra);
+        out.extend(std::iter::repeat_n(lp, count));
+    }
+    out
+}
+
+/// Assigns entity `i` to LP `i mod n_lps`.
+///
+/// Round-robin balances entity counts exactly but scatters neighborhoods,
+/// maximizing cross-LP traffic — the adversarial case for E4.
+pub fn round_robin_partition(n_entities: usize, n_lps: usize) -> Vec<LpId> {
+    assert!(n_lps > 0, "need at least one LP");
+    (0..n_entities).map(|i| i % n_lps).collect()
+}
+
+/// Entities owned by `lp` under a given assignment.
+pub fn owned_by(assignment: &[LpId], lp: LpId) -> Vec<usize> {
+    assignment
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a == lp)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_partition_sizes_balanced() {
+        let p = block_partition(10, 3);
+        assert_eq!(p.len(), 10);
+        assert_eq!(p, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn block_partition_contiguous() {
+        let p = block_partition(100, 7);
+        for w in p.windows(2) {
+            assert!(w[1] == w[0] || w[1] == w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let p = round_robin_partition(7, 3);
+        assert_eq!(p, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn owned_by_inverts_assignment() {
+        let p = round_robin_partition(9, 3);
+        assert_eq!(owned_by(&p, 1), vec![1, 4, 7]);
+        let total: usize = (0..3).map(|lp| owned_by(&p, lp).len()).sum();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn empty_entities() {
+        assert!(block_partition(0, 4).is_empty());
+        assert!(round_robin_partition(0, 4).is_empty());
+    }
+
+    #[test]
+    fn more_lps_than_entities() {
+        let p = block_partition(2, 5);
+        assert_eq!(p, vec![0, 1]);
+    }
+}

@@ -1,0 +1,262 @@
+//! Synchronous (barrier) parallel execution in fixed time windows.
+//!
+//! The simpler of the two distributed designs: all logical processes
+//! advance in lockstep through windows of width `delta ≤ lookahead`.
+//! Because every inter-LP message carries at least `lookahead` of delay, a
+//! message sent during window `k` is always due in window `k+1` or later,
+//! so one barrier per window is the only synchronization needed. The
+//! trade-off against [`crate::cmb`] is classic: no null messages, but every
+//! LP pays for every window — idle partitions wait at the barrier
+//! (measured in experiment E4).
+
+use crate::lp::{tie_key, LpCtx, LpId, Outgoing};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lsds_core::{BinaryHeapQueue, EventQueue, ScheduledEvent, SimTime};
+use std::sync::Barrier;
+
+/// Result of a time-stepped parallel run.
+#[derive(Debug)]
+pub struct TimestepReport<L> {
+    /// The logical processes, in id order, with final state.
+    pub lps: Vec<L>,
+    /// Events processed per LP.
+    pub events: Vec<u64>,
+    /// Number of synchronization windows executed.
+    pub windows: u64,
+}
+
+impl<L> TimestepReport<L> {
+    /// Total events across LPs.
+    pub fn total_events(&self) -> u64 {
+        self.events.iter().sum()
+    }
+}
+
+struct Mail<M> {
+    at: SimTime,
+    tie: u64,
+    msg: M,
+}
+
+/// One channel pair per LP.
+type Channels<M> = Vec<(Sender<Mail<M>>, Receiver<Mail<M>>)>;
+
+/// Runs logical processes to `t_end` in synchronized windows of `delta`.
+///
+/// `delta` must not exceed any LP's lookahead: the window invariant
+/// requires every remote message to land in a strictly later window.
+pub fn run_timestep<L>(lps: Vec<L>, delta: f64, t_end: SimTime) -> TimestepReport<L>
+where
+    L: crate::cmb::InitialEvents,
+{
+    assert!(delta > 0.0 && delta.is_finite(), "delta must be positive");
+    let n = lps.len();
+    for (i, lp) in lps.iter().enumerate() {
+        assert!(
+            lp.lookahead() >= delta,
+            "LP {i} lookahead {} below window {delta}",
+            lp.lookahead()
+        );
+    }
+    let windows = (t_end.seconds() / delta).ceil() as u64;
+    let barrier = Barrier::new(n);
+    let channels: Channels<L::Msg> = (0..n).map(|_| unbounded()).collect();
+
+    let mut out: Vec<Option<(L, u64)>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (me, lp) in lps.into_iter().enumerate() {
+            let barrier = &barrier;
+            let senders: Vec<&Sender<Mail<L::Msg>>> =
+                channels.iter().map(|(s, _)| s).collect();
+            let rx = &channels[me].1;
+            handles.push((
+                me,
+                scope.spawn(move || {
+                    let mut lp = lp;
+                    let mut queue: BinaryHeapQueue<L::Msg> = BinaryHeapQueue::new();
+                    let mut staged: Vec<Outgoing<L::Msg>> = Vec::new();
+                    let mut seq: u64 = 0;
+                    let mut events: u64 = 0;
+                    let la = lp.lookahead();
+
+                    // t = 0 initial events
+                    {
+                        let mut ctx = LpCtx {
+                            now: SimTime::ZERO,
+                            me,
+                            lookahead: la,
+                            staged: &mut staged,
+                        };
+                        lp.initial_events(&mut ctx);
+                    }
+                    flush(
+                        me,
+                        &mut staged,
+                        &mut seq,
+                        &mut queue,
+                        &senders,
+                    );
+
+                    // Window w processes events with t ∈ [wδ, (w+1)δ).
+                    // delay ≥ δ guarantees a message sent in window w is
+                    // due at or after (w+1)δ, so one barrier per window is
+                    // the only synchronization needed (see module docs).
+                    for w in 0..windows {
+                        let w_end = (w + 1) as f64 * delta;
+                        // mail sent in earlier windows is fully delivered
+                        // (the barrier below is the happens-before edge)
+                        while let Ok(mail) = rx.try_recv() {
+                            queue.insert(ScheduledEvent::new(mail.at, mail.tie, mail.msg));
+                        }
+                        while let Some(t) = queue.peek_time() {
+                            if t.seconds() >= w_end || t > t_end {
+                                break;
+                            }
+                            let ev = queue.pop_min().expect("peeked event vanished");
+                            events += 1;
+                            let mut ctx = LpCtx {
+                                now: ev.time,
+                                me,
+                                lookahead: la,
+                                staged: &mut staged,
+                            };
+                            lp.handle(ev.time, ev.event, &mut ctx);
+                            flush(me, &mut staged, &mut seq, &mut queue, &senders);
+                        }
+                        barrier.wait();
+                    }
+                    // Closing phase: events landing exactly on t_end (the
+                    // half-open windows above exclude the right edge).
+                    while let Ok(mail) = rx.try_recv() {
+                        queue.insert(ScheduledEvent::new(mail.at, mail.tie, mail.msg));
+                    }
+                    while let Some(t) = queue.peek_time() {
+                        if t > t_end {
+                            break;
+                        }
+                        let ev = queue.pop_min().expect("peeked event vanished");
+                        events += 1;
+                        let mut ctx = LpCtx {
+                            now: ev.time,
+                            me,
+                            lookahead: la,
+                            staged: &mut staged,
+                        };
+                        lp.handle(ev.time, ev.event, &mut ctx);
+                        flush(me, &mut staged, &mut seq, &mut queue, &senders);
+                    }
+                    (lp, events)
+                }),
+            ));
+        }
+        for (me, h) in handles {
+            out[me] = Some(h.join().expect("timestep LP panicked"));
+        }
+    });
+
+    let mut lps_out = Vec::with_capacity(n);
+    let mut events = Vec::with_capacity(n);
+    for o in out {
+        let (lp, ev) = o.expect("missing LP result");
+        lps_out.push(lp);
+        events.push(ev);
+    }
+    TimestepReport {
+        lps: lps_out,
+        events,
+        windows,
+    }
+}
+
+fn flush<M>(
+    me: LpId,
+    staged: &mut Vec<Outgoing<M>>,
+    seq: &mut u64,
+    queue: &mut BinaryHeapQueue<M>,
+    senders: &[&Sender<Mail<M>>],
+) {
+    for outgoing in staged.drain(..) {
+        let tie = tie_key(me, *seq);
+        *seq += 1;
+        match outgoing {
+            Outgoing::Local { at, msg } => {
+                queue.insert(ScheduledEvent::new(at, tie, msg));
+            }
+            Outgoing::Remote { dst, at, msg } => {
+                senders[dst]
+                    .send(Mail { at, tie, msg })
+                    .expect("receiver LP hung up");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmb::InitialEvents;
+    use crate::lp::LogicalProcess;
+
+    struct Hopper {
+        n: usize,
+        seen: u64,
+        delay: f64,
+    }
+    impl LogicalProcess for Hopper {
+        type Msg = u64;
+        fn handle(&mut self, _now: SimTime, hop: u64, ctx: &mut LpCtx<'_, u64>) {
+            self.seen += 1;
+            ctx.send((ctx.me() + 1) % self.n, self.delay, hop + 1);
+        }
+        fn lookahead(&self) -> f64 {
+            self.delay
+        }
+    }
+    impl InitialEvents for Hopper {
+        fn initial_events(&mut self, ctx: &mut LpCtx<'_, u64>) {
+            if ctx.me() == 0 {
+                ctx.schedule_in(0.0, 0);
+            }
+        }
+    }
+
+    fn hoppers(n: usize, delay: f64) -> Vec<Hopper> {
+        (0..n)
+            .map(|_| Hopper {
+                n,
+                seen: 0,
+                delay,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_cmb_result() {
+        let ts = run_timestep(hoppers(4, 1.0), 1.0, SimTime::new(100.0));
+        // same analytic count as the CMB ring test: events at t=0..=100
+        assert_eq!(ts.total_events(), 101);
+        assert_eq!(ts.lps[0].seen, 26);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_timestep(hoppers(5, 0.5), 0.5, SimTime::new(30.0));
+        let b = run_timestep(hoppers(5, 0.5), 0.5, SimTime::new(30.0));
+        let sa: Vec<u64> = a.lps.iter().map(|l| l.seen).collect();
+        let sb: Vec<u64> = b.lps.iter().map(|l| l.seen).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn window_count() {
+        let ts = run_timestep(hoppers(2, 1.0), 0.25, SimTime::new(10.0));
+        assert_eq!(ts.windows, 40);
+    }
+
+    #[test]
+    #[should_panic]
+    fn window_wider_than_lookahead_rejected() {
+        run_timestep(hoppers(2, 0.5), 1.0, SimTime::new(10.0));
+    }
+}

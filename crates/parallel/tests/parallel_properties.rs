@@ -1,0 +1,101 @@
+//! Property-based tests of the distributed engines: for arbitrary ring
+//! workloads, the conservative CMB engine, the time-stepped engine, and an
+//! analytically computed reference all agree — parallel execution never
+//! changes results (the determinism guarantee of `lsds-parallel`).
+
+use lsds_core::SimTime;
+use lsds_parallel::cmb::InitialEvents;
+use lsds_parallel::{run_cmb, run_timestep, LogicalProcess, LpCtx};
+use proptest::prelude::*;
+
+/// Token-passing ring node with per-node hop counts.
+struct Ring {
+    n: usize,
+    delay: f64,
+    seen: u64,
+}
+
+impl LogicalProcess for Ring {
+    type Msg = u64;
+    fn handle(&mut self, _now: SimTime, hop: u64, ctx: &mut LpCtx<'_, u64>) {
+        self.seen += 1;
+        ctx.send((ctx.me() + 1) % self.n, self.delay, hop + 1);
+    }
+    fn lookahead(&self) -> f64 {
+        self.delay
+    }
+}
+
+impl InitialEvents for Ring {
+    fn initial_events(&mut self, ctx: &mut LpCtx<'_, u64>) {
+        if ctx.me() == 0 {
+            ctx.schedule_in(0.0, 0);
+        }
+    }
+}
+
+fn ring(n: usize, delay: f64) -> Vec<Ring> {
+    (0..n)
+        .map(|_| Ring {
+            n,
+            delay,
+            seen: 0,
+        })
+        .collect()
+}
+
+fn ring_edges(n: usize) -> Vec<(usize, usize)> {
+    (0..n).map(|i| (i, (i + 1) % n)).collect()
+}
+
+/// Analytic reference: hop k fires at time k·delay; LP (k mod n) sees it.
+fn analytic_counts(n: usize, delay: f64, t_end: f64) -> Vec<u64> {
+    let mut counts = vec![0u64; n];
+    let hops = (t_end / delay).floor() as u64;
+    for k in 0..=hops {
+        counts[(k % n as u64) as usize] += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cmb_matches_analytic_ring(
+        n in 2usize..6,
+        delay in 0.1..5.0f64,
+        periods in 10u32..200,
+    ) {
+        let t_end = delay * periods as f64 * 0.999; // avoid boundary ties
+        let report = run_cmb(ring(n, delay), &ring_edges(n), SimTime::new(t_end));
+        let expect = analytic_counts(n, delay, t_end);
+        let got: Vec<u64> = report.lps.iter().map(|l| l.seen).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn timestep_matches_cmb(
+        n in 2usize..5,
+        delay in 0.2..2.0f64,
+        periods in 10u32..100,
+    ) {
+        let t_end = delay * periods as f64 * 0.999;
+        let a = run_cmb(ring(n, delay), &ring_edges(n), SimTime::new(t_end));
+        let b = run_timestep(ring(n, delay), delay, SimTime::new(t_end));
+        let ca: Vec<u64> = a.lps.iter().map(|l| l.seen).collect();
+        let cb: Vec<u64> = b.lps.iter().map(|l| l.seen).collect();
+        prop_assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn cmb_repeatable(n in 2usize..5, delay in 0.1..2.0f64) {
+        let t_end = SimTime::new(50.0);
+        let a = run_cmb(ring(n, delay), &ring_edges(n), t_end);
+        let b = run_cmb(ring(n, delay), &ring_edges(n), t_end);
+        let ca: Vec<u64> = a.lps.iter().map(|l| l.seen).collect();
+        let cb: Vec<u64> = b.lps.iter().map(|l| l.seen).collect();
+        prop_assert_eq!(ca, cb);
+        prop_assert_eq!(a.total_remote(), b.total_remote());
+    }
+}

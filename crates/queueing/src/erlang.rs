@@ -1,0 +1,87 @@
+//! Erlang B and C formulas.
+//!
+//! Erlang B gives the blocking probability of an M/M/c/c loss system
+//! (c servers, no queue); Erlang C gives the probability an arrival waits
+//! in an M/M/c delay system. Both are computed with the standard
+//! numerically stable recurrences rather than raw factorials.
+
+/// Erlang B: blocking probability with `c` servers and offered load `a`
+/// Erlangs. Computed by the recurrence
+/// `B(0) = 1; B(k) = a·B(k−1) / (k + a·B(k−1))`.
+pub fn erlang_b(c: u32, a: f64) -> f64 {
+    assert!(a >= 0.0, "offered load must be non-negative");
+    let mut b = 1.0;
+    for k in 1..=c {
+        b = a * b / (k as f64 + a * b);
+    }
+    b
+}
+
+/// Erlang C: probability of waiting with `c` servers and offered load `a`
+/// Erlangs (requires `a < c` for stability). Derived from Erlang B via
+/// `C = c·B / (c − a(1−B))`.
+pub fn erlang_c(c: u32, a: f64) -> f64 {
+    assert!(a >= 0.0 && a < c as f64, "need a < c");
+    let b = erlang_b(c, a);
+    let c_f = c as f64;
+    c_f * b / (c_f - a * (1.0 - b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_single_server() {
+        // B(1, a) = a / (1 + a)
+        for a in [0.1, 0.5, 1.0, 2.0, 10.0] {
+            assert!((erlang_b(1, a) - a / (1.0 + a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erlang_b_textbook_value() {
+        // classic: c=5, a=3 → B ≈ 0.1101
+        let b = erlang_b(5, 3.0);
+        assert!((b - 0.11005).abs() < 1e-4, "{b}");
+    }
+
+    #[test]
+    fn erlang_b_monotone_in_load_and_servers() {
+        assert!(erlang_b(5, 4.0) > erlang_b(5, 2.0));
+        assert!(erlang_b(10, 4.0) < erlang_b(5, 4.0));
+    }
+
+    #[test]
+    fn erlang_b_zero_load() {
+        assert_eq!(erlang_b(3, 0.0), 0.0);
+    }
+
+    #[test]
+    fn erlang_c_single_server_is_rho() {
+        // C(1, a) = a for a < 1 (an arrival waits iff the server is busy)
+        for a in [0.2, 0.5, 0.9] {
+            assert!((erlang_c(1, a) - a).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erlang_c_textbook_value() {
+        // c=3, a=2 → C = 4/9
+        assert!((erlang_c(3, 2.0) - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_c_exceeds_erlang_b() {
+        // queueing delays more arrivals than pure loss blocks
+        for (c, a) in [(3, 2.0), (5, 3.0), (10, 8.0)] {
+            assert!(erlang_c(c, a) > erlang_b(c, a));
+        }
+    }
+
+    #[test]
+    fn erlang_c_bounded_by_one() {
+        assert!(erlang_c(4, 3.999) <= 1.0);
+        assert!(erlang_c(4, 3.999) > 0.95);
+    }
+}

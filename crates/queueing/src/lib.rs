@@ -1,0 +1,26 @@
+//! `lsds-queueing` — analytical queueing models and simulation validation.
+//!
+//! §5 of the paper identifies queueing theory as the key validation
+//! mechanism for LSDS simulators: "the formalism provided by the queuing
+//! models is important for the definition and validation of the simulation
+//! stochastic models. They provide an analytical model to the problem of
+//! testing the randomness introduced by various mathematical
+//! distributions."
+//!
+//! This crate provides the closed forms (M/M/1, M/M/c, M/M/1/K, M/D/1,
+//! M/G/1 via Pollaczek–Khinchine, Erlang B/C, open Jackson networks) and a
+//! generic simulated station ([`validate::Station`]) so experiment E11 can
+//! hold every stochastic substrate in the workspace against theory —
+//! computing nodes as M/M/c, deterministic-service links as M/D/1, and
+//! multi-hop paths as Jackson networks, exactly the per-component
+//! validation regime the paper prescribes.
+
+pub mod erlang;
+pub mod jackson;
+pub mod markov;
+pub mod validate;
+
+pub use erlang::{erlang_b, erlang_c};
+pub use jackson::{JacksonNetwork, NodeResult};
+pub use markov::{MD1, MG1, MM1, MM1K, MMC};
+pub use validate::{simulate_station, Station, StationResult};

@@ -1,0 +1,356 @@
+//! Closed-form results for the classical Markovian stations.
+//!
+//! Conventions: `lambda` = arrival rate, `mu` = per-server service rate,
+//! all quantities in jobs and seconds. `l`/`lq` are time-average numbers
+//! in system/queue, `w`/`wq` mean times in system/queue (Little's law
+//! connects them, which the tests verify).
+
+use crate::erlang::erlang_c;
+
+/// M/M/1: Poisson arrivals, exponential service, one server.
+#[derive(Debug, Clone, Copy)]
+pub struct MM1 {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Service rate μ.
+    pub mu: f64,
+}
+
+impl MM1 {
+    /// Creates a stable station; panics if ρ ≥ 1.
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        assert!(lambda > 0.0 && mu > 0.0, "rates must be positive");
+        assert!(lambda < mu, "unstable: rho >= 1");
+        MM1 { lambda, mu }
+    }
+
+    /// Utilization ρ = λ/μ.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Mean number in system L = ρ/(1−ρ).
+    pub fn l(&self) -> f64 {
+        let r = self.rho();
+        r / (1.0 - r)
+    }
+
+    /// Mean number in queue Lq = ρ²/(1−ρ).
+    pub fn lq(&self) -> f64 {
+        let r = self.rho();
+        r * r / (1.0 - r)
+    }
+
+    /// Mean time in system W = 1/(μ−λ).
+    pub fn w(&self) -> f64 {
+        1.0 / (self.mu - self.lambda)
+    }
+
+    /// Mean waiting time Wq = ρ/(μ−λ).
+    pub fn wq(&self) -> f64 {
+        self.rho() / (self.mu - self.lambda)
+    }
+
+    /// Steady-state probability of `n` in system.
+    pub fn p_n(&self, n: u32) -> f64 {
+        let r = self.rho();
+        (1.0 - r) * r.powi(n as i32)
+    }
+}
+
+/// M/M/c: Poisson arrivals, exponential service, `c` servers.
+#[derive(Debug, Clone, Copy)]
+pub struct MMC {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Per-server service rate μ.
+    pub mu: f64,
+    /// Server count.
+    pub c: u32,
+}
+
+impl MMC {
+    /// Creates a stable station; panics if λ ≥ cμ.
+    pub fn new(lambda: f64, mu: f64, c: u32) -> Self {
+        assert!(lambda > 0.0 && mu > 0.0 && c > 0);
+        assert!(lambda < c as f64 * mu, "unstable: rho >= 1");
+        MMC { lambda, mu, c }
+    }
+
+    /// Offered load a = λ/μ (in Erlangs).
+    pub fn offered(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Per-server utilization ρ = a/c.
+    pub fn rho(&self) -> f64 {
+        self.offered() / self.c as f64
+    }
+
+    /// Probability an arrival waits (Erlang C).
+    pub fn p_wait(&self) -> f64 {
+        erlang_c(self.c, self.offered())
+    }
+
+    /// Mean queue length Lq.
+    pub fn lq(&self) -> f64 {
+        self.p_wait() * self.rho() / (1.0 - self.rho())
+    }
+
+    /// Mean waiting time Wq.
+    pub fn wq(&self) -> f64 {
+        self.lq() / self.lambda
+    }
+
+    /// Mean time in system W.
+    pub fn w(&self) -> f64 {
+        self.wq() + 1.0 / self.mu
+    }
+
+    /// Mean number in system L (Little).
+    pub fn l(&self) -> f64 {
+        self.lambda * self.w()
+    }
+}
+
+/// M/M/1/K: one server, at most `K` jobs in the system (arrivals finding
+/// the system full are lost).
+#[derive(Debug, Clone, Copy)]
+pub struct MM1K {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Service rate μ.
+    pub mu: f64,
+    /// System capacity (including the job in service).
+    pub k: u32,
+}
+
+impl MM1K {
+    /// Creates the station (any ρ is allowed — capacity bounds it).
+    pub fn new(lambda: f64, mu: f64, k: u32) -> Self {
+        assert!(lambda > 0.0 && mu > 0.0 && k > 0);
+        MM1K { lambda, mu, k }
+    }
+
+    /// Offered utilization ρ = λ/μ (may exceed 1).
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Probability of `n` in system.
+    pub fn p_n(&self, n: u32) -> f64 {
+        assert!(n <= self.k);
+        let r = self.rho();
+        if (r - 1.0).abs() < 1e-12 {
+            1.0 / (self.k + 1) as f64
+        } else {
+            (1.0 - r) * r.powi(n as i32) / (1.0 - r.powi(self.k as i32 + 1))
+        }
+    }
+
+    /// Blocking probability (arrival finds the system full).
+    pub fn p_block(&self) -> f64 {
+        self.p_n(self.k)
+    }
+
+    /// Effective (admitted) arrival rate.
+    pub fn lambda_eff(&self) -> f64 {
+        self.lambda * (1.0 - self.p_block())
+    }
+
+    /// Mean number in system.
+    pub fn l(&self) -> f64 {
+        (0..=self.k).map(|n| n as f64 * self.p_n(n)).sum()
+    }
+
+    /// Mean time in system for admitted jobs (Little with λ_eff).
+    pub fn w(&self) -> f64 {
+        self.l() / self.lambda_eff()
+    }
+}
+
+/// M/G/1 via the Pollaczek–Khinchine formula.
+#[derive(Debug, Clone, Copy)]
+pub struct MG1 {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Mean service time E\[S\].
+    pub es: f64,
+    /// Squared coefficient of variation of service: Var\[S\]/E\[S\]².
+    pub scv: f64,
+}
+
+impl MG1 {
+    /// Creates a stable station; panics if ρ = λ·E\[S\] ≥ 1.
+    pub fn new(lambda: f64, es: f64, scv: f64) -> Self {
+        assert!(lambda > 0.0 && es > 0.0 && scv >= 0.0);
+        assert!(lambda * es < 1.0, "unstable: rho >= 1");
+        MG1 { lambda, es, scv }
+    }
+
+    /// Utilization ρ = λE\[S\].
+    pub fn rho(&self) -> f64 {
+        self.lambda * self.es
+    }
+
+    /// Mean waiting time (P–K): Wq = λE\[S²\]/(2(1−ρ)).
+    pub fn wq(&self) -> f64 {
+        let es2 = self.es * self.es * (1.0 + self.scv);
+        self.lambda * es2 / (2.0 * (1.0 - self.rho()))
+    }
+
+    /// Mean time in system.
+    pub fn w(&self) -> f64 {
+        self.wq() + self.es
+    }
+
+    /// Mean number in system (Little).
+    pub fn l(&self) -> f64 {
+        self.lambda * self.w()
+    }
+}
+
+/// M/D/1: deterministic service — the M/G/1 special case with SCV 0.
+/// This is the analytic model of a network link serializing fixed-size
+/// packets, used to validate the packet substrate in E11.
+#[derive(Debug, Clone, Copy)]
+pub struct MD1 {
+    inner: MG1,
+}
+
+impl MD1 {
+    /// Creates a stable station with fixed service time `d`.
+    pub fn new(lambda: f64, d: f64) -> Self {
+        MD1 {
+            inner: MG1::new(lambda, d, 0.0),
+        }
+    }
+
+    /// Utilization.
+    pub fn rho(&self) -> f64 {
+        self.inner.rho()
+    }
+
+    /// Mean waiting time: half the M/M/1 value at equal ρ.
+    pub fn wq(&self) -> f64 {
+        self.inner.wq()
+    }
+
+    /// Mean time in system.
+    pub fn w(&self) -> f64 {
+        self.inner.w()
+    }
+
+    /// Mean number in system.
+    pub fn l(&self) -> f64 {
+        self.inner.l()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_textbook_values() {
+        // λ=2, μ=3: ρ=2/3, L=2, W=1, Wq=2/3, Lq=4/3
+        let q = MM1::new(2.0, 3.0);
+        assert!((q.rho() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.l() - 2.0).abs() < 1e-12);
+        assert!((q.w() - 1.0).abs() < 1e-12);
+        assert!((q.wq() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.lq() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_littles_law() {
+        let q = MM1::new(0.7, 1.0);
+        assert!((q.l() - q.lambda * q.w()).abs() < 1e-12);
+        assert!((q.lq() - q.lambda * q.wq()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_probabilities_sum_to_one() {
+        let q = MM1::new(0.8, 1.0);
+        let total: f64 = (0..200).map(|n| q.p_n(n)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mm1_unstable_rejected() {
+        MM1::new(1.0, 1.0);
+    }
+
+    #[test]
+    fn mmc_reduces_to_mm1_for_c1() {
+        let a = MM1::new(0.6, 1.0);
+        let b = MMC::new(0.6, 1.0, 1);
+        assert!((a.lq() - b.lq()).abs() < 1e-10);
+        assert!((a.w() - b.w()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mmc_textbook_value() {
+        // λ=2, μ=1, c=3: a=2, ρ=2/3; Erlang C = 4/9 ≈ 0.4444;
+        // Lq = C·ρ/(1−ρ) = 8/9; W = Wq + 1 = 4/9 + 1
+        let q = MMC::new(2.0, 1.0, 3);
+        assert!((q.p_wait() - 4.0 / 9.0).abs() < 1e-9, "{}", q.p_wait());
+        assert!((q.lq() - 8.0 / 9.0).abs() < 1e-9);
+        assert!((q.wq() - 4.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mmc_more_servers_less_waiting() {
+        let w2 = MMC::new(1.5, 1.0, 2).wq();
+        let w4 = MMC::new(1.5, 1.0, 4).wq();
+        assert!(w4 < w2);
+    }
+
+    #[test]
+    fn mm1k_blocks_and_bounds() {
+        let q = MM1K::new(2.0, 1.0, 5); // overloaded but bounded
+        let total: f64 = (0..=5).map(|n| q.p_n(n)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(q.p_block() > 0.4, "heavy overload blocks a lot");
+        assert!(q.l() <= 5.0);
+        assert!(q.lambda_eff() < 1.0 + 1e-9, "throughput capped by mu");
+    }
+
+    #[test]
+    fn mm1k_rho_one_uniform() {
+        let q = MM1K::new(1.0, 1.0, 4);
+        for n in 0..=4 {
+            assert!((q.p_n(n) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mm1k_converges_to_mm1_for_large_k() {
+        let bounded = MM1K::new(0.5, 1.0, 60);
+        let unbounded = MM1::new(0.5, 1.0);
+        assert!((bounded.l() - unbounded.l()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mg1_with_scv1_is_mm1() {
+        let pk = MG1::new(0.7, 1.0, 1.0);
+        let mm = MM1::new(0.7, 1.0);
+        assert!((pk.wq() - mm.wq()).abs() < 1e-12);
+        assert!((pk.l() - mm.l()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn md1_waits_half_of_mm1() {
+        let md = MD1::new(0.7, 1.0);
+        let mm = MM1::new(0.7, 1.0);
+        assert!((md.wq() - mm.wq() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mg1_variance_hurts() {
+        let low = MG1::new(0.7, 1.0, 0.5);
+        let high = MG1::new(0.7, 1.0, 4.0);
+        assert!(high.wq() > low.wq());
+    }
+}

@@ -1,0 +1,272 @@
+//! Simulated G/G/c station for validation against the closed forms.
+//!
+//! "A well-design simulator must present comparisons between experiments
+//! modeling small distributed systems against equivalent real-world
+//! testbeds … If this simplified form of evaluation is conducted for each
+//! of the simulated component a general conclusion can be drawn, with
+//! higher confidence, for the entire simulation model" (§5). In place of
+//! a physical testbed the analytic models play the reference role: this
+//! module simulates a single queueing station on the `lsds-core` engine
+//! and reports the estimators the closed forms predict.
+
+use lsds_core::{Ctx, EventDriven, Model, SimTime};
+use lsds_stats::{Dist, SimRng, Summary, TimeWeighted};
+use std::collections::VecDeque;
+
+/// A single queueing station specification.
+#[derive(Debug, Clone)]
+pub struct Station {
+    /// Inter-arrival time distribution.
+    pub interarrival: Dist,
+    /// Service time distribution.
+    pub service: Dist,
+    /// Number of identical servers.
+    pub servers: u32,
+    /// System capacity (including in-service); `None` = unbounded.
+    pub capacity: Option<u32>,
+}
+
+/// Measured station behavior.
+#[derive(Debug, Clone)]
+pub struct StationResult {
+    /// Jobs that completed service.
+    pub completed: u64,
+    /// Arrivals rejected by a full system.
+    pub blocked: u64,
+    /// Arrivals (admitted + blocked).
+    pub arrivals: u64,
+    /// Mean time in system (admitted jobs).
+    pub mean_w: f64,
+    /// Mean waiting time before service.
+    pub mean_wq: f64,
+    /// Time-average number in system.
+    pub time_avg_l: f64,
+    /// Time-average busy servers / server count.
+    pub utilization: f64,
+    /// 95% CI half-width of the mean time in system.
+    pub w_ci: f64,
+}
+
+enum Ev {
+    Arrival,
+    Departure,
+}
+
+struct StationModel {
+    spec: Station,
+    rng: SimRng,
+    busy: u32,
+    queue: VecDeque<SimTime>,
+    in_service_since: Vec<SimTime>,
+    warmup: f64,
+    w: Summary,
+    wq: Summary,
+    l: TimeWeighted,
+    busy_tw: TimeWeighted,
+    completed: u64,
+    blocked: u64,
+    arrivals: u64,
+    horizon: f64,
+}
+
+impl StationModel {
+    fn in_system(&self) -> u32 {
+        self.busy + self.queue.len() as u32
+    }
+
+    fn start_service(&mut self, arrived: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        self.busy += 1;
+        self.busy_tw.update(ctx.now().seconds(), self.busy as f64);
+        if ctx.now().seconds() >= self.warmup && arrived.seconds() >= self.warmup {
+            self.wq.add(ctx.now() - arrived);
+        }
+        self.in_service_since.push(arrived);
+        let s = self.spec.service.sample_at_least(&mut self.rng, 1e-12);
+        ctx.schedule_in(s, Ev::Departure);
+    }
+}
+
+impl Model for StationModel {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now().seconds();
+        match ev {
+            Ev::Arrival => {
+                // next arrival
+                if now < self.horizon {
+                    let dt = self.spec.interarrival.sample_at_least(&mut self.rng, 1e-12);
+                    ctx.schedule_in(dt, Ev::Arrival);
+                }
+                self.arrivals += 1;
+                if let Some(cap) = self.spec.capacity {
+                    if self.in_system() >= cap {
+                        self.blocked += 1;
+                        return;
+                    }
+                }
+                self.l.update(now, self.in_system() as f64 + 1.0);
+                if self.busy < self.spec.servers {
+                    self.start_service(ctx.now(), ctx);
+                } else {
+                    self.queue.push_back(ctx.now());
+                }
+            }
+            Ev::Departure => {
+                // FIFO: the longest-serving job leaves (exact identity is
+                // irrelevant for the collected statistics)
+                let arrived = self.in_service_since.remove(0);
+                self.busy -= 1;
+                self.completed += 1;
+                self.l.update(now, self.in_system() as f64);
+                self.busy_tw.update(now, self.busy as f64);
+                if now >= self.warmup && arrived.seconds() >= self.warmup {
+                    self.w.add(ctx.now() - arrived);
+                }
+                if let Some(next) = self.queue.pop_front() {
+                    self.start_service(next, ctx);
+                }
+            }
+        }
+    }
+}
+
+/// Simulates the station for `horizon` simulated seconds. Sojourn-time
+/// samples are collected after a warm-up of `0.1 × horizon`; time-average
+/// estimators run from an empty start, whose bias is negligible at the
+/// horizons the validation uses.
+pub fn simulate_station(spec: &Station, horizon: f64, seed: u64) -> StationResult {
+    assert!(horizon > 0.0);
+    let warmup = 0.1 * horizon;
+    let model = StationModel {
+        spec: spec.clone(),
+        rng: SimRng::new(seed),
+        busy: 0,
+        queue: VecDeque::new(),
+        in_service_since: Vec::new(),
+        warmup,
+        w: Summary::new(),
+        wq: Summary::new(),
+        l: TimeWeighted::new(0.0, 0.0),
+        busy_tw: TimeWeighted::new(0.0, 0.0),
+        completed: 0,
+        blocked: 0,
+        arrivals: 0,
+        horizon,
+    };
+    let mut sim = EventDriven::new(model);
+    sim.schedule(SimTime::ZERO, Ev::Arrival);
+    sim.run_until(SimTime::new(horizon));
+    let m = sim.model();
+    StationResult {
+        completed: m.completed,
+        blocked: m.blocked,
+        arrivals: m.arrivals,
+        mean_w: m.w.mean(),
+        mean_wq: m.wq.mean(),
+        time_avg_l: m.l.average(horizon),
+        utilization: m.busy_tw.average(horizon) / m.spec.servers as f64,
+        w_ci: m.w.ci_half_width(0.95),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::{MD1, MM1, MM1K, MMC};
+
+    fn rel_err(measured: f64, analytic: f64) -> f64 {
+        (measured - analytic).abs() / analytic
+    }
+
+    #[test]
+    fn mm1_simulation_matches_theory() {
+        let spec = Station {
+            interarrival: Dist::Exponential { rate: 0.7 },
+            service: Dist::Exponential { rate: 1.0 },
+            servers: 1,
+            capacity: None,
+        };
+        let r = simulate_station(&spec, 200_000.0, 42);
+        let q = MM1::new(0.7, 1.0);
+        assert!(rel_err(r.mean_w, q.w()) < 0.05, "W {} vs {}", r.mean_w, q.w());
+        assert!(rel_err(r.mean_wq, q.wq()) < 0.05, "Wq {} vs {}", r.mean_wq, q.wq());
+        assert!(rel_err(r.time_avg_l, q.l()) < 0.05, "L {} vs {}", r.time_avg_l, q.l());
+        assert!(rel_err(r.utilization, q.rho()) < 0.02);
+        assert_eq!(r.blocked, 0);
+    }
+
+    #[test]
+    fn mmc_simulation_matches_theory() {
+        let spec = Station {
+            interarrival: Dist::Exponential { rate: 2.0 },
+            service: Dist::Exponential { rate: 1.0 },
+            servers: 3,
+            capacity: None,
+        };
+        let r = simulate_station(&spec, 200_000.0, 7);
+        let q = MMC::new(2.0, 1.0, 3);
+        assert!(rel_err(r.mean_w, q.w()) < 0.05, "W {} vs {}", r.mean_w, q.w());
+        assert!(rel_err(r.time_avg_l, q.l()) < 0.05);
+        assert!(rel_err(r.utilization, q.rho()) < 0.02);
+    }
+
+    #[test]
+    fn md1_simulation_matches_pollaczek_khinchine() {
+        let spec = Station {
+            interarrival: Dist::Exponential { rate: 0.7 },
+            service: Dist::constant(1.0),
+            servers: 1,
+            capacity: None,
+        };
+        let r = simulate_station(&spec, 200_000.0, 9);
+        let q = MD1::new(0.7, 1.0);
+        assert!(rel_err(r.mean_wq, q.wq()) < 0.05, "Wq {} vs {}", r.mean_wq, q.wq());
+    }
+
+    #[test]
+    fn mm1k_simulation_matches_blocking() {
+        let spec = Station {
+            interarrival: Dist::Exponential { rate: 2.0 },
+            service: Dist::Exponential { rate: 1.0 },
+            servers: 1,
+            capacity: Some(5),
+        };
+        let r = simulate_station(&spec, 200_000.0, 11);
+        let q = MM1K::new(2.0, 1.0, 5);
+        let measured_block = r.blocked as f64 / r.arrivals as f64;
+        assert!(
+            rel_err(measured_block, q.p_block()) < 0.05,
+            "block {measured_block} vs {}",
+            q.p_block()
+        );
+        assert!(rel_err(r.time_avg_l, q.l()) < 0.05);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let spec = Station {
+            interarrival: Dist::Exponential { rate: 0.5 },
+            service: Dist::Exponential { rate: 1.0 },
+            servers: 1,
+            capacity: None,
+        };
+        let a = simulate_station(&spec, 10_000.0, 3);
+        let b = simulate_station(&spec, 10_000.0, 3);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.mean_w, b.mean_w);
+    }
+
+    #[test]
+    fn ci_shrinks_with_horizon() {
+        let spec = Station {
+            interarrival: Dist::Exponential { rate: 0.5 },
+            service: Dist::Exponential { rate: 1.0 },
+            servers: 1,
+            capacity: None,
+        };
+        let short = simulate_station(&spec, 5_000.0, 3);
+        let long = simulate_station(&spec, 500_000.0, 3);
+        assert!(long.w_ci < short.w_ci);
+    }
+}

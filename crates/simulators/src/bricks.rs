@@ -1,0 +1,179 @@
+//! Bricks — the central-model scheduling simulator.
+//!
+//! "Bricks was among the first simulation projects developed to
+//! investigate different resource scheduling issues … Bricks uses a model
+//! which the authors call the 'central model'. In this simulation model it
+//! is assumed that all the jobs are processed at a single site." (§4)
+//!
+//! The facade builds a star of client sites around one central server;
+//! clients generate jobs, the scheduler is pinned to the server, and the
+//! server processes time-shared (Bricks models servers as queueing
+//! systems). The later replica/disk extension of Bricks is reachable by
+//! adding `initial_files`.
+
+use crate::taxonomy::*;
+use lsds_grid::cpu::{Discipline, Sharing};
+use lsds_grid::model::{GridConfig, GridModel, GridReport};
+use lsds_grid::organization::{central_grid, SiteSpec};
+use lsds_grid::scheduler::FixedSite;
+use lsds_grid::{Activity, SiteId};
+use lsds_core::SimTime;
+use lsds_stats::{Dist, SimRng};
+
+/// Bricks scenario parameters.
+pub struct Bricks {
+    /// Number of client sites submitting jobs.
+    pub n_clients: usize,
+    /// Server cores.
+    pub server_cores: usize,
+    /// Server per-core speed.
+    pub server_speed: f64,
+    /// Client→server link bandwidth (bytes/s).
+    pub client_bw: f64,
+    /// Link latency (s).
+    pub latency: f64,
+    /// Mean job inter-arrival time per client.
+    pub mean_interarrival: f64,
+    /// Job work distribution (reference-core seconds).
+    pub work: Dist,
+    /// Jobs per client.
+    pub jobs_per_client: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Bricks {
+    fn default() -> Self {
+        Bricks {
+            n_clients: 8,
+            server_cores: 16,
+            server_speed: 1.0,
+            client_bw: lsds_net::mbps(100.0),
+            latency: 0.02,
+            mean_interarrival: 4.0,
+            work: Dist::exp_mean(30.0),
+            jobs_per_client: 50,
+            seed: 1,
+        }
+    }
+}
+
+impl Bricks {
+    /// Runs the scenario to completion (bounded by `horizon`).
+    pub fn run(self, horizon: f64) -> GridReport {
+        let grid = central_grid(
+            self.n_clients,
+            SiteSpec {
+                cores: self.server_cores,
+                speed: self.server_speed,
+                sharing: Sharing::Time,
+                discipline: Discipline::Fifo,
+                disk: 100.0e12,
+                price: 1.0,
+            },
+            1.0e12,
+            self.client_bw,
+            self.latency,
+        );
+        let master = SimRng::new(self.seed);
+        let activities = (0..self.n_clients)
+            .map(|i| {
+                Activity::compute(
+                    i as u32,
+                    self.mean_interarrival,
+                    self.work.clone(),
+                    master.fork(i as u64 + 1),
+                )
+                .with_limit(self.jobs_per_client)
+            })
+            .collect();
+        let cfg = GridConfig {
+            grid,
+            policy: Box::new(FixedSite(SiteId(0))),
+            replication: lsds_grid::ReplicationPolicy::None,
+            activities,
+            production: None,
+            agent: None,
+            eligible: Some(
+                std::iter::once(true)
+                    .chain(std::iter::repeat_n(false, self.n_clients))
+                    .collect(),
+            ),
+            initial_files: vec![],
+            seed: self.seed,
+        };
+        let mut sim = GridModel::build(cfg);
+        sim.run_until(SimTime::new(horizon));
+        sim.model().report()
+    }
+}
+
+impl Classified for Bricks {
+    fn classification() -> Classification {
+        Classification {
+            name: "Bricks",
+            scope: Scope::Scheduling,
+            components: Components {
+                hosts: true,
+                network: true,
+                middleware: true,
+                applications: true,
+            },
+            behavior: Behavior::Probabilistic,
+            mechanics: Mechanics::DiscreteEvent,
+            advance: DesAdvance::EventDriven,
+            execution: Execution::Centralized,
+            // the paper's named exception to runtime-definable components
+            dynamic_components: false,
+            model_spec: ModelSpec::Language,
+            input: InputData::Generators,
+            visual_design: false,
+            visual_output: false,
+            validation: Validation::Testbed,
+            resource_model: ResourceModel::Central,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_jobs_run_at_the_server() {
+        let rep = Bricks {
+            n_clients: 4,
+            jobs_per_client: 10,
+            ..Bricks::default()
+        }
+        .run(1.0e6);
+        assert_eq!(rep.records.len(), 40);
+        assert!(rep.records.iter().all(|r| r.site == SiteId(0)));
+        assert_eq!(rep.rejected, 0);
+    }
+
+    #[test]
+    fn server_speed_scales_response_time() {
+        let slow = Bricks {
+            server_speed: 1.0,
+            seed: 3,
+            ..Bricks::default()
+        }
+        .run(1.0e6);
+        let fast = Bricks {
+            server_speed: 4.0,
+            seed: 3,
+            ..Bricks::default()
+        }
+        .run(1.0e6);
+        assert!(fast.mean_makespan < slow.mean_makespan);
+    }
+
+    #[test]
+    fn classification_matches_paper() {
+        let c = Bricks::classification();
+        assert_eq!(c.resource_model, ResourceModel::Central);
+        assert!(!c.dynamic_components);
+        assert_eq!(c.validation, Validation::Testbed);
+    }
+}

@@ -1,0 +1,272 @@
+//! GridSim — computational-economy resource brokering.
+//!
+//! "GridSim is a simulator developed by researchers from the Gridbus
+//! project to investigate effective resource allocation techniques based
+//! on computational economy … GridSim is mainly used to study cost-time
+//! optimization algorithms for scheduling task farming applications on
+//! heterogeneous Grids, considering economy based distributed resource
+//! management, dealing with deadline and budget constraints." (§4)
+//!
+//! The facade runs a task farm over heterogeneous *priced* resources under
+//! the deadline-and-budget-constrained broker, optimizing either cost or
+//! time (experiment E9 sweeps the constraints).
+
+use crate::taxonomy::*;
+use lsds_core::SimTime;
+use lsds_grid::cpu::{Discipline, Sharing};
+use lsds_grid::model::{GridConfig, GridModel, GridReport};
+use lsds_grid::organization::{flat_grid, SiteSpec};
+use lsds_grid::scheduler::{Economy, EconomyGoal};
+use lsds_grid::{Activity, ReplicationPolicy};
+use lsds_stats::{Dist, SimRng};
+
+/// One priced resource class.
+#[derive(Debug, Clone, Copy)]
+pub struct Resource {
+    /// Cores.
+    pub cores: usize,
+    /// Per-core speed.
+    pub speed: f64,
+    /// Price per reference-CPU-second.
+    pub price: f64,
+}
+
+/// GridSim task-farm scenario.
+pub struct GridSim {
+    /// The heterogeneous resource pool (typically: cheap/slow through
+    /// expensive/fast).
+    pub resources: Vec<Resource>,
+    /// What the broker optimizes.
+    pub goal: EconomyGoal,
+    /// Tasks in the farm.
+    pub tasks: u64,
+    /// Mean inter-arrival time.
+    pub mean_interarrival: f64,
+    /// Task work distribution.
+    pub work: Dist,
+    /// Deadline factor (deadline = factor × work).
+    pub deadline_factor: f64,
+    /// Budget factor (budget = factor × work).
+    pub budget_factor: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for GridSim {
+    fn default() -> Self {
+        GridSim {
+            resources: vec![
+                Resource {
+                    cores: 8,
+                    speed: 1.0,
+                    price: 1.0,
+                },
+                Resource {
+                    cores: 8,
+                    speed: 2.0,
+                    price: 3.0,
+                },
+                Resource {
+                    cores: 4,
+                    speed: 4.0,
+                    price: 8.0,
+                },
+            ],
+            goal: EconomyGoal::CostMin,
+            tasks: 200,
+            mean_interarrival: 2.0,
+            work: Dist::exp_mean(60.0),
+            deadline_factor: 4.0,
+            budget_factor: 4.0,
+            seed: 1,
+        }
+    }
+}
+
+impl GridSim {
+    /// Runs the farm; the report carries total cost, deadline hit rate
+    /// and rejections.
+    pub fn run(self, horizon: f64) -> GridReport {
+        let specs = self
+            .resources
+            .iter()
+            .map(|r| SiteSpec {
+                cores: r.cores,
+                speed: r.speed,
+                sharing: Sharing::Space,
+                discipline: Discipline::Fifo,
+                disk: 10.0e12,
+                price: r.price,
+            })
+            .collect();
+        let grid = flat_grid(specs, lsds_net::mbps(1000.0), 0.005);
+        let master = SimRng::new(self.seed);
+        let cfg = GridConfig {
+            grid,
+            policy: Box::new(Economy {
+                goal: self.goal,
+                backlog_work_guess: self.work.mean(),
+            }),
+            replication: ReplicationPolicy::None,
+            activities: vec![Activity::compute(
+                0,
+                self.mean_interarrival,
+                self.work.clone(),
+                master.fork(1),
+            )
+            .with_economy(self.deadline_factor, self.budget_factor)
+            .with_limit(self.tasks)],
+            production: None,
+            agent: None,
+            eligible: None,
+            initial_files: vec![],
+            seed: self.seed,
+        };
+        let mut sim = GridModel::build(cfg);
+        sim.run_until(SimTime::new(horizon));
+        sim.model().report()
+    }
+}
+
+impl Classified for GridSim {
+    fn classification() -> Classification {
+        Classification {
+            name: "GridSim",
+            scope: Scope::Scheduling,
+            components: Components {
+                hosts: true,
+                network: true,
+                middleware: true,
+                applications: true,
+            },
+            behavior: Behavior::Probabilistic,
+            mechanics: Mechanics::DiscreteEvent,
+            advance: DesAdvance::EventDriven,
+            execution: Execution::Centralized,
+            dynamic_components: true,
+            model_spec: ModelSpec::Library,
+            input: InputData::Generators,
+            // "Examples of simulators providing visual design interfaces
+            // are GridSim and MONARC 2"
+            visual_design: true,
+            visual_output: true,
+            validation: Validation::None,
+            resource_model: ResourceModel::FlatSites,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn farm_completes_with_loose_constraints() {
+        let rep = GridSim {
+            tasks: 100,
+            deadline_factor: 1000.0,
+            budget_factor: 1000.0,
+            ..GridSim::default()
+        }
+        .run(1.0e6);
+        assert_eq!(rep.records.len(), 100);
+        assert_eq!(rep.rejected, 0);
+        assert!(rep.total_cost > 0.0);
+    }
+
+    #[test]
+    fn cost_optimizer_prefers_cheap_resources() {
+        let rep = GridSim {
+            goal: EconomyGoal::CostMin,
+            tasks: 60,
+            deadline_factor: 1000.0,
+            budget_factor: 1000.0,
+            seed: 2,
+            ..GridSim::default()
+        }
+        .run(1.0e6);
+        // everything fits on the cheapest site when deadlines are loose
+        let cheap_share = rep
+            .records
+            .iter()
+            .filter(|r| r.site.0 == 0)
+            .count() as f64
+            / rep.records.len() as f64;
+        assert!(cheap_share > 0.9, "cheap share {cheap_share}");
+    }
+
+    #[test]
+    fn time_optimizer_pays_more_but_finishes_faster() {
+        let base = GridSim {
+            seed: 3,
+            tasks: 150,
+            mean_interarrival: 1.0,
+            ..GridSim::default()
+        };
+        let cost_run = GridSim {
+            goal: EconomyGoal::CostMin,
+            resources: base.resources.clone(),
+            ..GridSim {
+                seed: 3,
+                tasks: 150,
+                mean_interarrival: 1.0,
+                ..GridSim::default()
+            }
+        }
+        .run(1.0e6);
+        let time_run = GridSim {
+            goal: EconomyGoal::TimeMin,
+            ..GridSim {
+                seed: 3,
+                tasks: 150,
+                mean_interarrival: 1.0,
+                ..GridSim::default()
+            }
+        }
+        .run(1.0e6);
+        assert!(
+            time_run.total_cost > cost_run.total_cost,
+            "time {} vs cost {}",
+            time_run.total_cost,
+            cost_run.total_cost
+        );
+        assert!(
+            time_run.mean_makespan < cost_run.mean_makespan,
+            "time {} vs cost {}",
+            time_run.mean_makespan,
+            cost_run.mean_makespan
+        );
+    }
+
+    #[test]
+    fn tight_budget_causes_rejections() {
+        let rep = GridSim {
+            budget_factor: 0.01, // cannot afford any resource
+            tasks: 50,
+            seed: 4,
+            ..GridSim::default()
+        }
+        .run(1.0e6);
+        assert_eq!(rep.rejected, 50);
+    }
+
+    #[test]
+    fn deadlines_reported() {
+        let rep = GridSim {
+            deadline_factor: 2.0,
+            tasks: 100,
+            mean_interarrival: 0.5, // heavy load: some deadlines at risk
+            seed: 5,
+            ..GridSim::default()
+        }
+        .run(1.0e6);
+        assert!(rep.deadline_hit_rate > 0.0 && rep.deadline_hit_rate <= 1.0);
+    }
+
+    #[test]
+    fn classification_matches_paper() {
+        let c = GridSim::classification();
+        assert!(c.visual_design, "GridSim has a visual design interface");
+        assert_eq!(c.scope, Scope::Scheduling);
+    }
+}

@@ -1,0 +1,345 @@
+//! SimGrid — the application-scheduling toolkit.
+//!
+//! "SimGrid is a simulation toolkit that provides core functionalities for
+//! the evaluation of scheduling algorithms in distributed applications in
+//! a heterogeneous, computational distributed environment … SimGrid can be
+//! used to simulate compile time and running scheduling algorithms. In the
+//! first category, all scheduling decisions are taken before the
+//! execution. In the second category some decision are taken during the
+//! execution." (§4)
+//!
+//! The facade schedules a bag of independent tasks on heterogeneous hosts
+//! in both modes:
+//!
+//! * **compile-time** — a static min-completion-time (LPT) schedule is
+//!   computed up front; the simulation then executes it. Because the
+//!   schedule's finish times are analytically computable, this reproduces
+//!   SimGrid's original validation: "comparing the results of the
+//!   simulator with the ones obtained analytically on a mathematically
+//!   tractable scheduling problem" (Casanova 2001) — experiment E5.
+//! * **runtime** — agent-style self-scheduling: hosts pull the next task
+//!   when they free up.
+
+use crate::taxonomy::*;
+use lsds_core::{Ctx, EventDriven, Model, SimTime};
+
+/// Scheduling mode (§4's compile-time vs running algorithms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulingMode {
+    /// All decisions before execution (static LPT/min-completion-time).
+    CompileTime,
+    /// Decisions during execution (work-queue self-scheduling).
+    Runtime,
+}
+
+/// A bag-of-tasks scheduling scenario on heterogeneous hosts.
+#[derive(Debug, Clone)]
+pub struct SimGrid {
+    /// Host speeds (work units per second).
+    pub host_speeds: Vec<f64>,
+    /// Task works (work units).
+    pub task_works: Vec<f64>,
+    /// Scheduling mode.
+    pub mode: SchedulingMode,
+}
+
+/// Outcome of a SimGrid run.
+#[derive(Debug, Clone)]
+pub struct SimGridReport {
+    /// Simulated makespan.
+    pub makespan: f64,
+    /// Host each task ran on.
+    pub assignment: Vec<usize>,
+    /// Finish time per host.
+    pub host_finish: Vec<f64>,
+}
+
+impl SimGrid {
+    /// Validates inputs.
+    pub fn new(host_speeds: Vec<f64>, task_works: Vec<f64>, mode: SchedulingMode) -> Self {
+        assert!(!host_speeds.is_empty() && !task_works.is_empty());
+        assert!(host_speeds.iter().all(|&s| s > 0.0));
+        assert!(task_works.iter().all(|&w| w > 0.0));
+        SimGrid {
+            host_speeds,
+            task_works,
+            mode,
+        }
+    }
+
+    /// The classical lower bound on any schedule's makespan:
+    /// `max(Σw / Σs, max_i w_i / s_max)`.
+    pub fn analytic_lower_bound(&self) -> f64 {
+        let total_w: f64 = self.task_works.iter().sum();
+        let total_s: f64 = self.host_speeds.iter().sum();
+        let s_max = self.host_speeds.iter().cloned().fold(0.0, f64::max);
+        let w_max = self.task_works.iter().cloned().fold(0.0, f64::max);
+        (total_w / total_s).max(w_max / s_max)
+    }
+
+    /// Computes the static LPT / min-completion-time schedule and its
+    /// analytic makespan — no simulation involved. This is the tractable
+    /// reference for E5.
+    pub fn static_schedule(&self) -> (Vec<usize>, f64) {
+        let mut order: Vec<usize> = (0..self.task_works.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.task_works[b]
+                .total_cmp(&self.task_works[a])
+                .then(a.cmp(&b))
+        });
+        let mut finish = vec![0.0f64; self.host_speeds.len()];
+        let mut assignment = vec![0usize; self.task_works.len()];
+        for &t in &order {
+            // host minimizing this task's completion time
+            let (best, _) = finish
+                .iter()
+                .enumerate()
+                .map(|(h, &f)| (h, f + self.task_works[t] / self.host_speeds[h]))
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                .expect("hosts non-empty");
+            assignment[t] = best;
+            finish[best] += self.task_works[t] / self.host_speeds[best];
+        }
+        let makespan = finish.iter().cloned().fold(0.0, f64::max);
+        (assignment, makespan)
+    }
+
+    /// Runs the scenario on the discrete-event engine.
+    pub fn run(&self) -> SimGridReport {
+        match self.mode {
+            SchedulingMode::CompileTime => self.run_static(),
+            SchedulingMode::Runtime => self.run_dynamic(),
+        }
+    }
+
+    fn run_static(&self) -> SimGridReport {
+        let (assignment, _) = self.static_schedule();
+        // queues per host in task order
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.host_speeds.len()];
+        for (t, &h) in assignment.iter().enumerate() {
+            queues[h].push(t);
+        }
+        let report = run_model(self.host_speeds.clone(), self.task_works.clone(), Dispatch::Static(queues));
+        SimGridReport {
+            assignment,
+            ..report
+        }
+    }
+
+    fn run_dynamic(&self) -> SimGridReport {
+        run_model(
+            self.host_speeds.clone(),
+            self.task_works.clone(),
+            Dispatch::WorkQueue,
+        )
+    }
+}
+
+enum Dispatch {
+    /// Pre-assigned per-host task queues.
+    Static(Vec<Vec<usize>>),
+    /// Global FIFO bag; hosts pull on completion.
+    WorkQueue,
+}
+
+struct BagModel {
+    speeds: Vec<f64>,
+    works: Vec<f64>,
+    dispatch: Dispatch,
+    next_global: usize,
+    assignment: Vec<usize>,
+    host_finish: Vec<f64>,
+    remaining: usize,
+}
+
+#[derive(Clone, Copy)]
+enum Ev {
+    Start,
+    Done { host: usize, task: usize },
+}
+
+impl BagModel {
+    fn start_task(&mut self, host: usize, task: usize, ctx: &mut Ctx<'_, Ev>) {
+        self.assignment[task] = host;
+        let dt = self.works[task] / self.speeds[host];
+        ctx.schedule_in(dt, Ev::Done { host, task });
+    }
+
+    fn next_for(&mut self, host: usize) -> Option<usize> {
+        match &mut self.dispatch {
+            Dispatch::Static(queues) => {
+                if queues[host].is_empty() {
+                    None
+                } else {
+                    Some(queues[host].remove(0))
+                }
+            }
+            Dispatch::WorkQueue => {
+                if self.next_global < self.works.len() {
+                    let t = self.next_global;
+                    self.next_global += 1;
+                    Some(t)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl Model for BagModel {
+    type Event = Ev;
+    fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+        match ev {
+            Ev::Start => {
+                for host in 0..self.speeds.len() {
+                    if let Some(task) = self.next_for(host) {
+                        self.start_task(host, task, ctx);
+                    }
+                }
+            }
+            Ev::Done { host, task } => {
+                let _ = task;
+                self.host_finish[host] = ctx.now().seconds();
+                self.remaining -= 1;
+                if let Some(next) = self.next_for(host) {
+                    self.start_task(host, next, ctx);
+                }
+            }
+        }
+    }
+}
+
+fn run_model(speeds: Vec<f64>, works: Vec<f64>, dispatch: Dispatch) -> SimGridReport {
+    let n_tasks = works.len();
+    let n_hosts = speeds.len();
+    let model = BagModel {
+        speeds,
+        works,
+        dispatch,
+        next_global: 0,
+        assignment: vec![usize::MAX; n_tasks],
+        host_finish: vec![0.0; n_hosts],
+        remaining: n_tasks,
+    };
+    let mut sim = EventDriven::new(model);
+    sim.schedule(SimTime::ZERO, Ev::Start);
+    let stats = sim.run();
+    let m = sim.into_model();
+    assert_eq!(m.remaining, 0, "tasks left unscheduled");
+    SimGridReport {
+        makespan: stats.end_time.seconds(),
+        assignment: m.assignment,
+        host_finish: m.host_finish,
+    }
+}
+
+impl Classified for SimGrid {
+    fn classification() -> Classification {
+        Classification {
+            name: "SimGrid",
+            scope: Scope::Scheduling,
+            // "SimGrid does not provide any of the system support
+            // facilities as discussed in the taxonomy" — it abstracts
+            // hosts/links for scheduling, with no application layer
+            components: Components {
+                hosts: true,
+                network: true,
+                middleware: true,
+                applications: false,
+            },
+            behavior: Behavior::Both,
+            mechanics: Mechanics::DiscreteEvent,
+            advance: DesAdvance::EventDriven,
+            execution: Execution::Centralized,
+            dynamic_components: true,
+            model_spec: ModelSpec::Library,
+            input: InputData::Both,
+            visual_design: false,
+            visual_output: false,
+            validation: Validation::Mathematical,
+            resource_model: ResourceModel::FlatSites,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(mode: SchedulingMode) -> SimGrid {
+        SimGrid::new(
+            vec![1.0, 2.0, 4.0],
+            vec![10.0, 7.0, 7.0, 4.0, 4.0, 4.0, 2.0, 1.0],
+            mode,
+        )
+    }
+
+    #[test]
+    fn static_simulation_matches_analytic_schedule() {
+        // the Casanova-style validation: simulated makespan must equal
+        // the analytically computed one exactly
+        let sg = scenario(SchedulingMode::CompileTime);
+        let (_, analytic) = sg.static_schedule();
+        let report = sg.run();
+        assert!(
+            (report.makespan - analytic).abs() < 1e-9,
+            "simulated {} vs analytic {analytic}",
+            report.makespan
+        );
+    }
+
+    #[test]
+    fn makespans_respect_lower_bound() {
+        for mode in [SchedulingMode::CompileTime, SchedulingMode::Runtime] {
+            let sg = scenario(mode);
+            let lb = sg.analytic_lower_bound();
+            let report = sg.run();
+            assert!(
+                report.makespan >= lb - 1e-9,
+                "{mode:?}: {} < lb {lb}",
+                report.makespan
+            );
+            // greedy bags stay within the classical 2× factor
+            assert!(report.makespan <= 2.0 * lb + 1e-9, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn single_host_makespan_is_total_over_speed() {
+        let sg = SimGrid::new(vec![2.0], vec![4.0, 6.0, 10.0], SchedulingMode::Runtime);
+        let report = sg.run();
+        assert!((report.makespan - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_host_takes_more_tasks_statically() {
+        let sg = scenario(SchedulingMode::CompileTime);
+        let report = sg.run();
+        let counts = |h: usize| report.assignment.iter().filter(|&&a| a == h).count();
+        assert!(counts(2) >= counts(0), "speed-4 host takes at least as many as speed-1");
+    }
+
+    #[test]
+    fn assignment_is_complete() {
+        for mode in [SchedulingMode::CompileTime, SchedulingMode::Runtime] {
+            let report = scenario(mode).run();
+            assert!(report.assignment.iter().all(|&a| a < 3));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = scenario(SchedulingMode::Runtime).run();
+        let b = scenario(SchedulingMode::Runtime).run();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn classification_matches_paper() {
+        let c = SimGrid::classification();
+        assert_eq!(c.validation, Validation::Mathematical);
+        assert!(!c.components.applications);
+    }
+}

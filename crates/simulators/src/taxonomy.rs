@@ -1,0 +1,325 @@
+//! The paper's taxonomy (§3) as types.
+//!
+//! Every category the paper proposes for classifying LSDS simulators is an
+//! enum here; a simulator model self-describes by returning a
+//! [`Classification`]. The categories follow §3 exactly: simulation model
+//! (scope, supported components, behavior, time base) and implementation
+//! (engine mechanics, DES advance, execution, model specification, input
+//! data, user interface, output analysis, validation).
+
+use serde::{Deserialize, Serialize};
+
+/// The uppermost purpose a simulator was built for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scope {
+    /// Resource/job scheduling studies.
+    Scheduling,
+    /// Data replication/optimization studies.
+    DataReplication,
+    /// Data transport technologies.
+    DataTransport,
+    /// Scheduling combined with data location.
+    SchedulingAndData,
+    /// Generic large scale distributed systems.
+    GenericLsds,
+}
+
+impl Scope {
+    /// Short label for the table.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scope::Scheduling => "scheduling",
+            Scope::DataReplication => "data replication",
+            Scope::DataTransport => "data transport",
+            Scope::SchedulingAndData => "scheduling + data",
+            Scope::GenericLsds => "generic LSDS",
+        }
+    }
+}
+
+/// Which of the four distributed-system layers the model covers (§3:
+/// "there are four types of components: hosts, network, middleware and
+/// user applications").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Components {
+    /// Computing/storage hosts.
+    pub hosts: bool,
+    /// Network elements and protocols.
+    pub network: bool,
+    /// Schedulers and other middleware.
+    pub middleware: bool,
+    /// User applications / activities.
+    pub applications: bool,
+}
+
+impl Components {
+    /// e.g. `"H+N+M+A"`.
+    pub fn label(self) -> String {
+        let mut parts = Vec::new();
+        if self.hosts {
+            parts.push("H");
+        }
+        if self.network {
+            parts.push("N");
+        }
+        if self.middleware {
+            parts.push("M");
+        }
+        if self.applications {
+            parts.push("A");
+        }
+        parts.join("+")
+    }
+}
+
+/// Deterministic vs probabilistic behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Behavior {
+    /// "A deterministic simulation has no random events occurring."
+    Deterministic,
+    /// "A probabilistic simulation has random events occurring."
+    Probabilistic,
+    /// Supports both, by configuration.
+    Both,
+}
+
+impl Behavior {
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Behavior::Deterministic => "deterministic",
+            Behavior::Probabilistic => "probabilistic",
+            Behavior::Both => "both",
+        }
+    }
+}
+
+/// Engine mechanics: continuous, discrete-event, or hybrid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mechanics {
+    /// State changes continuously (emulator-class).
+    Continuous,
+    /// State changes only at event instants.
+    DiscreteEvent,
+    /// Both combined.
+    Hybrid,
+}
+
+impl Mechanics {
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanics::Continuous => "continuous",
+            Mechanics::DiscreteEvent => "discrete-event",
+            Mechanics::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// How a DES advances (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DesAdvance {
+    /// Replays externally collected events.
+    TraceDriven,
+    /// Fixed time increments.
+    TimeDriven,
+    /// Irregular increments to the next event.
+    EventDriven,
+}
+
+impl DesAdvance {
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DesAdvance::TraceDriven => "trace-driven",
+            DesAdvance::TimeDriven => "time-driven",
+            DesAdvance::EventDriven => "event-driven",
+        }
+    }
+}
+
+/// Execution: centralized vs distributed (the paper's replacement for
+/// Sulistio's serial/parallel split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Execution {
+    /// One execution unit.
+    Centralized,
+    /// Multiple processors, possibly dispersed.
+    Distributed,
+}
+
+impl Execution {
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Execution::Centralized => "centralized",
+            Execution::Distributed => "distributed",
+        }
+    }
+}
+
+/// How models are specified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// A dedicated simulation language.
+    Language,
+    /// Library routines in a general-purpose language.
+    Library,
+    /// Visual drag-and-drop construction.
+    Visual,
+}
+
+impl ModelSpec {
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelSpec::Language => "language",
+            ModelSpec::Library => "library",
+            ModelSpec::Visual => "visual",
+        }
+    }
+}
+
+/// Accepted input data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputData {
+    /// Synthetic generators only.
+    Generators,
+    /// Monitored data sets only.
+    Monitored,
+    /// Both (e.g. MONARC 2 with MonALISA feeds).
+    Both,
+}
+
+impl InputData {
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            InputData::Generators => "generators",
+            InputData::Monitored => "monitored",
+            InputData::Both => "both",
+        }
+    }
+}
+
+/// Validation evidence offered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Validation {
+    /// No published validation.
+    None,
+    /// Comparison against mathematical/analytical results.
+    Mathematical,
+    /// Comparison against a real-world testbed.
+    Testbed,
+}
+
+impl Validation {
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Validation::None => "none",
+            Validation::Mathematical => "mathematical",
+            Validation::Testbed => "testbed",
+        }
+    }
+}
+
+/// Resource organization (§3/§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResourceModel {
+    /// Bricks: all jobs processed at a single site.
+    Central,
+    /// MONARC: hierarchical tiers.
+    Tier,
+    /// Flat collection of peer sites.
+    FlatSites,
+}
+
+impl ResourceModel {
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceModel::Central => "central model",
+            ResourceModel::Tier => "tier model",
+            ResourceModel::FlatSites => "flat sites",
+        }
+    }
+}
+
+/// A complete classification under the taxonomy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Classification {
+    /// Simulator name.
+    pub name: &'static str,
+    /// Primary scope.
+    pub scope: Scope,
+    /// Supported component layers.
+    pub components: Components,
+    /// Behavior class.
+    pub behavior: Behavior,
+    /// Engine mechanics.
+    pub mechanics: Mechanics,
+    /// DES advance style.
+    pub advance: DesAdvance,
+    /// Execution class.
+    pub execution: Execution,
+    /// Can users define new components at simulation runtime? ("the vast
+    /// majority of simulation tools provide this capability, but there are
+    /// also exceptions (Bricks for example)")
+    pub dynamic_components: bool,
+    /// Model specification style.
+    pub model_spec: ModelSpec,
+    /// Input data support.
+    pub input: InputData,
+    /// Visual model-design interface?
+    pub visual_design: bool,
+    /// Visual output/analysis interface?
+    pub visual_output: bool,
+    /// Validation evidence.
+    pub validation: Validation,
+    /// Resource organization.
+    pub resource_model: ResourceModel,
+}
+
+/// A simulator model that can describe itself under the taxonomy.
+pub trait Classified {
+    /// Self-classification used to build Table 1.
+    fn classification() -> Classification;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_labels() {
+        let all = Components {
+            hosts: true,
+            network: true,
+            middleware: true,
+            applications: true,
+        };
+        assert_eq!(all.label(), "H+N+M+A");
+        let some = Components {
+            hosts: true,
+            network: false,
+            middleware: true,
+            applications: false,
+        };
+        assert_eq!(some.label(), "H+M");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let scopes = [
+            Scope::Scheduling,
+            Scope::DataReplication,
+            Scope::DataTransport,
+            Scope::SchedulingAndData,
+            Scope::GenericLsds,
+        ];
+        let labels: std::collections::HashSet<_> =
+            scopes.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), scopes.len());
+    }
+}

@@ -1,0 +1,140 @@
+//! Batch-means confidence intervals for steady-state simulation output.
+//!
+//! Successive observations from one simulation run are autocorrelated, so a
+//! naive CI over raw observations is too narrow. Batch means groups the
+//! stream into `b` consecutive batches, treats batch averages as
+//! approximately independent, and builds the CI over those — the standard
+//! method the paper's §5 validation discussion presumes ("validation is
+//! essentially a statistical problem").
+
+use crate::summary::Summary;
+
+/// Accumulates a stream into fixed-size batches and summarizes batch means.
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Summary,
+    batches: Summary,
+    batch_means: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Creates an accumulator with the given observations-per-batch.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current: Summary::new(),
+            batches: Summary::new(),
+            batch_means: Vec::new(),
+        }
+    }
+
+    /// Adds one observation; closes the batch when it is full.
+    pub fn add(&mut self, x: f64) {
+        self.current.add(x);
+        if self.current.count() == self.batch_size {
+            let m = self.current.mean();
+            self.batches.add(m);
+            self.batch_means.push(m);
+            self.current = Summary::new();
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// Grand mean over completed batches.
+    pub fn mean(&self) -> f64 {
+        self.batches.mean()
+    }
+
+    /// Completed batch means.
+    pub fn batch_means(&self) -> &[f64] {
+        &self.batch_means
+    }
+
+    /// Confidence half-width over batch means at `level`.
+    pub fn ci_half_width(&self, level: f64) -> f64 {
+        self.batches.ci_half_width(level)
+    }
+
+    /// Lag-1 autocorrelation of the batch means — a diagnostic that the
+    /// batch size is large enough (should be near 0 at steady state).
+    pub fn lag1_autocorrelation(&self) -> f64 {
+        let n = self.batch_means.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..n {
+            let d = self.batch_means[i] - mean;
+            den += d * d;
+            if i + 1 < n {
+                num += d * (self.batch_means[i + 1] - mean);
+            }
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn batches_close_at_size() {
+        let mut b = BatchMeans::new(10);
+        for i in 0..35 {
+            b.add(i as f64);
+        }
+        assert_eq!(b.batches(), 3);
+        assert_eq!(b.batch_means().len(), 3);
+        assert!((b.batch_means()[0] - 4.5).abs() < 1e-12);
+        assert!((b.batch_means()[1] - 14.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iid_stream_grand_mean() {
+        let mut rng = SimRng::new(3);
+        let mut b = BatchMeans::new(100);
+        for _ in 0..100_000 {
+            b.add(rng.range_f64(0.0, 1.0));
+        }
+        assert!((b.mean() - 0.5).abs() < 0.01);
+        assert!(b.ci_half_width(0.95) < 0.01);
+    }
+
+    #[test]
+    fn lag1_autocorrelation_near_zero_for_iid() {
+        let mut rng = SimRng::new(9);
+        let mut b = BatchMeans::new(50);
+        for _ in 0..50_000 {
+            b.add(rng.next_f64());
+        }
+        assert!(b.lag1_autocorrelation().abs() < 0.1);
+    }
+
+    #[test]
+    fn correlated_stream_has_positive_lag1_with_tiny_batches() {
+        // AR(1)-style stream; with batch size 1 batch means inherit the
+        // correlation, which the diagnostic should expose.
+        let mut rng = SimRng::new(10);
+        let mut b = BatchMeans::new(1);
+        let mut x = 0.0;
+        for _ in 0..5_000 {
+            x = 0.95 * x + rng.range_f64(-0.5, 0.5);
+            b.add(x);
+        }
+        assert!(b.lag1_autocorrelation() > 0.5);
+    }
+}

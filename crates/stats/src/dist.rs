@@ -1,0 +1,517 @@
+//! Probability distributions used by the stochastic simulation models.
+//!
+//! The set covers what the surveyed simulators draw on: exponential/Poisson
+//! arrival processes ("all the stochastic arrival patterns, specific for such
+//! type of simulation" — MONARC 2, §4), heavy-tailed file sizes and transfer
+//! demands (Pareto, log-normal, Weibull), Zipf popularity for replication
+//! studies, and degenerate/deterministic components for the taxonomy's
+//! deterministic behavior class.
+//!
+//! Every variant exposes closed-form `mean`/`variance` so `lsds-queueing`
+//! can validate the samplers against analytical queueing results (E11).
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A real-valued probability distribution, samplable from a [`SimRng`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Point mass at `value` — no randomness (taxonomy: deterministic).
+    Deterministic { value: f64 },
+    /// Uniform on `[lo, hi)`.
+    Uniform { lo: f64, hi: f64 },
+    /// Exponential with rate `rate` (mean `1/rate`).
+    Exponential { rate: f64 },
+    /// Erlang-`k`: sum of `k` i.i.d. exponentials of rate `rate`.
+    Erlang { k: u32, rate: f64 },
+    /// Two-phase hyperexponential: rate `r1` w.p. `p`, else rate `r2`.
+    HyperExp { p: f64, r1: f64, r2: f64 },
+    /// Normal with mean `mu` and standard deviation `sigma`.
+    Normal { mu: f64, sigma: f64 },
+    /// Log-normal: `exp(N(mu, sigma))`.
+    LogNormal { mu: f64, sigma: f64 },
+    /// Pareto with scale `xm > 0` and shape `alpha > 0`.
+    Pareto { xm: f64, alpha: f64 },
+    /// Weibull with scale `lambda` and shape `k`.
+    Weibull { lambda: f64, k: f64 },
+    /// Poisson counting distribution with mean `lambda` (integer-valued).
+    Poisson { lambda: f64 },
+    /// Geometric on `{1, 2, ...}` with success probability `p`.
+    Geometric { p: f64 },
+    /// Bernoulli on `{0, 1}` with success probability `p`.
+    Bernoulli { p: f64 },
+}
+
+impl Dist {
+    /// Exponential distribution with the given mean.
+    pub fn exp_mean(mean: f64) -> Dist {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        Dist::Exponential { rate: 1.0 / mean }
+    }
+
+    /// Constant distribution.
+    pub fn constant(value: f64) -> Dist {
+        Dist::Deterministic { value }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            Dist::Deterministic { value } => value,
+            Dist::Uniform { lo, hi } => rng.range_f64(lo, hi),
+            Dist::Exponential { rate } => -rng.next_open_f64().ln() / rate,
+            Dist::Erlang { k, rate } => {
+                let mut sum = 0.0;
+                for _ in 0..k {
+                    sum += -rng.next_open_f64().ln();
+                }
+                sum / rate
+            }
+            Dist::HyperExp { p, r1, r2 } => {
+                let rate = if rng.chance(p) { r1 } else { r2 };
+                -rng.next_open_f64().ln() / rate
+            }
+            Dist::Normal { mu, sigma } => mu + sigma * sample_standard_normal(rng),
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sample_standard_normal(rng)).exp(),
+            Dist::Pareto { xm, alpha } => xm / rng.next_open_f64().powf(1.0 / alpha),
+            Dist::Weibull { lambda, k } => {
+                lambda * (-rng.next_open_f64().ln()).powf(1.0 / k)
+            }
+            Dist::Poisson { lambda } => sample_poisson(rng, lambda) as f64,
+            Dist::Geometric { p } => {
+                // inversion: ceil(ln U / ln (1-p)), support {1,2,...}
+                (rng.next_open_f64().ln() / (1.0 - p).ln()).ceil().max(1.0)
+            }
+            Dist::Bernoulli { p } => {
+                if rng.chance(p) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Draws one sample, clamped below at `floor` (useful for strictly
+    /// positive service demands when using normal-family distributions).
+    pub fn sample_at_least(&self, rng: &mut SimRng, floor: f64) -> f64 {
+        self.sample(rng).max(floor)
+    }
+
+    /// Theoretical mean.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Deterministic { value } => value,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Exponential { rate } => 1.0 / rate,
+            Dist::Erlang { k, rate } => k as f64 / rate,
+            Dist::HyperExp { p, r1, r2 } => p / r1 + (1.0 - p) / r2,
+            Dist::Normal { mu, .. } => mu,
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            Dist::Pareto { xm, alpha } => {
+                if alpha > 1.0 {
+                    alpha * xm / (alpha - 1.0)
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Dist::Weibull { lambda, k } => lambda * gamma_fn(1.0 + 1.0 / k),
+            Dist::Poisson { lambda } => lambda,
+            Dist::Geometric { p } => 1.0 / p,
+            Dist::Bernoulli { p } => p,
+        }
+    }
+
+    /// Theoretical variance.
+    pub fn variance(&self) -> f64 {
+        match *self {
+            Dist::Deterministic { .. } => 0.0,
+            Dist::Uniform { lo, hi } => (hi - lo) * (hi - lo) / 12.0,
+            Dist::Exponential { rate } => 1.0 / (rate * rate),
+            Dist::Erlang { k, rate } => k as f64 / (rate * rate),
+            Dist::HyperExp { p, r1, r2 } => {
+                let m = p / r1 + (1.0 - p) / r2;
+                let m2 = 2.0 * (p / (r1 * r1) + (1.0 - p) / (r2 * r2));
+                m2 - m * m
+            }
+            Dist::Normal { sigma, .. } => sigma * sigma,
+            Dist::LogNormal { mu, sigma } => {
+                let s2 = sigma * sigma;
+                (s2.exp() - 1.0) * (2.0 * mu + s2).exp()
+            }
+            Dist::Pareto { xm, alpha } => {
+                if alpha > 2.0 {
+                    xm * xm * alpha / ((alpha - 1.0) * (alpha - 1.0) * (alpha - 2.0))
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Dist::Weibull { lambda, k } => {
+                let g1 = gamma_fn(1.0 + 1.0 / k);
+                let g2 = gamma_fn(1.0 + 2.0 / k);
+                lambda * lambda * (g2 - g1 * g1)
+            }
+            Dist::Poisson { lambda } => lambda,
+            Dist::Geometric { p } => (1.0 - p) / (p * p),
+            Dist::Bernoulli { p } => p * (1.0 - p),
+        }
+    }
+
+    /// Squared coefficient of variation, `Var/Mean²` — the quantity that
+    /// enters the Pollaczek–Khinchine formula for M/G/1 validation.
+    pub fn scv(&self) -> f64 {
+        let m = self.mean();
+        self.variance() / (m * m)
+    }
+}
+
+/// Standard normal via Marsaglia's polar method.
+fn sample_standard_normal(rng: &mut SimRng) -> f64 {
+    loop {
+        let u = 2.0 * rng.next_f64() - 1.0;
+        let v = 2.0 * rng.next_f64() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * ((-2.0 * s.ln()) / s).sqrt();
+        }
+    }
+}
+
+/// Poisson sampling: Knuth multiplication for small `lambda`, normal
+/// approximation (rounded, clamped at 0) above 30 where Knuth underflows.
+fn sample_poisson(rng: &mut SimRng, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0);
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.next_f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = lambda + lambda.sqrt() * sample_standard_normal(rng);
+        x.round().max(0.0) as u64
+    }
+}
+
+/// Lanczos approximation of the gamma function (g = 7, n = 9 coefficients).
+pub fn gamma_fn(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // reflection formula
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma_fn(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// Zipf popularity sampler over ranks `0..n`, built once as a CDF table.
+///
+/// Rank `i` (0-based) has probability proportional to `1/(i+1)^s`. Used for
+/// file-popularity skew in the replication experiments (E7, E8): OptorSim-
+/// and ChicagoSim-style studies assume a small set of "hot" files.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds the table for `n` ranks with exponent `s >= 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfTable over empty support");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the support is empty (never: constructor requires `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("NaN in CDF"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+
+    fn check_moments(d: &Dist, n: usize, tol_mean: f64, tol_sd: f64) {
+        let mut rng = SimRng::new(0xD15);
+        let mut s = Summary::new();
+        for _ in 0..n {
+            s.add(d.sample(&mut rng));
+        }
+        let m = d.mean();
+        let sd = d.variance().sqrt();
+        assert!(
+            (s.mean() - m).abs() <= tol_mean.max(3.0 * sd / (n as f64).sqrt() + 1e-12),
+            "{d:?}: sample mean {} vs {}",
+            s.mean(),
+            m
+        );
+        if sd.is_finite() && sd > 0.0 {
+            assert!(
+                (s.std_dev() - sd).abs() / sd < tol_sd,
+                "{d:?}: sample sd {} vs {}",
+                s.std_dev(),
+                sd
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = Dist::constant(3.5);
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 3.5);
+        }
+        assert_eq!(d.mean(), 3.5);
+        assert_eq!(d.variance(), 0.0);
+    }
+
+    #[test]
+    fn exponential_moments() {
+        check_moments(&Dist::Exponential { rate: 2.0 }, 200_000, 0.01, 0.05);
+    }
+
+    #[test]
+    fn exp_mean_helper() {
+        let d = Dist::exp_mean(4.0);
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_moments() {
+        check_moments(&Dist::Uniform { lo: 2.0, hi: 8.0 }, 100_000, 0.02, 0.05);
+    }
+
+    #[test]
+    fn erlang_moments() {
+        check_moments(&Dist::Erlang { k: 4, rate: 2.0 }, 100_000, 0.02, 0.05);
+    }
+
+    #[test]
+    fn hyperexp_moments() {
+        check_moments(
+            &Dist::HyperExp {
+                p: 0.3,
+                r1: 0.5,
+                r2: 5.0,
+            },
+            200_000,
+            0.03,
+            0.05,
+        );
+    }
+
+    #[test]
+    fn normal_moments() {
+        check_moments(
+            &Dist::Normal {
+                mu: 10.0,
+                sigma: 3.0,
+            },
+            100_000,
+            0.05,
+            0.05,
+        );
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        check_moments(
+            &Dist::LogNormal {
+                mu: 0.5,
+                sigma: 0.4,
+            },
+            200_000,
+            0.02,
+            0.05,
+        );
+    }
+
+    #[test]
+    fn pareto_moments_alpha3() {
+        check_moments(
+            &Dist::Pareto {
+                xm: 1.0,
+                alpha: 3.5,
+            },
+            400_000,
+            0.02,
+            0.15,
+        );
+    }
+
+    #[test]
+    fn pareto_heavy_tail_infinite_mean() {
+        let d = Dist::Pareto {
+            xm: 1.0,
+            alpha: 0.9,
+        };
+        assert!(d.mean().is_infinite());
+    }
+
+    #[test]
+    fn weibull_moments() {
+        check_moments(
+            &Dist::Weibull {
+                lambda: 2.0,
+                k: 1.5,
+            },
+            200_000,
+            0.02,
+            0.05,
+        );
+    }
+
+    #[test]
+    fn poisson_moments_small_and_large_lambda() {
+        check_moments(&Dist::Poisson { lambda: 4.0 }, 100_000, 0.05, 0.05);
+        check_moments(&Dist::Poisson { lambda: 80.0 }, 100_000, 0.2, 0.05);
+    }
+
+    #[test]
+    fn geometric_moments() {
+        check_moments(&Dist::Geometric { p: 0.25 }, 200_000, 0.03, 0.05);
+    }
+
+    #[test]
+    fn bernoulli_moments() {
+        check_moments(&Dist::Bernoulli { p: 0.7 }, 100_000, 0.01, 0.05);
+    }
+
+    #[test]
+    fn positivity_of_positive_distributions() {
+        let mut rng = SimRng::new(99);
+        for d in [
+            Dist::Exponential { rate: 1.0 },
+            Dist::Erlang { k: 3, rate: 1.0 },
+            Dist::Pareto {
+                xm: 2.0,
+                alpha: 1.5,
+            },
+            Dist::Weibull {
+                lambda: 1.0,
+                k: 0.7,
+            },
+            Dist::LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
+        ] {
+            for _ in 0..10_000 {
+                assert!(d.sample(&mut rng) > 0.0, "{d:?} produced non-positive");
+            }
+        }
+    }
+
+    #[test]
+    fn scv_of_exponential_is_one() {
+        assert!((Dist::Exponential { rate: 3.0 }.scv() - 1.0).abs() < 1e-12);
+        assert_eq!(Dist::constant(5.0).scv(), 0.0);
+    }
+
+    #[test]
+    fn gamma_function_known_values() {
+        assert!((gamma_fn(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma_fn(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma_fn(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma_fn(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_is_monotone() {
+        let z = ZipfTable::new(100, 0.9);
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..100 {
+            assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pmf() {
+        let z = ZipfTable::new(20, 1.0);
+        let mut rng = SimRng::new(123);
+        let n = 200_000;
+        let mut counts = [0usize; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(i)).abs() < 0.01,
+                "rank {i}: {emp} vs {}",
+                z.pmf(i)
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_s0_is_uniform() {
+        let z = ZipfTable::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+}

@@ -1,0 +1,165 @@
+//! Fixed-bin histograms with quantile estimation.
+
+/// A histogram over `[lo, hi)` with uniformly sized bins plus underflow and
+/// overflow counters. Backs the "visual output analyzer" axis of the
+/// taxonomy: simulation outputs are reduced to plottable bin series rather
+/// than raw event dumps.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let i = ((x - self.lo) / w) as usize;
+            let i = i.min(self.bins.len() - 1);
+            self.bins[i] += 1;
+        }
+    }
+
+    /// Total number of observations, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Approximate `q`-quantile (`0 < q < 1`) by linear interpolation within
+    /// the containing bin. Returns `None` if the histogram is empty or the
+    /// quantile falls in the under/overflow mass.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..1.0).contains(&q) && q > 0.0, "quantile in (0,1)");
+        if self.count == 0 {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut acc = self.underflow as f64;
+        if acc >= target {
+            return None; // inside underflow mass
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = acc + c as f64;
+            if next >= target {
+                let frac = if c == 0 {
+                    0.5
+                } else {
+                    (target - acc) / c as f64
+                };
+                return Some(self.lo + (i as f64 + frac) * w);
+            }
+            acc = next;
+        }
+        None // inside overflow mass
+    }
+
+    /// Emits `(bin_center, count)` pairs for plotting.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        (0..self.bins.len())
+            .map(|i| (self.bin_center(i), self.bins[i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.6, 9.9] {
+            h.add(x);
+        }
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 2);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-0.1);
+        h.add(1.0);
+        h.add(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn quantile_of_uniform_stream() {
+        let mut h = Histogram::new(0.0, 1.0, 100);
+        for i in 0..10_000 {
+            h.add(i as f64 / 10_000.0);
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 0.5).abs() < 0.02, "median {med}");
+        let p90 = h.quantile(0.9).unwrap();
+        assert!((p90 - 0.9).abs() < 0.02, "p90 {p90}");
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!(h.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn series_matches_bins() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.add(0.5);
+        h.add(2.5);
+        let s = h.series();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0], (0.5, 1));
+        assert_eq!(s[2], (2.5, 1));
+    }
+}

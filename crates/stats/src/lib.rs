@@ -1,0 +1,33 @@
+//! Deterministic random numbers, probability distributions, and streaming
+//! statistics for large scale distributed systems simulation.
+//!
+//! The paper's taxonomy (§3) distinguishes *deterministic* from
+//! *probabilistic* simulation behavior: "repeating the same simulation will
+//! always return the same simulation results". Everything stochastic in the
+//! `lsds` workspace draws from [`SimRng`], a self-contained xoshiro256++
+//! generator whose output is fully specified by its seed, so a probabilistic
+//! model re-run with the same seed is bit-for-bit reproducible — and a model
+//! built only from [`Dist::Deterministic`] components is deterministic in the
+//! taxonomy's stronger sense of having no random events at all.
+//!
+//! Distributions are implemented here, from scratch, rather than imported:
+//! the paper's §5 validation trend ("the formalism provided by the queuing
+//! models is important for the definition and validation of the simulation
+//! stochastic models") requires numerics we can audit against closed-form
+//! queueing results, which `lsds-queueing` does in experiment E11.
+
+pub mod batch;
+pub mod dist;
+pub mod histogram;
+pub mod rng;
+pub mod summary;
+pub mod timeweighted;
+pub mod warmup;
+
+pub use batch::BatchMeans;
+pub use dist::{Dist, ZipfTable};
+pub use histogram::Histogram;
+pub use rng::SimRng;
+pub use summary::Summary;
+pub use timeweighted::TimeWeighted;
+pub use warmup::mser5_truncation;

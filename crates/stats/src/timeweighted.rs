@@ -1,0 +1,119 @@
+//! Time-weighted averages for piecewise-constant processes.
+//!
+//! Queue lengths, numbers-in-system, and link utilizations are step
+//! functions of simulated time; their long-run averages must weight each
+//! value by how long it was held, not by how many times it changed. This is
+//! the estimator the queueing-theory validation (E11) compares against
+//! analytic `L` and `ρ` values.
+
+/// Tracks the time-average of a piecewise-constant real-valued signal.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    start: f64,
+    last_t: f64,
+    last_v: f64,
+    area: f64,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at time `t0` with initial value `v0`.
+    pub fn new(t0: f64, v0: f64) -> Self {
+        TimeWeighted {
+            start: t0,
+            last_t: t0,
+            last_v: v0,
+            area: 0.0,
+            max: v0,
+        }
+    }
+
+    /// Records that the signal changed to `v` at time `t` (must be ≥ the
+    /// previous update time).
+    pub fn update(&mut self, t: f64, v: f64) {
+        assert!(
+            t >= self.last_t,
+            "time-weighted update out of order: {t} < {}",
+            self.last_t
+        );
+        self.area += self.last_v * (t - self.last_t);
+        self.last_t = t;
+        self.last_v = v;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Adds `delta` to the current value at time `t` (convenience for
+    /// queue-length style +1/-1 updates).
+    pub fn add(&mut self, t: f64, delta: f64) {
+        let v = self.last_v + delta;
+        self.update(t, v);
+    }
+
+    /// Current value of the signal.
+    pub fn value(&self) -> f64 {
+        self.last_v
+    }
+
+    /// Maximum value observed.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Time-average over `[start, t_end]`.
+    pub fn average(&self, t_end: f64) -> f64 {
+        assert!(t_end >= self.last_t, "average endpoint before last update");
+        let span = t_end - self.start;
+        if span <= 0.0 {
+            return self.last_v;
+        }
+        (self.area + self.last_v * (t_end - self.last_t)) / span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal() {
+        let w = TimeWeighted::new(0.0, 3.0);
+        assert_eq!(w.average(10.0), 3.0);
+    }
+
+    #[test]
+    fn step_signal() {
+        let mut w = TimeWeighted::new(0.0, 0.0);
+        w.update(2.0, 1.0); // 0 for [0,2)
+        w.update(6.0, 3.0); // 1 for [2,6)
+        assert!((w.average(10.0) - (0.0 * 2.0 + 1.0 * 4.0 + 3.0 * 4.0) / 10.0).abs() < 1e-12);
+        assert_eq!(w.max(), 3.0);
+        assert_eq!(w.value(), 3.0);
+    }
+
+    #[test]
+    fn add_deltas() {
+        let mut w = TimeWeighted::new(0.0, 0.0);
+        w.add(1.0, 1.0);
+        w.add(2.0, 1.0);
+        w.add(3.0, -2.0);
+        assert_eq!(w.value(), 0.0);
+        // areas: 0*1 + 1*1 + 2*1 = 3 over 4 time units
+        assert!((w.average(4.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_span_returns_current() {
+        let w = TimeWeighted::new(5.0, 2.0);
+        assert_eq!(w.average(5.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_update_panics() {
+        let mut w = TimeWeighted::new(0.0, 0.0);
+        w.update(2.0, 1.0);
+        w.update(1.0, 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Warm-up (initialization-bias) truncation via MSER-5.
+//!
+//! OptorSim-style studies explicitly target "the stability and transient
+//! behavior of replication optimization methods" (§4); separating the
+//! transient from the steady state is therefore a first-class output
+//! operation. MSER-5 (White, 1997) groups the output series into batches of
+//! five and picks the truncation point minimizing the standard error of the
+//! remaining data.
+
+/// Returns the truncation index (in raw observations) chosen by MSER-5,
+/// i.e. observations `0..index` are the estimated warm-up transient.
+///
+/// The search is restricted to the first half of the series, the customary
+/// safeguard against degenerate all-but-tail truncations.
+pub fn mser5_truncation(data: &[f64]) -> usize {
+    const B: usize = 5;
+    let nb = data.len() / B;
+    if nb < 4 {
+        return 0;
+    }
+    let means: Vec<f64> = (0..nb)
+        .map(|i| data[i * B..(i + 1) * B].iter().sum::<f64>() / B as f64)
+        .collect();
+    let mut best_d = 0usize;
+    let mut best_stat = f64::INFINITY;
+    // candidate truncation: drop the first d batch means, d <= nb/2
+    for d in 0..=nb / 2 {
+        let rest = &means[d..];
+        let n = rest.len() as f64;
+        let mean = rest.iter().sum::<f64>() / n;
+        let ss: f64 = rest.iter().map(|x| (x - mean) * (x - mean)).sum();
+        let stat = ss / (n * n);
+        if stat < best_stat {
+            best_stat = stat;
+            best_d = d;
+        }
+    }
+    best_d * B
+}
+
+/// Convenience: returns the steady-state portion of `data` after MSER-5
+/// truncation.
+pub fn truncate_warmup(data: &[f64]) -> &[f64] {
+    &data[mser5_truncation(data)..]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+    use crate::summary::Summary;
+
+    #[test]
+    fn short_series_not_truncated() {
+        assert_eq!(mser5_truncation(&[1.0, 2.0, 3.0]), 0);
+    }
+
+    #[test]
+    fn stationary_series_barely_truncated() {
+        let mut rng = SimRng::new(21);
+        let data: Vec<f64> = (0..2000).map(|_| rng.next_f64()).collect();
+        let cut = mser5_truncation(&data);
+        assert!(cut <= data.len() / 4, "cut {cut} too aggressive");
+    }
+
+    #[test]
+    fn ramp_then_flat_is_cut_near_ramp_end() {
+        // transient climbs 0→10 over 200 samples, then stationary noise
+        let mut rng = SimRng::new(22);
+        let mut data = Vec::new();
+        for i in 0..200 {
+            data.push(i as f64 / 20.0);
+        }
+        for _ in 0..1800 {
+            data.push(10.0 + rng.range_f64(-0.5, 0.5));
+        }
+        let cut = mser5_truncation(&data);
+        assert!(
+            (150..=400).contains(&cut),
+            "cut {cut} should fall near end of 200-sample ramp"
+        );
+        let mut s = Summary::new();
+        for &x in truncate_warmup(&data) {
+            s.add(x);
+        }
+        assert!((s.mean() - 10.0).abs() < 0.3, "steady mean {}", s.mean());
+    }
+
+    #[test]
+    fn truncation_is_multiple_of_batch() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(mser5_truncation(&data) % 5, 0);
+    }
+}

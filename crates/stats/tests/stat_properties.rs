@@ -1,0 +1,129 @@
+//! Property-based tests of the statistics substrate.
+
+use lsds_stats::{mser5_truncation, Dist, Histogram, SimRng, Summary, ZipfTable};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Welford summary matches naive two-pass computation.
+    #[test]
+    fn summary_matches_naive(xs in proptest::collection::vec(-1.0e6..1.0e6f64, 2..500)) {
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.add(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        let scale = var.abs().max(1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() < 1e-6 * scale);
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    /// Merging any split equals processing the whole stream.
+    #[test]
+    fn summary_merge_any_split(
+        xs in proptest::collection::vec(-1.0e3..1.0e3f64, 2..300),
+        split in 0usize..300,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &xs[..split] {
+            a.add(x);
+        }
+        for &x in &xs[split..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * whole.mean().abs().max(1.0));
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6 * whole.variance().max(1.0));
+    }
+
+    /// Exponential samples are positive and deterministic per seed.
+    #[test]
+    fn exponential_positive_and_deterministic(rate in 0.01..100.0f64, seed in 0u64..1000) {
+        let d = Dist::Exponential { rate };
+        let mut r1 = SimRng::new(seed);
+        let mut r2 = SimRng::new(seed);
+        for _ in 0..100 {
+            let a = d.sample(&mut r1);
+            let b = d.sample(&mut r2);
+            prop_assert!(a > 0.0);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Uniform samples stay in range for arbitrary bounds.
+    #[test]
+    fn uniform_in_range(lo in -1.0e6..1.0e6f64, width in 0.001..1.0e6f64, seed in 0u64..100) {
+        let d = Dist::Uniform { lo, hi: lo + width };
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= lo && x < lo + width);
+        }
+    }
+
+    /// Histogram mass accounting: bins + underflow + overflow = count.
+    #[test]
+    fn histogram_mass_conserved(
+        xs in proptest::collection::vec(-10.0..10.0f64, 1..500),
+        bins in 1usize..50,
+    ) {
+        let mut h = Histogram::new(-5.0, 5.0, bins);
+        for &x in &xs {
+            h.add(x);
+        }
+        let binned: u64 = h.bins().iter().sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), h.count());
+        prop_assert_eq!(h.count(), xs.len() as u64);
+    }
+
+    /// Zipf pmf is a probability distribution for any (n, s).
+    #[test]
+    fn zipf_pmf_valid(n in 1usize..500, s in 0.0..3.0f64) {
+        let z = ZipfTable::new(n, s);
+        let total: f64 = (0..n).map(|i| z.pmf(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let mut rng = SimRng::new(7);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// MSER-5 truncation is bounded: multiple of 5, at most half the data.
+    #[test]
+    fn mser5_bounds(xs in proptest::collection::vec(-100.0..100.0f64, 0..400)) {
+        let cut = mser5_truncation(&xs);
+        prop_assert_eq!(cut % 5, 0);
+        let batches = xs.len() / 5;
+        prop_assert!(cut <= (batches / 2) * 5);
+        prop_assert!(cut <= xs.len());
+    }
+
+    /// Fork streams never collide with the parent stream.
+    #[test]
+    fn fork_differs_from_parent(seed in 0u64..10_000, label in 0u64..10_000) {
+        let mut parent = SimRng::new(seed);
+        let mut fork = parent.fork(label);
+        let same = (0..32).filter(|_| parent.next_u64() == fork.next_u64()).count();
+        prop_assert!(same < 4);
+    }
+
+    /// next_below is always within bounds.
+    #[test]
+    fn next_below_in_bounds(n in 1u64..1_000_000, seed in 0u64..100) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_below(n) < n);
+        }
+    }
+}

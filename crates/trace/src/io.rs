@@ -1,0 +1,82 @@
+//! JSON-lines persistence for traces.
+//!
+//! One record per line keeps files streamable and appendable, matching
+//! how monitoring systems actually emit data.
+
+use crate::record::{MonitorRecord, Trace};
+use std::io::{self, BufRead, Write};
+
+/// Writes a trace as JSON lines.
+pub fn write_trace(trace: &Trace, mut w: impl Write) -> io::Result<()> {
+    for rec in trace.records() {
+        let line = serde_json::to_string(rec)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads a JSON-lines trace; records are re-sorted by time so partially
+/// merged monitoring feeds load correctly.
+pub fn read_trace(r: impl BufRead) -> io::Result<Trace> {
+    let mut records = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: MonitorRecord = serde_json::from_str(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        records.push(rec);
+    }
+    Ok(Trace::from_records(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::from_records(vec![
+            MonitorRecord::new(1.0, "T0", "production_gb", 2.5),
+            MonitorRecord::new(2.0, "T1-0", "cpu_load", 0.7),
+            MonitorRecord::new(3.5, "T1-1", "transfer_mb", 120.0),
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let mut buf = Vec::new();
+        write_trace(&sample(), &mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn disordered_file_is_sorted_on_read() {
+        let lines = concat!(
+            r#"{"time":5.0,"node":"a","metric":"m","value":1.0}"#,
+            "\n",
+            r#"{"time":1.0,"node":"b","metric":"m","value":2.0}"#,
+            "\n"
+        );
+        let t = read_trace(lines.as_bytes()).unwrap();
+        assert_eq!(t.records()[0].time, 1.0);
+    }
+
+    #[test]
+    fn corrupt_line_is_an_error() {
+        let lines = "not json\n";
+        assert!(read_trace(lines.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! `lsds-trace` — input modalities and output data series.
+//!
+//! The taxonomy classifies simulators by *input data* — "including input
+//! data generators or … accepting data sets collected by monitoring. For
+//! example, MONARC 2 accepts both types of input (the monitoring data
+//! format is the one produced by MonALISA), while ChicagoSim accepts only
+//! input data generators" (§3) — and by *output/UI* (textual output, plot
+//! series, output analyzers).
+//!
+//! * [`record`] — a MonALISA-style monitoring record and trace container;
+//! * [`generator`] — synthetic workload generators that *emit* traces, so
+//!   a generated workload can be saved and replayed as monitored data;
+//! * [`io`] — JSON-lines persistence (read/write);
+//! * [`series`] — plot series, CSV emission, and aligned text tables for
+//!   the experiment binaries (the "textual output" end of the UI axis);
+//! * [`plot`] — terminal bar charts and scatter canvases (the "visual
+//!   output analyzer" end).
+
+pub mod generator;
+pub mod plot;
+pub mod io;
+pub mod record;
+pub mod series;
+
+pub use generator::WorkloadGenerator;
+pub use plot::{BarChart, ScatterPlot};
+pub use io::{read_trace, write_trace};
+pub use record::{MonitorRecord, Trace};
+pub use series::{Series, TextTable};

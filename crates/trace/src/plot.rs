@@ -1,0 +1,262 @@
+//! Terminal plot rendering — the "visual output analyzer" axis.
+//!
+//! "The visual output analyzer is probably the most important graphical
+//! tool a simulator could have. Generally a simulation generates huge
+//! amounts of data. The data is difficult to be analyzed using a pure
+//! text format. … The plots are the usual instruments used to represent
+//! the output data of the simulation in a graphical format that is more
+//! accessible to the end-user." (§3)
+//!
+//! The experiment binaries render directly to the terminal: horizontal
+//! bar charts for categorical comparisons and a scatter/line canvas for
+//! series — the 2D-plot class of the taxonomy, with CSV export
+//! ([`crate::series`]) covering external tools.
+
+use crate::series::Series;
+use std::fmt::Write as _;
+
+/// A horizontal bar chart for labeled values.
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    rows: Vec<(String, f64)>,
+    /// Bar body width in characters.
+    pub width: usize,
+}
+
+impl BarChart {
+    /// An empty chart with the default width.
+    pub fn new() -> Self {
+        BarChart {
+            rows: Vec::new(),
+            width: 48,
+        }
+    }
+
+    /// Adds a labeled value (must be non-negative).
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) {
+        assert!(value >= 0.0 && value.is_finite(), "bad bar value");
+        self.rows.push((label.into(), value));
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the chart has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the chart; bars scale to the maximum value.
+    pub fn render(&self) -> String {
+        if self.rows.is_empty() {
+            return String::new();
+        }
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.chars().count())
+            .max()
+            .unwrap_or(0);
+        let max = self
+            .rows
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max)
+            .max(1e-300);
+        let mut out = String::new();
+        for (label, value) in &self.rows {
+            let frac = value / max;
+            let cells = (frac * self.width as f64).round() as usize;
+            let pad = label_w - label.chars().count();
+            let _ = writeln!(
+                out,
+                "{label}{}  {}{} {value:.6}",
+                " ".repeat(pad),
+                "█".repeat(cells),
+                if cells == 0 && *value > 0.0 { "▏" } else { "" },
+            );
+        }
+        out
+    }
+}
+
+/// A character-cell scatter/line plot for one or more series.
+#[derive(Debug, Clone)]
+pub struct ScatterPlot {
+    /// Canvas width in character cells.
+    pub width: usize,
+    /// Canvas height in character cells.
+    pub height: usize,
+    /// Log-scale the y axis (for spans like E6's availability lags).
+    pub log_y: bool,
+}
+
+impl Default for ScatterPlot {
+    fn default() -> Self {
+        ScatterPlot {
+            width: 64,
+            height: 16,
+            log_y: false,
+        }
+    }
+}
+
+const MARKS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+impl ScatterPlot {
+    /// Renders the series onto the canvas with per-series marks and a
+    /// legend. Returns an empty string when no points exist.
+    pub fn render(&self, series: &[Series]) -> String {
+        let pts: Vec<(usize, f64, f64)> = series
+            .iter()
+            .enumerate()
+            .flat_map(|(si, s)| s.points.iter().map(move |&(x, y)| (si, x, y)))
+            .collect();
+        if pts.is_empty() {
+            return String::new();
+        }
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let ty = |y: f64| if self.log_y { y.max(1e-300).log10() } else { y };
+        for &(_, x, y) in &pts {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(ty(y));
+            ymax = ymax.max(ty(y));
+        }
+        if (xmax - xmin).abs() < 1e-300 {
+            xmax = xmin + 1.0;
+        }
+        if (ymax - ymin).abs() < 1e-300 {
+            ymax = ymin + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for &(si, x, y) in &pts {
+            let cx = ((x - xmin) / (xmax - xmin) * (self.width - 1) as f64).round() as usize;
+            let cy = ((ty(y) - ymin) / (ymax - ymin) * (self.height - 1) as f64).round() as usize;
+            let row = self.height - 1 - cy;
+            grid[row][cx] = MARKS[si % MARKS.len()];
+        }
+        let y_label = |v: f64| {
+            if self.log_y {
+                format!("{:.3e}", 10f64.powf(v))
+            } else {
+                format!("{v:.3}")
+            }
+        };
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let margin = if i == 0 {
+                format!("{:>10} ┤", y_label(ymax))
+            } else if i == self.height - 1 {
+                format!("{:>10} ┤", y_label(ymin))
+            } else {
+                format!("{:>10} │", "")
+            };
+            let _ = writeln!(out, "{margin}{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(
+            out,
+            "{:>11}└{}",
+            "",
+            "─".repeat(self.width)
+        );
+        let _ = writeln!(
+            out,
+            "{:>12}{:<.4}{}{:.4}",
+            "",
+            xmin,
+            " ".repeat(self.width.saturating_sub(16)),
+            xmax
+        );
+        for (si, s) in series.iter().enumerate() {
+            let _ = writeln!(out, "{:>12}{} {}", "", MARKS[si % MARKS.len()], s.name);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let mut c = BarChart::new();
+        c.width = 10;
+        c.bar("a", 10.0);
+        c.bar("bb", 5.0);
+        let r = c.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].matches('█').count(), 10);
+        assert_eq!(lines[1].matches('█').count(), 5);
+        // labels aligned
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with("bb"));
+    }
+
+    #[test]
+    fn zero_value_gets_tick() {
+        let mut c = BarChart::new();
+        c.bar("zero", 0.0);
+        c.bar("big", 100.0);
+        let r = c.render();
+        assert!(r.lines().next().unwrap().contains('0'));
+    }
+
+    #[test]
+    fn empty_chart_renders_empty() {
+        assert!(BarChart::new().render().is_empty());
+        assert!(BarChart::new().is_empty());
+    }
+
+    #[test]
+    fn scatter_places_extremes() {
+        let mut s = Series::new("lag");
+        s.push(0.0, 0.0);
+        s.push(10.0, 100.0);
+        let p = ScatterPlot {
+            width: 20,
+            height: 5,
+            log_y: false,
+        };
+        let r = p.render(&[s]);
+        let lines: Vec<&str> = r.lines().collect();
+        // max y on the top row, min y on the bottom data row
+        assert!(lines[0].contains('*'));
+        assert!(lines[4].contains('*'));
+        assert!(r.contains("lag"));
+    }
+
+    #[test]
+    fn log_scale_compresses_span() {
+        let mut s = Series::new("x");
+        s.push(1.0, 1.0);
+        s.push(2.0, 1.0e6);
+        let lin = ScatterPlot {
+            log_y: false,
+            ..ScatterPlot::default()
+        }
+        .render(std::slice::from_ref(&s));
+        let log = ScatterPlot {
+            log_y: true,
+            ..ScatterPlot::default()
+        }
+        .render(&[s]);
+        assert!(lin.contains("1000000"));
+        assert!(log.contains("e6") || log.contains("e+6") || log.contains("1.000e6"));
+    }
+
+    #[test]
+    fn multiple_series_distinct_marks() {
+        let mut a = Series::new("a");
+        let mut b = Series::new("b");
+        a.push(0.0, 1.0);
+        b.push(1.0, 2.0);
+        let r = ScatterPlot::default().render(&[a, b]);
+        assert!(r.contains('*') && r.contains('o'));
+    }
+}

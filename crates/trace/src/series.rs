@@ -1,0 +1,235 @@
+//! Output series and text tables — the "textual output" end of the UI
+//! axis, shaped for direct consumption by plotting tools.
+
+use std::fmt::Write as _;
+
+/// A named data series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series name (plot legend entry / CSV header).
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Emits `x,y` CSV with a header line.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("x,{}\n", self.name);
+        for (x, y) in &self.points {
+            let _ = writeln!(out, "{x},{y}");
+        }
+        out
+    }
+
+    /// Merges several series sharing x-values into one CSV block
+    /// (`x,name1,name2,…`). Panics if the x-grids differ.
+    pub fn merged_csv(series: &[Series]) -> String {
+        assert!(!series.is_empty(), "no series");
+        let n = series[0].points.len();
+        for s in series {
+            assert_eq!(s.points.len(), n, "series lengths differ");
+        }
+        let mut out = String::from("x");
+        for s in series {
+            let _ = write!(out, ",{}", s.name);
+        }
+        out.push('\n');
+        for i in 0..n {
+            let x = series[0].points[i].0;
+            for s in series {
+                assert!(
+                    (s.points[i].0 - x).abs() < 1e-9,
+                    "x grids differ at row {i}"
+                );
+            }
+            let _ = write!(out, "{x}");
+            for s in series {
+                let _ = write!(out, ",{}", s.points[i].1);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An aligned text table for experiment output (the paper's Table 1 is
+/// rendered through this).
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn with_columns(cols: &[&str]) -> Self {
+        Self::new(cols.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Appends a row; must match the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of string slices.
+    pub fn row_strs(&mut self, cells: &[&str]) {
+        self.row(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                let pad = widths[i] - cells[i].chars().count();
+                line.push_str(&cells[i]);
+                line.push_str(&" ".repeat(pad));
+                if i + 1 < ncols {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = self
+            .header
+            .iter()
+            .map(|h| esc(h))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_csv() {
+        let mut s = Series::new("makespan");
+        s.push(1.0, 10.0);
+        s.push(2.0, 20.0);
+        assert_eq!(s.to_csv(), "x,makespan\n1,10\n2,20\n");
+    }
+
+    #[test]
+    fn merged_series_csv() {
+        let mut a = Series::new("lru");
+        let mut b = Series::new("lfu");
+        a.push(1.0, 10.0);
+        a.push(2.0, 12.0);
+        b.push(1.0, 11.0);
+        b.push(2.0, 9.0);
+        let csv = Series::merged_csv(&[a, b]);
+        assert_eq!(csv, "x,lru,lfu\n1,10,11\n2,12,9\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn merged_grid_mismatch_panics() {
+        let mut a = Series::new("a");
+        let mut b = Series::new("b");
+        a.push(1.0, 0.0);
+        b.push(2.0, 0.0);
+        let _ = Series::merged_csv(&[a, b]);
+    }
+
+    #[test]
+    fn table_render_aligns() {
+        let mut t = TextTable::with_columns(&["sim", "scope"]);
+        t.row_strs(&["Bricks", "central scheduling"]);
+        t.row_strs(&["MONARC 2", "tiered LHC"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert!(lines[0].starts_with("sim"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("Bricks"));
+        // columns aligned: "scope" column starts at same offset
+        let off = lines[0].find("scope").unwrap();
+        assert_eq!(lines[2].find("central").unwrap(), off);
+        assert_eq!(lines[3].find("tiered").unwrap(), off);
+    }
+
+    #[test]
+    fn table_csv_escapes() {
+        let mut t = TextTable::with_columns(&["name", "notes"]);
+        t.row_strs(&["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = TextTable::with_columns(&["a", "b"]);
+        t.row_strs(&["only one"]);
+    }
+}

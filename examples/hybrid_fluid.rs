@@ -1,0 +1,112 @@
+//! The taxonomy's third mechanics class: "a hybrid simulation comprises
+//! both continuous and discrete-event simulations" (§3).
+//!
+//! A WAN link's backlog is modeled as a continuous fluid buffer
+//! (dB/dt = offered − capacity, clamped at 0) integrated with RK4, while
+//! discrete events interrupt it: bursts dump bytes instantaneously and
+//! capacity changes (the 2.5 → 30 Gbps upgrade of E6, in miniature) take
+//! effect at an instant.
+//!
+//! ```sh
+//! cargo run --release --example hybrid_fluid
+//! ```
+
+use lsds::core::engine::HybridModel;
+use lsds::core::{Ctx, Hybrid, SimTime};
+use lsds::trace::{ScatterPlot, Series};
+
+/// Continuous state: y[0] = link backlog (GB).
+struct FluidLink {
+    /// Offered fluid rate (GB/s).
+    offered: f64,
+    /// Link capacity (GB/s).
+    capacity: f64,
+    /// Sampled (time, backlog) curve.
+    samples: Vec<(f64, f64)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Instantaneous burst of `gb` gigabytes.
+    Burst(f64),
+    /// The link is upgraded to a new capacity.
+    Upgrade(f64),
+    /// Periodic backlog sample.
+    Sample,
+}
+
+impl HybridModel for FluidLink {
+    type Event = Ev;
+
+    fn derivatives(&self, _t: SimTime, y: &[f64], dydt: &mut [f64]) {
+        let drain = self.capacity;
+        // fluid buffer: drains only while non-empty
+        dydt[0] = if y[0] > 0.0 {
+            self.offered - drain
+        } else {
+            (self.offered - drain).max(0.0)
+        };
+    }
+
+    fn handle(&mut self, ev: Ev, y: &mut [f64], ctx: &mut Ctx<'_, Ev>) {
+        match ev {
+            Ev::Burst(gb) => y[0] += gb,
+            Ev::Upgrade(cap) => self.capacity = cap,
+            Ev::Sample => {
+                self.samples.push((ctx.now().seconds(), y[0]));
+                ctx.schedule_in(5.0, Ev::Sample);
+            }
+        }
+    }
+
+    fn on_step(&mut self, _t: SimTime, y: &mut [f64], _ctx: &mut Ctx<'_, Ev>) {
+        if y[0] < 0.0 {
+            y[0] = 0.0; // integration may overshoot the empty buffer
+        }
+    }
+}
+
+fn main() {
+    // offered 3 GB/s into a 2.5 GB/s link: backlog climbs ~0.5 GB/s
+    let mut sim = Hybrid::new(
+        FluidLink {
+            offered: 3.0,
+            capacity: 2.5,
+            samples: Vec::new(),
+        },
+        vec![0.0],
+        0.05,
+    );
+    sim.schedule(SimTime::ZERO, Ev::Sample);
+    // production bursts every 50 s
+    for k in 0..12 {
+        sim.schedule(SimTime::new(25.0 + 50.0 * k as f64), Ev::Burst(40.0));
+    }
+    // the upgrade lands at t = 400 s
+    sim.schedule(SimTime::new(400.0), Ev::Upgrade(30.0));
+    let stats = sim.run_until(SimTime::new(600.0));
+
+    let mut series = Series::new("backlog_gb");
+    for &(t, b) in &sim.model().samples {
+        series.push(t, b);
+    }
+    println!("hybrid fluid-link model: continuous backlog + discrete events");
+    println!(
+        "({} RK4 steps, {} discrete events)\n",
+        stats.ticks, stats.events
+    );
+    let plot = ScatterPlot {
+        width: 70,
+        height: 18,
+        log_y: false,
+    };
+    print!("{}", plot.render(&[series]));
+    println!(
+        "\nReading: backlog ramps under the 2.5 GB/s link (growth + bursts),\n\
+         then the t=400 s capacity upgrade drains it — the E6 story told by\n\
+         the hybrid engine in one continuous state variable."
+    );
+    let final_backlog = sim.state()[0];
+    assert!(final_backlog < 1.0, "upgrade must drain the buffer");
+    println!("final backlog: {final_backlog:.3} GB");
+}

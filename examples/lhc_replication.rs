@@ -1,0 +1,64 @@
+//! The MONARC T0/T1 replication study (Legrand et al. 2005, §5 of the
+//! paper): sweep the shared T0 uplink from 0.6 to 30 Gbps and report
+//! whether shipping the production stream to the tier-1 centers keeps
+//! pace — "the existing capacity of 2.5 Gbps was not sufficient and …
+//! the link was upgraded to a current 30 Gbps".
+//!
+//! ```sh
+//! cargo run --release --example lhc_replication
+//! ```
+
+use lsds::simulators::monarc::Monarc;
+use lsds::trace::TextTable;
+
+fn main() {
+    let mut table = TextTable::with_columns(&[
+        "uplink (Gbps)",
+        "offered (Gbps)",
+        "shipped",
+        "mean lag (s)",
+        "max lag (s)",
+        "verdict",
+    ]);
+    println!("MONARC LHC T0→T1 study: 5 tier-1 centers, 100 GB datasets");
+    println!("produced every 320 s (≈2.5 Gbps of raw production)\n");
+    for uplink in [0.6, 1.25, 2.5, 5.0, 10.0, 15.0, 30.0] {
+        let rep = Monarc {
+            uplink_gbps: uplink,
+            datasets: 40,
+            ..Monarc::default()
+        }
+        .run(1.0e6);
+        table.row(vec![
+            format!("{uplink:.2}"),
+            format!("{:.1}", rep.offered_gbps),
+            format!("{}/{}", rep.shipped, rep.produced * 5),
+            format!("{:.0}", rep.mean_availability_lag),
+            format!("{:.0}", rep.max_availability_lag),
+            if rep.sustainable {
+                "sufficient".to_string()
+            } else {
+                "NOT sufficient".to_string()
+            },
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!("The agent's role (10 Gbps uplink, 20 analysis jobs per tier-1):");
+    for agent in [false, true] {
+        let rep = Monarc {
+            agent,
+            analysis_jobs: 20,
+            datasets: 10,
+            uplink_gbps: 10.0,
+            ..Monarc::default()
+        }
+        .run(1.0e6);
+        println!(
+            "  agent {}: mean stage time {:>7.1} s, mean job makespan {:>7.1} s",
+            if agent { "ON " } else { "OFF" },
+            rep.grid.mean_stage_time,
+            rep.grid.mean_makespan
+        );
+    }
+}

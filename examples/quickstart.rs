@@ -1,0 +1,74 @@
+//! Quickstart: build a small grid, run a stochastic workload, read the
+//! report.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use lsds::core::SimTime;
+use lsds::grid::model::{GridConfig, GridModel};
+use lsds::grid::organization::{flat_grid, SiteSpec};
+use lsds::grid::scheduler::LeastLoaded;
+use lsds::grid::{Activity, ReplicationPolicy, SiteId};
+use lsds::stats::{Dist, SimRng};
+
+fn main() {
+    // 1. Infrastructure: four equal sites on a 622 Mbps star.
+    let grid = flat_grid(vec![SiteSpec::default(); 4], lsds::net::mbps(622.0), 0.005);
+
+    // 2. Data: ten 1 GB files, spread round-robin over the sites.
+    let initial_files = (0..10).map(|i| (1.0e9, SiteId(i % 4))).collect();
+
+    // 3. Applications: one user submitting 100 analysis jobs (Poisson
+    //    arrivals, exponential CPU demand, Zipf-popular inputs).
+    let master = SimRng::new(2026);
+    let activities = vec![Activity::analysis(
+        0,     // owner
+        30.0,  // mean inter-arrival (s)
+        Dist::exp_mean(120.0),
+        2,     // files per job
+        10,    // catalog size
+        0.9,   // Zipf exponent
+        master.fork(1),
+    )
+    .with_limit(100)];
+
+    // 4. Middleware: least-loaded brokering + LRU pull replication.
+    let cfg = GridConfig {
+        grid,
+        policy: Box::new(LeastLoaded),
+        replication: ReplicationPolicy::PullLru,
+        activities,
+        production: None,
+        agent: None,
+        eligible: None,
+        initial_files,
+        seed: 2026,
+    };
+
+    // 5. Simulate.
+    let mut sim = GridModel::build(cfg);
+    sim.run_until(SimTime::new(1.0e6));
+
+    // 6. Report.
+    let rep = sim.model().report();
+    println!("jobs completed     : {}", rep.records.len());
+    println!("mean makespan      : {:.1} s", rep.mean_makespan);
+    println!("mean staging time  : {:.1} s", rep.mean_stage_time);
+    println!("WAN bytes staged   : {:.2} GB", rep.wan_bytes / 1e9);
+    println!("simulated time     : {:.0} s", sim.now().seconds());
+    println!("events processed   : {}", sim.processed());
+
+    let slowest = rep
+        .records
+        .iter()
+        .max_by(|a, b| a.makespan().total_cmp(&b.makespan()))
+        .expect("non-empty");
+    println!(
+        "slowest job        : #{} at site {} ({:.1} s, {:.1} s staging)",
+        slowest.id.0,
+        slowest.site.0,
+        slowest.makespan(),
+        slowest.stage_time()
+    );
+}

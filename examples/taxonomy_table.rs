@@ -1,0 +1,22 @@
+//! Regenerates the paper's Table 1 — "Design comparison of surveyed Grid
+//! simulation projects" — from the six simulator models'
+//! self-classifications under the taxonomy of §3.
+//!
+//! ```sh
+//! cargo run --example taxonomy_table           # aligned text
+//! cargo run --example taxonomy_table -- --csv  # CSV
+//! ```
+
+use lsds::simulators::table1;
+
+fn main() {
+    let table = table1();
+    let csv = std::env::args().any(|a| a == "--csv");
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("Table 1. Design comparison of surveyed Grid simulation projects");
+        println!("(generated from the models' self-classifications)\n");
+        print!("{}", table.render());
+    }
+}

@@ -1,0 +1,128 @@
+//! Cross-crate validation (the §5 regime, end to end): grid substrate
+//! components must match their queueing-theory references when driven
+//! with Markovian workloads — "the comparison … should be made at least
+//! for the networking protocols, for the computing nodes and the storage
+//! facilities."
+
+use lsds::core::SimTime;
+use lsds::grid::cpu::{Discipline, Sharing};
+use lsds::grid::model::{GridConfig, GridModel};
+use lsds::grid::organization::{flat_grid, SiteSpec};
+use lsds::grid::scheduler::FixedSite;
+use lsds::grid::{Activity, ReplicationPolicy, SiteId};
+use lsds::queueing::MMC;
+use lsds::stats::{Dist, SimRng, Summary};
+
+/// A single site with c space-shared cores fed Poisson jobs with
+/// exponential work is an M/M/c station; the grid model's measured mean
+/// sojourn must match the Erlang-C prediction.
+#[test]
+fn grid_site_behaves_like_mmc() {
+    let cores = 3;
+    let lambda = 2.0; // jobs/s
+    let mu = 1.0; // service rate per core (work mean 1.0, speed 1.0)
+    let jobs = 40_000u64;
+
+    let grid = flat_grid(
+        vec![SiteSpec {
+            cores,
+            speed: 1.0,
+            sharing: Sharing::Space,
+            discipline: Discipline::Fifo,
+            disk: 1.0e12,
+            price: 1.0,
+        }],
+        lsds::net::mbps(1000.0),
+        0.001,
+    );
+    let master = SimRng::new(77);
+    let cfg = GridConfig {
+        grid,
+        policy: Box::new(FixedSite(SiteId(0))),
+        replication: ReplicationPolicy::None,
+        activities: vec![Activity::compute(
+            0,
+            1.0 / lambda,
+            Dist::Exponential { rate: mu },
+            master.fork(1),
+        )
+        .with_limit(jobs)],
+        production: None,
+        agent: None,
+        eligible: None,
+        initial_files: vec![],
+        seed: 77,
+    };
+    let mut sim = GridModel::build(cfg);
+    sim.run_until(SimTime::new(1.0e9));
+    let rep = sim.model().report();
+    assert_eq!(rep.records.len() as u64, jobs);
+
+    // discard the first 10% as warm-up
+    let mut w = Summary::new();
+    for r in rep.records.iter().skip(jobs as usize / 10) {
+        w.add(r.makespan());
+    }
+    let analytic = MMC::new(lambda, mu, cores as u32).w();
+    let rel = (w.mean() - analytic).abs() / analytic;
+    assert!(
+        rel < 0.05,
+        "grid site W = {w} vs M/M/c W = {analytic} (rel err {rel})", w = w.mean()
+    );
+}
+
+/// The same site under processor sharing is an M/G/1-PS queue, whose mean
+/// sojourn equals the M/M/1 value (PS is insensitive to the service
+/// distribution): W = 1/(μ−λ).
+#[test]
+fn time_shared_site_behaves_like_processor_sharing() {
+    let lambda = 0.7;
+    let mu = 1.0;
+    // PS sojourn times are strongly autocorrelated at this load; the
+    // estimator needs a long run to settle
+    let jobs = 200_000u64;
+    let grid = flat_grid(
+        vec![SiteSpec {
+            cores: 1,
+            speed: 1.0,
+            sharing: Sharing::Time,
+            discipline: Discipline::Fifo,
+            disk: 1.0e12,
+            price: 1.0,
+        }],
+        lsds::net::mbps(1000.0),
+        0.001,
+    );
+    let master = SimRng::new(78);
+    let cfg = GridConfig {
+        grid,
+        policy: Box::new(FixedSite(SiteId(0))),
+        replication: ReplicationPolicy::None,
+        activities: vec![Activity::compute(
+            0,
+            1.0 / lambda,
+            Dist::Exponential { rate: mu },
+            master.fork(1),
+        )
+        .with_limit(jobs)],
+        production: None,
+        agent: None,
+        eligible: None,
+        initial_files: vec![],
+        seed: 78,
+    };
+    let mut sim = GridModel::build(cfg);
+    sim.run_until(SimTime::new(1.0e9));
+    let rep = sim.model().report();
+    assert_eq!(rep.records.len() as u64, jobs);
+    let mut w = Summary::new();
+    for r in rep.records.iter().skip(jobs as usize / 10) {
+        w.add(r.makespan());
+    }
+    let analytic = 1.0 / (mu - lambda);
+    let rel = (w.mean() - analytic).abs() / analytic;
+    assert!(
+        rel < 0.05,
+        "PS site W = {w} vs analytic {analytic} (rel err {rel})", w = w.mean()
+    );
+}

@@ -1,0 +1,110 @@
+//! E14 — the taxonomy's behavior axis, end to end: "repeating the same
+//! simulation will always return the same simulation results."
+//!
+//! Full-stack scenarios (grid + network + middleware + applications) are
+//! run twice under the same seed and must agree bit for bit; a different
+//! seed must produce different results (the probabilistic half of the
+//! axis).
+
+use lsds::grid::ReplicationPolicy;
+use lsds::simulators::monarc::Monarc;
+use lsds::simulators::optorsim::OptorSim;
+
+fn optorsim_fingerprint(seed: u64) -> Vec<(u64, u64, u64)> {
+    let rep = OptorSim {
+        jobs: 60,
+        strategy: ReplicationPolicy::PullLru,
+        seed,
+        ..OptorSim::default()
+    }
+    .run(1.0e6);
+    rep.records
+        .iter()
+        .map(|r| {
+            (
+                r.id.0,
+                r.site.0 as u64,
+                r.finished.seconds().to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn optorsim_bit_for_bit_reproducible() {
+    let a = optorsim_fingerprint(42);
+    let b = optorsim_fingerprint(42);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 60);
+}
+
+#[test]
+fn optorsim_seed_sensitivity() {
+    assert_ne!(optorsim_fingerprint(1), optorsim_fingerprint(2));
+}
+
+fn monarc_fingerprint(seed: u64) -> (u64, u64, u64) {
+    let rep = Monarc {
+        datasets: 20,
+        analysis_jobs: 10,
+        uplink_gbps: 10.0,
+        seed,
+        ..Monarc::default()
+    }
+    .run(1.0e6);
+    (
+        rep.shipped,
+        rep.mean_availability_lag.to_bits(),
+        rep.grid.mean_makespan.to_bits(),
+    )
+}
+
+#[test]
+fn monarc_bit_for_bit_reproducible() {
+    assert_eq!(monarc_fingerprint(7), monarc_fingerprint(7));
+}
+
+#[test]
+fn deterministic_components_yield_deterministic_simulation() {
+    // a model with only Dist::Deterministic components has *no* random
+    // events: even different seeds give identical results (the strong
+    // "deterministic" class of the taxonomy)
+    use lsds::core::SimTime;
+    use lsds::grid::model::{GridConfig, GridModel};
+    use lsds::grid::organization::{flat_grid, SiteSpec};
+    use lsds::grid::scheduler::RoundRobin;
+    use lsds::grid::Activity;
+    use lsds::stats::{Dist, SimRng};
+
+    let run = |seed: u64| {
+        let grid = flat_grid(vec![SiteSpec::default(); 3], lsds::net::mbps(100.0), 0.01);
+        let mut activity = Activity::compute(
+            0,
+            1.0, // ignored: interarrival overridden below
+            Dist::constant(10.0),
+            SimRng::new(seed),
+        )
+        .with_limit(20);
+        activity.interarrival = Dist::constant(5.0);
+        let cfg = GridConfig {
+            grid,
+            policy: Box::new(RoundRobin::default()),
+            replication: ReplicationPolicy::None,
+            activities: vec![activity],
+            production: None,
+            agent: None,
+            eligible: None,
+            initial_files: vec![],
+            seed,
+        };
+        let mut sim = GridModel::build(cfg);
+        sim.run_until(SimTime::new(1.0e5));
+        sim.model()
+            .report()
+            .records
+            .iter()
+            .map(|r| (r.id.0, r.finished.seconds().to_bits()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(1), run(999), "no stochastic components → seed-independent");
+}

@@ -1,0 +1,60 @@
+//! Cross-crate invariant: swapping the event-list structure (the paper's
+//! O(1) vs O(log n) design axis) changes simulator *performance*, never
+//! simulation *results*. A full grid scenario must produce identical
+//! records under all four queue structures.
+
+use lsds::core::{EventDriven, QueueKind, SimTime};
+use lsds::grid::model::{GridConfig, GridEvent, GridModel};
+use lsds::grid::organization::{flat_grid, SiteSpec};
+use lsds::grid::scheduler::LeastLoaded;
+use lsds::grid::{Activity, ReplicationPolicy, SiteId};
+use lsds::stats::{Dist, SimRng};
+
+fn scenario(seed: u64) -> GridConfig {
+    let grid = flat_grid(vec![SiteSpec::default(); 4], lsds::net::mbps(622.0), 0.005);
+    let initial_files = (0..8).map(|i| (0.7e9, SiteId(i % 4))).collect();
+    let master = SimRng::new(seed);
+    GridConfig {
+        grid,
+        policy: Box::new(LeastLoaded),
+        replication: ReplicationPolicy::PullLru,
+        activities: vec![Activity::analysis(
+            0,
+            8.0,
+            Dist::exp_mean(40.0),
+            2,
+            8,
+            0.9,
+            master.fork(1),
+        )
+        .with_limit(50)],
+        production: None,
+        agent: None,
+        eligible: None,
+        initial_files,
+        seed,
+    }
+}
+
+fn run_with(kind: QueueKind) -> Vec<(u64, usize, u64)> {
+    let model = GridModel::new(scenario(11));
+    let mut sim = EventDriven::with_queue(model, kind.build::<GridEvent>());
+    sim.schedule(SimTime::ZERO, GridEvent::Init);
+    sim.run_until(SimTime::new(1.0e6));
+    sim.model()
+        .report()
+        .records
+        .iter()
+        .map(|r| (r.id.0, r.site.0, r.finished.seconds().to_bits()))
+        .collect()
+}
+
+#[test]
+fn all_queue_structures_agree_on_full_grid_scenario() {
+    let heap = run_with(QueueKind::BinaryHeap);
+    assert_eq!(heap.len(), 50);
+    for kind in [QueueKind::SortedList, QueueKind::Calendar, QueueKind::Ladder] {
+        let other = run_with(kind);
+        assert_eq!(heap, other, "{} diverged from binary-heap", kind.name());
+    }
+}
