@@ -3,7 +3,7 @@
 //! DES since it does not step through regular time intervals when no
 //! event occurs").
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lsds_bench::{criterion_group, criterion_main, Criterion};
 use lsds_bench::{run_event_driven, run_time_driven};
 
 fn bench_advance(c: &mut Criterion) {

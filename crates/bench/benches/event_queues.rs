@@ -3,8 +3,8 @@
 //! Complements `exp_queues` with statistically rigorous per-operation
 //! timings across pending-set sizes and increment distributions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lsds_bench::churn_run;
+use lsds_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lsds_core::{EventQueue, QueueKind, ScheduledEvent, SimTime};
 use lsds_stats::{Dist, SimRng};
 
@@ -19,31 +19,27 @@ fn bench_hold(c: &mut Criterion) {
                 continue;
             }
             group.throughput(Throughput::Elements(1));
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), size),
-                &size,
-                |b, &size| {
-                    let inc = Dist::Exponential { rate: 1.0 };
-                    let mut rng = SimRng::new(7);
-                    let mut q = kind.build::<u64>();
-                    let mut seq = 0u64;
-                    for _ in 0..size {
-                        q.insert(ScheduledEvent::new(
-                            SimTime::new(inc.sample(&mut rng)),
-                            seq,
-                            seq,
-                        ));
-                        seq += 1;
-                    }
-                    b.iter(|| {
-                        let ev = q.pop_min().expect("hold never drains");
-                        let dt = inc.sample(&mut rng);
-                        q.insert(ScheduledEvent::new(ev.time.after(dt), seq, seq));
-                        seq += 1;
-                        ev.event
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), size), &size, |b, &size| {
+                let inc = Dist::Exponential { rate: 1.0 };
+                let mut rng = SimRng::new(7);
+                let mut q = kind.build::<u64>();
+                let mut seq = 0u64;
+                for _ in 0..size {
+                    q.insert(ScheduledEvent::new(
+                        SimTime::new(inc.sample(&mut rng)),
+                        seq,
+                        seq,
+                    ));
+                    seq += 1;
+                }
+                b.iter(|| {
+                    let ev = q.pop_min().expect("hold never drains");
+                    let dt = inc.sample(&mut rng);
+                    q.insert(ScheduledEvent::new(ev.time.after(dt), seq, seq));
+                    seq += 1;
+                    ev.event
+                });
+            });
         }
     }
     group.finish();
@@ -52,7 +48,11 @@ fn bench_hold(c: &mut Criterion) {
 /// Full engine churn: the queue inside a running event-driven engine.
 fn bench_engine_churn(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_churn_20k_events");
-    for kind in [QueueKind::BinaryHeap, QueueKind::Calendar, QueueKind::Ladder] {
+    for kind in [
+        QueueKind::BinaryHeap,
+        QueueKind::Calendar,
+        QueueKind::Ladder,
+    ] {
         group.bench_function(kind.name(), |b| {
             b.iter(|| churn_run(kind, 256, 20_000, 3));
         });

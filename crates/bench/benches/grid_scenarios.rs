@@ -3,7 +3,7 @@
 //! model systems consisting of many resources" the paper says engine
 //! design decisions govern (§3).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lsds_bench::{criterion_group, criterion_main, Criterion};
 use lsds_grid::ReplicationPolicy;
 use lsds_simulators::bricks::Bricks;
 use lsds_simulators::chicagosim::ChicagoSim;
@@ -40,9 +40,7 @@ fn bench_facades(c: &mut Criterion) {
     group.bench_function("simgrid_200_tasks", |b| {
         let hosts = vec![1.0, 2.0, 4.0, 1.5];
         let tasks: Vec<f64> = (0..200).map(|i| 1.0 + (i % 37) as f64).collect();
-        b.iter(|| {
-            SimGrid::new(hosts.clone(), tasks.clone(), SchedulingMode::Runtime).run()
-        })
+        b.iter(|| SimGrid::new(hosts.clone(), tasks.clone(), SchedulingMode::Runtime).run())
     });
 
     group.bench_function("gridsim_100_tasks", |b| {

@@ -1,8 +1,8 @@
 //! E12 (Criterion) — job→context mapping schemes ("reusing threads …
 //! can yield higher simulation performances").
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lsds_bench::mapping_workload;
+use lsds_bench::{criterion_group, criterion_main, Criterion};
 use lsds_core::process::MappingScheme;
 
 fn bench_mapping(c: &mut Criterion) {

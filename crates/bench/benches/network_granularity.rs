@@ -1,7 +1,7 @@
 //! E13 (Criterion) — the wall-clock cost of packet-level vs flow-level
 //! network simulation for identical transfers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lsds_bench::{criterion_group, criterion_main, Criterion};
 use lsds_core::{Ctx, EventDriven, Model, SimTime};
 use lsds_net::{FlowEvent, FlowNet, NodeId, NodeKind, PacketEvent, PacketNet, Topology};
 
@@ -53,8 +53,14 @@ impl Model for PacketH {
     fn handle(&mut self, ev: PEv, ctx: &mut Ctx<'_, PEv>) {
         match ev {
             PEv::Kick(packets) => {
-                self.net
-                    .inject_transfer(0, NodeId(0), NodeId(2), packets, MTU, &mut ctx.map(PEv::Net));
+                self.net.inject_transfer(
+                    0,
+                    NodeId(0),
+                    NodeId(2),
+                    packets,
+                    MTU,
+                    &mut ctx.map(PEv::Net),
+                );
             }
             PEv::Net(pe) => {
                 self.net.handle(pe, &mut ctx.map(PEv::Net));

@@ -2,7 +2,7 @@
 //! on a token-ring workload (results are identical across engines by the
 //! determinism guarantee; the benches measure only cost).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lsds_bench::{criterion_group, criterion_main, Criterion};
 use lsds_core::SimTime;
 use lsds_parallel::cmb::InitialEvents;
 use lsds_parallel::{run_cmb, run_timestep, LogicalProcess, LpCtx};

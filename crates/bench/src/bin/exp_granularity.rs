@@ -73,12 +73,7 @@ fn run_flow(n_transfers: usize, bytes: f64) -> (f64, u64, f64) {
     let start = Instant::now();
     let stats = sim.run();
     let wall = start.elapsed().as_secs_f64();
-    let last = sim
-        .model()
-        .done_at
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max);
+    let last = sim.model().done_at.iter().cloned().fold(0.0f64, f64::max);
     (last, stats.events, wall)
 }
 

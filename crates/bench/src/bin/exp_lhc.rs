@@ -69,15 +69,13 @@ fn main() {
         log_y: true,
         ..ScatterPlot::default()
     };
-    print!("{}", plot.render(&[mean_series.clone(), max_series.clone()]));
+    print!(
+        "{}",
+        plot.render(&[mean_series.clone(), max_series.clone()])
+    );
 
     println!("\nPart B — the replication agent's role (10 Gbps uplink):");
-    let mut t2 = TextTable::with_columns(&[
-        "agent",
-        "mean stage (s)",
-        "mean makespan (s)",
-        "jobs",
-    ]);
+    let mut t2 = TextTable::with_columns(&["agent", "mean stage (s)", "mean makespan (s)", "jobs"]);
     for agent in [false, true] {
         let rep = Monarc {
             agent,

@@ -37,13 +37,10 @@ fn run_central(mean_ia: f64, seed: u64) -> (f64, f64) {
         grid,
         policy: Box::new(FixedSite(SiteId(0))),
         replication: ReplicationPolicy::None,
-        activities: vec![Activity::compute(
-            0,
-            mean_ia,
-            Dist::exp_mean(WORK_MEAN),
-            master.fork(1),
-        )
-        .with_limit(JOBS)],
+        activities: vec![
+            Activity::compute(0, mean_ia, Dist::exp_mean(WORK_MEAN), master.fork(1))
+                .with_limit(JOBS),
+        ],
         production: None,
         agent: None,
         eligible: Some((0..n_sites).map(|i| i == 0).collect()),
@@ -88,13 +85,10 @@ fn run_tiered(mean_ia: f64, seed: u64) -> (f64, f64) {
         grid,
         policy: Box::new(LeastLoaded),
         replication: ReplicationPolicy::None,
-        activities: vec![Activity::compute(
-            0,
-            mean_ia,
-            Dist::exp_mean(WORK_MEAN),
-            master.fork(1),
-        )
-        .with_limit(JOBS)],
+        activities: vec![
+            Activity::compute(0, mean_ia, Dist::exp_mean(WORK_MEAN), master.fork(1))
+                .with_limit(JOBS),
+        ],
         production: None,
         agent: None,
         eligible: None,

@@ -67,7 +67,10 @@ fn main() {
     for &zipf_s in &[0.0, 0.6, 1.0, 1.4] {
         for (policy, label) in [
             (ReplicationPolicy::PullLru, "pull (OptorSim)"),
-            (ReplicationPolicy::Push { threshold: 4 }, "push (ChicagoSim)"),
+            (
+                ReplicationPolicy::Push { threshold: 4 },
+                "push (ChicagoSim)",
+            ),
             (ReplicationPolicy::None, "none"),
         ] {
             let rep = run(policy, zipf_s, 21);

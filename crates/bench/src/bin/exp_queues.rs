@@ -42,7 +42,10 @@ fn sweep(name: &str, increment: &Dist, sizes: &[usize], ops: u64) {
 }
 
 fn main() {
-    println!("E2 — event-queue structures, hold model ({} ops/point)", 200_000);
+    println!(
+        "E2 — event-queue structures, hold model ({} ops/point)",
+        200_000
+    );
     let sizes = [100, 1_000, 10_000, 100_000];
     sweep(
         "exponential (mean 1) — the friendly case",

@@ -13,12 +13,8 @@ fn main() {
         ("scarce disks (4 files fit)", 4.0e9),
     ] {
         println!("{label}:");
-        let mut table = TextTable::with_columns(&[
-            "strategy",
-            "mean job (s)",
-            "mean staging (s)",
-            "WAN (GB)",
-        ]);
+        let mut table =
+            TextTable::with_columns(&["strategy", "mean job (s)", "mean staging (s)", "WAN (GB)"]);
         for strategy in [
             ReplicationPolicy::None,
             ReplicationPolicy::PullLru,

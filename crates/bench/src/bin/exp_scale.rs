@@ -38,8 +38,13 @@ fn scenario(n_sites: usize, seed: u64) -> GridConfig {
     // one activity per 10 sites, each submitting 200 jobs
     let activities = (0..n_sites.div_ceil(10))
         .map(|i| {
-            Activity::compute(i as u32, 5.0, Dist::exp_mean(30.0), master.fork(i as u64 + 1))
-                .with_limit(200)
+            Activity::compute(
+                i as u32,
+                5.0,
+                Dist::exp_mean(30.0),
+                master.fork(i as u64 + 1),
+            )
+            .with_limit(200)
         })
         .collect();
     GridConfig {

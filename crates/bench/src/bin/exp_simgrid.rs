@@ -61,7 +61,10 @@ fn main() {
         format!("{:.4}", ratio_dynamic.max()),
     ]);
     print!("{}", table.render());
-    assert!(max_err < 1e-9, "simulation must reproduce the analytic schedule");
+    assert!(
+        max_err < 1e-9,
+        "simulation must reproduce the analytic schedule"
+    );
     println!(
         "\nReading: the simulator reproduces the tractable case exactly\n\
          (mathematical validation). On uniform-speed machines greedy list\n\

@@ -1,0 +1,240 @@
+//! Criterion-compatible micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the Criterion crate is replaced
+//! by this drop-in subset: the six bench binaries keep their structure
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, per-input
+//! benches, throughput annotation) and only their `use` lines change.
+//!
+//! Methodology: each benchmark is warmed up, the iteration batch size is
+//! calibrated so one sample takes a measurable slice of wall-clock time,
+//! and `sample_size` samples are collected; the median per-iteration time
+//! is reported (median resists scheduler noise better than the mean on
+//! shared machines).
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation: converts per-iteration time into a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `"calendar/1000"`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median seconds per iteration, filled in by [`Bencher::iter`].
+    per_iter: f64,
+}
+
+const WARMUP: Duration = Duration::from_millis(100);
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+impl Bencher {
+    /// Times `f`: warm-up, batch-size calibration, then `sample_size`
+    /// timed batches; the median batch defines the reported time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // warm-up (also seeds the calibration estimate)
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < WARMUP {
+            std_black_box(f());
+            warm_iters += 1;
+        }
+        let est = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((TARGET_SAMPLE.as_secs_f64() / est.max(1e-12)) as u64).clamp(1, 1_000_000);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            per_iter: f64::NAN,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.per_iter);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints a trailing blank line, Criterion-style).
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn report(&self, id: &str, per_iter: f64) {
+        let mut line = format!("{}/{}: {} /iter", self.name, id, format_time(per_iter));
+        if let Some(tp) = self.throughput {
+            let (n, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let rate = n as f64 / per_iter;
+            line.push_str(&format!("  ({rate:.3e} {unit}/s)"));
+        }
+        println!("{line}");
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if !secs.is_finite() {
+        "NaN".to_string()
+    } else if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// The top-level harness object passed to every bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a bench group function, Criterion-style:
+/// `criterion_group!(benches, bench_a, bench_b);` defines `fn benches()`
+/// that runs each listed function against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            sample_size: 3,
+            per_iter: f64::NAN,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert!(b.per_iter.is_finite() && b.per_iter > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(
+            BenchmarkId::new("calendar", 1000).to_string(),
+            "calendar/1000"
+        );
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(2.5e-9), "2.5 ns");
+        assert_eq!(format_time(2.5e-6), "2.50 µs");
+        assert_eq!(format_time(2.5e-3), "2.50 ms");
+        assert_eq!(format_time(2.5), "2.500 s");
+    }
+}

@@ -18,9 +18,12 @@
 //! | `exp_mapping` | E12 — job→context mapping schemes |
 //! | `exp_granularity` | E13 — packet- vs flow-level networks |
 //!
-//! Criterion benches (`benches/`) measure the wall-clock side of E2, E3,
-//! E4, E12 and E13.
+//! Benches (`benches/`) measure the wall-clock side of E2, E3, E4, E12
+//! and E13 on the in-tree Criterion-compatible [`harness`] (the offline
+//! build has no external bench framework).
 
+pub mod harness;
 pub mod workloads;
 
+pub use harness::{black_box, Bencher, BenchmarkGroup, BenchmarkId, Criterion, Throughput};
 pub use workloads::*;

@@ -4,11 +4,15 @@ use super::{Ctx, Model, RunStats};
 use crate::event::{EventSeq, ScheduledEvent};
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::time::SimTime;
+use lsds_obs::{NoopRecorder, QueueOp, Recorder};
 
 /// The canonical discrete-event executor.
 ///
 /// Generic over the event-list structure `Q` so the queue experiments (E2)
-/// can swap implementations without touching models:
+/// can swap implementations without touching models, and over the
+/// observability recorder `R` (default [`NoopRecorder`], whose empty inline
+/// hooks compile away — an unmonitored engine is bit-for-bit the seed
+/// engine):
 ///
 /// ```
 /// use lsds_core::{EventDriven, Model, Ctx, SimTime, CalendarQueue};
@@ -30,9 +34,14 @@ use crate::time::SimTime;
 /// assert_eq!(stats.events, 10);
 /// assert_eq!(sim.model().0, 10);
 /// ```
-pub struct EventDriven<M: Model, Q: EventQueue<M::Event> = BinaryHeapQueue<<M as Model>::Event>> {
+pub struct EventDriven<
+    M: Model,
+    Q: EventQueue<M::Event> = BinaryHeapQueue<<M as Model>::Event>,
+    R: Recorder = NoopRecorder,
+> {
     model: M,
     queue: Q,
+    recorder: R,
     clock: SimTime,
     seq: EventSeq,
     staged: Vec<ScheduledEvent<M::Event>>,
@@ -40,19 +49,34 @@ pub struct EventDriven<M: Model, Q: EventQueue<M::Event> = BinaryHeapQueue<<M as
     processed: u64,
 }
 
-impl<M: Model> EventDriven<M, BinaryHeapQueue<M::Event>> {
+impl<M: Model> EventDriven<M, BinaryHeapQueue<M::Event>, NoopRecorder> {
     /// Creates an engine with the default binary-heap event list.
     pub fn new(model: M) -> Self {
         Self::with_queue(model, BinaryHeapQueue::new())
     }
 }
 
-impl<M: Model, Q: EventQueue<M::Event>> EventDriven<M, Q> {
+impl<M: Model, Q: EventQueue<M::Event>> EventDriven<M, Q, NoopRecorder> {
     /// Creates an engine over a specific event-list structure.
     pub fn with_queue(model: M, queue: Q) -> Self {
+        Self::with_parts(model, queue, NoopRecorder)
+    }
+}
+
+impl<M: Model, R: Recorder> EventDriven<M, BinaryHeapQueue<M::Event>, R> {
+    /// Creates a monitored engine with the default binary-heap event list.
+    pub fn with_recorder(model: M, recorder: R) -> Self {
+        Self::with_parts(model, BinaryHeapQueue::new(), recorder)
+    }
+}
+
+impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> EventDriven<M, Q, R> {
+    /// Creates an engine from an explicit queue and recorder.
+    pub fn with_parts(model: M, queue: Q, recorder: R) -> Self {
         EventDriven {
             model,
             queue,
+            recorder,
             clock: SimTime::ZERO,
             seq: 0,
             staged: Vec::new(),
@@ -67,6 +91,8 @@ impl<M: Model, Q: EventQueue<M::Event>> EventDriven<M, Q> {
         let ev = ScheduledEvent::new(t, self.seq, event);
         self.seq += 1;
         self.queue.insert(ev);
+        self.recorder
+            .on_queue_op(self.clock.seconds(), QueueOp::Insert, self.queue.len());
     }
 
     /// Current simulated time.
@@ -99,6 +125,21 @@ impl<M: Model, Q: EventQueue<M::Event>> EventDriven<M, Q> {
         self.model
     }
 
+    /// Shared view of the observability recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Mutable view of the recorder (e.g. to add model-level metrics).
+    pub fn recorder_mut(&mut self) -> &mut R {
+        &mut self.recorder
+    }
+
+    /// Consumes the engine, returning the recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
+    }
+
     /// Whether a handler has requested a stop.
     pub fn is_stopped(&self) -> bool {
         self.stopped
@@ -114,12 +155,24 @@ impl<M: Model, Q: EventQueue<M::Event>> EventDriven<M, Q> {
             return false;
         };
         debug_assert!(ev.time >= self.clock, "event list returned past event");
+        self.recorder
+            .on_queue_op(ev.time.seconds(), QueueOp::Pop, self.queue.len());
+        self.recorder
+            .on_advance(self.clock.seconds(), ev.time.seconds());
         self.clock = ev.time;
         self.processed += 1;
-        let mut ctx = Ctx::new(self.clock, &mut self.staged, &mut self.seq, &mut self.stopped);
+        self.recorder.on_event(self.clock.seconds());
+        let mut ctx = Ctx::new(
+            self.clock,
+            &mut self.staged,
+            &mut self.seq,
+            &mut self.stopped,
+        );
         self.model.handle(ev.event, &mut ctx);
         for staged in self.staged.drain(..) {
             self.queue.insert(staged);
+            self.recorder
+                .on_queue_op(self.clock.seconds(), QueueOp::Insert, self.queue.len());
         }
         true
     }
@@ -155,6 +208,7 @@ impl<M: Model, Q: EventQueue<M::Event>> EventDriven<M, Q> {
 mod tests {
     use super::*;
     use crate::queue::{CalendarQueue, LadderQueue, SortedListQueue};
+    use lsds_obs::MetricsRecorder;
 
     /// M/M/1-ish ping-pong used across engine tests.
     struct PingPong {
@@ -272,5 +326,49 @@ mod tests {
         }
         sim.run();
         assert_eq!(sim.model().0, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn metrics_recorder_observes_run() {
+        let mut sim = EventDriven::with_recorder(
+            PingPong {
+                hops: 0,
+                limit: 7,
+                times: vec![],
+            },
+            MetricsRecorder::new(),
+        );
+        sim.schedule(SimTime::ZERO, 0);
+        sim.run();
+        let reg = sim.recorder().registry();
+        assert_eq!(reg.counter("engine.events"), 7);
+        assert_eq!(reg.counter("engine.pops"), 7);
+        // initial schedule + 6 follow-ups (the 7th hop stops instead)
+        assert_eq!(reg.counter("engine.inserts"), 7);
+        assert_eq!(reg.gauge("engine.clock"), Some(3.0));
+        assert!(reg.series("engine.queue_len").is_some());
+    }
+
+    #[test]
+    fn monitored_run_matches_unmonitored() {
+        let run = |monitored: bool| {
+            let model = PingPong {
+                hops: 0,
+                limit: 64,
+                times: vec![],
+            };
+            if monitored {
+                let mut sim = EventDriven::with_recorder(model, MetricsRecorder::new());
+                sim.schedule(SimTime::ZERO, 0);
+                sim.run();
+                sim.into_model().times
+            } else {
+                let mut sim = EventDriven::new(model);
+                sim.schedule(SimTime::ZERO, 0);
+                sim.run();
+                sim.into_model().times
+            }
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -11,6 +11,7 @@ use super::{Ctx, RunStats};
 use crate::event::{EventSeq, ScheduledEvent};
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::time::SimTime;
+use lsds_obs::{NoopRecorder, QueueOp, Recorder};
 
 /// A model with both a continuous state vector and discrete events.
 pub trait HybridModel {
@@ -29,8 +30,13 @@ pub trait HybridModel {
 }
 
 /// Hybrid continuous + discrete-event engine.
-pub struct Hybrid<M: HybridModel, Q: EventQueue<M::Event> = BinaryHeapQueue<<M as HybridModel>::Event>> {
+pub struct Hybrid<
+    M: HybridModel,
+    Q: EventQueue<M::Event> = BinaryHeapQueue<<M as HybridModel>::Event>,
+    R: Recorder = NoopRecorder,
+> {
     model: M,
+    recorder: R,
     y: Vec<f64>,
     dt_max: f64,
     queue: Q,
@@ -48,14 +54,25 @@ pub struct Hybrid<M: HybridModel, Q: EventQueue<M::Event> = BinaryHeapQueue<<M a
     tmp: Vec<f64>,
 }
 
-impl<M: HybridModel> Hybrid<M, BinaryHeapQueue<M::Event>> {
+impl<M: HybridModel> Hybrid<M, BinaryHeapQueue<M::Event>, NoopRecorder> {
     /// Creates a hybrid engine with initial continuous state `y0` and
     /// maximum integration step `dt_max`.
     pub fn new(model: M, y0: Vec<f64>, dt_max: f64) -> Self {
-        assert!(dt_max.is_finite() && dt_max > 0.0, "dt_max must be positive");
+        Self::with_recorder(model, y0, dt_max, NoopRecorder)
+    }
+}
+
+impl<M: HybridModel, R: Recorder> Hybrid<M, BinaryHeapQueue<M::Event>, R> {
+    /// Creates a monitored hybrid engine.
+    pub fn with_recorder(model: M, y0: Vec<f64>, dt_max: f64, recorder: R) -> Self {
+        assert!(
+            dt_max.is_finite() && dt_max > 0.0,
+            "dt_max must be positive"
+        );
         let n = y0.len();
         Hybrid {
             model,
+            recorder,
             y: y0,
             dt_max,
             queue: BinaryHeapQueue::new(),
@@ -74,13 +91,15 @@ impl<M: HybridModel> Hybrid<M, BinaryHeapQueue<M::Event>> {
     }
 }
 
-impl<M: HybridModel, Q: EventQueue<M::Event>> Hybrid<M, Q> {
+impl<M: HybridModel, Q: EventQueue<M::Event>, R: Recorder> Hybrid<M, Q, R> {
     /// Schedules a discrete event.
     pub fn schedule(&mut self, t: SimTime, event: M::Event) {
         assert!(t >= self.clock, "cannot schedule into the past");
         let ev = ScheduledEvent::new(t, self.seq, event);
         self.seq += 1;
         self.queue.insert(ev);
+        self.recorder
+            .on_queue_op(self.clock.seconds(), QueueOp::Insert, self.queue.len());
     }
 
     /// Current simulated time.
@@ -108,6 +127,16 @@ impl<M: HybridModel, Q: EventQueue<M::Event>> Hybrid<M, Q> {
         self.integration_steps
     }
 
+    /// Shared view of the observability recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Consumes the engine, returning the recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
+    }
+
     fn rk4_step(&mut self, h: f64) {
         let t = self.clock;
         let n = self.y.len();
@@ -127,8 +156,7 @@ impl<M: HybridModel, Q: EventQueue<M::Event>> Hybrid<M, Q> {
         }
         self.model.derivatives(t.after(h), &self.tmp, &mut self.k4);
         for i in 0..n {
-            self.y[i] +=
-                h / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
+            self.y[i] += h / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
         }
         self.integration_steps += 1;
     }
@@ -140,11 +168,21 @@ impl<M: HybridModel, Q: EventQueue<M::Event>> Hybrid<M, Q> {
             let remaining = t_target - self.clock;
             let h = remaining.min(self.dt_max);
             self.rk4_step(h);
+            let from = self.clock;
             self.clock += h;
-            let mut ctx = Ctx::new(self.clock, &mut self.staged, &mut self.seq, &mut self.stopped);
+            self.recorder
+                .on_advance(from.seconds(), self.clock.seconds());
+            let mut ctx = Ctx::new(
+                self.clock,
+                &mut self.staged,
+                &mut self.seq,
+                &mut self.stopped,
+            );
             self.model.on_step(self.clock, &mut self.y, &mut ctx);
             for staged in self.staged.drain(..) {
                 self.queue.insert(staged);
+                self.recorder
+                    .on_queue_op(self.clock.seconds(), QueueOp::Insert, self.queue.len());
             }
         }
     }
@@ -161,6 +199,8 @@ impl<M: HybridModel, Q: EventQueue<M::Event>> Hybrid<M, Q> {
                         break;
                     }
                     let ev = self.queue.pop_min().expect("peeked event vanished");
+                    self.recorder
+                        .on_queue_op(ev.time.seconds(), QueueOp::Pop, self.queue.len());
                     // events scheduled by on_step during integration may
                     // precede the one we saw; deliver strictly in order
                     if ev.time > self.clock {
@@ -168,11 +208,21 @@ impl<M: HybridModel, Q: EventQueue<M::Event>> Hybrid<M, Q> {
                         debug_assert!(false, "clock behind event after integrate_to");
                     }
                     self.processed += 1;
-                    let mut ctx =
-                        Ctx::new(self.clock, &mut self.staged, &mut self.seq, &mut self.stopped);
+                    self.recorder.on_event(self.clock.seconds());
+                    let mut ctx = Ctx::new(
+                        self.clock,
+                        &mut self.staged,
+                        &mut self.seq,
+                        &mut self.stopped,
+                    );
                     self.model.handle(ev.event, &mut self.y, &mut ctx);
                     for staged in self.staged.drain(..) {
                         self.queue.insert(staged);
+                        self.recorder.on_queue_op(
+                            self.clock.seconds(),
+                            QueueOp::Insert,
+                            self.queue.len(),
+                        );
                     }
                 }
                 _ => {

@@ -13,15 +13,21 @@ use super::{Ctx, Model, RunStats};
 use crate::event::{EventSeq, ScheduledEvent};
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::time::SimTime;
+use lsds_obs::{NoopRecorder, QueueOp, Recorder};
 
 /// Fixed-increment executor over the same [`Model`] interface as
 /// [`super::EventDriven`].
 ///
 /// Events scheduled for any time within a step `(k·dt, (k+1)·dt]` are
 /// delivered at the step boundary `(k+1)·dt`, in `(time, seq)` order.
-pub struct TimeDriven<M: Model, Q: EventQueue<M::Event> = BinaryHeapQueue<<M as Model>::Event>> {
+pub struct TimeDriven<
+    M: Model,
+    Q: EventQueue<M::Event> = BinaryHeapQueue<<M as Model>::Event>,
+    R: Recorder = NoopRecorder,
+> {
     model: M,
     queue: Q,
+    recorder: R,
     dt: f64,
     clock: SimTime,
     seq: EventSeq,
@@ -31,20 +37,35 @@ pub struct TimeDriven<M: Model, Q: EventQueue<M::Event> = BinaryHeapQueue<<M as 
     ticks: u64,
 }
 
-impl<M: Model> TimeDriven<M, BinaryHeapQueue<M::Event>> {
+impl<M: Model> TimeDriven<M, BinaryHeapQueue<M::Event>, NoopRecorder> {
     /// Creates a time-driven engine with step `dt` and the default queue.
     pub fn new(model: M, dt: f64) -> Self {
         Self::with_queue(model, dt, BinaryHeapQueue::new())
     }
 }
 
-impl<M: Model, Q: EventQueue<M::Event>> TimeDriven<M, Q> {
+impl<M: Model, Q: EventQueue<M::Event>> TimeDriven<M, Q, NoopRecorder> {
     /// Creates a time-driven engine with step `dt` over a specific queue.
     pub fn with_queue(model: M, dt: f64, queue: Q) -> Self {
+        Self::with_parts(model, dt, queue, NoopRecorder)
+    }
+}
+
+impl<M: Model, R: Recorder> TimeDriven<M, BinaryHeapQueue<M::Event>, R> {
+    /// Creates a monitored time-driven engine with the default queue.
+    pub fn with_recorder(model: M, dt: f64, recorder: R) -> Self {
+        Self::with_parts(model, dt, BinaryHeapQueue::new(), recorder)
+    }
+}
+
+impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> TimeDriven<M, Q, R> {
+    /// Creates a time-driven engine from an explicit queue and recorder.
+    pub fn with_parts(model: M, dt: f64, queue: Q, recorder: R) -> Self {
         assert!(dt.is_finite() && dt > 0.0, "step must be positive");
         TimeDriven {
             model,
             queue,
+            recorder,
             dt,
             clock: SimTime::ZERO,
             seq: 0,
@@ -60,6 +81,8 @@ impl<M: Model, Q: EventQueue<M::Event>> TimeDriven<M, Q> {
         let ev = ScheduledEvent::new(t, self.seq, event);
         self.seq += 1;
         self.queue.insert(ev);
+        self.recorder
+            .on_queue_op(self.clock.seconds(), QueueOp::Insert, self.queue.len());
     }
 
     /// Current simulated time (always a step boundary after a run).
@@ -77,6 +100,16 @@ impl<M: Model, Q: EventQueue<M::Event>> TimeDriven<M, Q> {
         self.model
     }
 
+    /// Shared view of the observability recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Consumes the engine, returning the recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
+    }
+
     /// Advances one fixed step, delivering every event due by the new
     /// clock. Returns `false` once stopped.
     pub fn tick(&mut self) -> bool {
@@ -85,18 +118,25 @@ impl<M: Model, Q: EventQueue<M::Event>> TimeDriven<M, Q> {
         }
         self.ticks += 1;
         let next = self.clock.after(self.dt);
+        self.recorder
+            .on_advance(self.clock.seconds(), next.seconds());
         self.clock = next;
         while let Some(t) = self.queue.peek_time() {
             if t > next || self.stopped {
                 break;
             }
             let ev = self.queue.pop_min().expect("peeked event vanished");
+            self.recorder
+                .on_queue_op(next.seconds(), QueueOp::Pop, self.queue.len());
             self.processed += 1;
+            self.recorder.on_event(next.seconds());
             // Quantized delivery: the model observes the step boundary.
             let mut ctx = Ctx::new(next, &mut self.staged, &mut self.seq, &mut self.stopped);
             self.model.handle(ev.event, &mut ctx);
             for staged in self.staged.drain(..) {
                 self.queue.insert(staged);
+                self.recorder
+                    .on_queue_op(next.seconds(), QueueOp::Insert, self.queue.len());
             }
         }
         !self.stopped

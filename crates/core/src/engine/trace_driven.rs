@@ -13,6 +13,7 @@ use super::{Ctx, Model, RunStats};
 use crate::event::{EventSeq, ScheduledEvent};
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::time::SimTime;
+use lsds_obs::{NoopRecorder, QueueOp, Recorder};
 
 /// A time-ordered stream of externally collected events.
 ///
@@ -40,12 +41,17 @@ impl<R, I: Iterator<Item = (SimTime, R)>> TraceSource for I {
 /// arrival)` order; ties go to the internal event scheduled first, then the
 /// trace record, matching the convention that replayed inputs are causes
 /// and internal events are their consequences.
-pub struct TraceDriven<M: Model, S: TraceSource<Record = M::Event>, Q = BinaryHeapQueue<<M as Model>::Event>>
-where
+pub struct TraceDriven<
+    M: Model,
+    S: TraceSource<Record = M::Event>,
+    Q = BinaryHeapQueue<<M as Model>::Event>,
+    R: Recorder = NoopRecorder,
+> where
     Q: EventQueue<M::Event>,
 {
     model: M,
     source: S,
+    recorder: R,
     lookahead: Option<(SimTime, M::Event)>,
     last_trace_time: SimTime,
     queue: Q,
@@ -57,19 +63,42 @@ where
     replayed: u64,
 }
 
-impl<M: Model, S: TraceSource<Record = M::Event>> TraceDriven<M, S, BinaryHeapQueue<M::Event>> {
+impl<M: Model, S: TraceSource<Record = M::Event>>
+    TraceDriven<M, S, BinaryHeapQueue<M::Event>, NoopRecorder>
+{
     /// Creates a trace-driven engine with the default internal queue.
     pub fn new(model: M, source: S) -> Self {
         Self::with_queue(model, source, BinaryHeapQueue::new())
     }
 }
 
-impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>> TraceDriven<M, S, Q> {
+impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>>
+    TraceDriven<M, S, Q, NoopRecorder>
+{
     /// Creates a trace-driven engine over a specific internal queue.
     pub fn with_queue(model: M, source: S, queue: Q) -> Self {
+        Self::with_parts(model, source, queue, NoopRecorder)
+    }
+}
+
+impl<M: Model, S: TraceSource<Record = M::Event>, R: Recorder>
+    TraceDriven<M, S, BinaryHeapQueue<M::Event>, R>
+{
+    /// Creates a monitored trace-driven engine with the default queue.
+    pub fn with_recorder(model: M, source: S, recorder: R) -> Self {
+        Self::with_parts(model, source, BinaryHeapQueue::new(), recorder)
+    }
+}
+
+impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>, R: Recorder>
+    TraceDriven<M, S, Q, R>
+{
+    /// Creates a trace-driven engine from explicit parts.
+    pub fn with_parts(model: M, source: S, queue: Q, recorder: R) -> Self {
         TraceDriven {
             model,
             source,
+            recorder,
             lookahead: None,
             last_trace_time: SimTime::ZERO,
             queue,
@@ -102,6 +131,16 @@ impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>> Trace
         self.replayed
     }
 
+    /// Shared view of the observability recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Consumes the engine, returning the recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
+    }
+
     fn fill_lookahead(&mut self) {
         if self.lookahead.is_none() {
             if let Some((t, r)) = self.source.next_record() {
@@ -118,15 +157,24 @@ impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>> Trace
 
     fn deliver(&mut self, t: SimTime, event: M::Event, from_trace: bool) {
         debug_assert!(t >= self.clock);
+        self.recorder.on_advance(self.clock.seconds(), t.seconds());
         self.clock = t;
         self.processed += 1;
         if from_trace {
             self.replayed += 1;
         }
-        let mut ctx = Ctx::new(self.clock, &mut self.staged, &mut self.seq, &mut self.stopped);
+        self.recorder.on_event(t.seconds());
+        let mut ctx = Ctx::new(
+            self.clock,
+            &mut self.staged,
+            &mut self.seq,
+            &mut self.stopped,
+        );
         self.model.handle(event, &mut ctx);
         for staged in self.staged.drain(..) {
             self.queue.insert(staged);
+            self.recorder
+                .on_queue_op(self.clock.seconds(), QueueOp::Insert, self.queue.len());
         }
     }
 
@@ -148,12 +196,16 @@ impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>> Trace
             }
             (None, Some(_)) => {
                 let ev = self.queue.pop_min().expect("peeked event vanished");
+                self.recorder
+                    .on_queue_op(ev.time.seconds(), QueueOp::Pop, self.queue.len());
                 self.deliver(ev.time, ev.event, false);
                 true
             }
             (Some(tt), Some(qt)) => {
                 if qt <= tt {
                     let ev = self.queue.pop_min().expect("peeked event vanished");
+                    self.recorder
+                        .on_queue_op(ev.time.seconds(), QueueOp::Pop, self.queue.len());
                     self.deliver(ev.time, ev.event, false);
                 } else {
                     let (t, r) = self.lookahead.take().expect("lookahead vanished");
@@ -179,7 +231,10 @@ impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>> Trace
                 break;
             }
             self.fill_lookahead();
-            let next = match (self.lookahead.as_ref().map(|(t, _)| *t), self.queue.peek_time()) {
+            let next = match (
+                self.lookahead.as_ref().map(|(t, _)| *t),
+                self.queue.peek_time(),
+            ) {
                 (None, None) => break,
                 (Some(t), None) => t,
                 (None, Some(t)) => t,
@@ -244,10 +299,7 @@ mod tests {
     #[test]
     fn internal_event_wins_tie() {
         // external at 1.25 ties with the internal follow-up of t=1.0
-        let mut sim = TraceDriven::new(
-            Echo { log: vec![] },
-            trace(vec![(1.0, 1), (1.25, 2)]),
-        );
+        let mut sim = TraceDriven::new(Echo { log: vec![] }, trace(vec![(1.0, 1), (1.25, 2)]));
         sim.run();
         let log = &sim.model().log;
         assert_eq!(log[1].1, Ev::Internal(1));
@@ -272,10 +324,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn disordered_trace_panics() {
-        let mut sim = TraceDriven::new(
-            Echo { log: vec![] },
-            trace(vec![(2.0, 1), (1.0, 2)]),
-        );
+        let mut sim = TraceDriven::new(Echo { log: vec![] }, trace(vec![(2.0, 1), (1.0, 2)]));
         sim.run();
     }
 

@@ -147,9 +147,7 @@ impl ContextPool {
                 }
             }
         };
-        let ctx = self.contexts[idx]
-            .as_mut()
-            .expect("acquired slot is empty");
+        let ctx = self.contexts[idx].as_mut().expect("acquired slot is empty");
         ctx.residents += 1;
         if ctx.residents == 1 {
             self.live += 1;
@@ -169,9 +167,7 @@ impl ContextPool {
     pub fn release(&mut self, handle: ContextHandle) {
         let idx = handle.0;
         let emptied = {
-            let ctx = self.contexts[idx]
-                .as_mut()
-                .expect("release of empty slot");
+            let ctx = self.contexts[idx].as_mut().expect("release of empty slot");
             assert!(ctx.residents > 0, "double release");
             ctx.residents -= 1;
             ctx.residents == 0

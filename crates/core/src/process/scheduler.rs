@@ -67,7 +67,10 @@ impl Model for ProcModel {
             return; // process finished before a stale resume arrived
         }
         // first resume binds an execution context per the mapping scheme
-        if self.slots[ev.slot].as_ref().is_some_and(|s| s.ctx.is_none()) {
+        if self.slots[ev.slot]
+            .as_ref()
+            .is_some_and(|s| s.ctx.is_none())
+        {
             let handle = self.pool.acquire();
             self.slots[ev.slot].as_mut().expect("slot vanished").ctx = Some(handle);
         }

@@ -12,17 +12,24 @@
 use super::EventQueue;
 use crate::event::ScheduledEvent;
 use crate::time::SimTime;
+use std::collections::VecDeque;
 
 /// Self-resizing calendar queue.
 pub struct CalendarQueue<E> {
-    /// One sorted `Vec` per day; length always a power of two.
-    buckets: Vec<Vec<ScheduledEvent<E>>>,
+    /// One sorted deque per day; length always a power of two.
+    buckets: Vec<VecDeque<ScheduledEvent<E>>>,
     /// Width of one day in simulated seconds.
     width: f64,
     /// Index of the day currently being dequeued.
     cursor: usize,
-    /// Upper time bound of the cursor's day within the current year.
-    bucket_top: f64,
+    /// Absolute day number the cursor is scanning. An event is due exactly
+    /// when `day_of(t) <= day`, with `day_of` the same `t / width`
+    /// truncation that buckets it — one rounding, shared by both sides.
+    /// The alternative (a `bucket_top` bound accumulated with `+= width`)
+    /// drifts: repeated addition of a width like 0.1 rounds differently
+    /// from the division, and an event sitting exactly on a day boundary
+    /// gets classified into the wrong day, breaking dequeue order.
+    day: u64,
     /// Priority of the last dequeued event (dequeue lower bound).
     last_prio: f64,
     /// Total number of pending events.
@@ -38,18 +45,25 @@ impl<E> CalendarQueue<E> {
     /// Creates an empty calendar queue.
     pub fn new() -> Self {
         CalendarQueue {
-            buckets: (0..INIT_BUCKETS).map(|_| Vec::new()).collect(),
+            buckets: (0..INIT_BUCKETS).map(|_| VecDeque::new()).collect(),
             width: INIT_WIDTH,
             cursor: 0,
-            bucket_top: INIT_WIDTH,
+            day: 0,
             last_prio: 0.0,
             size: 0,
         }
     }
 
+    /// Absolute day an event time belongs to — the single rounding that
+    /// both bucketing and dueness checks share.
+    #[inline]
+    fn day_of(&self, t: f64) -> u64 {
+        (t / self.width) as u64
+    }
+
     #[inline]
     fn bucket_of(&self, t: f64) -> usize {
-        ((t / self.width) as u64 % self.buckets.len() as u64) as usize
+        (self.day_of(t) % self.buckets.len() as u64) as usize
     }
 
     /// Diagnostic: (nbuckets, width, max bucket len, nonempty buckets).
@@ -61,9 +75,8 @@ impl<E> CalendarQueue<E> {
 
     /// Points the dequeue cursor at the day containing priority `t`.
     fn seek(&mut self, t: f64) {
-        let day = (t / self.width) as u64;
-        self.cursor = (day % self.buckets.len() as u64) as usize;
-        self.bucket_top = (day + 1) as f64 * self.width;
+        self.day = self.day_of(t);
+        self.cursor = (self.day % self.buckets.len() as u64) as usize;
         self.last_prio = t;
     }
 
@@ -101,7 +114,7 @@ impl<E> CalendarQueue<E> {
         let new_width = self.estimate_width();
         let old = std::mem::take(&mut self.buckets);
         self.width = new_width;
-        self.buckets = (0..new_len).map(|_| Vec::new()).collect();
+        self.buckets = (0..new_len).map(|_| VecDeque::new()).collect();
         let mut min_key: Option<(SimTime, u64)> = None;
         for b in old {
             for ev in b {
@@ -122,12 +135,12 @@ impl<E> CalendarQueue<E> {
     fn direct_search_min(&self) -> Option<(SimTime, u64)> {
         self.buckets
             .iter()
-            .filter_map(|b| b.first().map(|ev| ev.key()))
+            .filter_map(|b| b.front().map(|ev| ev.key()))
             .min()
     }
 }
 
-fn insert_sorted<E>(bucket: &mut Vec<ScheduledEvent<E>>, ev: ScheduledEvent<E>) {
+fn insert_sorted<E>(bucket: &mut VecDeque<ScheduledEvent<E>>, ev: ScheduledEvent<E>) {
     let pos = bucket.partition_point(|x| x.key() <= ev.key());
     bucket.insert(pos, ev);
 }
@@ -160,22 +173,26 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
         }
         let n = self.buckets.len();
         for _ in 0..n {
-            let bucket = &mut self.buckets[self.cursor];
-            if let Some(first) = bucket.first() {
-                if first.time.seconds() < self.bucket_top {
-                    let ev = bucket.remove(0);
-                    self.last_prio = ev.time.seconds();
-                    self.size -= 1;
-                    if self.size > 0 && self.size < self.buckets.len() / 2 && self.buckets.len() > INIT_BUCKETS
-                    {
-                        let n = (self.buckets.len() / 2).max(INIT_BUCKETS);
-                        self.resize(n);
-                    }
-                    return Some(ev);
+            let due = self.buckets[self.cursor]
+                .front()
+                .is_some_and(|first| self.day_of(first.time.seconds()) <= self.day);
+            if due {
+                let ev = self.buckets[self.cursor]
+                    .pop_front()
+                    .expect("front vanished");
+                self.last_prio = ev.time.seconds();
+                self.size -= 1;
+                if self.size > 0
+                    && self.size < self.buckets.len() / 2
+                    && self.buckets.len() > INIT_BUCKETS
+                {
+                    let n = (self.buckets.len() / 2).max(INIT_BUCKETS);
+                    self.resize(n);
                 }
+                return Some(ev);
             }
-            self.cursor = (self.cursor + 1) % n;
-            self.bucket_top += self.width;
+            self.day += 1;
+            self.cursor = (self.day % n as u64) as usize;
         }
         // Nothing due this year: jump straight to the global minimum.
         let (t, _) = self.direct_search_min().expect("size > 0 but no events");
@@ -184,8 +201,8 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
         // hashes to the cursor's bucket, whose head is its `(time, seq)`
         // minimum — so the head of the cursor bucket is the global minimum.
         let bucket = &mut self.buckets[self.cursor];
-        debug_assert_eq!(bucket.first().map(|ev| ev.time), Some(t));
-        let ev = bucket.remove(0);
+        debug_assert_eq!(bucket.front().map(|ev| ev.time), Some(t));
+        let ev = bucket.pop_front().expect("front vanished");
         self.last_prio = ev.time.seconds();
         self.size -= 1;
         Some(ev)
@@ -197,8 +214,8 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
         }
         // Fast path: earliest event in the cursor's day of this year.
         let bucket = &self.buckets[self.cursor];
-        if let Some(first) = bucket.first() {
-            if first.time.seconds() < self.bucket_top {
+        if let Some(first) = bucket.front() {
+            if self.day_of(first.time.seconds()) <= self.day {
                 return Some(first.time);
             }
         }
@@ -282,8 +299,52 @@ mod tests {
             assert!(ev.time >= last);
             last = ev.time;
         }
-        assert!(q.buckets.len() <= 64, "should have shrunk, {} buckets", q.buckets.len());
+        assert!(
+            q.buckets.len() <= 64,
+            "should have shrunk, {} buckets",
+            q.buckets.len()
+        );
         assert_eq!(q.len(), 10);
+    }
+
+    impl<E> CalendarQueue<E> {
+        /// Test-only: pin the calendar shape so a test can exercise a
+        /// specific width without the adaptive resizing interfering.
+        fn force_shape(&mut self, width: f64, nbuckets: usize) {
+            assert_eq!(self.size, 0, "force_shape requires an empty queue");
+            self.width = width;
+            self.buckets = (0..nbuckets).map(|_| VecDeque::new()).collect();
+            self.cursor = 0;
+            self.day = 0;
+            self.last_prio = 0.0;
+        }
+    }
+
+    /// Regression test for float drift at day boundaries: 0.1 is not
+    /// exactly representable, so a `bucket_top += width` upper bound (or
+    /// any bound computed separately from the bucketing division) rounds
+    /// differently from `t / width`, and events sitting exactly on day
+    /// boundaries get classified into the wrong day. The fixed queue
+    /// decides dueness with the *same* `t / width` truncation that chose
+    /// the bucket, keeping boundary events ordered across thousands of
+    /// days.
+    #[test]
+    fn boundary_times_with_inexact_width_stay_ordered() {
+        let mut q = CalendarQueue::new();
+        q.force_shape(0.1, 1024);
+        let mut rng = SimRng::new(41);
+        // sparse events exactly on day boundaries, spanning many years
+        let mut times: Vec<f64> = (0..900u64).map(|k| (k * 13) as f64 * 0.1).collect();
+        rng.shuffle(&mut times);
+        for (s, &t) in times.iter().enumerate() {
+            q.insert(ScheduledEvent::new(SimTime::new(t), s as u64, s as u64));
+        }
+        let mut popped = Vec::with_capacity(times.len());
+        while let Some(ev) = q.pop_min() {
+            popped.push(ev.time.seconds());
+        }
+        times.sort_by(f64::total_cmp);
+        assert_eq!(popped, times);
     }
 
     #[test]

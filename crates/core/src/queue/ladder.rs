@@ -42,11 +42,7 @@ impl<E> Rung<E> {
             hi = hi.max(t);
         }
         let n = events.len();
-        let width = if hi > lo {
-            (hi - lo) / n as f64
-        } else {
-            1.0
-        };
+        let width = if hi > lo { (hi - lo) / n as f64 } else { 1.0 };
         // +1 so hi itself lands inside the last bucket
         let nb = n + 1;
         let mut rung = Rung {
@@ -83,8 +79,7 @@ impl<E> Rung<E> {
         let t = ev.time.seconds();
         // Clamp into the unconsumed range: `accepts` guarantees
         // t >= cur_start up to floating-point rounding at the boundary.
-        let i = (((t - self.start) / self.width) as usize)
-            .clamp(self.cur, self.buckets.len() - 1);
+        let i = (((t - self.start) / self.width) as usize).clamp(self.cur, self.buckets.len() - 1);
         self.buckets[i].push(ev);
         self.count += 1;
     }

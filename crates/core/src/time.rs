@@ -7,12 +7,11 @@
 //! inherent property in case of large scale distributed systems" (§2), so it
 //! is a first-class, NaN-free type rather than a bare float.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time, in seconds. Always finite and non-NaN.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimTime(f64);
 
 impl SimTime {

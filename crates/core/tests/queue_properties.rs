@@ -1,13 +1,20 @@
-//! Property-based conformance of every event-list structure against a
+//! Randomized conformance of every event-list structure against a
 //! reference model: arbitrary interleavings of inserts and pops must
 //! behave exactly like a sorted multimap keyed by `(time, seq)`.
+//!
+//! The cases are generated with the deterministic [`SimRng`] (seeded per
+//! trial), so failures reproduce exactly — the offline build has no
+//! property-testing framework, but the properties and case counts match
+//! the original suite.
 
 use lsds_core::{
     BinaryHeapQueue, CalendarQueue, EventQueue, LadderQueue, ScheduledEvent, SimTime,
     SortedListQueue,
 };
-use proptest::prelude::*;
+use lsds_stats::SimRng;
 use std::collections::BTreeMap;
+
+const TRIALS: u64 = 64;
 
 /// Operations driven against both the queue under test and the reference.
 #[derive(Debug, Clone)]
@@ -18,11 +25,18 @@ enum Op {
     Pop,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0.0..1.0e4f64).prop_map(Op::Insert),
-        2 => Just(Op::Pop),
-    ]
+/// 3:2 insert:pop mix, like the original strategy.
+fn random_ops(rng: &mut SimRng) -> Vec<Op> {
+    let len = 1 + rng.next_below(299) as usize;
+    (0..len)
+        .map(|_| {
+            if rng.next_below(5) < 3 {
+                Op::Insert(rng.range_f64(0.0, 1.0e4))
+            } else {
+                Op::Pop
+            }
+        })
+        .collect()
 }
 
 /// Drives the op sequence with monotone validity: like a real engine, an
@@ -45,12 +59,7 @@ fn check_against_reference<Q: EventQueue<u64>>(mut q: Q, ops: &[Op]) {
                     (None, None) => {}
                     (Some(got), Some(key)) => {
                         let want = reference.remove(&key).expect("key exists");
-                        assert_eq!(
-                            got.event,
-                            want,
-                            "{}: popped wrong event",
-                            q.name()
-                        );
+                        assert_eq!(got.event, want, "{}: popped wrong event", q.name());
                         let t = f64::from_bits(key.0);
                         assert_eq!(got.time, SimTime::new(t), "{}", q.name());
                         assert!(t >= clock, "{}: time went backwards", q.name());
@@ -71,7 +80,11 @@ fn check_against_reference<Q: EventQueue<u64>>(mut q: Q, ops: &[Op]) {
     // drain and verify full order
     let mut last = clock;
     while let Some(ev) = q.pop_min() {
-        let key = reference.keys().next().copied().expect("reference empty early");
+        let key = reference
+            .keys()
+            .next()
+            .copied()
+            .expect("reference empty early");
         assert_eq!(ev.event, reference.remove(&key).expect("key"));
         assert!(ev.time.seconds() >= last, "{}", q.name());
         last = ev.time.seconds();
@@ -79,32 +92,45 @@ fn check_against_reference<Q: EventQueue<u64>>(mut q: Q, ops: &[Op]) {
     assert!(reference.is_empty(), "{}: queue drained early", q.name());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn binary_heap_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
-        check_against_reference(BinaryHeapQueue::new(), &ops);
+#[test]
+fn binary_heap_matches_reference() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x51EE0 + trial);
+        check_against_reference(BinaryHeapQueue::new(), &random_ops(&mut rng));
     }
+}
 
-    #[test]
-    fn sorted_list_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
-        check_against_reference(SortedListQueue::new(), &ops);
+#[test]
+fn sorted_list_matches_reference() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x51EE1 + trial);
+        check_against_reference(SortedListQueue::new(), &random_ops(&mut rng));
     }
+}
 
-    #[test]
-    fn calendar_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
-        check_against_reference(CalendarQueue::new(), &ops);
+#[test]
+fn calendar_matches_reference() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x51EE2 + trial);
+        check_against_reference(CalendarQueue::new(), &random_ops(&mut rng));
     }
+}
 
-    #[test]
-    fn ladder_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
-        check_against_reference(LadderQueue::new(), &ops);
+#[test]
+fn ladder_matches_reference() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x51EE3 + trial);
+        check_against_reference(LadderQueue::new(), &random_ops(&mut rng));
     }
+}
 
-    /// All four structures drain identically for any batch of events.
-    #[test]
-    fn structures_agree_pairwise(times in proptest::collection::vec(0.0..1.0e6f64, 1..200)) {
+/// All four structures drain identically for any batch of events.
+#[test]
+fn structures_agree_pairwise() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x51EE4 + trial);
+        let len = 1 + rng.next_below(199) as usize;
+        let times: Vec<f64> = (0..len).map(|_| rng.range_f64(0.0, 1.0e6)).collect();
         let mut heap = BinaryHeapQueue::new();
         let mut list = SortedListQueue::new();
         let mut cal = CalendarQueue::new();
@@ -121,9 +147,9 @@ proptest! {
             let b = list.pop_min().unwrap().event;
             let c = cal.pop_min().unwrap().event;
             let d = lad.pop_min().unwrap().event;
-            prop_assert_eq!(a, b);
-            prop_assert_eq!(b, c);
-            prop_assert_eq!(c, d);
+            assert_eq!(a, b);
+            assert_eq!(b, c);
+            assert_eq!(c, d);
         }
     }
 }

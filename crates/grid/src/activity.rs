@@ -213,8 +213,8 @@ mod tests {
 
     #[test]
     fn economy_fields_attached() {
-        let mut a = Activity::compute(0, 1.0, Dist::constant(10.0), SimRng::new(3))
-            .with_economy(3.0, 2.0);
+        let mut a =
+            Activity::compute(0, 1.0, Dist::constant(10.0), SimRng::new(3)).with_economy(3.0, 2.0);
         let mut s = Collect {
             now: SimTime::new(5.0),
             scheduled: vec![],

@@ -255,9 +255,7 @@ impl CpuFarm {
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    a.work
-                        .total_cmp(&b.work)
-                        .then(a.enqueued.cmp(&b.enqueued))
+                    a.work.total_cmp(&b.work).then(a.enqueued.cmp(&b.enqueued))
                 })
                 .map(|(i, _)| i)
                 .expect("non-empty queue"),
@@ -277,11 +275,7 @@ impl CpuFarm {
     }
 
     /// Handles a farm event, returning completions.
-    pub fn handle(
-        &mut self,
-        ev: CpuEvent,
-        sched: &mut impl Schedule<CpuEvent>,
-    ) -> Vec<CpuDone> {
+    pub fn handle(&mut self, ev: CpuEvent, sched: &mut impl Schedule<CpuEvent>) -> Vec<CpuDone> {
         let CpuEvent::Finish { job, gen } = ev;
         let valid = self.running.get(&job).is_some_and(|r| r.gen == gen);
         if !valid {
@@ -358,11 +352,7 @@ mod tests {
         let farm = CpuFarm::new(2, 1.0, Sharing::Space, Discipline::Fifo);
         let done = run(
             farm,
-            vec![
-                (0.0, 1, 10.0, 0),
-                (0.0, 2, 10.0, 0),
-                (0.0, 3, 10.0, 0),
-            ],
+            vec![(0.0, 1, 10.0, 0), (0.0, 2, 10.0, 0), (0.0, 3, 10.0, 0)],
         );
         // jobs 1,2 run immediately (finish at 10); job 3 queues until 10,
         // finishes at 20
@@ -394,11 +384,7 @@ mod tests {
         // queue — fair share picks owner 1 first
         let done = run(
             farm,
-            vec![
-                (0.0, 1, 10.0, 0),
-                (1.0, 2, 5.0, 0),
-                (2.0, 3, 5.0, 1),
-            ],
+            vec![(0.0, 1, 10.0, 0), (1.0, 2, 5.0, 0), (2.0, 3, 5.0, 1)],
         );
         let order: Vec<u64> = done.iter().map(|&(j, ..)| j).collect();
         assert_eq!(order, vec![1, 3, 2]);

@@ -3,16 +3,15 @@
 use crate::replication::FileId;
 use crate::site::SiteId;
 use lsds_core::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(pub u64);
 
 /// A data-processing job as the surveyed simulators model it: CPU work,
 /// input files to stage, output volume, and (for economy scheduling)
 /// deadline and budget constraints.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JobSpec {
     /// Unique id.
     pub id: JobId,
@@ -51,7 +50,7 @@ impl JobSpec {
 }
 
 /// Lifecycle accounting for a finished job.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JobRecord {
     /// The job.
     pub id: JobId,
@@ -119,9 +118,7 @@ mod tests {
         assert_eq!(r.stage_time(), 2.0);
         assert_eq!(r.queue_time(), 3.0);
         assert_eq!(r.exec_time(), 5.0);
-        assert!(
-            (r.stage_time() + r.queue_time() + r.exec_time() - r.makespan()).abs() < 1e-12
-        );
+        assert!((r.stage_time() + r.queue_time() + r.exec_time() - r.makespan()).abs() < 1e-12);
     }
 
     #[test]

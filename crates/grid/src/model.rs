@@ -16,6 +16,7 @@ use crate::site::{Site, SiteId};
 use crate::storage::{DbEvent, FileMeta, TapeEvent};
 use lsds_core::{Ctx, EventDriven, Model, SimTime};
 use lsds_net::{FlowEvent, FlowNet};
+use lsds_obs::Registry;
 use lsds_stats::{Dist, SimRng, Summary};
 use std::collections::{HashMap, HashSet};
 
@@ -120,6 +121,17 @@ struct PendingJob {
     pinned: Vec<FileId>,
 }
 
+/// Optional MonALISA-style monitoring attached to a [`GridModel`]: per-site
+/// CPU and storage occupancy series plus job-state counters. `None` by
+/// default; enabling it never feeds back into the simulation (the sampler
+/// only reads model state), so monitored and unmonitored runs produce
+/// identical job records.
+struct GridObs {
+    reg: Registry,
+    /// Precomputed series keys: `(cpu_running, disk_used)` per site.
+    site_keys: Vec<(String, String)>,
+}
+
 /// Aggregated outcome of a grid run.
 #[derive(Debug, Clone)]
 pub struct GridReport {
@@ -188,6 +200,7 @@ pub struct GridModel {
     /// Agent shipment log: `(file, destination site, completion time)`.
     agent_log: Vec<(u64, usize, f64)>,
     rng: SimRng,
+    monitor: Option<GridObs>,
 }
 
 impl GridModel {
@@ -219,14 +232,10 @@ impl GridModel {
             parents,
             ..
         } = grid;
-        let eligible = eligible.unwrap_or_else(|| {
-            sites.iter().map(|s| s.cpu.speed() > 1e-3).collect()
-        });
+        let eligible =
+            eligible.unwrap_or_else(|| sites.iter().map(|s| s.cpu.speed() > 1e-3).collect());
         assert_eq!(eligible.len(), sites.len());
-        assert!(
-            eligible.iter().any(|&e| e),
-            "no eligible execution sites"
-        );
+        assert!(eligible.iter().any(|&e| e), "no eligible execution sites");
         let net = FlowNet::new(topology);
         let mut catalog = FileCatalog::new();
         for (size, origin) in initial_files {
@@ -236,10 +245,7 @@ impl GridModel {
             site.disk.pin(f); // origin copies are never evicted
         }
         let agent = agent.map(|k| {
-            let producer = production
-                .as_ref()
-                .expect("agent requires production")
-                .site;
+            let producer = production.as_ref().expect("agent requires production").site;
             // subscribers: the producer's children in a tiered grid, or
             // every other eligible site otherwise
             let children: Vec<SiteId> = parents
@@ -286,6 +292,66 @@ impl GridModel {
             produced_log: Vec::new(),
             agent_log: Vec::new(),
             rng: SimRng::new(seed),
+            monitor: None,
+        }
+    }
+
+    /// Turns on monitoring: per-site CPU/storage occupancy series and job
+    /// counters accumulate from this point on. Also enables monitoring on
+    /// the embedded [`FlowNet`] (link utilization, transfer latencies).
+    pub fn enable_monitor(&mut self) {
+        let site_keys = (0..self.sites.len())
+            .map(|i| {
+                (
+                    format!("grid.site.{i}.cpu_running"),
+                    format!("grid.site.{i}.disk_used"),
+                )
+            })
+            .collect();
+        self.monitor = Some(GridObs {
+            reg: Registry::new(),
+            site_keys,
+        });
+        self.net.enable_monitor();
+    }
+
+    /// The grid monitoring registry, if monitoring is enabled.
+    pub fn monitor(&self) -> Option<&Registry> {
+        self.monitor.as_ref().map(|m| &m.reg)
+    }
+
+    /// Merges grid *and* network metrics into `reg`: job-state counters
+    /// and summaries (always available) plus the occupancy/utilization
+    /// series accumulated since [`GridModel::enable_monitor`].
+    pub fn export_metrics(&self, reg: &mut Registry) {
+        reg.inc("grid.jobs.completed", self.records.len() as u64);
+        reg.inc("grid.jobs.rejected", self.rejected);
+        reg.inc("grid.datasets.produced", self.produced);
+        reg.inc("grid.tape_recalls", self.tape_recalls);
+        reg.inc("grid.db_queries", self.db_queries);
+        reg.set_gauge("grid.jobs.in_flight", self.in_flight() as f64);
+        reg.set_gauge("grid.wan_bytes", self.wan_bytes);
+        for r in &self.records {
+            reg.observe("grid.job.makespan", r.makespan());
+            reg.observe("grid.job.stage_time", r.stage_time());
+        }
+        self.net.export_metrics(reg);
+        if let Some(mon) = &self.monitor {
+            reg.merge(mon.reg.clone());
+        }
+    }
+
+    /// Samples every site's occupancy into the monitor's series. No-op
+    /// when monitoring is off.
+    fn record_site_state(&mut self, now: SimTime) {
+        let Some(mon) = self.monitor.as_mut() else {
+            return;
+        };
+        let t = now.seconds();
+        for (i, site) in self.sites.iter().enumerate() {
+            let (cpu_key, disk_key) = &mon.site_keys[i];
+            mon.reg.series_update(cpu_key, t, site.cpu.running() as f64);
+            mon.reg.series_update(disk_key, t, site.disk.used());
         }
     }
 
@@ -510,11 +576,10 @@ impl GridModel {
             let s = site.0;
             let job_id = spec.id.0;
             self.awaiting_db.insert(job_id, (spec, site));
-            self.sites[s]
-                .db
-                .as_mut()
-                .expect("checked above")
-                .query(job_id, &mut ctx.map(move |ev| GridEvent::Db { site: s, ev }));
+            self.sites[s].db.as_mut().expect("checked above").query(
+                job_id,
+                &mut ctx.map(move |ev| GridEvent::Db { site: s, ev }),
+            );
             return;
         }
         self.begin_staging(spec, site, ctx);
@@ -580,12 +645,10 @@ impl GridModel {
             // push replication bookkeeping at the holding site
             if let ReplicationPolicy::Push { threshold } = self.replication {
                 let catalog = &self.catalog;
-                if let Some(target) = self.push_tracker.record_remote_access(
-                    f,
-                    site,
-                    threshold,
-                    |s| catalog.holds(f, s),
-                ) {
+                if let Some(target) =
+                    self.push_tracker
+                        .record_remote_access(f, site, threshold, |s| catalog.holds(f, s))
+                {
                     if target != site {
                         let tnode = self.sites[target.0].node;
                         self.net.start(
@@ -721,8 +784,7 @@ impl GridModel {
             .remove(&(file.0, site.0))
             .expect("stage completion without waiters");
         // store once per arrival, then pin per waiting job
-        let stored =
-            self.replication.is_pull() && self.try_store_replica(file, site, finished);
+        let stored = self.replication.is_pull() && self.try_store_replica(file, site, finished);
         let share = bytes / waiters.len() as f64;
         for job in waiters {
             let Some(pj) = self.pending.get_mut(&job) else {
@@ -802,9 +864,7 @@ impl GridModel {
         let spec = pj.spec;
         let finished = ctx.now();
         let cost = self.sites[site].cost_of(spec.work);
-        let deadline_met = spec
-            .deadline
-            .is_none_or(|d| finished - spec.submitted <= d);
+        let deadline_met = spec.deadline.is_none_or(|d| finished - spec.submitted <= d);
         // outputs land on the local disk (best effort: evicted-on-demand)
         if spec.output_bytes > 0.0 {
             let key = self.eviction_key();
@@ -832,7 +892,10 @@ impl GridModel {
 
     fn on_produce(&mut self, ctx: &mut Ctx<'_, GridEvent>) {
         let (site, size, more) = {
-            let p = self.production.as_mut().expect("produce without production");
+            let p = self
+                .production
+                .as_mut()
+                .expect("produce without production");
             let size = p.size.sample_at_least(&mut self.rng, 1.0);
             let more = p.limit.is_none_or(|l| self.produced + 1 < l);
             (p.site, size, more)
@@ -901,10 +964,9 @@ impl Model for GridModel {
                 self.submit_job(spec, ctx);
             }
             GridEvent::Cpu { site, ev } => {
-                let dones = self.sites[site].cpu.handle(
-                    ev,
-                    &mut ctx.map(move |ev| GridEvent::Cpu { site, ev }),
-                );
+                let dones = self.sites[site]
+                    .cpu
+                    .handle(ev, &mut ctx.map(move |ev| GridEvent::Cpu { site, ev }));
                 for d in dones {
                     self.on_cpu_done(site, d.job, d.started, ctx);
                 }
@@ -937,6 +999,7 @@ impl Model for GridModel {
             }
             GridEvent::Produce => self.on_produce(ctx),
         }
+        self.record_site_state(ctx.now());
     }
 }
 
@@ -1148,15 +1211,12 @@ mod tests {
                 backlog_work_guess: 30.0,
             }),
             replication: ReplicationPolicy::None,
-            activities: vec![Activity::compute(
-                0,
-                1.0,
-                Dist::constant(100.0),
-                SimRng::new(2),
-            )
-            // deadline so tight nothing can meet it once queues form
-            .with_economy(0.001, 1000.0)
-            .with_limit(30)],
+            activities: vec![
+                Activity::compute(0, 1.0, Dist::constant(100.0), SimRng::new(2))
+                    // deadline so tight nothing can meet it once queues form
+                    .with_economy(0.001, 1000.0)
+                    .with_limit(30),
+            ],
             production: None,
             agent: None,
             eligible: None,
@@ -1180,13 +1240,9 @@ mod tests {
             grid,
             policy: Box::new(LeastLoaded),
             replication: ReplicationPolicy::None,
-            activities: vec![Activity::compute(
-                0,
-                10.0,
-                Dist::constant(50.0),
-                SimRng::new(4),
-            )
-            .with_limit(10)],
+            activities: vec![
+                Activity::compute(0, 10.0, Dist::constant(50.0), SimRng::new(4)).with_limit(10),
+            ],
             production: None,
             agent: None,
             eligible: None,
@@ -1254,7 +1310,9 @@ mod tests {
         assert!(rep.tape_recalls > 0, "archived inputs must recall");
         assert!(rep.tape_recalls <= 4, "each file recalled at most once");
         // recalled copies are disk-cached at the archive site
-        let cached = (0..4).filter(|&f| m.site(SiteId(0)).disk.has(FileId(f))).count();
+        let cached = (0..4)
+            .filter(|&f| m.site(SiteId(0)).disk.has(FileId(f)))
+            .count();
         assert_eq!(cached as u64, rep.tape_recalls);
         // tape latency shows up in the first access of each file
         // (mount 60 s + read 20 s); cached accesses stage fast
@@ -1284,13 +1342,9 @@ mod tests {
             grid,
             policy: Box::new(LeastLoaded),
             replication: ReplicationPolicy::None,
-            activities: vec![Activity::compute(
-                0,
-                50.0,
-                Dist::constant(5.0),
-                SimRng::new(3),
-            )
-            .with_limit(10)],
+            activities: vec![
+                Activity::compute(0, 50.0, Dist::constant(5.0), SimRng::new(3)).with_limit(10),
+            ],
             production: None,
             agent: None,
             eligible: None,
@@ -1317,5 +1371,37 @@ mod tests {
         let rep = run_compute_only(6);
         assert_eq!(rep.db_queries, 0);
         assert_eq!(rep.tape_recalls, 0);
+    }
+
+    #[test]
+    fn monitored_grid_run_is_identical_and_exports_series() {
+        let run = |monitored: bool| {
+            let mut sim = GridModel::build(data_cfg(ReplicationPolicy::PullLru, 3));
+            if monitored {
+                sim.model_mut().enable_monitor();
+            }
+            sim.run_until(SimTime::new(1.0e6));
+            sim
+        };
+        let mon = run(true);
+        let plain = run(false);
+        let rm = mon.model().report();
+        let rp = plain.model().report();
+        assert_eq!(rm.records.len(), rp.records.len());
+        for (a, b) in rm.records.iter().zip(&rp.records) {
+            assert_eq!(a.finished, b.finished, "monitoring perturbed the run");
+            assert_eq!(a.site, b.site);
+        }
+
+        let mut reg = Registry::new();
+        mon.model().export_metrics(&mut reg);
+        assert_eq!(reg.counter("grid.jobs.completed"), 60);
+        let cpu = reg.series("grid.site.0.cpu_running").unwrap();
+        assert!(cpu.max() >= 1.0, "site 0 must have run something");
+        assert!(reg.series("grid.site.0.disk_used").is_some());
+        assert_eq!(reg.summary("grid.job.makespan").unwrap().count(), 60);
+        // network monitoring rides along
+        assert!(reg.counter("net.transfers_completed") > 0);
+        assert!(reg.summary("net.transfer_latency").is_some());
     }
 }

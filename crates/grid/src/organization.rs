@@ -12,10 +12,9 @@ use crate::cpu::{CpuFarm, Discipline, Sharing};
 use crate::site::{Site, SiteId};
 use crate::storage::StorageElement;
 use lsds_net::{NodeKind, Topology};
-use serde::{Deserialize, Serialize};
 
 /// How sites are organized.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Organization {
     /// One central execution site; clients only submit (Bricks).
     Central,
@@ -85,7 +84,12 @@ pub fn central_grid(
         "server",
         0,
         server_node,
-        CpuFarm::new(server.cores, server.speed, server.sharing, server.discipline),
+        CpuFarm::new(
+            server.cores,
+            server.speed,
+            server.sharing,
+            server.discipline,
+        ),
         StorageElement::new(server.disk),
         server.price,
     ));

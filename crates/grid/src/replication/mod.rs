@@ -16,11 +16,10 @@ pub use agent::ReplicationAgent;
 pub use push::PushTracker;
 
 use crate::site::SiteId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Identifier of a logical file (dataset).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(pub u64);
 
 /// Replica management strategy.
@@ -123,17 +122,16 @@ impl FileCatalog {
     /// Removes a replica. Panics if it would leave the file with no copy.
     pub fn remove_replica(&mut self, file: FileId, site: SiteId) {
         let set = &mut self.locations[file.0 as usize];
-        assert!(set.len() > 1 || !set.contains(&site.0), "removing last replica");
+        assert!(
+            set.len() > 1 || !set.contains(&site.0),
+            "removing last replica"
+        );
         set.remove(&site.0);
     }
 
     /// Chooses the best source replica for a consumer: the holder with
     /// minimum `cost(holder)` (typically network latency or hop count).
-    pub fn best_source(
-        &self,
-        file: FileId,
-        cost: impl Fn(SiteId) -> f64,
-    ) -> Option<SiteId> {
+    pub fn best_source(&self, file: FileId, cost: impl Fn(SiteId) -> f64) -> Option<SiteId> {
         self.holders(file)
             .map(|s| (s, cost(s)))
             .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0 .0.cmp(&b.0 .0)))

@@ -192,9 +192,7 @@ impl SchedulerPolicy for Economy {
                 EconomyGoal::CostMin => cost,
                 EconomyGoal::TimeMin => t,
             };
-            if best.is_none_or(|(b, bid)| {
-                objective < b || (objective == b && s.id < bid)
-            }) {
+            if best.is_none_or(|(b, bid)| objective < b || (objective == b && s.id < bid)) {
                 best = Some((objective, s.id));
             }
         }
@@ -268,7 +266,10 @@ mod tests {
             missing_bytes: &mb,
             now: SimTime::ZERO,
         };
-        assert_eq!(p.select(&job(1.0, None, None), &view), Placement::Site(SiteId(2)));
+        assert_eq!(
+            p.select(&job(1.0, None, None), &view),
+            Placement::Site(SiteId(2))
+        );
     }
 
     #[test]
@@ -285,7 +286,10 @@ mod tests {
             missing_bytes: &mb,
             now: SimTime::ZERO,
         };
-        assert_eq!(p.select(&job(1.0, None, None), &view), Placement::Site(SiteId(1)));
+        assert_eq!(
+            p.select(&job(1.0, None, None), &view),
+            Placement::Site(SiteId(1))
+        );
     }
 
     #[test]
@@ -300,7 +304,10 @@ mod tests {
             missing_bytes: &mb,
             now: SimTime::ZERO,
         };
-        assert_eq!(p.select(&job(1.0, None, None), &view), Placement::Site(SiteId(1)));
+        assert_eq!(
+            p.select(&job(1.0, None, None), &view),
+            Placement::Site(SiteId(1))
+        );
     }
 
     #[test]
@@ -386,7 +393,10 @@ mod tests {
             now: SimTime::ZERO,
         };
         // site1 is heavily loaded but holds the data
-        assert_eq!(p.select(&job(1.0, None, None), &view), Placement::Site(SiteId(1)));
+        assert_eq!(
+            p.select(&job(1.0, None, None), &view),
+            Placement::Site(SiteId(1))
+        );
     }
 
     #[test]

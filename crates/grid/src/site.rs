@@ -3,10 +3,9 @@
 use crate::cpu::CpuFarm;
 use crate::storage::{DbServer, MassStorage, StorageElement};
 use lsds_net::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SiteId(pub usize);
 
 /// A regional center: CPU farm + disk pool attached to a network node.

@@ -1,5 +1,9 @@
-//! Property-based invariants of the composed grid model: jobs are
-//! conserved, lifecycle timestamps are ordered, runs are reproducible.
+//! Randomized invariants of the composed grid model: jobs are conserved,
+//! lifecycle timestamps are ordered, runs are reproducible.
+//!
+//! Cases are generated with the deterministic [`SimRng`] (seeded per
+//! trial), replacing the property-testing framework the offline build
+//! cannot fetch.
 
 use lsds_core::SimTime;
 use lsds_grid::model::{GridConfig, GridModel};
@@ -7,7 +11,8 @@ use lsds_grid::organization::{flat_grid, SiteSpec};
 use lsds_grid::scheduler::LeastLoaded;
 use lsds_grid::{Activity, ReplicationPolicy, SiteId};
 use lsds_stats::{Dist, SimRng};
-use proptest::prelude::*;
+
+const TRIALS: u64 = 24;
 
 fn build(
     n_sites: usize,
@@ -51,64 +56,64 @@ fn build(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every generated job completes exactly once, with ordered lifecycle
-    /// timestamps, under any replication policy.
-    #[test]
-    fn jobs_conserved_and_ordered(
-        n_sites in 2usize..5,
-        n_jobs in 1u64..40,
-        mean_ia in 1.0..30.0f64,
-        mean_work in 1.0..100.0f64,
-        files in 0usize..10,
-        policy_idx in 0usize..5,
-        seed in 0u64..500,
-    ) {
+/// Every generated job completes exactly once, with ordered lifecycle
+/// timestamps, under any replication policy.
+#[test]
+fn jobs_conserved_and_ordered() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x6E1D0 + trial);
+        let n_sites = 2 + rng.next_below(3) as usize;
+        let n_jobs = 1 + rng.next_below(39);
+        let mean_ia = rng.range_f64(1.0, 30.0);
+        let mean_work = rng.range_f64(1.0, 100.0);
+        let files = rng.next_below(10) as usize;
         let policy = [
             ReplicationPolicy::None,
             ReplicationPolicy::PullLru,
             ReplicationPolicy::PullLfu,
             ReplicationPolicy::PullEconomic,
             ReplicationPolicy::Push { threshold: 2 },
-        ][policy_idx];
+        ][rng.next_below(5) as usize];
+        let seed = rng.next_below(500);
         let mut sim = GridModel::build(build(
             n_sites, n_jobs, mean_ia, mean_work, files, policy, seed,
         ));
         sim.run_until(SimTime::new(1.0e7));
         let m = sim.model();
         let rep = m.report();
-        prop_assert_eq!(rep.records.len() as u64, n_jobs);
-        prop_assert_eq!(m.in_flight(), 0, "nothing stuck");
+        let case =
+            format!("sites={n_sites} jobs={n_jobs} files={files} policy={policy:?} seed={seed}");
+        assert_eq!(rep.records.len() as u64, n_jobs, "{case}");
+        assert_eq!(m.in_flight(), 0, "nothing stuck: {case}");
         let mut ids: Vec<u64> = rep.records.iter().map(|r| r.id.0).collect();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len() as u64, n_jobs, "no duplicate completions");
+        assert_eq!(ids.len() as u64, n_jobs, "no duplicate completions: {case}");
         for r in &rep.records {
-            prop_assert!(r.submitted <= r.staged);
-            prop_assert!(r.staged <= r.started);
-            prop_assert!(r.started <= r.finished);
-            prop_assert!(r.site.0 < n_sites);
-            prop_assert!(r.staged_bytes >= 0.0);
+            assert!(r.submitted <= r.staged, "{case}");
+            assert!(r.staged <= r.started, "{case}");
+            assert!(r.started <= r.finished, "{case}");
+            assert!(r.site.0 < n_sites, "{case}");
+            assert!(r.staged_bytes >= 0.0, "{case}");
         }
         if files == 0 {
-            prop_assert_eq!(rep.wan_bytes, 0.0);
+            assert_eq!(rep.wan_bytes, 0.0, "{case}");
         }
     }
+}
 
-    /// Bit-for-bit reproducibility for any configuration.
-    #[test]
-    fn reproducible(
-        n_jobs in 1u64..25,
-        seed in 0u64..200,
-        policy_idx in 0usize..3,
-    ) {
+/// Bit-for-bit reproducibility for any configuration.
+#[test]
+fn reproducible() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x6E1D1 + trial);
+        let n_jobs = 1 + rng.next_below(24);
+        let seed = rng.next_below(200);
         let policy = [
             ReplicationPolicy::None,
             ReplicationPolicy::PullLru,
             ReplicationPolicy::Push { threshold: 2 },
-        ][policy_idx];
+        ][rng.next_below(3) as usize];
         let run = || {
             let mut sim = GridModel::build(build(3, n_jobs, 5.0, 20.0, 6, policy, seed));
             sim.run_until(SimTime::new(1.0e7));
@@ -119,6 +124,6 @@ proptest! {
                 .map(|r| (r.id.0, r.site.0, r.finished.seconds()))
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

@@ -10,6 +10,7 @@
 use crate::routing::Routing;
 use crate::topology::{LinkId, NodeId, Topology};
 use lsds_core::{Schedule, SimTime};
+use lsds_obs::Registry;
 use std::collections::HashMap;
 
 /// Identifier of a flow within a [`FlowNet`].
@@ -53,6 +54,15 @@ struct Flow {
     bytes: f64,
 }
 
+/// Optional MonALISA-style monitoring attached to a [`FlowNet`]: per-link
+/// time-weighted utilization series plus transfer latency/size summaries.
+/// `None` by default, so an unmonitored network does zero extra work.
+struct NetMonitor {
+    reg: Registry,
+    /// Precomputed series key per link (`net.link.<from>-><to>.utilization`).
+    link_keys: Vec<String>,
+}
+
 /// The fluid network state. Owns no clock; it is driven by an engine
 /// through [`lsds_core::Schedule`].
 pub struct FlowNet {
@@ -63,6 +73,7 @@ pub struct FlowNet {
     /// Cumulative bytes carried per link (for utilization reports).
     link_bytes: Vec<f64>,
     completed: u64,
+    monitor: Option<NetMonitor>,
 }
 
 impl FlowNet {
@@ -77,6 +88,81 @@ impl FlowNet {
             next_id: 0,
             link_bytes: vec![0.0; n_links],
             completed: 0,
+            monitor: None,
+        }
+    }
+
+    /// Turns on monitoring: per-link utilization series and transfer
+    /// summaries accumulate in an internal [`Registry`] from this point on.
+    /// Monitoring only ever *reads* simulation state, so a monitored run's
+    /// event trajectory is identical to an unmonitored one.
+    pub fn enable_monitor(&mut self) {
+        let link_keys = (0..self.topo.link_count())
+            .map(|i| {
+                let l = self.topo.link(LinkId(i));
+                format!(
+                    "net.link.{}->{}.utilization",
+                    self.topo.node(l.from).name,
+                    self.topo.node(l.to).name
+                )
+            })
+            .collect();
+        self.monitor = Some(NetMonitor {
+            reg: Registry::new(),
+            link_keys,
+        });
+    }
+
+    /// The monitoring registry, if monitoring is enabled.
+    pub fn monitor(&self) -> Option<&Registry> {
+        self.monitor.as_ref().map(|m| &m.reg)
+    }
+
+    /// Merges the accumulated network metrics into `reg` (cumulative
+    /// per-link byte gauges are always available; utilization series and
+    /// transfer summaries require [`FlowNet::enable_monitor`]).
+    pub fn export_metrics(&self, reg: &mut Registry) {
+        reg.inc("net.transfers_completed", self.completed);
+        reg.set_gauge("net.flows_in_flight", self.flows.len() as f64);
+        for i in 0..self.topo.link_count() {
+            let l = self.topo.link(LinkId(i));
+            let key = format!(
+                "net.link.{}->{}.bytes",
+                self.topo.node(l.from).name,
+                self.topo.node(l.to).name
+            );
+            reg.set_gauge(&key, self.link_bytes[i]);
+        }
+        if let Some(mon) = &self.monitor {
+            reg.merge(mon.reg.clone());
+        }
+    }
+
+    /// Records the instantaneous utilization of every link into the
+    /// monitor's series. No-op when monitoring is off.
+    fn record_utilization(&mut self, now: SimTime) {
+        let Some(mon) = self.monitor.as_mut() else {
+            return;
+        };
+        let mut used = vec![0.0f64; self.topo.link_count()];
+        // flow-id order keeps float accumulation deterministic
+        let mut ids: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.active)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let f = &self.flows[&id];
+            for &l in &f.path {
+                used[l.0] += f.rate;
+            }
+        }
+        for (li, u) in used.iter().enumerate() {
+            let util = u / self.topo.link(LinkId(li)).bandwidth;
+            mon.reg
+                .series_update(&mon.link_keys[li], now.seconds(), util);
         }
     }
 
@@ -157,11 +243,7 @@ impl FlowNet {
     }
 
     /// Handles a flow event, returning any completions.
-    pub fn handle(
-        &mut self,
-        ev: FlowEvent,
-        sched: &mut impl Schedule<FlowEvent>,
-    ) -> Vec<FlowDone> {
+    pub fn handle(&mut self, ev: FlowEvent, sched: &mut impl Schedule<FlowEvent>) -> Vec<FlowDone> {
         match ev {
             FlowEvent::Begin { flow } => {
                 let now = sched.now();
@@ -171,6 +253,7 @@ impl FlowNet {
                     f.last_update = now;
                 }
                 self.reshare(now, sched);
+                self.record_utilization(now);
                 Vec::new()
             }
             FlowEvent::Complete { flow, gen } => {
@@ -190,6 +273,10 @@ impl FlowNet {
                     f.remaining
                 );
                 self.completed += 1;
+                if let Some(mon) = self.monitor.as_mut() {
+                    mon.reg.observe("net.transfer_latency", now - f.requested);
+                    mon.reg.observe("net.transfer_bytes", f.bytes);
+                }
                 let done = FlowDone {
                     id: FlowId(flow),
                     tag: f.tag,
@@ -198,6 +285,7 @@ impl FlowNet {
                     finished: now,
                 };
                 self.reshare(now, sched);
+                self.record_utilization(now);
                 vec![done]
             }
         }
@@ -295,7 +383,13 @@ impl FlowNet {
             f.gen += 1;
             debug_assert!(f.rate > 0.0, "active flow with zero rate");
             let eta = f.remaining / f.rate;
-            sched.schedule_at(now.after(eta), FlowEvent::Complete { flow: id, gen: f.gen });
+            sched.schedule_at(
+                now.after(eta),
+                FlowEvent::Complete {
+                    flow: id,
+                    gen: f.gen,
+                },
+            );
         }
     }
 }
@@ -375,10 +469,7 @@ mod tests {
     #[test]
     fn two_flows_share_equally() {
         let (t, a, b) = pair(mbps(80.0), 0.0);
-        let (done, _) = run_plan(
-            t,
-            vec![(0.0, a, b, 50.0e6, 1), (0.0, a, b, 50.0e6, 2)],
-        );
+        let (done, _) = run_plan(t, vec![(0.0, a, b, 50.0e6, 1), (0.0, a, b, 50.0e6, 2)]);
         assert_eq!(done.len(), 2);
         // both at 5 MB/s → both finish at 10 s
         for d in &done {
@@ -389,13 +480,10 @@ mod tests {
     #[test]
     fn late_flow_speeds_up_after_first_completes() {
         let (t, a, b) = pair(mbps(80.0), 0.0); // 10 MB/s
-        // flow1: 50 MB at t=0; flow2: 75 MB at t=0.
-        // shared 5 MB/s each; flow1 done at 10s; flow2 then has 25 MB left
-        // at 10 MB/s → done at 12.5 s
-        let (done, _) = run_plan(
-            t,
-            vec![(0.0, a, b, 50.0e6, 1), (0.0, a, b, 75.0e6, 2)],
-        );
+                                               // flow1: 50 MB at t=0; flow2: 75 MB at t=0.
+                                               // shared 5 MB/s each; flow1 done at 10s; flow2 then has 25 MB left
+                                               // at 10 MB/s → done at 12.5 s
+        let (done, _) = run_plan(t, vec![(0.0, a, b, 50.0e6, 1), (0.0, a, b, 75.0e6, 2)]);
         let d2 = done.iter().find(|d| d.tag == 2).unwrap();
         assert!((d2.finished.seconds() - 12.5).abs() < 1e-6, "{d2:?}");
     }
@@ -426,8 +514,7 @@ mod tests {
         }
         sim.run_until(SimTime::new(1.0));
         let net = &sim.model().net;
-        let rates: HashMap<u64, f64> =
-            net.flows.values().map(|f| (f.tag, f.rate)).collect();
+        let rates: HashMap<u64, f64> = net.flows.values().map(|f| (f.tag, f.rate)).collect();
         assert!((rates[&1] - 7.0e6).abs() < 1.0, "A {}", rates[&1]);
         assert!((rates[&2] - 3.0e6).abs() < 1.0, "B {}", rates[&2]);
         assert!((rates[&3] - 3.0e6).abs() < 1.0, "C {}", rates[&3]);
@@ -459,6 +546,53 @@ mod tests {
         sim.schedule(SimTime::ZERO, Ev::Kickoff(0));
         sim.run_until(SimTime::new(0.5));
         assert!((sim.model().net.link_utilization(LinkId(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monitor_tracks_utilization_and_latency_without_changing_results() {
+        let plan: Vec<_> = (0..8)
+            .map(|i| {
+                let (t, a, b) = (i as f64 * 0.5, NodeId(0), NodeId(1));
+                (t, a, b, 1.0e6 * (i + 1) as f64, i as u64)
+            })
+            .collect();
+        let run = |monitored: bool| {
+            let (t, _, _) = pair(mbps(80.0), 0.01);
+            let mut net = FlowNet::new(t);
+            if monitored {
+                net.enable_monitor();
+            }
+            let mut sim = EventDriven::new(Harness {
+                net,
+                done: vec![],
+                plan: plan.clone(),
+            });
+            for (i, (t, ..)) in plan.iter().enumerate() {
+                sim.schedule(SimTime::new(*t), Ev::Kickoff(i));
+            }
+            sim.run();
+            let m = sim.into_model();
+            (m.done, m.net)
+        };
+        let (done_mon, net_mon) = run(true);
+        let (done_plain, _) = run(false);
+        assert_eq!(done_mon, done_plain, "monitoring must not perturb the run");
+
+        let reg = net_mon.monitor().unwrap();
+        let util = reg.series("net.link.a->b.utilization").unwrap();
+        assert!(
+            (util.max() - 1.0).abs() < 1e-9,
+            "link saturated at some point"
+        );
+        assert_eq!(util.value(), 0.0, "idle after the last completion");
+        let lat = reg.summary("net.transfer_latency").unwrap();
+        assert_eq!(lat.count(), 8);
+        assert!(lat.min() > 0.0);
+
+        let mut merged = Registry::new();
+        net_mon.export_metrics(&mut merged);
+        assert_eq!(merged.counter("net.transfers_completed"), 8);
+        assert!(merged.gauge("net.link.a->b.bytes").unwrap() > 0.0);
     }
 
     #[test]

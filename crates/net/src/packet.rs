@@ -281,9 +281,14 @@ mod tests {
                     n,
                     size,
                 } => {
-                    let notes =
-                        self.net
-                            .inject_transfer(transfer, src, dst, n, size, &mut ctx.map(Ev::Net));
+                    let notes = self.net.inject_transfer(
+                        transfer,
+                        src,
+                        dst,
+                        n,
+                        size,
+                        &mut ctx.map(Ev::Net),
+                    );
                     self.notes.extend(notes);
                 }
                 Ev::Net(pe) => {

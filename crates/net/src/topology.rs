@@ -1,17 +1,15 @@
 //! Network topologies: hosts, routers, switches, and the links between them.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a node in a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
 /// Identifier of a directed link in a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub usize);
 
 /// The kinds of network elements the taxonomy names (§3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
     /// An end host (computing/storage site attachment point).
     Host,
@@ -22,7 +20,7 @@ pub enum NodeKind {
 }
 
 /// A network node.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// What kind of element this is.
     pub kind: NodeKind,
@@ -31,7 +29,7 @@ pub struct Node {
 }
 
 /// A directed link with a serialization bandwidth and propagation latency.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Link {
     /// Source node.
     pub from: NodeId,
@@ -54,7 +52,7 @@ pub fn gbps(x: f64) -> f64 {
 }
 
 /// A directed network graph.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
@@ -80,7 +78,10 @@ impl Topology {
 
     /// Adds a directed link, returning its id.
     pub fn add_link(&mut self, from: NodeId, to: NodeId, bandwidth: f64, latency: f64) -> LinkId {
-        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "bad endpoint");
+        assert!(
+            from.0 < self.nodes.len() && to.0 < self.nodes.len(),
+            "bad endpoint"
+        );
         assert!(bandwidth > 0.0 && bandwidth.is_finite(), "bad bandwidth");
         assert!(latency >= 0.0 && latency.is_finite(), "bad latency");
         self.links.push(Link {
@@ -202,10 +203,7 @@ impl Topology {
             let parents = levels[d].clone();
             for (pi, p) in parents.iter().enumerate() {
                 for c in 0..f {
-                    let id = t.add_node(
-                        NodeKind::Host,
-                        format!("tier{}-{}", d + 1, pi * f + c),
-                    );
+                    let id = t.add_node(NodeKind::Host, format!("tier{}-{}", d + 1, pi * f + c));
                     t.add_duplex(*p, id, bandwidths[d], latencies[d]);
                     next.push(id);
                 }
@@ -272,11 +270,7 @@ mod tests {
     #[test]
     fn tiered_tree_shape() {
         // T0 -> 2x T1 -> 3x T2 each
-        let (t, levels) = Topology::tiered_tree(
-            &[2, 3],
-            &[gbps(2.5), gbps(1.0)],
-            &[0.05, 0.02],
-        );
+        let (t, levels) = Topology::tiered_tree(&[2, 3], &[gbps(2.5), gbps(1.0)], &[0.05, 0.02]);
         assert_eq!(levels[0].len(), 1);
         assert_eq!(levels[1].len(), 2);
         assert_eq!(levels[2].len(), 6);

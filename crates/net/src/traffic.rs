@@ -155,7 +155,10 @@ mod tests {
     fn generates_poisson_flows() {
         let (started, done, bytes) = run(42, 100.0);
         // ~200 arrivals expected over 100 s at rate 2/s
-        assert!((150..=260).contains(&(started as usize)), "{started} arrivals");
+        assert!(
+            (150..=260).contains(&(started as usize)),
+            "{started} arrivals"
+        );
         assert!(done > 100, "{done} completions");
         assert!(bytes > 0.0);
     }

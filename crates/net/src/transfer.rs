@@ -119,9 +119,7 @@ impl FtpService {
 
     fn begin(&mut self, req: TransferRequest, sched: &mut impl Schedule<FlowEvent>) {
         self.servers[req.src.0].active += 1;
-        let id = self
-            .net
-            .start(req.src, req.dst, req.bytes, req.tag, sched);
+        let id = self.net.start(req.src, req.dst, req.bytes, req.tag, sched);
         self.started.insert(id.0, req);
     }
 

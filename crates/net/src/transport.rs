@@ -314,14 +314,9 @@ impl TransportNet {
             c.send_time[seq as usize] = sched.now().seconds();
             (c.src, c.dst, c.seg_size, c.rto(), c.epoch)
         };
-        let _ = self.net.inject_packet(
-            conn as u64,
-            seq,
-            src,
-            dst,
-            size,
-            &mut map_net(sched),
-        ); // an injection drop is a loss the timer will recover
+        let _ = self
+            .net
+            .inject_packet(conn as u64, seq, src, dst, size, &mut map_net(sched)); // an injection drop is a loss the timer will recover
         sched.schedule_in(rto, TransportEvent::Timeout { conn, seq, epoch });
     }
 
@@ -465,8 +460,7 @@ impl TransportNet {
     ) -> Vec<TransportNote> {
         {
             let c = &mut self.conns[conn];
-            let stale =
-                c.done || epoch != c.epoch || seq < c.acked || !c.in_flight.contains(&seq);
+            let stale = c.done || epoch != c.epoch || seq < c.acked || !c.in_flight.contains(&seq);
             if stale {
                 return Vec::new();
             }
@@ -495,7 +489,8 @@ impl TransportNet {
         };
         let tag = UDP_KIND | stream as u64;
         if let Some(PacketNote::Dropped { .. }) =
-            self.net.inject_packet(tag, index, src, dst, size, &mut map_net(sched))
+            self.net
+                .inject_packet(tag, index, src, dst, size, &mut map_net(sched))
         {
             self.streams[stream].dropped += 1;
         }

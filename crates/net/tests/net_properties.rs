@@ -1,12 +1,16 @@
-//! Property-based tests of the network substrate: conservation of bytes
+//! Randomized tests of the network substrate: conservation of bytes
 //! and packets, completion-time lower bounds, routing sanity.
+//!
+//! Cases are generated with the deterministic [`SimRng`] (seeded per
+//! trial), replacing the property-testing framework the offline build
+//! cannot fetch.
 
 use lsds_core::{Ctx, EventDriven, Model, SimTime};
 use lsds_net::{
     mbps, FlowDone, FlowEvent, FlowNet, NodeId, NodeKind, PacketEvent, PacketNet, PacketNote,
     Routing, Topology,
 };
-use proptest::prelude::*;
+use lsds_stats::SimRng;
 
 // ---- fluid model harness ----
 
@@ -37,30 +41,26 @@ impl Model for FlowHarness {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every byte injected into a star network is delivered, and no
-    /// transfer beats its physical lower bound (latency + size/bottleneck).
-    #[test]
-    fn fluid_conservation_and_bounds(
-        n_hosts in 2usize..6,
-        transfers in proptest::collection::vec(
-            (0.0..100.0f64, 0usize..6, 0usize..6, 1.0e3..1.0e8f64),
-            1..25,
-        ),
-    ) {
+/// Every byte injected into a star network is delivered, and no
+/// transfer beats its physical lower bound (latency + size/bottleneck).
+#[test]
+fn fluid_conservation_and_bounds() {
+    for trial in 0..32u64 {
+        let mut rng = SimRng::new(0xF10D0 + trial);
+        let n_hosts = 2 + rng.next_below(4) as usize;
+        let n_transfers = 1 + rng.next_below(24) as usize;
         let bw = mbps(100.0);
         let lat = 0.01;
         let (topo, hosts) = Topology::star(n_hosts, bw, lat);
-        let plan: Vec<(f64, NodeId, NodeId, f64)> = transfers
-            .iter()
-            .map(|&(t, s, d, b)| {
-                let s = s % n_hosts;
-                let mut d = d % n_hosts;
+        let plan: Vec<(f64, NodeId, NodeId, f64)> = (0..n_transfers)
+            .map(|_| {
+                let t = rng.range_f64(0.0, 100.0);
+                let s = rng.next_below(n_hosts as u64) as usize;
+                let mut d = rng.next_below(n_hosts as u64) as usize;
                 if d == s {
                     d = (d + 1) % n_hosts;
                 }
+                let b = rng.range_f64(1.0e3, 1.0e8);
                 (t, hosts[s], hosts[d], b)
             })
             .collect();
@@ -75,31 +75,33 @@ proptest! {
         }
         sim.run();
         let m = sim.model();
-        prop_assert_eq!(m.done.len(), plan.len(), "all transfers complete");
+        assert_eq!(m.done.len(), plan.len(), "all transfers complete");
         let delivered: f64 = m.done.iter().map(|d| d.bytes).sum();
-        prop_assert!((delivered - injected).abs() < injected * 1e-9 + 1e-6);
+        assert!((delivered - injected).abs() < injected * 1e-9 + 1e-6);
         for d in &m.done {
             let i = d.tag as usize;
             let (t0, _, _, bytes) = plan[i];
             // two hops through the hub: latency 2·lat, bottleneck bw
             let lower = 2.0 * lat + bytes / bw;
             let elapsed = d.finished.seconds() - t0;
-            prop_assert!(
+            assert!(
                 elapsed >= lower - 1e-9,
                 "transfer {i}: {elapsed} < lower bound {lower}"
             );
         }
-        prop_assert_eq!(m.net.in_flight(), 0);
+        assert_eq!(m.net.in_flight(), 0);
     }
+}
 
-    /// Fluid model determinism under identical plans.
-    #[test]
-    fn fluid_deterministic(
-        transfers in proptest::collection::vec(
-            (0.0..50.0f64, 1.0e3..1.0e7f64),
-            1..15,
-        ),
-    ) {
+/// Fluid model determinism under identical plans.
+#[test]
+fn fluid_deterministic() {
+    for trial in 0..32u64 {
+        let mut rng = SimRng::new(0xF10D1 + trial);
+        let n_transfers = 1 + rng.next_below(14) as usize;
+        let transfers: Vec<(f64, f64)> = (0..n_transfers)
+            .map(|_| (rng.range_f64(0.0, 50.0), rng.range_f64(1.0e3, 1.0e7)))
+            .collect();
         let run = || {
             let (topo, hosts) = Topology::star(3, mbps(50.0), 0.005);
             let plan: Vec<_> = transfers
@@ -121,7 +123,7 @@ proptest! {
                 .map(|d| (d.tag, d.finished.seconds()))
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }
 
@@ -157,15 +159,16 @@ impl Model for PacketHarness {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Packet conservation: delivered + dropped = injected, always.
-    #[test]
-    fn packet_conservation(
-        bursts in proptest::collection::vec((0.0..10.0f64, 1u32..80), 1..10),
-        qcap in 1usize..64,
-    ) {
+/// Packet conservation: delivered + dropped = injected, always.
+#[test]
+fn packet_conservation() {
+    for trial in 0..32u64 {
+        let mut rng = SimRng::new(0xF10D2 + trial);
+        let n_bursts = 1 + rng.next_below(9) as usize;
+        let bursts: Vec<(f64, u32)> = (0..n_bursts)
+            .map(|_| (rng.range_f64(0.0, 10.0), 1 + rng.next_below(79) as u32))
+            .collect();
+        let qcap = 1 + rng.next_below(63) as usize;
         let mut topo = Topology::new();
         let a = topo.add_node(NodeKind::Host, "a");
         let r = topo.add_node(NodeKind::Router, "r");
@@ -183,27 +186,27 @@ proptest! {
         }
         sim.run();
         let m = sim.model();
-        prop_assert_eq!(m.delivered + m.dropped, total as u64);
+        assert_eq!(m.delivered + m.dropped, total as u64);
         let (inj, del, drop) = m.net.counters();
-        prop_assert_eq!(inj, total as u64);
-        prop_assert_eq!(del, m.delivered);
-        prop_assert_eq!(drop, m.dropped);
+        assert_eq!(inj, total as u64);
+        assert_eq!(del, m.delivered);
+        assert_eq!(drop, m.dropped);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Routing on random trees: every pair connected, paths loop-free,
-    /// latency additive.
-    #[test]
-    fn routing_on_random_trees(parents in proptest::collection::vec(0usize..8, 1..8)) {
-        // node i+1 attaches to parents[i] % (i+1): always a valid tree
+/// Routing on random trees: every pair connected, paths loop-free,
+/// latency additive.
+#[test]
+fn routing_on_random_trees() {
+    for trial in 0..16u64 {
+        let mut rng = SimRng::new(0xF10D3 + trial);
+        let extra = 1 + rng.next_below(7) as usize;
+        // node i+1 attaches to a random earlier node: always a valid tree
         let mut topo = Topology::new();
         let mut nodes = vec![topo.add_node(NodeKind::Host, "n0")];
-        for (i, &p) in parents.iter().enumerate() {
+        for i in 0..extra {
             let n = topo.add_node(NodeKind::Host, format!("n{}", i + 1));
-            let parent = nodes[p % (i + 1)];
+            let parent = nodes[rng.next_below((i + 1) as u64) as usize];
             topo.add_duplex(parent, n, mbps(10.0), 0.01);
             nodes.push(n);
         }
@@ -211,11 +214,11 @@ proptest! {
         for &s in &nodes {
             for &d in &nodes {
                 let path = routing.path(&topo, s, d);
-                prop_assert!(path.is_some(), "{s:?} -> {d:?} unreachable");
+                assert!(path.is_some(), "{s:?} -> {d:?} unreachable");
                 let path = path.unwrap();
-                prop_assert!(path.len() < nodes.len(), "path too long (loop?)");
+                assert!(path.len() < nodes.len(), "path too long (loop?)");
                 let lat = routing.path_latency(&topo, s, d).unwrap();
-                prop_assert!((lat - 0.01 * path.len() as f64).abs() < 1e-12);
+                assert!((lat - 0.01 * path.len() as f64).abs() < 1e-12);
             }
         }
     }

@@ -1,0 +1,24 @@
+//! Observability layer for the `lsds` simulation workspace.
+//!
+//! The paper treats UI/output as a first-class design axis and singles out
+//! MONARC 2's MonALISA-based monitoring as what makes large runs analyzable.
+//! This crate is the reproduction's equivalent: a sim-time-aware metrics
+//! [`Registry`] (counters, gauges, time-weighted series built on
+//! `lsds_stats::TimeWeighted`, and value summaries) plus a [`Recorder`]
+//! hook trait that the engines in `lsds-core` call on every event delivery,
+//! clock advance, and event-list operation.
+//!
+//! The hooks are zero-cost when disabled: engines are generic over
+//! `R: Recorder` with [`NoopRecorder`] as the default, whose empty inline
+//! methods monomorphize away entirely. An instrumented engine with
+//! `NoopRecorder` is therefore bit-for-bit identical in behavior to the
+//! uninstrumented seed engines — `tests/determinism.rs` asserts this.
+//!
+//! Times cross this interface as raw `f64` seconds (not `SimTime`) so that
+//! `lsds-core` can depend on this crate without a cycle.
+
+pub mod recorder;
+pub mod registry;
+
+pub use recorder::{MetricsRecorder, NoopRecorder, QueueOp, Recorder};
+pub use registry::{Registry, Series, SeriesSnapshot, Snapshot, SummarySnapshot};

@@ -15,8 +15,9 @@
 //! sweeps it.
 
 use crate::lp::{tie_key, LogicalProcess, LpCtx, LpId, Outgoing};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use lsds_core::{BinaryHeapQueue, EventQueue, ScheduledEvent, SimTime};
+use lsds_obs::Registry;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Per-LP execution counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,6 +56,19 @@ impl<L> CmbReport<L> {
     pub fn total_remote(&self) -> u64 {
         self.stats.iter().map(|s| s.remote_sent).sum()
     }
+
+    /// Exports the run's synchronization counters into a metrics registry:
+    /// aggregate `cmb.*` counters plus per-LP event counts.
+    pub fn export_metrics(&self, reg: &mut Registry) {
+        reg.inc("cmb.events", self.total_events());
+        reg.inc("cmb.nulls_sent", self.total_nulls());
+        reg.inc("cmb.remote_sent", self.total_remote());
+        reg.inc("cmb.blocks", self.stats.iter().map(|s| s.blocks).sum());
+        reg.set_gauge("cmb.lps", self.lps.len() as f64);
+        for (i, st) in self.stats.iter().enumerate() {
+            reg.inc(&format!("cmb.lp.{i}.events"), st.events);
+        }
+    }
 }
 
 enum Packet<M> {
@@ -73,8 +87,6 @@ struct Tagged<M> {
 
 /// Out-edge table: `(destination, its channel, last promised bound)`.
 type OutEdges<'a, M> = Vec<(LpId, &'a Sender<Tagged<M>>, f64)>;
-/// One channel pair per LP.
-type Channels<M> = Vec<(Sender<Tagged<M>>, Receiver<Tagged<M>>)>;
 
 /// Initial-events hook: called once per LP at time zero, before the run.
 pub trait InitialEvents: LogicalProcess {
@@ -92,7 +104,9 @@ struct Engine<'a, L: LogicalProcess> {
     in_clocks: Vec<(LpId, f64)>,
     /// (dst, sender, last promised lower bound)
     outs: OutEdges<'a, L::Msg>,
-    rx: &'a Receiver<Tagged<L::Msg>>,
+    /// Owned: `mpsc::Receiver` is `!Sync`, so each LP thread takes its
+    /// receiver with it rather than borrowing from a shared table.
+    rx: Receiver<Tagged<L::Msg>>,
     stats: CmbStats,
     staged: Vec<Outgoing<L::Msg>>,
     t_end: SimTime,
@@ -144,11 +158,14 @@ impl<'a, L: LogicalProcess> Engine<'a, L> {
                         .iter_mut()
                         .find(|(d, _, _)| *d == dst)
                         .expect("send to undeclared out-neighbor");
+                    // A disconnected receiver has already terminated (its
+                    // safe time passed t_end), so anything we would send
+                    // it now is beyond the horizon — drop, don't panic.
                     tx.send(Tagged {
                         src: self.me,
                         packet: Packet::Event { at, tie, msg },
                     })
-                    .expect("receiver LP hung up early");
+                    .ok();
                     *last = last.max(at.seconds());
                     self.stats.remote_sent += 1;
                 }
@@ -175,16 +192,17 @@ impl<'a, L: LogicalProcess> Engine<'a, L> {
             .queue
             .peek_time()
             .map_or(f64::INFINITY, |t| t.seconds());
-        let lb = next_local.min(self.safe_time()).min(self.t_end.seconds())
-            + self.lp.lookahead();
+        let lb = next_local.min(self.safe_time()).min(self.t_end.seconds()) + self.lp.lookahead();
         for i in 0..self.outs.len() {
             if lb > self.outs[i].2 {
                 let (_, tx, _) = &self.outs[i];
+                // Terminated receivers no longer need our bound (see
+                // flush_staged): ignore the disconnect.
                 tx.send(Tagged {
                     src: self.me,
                     packet: Packet::Null { ts: lb },
                 })
-                .expect("receiver LP hung up early");
+                .ok();
                 self.outs[i].2 = lb;
                 self.stats.nulls_sent += 1;
             }
@@ -205,10 +223,7 @@ impl<'a, L: LogicalProcess> Engine<'a, L> {
                     break;
                 }
             }
-            let done_locally = self
-                .queue
-                .peek_time()
-                .is_none_or(|t| t > self.t_end);
+            let done_locally = self.queue.peek_time().is_none_or(|t| t > self.t_end);
             if done_locally && safe > self.t_end.seconds() {
                 for (_, tx, _) in &self.outs {
                     tx.send(Tagged {
@@ -262,7 +277,13 @@ where
             "LP {i} must declare positive finite lookahead"
         );
     }
-    let channels: Channels<L::Msg> = (0..n).map(|_| unbounded()).collect();
+    let mut txs: Vec<Sender<Tagged<L::Msg>>> = Vec::with_capacity(n);
+    let mut rxs: Vec<Option<Receiver<Tagged<L::Msg>>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = channel();
+        txs.push(tx);
+        rxs.push(Some(rx));
+    }
 
     let mut results: Vec<Option<(L, CmbStats)>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -276,9 +297,9 @@ where
             let outs: OutEdges<'_, L::Msg> = edges
                 .iter()
                 .filter(|(s, _)| *s == me)
-                .map(|(_, d)| (*d, &channels[*d].0, 0.0))
+                .map(|(_, d)| (*d, &txs[*d], 0.0))
                 .collect();
-            let rx = &channels[me].1;
+            let rx = rxs[me].take().expect("receiver taken twice");
             let handle = scope.spawn(move || {
                 let mut engine = Engine {
                     me,

@@ -56,7 +56,18 @@ impl<'a, M> LpCtx<'a, M> {
     }
 
     /// Schedules a local event after `dt ≥ 0`.
+    ///
+    /// Panics on a negative or non-finite `dt`: a buggy LP scheduling into
+    /// the past would silently violate the conservative engines' clock
+    /// invariant (events delivered in non-decreasing time order), so it is
+    /// rejected here at the staging point rather than detected downstream.
     pub fn schedule_in(&mut self, dt: f64, msg: M) {
+        assert!(
+            dt.is_finite() && dt >= 0.0,
+            "LP {} scheduled a local event with invalid delay {dt} at {}",
+            self.me,
+            self.now
+        );
         let at = self.now.after(dt);
         self.staged.push(Outgoing::Local { at, msg });
     }
@@ -118,6 +129,32 @@ mod tests {
             }
             _ => panic!("expected remote"),
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid delay")]
+    fn schedule_in_negative_dt_panics() {
+        let mut staged = Vec::new();
+        let mut ctx: LpCtx<'_, u32> = LpCtx {
+            now: SimTime::new(10.0),
+            me: 0,
+            lookahead: 1.0,
+            staged: &mut staged,
+        };
+        ctx.schedule_in(-0.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid delay")]
+    fn schedule_in_nan_dt_panics() {
+        let mut staged = Vec::new();
+        let mut ctx: LpCtx<'_, u32> = LpCtx {
+            now: SimTime::new(10.0),
+            me: 0,
+            lookahead: 1.0,
+            staged: &mut staged,
+        };
+        ctx.schedule_in(f64::NAN, 1);
     }
 
     #[test]

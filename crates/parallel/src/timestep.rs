@@ -10,8 +10,9 @@
 //! (measured in experiment E4).
 
 use crate::lp::{tie_key, LpCtx, LpId, Outgoing};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use lsds_core::{BinaryHeapQueue, EventQueue, ScheduledEvent, SimTime};
+use lsds_obs::Registry;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Barrier;
 
 /// Result of a time-stepped parallel run.
@@ -30,6 +31,16 @@ impl<L> TimestepReport<L> {
     pub fn total_events(&self) -> u64 {
         self.events.iter().sum()
     }
+
+    /// Exports the run's synchronization counters into a metrics registry.
+    pub fn export_metrics(&self, reg: &mut Registry) {
+        reg.inc("timestep.events", self.total_events());
+        reg.inc("timestep.windows", self.windows);
+        reg.set_gauge("timestep.lps", self.lps.len() as f64);
+        for (i, ev) in self.events.iter().enumerate() {
+            reg.inc(&format!("timestep.lp.{i}.events"), *ev);
+        }
+    }
 }
 
 struct Mail<M> {
@@ -37,9 +48,6 @@ struct Mail<M> {
     tie: u64,
     msg: M,
 }
-
-/// One channel pair per LP.
-type Channels<M> = Vec<(Sender<Mail<M>>, Receiver<Mail<M>>)>;
 
 /// Runs logical processes to `t_end` in synchronized windows of `delta`.
 ///
@@ -60,16 +68,23 @@ where
     }
     let windows = (t_end.seconds() / delta).ceil() as u64;
     let barrier = Barrier::new(n);
-    let channels: Channels<L::Msg> = (0..n).map(|_| unbounded()).collect();
+    let mut txs: Vec<Sender<Mail<L::Msg>>> = Vec::with_capacity(n);
+    let mut rxs: Vec<Option<Receiver<Mail<L::Msg>>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = channel();
+        txs.push(tx);
+        rxs.push(Some(rx));
+    }
 
     let mut out: Vec<Option<(L, u64)>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
+        let txs = &txs;
         for (me, lp) in lps.into_iter().enumerate() {
             let barrier = &barrier;
-            let senders: Vec<&Sender<Mail<L::Msg>>> =
-                channels.iter().map(|(s, _)| s).collect();
-            let rx = &channels[me].1;
+            let senders: Vec<&Sender<Mail<L::Msg>>> = txs.iter().collect();
+            // mpsc::Receiver is !Sync: the LP thread owns its receiver
+            let rx = rxs[me].take().expect("receiver taken twice");
             handles.push((
                 me,
                 scope.spawn(move || {
@@ -90,13 +105,7 @@ where
                         };
                         lp.initial_events(&mut ctx);
                     }
-                    flush(
-                        me,
-                        &mut staged,
-                        &mut seq,
-                        &mut queue,
-                        &senders,
-                    );
+                    flush(me, &mut staged, &mut seq, &mut queue, &senders);
 
                     // Window w processes events with t ∈ [wδ, (w+1)δ).
                     // delay ≥ δ guarantees a message sent in window w is
@@ -184,9 +193,11 @@ fn flush<M>(
                 queue.insert(ScheduledEvent::new(at, tie, msg));
             }
             Outgoing::Remote { dst, at, msg } => {
-                senders[dst]
-                    .send(Mail { at, tie, msg })
-                    .expect("receiver LP hung up");
+                // A peer that already returned (closing phase, after the
+                // last barrier) only drops mail due past t_end — the
+                // window invariant (delay ≥ δ) makes such mail
+                // unprocessable anyway, so ignore the disconnect.
+                senders[dst].send(Mail { at, tie, msg }).ok();
             }
         }
     }
@@ -222,13 +233,7 @@ mod tests {
     }
 
     fn hoppers(n: usize, delay: f64) -> Vec<Hopper> {
-        (0..n)
-            .map(|_| Hopper {
-                n,
-                seen: 0,
-                delay,
-            })
-            .collect()
+        (0..n).map(|_| Hopper { n, seen: 0, delay }).collect()
     }
 
     #[test]

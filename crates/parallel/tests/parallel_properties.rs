@@ -1,12 +1,18 @@
-//! Property-based tests of the distributed engines: for arbitrary ring
+//! Randomized tests of the distributed engines: for arbitrary ring
 //! workloads, the conservative CMB engine, the time-stepped engine, and an
 //! analytically computed reference all agree — parallel execution never
 //! changes results (the determinism guarantee of `lsds-parallel`).
+//!
+//! Cases are generated with the deterministic [`SimRng`] (seeded per
+//! trial), replacing the property-testing framework the offline build
+//! cannot fetch.
 
 use lsds_core::SimTime;
 use lsds_parallel::cmb::InitialEvents;
 use lsds_parallel::{run_cmb, run_timestep, LogicalProcess, LpCtx};
-use proptest::prelude::*;
+use lsds_stats::SimRng;
+
+const TRIALS: u64 = 24;
 
 /// Token-passing ring node with per-node hop counts.
 struct Ring {
@@ -35,13 +41,7 @@ impl InitialEvents for Ring {
 }
 
 fn ring(n: usize, delay: f64) -> Vec<Ring> {
-    (0..n)
-        .map(|_| Ring {
-            n,
-            delay,
-            seen: 0,
-        })
-        .collect()
+    (0..n).map(|_| Ring { n, delay, seen: 0 }).collect()
 }
 
 fn ring_edges(n: usize) -> Vec<(usize, usize)> {
@@ -58,44 +58,49 @@ fn analytic_counts(n: usize, delay: f64, t_end: f64) -> Vec<u64> {
     counts
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn cmb_matches_analytic_ring(
-        n in 2usize..6,
-        delay in 0.1..5.0f64,
-        periods in 10u32..200,
-    ) {
+#[test]
+fn cmb_matches_analytic_ring() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0xC3B0 + trial);
+        let n = 2 + rng.next_below(4) as usize;
+        let delay = rng.range_f64(0.1, 5.0);
+        let periods = 10 + rng.next_below(190) as u32;
         let t_end = delay * periods as f64 * 0.999; // avoid boundary ties
         let report = run_cmb(ring(n, delay), &ring_edges(n), SimTime::new(t_end));
         let expect = analytic_counts(n, delay, t_end);
         let got: Vec<u64> = report.lps.iter().map(|l| l.seen).collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "n={n} delay={delay} periods={periods}");
     }
+}
 
-    #[test]
-    fn timestep_matches_cmb(
-        n in 2usize..5,
-        delay in 0.2..2.0f64,
-        periods in 10u32..100,
-    ) {
+#[test]
+fn timestep_matches_cmb() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0xC3B1 + trial);
+        let n = 2 + rng.next_below(3) as usize;
+        let delay = rng.range_f64(0.2, 2.0);
+        let periods = 10 + rng.next_below(90) as u32;
         let t_end = delay * periods as f64 * 0.999;
         let a = run_cmb(ring(n, delay), &ring_edges(n), SimTime::new(t_end));
         let b = run_timestep(ring(n, delay), delay, SimTime::new(t_end));
         let ca: Vec<u64> = a.lps.iter().map(|l| l.seen).collect();
         let cb: Vec<u64> = b.lps.iter().map(|l| l.seen).collect();
-        prop_assert_eq!(ca, cb);
+        assert_eq!(ca, cb, "n={n} delay={delay} periods={periods}");
     }
+}
 
-    #[test]
-    fn cmb_repeatable(n in 2usize..5, delay in 0.1..2.0f64) {
+#[test]
+fn cmb_repeatable() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0xC3B2 + trial);
+        let n = 2 + rng.next_below(3) as usize;
+        let delay = rng.range_f64(0.1, 2.0);
         let t_end = SimTime::new(50.0);
         let a = run_cmb(ring(n, delay), &ring_edges(n), t_end);
         let b = run_cmb(ring(n, delay), &ring_edges(n), t_end);
         let ca: Vec<u64> = a.lps.iter().map(|l| l.seen).collect();
         let cb: Vec<u64> = b.lps.iter().map(|l| l.seen).collect();
-        prop_assert_eq!(ca, cb);
-        prop_assert_eq!(a.total_remote(), b.total_remote());
+        assert_eq!(ca, cb);
+        assert_eq!(a.total_remote(), b.total_remote());
     }
 }

@@ -76,11 +76,7 @@ impl JacksonNetwork {
                     next[j] += lambda[i] * self.routing[i][j];
                 }
             }
-            let diff: f64 = lambda
-                .iter()
-                .zip(&next)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let diff: f64 = lambda.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
             lambda = next;
             if diff < 1e-13 {
                 break;

@@ -57,7 +57,7 @@ struct StationModel {
     rng: SimRng,
     busy: u32,
     queue: VecDeque<SimTime>,
-    in_service_since: Vec<SimTime>,
+    in_service_since: VecDeque<SimTime>,
     warmup: f64,
     w: Summary,
     wq: Summary,
@@ -80,7 +80,7 @@ impl StationModel {
         if ctx.now().seconds() >= self.warmup && arrived.seconds() >= self.warmup {
             self.wq.add(ctx.now() - arrived);
         }
-        self.in_service_since.push(arrived);
+        self.in_service_since.push_back(arrived);
         let s = self.spec.service.sample_at_least(&mut self.rng, 1e-12);
         ctx.schedule_in(s, Ev::Departure);
     }
@@ -115,7 +115,10 @@ impl Model for StationModel {
             Ev::Departure => {
                 // FIFO: the longest-serving job leaves (exact identity is
                 // irrelevant for the collected statistics)
-                let arrived = self.in_service_since.remove(0);
+                let arrived = self
+                    .in_service_since
+                    .pop_front()
+                    .expect("departure with no job in service");
                 self.busy -= 1;
                 self.completed += 1;
                 self.l.update(now, self.in_system() as f64);
@@ -143,7 +146,7 @@ pub fn simulate_station(spec: &Station, horizon: f64, seed: u64) -> StationResul
         rng: SimRng::new(seed),
         busy: 0,
         queue: VecDeque::new(),
-        in_service_since: Vec::new(),
+        in_service_since: VecDeque::new(),
         warmup,
         w: Summary::new(),
         wq: Summary::new(),
@@ -189,9 +192,24 @@ mod tests {
         };
         let r = simulate_station(&spec, 200_000.0, 42);
         let q = MM1::new(0.7, 1.0);
-        assert!(rel_err(r.mean_w, q.w()) < 0.05, "W {} vs {}", r.mean_w, q.w());
-        assert!(rel_err(r.mean_wq, q.wq()) < 0.05, "Wq {} vs {}", r.mean_wq, q.wq());
-        assert!(rel_err(r.time_avg_l, q.l()) < 0.05, "L {} vs {}", r.time_avg_l, q.l());
+        assert!(
+            rel_err(r.mean_w, q.w()) < 0.05,
+            "W {} vs {}",
+            r.mean_w,
+            q.w()
+        );
+        assert!(
+            rel_err(r.mean_wq, q.wq()) < 0.05,
+            "Wq {} vs {}",
+            r.mean_wq,
+            q.wq()
+        );
+        assert!(
+            rel_err(r.time_avg_l, q.l()) < 0.05,
+            "L {} vs {}",
+            r.time_avg_l,
+            q.l()
+        );
         assert!(rel_err(r.utilization, q.rho()) < 0.02);
         assert_eq!(r.blocked, 0);
     }
@@ -206,7 +224,12 @@ mod tests {
         };
         let r = simulate_station(&spec, 200_000.0, 7);
         let q = MMC::new(2.0, 1.0, 3);
-        assert!(rel_err(r.mean_w, q.w()) < 0.05, "W {} vs {}", r.mean_w, q.w());
+        assert!(
+            rel_err(r.mean_w, q.w()) < 0.05,
+            "W {} vs {}",
+            r.mean_w,
+            q.w()
+        );
         assert!(rel_err(r.time_avg_l, q.l()) < 0.05);
         assert!(rel_err(r.utilization, q.rho()) < 0.02);
     }
@@ -221,7 +244,12 @@ mod tests {
         };
         let r = simulate_station(&spec, 200_000.0, 9);
         let q = MD1::new(0.7, 1.0);
-        assert!(rel_err(r.mean_wq, q.wq()) < 0.05, "Wq {} vs {}", r.mean_wq, q.wq());
+        assert!(
+            rel_err(r.mean_wq, q.wq()) < 0.05,
+            "Wq {} vs {}",
+            r.mean_wq,
+            q.wq()
+        );
     }
 
     #[test]

@@ -12,12 +12,12 @@
 //! adding `initial_files`.
 
 use crate::taxonomy::*;
+use lsds_core::SimTime;
 use lsds_grid::cpu::{Discipline, Sharing};
 use lsds_grid::model::{GridConfig, GridModel, GridReport};
 use lsds_grid::organization::{central_grid, SiteSpec};
 use lsds_grid::scheduler::FixedSite;
 use lsds_grid::{Activity, SiteId};
-use lsds_core::SimTime;
 use lsds_stats::{Dist, SimRng};
 
 /// Bricks scenario parameters.

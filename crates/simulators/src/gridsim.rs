@@ -186,12 +186,8 @@ mod tests {
         }
         .run(1.0e6);
         // everything fits on the cheapest site when deadlines are loose
-        let cheap_share = rep
-            .records
-            .iter()
-            .filter(|r| r.site.0 == 0)
-            .count() as f64
-            / rep.records.len() as f64;
+        let cheap_share =
+            rep.records.iter().filter(|r| r.site.0 == 0).count() as f64 / rep.records.len() as f64;
         assert!(cheap_share > 0.9, "cheap share {cheap_share}");
     }
 

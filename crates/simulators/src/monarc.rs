@@ -191,7 +191,11 @@ impl Monarc {
                 size: Dist::constant(self.dataset_gb * 1.0e9),
                 limit: Some(self.datasets),
             }),
-            agent: if self.agent { Some(self.n_t1 * 2) } else { None },
+            agent: if self.agent {
+                Some(self.n_t1 * 2)
+            } else {
+                None
+            },
             eligible: None,
             initial_files,
             seed: self.seed,
@@ -224,11 +228,7 @@ impl Monarc {
             lag.add(finished - at);
             last_shipment = last_shipment.max(finished);
         }
-        let last_production = m
-            .produced_log()
-            .last()
-            .map(|&(_, t)| t)
-            .unwrap_or(0.0);
+        let last_production = m.produced_log().last().map(|&(_, t)| t).unwrap_or(0.0);
         let report = m.report();
         let expected_shipments = self.datasets * self.n_t1 as u64;
         // Sustainable iff every shipment completed within the production
@@ -239,8 +239,7 @@ impl Monarc {
             && report.agent_shipped == expected_shipments
             && last_shipment <= last_production + drain_allowance
             && lag.max() <= 4.0 * self.production_interval;
-        let offered_gbps = (self.dataset_gb * 8.0 / self.production_interval)
-            * self.n_t1 as f64;
+        let offered_gbps = (self.dataset_gb * 8.0 / self.production_interval) * self.n_t1 as f64;
         MonarcReport {
             produced: report.produced,
             shipped: report.agent_shipped,

@@ -22,6 +22,7 @@
 
 use crate::taxonomy::*;
 use lsds_core::{Ctx, EventDriven, Model, SimTime};
+use std::collections::VecDeque;
 
 /// Scheduling mode (§4's compile-time vs running algorithms).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,11 +116,15 @@ impl SimGrid {
     fn run_static(&self) -> SimGridReport {
         let (assignment, _) = self.static_schedule();
         // queues per host in task order
-        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.host_speeds.len()];
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); self.host_speeds.len()];
         for (t, &h) in assignment.iter().enumerate() {
-            queues[h].push(t);
+            queues[h].push_back(t);
         }
-        let report = run_model(self.host_speeds.clone(), self.task_works.clone(), Dispatch::Static(queues));
+        let report = run_model(
+            self.host_speeds.clone(),
+            self.task_works.clone(),
+            Dispatch::Static(queues),
+        );
         SimGridReport {
             assignment,
             ..report
@@ -137,7 +142,7 @@ impl SimGrid {
 
 enum Dispatch {
     /// Pre-assigned per-host task queues.
-    Static(Vec<Vec<usize>>),
+    Static(Vec<VecDeque<usize>>),
     /// Global FIFO bag; hosts pull on completion.
     WorkQueue,
 }
@@ -167,13 +172,7 @@ impl BagModel {
 
     fn next_for(&mut self, host: usize) -> Option<usize> {
         match &mut self.dispatch {
-            Dispatch::Static(queues) => {
-                if queues[host].is_empty() {
-                    None
-                } else {
-                    Some(queues[host].remove(0))
-                }
-            }
+            Dispatch::Static(queues) => queues[host].pop_front(),
             Dispatch::WorkQueue => {
                 if self.next_global < self.works.len() {
                     let t = self.next_global;
@@ -317,7 +316,10 @@ mod tests {
         let sg = scenario(SchedulingMode::CompileTime);
         let report = sg.run();
         let counts = |h: usize| report.assignment.iter().filter(|&&a| a == h).count();
-        assert!(counts(2) >= counts(0), "speed-4 host takes at least as many as speed-1");
+        assert!(
+            counts(2) >= counts(0),
+            "speed-4 host takes at least as many as speed-1"
+        );
     }
 
     #[test]

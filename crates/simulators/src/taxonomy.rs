@@ -7,10 +7,8 @@
 //! (engine mechanics, DES advance, execution, model specification, input
 //! data, user interface, output analysis, validation).
 
-use serde::{Deserialize, Serialize};
-
 /// The uppermost purpose a simulator was built for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scope {
     /// Resource/job scheduling studies.
     Scheduling,
@@ -40,7 +38,7 @@ impl Scope {
 /// Which of the four distributed-system layers the model covers (§3:
 /// "there are four types of components: hosts, network, middleware and
 /// user applications").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Components {
     /// Computing/storage hosts.
     pub hosts: bool,
@@ -73,7 +71,7 @@ impl Components {
 }
 
 /// Deterministic vs probabilistic behavior.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Behavior {
     /// "A deterministic simulation has no random events occurring."
     Deterministic,
@@ -95,7 +93,7 @@ impl Behavior {
 }
 
 /// Engine mechanics: continuous, discrete-event, or hybrid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mechanics {
     /// State changes continuously (emulator-class).
     Continuous,
@@ -117,7 +115,7 @@ impl Mechanics {
 }
 
 /// How a DES advances (§3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DesAdvance {
     /// Replays externally collected events.
     TraceDriven,
@@ -140,7 +138,7 @@ impl DesAdvance {
 
 /// Execution: centralized vs distributed (the paper's replacement for
 /// Sulistio's serial/parallel split).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Execution {
     /// One execution unit.
     Centralized,
@@ -159,7 +157,7 @@ impl Execution {
 }
 
 /// How models are specified.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelSpec {
     /// A dedicated simulation language.
     Language,
@@ -181,7 +179,7 @@ impl ModelSpec {
 }
 
 /// Accepted input data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InputData {
     /// Synthetic generators only.
     Generators,
@@ -203,7 +201,7 @@ impl InputData {
 }
 
 /// Validation evidence offered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Validation {
     /// No published validation.
     None,
@@ -225,7 +223,7 @@ impl Validation {
 }
 
 /// Resource organization (§3/§4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ResourceModel {
     /// Bricks: all jobs processed at a single site.
     Central,
@@ -247,7 +245,7 @@ impl ResourceModel {
 }
 
 /// A complete classification under the taxonomy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Classification {
     /// Simulator name.
     pub name: &'static str,
@@ -318,8 +316,7 @@ mod tests {
             Scope::SchedulingAndData,
             Scope::GenericLsds,
         ];
-        let labels: std::collections::HashSet<_> =
-            scopes.iter().map(|s| s.label()).collect();
+        let labels: std::collections::HashSet<_> = scopes.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), scopes.len());
     }
 }

@@ -11,10 +11,9 @@
 //! can validate the samplers against analytical queueing results (E11).
 
 use crate::rng::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// A real-valued probability distribution, samplable from a [`SimRng`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Dist {
     /// Point mass at `value` — no randomness (taxonomy: deterministic).
     Deterministic { value: f64 },
@@ -74,9 +73,7 @@ impl Dist {
             Dist::Normal { mu, sigma } => mu + sigma * sample_standard_normal(rng),
             Dist::LogNormal { mu, sigma } => (mu + sigma * sample_standard_normal(rng)).exp(),
             Dist::Pareto { xm, alpha } => xm / rng.next_open_f64().powf(1.0 / alpha),
-            Dist::Weibull { lambda, k } => {
-                lambda * (-rng.next_open_f64().ln()).powf(1.0 / k)
-            }
+            Dist::Weibull { lambda, k } => lambda * (-rng.next_open_f64().ln()).powf(1.0 / k),
             Dist::Poisson { lambda } => sample_poisson(rng, lambda) as f64,
             Dist::Geometric { p } => {
                 // inversion: ceil(ln U / ln (1-p)), support {1,2,...}
@@ -513,5 +510,4 @@ mod tests {
             assert!((z.pmf(i) - 0.1).abs() < 1e-12);
         }
     }
-
 }

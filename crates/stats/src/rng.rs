@@ -5,9 +5,7 @@
 //! so that simulation results are reproducible across toolchain and
 //! dependency upgrades — a requirement for the taxonomy's
 //! deterministic-replay property and for regression-testing experiments.
-//!
-//! The generator also implements [`rand::RngCore`], so `rand` adapters and
-//! `proptest` interop keep working where convenient.
+//! It has no external dependencies, so the workspace builds fully offline.
 
 /// A deterministic pseudo-random number generator (xoshiro256++).
 ///
@@ -69,10 +67,7 @@ impl SimRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -157,30 +152,6 @@ impl SimRng {
     pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
         assert!(!xs.is_empty(), "choose from empty slice");
         &xs[self.index(xs.len())]
-    }
-}
-
-impl rand::RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
-    }
-    fn next_u64(&mut self) -> u64 {
-        SimRng::next_u64(self)
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        let mut chunks = dest.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            chunk.copy_from_slice(&SimRng::next_u64(self).to_le_bytes());
-        }
-        let rem = chunks.into_remainder();
-        if !rem.is_empty() {
-            let w = SimRng::next_u64(self).to_le_bytes();
-            rem.copy_from_slice(&w[..rem.len()]);
-        }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
@@ -285,17 +256,5 @@ mod tests {
         let mut r = SimRng::new(29);
         assert!((0..100).all(|_| !r.chance(0.0)));
         assert!((0..100).all(|_| r.chance(1.0)));
-    }
-
-    #[test]
-    fn rngcore_fill_bytes_deterministic() {
-        use rand::RngCore;
-        let mut a = SimRng::new(31);
-        let mut b = SimRng::new(31);
-        let mut ba = [0u8; 13];
-        let mut bb = [0u8; 13];
-        a.fill_bytes(&mut ba);
-        b.fill_bytes(&mut bb);
-        assert_eq!(ba, bb);
     }
 }

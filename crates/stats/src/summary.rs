@@ -6,7 +6,7 @@
 /// simulation observations can be summarized without storing them — the
 /// output side of the taxonomy's "huge amounts of statistics and events
 /// captured" problem.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Summary {
     n: u64,
     mean: f64,
@@ -14,6 +14,15 @@ pub struct Summary {
     min: f64,
     max: f64,
     sum: f64,
+}
+
+/// Same as [`Summary::new`]. A derived `Default` would zero the min/max
+/// sentinels and silently report `min() == 0.0` for any all-positive
+/// stream.
+impl Default for Summary {
+    fn default() -> Self {
+        Summary::new()
+    }
 }
 
 impl Summary {
@@ -280,5 +289,19 @@ mod tests {
             assert!(t_quantile(0.90, df) < t_quantile(0.95, df));
             assert!(t_quantile(0.95, df) < t_quantile(0.99, df));
         }
+    }
+
+    /// Regression: a derived `Default` zeroed the min/max sentinels, so a
+    /// default-constructed summary fed only positive observations reported
+    /// `min() == 0.0`.
+    #[test]
+    fn default_keeps_min_max_sentinels() {
+        let mut s = Summary::default();
+        assert_eq!(s.min(), f64::INFINITY);
+        assert_eq!(s.max(), f64::NEG_INFINITY);
+        s.add(0.5);
+        s.add(2.0);
+        assert_eq!(s.min(), 0.5);
+        assert_eq!(s.max(), 2.0);
     }
 }

@@ -1,14 +1,18 @@
-//! Property-based tests of the statistics substrate.
+//! Randomized tests of the statistics substrate, generated with the
+//! deterministic [`SimRng`] (the offline build has no property-testing
+//! framework; the properties and case counts match the original suite).
 
 use lsds_stats::{mser5_truncation, Dist, Histogram, SimRng, Summary, ZipfTable};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const TRIALS: u64 = 64;
 
-    /// Welford summary matches naive two-pass computation.
-    #[test]
-    fn summary_matches_naive(xs in proptest::collection::vec(-1.0e6..1.0e6f64, 2..500)) {
+/// Welford summary matches naive two-pass computation.
+#[test]
+fn summary_matches_naive() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x57A70 + trial);
+        let n = 2 + rng.next_below(498) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0e6, 1.0e6)).collect();
         let mut s = Summary::new();
         for &x in &xs {
             s.add(x);
@@ -17,17 +21,20 @@ proptest! {
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
         let scale = var.abs().max(1.0);
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
-        prop_assert!((s.variance() - var).abs() < 1e-6 * scale);
-        prop_assert_eq!(s.count(), xs.len() as u64);
+        assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        assert!((s.variance() - var).abs() < 1e-6 * scale);
+        assert_eq!(s.count(), xs.len() as u64);
     }
+}
 
-    /// Merging any split equals processing the whole stream.
-    #[test]
-    fn summary_merge_any_split(
-        xs in proptest::collection::vec(-1.0e3..1.0e3f64, 2..300),
-        split in 0usize..300,
-    ) {
+/// Merging any split equals processing the whole stream.
+#[test]
+fn summary_merge_any_split() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x57A71 + trial);
+        let n = 2 + rng.next_below(298) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0e3, 1.0e3)).collect();
+        let split = rng.next_below(300) as usize;
         let split = split.min(xs.len());
         let mut whole = Summary::new();
         for &x in &xs {
@@ -42,88 +49,123 @@ proptest! {
             b.add(x);
         }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * whole.mean().abs().max(1.0));
-        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6 * whole.variance().max(1.0));
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9 * whole.mean().abs().max(1.0));
+        assert!((a.variance() - whole.variance()).abs() < 1e-6 * whole.variance().max(1.0));
     }
+}
 
-    /// Exponential samples are positive and deterministic per seed.
-    #[test]
-    fn exponential_positive_and_deterministic(rate in 0.01..100.0f64, seed in 0u64..1000) {
+/// Exponential samples are positive and deterministic per seed.
+#[test]
+fn exponential_positive_and_deterministic() {
+    for trial in 0..TRIALS {
+        let mut meta = SimRng::new(0x57A72 + trial);
+        let rate = meta.range_f64(0.01, 100.0);
+        let seed = meta.next_below(1000);
         let d = Dist::Exponential { rate };
         let mut r1 = SimRng::new(seed);
         let mut r2 = SimRng::new(seed);
         for _ in 0..100 {
             let a = d.sample(&mut r1);
             let b = d.sample(&mut r2);
-            prop_assert!(a > 0.0);
-            prop_assert_eq!(a, b);
+            assert!(a > 0.0);
+            assert_eq!(a, b);
         }
     }
+}
 
-    /// Uniform samples stay in range for arbitrary bounds.
-    #[test]
-    fn uniform_in_range(lo in -1.0e6..1.0e6f64, width in 0.001..1.0e6f64, seed in 0u64..100) {
+/// Uniform samples stay in range for arbitrary bounds.
+#[test]
+fn uniform_in_range() {
+    for trial in 0..TRIALS {
+        let mut meta = SimRng::new(0x57A73 + trial);
+        let lo = meta.range_f64(-1.0e6, 1.0e6);
+        let width = meta.range_f64(0.001, 1.0e6);
+        let seed = meta.next_below(100);
         let d = Dist::Uniform { lo, hi: lo + width };
         let mut rng = SimRng::new(seed);
         for _ in 0..200 {
             let x = d.sample(&mut rng);
-            prop_assert!(x >= lo && x < lo + width);
+            assert!(x >= lo && x < lo + width);
         }
     }
+}
 
-    /// Histogram mass accounting: bins + underflow + overflow = count.
-    #[test]
-    fn histogram_mass_conserved(
-        xs in proptest::collection::vec(-10.0..10.0f64, 1..500),
-        bins in 1usize..50,
-    ) {
+/// Histogram mass accounting: bins + underflow + overflow = count.
+#[test]
+fn histogram_mass_conserved() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x57A74 + trial);
+        let n = 1 + rng.next_below(499) as usize;
+        let bins = 1 + rng.next_below(49) as usize;
         let mut h = Histogram::new(-5.0, 5.0, bins);
-        for &x in &xs {
-            h.add(x);
+        for _ in 0..n {
+            h.add(rng.range_f64(-10.0, 10.0));
         }
         let binned: u64 = h.bins().iter().sum();
-        prop_assert_eq!(binned + h.underflow() + h.overflow(), h.count());
-        prop_assert_eq!(h.count(), xs.len() as u64);
+        assert_eq!(binned + h.underflow() + h.overflow(), h.count());
+        assert_eq!(h.count(), n as u64);
     }
+}
 
-    /// Zipf pmf is a probability distribution for any (n, s).
-    #[test]
-    fn zipf_pmf_valid(n in 1usize..500, s in 0.0..3.0f64) {
+/// Zipf pmf is a probability distribution for any (n, s).
+#[test]
+fn zipf_pmf_valid() {
+    for trial in 0..TRIALS {
+        let mut meta = SimRng::new(0x57A75 + trial);
+        let n = 1 + meta.next_below(499) as usize;
+        let s = meta.range_f64(0.0, 3.0);
         let z = ZipfTable::new(n, s);
         let total: f64 = (0..n).map(|i| z.pmf(i)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
         let mut rng = SimRng::new(7);
         for _ in 0..100 {
-            prop_assert!(z.sample(&mut rng) < n);
+            assert!(z.sample(&mut rng) < n);
         }
     }
+}
 
-    /// MSER-5 truncation is bounded: multiple of 5, at most half the data.
-    #[test]
-    fn mser5_bounds(xs in proptest::collection::vec(-100.0..100.0f64, 0..400)) {
+/// MSER-5 truncation is bounded: multiple of 5, at most half the data.
+#[test]
+fn mser5_bounds() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x57A76 + trial);
+        let n = rng.next_below(400) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.range_f64(-100.0, 100.0)).collect();
         let cut = mser5_truncation(&xs);
-        prop_assert_eq!(cut % 5, 0);
+        assert_eq!(cut % 5, 0);
         let batches = xs.len() / 5;
-        prop_assert!(cut <= (batches / 2) * 5);
-        prop_assert!(cut <= xs.len());
+        assert!(cut <= (batches / 2) * 5);
+        assert!(cut <= xs.len());
     }
+}
 
-    /// Fork streams never collide with the parent stream.
-    #[test]
-    fn fork_differs_from_parent(seed in 0u64..10_000, label in 0u64..10_000) {
+/// Fork streams never collide with the parent stream.
+#[test]
+fn fork_differs_from_parent() {
+    for trial in 0..TRIALS {
+        let mut meta = SimRng::new(0x57A77 + trial);
+        let seed = meta.next_below(10_000);
+        let label = meta.next_below(10_000);
         let mut parent = SimRng::new(seed);
         let mut fork = parent.fork(label);
-        let same = (0..32).filter(|_| parent.next_u64() == fork.next_u64()).count();
-        prop_assert!(same < 4);
+        let same = (0..32)
+            .filter(|_| parent.next_u64() == fork.next_u64())
+            .count();
+        assert!(same < 4);
     }
+}
 
-    /// next_below is always within bounds.
-    #[test]
-    fn next_below_in_bounds(n in 1u64..1_000_000, seed in 0u64..100) {
+/// next_below is always within bounds.
+#[test]
+fn next_below_in_bounds() {
+    for trial in 0..TRIALS {
+        let mut meta = SimRng::new(0x57A78 + trial);
+        let n = 1 + meta.next_below(999_999);
+        let seed = meta.next_below(100);
         let mut rng = SimRng::new(seed);
         for _ in 0..100 {
-            prop_assert!(rng.next_below(n) < n);
+            assert!(rng.next_below(n) < n);
         }
     }
 }

@@ -1,0 +1,145 @@
+//! JSON export of observability snapshots.
+//!
+//! Renders an [`lsds_obs::Snapshot`] as a single JSON document — the
+//! MonALISA-style "repository" view of a run: every counter, gauge,
+//! time-weighted series (with its retained step points), and value
+//! summary, keyed by metric name.
+
+use crate::json::Json;
+use lsds_obs::Snapshot;
+use std::io::{self, Write};
+
+/// Converts a metrics snapshot into a JSON value.
+///
+/// Layout:
+///
+/// ```json
+/// {
+///   "at": 3600.0,
+///   "counters": {"engine.events": 120},
+///   "gauges": {"engine.clock": 3600.0},
+///   "series": {
+///     "net.link.T0-T1.utilization": {
+///       "value": 0.4, "max": 1.0, "average": 0.62,
+///       "points": [[0.0, 0.0], [12.5, 1.0]]
+///     }
+///   },
+///   "summaries": {
+///     "net.transfer_latency": {"count": 40, "mean": 2.1, "min": 0.4, "max": 9.0}
+///   }
+/// }
+/// ```
+pub fn snapshot_to_json(snap: &Snapshot) -> Json {
+    let counters = snap
+        .counters
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+        .collect();
+    let gauges = snap
+        .gauges
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+        .collect();
+    let series = snap
+        .series
+        .iter()
+        .map(|s| {
+            let points = s
+                .points
+                .iter()
+                .map(|(t, v)| Json::Arr(vec![Json::Num(*t), Json::Num(*v)]))
+                .collect();
+            (
+                s.name.clone(),
+                Json::Obj(vec![
+                    ("value".to_string(), Json::Num(s.value)),
+                    ("max".to_string(), Json::Num(s.max)),
+                    ("average".to_string(), Json::Num(s.average)),
+                    ("points".to_string(), Json::Arr(points)),
+                ]),
+            )
+        })
+        .collect();
+    let summaries = snap
+        .summaries
+        .iter()
+        .map(|s| {
+            (
+                s.name.clone(),
+                Json::Obj(vec![
+                    ("count".to_string(), Json::Num(s.count as f64)),
+                    ("mean".to_string(), Json::Num(s.mean)),
+                    ("min".to_string(), Json::Num(s.min)),
+                    ("max".to_string(), Json::Num(s.max)),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("at".to_string(), Json::Num(snap.at)),
+        ("counters".to_string(), Json::Obj(counters)),
+        ("gauges".to_string(), Json::Obj(gauges)),
+        ("series".to_string(), Json::Obj(series)),
+        ("summaries".to_string(), Json::Obj(summaries)),
+    ])
+}
+
+/// Pretty-printed snapshot JSON (ends with a newline).
+pub fn snapshot_to_json_string(snap: &Snapshot) -> String {
+    snapshot_to_json(snap).render_pretty()
+}
+
+/// Writes the pretty-printed snapshot JSON to `w`.
+pub fn write_snapshot(snap: &Snapshot, mut w: impl Write) -> io::Result<()> {
+    w.write_all(snapshot_to_json_string(snap).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsds_obs::Registry;
+
+    fn sample() -> Snapshot {
+        let mut reg = Registry::new();
+        reg.inc("engine.events", 12);
+        reg.set_gauge("engine.clock", 5.0);
+        reg.series_update("site.cpu", 0.0, 0.0);
+        reg.series_update("site.cpu", 2.0, 4.0);
+        reg.observe("latency", 1.0);
+        reg.observe("latency", 3.0);
+        reg.snapshot(10.0)
+    }
+
+    #[test]
+    fn export_covers_all_families() {
+        let json = snapshot_to_json(&sample());
+        assert_eq!(
+            json.get("counters")
+                .and_then(|c| c.get("engine.events"))
+                .and_then(Json::as_f64),
+            Some(12.0)
+        );
+        assert_eq!(
+            json.get("gauges")
+                .and_then(|g| g.get("engine.clock"))
+                .and_then(Json::as_f64),
+            Some(5.0)
+        );
+        let series = json.get("series").and_then(|s| s.get("site.cpu")).unwrap();
+        assert_eq!(series.get("value").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(series.get("max").and_then(Json::as_f64), Some(4.0));
+        let sum = json
+            .get("summaries")
+            .and_then(|s| s.get("latency"))
+            .unwrap();
+        assert_eq!(sum.get("count").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(sum.get("mean").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn export_parses_back() {
+        let text = snapshot_to_json_string(&sample());
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("at").and_then(Json::as_f64), Some(10.0));
+    }
+}

@@ -1,17 +1,45 @@
 //! JSON-lines persistence for traces.
 //!
 //! One record per line keeps files streamable and appendable, matching
-//! how monitoring systems actually emit data.
+//! how monitoring systems actually emit data. Serialization goes through
+//! the in-tree [`crate::json`] module so the workspace builds offline.
 
+use crate::json::Json;
 use crate::record::{MonitorRecord, Trace};
 use std::io::{self, BufRead, Write};
+
+fn record_to_json(rec: &MonitorRecord) -> Json {
+    Json::Obj(vec![
+        ("time".to_string(), Json::Num(rec.time)),
+        ("node".to_string(), Json::Str(rec.node.clone())),
+        ("metric".to_string(), Json::Str(rec.metric.clone())),
+        ("value".to_string(), Json::Num(rec.value)),
+    ])
+}
+
+fn record_from_json(v: &Json) -> Result<MonitorRecord, String> {
+    let num = |key: &str| {
+        v.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+    };
+    let text = |key: &str| {
+        v.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing or non-string field '{key}'"))
+    };
+    Ok(MonitorRecord::new(
+        num("time")?,
+        text("node")?,
+        text("metric")?,
+        num("value")?,
+    ))
+}
 
 /// Writes a trace as JSON lines.
 pub fn write_trace(trace: &Trace, mut w: impl Write) -> io::Result<()> {
     for rec in trace.records() {
-        let line = serde_json::to_string(rec)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        writeln!(w, "{line}")?;
+        writeln!(w, "{}", record_to_json(rec).render())?;
     }
     Ok(())
 }
@@ -25,8 +53,10 @@ pub fn read_trace(r: impl BufRead) -> io::Result<Trace> {
         if line.trim().is_empty() {
             continue;
         }
-        let rec: MonitorRecord = serde_json::from_str(&line)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let parsed = Json::parse(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let rec =
+            record_from_json(&parsed).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         records.push(rec);
     }
     Ok(Trace::from_records(records))
@@ -77,6 +107,12 @@ mod tests {
     #[test]
     fn corrupt_line_is_an_error() {
         let lines = "not json\n";
+        assert!(read_trace(lines.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn wrong_field_type_is_an_error() {
+        let lines = r#"{"time":"late","node":"a","metric":"m","value":1.0}"#;
         assert!(read_trace(lines.as_bytes()).is_err());
     }
 }

@@ -10,20 +10,26 @@
 //! * [`record`] — a MonALISA-style monitoring record and trace container;
 //! * [`generator`] — synthetic workload generators that *emit* traces, so
 //!   a generated workload can be saved and replayed as monitored data;
+//! * [`json`] — a minimal in-tree JSON reader/writer (offline build);
 //! * [`io`] — JSON-lines persistence (read/write);
+//! * [`export`] — JSON export of [`lsds_obs`] metrics snapshots;
 //! * [`series`] — plot series, CSV emission, and aligned text tables for
 //!   the experiment binaries (the "textual output" end of the UI axis);
 //! * [`plot`] — terminal bar charts and scatter canvases (the "visual
 //!   output analyzer" end).
 
+pub mod export;
 pub mod generator;
-pub mod plot;
 pub mod io;
+pub mod json;
+pub mod plot;
 pub mod record;
 pub mod series;
 
+pub use export::{snapshot_to_json, snapshot_to_json_string, write_snapshot};
 pub use generator::WorkloadGenerator;
-pub use plot::{BarChart, ScatterPlot};
 pub use io::{read_trace, write_trace};
+pub use json::Json;
+pub use plot::{BarChart, ScatterPlot};
 pub use record::{MonitorRecord, Trace};
 pub use series::{Series, TextTable};

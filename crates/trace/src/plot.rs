@@ -75,7 +75,11 @@ impl BarChart {
                 "{label}{}  {}{} {value:.6}",
                 " ".repeat(pad),
                 "█".repeat(cells),
-                if cells == 0 && *value > 0.0 { "▏" } else { "" },
+                if cells == 0 && *value > 0.0 {
+                    "▏"
+                } else {
+                    ""
+                },
             );
         }
         out
@@ -157,12 +161,7 @@ impl ScatterPlot {
             };
             let _ = writeln!(out, "{margin}{}", row.iter().collect::<String>());
         }
-        let _ = writeln!(
-            out,
-            "{:>11}└{}",
-            "",
-            "─".repeat(self.width)
-        );
+        let _ = writeln!(out, "{:>11}└{}", "", "─".repeat(self.width));
         let _ = writeln!(
             out,
             "{:>12}{:<.4}{}{:.4}",

@@ -1,14 +1,13 @@
 //! MonALISA-style monitoring records.
 
 use lsds_core::{SimTime, TraceSource};
-use serde::{Deserialize, Serialize};
 
 /// One monitored observation: at `time`, `node` reported `metric = value`.
 ///
 /// This mirrors the flat (timestamp, farm/node, parameter, value) tuples
 /// the MonALISA monitoring system produces — the format the paper names as
 /// MONARC 2's monitored-data input (§3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonitorRecord {
     /// Observation timestamp (simulated seconds).
     pub time: f64,
@@ -34,7 +33,7 @@ impl MonitorRecord {
 }
 
 /// An in-memory trace: a time-ordered sequence of records.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     records: Vec<MonitorRecord>,
 }
@@ -85,9 +84,7 @@ impl Trace {
 
     /// Converts into a [`TraceSource`] for the trace-driven engine.
     pub fn into_source(self) -> impl TraceSource<Record = MonitorRecord> {
-        self.records
-            .into_iter()
-            .map(|r| (SimTime::new(r.time), r))
+        self.records.into_iter().map(|r| (SimTime::new(r.time), r))
     }
 }
 

@@ -23,12 +23,12 @@ fn main() {
     //    arrivals, exponential CPU demand, Zipf-popular inputs).
     let master = SimRng::new(2026);
     let activities = vec![Activity::analysis(
-        0,     // owner
-        30.0,  // mean inter-arrival (s)
+        0,    // owner
+        30.0, // mean inter-arrival (s)
         Dist::exp_mean(120.0),
-        2,     // files per job
-        10,    // catalog size
-        0.9,   // Zipf exponent
+        2,   // files per job
+        10,  // catalog size
+        0.9, // Zipf exponent
         master.fork(1),
     )
     .with_limit(100)];

@@ -24,8 +24,8 @@ fn main() {
         hosts.iter().cloned().fold(0.0, f64::max),
     );
 
-    let lb = SimGrid::new(hosts.clone(), tasks.clone(), SchedulingMode::Runtime)
-        .analytic_lower_bound();
+    let lb =
+        SimGrid::new(hosts.clone(), tasks.clone(), SchedulingMode::Runtime).analytic_lower_bound();
 
     let mut table =
         TextTable::with_columns(&["mode", "makespan (s)", "vs lower bound", "validation"]);

@@ -8,6 +8,7 @@
 pub use lsds_core as core;
 pub use lsds_grid as grid;
 pub use lsds_net as net;
+pub use lsds_obs as obs;
 pub use lsds_parallel as parallel;
 pub use lsds_queueing as queueing;
 pub use lsds_simulators as simulators;

@@ -67,7 +67,8 @@ fn grid_site_behaves_like_mmc() {
     let rel = (w.mean() - analytic).abs() / analytic;
     assert!(
         rel < 0.05,
-        "grid site W = {w} vs M/M/c W = {analytic} (rel err {rel})", w = w.mean()
+        "grid site W = {w} vs M/M/c W = {analytic} (rel err {rel})",
+        w = w.mean()
     );
 }
 
@@ -123,6 +124,7 @@ fn time_shared_site_behaves_like_processor_sharing() {
     let rel = (w.mean() - analytic).abs() / analytic;
     assert!(
         rel < 0.05,
-        "PS site W = {w} vs analytic {analytic} (rel err {rel})", w = w.mean()
+        "PS site W = {w} vs analytic {analytic} (rel err {rel})",
+        w = w.mean()
     );
 }

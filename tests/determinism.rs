@@ -20,13 +20,7 @@ fn optorsim_fingerprint(seed: u64) -> Vec<(u64, u64, u64)> {
     .run(1.0e6);
     rep.records
         .iter()
-        .map(|r| {
-            (
-                r.id.0,
-                r.site.0 as u64,
-                r.finished.seconds().to_bits(),
-            )
-        })
+        .map(|r| (r.id.0, r.site.0 as u64, r.finished.seconds().to_bits()))
         .collect()
 }
 
@@ -106,5 +100,78 @@ fn deterministic_components_yield_deterministic_simulation() {
             .map(|r| (r.id.0, r.finished.seconds().to_bits()))
             .collect::<Vec<_>>()
     };
-    assert_eq!(run(1), run(999), "no stochastic components → seed-independent");
+    assert_eq!(
+        run(1),
+        run(999),
+        "no stochastic components → seed-independent"
+    );
+}
+
+#[test]
+fn monitored_run_is_bit_identical_to_unmonitored() {
+    // the observability layer must be pure read-only instrumentation:
+    // an engine-level MetricsRecorder plus grid/net monitoring may not
+    // perturb a single job record bit
+    use lsds::core::{EventDriven, SimTime};
+    use lsds::grid::model::{GridConfig, GridEvent, GridModel};
+    use lsds::grid::organization::{flat_grid, SiteSpec};
+    use lsds::grid::scheduler::LeastLoaded;
+    use lsds::grid::{Activity, SiteId};
+    use lsds::obs::MetricsRecorder;
+    use lsds::stats::{Dist, SimRng};
+
+    let cfg = |seed: u64| GridConfig {
+        grid: flat_grid(vec![SiteSpec::default(); 4], lsds::net::mbps(622.0), 0.005),
+        policy: Box::new(LeastLoaded),
+        replication: ReplicationPolicy::PullLru,
+        activities: vec![Activity::analysis(
+            0,
+            5.0,
+            Dist::exp_mean(20.0),
+            2,
+            8,
+            0.8,
+            SimRng::new(seed),
+        )
+        .with_limit(40)],
+        production: None,
+        agent: None,
+        eligible: None,
+        initial_files: (0..8).map(|_| (0.5e9, SiteId(0))).collect(),
+        seed,
+    };
+    let fingerprint = |monitored: bool| {
+        let mut model = GridModel::new(cfg(17));
+        if monitored {
+            model.enable_monitor();
+        }
+        let records = if monitored {
+            let mut sim = EventDriven::with_recorder(model, MetricsRecorder::new());
+            sim.schedule(SimTime::ZERO, GridEvent::Init);
+            sim.run_until(SimTime::new(1.0e6));
+            sim.into_model().report().records
+        } else {
+            let mut sim = EventDriven::new(model);
+            sim.schedule(SimTime::ZERO, GridEvent::Init);
+            sim.run_until(SimTime::new(1.0e6));
+            sim.into_model().report().records
+        };
+        records
+            .iter()
+            .map(|r| {
+                (
+                    r.id.0,
+                    r.site.0 as u64,
+                    r.staged.seconds().to_bits(),
+                    r.started.seconds().to_bits(),
+                    r.finished.seconds().to_bits(),
+                    r.staged_bytes.to_bits(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let monitored = fingerprint(true);
+    let plain = fingerprint(false);
+    assert_eq!(monitored.len(), 40);
+    assert_eq!(monitored, plain, "monitoring changed simulation results");
 }

@@ -53,7 +53,11 @@ fn run_with(kind: QueueKind) -> Vec<(u64, usize, u64)> {
 fn all_queue_structures_agree_on_full_grid_scenario() {
     let heap = run_with(QueueKind::BinaryHeap);
     assert_eq!(heap.len(), 50);
-    for kind in [QueueKind::SortedList, QueueKind::Calendar, QueueKind::Ladder] {
+    for kind in [
+        QueueKind::SortedList,
+        QueueKind::Calendar,
+        QueueKind::Ladder,
+    ] {
         let other = run_with(kind);
         assert_eq!(heap, other, "{} diverged from binary-heap", kind.name());
     }

@@ -45,10 +45,7 @@ fn job_from(idx: usize, rec: &MonitorRecord) -> JobSpec {
 fn run_from_trace(trace: &Trace) -> Vec<(u64, u64)> {
     let mut sim = GridModel::build(empty_grid_config(1));
     for (i, rec) in trace.records().iter().enumerate() {
-        sim.schedule(
-            SimTime::new(rec.time),
-            GridEvent::Submit(job_from(i, rec)),
-        );
+        sim.schedule(SimTime::new(rec.time), GridEvent::Submit(job_from(i, rec)));
     }
     sim.run_until(SimTime::new(1.0e7));
     sim.model()

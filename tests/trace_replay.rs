@@ -18,7 +18,10 @@ struct Accumulator {
 impl Model for Accumulator {
     type Event = MonitorRecord;
     fn handle(&mut self, rec: MonitorRecord, ctx: &mut Ctx<'_, MonitorRecord>) {
-        assert!(ctx.now() == SimTime::new(rec.time), "delivered at record time");
+        assert!(
+            ctx.now() == SimTime::new(rec.time),
+            "delivered at record time"
+        );
         assert!(rec.time >= self.last_time);
         self.last_time = rec.time;
         self.events += 1;
