@@ -274,6 +274,22 @@ impl CpuFarm {
         self.queue.remove(idx)
     }
 
+    /// Crashes the farm at `now`: every running and queued job is lost and
+    /// its id returned (ascending) so the grid can re-queue it elsewhere.
+    /// Work done so far is gone — a resubmitted job starts from zero.
+    /// Pending [`CpuEvent::Finish`] events for the lost jobs die on the
+    /// existing generation check. The farm itself stays usable (site
+    /// recovery is the owner's decision; see the grid model's `site_up`).
+    pub fn crash(&mut self, now: SimTime) -> Vec<u64> {
+        self.advance_progress(now); // usage/busy accounting stays exact
+        let mut lost: Vec<u64> = self.running.keys().copied().collect();
+        lost.extend(self.queue.iter().map(|w| w.job));
+        lost.sort_unstable();
+        self.running.clear();
+        self.queue.clear();
+        lost
+    }
+
     /// Handles a farm event, returning completions.
     pub fn handle(&mut self, ev: CpuEvent, sched: &mut impl Schedule<CpuEvent>) -> Vec<CpuDone> {
         let CpuEvent::Finish { job, gen } = ev;
@@ -360,6 +376,58 @@ mod tests {
         assert_eq!(f[&1], 10.0);
         assert_eq!(f[&2], 10.0);
         assert_eq!(f[&3], 20.0);
+    }
+
+    #[test]
+    fn crash_loses_jobs_and_invalidates_finish_events() {
+        struct CrashHarness {
+            farm: CpuFarm,
+            done: Vec<u64>,
+            lost: Vec<u64>,
+        }
+        enum CEv {
+            Submit(u64, f64),
+            Crash,
+            Cpu(CpuEvent),
+        }
+        impl Model for CrashHarness {
+            type Event = CEv;
+            fn handle(&mut self, ev: CEv, ctx: &mut Ctx<'_, CEv>) {
+                match ev {
+                    CEv::Submit(j, w) => {
+                        self.farm.submit(JobId(j), w, 0, &mut ctx.map(CEv::Cpu));
+                    }
+                    CEv::Crash => {
+                        self.lost = self.farm.crash(ctx.now());
+                    }
+                    CEv::Cpu(ce) => {
+                        for d in self.farm.handle(ce, &mut ctx.map(CEv::Cpu)) {
+                            self.done.push(d.job.0);
+                        }
+                    }
+                }
+            }
+        }
+        let mut sim = EventDriven::new(CrashHarness {
+            farm: CpuFarm::new(1, 1.0, Sharing::Space, Discipline::Fifo),
+            done: vec![],
+            lost: vec![],
+        });
+        // job 1 finishes at t=2; jobs 2 (running) and 3 (queued) are lost
+        // at the t=5 crash, and their stale Finish events must be no-ops
+        sim.schedule(SimTime::ZERO, CEv::Submit(1, 2.0));
+        sim.schedule(SimTime::new(3.0), CEv::Submit(2, 10.0));
+        sim.schedule(SimTime::new(4.0), CEv::Submit(3, 10.0));
+        sim.schedule(SimTime::new(5.0), CEv::Crash);
+        sim.run();
+        let m = sim.into_model();
+        assert_eq!(m.done, vec![1]);
+        assert_eq!(m.lost, vec![2, 3], "running + queued, ascending");
+        assert_eq!(m.farm.running(), 0);
+        assert_eq!(m.farm.queued(), 0);
+        assert_eq!(m.farm.completed(), 1);
+        // accounting up to the crash is retained: 2 s (job 1) + 2 s (job 2)
+        assert!((m.farm.busy_core_seconds() - 4.0).abs() < 1e-9);
     }
 
     #[test]

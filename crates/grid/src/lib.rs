@@ -27,6 +27,7 @@
 
 pub mod activity;
 pub mod cpu;
+pub mod fault;
 pub mod job;
 pub mod model;
 pub mod organization;
@@ -37,6 +38,7 @@ pub mod storage;
 
 pub use activity::Activity;
 pub use cpu::{CpuEvent, CpuFarm, Sharing};
+pub use fault::{FaultEvent, FaultKind, FaultSchedule};
 pub use job::{JobId, JobRecord, JobSpec};
 pub use model::{GridConfig, GridEvent, GridModel, GridReport};
 pub use organization::Organization;

@@ -8,6 +8,7 @@
 
 use crate::activity::{Activity, ActivityEvent};
 use crate::cpu::CpuEvent;
+use crate::fault::{FaultKind, FaultSchedule};
 use crate::job::{JobId, JobRecord, JobSpec};
 use crate::organization::BuiltGrid;
 use crate::replication::{FileCatalog, FileId, PushTracker, ReplicationAgent, ReplicationPolicy};
@@ -15,10 +16,10 @@ use crate::scheduler::{Placement, PlacementView, SchedulerPolicy, SiteSnapshot};
 use crate::site::{Site, SiteId};
 use crate::storage::{DbEvent, FileMeta, TapeEvent};
 use lsds_core::{Ctx, EventDriven, Model, SimTime};
-use lsds_net::{FlowEvent, FlowNet};
+use lsds_net::{FlowEvent, FlowNet, NodeId, RetryPolicy};
 use lsds_obs::Registry;
 use lsds_stats::{Dist, SimRng, Summary};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Transfer purposes, encoded in flow tags.
 const KIND_STAGE: u64 = 0;
@@ -111,6 +112,29 @@ pub enum GridEvent {
     },
     /// Next dataset rolls off production.
     Produce,
+    /// An injected fault fires (scheduled at `Init` from the
+    /// [`FaultSchedule`]).
+    Fault(FaultKind),
+    /// Backoff expired for a failed transfer, identified by its flow tag:
+    /// re-resolve the source and try again.
+    RetryTransfer {
+        /// The failed transfer's tag.
+        tag: u64,
+    },
+    /// A transfer attempt failed (its flow aborted, or it could not even
+    /// start): count the attempt, then back off or give up. Delivered as
+    /// an event so the unwinding never runs inside a caller that is still
+    /// mutating job state.
+    TransferFailed {
+        /// The failed transfer's tag.
+        tag: u64,
+    },
+    /// Re-offer jobs the broker deferred (no site was available).
+    RetryDeferred,
+    /// Re-submission of a job lost to a site crash or a dead staging
+    /// transfer. Unlike [`GridEvent::Submit`], the original submission
+    /// time is kept, so the outage shows up in the job's makespan.
+    Resubmit(JobSpec),
 }
 
 struct PendingJob {
@@ -159,6 +183,16 @@ pub struct GridReport {
     pub tape_recalls: u64,
     /// Metadata (database) queries answered.
     pub db_queries: u64,
+    /// Site crashes injected.
+    pub site_faults: u64,
+    /// Jobs re-queued after a site crash or dead staging transfer.
+    pub jobs_requeued: u64,
+    /// Jobs deferred because no site was available.
+    pub jobs_deferred: u64,
+    /// Transfer retry attempts issued.
+    pub transfer_retries: u64,
+    /// Transfers abandoned after exhausting the retry budget.
+    pub transfer_failures: u64,
 }
 
 /// The composed model. Implements [`Model`], so any engine in
@@ -195,6 +229,26 @@ pub struct GridModel {
     records: Vec<JobRecord>,
     rejected: u64,
     wan_bytes: f64,
+    /// Fault events to inject, scheduled at `Init`.
+    faults: FaultSchedule,
+    /// Transfer retry/backoff knobs.
+    retry: RetryPolicy,
+    /// Whether each site currently accepts placements (crash state).
+    site_up: Vec<bool>,
+    /// Failed attempts so far per transfer tag (absent = clean record).
+    retry_attempts: HashMap<u64, u32>,
+    /// Jobs the broker deferred while no site was available.
+    deferred: VecDeque<JobSpec>,
+    /// Whether a `RetryDeferred` sweep is already scheduled.
+    deferred_retry_pending: bool,
+    /// Delay before re-offering deferred jobs, seconds.
+    defer_retry_delay: f64,
+    site_faults: u64,
+    transfer_retries: u64,
+    transfer_failures: u64,
+    jobs_requeued: u64,
+    jobs_deferred: u64,
+    agent_failed: u64,
     /// Production log: `(file, time)` per produced dataset.
     produced_log: Vec<(u64, f64)>,
     /// Agent shipment log: `(file, destination site, completion time)`.
@@ -265,6 +319,7 @@ impl GridModel {
             };
             ReplicationAgent::new(subs, k)
         });
+        let n_sites = sites.len();
         GridModel {
             sites,
             eligible,
@@ -289,6 +344,19 @@ impl GridModel {
             records: Vec::new(),
             rejected: 0,
             wan_bytes: 0.0,
+            faults: FaultSchedule::new(),
+            retry: RetryPolicy::default(),
+            site_up: vec![true; n_sites],
+            retry_attempts: HashMap::new(),
+            deferred: VecDeque::new(),
+            deferred_retry_pending: false,
+            defer_retry_delay: 30.0,
+            site_faults: 0,
+            transfer_retries: 0,
+            transfer_failures: 0,
+            jobs_requeued: 0,
+            jobs_deferred: 0,
+            agent_failed: 0,
             produced_log: Vec::new(),
             agent_log: Vec::new(),
             rng: SimRng::new(seed),
@@ -320,12 +388,51 @@ impl GridModel {
         self.monitor.as_ref().map(|m| &m.reg)
     }
 
+    /// Installs the fault schedule for this run. Call before the `Init`
+    /// event executes (e.g. right after [`GridModel::build`]); the events
+    /// are injected through the engine at their scheduled times.
+    pub fn set_faults(&mut self, faults: FaultSchedule) {
+        self.faults = faults;
+    }
+
+    /// Replaces the transfer retry/backoff policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Sets the delay before deferred jobs are re-offered to the broker.
+    pub fn set_defer_retry_delay(&mut self, dt: f64) {
+        assert!(dt > 0.0 && dt.is_finite(), "bad defer retry delay");
+        self.defer_retry_delay = dt;
+    }
+
+    /// Whether a site currently accepts placements (not crashed).
+    pub fn site_is_up(&self, site: SiteId) -> bool {
+        self.site_up[site.0]
+    }
+
+    /// Jobs re-queued after losing their site or their staging transfers.
+    pub fn jobs_requeued(&self) -> u64 {
+        self.jobs_requeued
+    }
+
+    /// Transfer retry attempts issued so far.
+    pub fn transfer_retries(&self) -> u64 {
+        self.transfer_retries
+    }
+
     /// Merges grid *and* network metrics into `reg`: job-state counters
     /// and summaries (always available) plus the occupancy/utilization
     /// series accumulated since [`GridModel::enable_monitor`].
     pub fn export_metrics(&self, reg: &mut Registry) {
         reg.inc("grid.jobs.completed", self.records.len() as u64);
         reg.inc("grid.jobs.rejected", self.rejected);
+        reg.inc("grid.jobs.requeued", self.jobs_requeued);
+        reg.inc("grid.jobs.deferred", self.jobs_deferred);
+        reg.inc("grid.site_faults", self.site_faults);
+        reg.inc("grid.transfer_retries", self.transfer_retries);
+        reg.inc("grid.transfer_failures", self.transfer_failures);
+        reg.inc("grid.agent_failed", self.agent_failed);
         reg.inc("grid.datasets.produced", self.produced);
         reg.inc("grid.tape_recalls", self.tape_recalls);
         reg.inc("grid.db_queries", self.db_queries);
@@ -456,6 +563,11 @@ impl GridModel {
             total_cost: cost,
             tape_recalls: self.tape_recalls,
             db_queries: self.db_queries,
+            site_faults: self.site_faults,
+            jobs_requeued: self.jobs_requeued,
+            jobs_deferred: self.jobs_deferred,
+            transfer_retries: self.transfer_retries,
+            transfer_failures: self.transfer_failures,
         }
     }
 
@@ -536,7 +648,7 @@ impl GridModel {
             .enumerate()
             .map(|(i, s)| SiteSnapshot {
                 id: s.id,
-                eligible: self.eligible[i],
+                eligible: self.eligible[i] && self.site_up[i],
                 cores: s.cpu.cores(),
                 speed: s.cpu.speed(),
                 running: s.cpu.running(),
@@ -562,7 +674,17 @@ impl GridModel {
             now: ctx.now(),
         };
         let site = match self.policy.select(&spec, &view) {
+            // a policy that ignores the view (e.g. `FixedSite`) can pick
+            // a crashed site: hold the job until the site recovers
+            Placement::Site(s) if !self.site_up[s.0] => {
+                self.defer_job(spec, ctx);
+                return;
+            }
             Placement::Site(s) => s,
+            Placement::Defer => {
+                self.defer_job(spec, ctx);
+                return;
+            }
             Placement::Reject => {
                 self.rejected += 1;
                 return;
@@ -583,6 +705,230 @@ impl GridModel {
             return;
         }
         self.begin_staging(spec, site, ctx);
+    }
+
+    /// No site can take the job right now: park it and re-offer later
+    /// (graceful degradation instead of the broker panicking on an empty
+    /// eligible set).
+    fn defer_job(&mut self, spec: JobSpec, ctx: &mut Ctx<'_, GridEvent>) {
+        self.jobs_deferred += 1;
+        self.deferred.push_back(spec);
+        self.schedule_deferred_retry(ctx);
+    }
+
+    fn schedule_deferred_retry(&mut self, ctx: &mut Ctx<'_, GridEvent>) {
+        if self.deferred_retry_pending || self.deferred.is_empty() {
+            return;
+        }
+        self.deferred_retry_pending = true;
+        ctx.schedule_in(self.defer_retry_delay, GridEvent::RetryDeferred);
+    }
+
+    /// Starts a WAN transfer; when no route currently exists (every path
+    /// crosses a down link) the tag goes straight into the retry path.
+    fn start_or_retry(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: f64,
+        t: u64,
+        ctx: &mut Ctx<'_, GridEvent>,
+    ) {
+        if self
+            .net
+            .try_start(src, dst, bytes, t, &mut ctx.map(GridEvent::Net))
+            .is_err()
+        {
+            ctx.schedule_in(0.0, GridEvent::TransferFailed { tag: t });
+        }
+    }
+
+    /// A transfer attempt on tag `t` failed: back off and retry, or give
+    /// up once the policy's budget is spent and unwind the waiting work.
+    fn on_transfer_failed(&mut self, t: u64, ctx: &mut Ctx<'_, GridEvent>) {
+        let n = {
+            let e = self.retry_attempts.entry(t).or_insert(0);
+            *e += 1;
+            *e
+        };
+        if n > self.retry.max_retries {
+            self.retry_attempts.remove(&t);
+            self.transfer_failures += 1;
+            self.give_up_transfer(t, ctx);
+            return;
+        }
+        self.transfer_retries += 1;
+        ctx.schedule_in(
+            self.retry.backoff(n - 1),
+            GridEvent::RetryTransfer { tag: t },
+        );
+    }
+
+    /// The retry budget for tag `t` is exhausted: unwind per kind.
+    fn give_up_transfer(&mut self, t: u64, ctx: &mut Ctx<'_, GridEvent>) {
+        let (kind, a, b) = untag(t);
+        match kind {
+            KIND_STAGE => {
+                // the waiting jobs will never see this input here:
+                // resubmit them so the broker can place them somewhere
+                // the file is still reachable from
+                if let Some(waiters) = self.inflight_fetch.remove(&(a, b as usize)) {
+                    for job in waiters {
+                        self.requeue_pending(job, ctx);
+                    }
+                }
+            }
+            // a lost push replica is only a missed optimization
+            KIND_PUSH => {}
+            KIND_AGENT => {
+                // free the agent's shipment slot so the remaining
+                // subscribers still get served
+                self.agent_failed += 1;
+                let starts = self
+                    .agent
+                    .as_mut()
+                    .expect("agent transfer without agent")
+                    .on_transfer_done();
+                self.start_agent_transfers(starts, ctx);
+            }
+            other => panic!("unknown flow tag kind {other}"),
+        }
+    }
+
+    /// Pulls a not-yet-finished job out of the pending set and resubmits
+    /// it through the broker, keeping its original submission time.
+    fn requeue_pending(&mut self, job: u64, ctx: &mut Ctx<'_, GridEvent>) {
+        let Some(pj) = self.pending.remove(&job) else {
+            return;
+        };
+        self.staged_at.remove(&job);
+        for f in &pj.pinned {
+            self.sites[pj.site.0].disk.unpin(*f);
+        }
+        self.jobs_requeued += 1;
+        ctx.schedule_in(0.0, GridEvent::Resubmit(pj.spec));
+    }
+
+    /// The backoff for tag `t` elapsed: re-resolve a source (topology or
+    /// replica placement may have changed) and try again.
+    fn on_transfer_retry(&mut self, t: u64, ctx: &mut Ctx<'_, GridEvent>) {
+        let (kind, a, b) = untag(t);
+        let now = ctx.now();
+        match kind {
+            KIND_STAGE => {
+                let file = FileId(a);
+                let site = SiteId(b as usize);
+                if !self.inflight_fetch.contains_key(&(file.0, site.0)) {
+                    // every waiter was requeued or satisfied meanwhile
+                    self.retry_attempts.remove(&t);
+                    return;
+                }
+                if self.sites[site.0].disk.has(file) {
+                    // a push/agent shipment landed the file while this
+                    // fetch was backing off: the stage is already done
+                    self.retry_attempts.remove(&t);
+                    self.on_stage_arrived(file, site, 0.0, now, ctx);
+                    return;
+                }
+                let Some(src) = self
+                    .catalog
+                    .best_source(file, |holder| self.latency_between(holder, site))
+                else {
+                    self.on_transfer_failed(t, ctx);
+                    return;
+                };
+                let size = self.catalog.size(file);
+                self.sites[src.0].disk.touch(file, now);
+                let archived =
+                    self.on_tape.contains(&(file.0, src.0)) && !self.sites[src.0].disk.has(file);
+                if archived {
+                    let recall = self.inflight_recall.entry((file.0, src.0)).or_default();
+                    if !recall.contains(&site.0) {
+                        recall.push(site.0);
+                        if recall.len() == 1 {
+                            self.tape_recalls += 1;
+                            let sidx = src.0;
+                            self.sites[sidx]
+                                .tape
+                                .as_mut()
+                                .expect("archived file at a site without tape")
+                                .recall(
+                                    file.0,
+                                    size,
+                                    &mut ctx.map(move |ev| GridEvent::Tape { site: sidx, ev }),
+                                );
+                        }
+                    }
+                } else {
+                    let src_node = self.sites[src.0].node;
+                    let dst_node = self.sites[site.0].node;
+                    self.start_or_retry(src_node, dst_node, size, t, ctx);
+                }
+            }
+            KIND_PUSH => {
+                let file = FileId(a);
+                let target = SiteId(b as usize);
+                if self.sites[target.0].disk.has(file) {
+                    self.retry_attempts.remove(&t);
+                    return;
+                }
+                let Some(src) = self
+                    .catalog
+                    .best_source(file, |holder| self.latency_between(holder, target))
+                else {
+                    self.on_transfer_failed(t, ctx);
+                    return;
+                };
+                let size = self.catalog.size(file);
+                let src_node = self.sites[src.0].node;
+                let dst_node = self.sites[target.0].node;
+                self.start_or_retry(src_node, dst_node, size, t, ctx);
+            }
+            KIND_AGENT => {
+                let src = self
+                    .production
+                    .as_ref()
+                    .expect("agent transfer without production")
+                    .site;
+                let size = self.catalog.size(FileId(a));
+                let src_node = self.sites[src.0].node;
+                let dst_node = self.sites[b as usize].node;
+                self.start_or_retry(src_node, dst_node, size, t, ctx);
+            }
+            other => panic!("unknown flow tag kind {other}"),
+        }
+    }
+
+    /// Applies one injected fault.
+    fn on_fault(&mut self, kind: FaultKind, ctx: &mut Ctx<'_, GridEvent>) {
+        match kind {
+            FaultKind::Link(lf) => {
+                let outcome = self.net.apply_fault(lf, &mut ctx.map(GridEvent::Net));
+                // aborted flows come back sorted by flow id, so the retry
+                // schedule is deterministic
+                for ab in outcome.aborted {
+                    self.on_transfer_failed(ab.tag, ctx);
+                }
+            }
+            FaultKind::SiteCrash(s) => {
+                if !self.site_up[s.0] {
+                    return;
+                }
+                self.site_up[s.0] = false;
+                self.site_faults += 1;
+                // running and queued jobs are lost; their records never
+                // formed, so resubmission keeps the original submit time
+                // and the outage shows up in makespan
+                let lost = self.sites[s.0].cpu.crash(ctx.now());
+                for job in lost {
+                    self.requeue_pending(job, ctx);
+                }
+            }
+            FaultKind::SiteRecover(s) => {
+                self.site_up[s.0] = true;
+                self.schedule_deferred_retry(ctx);
+            }
+        }
     }
 
     fn begin_staging(&mut self, spec: JobSpec, site: SiteId, ctx: &mut Ctx<'_, GridEvent>) {
@@ -633,12 +979,12 @@ impl GridModel {
                     }
                 } else {
                     let dst_node = self.sites[site.0].node;
-                    self.net.start(
+                    self.start_or_retry(
                         src_node,
                         dst_node,
                         size,
                         tag(KIND_STAGE, f.0, site.0 as u64),
-                        &mut ctx.map(GridEvent::Net),
+                        ctx,
                     );
                 }
             }
@@ -651,12 +997,12 @@ impl GridModel {
                 {
                     if target != site {
                         let tnode = self.sites[target.0].node;
-                        self.net.start(
+                        self.start_or_retry(
                             src_node,
                             tnode,
                             size,
                             tag(KIND_PUSH, f.0, target.0 as u64),
-                            &mut ctx.map(GridEvent::Net),
+                            ctx,
                         );
                     }
                 }
@@ -677,6 +1023,16 @@ impl GridModel {
     }
 
     fn start_execution(&mut self, pj: PendingJob, staged: SimTime, ctx: &mut Ctx<'_, GridEvent>) {
+        if !self.site_up[pj.site.0] {
+            // the chosen site crashed while inputs were staging: send the
+            // job back through the broker
+            for f in &pj.pinned {
+                self.sites[pj.site.0].disk.unpin(*f);
+            }
+            self.jobs_requeued += 1;
+            ctx.schedule_in(0.0, GridEvent::Resubmit(pj.spec));
+            return;
+        }
         let site = pj.site.0;
         let id = pj.spec.id;
         let work = pj.spec.work;
@@ -700,6 +1056,13 @@ impl GridModel {
         finished: SimTime,
         ctx: &mut Ctx<'_, GridEvent>,
     ) {
+        // a completion closes the tag's retry record; surface how many
+        // attempts the transfer needed
+        if let Some(n) = self.retry_attempts.remove(&t) {
+            if let Some(mon) = self.monitor.as_mut() {
+                mon.reg.observe("grid.transfer.attempts", f64::from(n + 1));
+            }
+        }
         let (kind, a, b) = untag(t);
         match kind {
             KIND_STAGE => {
@@ -759,12 +1122,12 @@ impl GridModel {
             let size = self.catalog.size(file);
             let src_node = self.sites[src.0].node;
             let dst_node = self.sites[dst.0].node;
-            self.net.start(
+            self.start_or_retry(
                 src_node,
                 dst_node,
                 size,
                 tag(KIND_AGENT, file.0, dst.0 as u64),
-                &mut ctx.map(GridEvent::Net),
+                ctx,
             );
         }
     }
@@ -833,12 +1196,12 @@ impl GridModel {
                 continue;
             }
             let dst_node = self.sites[dst].node;
-            self.net.start(
+            self.start_or_retry(
                 src_node,
                 dst_node,
                 size,
                 tag(KIND_STAGE, file.0, dst as u64),
-                &mut ctx.map(GridEvent::Net),
+                ctx,
             );
         }
     }
@@ -940,6 +1303,10 @@ impl Model for GridModel {
     fn handle(&mut self, event: GridEvent, ctx: &mut Ctx<'_, GridEvent>) {
         match event {
             GridEvent::Init => {
+                let faults = std::mem::take(&mut self.faults);
+                for ev in faults.events() {
+                    ctx.schedule_at(SimTime::new(ev.at), GridEvent::Fault(ev.kind));
+                }
                 for (i, a) in self.activities.iter_mut().enumerate() {
                     a.prime(&mut ctx.map(move |_| GridEvent::Activity { idx: i }));
                 }
@@ -998,6 +1365,17 @@ impl Model for GridModel {
                 self.begin_staging(spec, exec_site, ctx);
             }
             GridEvent::Produce => self.on_produce(ctx),
+            GridEvent::Fault(kind) => self.on_fault(kind, ctx),
+            GridEvent::TransferFailed { tag } => self.on_transfer_failed(tag, ctx),
+            GridEvent::RetryTransfer { tag } => self.on_transfer_retry(tag, ctx),
+            GridEvent::RetryDeferred => {
+                self.deferred_retry_pending = false;
+                let batch: Vec<JobSpec> = self.deferred.drain(..).collect();
+                for spec in batch {
+                    self.submit_job(spec, ctx);
+                }
+            }
+            GridEvent::Resubmit(spec) => self.submit_job(spec, ctx),
         }
         self.record_site_state(ctx.now());
     }
@@ -1403,5 +1781,140 @@ mod tests {
         // network monitoring rides along
         assert!(reg.counter("net.transfers_completed") > 0);
         assert!(reg.summary("net.transfer_latency").is_some());
+    }
+
+    /// A data run with the file server's uplink cut mid-run. Staging from
+    /// site 0 has exactly one path in the star, so affected transfers
+    /// abort and must survive on retry/backoff.
+    fn faulty_data_run(seed: u64, faults: FaultSchedule) -> GridReport {
+        let mut sim = GridModel::build(data_cfg(ReplicationPolicy::PullLru, seed));
+        sim.model_mut().set_faults(faults);
+        sim.run_until(SimTime::new(1.0e6));
+        sim.model().report()
+    }
+
+    #[test]
+    fn link_outage_is_survived_via_retries() {
+        use lsds_net::LinkId;
+        let mut faults = FaultSchedule::new();
+        // LinkId(0) is site0 -> hub: the only way out of the file server
+        faults.link_outage(LinkId(0), 5.0, 120.0);
+        let rep = faulty_data_run(3, faults);
+        assert_eq!(rep.records.len(), 60, "all jobs complete after repair");
+        assert!(rep.transfer_retries > 0, "outage must force retries");
+        assert_eq!(rep.transfer_failures, 0, "retry budget suffices");
+        // the outage stalls staging, so jobs take longer than fault-free
+        let clean = faulty_data_run(3, FaultSchedule::new());
+        assert!(rep.mean_makespan > clean.mean_makespan);
+    }
+
+    #[test]
+    fn fault_free_schedule_is_bitwise_noop() {
+        let a = faulty_data_run(3, FaultSchedule::new());
+        let b = {
+            let mut sim = GridModel::build(data_cfg(ReplicationPolicy::PullLru, 3));
+            sim.run_until(SimTime::new(1.0e6));
+            sim.model().report()
+        };
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(
+                x.finished.seconds().to_bits(),
+                y.finished.seconds().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_run_is_deterministic() {
+        use lsds_net::LinkId;
+        let run = || {
+            let mut faults = FaultSchedule::new();
+            faults
+                .link_outage(LinkId(0), 5.0, 120.0)
+                .site_outage(SiteId(2), 50.0, 300.0)
+                .degrade(LinkId(2), 400.0, 100.0, 0.25);
+            faulty_data_run(3, faults)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.transfer_retries, b.transfer_retries);
+        assert_eq!(a.jobs_requeued, b.jobs_requeued);
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(
+                x.finished.seconds().to_bits(),
+                y.finished.seconds().to_bits()
+            );
+            assert_eq!(x.staged_bytes.to_bits(), y.staged_bytes.to_bits());
+            assert_eq!(x.site, y.site);
+        }
+    }
+
+    #[test]
+    fn site_crash_requeues_jobs_elsewhere() {
+        let grid = flat(3);
+        let cfg = GridConfig {
+            grid,
+            policy: Box::new(LeastLoaded),
+            replication: ReplicationPolicy::None,
+            activities: vec![
+                Activity::compute(0, 2.0, Dist::exp_mean(50.0), SimRng::new(4)).with_limit(40),
+            ],
+            production: None,
+            agent: None,
+            eligible: None,
+            initial_files: vec![],
+            seed: 4,
+        };
+        let mut sim = GridModel::build(cfg);
+        let mut faults = FaultSchedule::new();
+        // crash site 1 in the thick of the workload, recover much later
+        faults.site_outage(SiteId(1), 20.0, 5000.0);
+        sim.model_mut().set_faults(faults);
+        sim.run_until(SimTime::new(1.0e6));
+        let m = sim.model();
+        let rep = m.report();
+        assert_eq!(rep.site_faults, 1);
+        assert!(rep.jobs_requeued > 0, "crash must have caught jobs");
+        assert_eq!(rep.records.len(), 40, "lost jobs finish elsewhere");
+        assert!(m.site_is_up(SiteId(1)), "site recovered by run end");
+        // requeued jobs kept their submission time, so the detour shows
+        for r in &rep.records {
+            assert!(r.finished > r.submitted);
+        }
+    }
+
+    #[test]
+    fn all_sites_down_defers_until_recovery() {
+        let grid = flat(2);
+        let cfg = GridConfig {
+            grid,
+            policy: Box::new(LeastLoaded),
+            replication: ReplicationPolicy::None,
+            activities: vec![
+                Activity::compute(0, 1.0, Dist::constant(10.0), SimRng::new(5)).with_limit(10),
+            ],
+            production: None,
+            agent: None,
+            eligible: None,
+            initial_files: vec![],
+            seed: 5,
+        };
+        let mut sim = GridModel::build(cfg);
+        let mut faults = FaultSchedule::new();
+        faults
+            .site_outage(SiteId(0), 0.0, 500.0)
+            .site_outage(SiteId(1), 0.0, 500.0);
+        sim.model_mut().set_faults(faults);
+        sim.run_until(SimTime::new(1.0e6));
+        let rep = sim.model().report();
+        assert!(rep.jobs_deferred > 0, "no site up -> jobs deferred");
+        assert_eq!(rep.rejected, 0, "deferral is not rejection");
+        assert_eq!(rep.records.len(), 10, "deferred jobs run after recovery");
+        // nothing could start before the sites came back
+        for r in &rep.records {
+            assert!(r.started.seconds() >= 500.0);
+        }
     }
 }

@@ -75,8 +75,13 @@ impl<'a> PlacementView<'a> {
 pub enum Placement {
     /// Run at this site.
     Site(SiteId),
-    /// No feasible site (economy policies under deadline/budget).
+    /// No feasible site *for this job* (economy policies under
+    /// deadline/budget): the job is dropped with a rejection record.
     Reject,
+    /// No site is currently available at all (e.g. every eligible site
+    /// crashed): the grid queues the job and re-offers it later rather
+    /// than aborting the run.
+    Defer,
 }
 
 /// A site-selection (brokering) policy.
@@ -108,7 +113,9 @@ impl SchedulerPolicy for RandomSite {
     }
     fn select(&mut self, _job: &JobSpec, view: &PlacementView<'_>) -> Placement {
         let eligible: Vec<SiteId> = view.eligible().map(|s| s.id).collect();
-        assert!(!eligible.is_empty(), "no eligible sites");
+        if eligible.is_empty() {
+            return Placement::Defer;
+        }
         Placement::Site(*self.0.choose(&eligible))
     }
 }
@@ -125,7 +132,9 @@ impl SchedulerPolicy for RoundRobin {
     }
     fn select(&mut self, _job: &JobSpec, view: &PlacementView<'_>) -> Placement {
         let eligible: Vec<SiteId> = view.eligible().map(|s| s.id).collect();
-        assert!(!eligible.is_empty(), "no eligible sites");
+        if eligible.is_empty() {
+            return Placement::Defer;
+        }
         let site = eligible[self.next % eligible.len()];
         self.next += 1;
         Placement::Site(site)
@@ -141,11 +150,13 @@ impl SchedulerPolicy for LeastLoaded {
         "least-loaded"
     }
     fn select(&mut self, _job: &JobSpec, view: &PlacementView<'_>) -> Placement {
-        let best = view
+        match view
             .eligible()
             .min_by(|a, b| a.load().total_cmp(&b.load()).then(a.id.cmp(&b.id)))
-            .expect("no eligible sites");
-        Placement::Site(best.id)
+        {
+            Some(best) => Placement::Site(best.id),
+            None => Placement::Defer,
+        }
     }
 }
 
@@ -179,6 +190,11 @@ impl SchedulerPolicy for Economy {
     }
 
     fn select(&mut self, job: &JobSpec, view: &PlacementView<'_>) -> Placement {
+        if view.eligible().next().is_none() {
+            // nothing to broker over at all — wait for sites to recover
+            // rather than charging the job a deadline/budget rejection
+            return Placement::Defer;
+        }
         let deadline = job.deadline.unwrap_or(f64::INFINITY);
         let budget = job.budget.unwrap_or(f64::INFINITY);
         let mut best: Option<(f64, SiteId)> = None;
@@ -213,16 +229,15 @@ impl SchedulerPolicy for DataAware {
         "data-aware"
     }
     fn select(&mut self, _job: &JobSpec, view: &PlacementView<'_>) -> Placement {
-        let best = view
-            .eligible()
-            .min_by(|a, b| {
-                view.missing_bytes[a.id.0]
-                    .total_cmp(&view.missing_bytes[b.id.0])
-                    .then(a.load().total_cmp(&b.load()))
-                    .then(a.id.cmp(&b.id))
-            })
-            .expect("no eligible sites");
-        Placement::Site(best.id)
+        match view.eligible().min_by(|a, b| {
+            view.missing_bytes[a.id.0]
+                .total_cmp(&view.missing_bytes[b.id.0])
+                .then(a.load().total_cmp(&b.load()))
+                .then(a.id.cmp(&b.id))
+        }) {
+            Some(best) => Placement::Site(best.id),
+            None => Placement::Defer,
+        }
     }
 }
 
@@ -396,6 +411,64 @@ mod tests {
         assert_eq!(
             p.select(&job(1.0, None, None), &view),
             Placement::Site(SiteId(1))
+        );
+    }
+
+    #[test]
+    fn empty_eligible_set_defers_instead_of_panicking() {
+        // every policy must degrade gracefully when all sites are down
+        let mut down = [snap(0, 0, 0, 1.0, 1.0), snap(1, 0, 0, 1.0, 1.0)];
+        for s in &mut down {
+            s.eligible = false;
+        }
+        let mb = [0.0; 2];
+        let view = PlacementView {
+            sites: &down,
+            missing_bytes: &mb,
+            now: SimTime::ZERO,
+        };
+        let j = job(1.0, Some(100.0), Some(100.0));
+        let mut policies: Vec<Box<dyn SchedulerPolicy>> = vec![
+            Box::new(RandomSite(SimRng::new(1))),
+            Box::new(RoundRobin::default()),
+            Box::new(LeastLoaded),
+            Box::new(DataAware),
+            Box::new(Economy {
+                goal: EconomyGoal::CostMin,
+                backlog_work_guess: 1.0,
+            }),
+        ];
+        for p in &mut policies {
+            assert_eq!(p.select(&j, &view), Placement::Defer, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn round_robin_cursor_unmoved_by_deferral() {
+        let mut p = RoundRobin::default();
+        let sites = [snap(0, 0, 0, 1.0, 1.0), snap(1, 0, 0, 1.0, 1.0)];
+        let mut down = sites;
+        for s in &mut down {
+            s.eligible = false;
+        }
+        let mb = [0.0; 2];
+        let j = job(1.0, None, None);
+        let up_view = PlacementView {
+            sites: &sites,
+            missing_bytes: &mb,
+            now: SimTime::ZERO,
+        };
+        let down_view = PlacementView {
+            sites: &down,
+            missing_bytes: &mb,
+            now: SimTime::ZERO,
+        };
+        assert_eq!(p.select(&j, &up_view), Placement::Site(SiteId(0)));
+        assert_eq!(p.select(&j, &down_view), Placement::Defer);
+        assert_eq!(
+            p.select(&j, &up_view),
+            Placement::Site(SiteId(1)),
+            "deferral must not advance the cursor"
         );
     }
 

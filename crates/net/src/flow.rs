@@ -7,11 +7,13 @@
 //! from one end to another") at the price of ignoring per-packet effects —
 //! the other side of the E13 trade-off.
 
+use crate::fault::LinkFault;
 use crate::routing::Routing;
 use crate::topology::{LinkId, NodeId, Topology};
 use lsds_core::{Schedule, SimTime};
 use lsds_obs::Registry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 
 /// Identifier of a flow within a [`FlowNet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,7 +44,54 @@ pub struct FlowDone {
     pub finished: SimTime,
 }
 
+/// Error returned by [`FlowNet::try_start`] when no usable route exists
+/// from `src` to `dst` (possible in any topology once links can fail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoRoute {
+    /// Transfer source.
+    pub src: NodeId,
+    /// Unreachable destination.
+    pub dst: NodeId,
+}
+
+impl fmt::Display for NoRoute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no route {:?} -> {:?}", self.src, self.dst)
+    }
+}
+
+impl std::error::Error for NoRoute {}
+
+/// Record of a flow torn down before completion — by [`FlowNet::cancel`]
+/// or because a link failure left it with no usable route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowAborted {
+    /// The aborted flow.
+    pub id: FlowId,
+    /// Owner-supplied tag.
+    pub tag: u64,
+    /// Requested transfer size in bytes.
+    pub bytes: f64,
+    /// Bytes actually carried before the abort (lost; a retry restarts
+    /// from zero, matching FTP-style whole-file transfer semantics).
+    pub transferred: f64,
+    /// When the transfer was requested.
+    pub requested: SimTime,
+}
+
+/// What a [`FlowNet::apply_fault`] call did to in-flight traffic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultOutcome {
+    /// Flows that had no surviving route and were torn down. The owner
+    /// decides whether to retry them (see `RetryPolicy`).
+    pub aborted: Vec<FlowAborted>,
+    /// Flows moved onto a detour path, keeping their progress.
+    pub rerouted: u64,
+}
+
 struct Flow {
+    src: NodeId,
+    dst: NodeId,
     path: Vec<LinkId>,
     remaining: f64,
     rate: f64,
@@ -61,6 +110,8 @@ struct NetMonitor {
     reg: Registry,
     /// Precomputed series key per link (`net.link.<from>-><to>.utilization`).
     link_keys: Vec<String>,
+    /// Precomputed series key per link (`net.link.<from>-><to>.up`).
+    up_keys: Vec<String>,
 }
 
 /// The fluid network state. Owns no clock; it is driven by an engine
@@ -73,6 +124,17 @@ pub struct FlowNet {
     /// Cumulative bytes carried per link (for utilization reports).
     link_bytes: Vec<f64>,
     completed: u64,
+    /// Dynamic link state: `false` while a link is down (fault-injected).
+    link_up: Vec<bool>,
+    /// Bandwidth multiplier per link (`1.0` = nominal service).
+    degrade: Vec<f64>,
+    /// Accumulated downtime per link over closed down intervals (seconds).
+    downtime: Vec<f64>,
+    /// Start of the current down interval, if the link is down now.
+    down_since: Vec<Option<f64>>,
+    aborted: u64,
+    rerouted: u64,
+    faults_applied: u64,
     monitor: Option<NetMonitor>,
 }
 
@@ -88,6 +150,13 @@ impl FlowNet {
             next_id: 0,
             link_bytes: vec![0.0; n_links],
             completed: 0,
+            link_up: vec![true; n_links],
+            degrade: vec![1.0; n_links],
+            downtime: vec![0.0; n_links],
+            down_since: vec![None; n_links],
+            aborted: 0,
+            rerouted: 0,
+            faults_applied: 0,
             monitor: None,
         }
     }
@@ -97,19 +166,22 @@ impl FlowNet {
     /// Monitoring only ever *reads* simulation state, so a monitored run's
     /// event trajectory is identical to an unmonitored one.
     pub fn enable_monitor(&mut self) {
+        let key = |i: usize, what: &str| {
+            let l = self.topo.link(LinkId(i));
+            format!(
+                "net.link.{}->{}.{what}",
+                self.topo.node(l.from).name,
+                self.topo.node(l.to).name
+            )
+        };
         let link_keys = (0..self.topo.link_count())
-            .map(|i| {
-                let l = self.topo.link(LinkId(i));
-                format!(
-                    "net.link.{}->{}.utilization",
-                    self.topo.node(l.from).name,
-                    self.topo.node(l.to).name
-                )
-            })
+            .map(|i| key(i, "utilization"))
             .collect();
+        let up_keys = (0..self.topo.link_count()).map(|i| key(i, "up")).collect();
         self.monitor = Some(NetMonitor {
             reg: Registry::new(),
             link_keys,
+            up_keys,
         });
     }
 
@@ -123,15 +195,23 @@ impl FlowNet {
     /// transfer summaries require [`FlowNet::enable_monitor`]).
     pub fn export_metrics(&self, reg: &mut Registry) {
         reg.inc("net.transfers_completed", self.completed);
+        reg.inc("net.flows_aborted", self.aborted);
+        reg.inc("net.flows_rerouted", self.rerouted);
+        reg.inc("net.link_faults", self.faults_applied);
         reg.set_gauge("net.flows_in_flight", self.flows.len() as f64);
         for i in 0..self.topo.link_count() {
             let l = self.topo.link(LinkId(i));
-            let key = format!(
-                "net.link.{}->{}.bytes",
+            let name = format!(
+                "net.link.{}->{}",
                 self.topo.node(l.from).name,
                 self.topo.node(l.to).name
             );
-            reg.set_gauge(&key, self.link_bytes[i]);
+            reg.set_gauge(&format!("{name}.bytes"), self.link_bytes[i]);
+            // closed down intervals only; an interval still open at export
+            // time is visible through the `.up` series instead
+            if self.downtime[i] > 0.0 || self.down_since[i].is_some() {
+                reg.set_gauge(&format!("{name}.downtime"), self.downtime[i]);
+            }
         }
         if let Some(mon) = &self.monitor {
             reg.merge(mon.reg.clone());
@@ -180,7 +260,9 @@ impl FlowNet {
     /// consuming bandwidth after the path's propagation latency. `tag` is
     /// returned in the [`FlowDone`] record.
     ///
-    /// Panics if `dst` is unreachable from `src`.
+    /// Panics if `dst` is unreachable from `src`; on a network with
+    /// injected faults use [`FlowNet::try_start`], since unreachability is
+    /// a normal transient condition there.
     pub fn start(
         &mut self,
         src: NodeId,
@@ -189,11 +271,26 @@ impl FlowNet {
         tag: u64,
         sched: &mut impl Schedule<FlowEvent>,
     ) -> FlowId {
+        self.try_start(src, dst, bytes, tag, sched)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`FlowNet::start`]: returns [`NoRoute`] instead of
+    /// panicking when `dst` is currently unreachable from `src` (routes
+    /// exclude links that are down).
+    pub fn try_start(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: f64,
+        tag: u64,
+        sched: &mut impl Schedule<FlowEvent>,
+    ) -> Result<FlowId, NoRoute> {
         assert!(bytes > 0.0 && bytes.is_finite(), "bad transfer size");
         let path = self
             .routing
             .path(&self.topo, src, dst)
-            .unwrap_or_else(|| panic!("no route {src:?} -> {dst:?}"));
+            .ok_or(NoRoute { src, dst })?;
         assert!(!path.is_empty(), "src == dst transfer needs no network");
         let latency: f64 = path.iter().map(|&l| self.topo.link(l).latency).sum();
         let id = self.next_id;
@@ -201,6 +298,8 @@ impl FlowNet {
         self.flows.insert(
             id,
             Flow {
+                src,
+                dst,
                 path,
                 remaining: bytes,
                 rate: 0.0,
@@ -213,7 +312,156 @@ impl FlowNet {
             },
         );
         sched.schedule_in(latency, FlowEvent::Begin { flow: id });
-        FlowId(id)
+        Ok(FlowId(id))
+    }
+
+    /// Tears down an in-flight flow (its pending events become no-ops) and
+    /// reshares bandwidth. Returns `None` if the flow no longer exists.
+    pub fn cancel(
+        &mut self,
+        id: FlowId,
+        sched: &mut impl Schedule<FlowEvent>,
+    ) -> Option<FlowAborted> {
+        if !self.flows.contains_key(&id.0) {
+            return None;
+        }
+        let now = sched.now();
+        self.advance_progress(now);
+        let f = self.flows.remove(&id.0).expect("checked above");
+        self.aborted += 1;
+        let rec = FlowAborted {
+            id,
+            tag: f.tag,
+            bytes: f.bytes,
+            transferred: f.bytes - f.remaining,
+            requested: f.requested,
+        };
+        self.reshare(now, sched);
+        self.record_utilization(now);
+        Some(rec)
+    }
+
+    /// Applies a link fault at the current simulated time.
+    ///
+    /// * [`LinkFault::Down`] — the link is removed from routing; flows
+    ///   crossing it are moved to a surviving route (keeping their
+    ///   progress) or torn down and reported in the [`FaultOutcome`] when
+    ///   no route survives. Flows still in their latency phase keep their
+    ///   originally scheduled begin time even if re-routed.
+    /// * [`LinkFault::Up`] — the link rejoins routing for *new* flows;
+    ///   flows already re-routed keep their detour (transfers do not flap
+    ///   back mid-flight).
+    /// * [`LinkFault::Degrade`] — the link's usable capacity becomes
+    ///   `factor ×` nominal for the max-min fair share from now on.
+    ///
+    /// Call this from the owning model's event handler so same-seed runs
+    /// replay faults identically.
+    pub fn apply_fault(
+        &mut self,
+        fault: LinkFault,
+        sched: &mut impl Schedule<FlowEvent>,
+    ) -> FaultOutcome {
+        let now = sched.now();
+        self.advance_progress(now);
+        self.faults_applied += 1;
+        let mut outcome = FaultOutcome::default();
+        match fault {
+            LinkFault::Down(l) => {
+                if self.link_up[l.0] {
+                    self.link_up[l.0] = false;
+                    self.down_since[l.0] = Some(now.seconds());
+                    self.routing = Routing::compute_filtered(&self.topo, &self.link_up);
+                    // sorted ids: abort/reroute order must be deterministic
+                    let mut hit: Vec<u64> = self
+                        .flows
+                        .iter()
+                        .filter(|(_, f)| f.path.contains(&l))
+                        .map(|(&id, _)| id)
+                        .collect();
+                    hit.sort_unstable();
+                    for id in hit {
+                        let (src, dst) = {
+                            let f = &self.flows[&id];
+                            (f.src, f.dst)
+                        };
+                        match self.routing.path(&self.topo, src, dst) {
+                            Some(p) if !p.is_empty() => {
+                                let f = self.flows.get_mut(&id).expect("flow vanished");
+                                f.path = p;
+                                f.gen += 1; // stale Complete events die
+                                self.rerouted += 1;
+                                outcome.rerouted += 1;
+                            }
+                            _ => {
+                                let f = self.flows.remove(&id).expect("flow vanished");
+                                self.aborted += 1;
+                                outcome.aborted.push(FlowAborted {
+                                    id: FlowId(id),
+                                    tag: f.tag,
+                                    bytes: f.bytes,
+                                    transferred: f.bytes - f.remaining,
+                                    requested: f.requested,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            LinkFault::Up(l) => {
+                if !self.link_up[l.0] {
+                    self.link_up[l.0] = true;
+                    if let Some(t0) = self.down_since[l.0].take() {
+                        self.downtime[l.0] += now.seconds() - t0;
+                    }
+                    self.routing = Routing::compute_filtered(&self.topo, &self.link_up);
+                }
+            }
+            LinkFault::Degrade { link, factor } => {
+                assert!(factor.is_finite() && factor > 0.0, "bad degrade factor");
+                self.degrade[link.0] = factor;
+            }
+        }
+        self.reshare(now, sched);
+        self.record_utilization(now);
+        if let Some(mon) = self.monitor.as_mut() {
+            let l = fault.link();
+            let up = if self.link_up[l.0] { 1.0 } else { 0.0 };
+            mon.reg.series_update(&mon.up_keys[l.0], now.seconds(), up);
+        }
+        outcome
+    }
+
+    /// Whether a link is currently up.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.link_up[link.0]
+    }
+
+    /// Usable capacity of a link right now: nominal bandwidth times the
+    /// degradation factor, or zero while the link is down.
+    pub fn effective_bandwidth(&self, link: LinkId) -> f64 {
+        if self.link_up[link.0] {
+            self.topo.link(link).bandwidth * self.degrade[link.0]
+        } else {
+            0.0
+        }
+    }
+
+    /// Total downtime of a link up to `now` (open interval included).
+    pub fn link_downtime(&self, link: LinkId, now: SimTime) -> f64 {
+        let open = self.down_since[link.0]
+            .map(|t0| now.seconds() - t0)
+            .unwrap_or(0.0);
+        self.downtime[link.0] + open
+    }
+
+    /// Flows torn down (by faults or [`FlowNet::cancel`]).
+    pub fn aborted(&self) -> u64 {
+        self.aborted
+    }
+
+    /// Flows moved to a detour path by link failures.
+    pub fn rerouted(&self) -> u64 {
+        self.rerouted
     }
 
     /// Number of flows currently in the system (including in latency phase).
@@ -229,6 +477,18 @@ impl FlowNet {
     /// Cumulative bytes carried by a link.
     pub fn link_bytes(&self, link: LinkId) -> f64 {
         self.link_bytes[link.0]
+    }
+
+    /// Summed current rate of the active flows crossing a link, bytes/s
+    /// (sorted-id accumulation, so the value is reproducible).
+    pub fn link_load(&self, link: LinkId) -> f64 {
+        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
+        ids.sort_unstable();
+        ids.iter()
+            .map(|id| &self.flows[id])
+            .filter(|f| f.active && f.path.contains(&link))
+            .map(|f| f.rate)
+            .sum()
     }
 
     /// Instantaneous utilization of a link in `[0, 1]`.
@@ -317,24 +577,32 @@ impl FlowNet {
 
     /// Recomputes max-min fair rates and reschedules completions.
     fn reshare(&mut self, now: SimTime, sched: &mut impl Schedule<FlowEvent>) {
-        // progressive filling
+        // progressive filling over the *effective* (fault-adjusted) caps
         let mut cap: Vec<f64> = (0..self.topo.link_count())
-            .map(|i| self.topo.link(LinkId(i)).bandwidth)
+            .map(|i| self.effective_bandwidth(LinkId(i)))
             .collect();
-        let mut unassigned: Vec<u64> = self
+        let mut active: Vec<u64> = self
             .flows
             .iter()
             .filter(|(_, f)| f.active)
             .map(|(&id, _)| id)
             .collect();
-        unassigned.sort_unstable(); // determinism
+        active.sort_unstable(); // determinism
         let mut flows_on_link = vec![0usize; cap.len()];
-        for &id in &unassigned {
+        // per-link flow lists, ascending id (inherited from `active`), so
+        // fixing a bottleneck's flows is a scan of that link's list rather
+        // than of every unassigned flow's whole path — O(Σ path length)
+        // overall instead of O(flows²) for large fan-in
+        let mut link_flows: Vec<Vec<u64>> = vec![Vec::new(); cap.len()];
+        for &id in &active {
             for &l in &self.flows[&id].path {
                 flows_on_link[l.0] += 1;
+                link_flows[l.0].push(id);
             }
         }
-        while !unassigned.is_empty() {
+        let mut fixed: HashSet<u64> = HashSet::with_capacity(active.len());
+        let mut unassigned = active.len();
+        while unassigned > 0 {
             // bottleneck link: minimal fair share among links with load
             let mut best: Option<(f64, usize)> = None;
             for (li, &n) in flows_on_link.iter().enumerate() {
@@ -346,14 +614,18 @@ impl FlowNet {
                 }
             }
             let (share, bottleneck) = best.expect("unassigned flows but no loaded link");
-            // fix every unassigned flow crossing the bottleneck
-            let fixed: Vec<u64> = unassigned
+            // fix every unassigned flow crossing the bottleneck, in
+            // ascending id order (same order the retain-based version
+            // produced, so float arithmetic is bit-identical)
+            let batch: Vec<u64> = link_flows[bottleneck]
                 .iter()
                 .copied()
-                .filter(|id| self.flows[id].path.contains(&LinkId(bottleneck)))
+                .filter(|id| !fixed.contains(id))
                 .collect();
-            debug_assert!(!fixed.is_empty());
-            for id in &fixed {
+            debug_assert!(!batch.is_empty());
+            for id in &batch {
+                fixed.insert(*id);
+                unassigned -= 1;
                 let f = self.flows.get_mut(id).expect("flow vanished");
                 f.rate = share;
                 let path = f.path.clone();
@@ -365,7 +637,6 @@ impl FlowNet {
                     flows_on_link[l.0] -= 1;
                 }
             }
-            unassigned.retain(|id| !fixed.contains(id));
         }
         // Reschedule completions in flow-id order: scheduling order
         // assigns engine sequence numbers, which break ties between

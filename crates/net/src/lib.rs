@@ -22,6 +22,7 @@
 //! [`lsds_core::Schedule`], so the grid middleware layer (`lsds-grid`) can
 //! compose a network into its own models.
 
+pub mod fault;
 pub mod flow;
 pub mod packet;
 pub mod routing;
@@ -30,10 +31,11 @@ pub mod traffic;
 pub mod transfer;
 pub mod transport;
 
-pub use flow::{FlowDone, FlowEvent, FlowId, FlowNet};
+pub use fault::{poisson_link_outages, LinkFault, RetryPolicy};
+pub use flow::{FaultOutcome, FlowAborted, FlowDone, FlowEvent, FlowId, FlowNet, NoRoute};
 pub use packet::{PacketEvent, PacketNet, PacketNote};
 pub use routing::Routing;
 pub use topology::{gbps, mbps, LinkId, NodeId, NodeKind, Topology};
 pub use traffic::{BackgroundTraffic, FlowDemand, TrafficEvent};
-pub use transfer::{FtpService, TransferDone, TransferRequest};
+pub use transfer::{FtpService, TransferDone, TransferEvent, TransferRequest};
 pub use transport::{TcpConnection, TransportEvent, TransportNet, TransportNote, UdpStream};

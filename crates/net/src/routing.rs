@@ -6,8 +6,9 @@ use crate::topology::{LinkId, NodeId, Topology};
 ///
 /// Path weight is propagation latency, with hop count as tie-break, which
 /// matches the static shortest-path routing the surveyed Grid simulators
-/// assume. Routes are computed once; the simulated network is static for a
-/// run (topology dynamics would be modeled as distinct scenarios).
+/// assume. Routes are computed once per topology *state*: a static network
+/// computes them once, and a network with injected link faults recomputes
+/// them on each link state change (see [`Routing::compute_filtered`]).
 #[derive(Debug, Clone)]
 pub struct Routing {
     /// `next[src][dst]` = first link on the path, or `None` if unreachable.
@@ -17,6 +18,18 @@ pub struct Routing {
 impl Routing {
     /// Computes routes for every ordered node pair.
     pub fn compute(topo: &Topology) -> Self {
+        Self::compute_inner(topo, None)
+    }
+
+    /// Computes routes using only links whose `usable` entry is `true`
+    /// (indexed by [`LinkId`]). This is how [`crate::FlowNet`] routes
+    /// around failed links: recompute with the down links masked out.
+    pub fn compute_filtered(topo: &Topology, usable: &[bool]) -> Self {
+        assert_eq!(usable.len(), topo.link_count(), "usable mask size");
+        Self::compute_inner(topo, Some(usable))
+    }
+
+    fn compute_inner(topo: &Topology, usable: Option<&[bool]>) -> Self {
         let n = topo.node_count();
         let mut next = vec![vec![None; n]; n];
         for src in 0..n {
@@ -39,6 +52,9 @@ impl Routing {
                 visited[u] = true;
                 first_link[u] = via;
                 for &lid in topo.out_links(NodeId(u)) {
+                    if usable.is_some_and(|mask| !mask[lid.0]) {
+                        continue;
+                    }
                     let link = topo.link(lid);
                     let v = link.to.0;
                     if visited[v] {
@@ -189,5 +205,41 @@ mod tests {
         let r = Routing::compute(&t);
         let p = r.path(&t, hosts[0], hosts[3]).unwrap();
         assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn filtered_routes_around_masked_link() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        let b = t.add_node(NodeKind::Router, "b");
+        let c = t.add_node(NodeKind::Host, "c");
+        // fast direct link plus a slower detour via b
+        let (direct, _) = t.add_duplex(a, c, mbps(1.0), 0.01);
+        t.add_duplex(a, b, mbps(1.0), 0.05);
+        t.add_duplex(b, c, mbps(1.0), 0.05);
+        let all = Routing::compute(&t);
+        assert_eq!(all.path(&t, a, c).unwrap(), vec![direct]);
+        let mut usable = vec![true; t.link_count()];
+        usable[direct.0] = false;
+        let filtered = Routing::compute_filtered(&t, &usable);
+        let detour = filtered.path(&t, a, c).unwrap();
+        assert_eq!(detour.len(), 2);
+        assert!(!detour.contains(&direct));
+        // mask the detour too: unreachable
+        usable[detour[0].0] = false;
+        let none = Routing::compute_filtered(&t, &usable);
+        assert!(none.path(&t, a, c).is_none());
+    }
+
+    #[test]
+    fn unfiltered_matches_all_true_mask() {
+        let (t, hosts) = Topology::star(5, mbps(100.0), 0.001);
+        let plain = Routing::compute(&t);
+        let masked = Routing::compute_filtered(&t, &vec![true; t.link_count()]);
+        for &s in &hosts {
+            for &d in &hosts {
+                assert_eq!(plain.path(&t, s, d), masked.path(&t, s, d));
+            }
+        }
     }
 }

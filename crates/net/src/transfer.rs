@@ -6,11 +6,18 @@
 //! session limits and a FIFO request queue, so a site with `max_sessions`
 //! concurrent outbound transfers queues the rest — the mechanism behind
 //! replica-transfer contention in the replication experiments (E6–E8).
+//!
+//! On a faulty network (see [`crate::fault`]) the service also owns the
+//! client-side recovery loop: transfers torn down by a link failure, or
+//! unroutable when requested, are retried with exponential backoff under a
+//! [`RetryPolicy`]; an optional per-transfer timeout tears down and
+//! retries stalled transfers.
 
+use crate::fault::{LinkFault, RetryPolicy};
 use crate::flow::{FlowDone, FlowEvent, FlowNet};
 use crate::topology::NodeId;
 use lsds_core::{Schedule, SimTime};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// A queued file-transfer request.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +43,44 @@ pub struct TransferDone {
     pub finished: SimTime,
     /// Seconds spent queued before a session opened.
     pub queue_wait: f64,
+    /// Attempts the transfer needed (1 = succeeded first try).
+    pub attempts: u32,
+}
+
+/// A transfer given up on after exhausting its retry budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferFailed {
+    /// The original request.
+    pub request: TransferRequest,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// When the final attempt failed.
+    pub at: SimTime,
+}
+
+/// Events the transfer service schedules for itself. Embed these in the
+/// owning model's event type and route them back to [`FtpService::handle`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransferEvent {
+    /// An event of the underlying flow network.
+    Net(FlowEvent),
+    /// Backoff expired: re-attempt the identified failed transfer.
+    Retry(u64),
+    /// Per-transfer timeout check for the identified flow.
+    Timeout { flow: u64 },
+}
+
+/// Adapts the owner's scheduler so the inner [`FlowNet`] can schedule its
+/// own events wrapped in [`TransferEvent::Net`].
+struct NetSched<'a, S>(&'a mut S);
+
+impl<S: Schedule<TransferEvent>> Schedule<FlowEvent> for NetSched<'_, S> {
+    fn now(&self) -> SimTime {
+        self.0.now()
+    }
+    fn schedule_at(&mut self, t: SimTime, event: FlowEvent) {
+        self.0.schedule_at(t, TransferEvent::Net(event));
+    }
 }
 
 struct Server {
@@ -43,19 +88,32 @@ struct Server {
     waiting: VecDeque<TransferRequest>,
 }
 
+/// An attempt in flight on the network.
+struct Inflight {
+    req: TransferRequest,
+    attempt: u32,
+}
+
 /// FTP-like transfer service over a [`FlowNet`].
 pub struct FtpService {
     net: FlowNet,
     servers: Vec<Server>,
     max_sessions: usize,
-    /// start time per in-flight flow tag (indexed by flow id)
-    started: std::collections::HashMap<u64, TransferRequest>,
+    retry: RetryPolicy,
+    /// in-flight attempt per flow id
+    started: HashMap<u64, Inflight>,
+    /// failed attempts waiting out their backoff, by retry token
+    backing_off: HashMap<u64, Inflight>,
+    next_token: u64,
+    retries: u64,
     completed: Vec<TransferDone>,
+    failed: Vec<TransferFailed>,
 }
 
 impl FtpService {
     /// Wraps a flow network; each node serves at most `max_sessions`
-    /// concurrent outbound transfers.
+    /// concurrent outbound transfers. Failure recovery uses the default
+    /// [`RetryPolicy`]; see [`FtpService::with_retry`].
     pub fn new(net: FlowNet, max_sessions: usize) -> Self {
         assert!(max_sessions > 0, "need at least one session");
         let n = net.topology().node_count();
@@ -68,9 +126,20 @@ impl FtpService {
                 })
                 .collect(),
             max_sessions,
-            started: std::collections::HashMap::new(),
+            retry: RetryPolicy::default(),
+            started: HashMap::new(),
+            backing_off: HashMap::new(),
+            next_token: 0,
+            retries: 0,
             completed: Vec::new(),
+            failed: Vec::new(),
         }
+    }
+
+    /// Replaces the retry/timeout policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The underlying flow network.
@@ -81,6 +150,16 @@ impl FtpService {
     /// Transfers completed so far.
     pub fn completed(&self) -> &[TransferDone] {
         &self.completed
+    }
+
+    /// Transfers abandoned after exhausting their retry budget.
+    pub fn failed(&self) -> &[TransferFailed] {
+        &self.failed
+    }
+
+    /// Retry attempts issued so far (across all transfers).
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
     /// Requests queued at `node` (excluding active sessions).
@@ -94,14 +173,16 @@ impl FtpService {
     }
 
     /// Submits a transfer request; it starts immediately if the source has
-    /// a free session, otherwise it queues FIFO.
+    /// a free session, otherwise it queues FIFO. An unroutable request
+    /// (possible once links fail) enters the retry loop instead of
+    /// panicking.
     pub fn request(
         &mut self,
         src: NodeId,
         dst: NodeId,
         bytes: f64,
         tag: u64,
-        sched: &mut impl Schedule<FlowEvent>,
+        sched: &mut impl Schedule<TransferEvent>,
     ) {
         let req = TransferRequest {
             src,
@@ -110,56 +191,160 @@ impl FtpService {
             tag,
             requested: sched.now(),
         };
-        if self.servers[src.0].active < self.max_sessions {
-            self.begin(req, sched);
+        self.admit(Inflight { req, attempt: 0 }, sched);
+    }
+
+    /// Starts the attempt if a session is free, else queues it. Queued
+    /// requests restart at attempt 0 when their session opens: waiting for
+    /// a session is contention, not failure, so it spends no retry budget.
+    fn admit(&mut self, fl: Inflight, sched: &mut impl Schedule<TransferEvent>) {
+        if self.servers[fl.req.src.0].active < self.max_sessions {
+            self.begin(fl, sched);
         } else {
-            self.servers[src.0].waiting.push_back(req);
+            self.servers[fl.req.src.0].waiting.push_back(fl.req);
         }
     }
 
-    fn begin(&mut self, req: TransferRequest, sched: &mut impl Schedule<FlowEvent>) {
-        self.servers[req.src.0].active += 1;
-        let id = self.net.start(req.src, req.dst, req.bytes, req.tag, sched);
-        self.started.insert(id.0, req);
+    fn begin(&mut self, fl: Inflight, sched: &mut impl Schedule<TransferEvent>) {
+        let attempt = fl.attempt + 1;
+        match self.net.try_start(
+            fl.req.src,
+            fl.req.dst,
+            fl.req.bytes,
+            fl.req.tag,
+            &mut NetSched(sched),
+        ) {
+            Ok(id) => {
+                self.servers[fl.req.src.0].active += 1;
+                if let Some(t) = self.retry.timeout {
+                    sched.schedule_in(t, TransferEvent::Timeout { flow: id.0 });
+                }
+                self.started.insert(
+                    id.0,
+                    Inflight {
+                        req: fl.req,
+                        attempt,
+                    },
+                );
+            }
+            Err(_no_route) => {
+                // no session was consumed; back off and re-attempt
+                self.retry_or_fail(
+                    Inflight {
+                        req: fl.req,
+                        attempt,
+                    },
+                    sched,
+                );
+            }
+        }
     }
 
-    /// Routes a flow event through the network, closing sessions and
-    /// starting queued transfers as flows complete. Returns the transfers
-    /// that finished on this event.
+    /// Schedules the next attempt after exponential backoff, or records a
+    /// permanent failure once the budget is spent. `fl.attempt` counts the
+    /// attempts already made.
+    fn retry_or_fail(&mut self, fl: Inflight, sched: &mut impl Schedule<TransferEvent>) {
+        if fl.attempt > self.retry.max_retries {
+            self.failed.push(TransferFailed {
+                request: fl.req,
+                attempts: fl.attempt,
+                at: sched.now(),
+            });
+            return;
+        }
+        self.retries += 1;
+        let delay = self.retry.backoff(fl.attempt - 1);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.backing_off.insert(token, fl);
+        sched.schedule_in(delay, TransferEvent::Retry(token));
+    }
+
+    /// Closes the session an attempt held and hands it to the next queued
+    /// request.
+    fn release_session(&mut self, src: NodeId, sched: &mut impl Schedule<TransferEvent>) {
+        self.servers[src.0].active -= 1;
+        if let Some(next) = self.servers[src.0].waiting.pop_front() {
+            self.begin(
+                Inflight {
+                    req: next,
+                    attempt: 0,
+                },
+                sched,
+            );
+        }
+    }
+
+    /// Injects a link fault into the underlying network. Transfers torn
+    /// down by it release their session and enter the retry loop.
+    pub fn apply_fault(&mut self, fault: LinkFault, sched: &mut impl Schedule<TransferEvent>) {
+        let outcome = self.net.apply_fault(fault, &mut NetSched(sched));
+        for ab in outcome.aborted {
+            let fl = self
+                .started
+                .remove(&ab.id.0)
+                .expect("aborted flow not tracked");
+            self.release_session(fl.req.src, sched);
+            self.retry_or_fail(fl, sched);
+        }
+    }
+
+    /// Routes a transfer event through the service, closing sessions and
+    /// starting queued transfers as flows complete, re-attempting failed
+    /// transfers after backoff, and enforcing timeouts. Returns the
+    /// transfers that finished on this event.
     pub fn handle(
         &mut self,
-        ev: FlowEvent,
-        sched: &mut impl Schedule<FlowEvent>,
+        ev: TransferEvent,
+        sched: &mut impl Schedule<TransferEvent>,
     ) -> Vec<TransferDone> {
-        let done: Vec<FlowDone> = self.net.handle(ev, sched);
-        let mut finished = Vec::new();
-        for d in done {
-            let req = self
-                .started
-                .remove(&d.id.0)
-                .expect("completion for unknown transfer");
-            let server = &mut self.servers[req.src.0];
-            server.active -= 1;
-            // a queued request takes over the freed session
-            if let Some(next) = server.waiting.pop_front() {
-                self.begin(next, sched);
+        match ev {
+            TransferEvent::Net(fe) => {
+                let done: Vec<FlowDone> = self.net.handle(fe, &mut NetSched(sched));
+                let mut finished = Vec::new();
+                for d in done {
+                    let fl = self
+                        .started
+                        .remove(&d.id.0)
+                        .expect("completion for unknown transfer");
+                    self.release_session(fl.req.src, sched);
+                    let rec = TransferDone {
+                        queue_wait: d.requested - fl.req.requested,
+                        request: fl.req,
+                        finished: d.finished,
+                        attempts: fl.attempt,
+                    };
+                    self.completed.push(rec.clone());
+                    finished.push(rec);
+                }
+                finished
             }
-            let rec = TransferDone {
-                queue_wait: d.requested - req.requested,
-                request: req,
-                finished: d.finished,
-            };
-            self.completed.push(rec.clone());
-            finished.push(rec);
+            TransferEvent::Retry(token) => {
+                if let Some(fl) = self.backing_off.remove(&token) {
+                    self.admit(fl, sched);
+                }
+                Vec::new()
+            }
+            TransferEvent::Timeout { flow } => {
+                // stale timeouts (flow already completed or aborted) miss
+                // the `started` map and are no-ops
+                if let Some(fl) = self.started.remove(&flow) {
+                    self.net
+                        .cancel(crate::flow::FlowId(flow), &mut NetSched(sched))
+                        .expect("started flow missing from net");
+                    self.release_session(fl.req.src, sched);
+                    self.retry_or_fail(fl, sched);
+                }
+                Vec::new()
+            }
         }
-        finished
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::{mbps, NodeKind, Topology};
+    use crate::topology::{mbps, LinkId, NodeKind, Topology};
     use lsds_core::{Ctx, EventDriven, Model};
 
     struct Harness {
@@ -168,7 +353,8 @@ mod tests {
 
     enum Ev {
         Req(NodeId, NodeId, f64, u64),
-        Net(FlowEvent),
+        Fault(LinkFault),
+        Svc(TransferEvent),
     }
 
     impl Model for Harness {
@@ -176,10 +362,13 @@ mod tests {
         fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
             match ev {
                 Ev::Req(s, d, b, tag) => {
-                    self.ftp.request(s, d, b, tag, &mut ctx.map(Ev::Net));
+                    self.ftp.request(s, d, b, tag, &mut ctx.map(Ev::Svc));
                 }
-                Ev::Net(fe) => {
-                    self.ftp.handle(fe, &mut ctx.map(Ev::Net));
+                Ev::Fault(f) => {
+                    self.ftp.apply_fault(f, &mut ctx.map(Ev::Svc));
+                }
+                Ev::Svc(te) => {
+                    self.ftp.handle(te, &mut ctx.map(Ev::Svc));
                 }
             }
         }
@@ -214,6 +403,7 @@ mod tests {
         // the third request waited two service times
         let waits: Vec<f64> = completed.iter().map(|c| c.queue_wait).collect();
         assert!(waits.iter().cloned().fold(0.0, f64::max) >= 2.0 - 1e-9);
+        assert!(completed.iter().all(|c| c.attempts == 1));
     }
 
     #[test]
@@ -242,5 +432,103 @@ mod tests {
         assert_eq!(ftp.active_sessions(a), 1);
         assert_eq!(ftp.queue_len(a), 3);
         assert_eq!(ftp.active_sessions(b), 0);
+    }
+
+    #[test]
+    fn outage_triggers_retry_and_recovery() {
+        let (mut sim, a, b) = setup(2);
+        // 100 MB at 10 MB/s would finish at t=10 unfaulted
+        sim.schedule(SimTime::ZERO, Ev::Req(a, b, 100.0e6, 1));
+        // only path fails at t=2, recovers at t=4
+        sim.schedule(SimTime::new(2.0), Ev::Fault(LinkFault::Down(LinkId(0))));
+        sim.schedule(SimTime::new(4.0), Ev::Fault(LinkFault::Up(LinkId(0))));
+        sim.run();
+        let ftp = &sim.model().ftp;
+        assert_eq!(ftp.completed().len(), 1);
+        let c = &ftp.completed()[0];
+        assert!(c.attempts >= 2, "transfer was retried: {c:?}");
+        // restarted from zero after recovery: strictly later than 10s
+        assert!(c.finished.seconds() > 10.0, "{c:?}");
+        assert!(ftp.failed().is_empty());
+        assert!(ftp.retries() >= 1);
+        assert_eq!(ftp.active_sessions(a), 0, "session released on abort");
+        assert!(ftp.net().aborted() >= 1);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_records_failure() {
+        let (mut sim, a, b) = setup(1);
+        sim.model_mut().ftp.retry = RetryPolicy {
+            max_retries: 2,
+            base_backoff: 0.5,
+            backoff_factor: 2.0,
+            max_backoff: 10.0,
+            timeout: None,
+        };
+        sim.schedule(SimTime::ZERO, Ev::Req(a, b, 10.0e6, 9));
+        // link goes down immediately and never recovers
+        sim.schedule(SimTime::new(0.1), Ev::Fault(LinkFault::Down(LinkId(0))));
+        sim.run();
+        let ftp = &sim.model().ftp;
+        assert!(ftp.completed().is_empty());
+        assert_eq!(ftp.failed().len(), 1);
+        let f = &ftp.failed()[0];
+        assert_eq!(f.attempts, 3, "initial + 2 retries");
+        assert_eq!(f.request.tag, 9);
+        assert_eq!(ftp.active_sessions(a), 0);
+    }
+
+    #[test]
+    fn timeout_cancels_and_retries_stalled_transfer() {
+        let (mut sim, a, b) = setup(1);
+        sim.model_mut().ftp.retry = RetryPolicy {
+            max_retries: 4,
+            base_backoff: 0.25,
+            backoff_factor: 1.0,
+            max_backoff: 0.25,
+            timeout: Some(3.0),
+        };
+        // 100 MB at 10 MB/s needs 10 s — always hits the 3 s timeout, but
+        // degraded capacity is restored before the second attempt
+        sim.schedule(SimTime::ZERO, Ev::Req(a, b, 20.0e6, 5));
+        sim.schedule(
+            SimTime::new(0.1),
+            Ev::Fault(LinkFault::Degrade {
+                link: LinkId(0),
+                factor: 0.01, // 0.1 MB/s: attempt 1 cannot finish in 3 s
+            }),
+        );
+        sim.schedule(
+            SimTime::new(3.5),
+            Ev::Fault(LinkFault::Degrade {
+                link: LinkId(0),
+                factor: 1.0,
+            }),
+        );
+        sim.run();
+        let ftp = &sim.model().ftp;
+        assert_eq!(ftp.completed().len(), 1, "failed: {:?}", ftp.failed());
+        let c = &ftp.completed()[0];
+        assert!(c.attempts >= 2, "{c:?}");
+        assert!(ftp.net().in_flight() == 0);
+    }
+
+    #[test]
+    fn unroutable_request_is_retried_not_panicking() {
+        let (mut sim, a, b) = setup(1);
+        sim.model_mut().ftp.retry = RetryPolicy {
+            max_retries: 3,
+            base_backoff: 1.0,
+            backoff_factor: 2.0,
+            max_backoff: 10.0,
+            timeout: None,
+        };
+        sim.schedule(SimTime::ZERO, Ev::Fault(LinkFault::Down(LinkId(0))));
+        sim.schedule(SimTime::new(0.5), Ev::Req(a, b, 10.0e6, 3));
+        sim.schedule(SimTime::new(1.0), Ev::Fault(LinkFault::Up(LinkId(0))));
+        sim.run();
+        let ftp = &sim.model().ftp;
+        assert_eq!(ftp.completed().len(), 1);
+        assert!(ftp.completed()[0].attempts >= 2);
     }
 }

@@ -1,0 +1,222 @@
+//! Randomized tests of the fluid network under fault injection: the
+//! max-min allocation never exceeds a link's *effective* (degraded)
+//! capacity, every started flow is accounted for (completed, aborted,
+//! or rejected for lack of a route), redundant topologies keep flows
+//! alive via re-routing, and faulty runs are bit-identical per seed.
+//!
+//! Cases are generated with the deterministic [`SimRng`] (seeded per
+//! trial), replacing the property-testing framework the offline build
+//! cannot fetch.
+
+use lsds_core::{Ctx, EventDriven, Model, SimTime};
+use lsds_net::{
+    mbps, poisson_link_outages, FlowDone, FlowEvent, FlowNet, LinkFault, LinkId, NodeId, NodeKind,
+    Topology,
+};
+use lsds_stats::SimRng;
+
+struct Harness {
+    net: FlowNet,
+    done: Vec<FlowDone>,
+    plan: Vec<(f64, NodeId, NodeId, f64)>,
+    no_route: u64,
+    check_capacity: bool,
+}
+
+enum FEv {
+    Kick(usize),
+    Fault(LinkFault),
+    Net(FlowEvent),
+}
+
+impl Model for Harness {
+    type Event = FEv;
+    fn handle(&mut self, ev: FEv, ctx: &mut Ctx<'_, FEv>) {
+        match ev {
+            FEv::Kick(i) => {
+                let (_, s, d, b) = self.plan[i];
+                if self
+                    .net
+                    .try_start(s, d, b, i as u64, &mut ctx.map(FEv::Net))
+                    .is_err()
+                {
+                    self.no_route += 1;
+                }
+            }
+            FEv::Fault(f) => {
+                self.net.apply_fault(f, &mut ctx.map(FEv::Net));
+            }
+            FEv::Net(fe) => {
+                let done = self.net.handle(fe, &mut ctx.map(FEv::Net));
+                self.done.extend(done);
+            }
+        }
+        if self.check_capacity {
+            // the core fairness invariant, re-checked after *every*
+            // event: no link carries more than it can right now
+            for l in 0..self.net.topology().link_count() {
+                let cap = self.net.effective_bandwidth(LinkId(l));
+                let load = self.net.link_load(LinkId(l));
+                assert!(
+                    load <= cap + cap * 1e-9 + 1e-6,
+                    "link {l}: load {load} exceeds effective capacity {cap}"
+                );
+            }
+        }
+    }
+}
+
+fn run_star(
+    seed: u64,
+    faults: &[(f64, LinkFault)],
+    check_capacity: bool,
+) -> (Vec<(u64, u64)>, u64, u64) {
+    let mut rng = SimRng::new(seed);
+    let n_hosts = 3 + rng.next_below(3) as usize;
+    let n_transfers = 4 + rng.next_below(20) as usize;
+    let (topo, hosts) = Topology::star(n_hosts, mbps(100.0), 0.01);
+    let plan: Vec<(f64, NodeId, NodeId, f64)> = (0..n_transfers)
+        .map(|_| {
+            let t = rng.range_f64(0.0, 200.0);
+            let s = rng.next_below(n_hosts as u64) as usize;
+            let mut d = rng.next_below(n_hosts as u64) as usize;
+            if d == s {
+                d = (d + 1) % n_hosts;
+            }
+            let b = rng.range_f64(1.0e3, 5.0e8);
+            (t, hosts[s], hosts[d], b)
+        })
+        .collect();
+    let mut sim = EventDriven::new(Harness {
+        net: FlowNet::new(topo),
+        done: vec![],
+        plan: plan.clone(),
+        no_route: 0,
+        check_capacity,
+    });
+    for (i, &(t, ..)) in plan.iter().enumerate() {
+        sim.schedule(SimTime::new(t), FEv::Kick(i));
+    }
+    for &(t, f) in faults {
+        sim.schedule(SimTime::new(t), FEv::Fault(f));
+    }
+    sim.run();
+    let m = sim.model();
+    assert_eq!(m.net.in_flight(), 0, "run must drain");
+    // every planned transfer is accounted for exactly once
+    assert_eq!(
+        m.done.len() as u64 + m.net.aborted() + m.no_route,
+        plan.len() as u64,
+        "transfers must complete, abort, or be rejected"
+    );
+    let fingerprint = m
+        .done
+        .iter()
+        .map(|d| (d.tag, d.finished.seconds().to_bits()))
+        .collect();
+    (fingerprint, m.net.aborted(), m.no_route)
+}
+
+/// Under randomized arrivals, outages, and degradations, the max-min
+/// rates never exceed any link's effective capacity.
+#[test]
+fn capacity_respected_under_random_faults() {
+    for trial in 0..24u64 {
+        let mut frng = SimRng::new(0xFA17 + trial);
+        let n_links = 6; // star(3) minimum: 2 links per host
+        let mut faults: Vec<(f64, LinkFault)> = Vec::new();
+        for _ in 0..4 {
+            let l = LinkId(frng.next_below(n_links) as usize);
+            let at = frng.range_f64(1.0, 150.0);
+            match frng.next_below(2) {
+                0 => {
+                    faults.push((at, LinkFault::Down(l)));
+                    faults.push((at + frng.range_f64(1.0, 40.0), LinkFault::Up(l)));
+                }
+                _ => {
+                    let factor = frng.range_f64(0.05, 0.9);
+                    faults.push((at, LinkFault::Degrade { link: l, factor }));
+                    faults.push((
+                        at + frng.range_f64(1.0, 40.0),
+                        LinkFault::Degrade {
+                            link: l,
+                            factor: 1.0,
+                        },
+                    ));
+                }
+            }
+        }
+        run_star(0x57A6 + trial, &faults, true);
+    }
+}
+
+/// Same seed, same fault schedule — bit-identical completions, abort
+/// counts, and rejection counts, including seeded Poisson outages.
+#[test]
+fn faulty_runs_are_bit_identical() {
+    for trial in 0..8u64 {
+        let schedule = || {
+            let mut rng = SimRng::new(0xDE7 + trial).fork(1);
+            poisson_link_outages(
+                &mut rng,
+                &[LinkId(0), LinkId(3), LinkId(4)],
+                300.0,
+                60.0,
+                15.0,
+            )
+        };
+        let a = run_star(0xB17 + trial, &schedule(), false);
+        let b = run_star(0xB17 + trial, &schedule(), false);
+        assert_eq!(a, b, "trial {trial} diverged");
+    }
+}
+
+/// On a topology with a redundant path, killing the preferred link
+/// re-routes in-flight flows instead of aborting them: every transfer
+/// still completes and every byte is delivered.
+#[test]
+fn redundant_path_keeps_flows_alive() {
+    let mut topo = Topology::new();
+    let a = topo.add_node(NodeKind::Host, "a");
+    let r1 = topo.add_node(NodeKind::Router, "r1");
+    let r2 = topo.add_node(NodeKind::Router, "r2");
+    let b = topo.add_node(NodeKind::Host, "b");
+    // the r1 path is preferred (lower latency); r2 is the detour
+    let (ar1, _) = topo.add_duplex(a, r1, mbps(100.0), 0.001);
+    topo.add_duplex(r1, b, mbps(100.0), 0.001);
+    topo.add_duplex(a, r2, mbps(50.0), 0.01);
+    topo.add_duplex(r2, b, mbps(50.0), 0.01);
+
+    let mut rng = SimRng::new(0x2E40);
+    let plan: Vec<(f64, NodeId, NodeId, f64)> = (0..12)
+        .map(|_| {
+            // large enough that flows started early are still running
+            // when the outage hits at t = 5
+            (rng.range_f64(0.0, 10.0), a, b, rng.range_f64(1.0e8, 1.0e9))
+        })
+        .collect();
+    let injected: f64 = plan.iter().map(|p| p.3).sum();
+    let mut sim = EventDriven::new(Harness {
+        net: FlowNet::new(topo),
+        done: vec![],
+        plan: plan.clone(),
+        no_route: 0,
+        check_capacity: true,
+    });
+    for (i, &(t, ..)) in plan.iter().enumerate() {
+        sim.schedule(SimTime::new(t), FEv::Kick(i));
+    }
+    sim.schedule(SimTime::new(5.0), FEv::Fault(LinkFault::Down(ar1)));
+    sim.schedule(SimTime::new(500.0), FEv::Fault(LinkFault::Up(ar1)));
+    sim.run();
+    let m = sim.model();
+    assert_eq!(m.no_route, 0, "the detour keeps a->b routable");
+    assert_eq!(m.net.aborted(), 0, "redundancy prevents aborts");
+    assert!(m.net.rerouted() > 0, "the outage must catch live flows");
+    assert_eq!(m.done.len(), plan.len(), "every transfer completes");
+    let delivered: f64 = m.done.iter().map(|d| d.bytes).sum();
+    assert!((delivered - injected).abs() < injected * 1e-9 + 1e-6);
+    // downtime accounting covers the full outage window
+    let dt = m.net.link_downtime(ar1, SimTime::new(1000.0));
+    assert!((dt - 495.0).abs() < 1e-9, "downtime {dt}");
+}

@@ -28,8 +28,8 @@ use lsds_grid::replication::FileId;
 use lsds_grid::scheduler::LeastLoaded;
 use lsds_grid::site::Site;
 use lsds_grid::storage::{DbServer, MassStorage, StorageElement};
-use lsds_grid::{Activity, ReplicationPolicy, SiteId};
-use lsds_net::{gbps, NodeKind, Topology};
+use lsds_grid::{Activity, FaultSchedule, ReplicationPolicy, SiteId};
+use lsds_net::{gbps, LinkId, NodeKind, Topology};
 use lsds_stats::{Dist, SimRng, Summary};
 
 /// MONARC LHC scenario parameters.
@@ -59,6 +59,11 @@ pub struct Monarc {
     /// the first access of each pays a mass-storage recall (MONARC's
     /// "mass storage units").
     pub archive_initial: bool,
+    /// Scheduled outages of the shared T0 uplink, as `(start, duration)`
+    /// seconds: both directions of the duplex go down together. Transfers
+    /// caught on the link abort and ride the grid's retry/backoff path —
+    /// the failure-resilience side of the T0→T1 replication study.
+    pub uplink_outages: Vec<(f64, f64)>,
     /// Seed.
     pub seed: u64,
 }
@@ -79,6 +84,7 @@ impl Default for Monarc {
             initial_datasets: 20,
             t1_cores: 32,
             archive_initial: false,
+            uplink_outages: Vec::new(),
             seed: 1,
         }
     }
@@ -201,6 +207,15 @@ impl Monarc {
             seed: self.seed,
         };
         let mut sim = GridModel::build(cfg);
+        if !self.uplink_outages.is_empty() {
+            // the T0↔gateway duplex is the first pair added: links 0 and 1
+            let mut faults = FaultSchedule::new();
+            for &(at, duration) in &self.uplink_outages {
+                faults.link_outage(LinkId(0), at, duration);
+                faults.link_outage(LinkId(1), at, duration);
+            }
+            sim.model_mut().set_faults(faults);
+        }
         if self.archive_initial {
             for _ in 0..self.initial_datasets {
                 sim.model_mut()
@@ -401,6 +416,36 @@ mod tests {
         // the DB sits at T0, which executes nothing; T1 placements
         // query nothing
         assert_eq!(archived.grid.db_queries, 0);
+    }
+
+    #[test]
+    fn uplink_outage_delays_but_does_not_lose_shipments() {
+        let clean = Monarc {
+            uplink_gbps: 30.0,
+            datasets: 20,
+            ..Monarc::default()
+        }
+        .run(1.0e6);
+        let faulty = Monarc {
+            uplink_gbps: 30.0,
+            datasets: 20,
+            // a one-hour outage in the middle of the production window
+            uplink_outages: vec![(1000.0, 3600.0)],
+            ..Monarc::default()
+        }
+        .run(1.0e6);
+        assert_eq!(clean.shipped, 20 * 5);
+        assert_eq!(faulty.shipped, 20 * 5, "retries recover every shipment");
+        assert!(
+            faulty.grid.transfer_retries > 0,
+            "outage must force shipment retries"
+        );
+        assert!(
+            faulty.max_availability_lag > clean.max_availability_lag,
+            "the outage must show up as availability lag: {} vs {}",
+            faulty.max_availability_lag,
+            clean.max_availability_lag
+        );
     }
 
     #[test]

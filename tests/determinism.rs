@@ -58,6 +58,37 @@ fn monarc_bit_for_bit_reproducible() {
     assert_eq!(monarc_fingerprint(7), monarc_fingerprint(7));
 }
 
+fn monarc_outage_fingerprint(seed: u64) -> Vec<(u64, u64, u64)> {
+    let rep = Monarc {
+        datasets: 20,
+        analysis_jobs: 10,
+        uplink_gbps: 10.0,
+        // cut the shared T0 uplink twice mid-run: aborts, backoff
+        // retries, and re-shipments are all on the event timeline
+        uplink_outages: vec![(500.0, 900.0), (4000.0, 300.0)],
+        seed,
+        ..Monarc::default()
+    }
+    .run(1.0e6);
+    rep.grid
+        .records
+        .iter()
+        .map(|r| (r.id.0, r.site.0 as u64, r.finished.seconds().to_bits()))
+        .chain(std::iter::once((
+            rep.shipped,
+            rep.grid.transfer_retries,
+            rep.mean_availability_lag.to_bits(),
+        )))
+        .collect()
+}
+
+#[test]
+fn monarc_fault_injected_run_is_bit_for_bit_reproducible() {
+    let a = monarc_outage_fingerprint(7);
+    let b = monarc_outage_fingerprint(7);
+    assert_eq!(a, b, "same-seed faulty runs must be bit-identical");
+}
+
 #[test]
 fn deterministic_components_yield_deterministic_simulation() {
     // a model with only Dist::Deterministic components has *no* random
