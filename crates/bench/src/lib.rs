@@ -22,6 +22,9 @@
 //! and E13 on the in-tree Criterion-compatible [`harness`] (the offline
 //! build has no external bench framework).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod harness;
 pub mod workloads;
 

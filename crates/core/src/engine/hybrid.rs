@@ -198,7 +198,10 @@ impl<M: HybridModel, Q: EventQueue<M::Event>, R: Recorder> Hybrid<M, Q, R> {
                     if self.stopped {
                         break;
                     }
-                    let ev = self.queue.pop_min().expect("peeked event vanished");
+                    let Some(ev) = self.queue.pop_min() else {
+                        debug_assert!(false, "peeked event vanished");
+                        break;
+                    };
                     self.recorder
                         .on_queue_op(ev.time.seconds(), QueueOp::Pop, self.queue.len());
                     // events scheduled by on_step during integration may

@@ -125,7 +125,10 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> TimeDriven<M, Q, R> {
             if t > next || self.stopped {
                 break;
             }
-            let ev = self.queue.pop_min().expect("peeked event vanished");
+            let Some(ev) = self.queue.pop_min() else {
+                debug_assert!(false, "peeked event vanished");
+                break;
+            };
             self.recorder
                 .on_queue_op(next.seconds(), QueueOp::Pop, self.queue.len());
             self.processed += 1;

@@ -187,33 +187,29 @@ impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>, R: Re
         self.fill_lookahead();
         let trace_t = self.lookahead.as_ref().map(|(t, _)| *t);
         let queue_t = self.queue.peek_time();
-        match (trace_t, queue_t) {
-            (None, None) => false,
-            (Some(_), None) => {
-                let (t, r) = self.lookahead.take().expect("lookahead vanished");
-                self.deliver(t, r, true);
-                true
-            }
-            (None, Some(_)) => {
-                let ev = self.queue.pop_min().expect("peeked event vanished");
-                self.recorder
-                    .on_queue_op(ev.time.seconds(), QueueOp::Pop, self.queue.len());
-                self.deliver(ev.time, ev.event, false);
-                true
-            }
-            (Some(tt), Some(qt)) => {
-                if qt <= tt {
-                    let ev = self.queue.pop_min().expect("peeked event vanished");
-                    self.recorder
-                        .on_queue_op(ev.time.seconds(), QueueOp::Pop, self.queue.len());
-                    self.deliver(ev.time, ev.event, false);
-                } else {
-                    let (t, r) = self.lookahead.take().expect("lookahead vanished");
-                    self.deliver(t, r, true);
-                }
-                true
-            }
+        // pick the earlier stream (queue wins ties), then pop exactly one
+        let take_queue = match (trace_t, queue_t) {
+            (None, None) => return false,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(tt), Some(qt)) => qt <= tt,
+        };
+        if take_queue {
+            let Some(ev) = self.queue.pop_min() else {
+                debug_assert!(false, "peeked event vanished");
+                return false;
+            };
+            self.recorder
+                .on_queue_op(ev.time.seconds(), QueueOp::Pop, self.queue.len());
+            self.deliver(ev.time, ev.event, false);
+        } else {
+            let Some((t, r)) = self.lookahead.take() else {
+                debug_assert!(false, "lookahead vanished");
+                return false;
+            };
+            self.deliver(t, r, true);
         }
+        true
     }
 
     /// Replays until both streams drain or a handler stops the run.

@@ -29,6 +29,9 @@
 //! taxonomy's sense, and a stochastic model re-run with the same seed
 //! reproduces its results exactly (experiment E14).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod engine;
 pub mod event;
 pub mod process;

@@ -177,9 +177,10 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
                 .front()
                 .is_some_and(|first| self.day_of(first.time.seconds()) <= self.day);
             if due {
-                let ev = self.buckets[self.cursor]
-                    .pop_front()
-                    .expect("front vanished");
+                let Some(ev) = self.buckets[self.cursor].pop_front() else {
+                    debug_assert!(false, "due bucket head vanished");
+                    return None;
+                };
                 self.last_prio = ev.time.seconds();
                 self.size -= 1;
                 if self.size > 0
@@ -195,14 +196,20 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
             self.cursor = (self.day % n as u64) as usize;
         }
         // Nothing due this year: jump straight to the global minimum.
-        let (t, _) = self.direct_search_min().expect("size > 0 but no events");
+        let Some((t, _)) = self.direct_search_min() else {
+            debug_assert!(false, "size > 0 but no events");
+            return None;
+        };
         self.seek(t.seconds());
         // The global minimum has time `t`, and every event with time `t`
         // hashes to the cursor's bucket, whose head is its `(time, seq)`
         // minimum — so the head of the cursor bucket is the global minimum.
         let bucket = &mut self.buckets[self.cursor];
         debug_assert_eq!(bucket.front().map(|ev| ev.time), Some(t));
-        let ev = bucket.pop_front().expect("front vanished");
+        let Some(ev) = bucket.pop_front() else {
+            debug_assert!(false, "cursor bucket head vanished after seek");
+            return None;
+        };
         self.last_prio = ev.time.seconds();
         self.size -= 1;
         Some(ev)

@@ -57,6 +57,19 @@ impl SimTime {
             other
         }
     }
+
+    /// Tolerance used by [`SimTime::approx_eq`]: ~1 ns at second scale,
+    /// far above f64 rounding noise but far below any modelled delay.
+    pub const EPSILON: f64 = 1e-9;
+
+    /// True when the two timestamps are within [`SimTime::EPSILON`] of each
+    /// other. Exact float `==` on simulated time is flagged by the
+    /// `float-eq` lint; use ordering where possible and this helper where a
+    /// coincidence test is genuinely meant.
+    #[inline]
+    pub fn approx_eq(self, other: SimTime) -> bool {
+        (self.0 - other.0).abs() <= Self::EPSILON
+    }
 }
 
 impl Eq for SimTime {}
@@ -148,5 +161,14 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(SimTime::new(0.5).to_string(), "0.500000s");
+    }
+
+    #[test]
+    fn approx_eq_tolerates_rounding_noise_only() {
+        let t = SimTime::new(1.0);
+        assert!(t.approx_eq(SimTime::new(1.0 + 1e-12)));
+        assert!(t.approx_eq(t));
+        assert!(!t.approx_eq(SimTime::new(1.0 + 1e-6)));
+        assert!(!SimTime::ZERO.approx_eq(SimTime::new(SimTime::EPSILON * 2.0)));
     }
 }

@@ -25,6 +25,9 @@
 //! engine-runnable model; the six simulator facades in `lsds-simulators`
 //! are configurations of it.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod activity;
 pub mod cpu;
 pub mod fault;

@@ -8,15 +8,18 @@
 
 use super::FileId;
 use crate::site::SiteId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Remote-access popularity tracker for push replication.
+///
+/// Uses `BTreeMap` so that target selection iterates in key order — the
+/// max-by scan below must not depend on hash iteration order.
 #[derive(Debug, Clone, Default)]
 pub struct PushTracker {
     /// (file, consumer site) → remote access count since last push.
-    counts: HashMap<(u64, usize), u64>,
+    counts: BTreeMap<(u64, usize), u64>,
     /// file → total remote accesses since last push of that file.
-    totals: HashMap<u64, u64>,
+    totals: BTreeMap<u64, u64>,
     pushes: u64,
 }
 

@@ -1,0 +1,224 @@
+//! Workspace lint configuration.
+//!
+//! Loaded from `lsds-lint.json` at the workspace root (the same in-tree
+//! JSON dialect `lsds-trace` reads and writes — the workspace builds
+//! offline, so there is no TOML parser to lean on). Everything has
+//! defaults tuned to this repository; a missing file means "defaults".
+//!
+//! ```json
+//! {
+//!   "order_sensitive_crates": ["lsds-core", "lsds-net"],
+//!   "hot_paths": ["crates/core/src/queue/", "crates/net/src/flow.rs"],
+//!   "exclude": ["crates/lint/tests/fixtures/"],
+//!   "severity": { "float-eq": "warn" },
+//!   "crates": { "lsds-bench": { "wall-clock": "off" } }
+//! }
+//! ```
+
+use crate::rules::{self, Severity};
+use lsds_trace::Json;
+
+/// Resolved lint configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates where `HashMap`/`HashSet` iteration order can leak into event
+    /// order (rule `hash-iter` only fires inside these).
+    pub order_sensitive_crates: Vec<String>,
+    /// Path prefixes (or exact files) forming the engine hot paths (rules
+    /// `hot-path-panic` and `hot-path-vec` only fire inside these).
+    pub hot_paths: Vec<String>,
+    /// Path prefixes never scanned (lint fixtures, generated code).
+    pub exclude: Vec<String>,
+    /// Workspace-wide severity overrides, `(rule id, severity)`.
+    pub severity: Vec<(String, Severity)>,
+    /// Per-crate severity overrides, `(crate name, rule id, severity)`.
+    /// These win over the workspace-wide table.
+    pub per_crate: Vec<(String, String, Severity)>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            order_sensitive_crates: [
+                "lsds-core",
+                "lsds-net",
+                "lsds-grid",
+                "lsds-parallel",
+                "lsds-simulators",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            hot_paths: [
+                "crates/core/src/queue/",
+                "crates/core/src/engine/",
+                "crates/parallel/src/",
+                "crates/net/src/flow.rs",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            exclude: vec!["crates/lint/tests/fixtures/".to_string()],
+            severity: Vec::new(),
+            per_crate: Vec::new(),
+        }
+    }
+}
+
+/// A configuration error: where it came from and what was wrong.
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn parse_severity(s: &str) -> Result<Severity, ConfigError> {
+    match s {
+        "off" => Ok(Severity::Off),
+        "warn" => Ok(Severity::Warn),
+        "error" => Ok(Severity::Error),
+        other => Err(ConfigError(format!(
+            "unknown severity {other:?} (expected off|warn|error)"
+        ))),
+    }
+}
+
+fn string_list(v: &Json, what: &str) -> Result<Vec<String>, ConfigError> {
+    match v {
+        Json::Arr(items) => items
+            .iter()
+            .map(|x| {
+                x.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| ConfigError(format!("{what} entries must be strings")))
+            })
+            .collect(),
+        _ => Err(ConfigError(format!("{what} must be an array of strings"))),
+    }
+}
+
+fn severity_table(v: &Json, what: &str) -> Result<Vec<(String, Severity)>, ConfigError> {
+    let Json::Obj(fields) = v else {
+        return Err(ConfigError(format!("{what} must be an object")));
+    };
+    let mut out = Vec::new();
+    for (rule, sev) in fields {
+        if !rules::is_known_rule(rule) {
+            return Err(ConfigError(format!("{what}: unknown rule id {rule:?}")));
+        }
+        let s = sev
+            .as_str()
+            .ok_or_else(|| ConfigError(format!("{what}.{rule} must be a string")))?;
+        out.push((rule.clone(), parse_severity(s)?));
+    }
+    Ok(out)
+}
+
+impl Config {
+    /// Parses a configuration document, filling absent fields with the
+    /// defaults.
+    pub fn from_json(doc: &Json) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let Json::Obj(fields) = doc else {
+            return Err(ConfigError("top level must be an object".to_string()));
+        };
+        for (key, value) in fields {
+            match key.as_str() {
+                "order_sensitive_crates" => {
+                    cfg.order_sensitive_crates = string_list(value, key)?;
+                }
+                "hot_paths" => cfg.hot_paths = string_list(value, key)?,
+                "exclude" => cfg.exclude = string_list(value, key)?,
+                "severity" => cfg.severity = severity_table(value, key)?,
+                "crates" => {
+                    let Json::Obj(crates) = value else {
+                        return Err(ConfigError("crates must be an object".to_string()));
+                    };
+                    let mut out = Vec::new();
+                    for (krate, table) in crates {
+                        for (rule, sev) in severity_table(table, krate)? {
+                            out.push((krate.clone(), rule, sev));
+                        }
+                    }
+                    cfg.per_crate = out;
+                }
+                other => {
+                    return Err(ConfigError(format!("unknown config key {other:?}")));
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Loads `path` if it exists, defaults otherwise.
+    pub fn load(path: &std::path::Path) -> Result<Config, ConfigError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let doc = Json::parse(&text)
+                    .map_err(|e| ConfigError(format!("{}: {e}", path.display())))?;
+                Config::from_json(&doc)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+            Err(e) => Err(ConfigError(format!("{}: {e}", path.display()))),
+        }
+    }
+
+    /// Effective severity of `rule` for a file in `krate`: the per-crate
+    /// override if any, else the workspace override, else the rule default.
+    pub fn severity_for(&self, krate: &str, rule: &str) -> Severity {
+        for (c, r, s) in &self.per_crate {
+            if c == krate && r == rule {
+                return *s;
+            }
+        }
+        for (r, s) in &self.severity {
+            if r == rule {
+                return *s;
+            }
+        }
+        rules::default_severity(rule)
+    }
+
+    /// True if `rel_path` (workspace-relative, `/`-separated) is under one
+    /// of the configured prefixes.
+    pub fn matches_any(rel_path: &str, prefixes: &[String]) -> bool {
+        prefixes.iter().any(|p| rel_path.starts_with(p.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_when_missing() {
+        let cfg = Config::load(std::path::Path::new("/nonexistent/lsds-lint.json")).unwrap();
+        assert!(cfg.order_sensitive_crates.iter().any(|c| c == "lsds-core"));
+    }
+
+    #[test]
+    fn parses_overrides() {
+        let doc = Json::parse(
+            r#"{"severity": {"float-eq": "warn"},
+                "crates": {"lsds-bench": {"wall-clock": "off"}}}"#,
+        )
+        .unwrap();
+        let cfg = Config::from_json(&doc).unwrap();
+        assert_eq!(cfg.severity_for("lsds-core", "float-eq"), Severity::Warn);
+        assert_eq!(cfg.severity_for("lsds-bench", "wall-clock"), Severity::Off);
+        assert_ne!(cfg.severity_for("lsds-core", "wall-clock"), Severity::Off);
+    }
+
+    #[test]
+    fn rejects_unknown_rule_and_severity() {
+        let bad_rule = Json::parse(r#"{"severity": {"no-such-rule": "warn"}}"#).unwrap();
+        assert!(Config::from_json(&bad_rule).is_err());
+        let bad_sev = Json::parse(r#"{"severity": {"float-eq": "loud"}}"#).unwrap();
+        assert!(Config::from_json(&bad_sev).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! `lsds-lint` — determinism & hot-path static analysis for the workspace.
+//!
+//! §5 of the reproduced paper names *validation* as the open problem for
+//! LSDS simulators. This workspace's strongest validated property is
+//! bit-identical reproducibility — monitored, faulty, and parallel runs
+//! match their baselines exactly — and that property is easy to break
+//! silently: one `HashMap` iteration feeding event order, one wall-clock
+//! read, one ULP-fragile float comparison. `lsds-lint` machine-checks the
+//! failure modes on every PR instead of leaving them to debugging:
+//!
+//! | rule | protects |
+//! |---|---|
+//! | `hash-iter` | event order against hash-iteration order |
+//! | `wall-clock` | reproducibility against OS time/entropy |
+//! | `float-eq` | time comparisons against ULP drift |
+//! | `hot-path-panic` | engine hot paths against release panics |
+//! | `hot-path-vec` | hot paths against `remove(0)` / non-total sorts |
+//! | `missing-docs` | the public API against undocumented drift |
+//!
+//! The crate is dependency-free by construction (the workspace builds
+//! offline): [`lexer`] is a hand-rolled Rust tokenizer, [`rules`] the rule
+//! engine, [`scan`] the walker + suppression-pragma layer, [`config`] the
+//! `lsds-lint.json` loader, and [`report`] the JSON export through
+//! `lsds-trace`. The binary (`cargo run -p lsds-lint -- --deny`) is the CI
+//! gate; suppressions are inline pragmas that *must* carry a reason.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use config::Config;
+pub use rules::{Finding, Severity};

@@ -1,0 +1,134 @@
+//! CLI for `lsds-lint`.
+//!
+//! ```text
+//! cargo run --release -p lsds-lint -- [--deny] [--json PATH] [--root DIR]
+//!                                     [--config PATH] [--list-rules] [FILES…]
+//! ```
+//!
+//! Without `--deny` the tool reports and exits 0 (survey mode); with
+//! `--deny` any surviving finding — warn or error — exits nonzero, which
+//! is the CI gate. `--json` writes the machine-readable report (the CI
+//! job prints it on failure). Positional `FILES` restrict the scan to
+//! specific workspace-relative paths (used by the fixture tests).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use lsds_lint::{config::Config, report, rules, scan};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    deny: bool,
+    list_rules: bool,
+    json: Option<PathBuf>,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        list_rules: false,
+        json: None,
+        root: PathBuf::from("."),
+        config: None,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => args.deny = true,
+            "--list-rules" => args.list_rules = true,
+            "--json" => args.json = Some(PathBuf::from(it.next().ok_or("--json requires a path")?)),
+            "--root" => args.root = PathBuf::from(it.next().ok_or("--root requires a path")?),
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config requires a path")?))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "lsds-lint [--deny] [--json PATH] [--root DIR] [--config PATH] \
+                     [--list-rules] [FILES…]"
+                );
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            file => args.files.push(file.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lsds-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for r in rules::RULES {
+            println!(
+                "{:<16} {:<6} {}",
+                r.id,
+                r.default_severity.name(),
+                r.summary
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lsds-lint.json"));
+    let cfg = match Config::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("lsds-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match scan::scan_workspace(&args.root, &cfg, &args.files) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lsds-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &findings {
+        println!(
+            "{}:{}: [{}] {}: {}",
+            f.file,
+            f.line,
+            f.severity.name(),
+            f.rule,
+            f.message
+        );
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == lsds_lint::Severity::Error)
+        .count();
+    let warns = findings.len() - errors;
+    println!(
+        "lsds-lint: {} finding(s) ({errors} error(s), {warns} warning(s))",
+        findings.len()
+    );
+
+    if let Some(path) = &args.json {
+        let doc = report::to_json(&findings);
+        if let Err(e) = std::fs::write(path, doc.render_pretty()) {
+            eprintln!("lsds-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if errors > 0 || (args.deny && !findings.is_empty()) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

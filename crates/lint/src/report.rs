@@ -1,0 +1,177 @@
+//! JSON findings report, exported through `lsds-trace`'s JSON model.
+//!
+//! The schema is versioned and round-trips bit-for-bit through
+//! [`lsds_trace::Json`]:
+//!
+//! ```json
+//! {
+//!   "tool": "lsds-lint", "schema_version": 1,
+//!   "findings": [
+//!     {"rule": "hash-iter", "severity": "error",
+//!      "file": "crates/net/src/flow.rs", "line": 12, "message": "…"}
+//!   ],
+//!   "summary": {"total": 1, "by_rule": {"hash-iter": 1}}
+//! }
+//! ```
+
+use crate::rules::{Finding, Severity};
+use lsds_trace::Json;
+
+/// Report schema version; bump on breaking change.
+pub const SCHEMA_VERSION: f64 = 1.0;
+
+/// Renders findings into the versioned JSON report document.
+pub fn to_json(findings: &[Finding]) -> Json {
+    let items: Vec<Json> = findings
+        .iter()
+        .map(|f| {
+            Json::Obj(vec![
+                ("rule".to_string(), Json::Str(f.rule.to_string())),
+                (
+                    "severity".to_string(),
+                    Json::Str(f.severity.name().to_string()),
+                ),
+                ("file".to_string(), Json::Str(f.file.clone())),
+                ("line".to_string(), Json::Num(f.line as f64)),
+                ("message".to_string(), Json::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    // per-rule counts in first-seen order (findings arrive file/line-sorted,
+    // so the order is deterministic)
+    let mut by_rule: Vec<(String, f64)> = Vec::new();
+    for f in findings {
+        match by_rule.iter_mut().find(|(r, _)| r == f.rule) {
+            Some((_, n)) => *n += 1.0,
+            None => by_rule.push((f.rule.to_string(), 1.0)),
+        }
+    }
+    Json::Obj(vec![
+        ("tool".to_string(), Json::Str("lsds-lint".to_string())),
+        ("schema_version".to_string(), Json::Num(SCHEMA_VERSION)),
+        ("findings".to_string(), Json::Arr(items)),
+        (
+            "summary".to_string(),
+            Json::Obj(vec![
+                ("total".to_string(), Json::Num(findings.len() as f64)),
+                (
+                    "by_rule".to_string(),
+                    Json::Obj(
+                        by_rule
+                            .into_iter()
+                            .map(|(r, n)| (r, Json::Num(n)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Parses a report document back into findings (schema round-trip; used by
+/// tests and any downstream tooling consuming the CI artifact).
+pub fn from_json(doc: &Json) -> Result<Vec<Finding>, String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or("missing schema_version")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    let Some(Json::Arr(items)) = doc.get("findings") else {
+        return Err("missing findings array".to_string());
+    };
+    items
+        .iter()
+        .map(|item| {
+            let rule_name = item
+                .get("rule")
+                .and_then(Json::as_str)
+                .ok_or("finding without rule")?;
+            let rule = crate::rules::RULES
+                .iter()
+                .find(|r| r.id == rule_name)
+                .map(|r| r.id)
+                .ok_or_else(|| format!("unknown rule {rule_name:?}"))?;
+            let severity = match item.get("severity").and_then(Json::as_str) {
+                Some("off") => Severity::Off,
+                Some("warn") => Severity::Warn,
+                Some("error") => Severity::Error,
+                other => return Err(format!("bad severity {other:?}")),
+            };
+            Ok(Finding {
+                rule,
+                severity,
+                file: item
+                    .get("file")
+                    .and_then(Json::as_str)
+                    .ok_or("finding without file")?
+                    .to_string(),
+                line: item
+                    .get("line")
+                    .and_then(Json::as_f64)
+                    .ok_or("finding without line")? as u32,
+                message: item
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .ok_or("finding without message")?
+                    .to_string(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                rule: "hash-iter",
+                severity: Severity::Error,
+                file: "crates/net/src/flow.rs".to_string(),
+                line: 12,
+                message: "iterates a HashMap".to_string(),
+            },
+            Finding {
+                rule: "missing-docs",
+                severity: Severity::Warn,
+                file: "crates/grid/src/model.rs".to_string(),
+                line: 3,
+                message: "public `fn f` has no doc comment".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn report_round_trips_through_lsds_trace() {
+        let findings = sample();
+        let text = to_json(&findings).render_pretty();
+        let doc = Json::parse(&text).expect("report must be valid JSON");
+        let back = from_json(&doc).expect("schema round-trip");
+        assert_eq!(back, findings);
+    }
+
+    #[test]
+    fn summary_counts_by_rule() {
+        let doc = to_json(&sample());
+        let total = doc
+            .get("summary")
+            .and_then(|s| s.get("total"))
+            .and_then(Json::as_f64);
+        assert_eq!(total, Some(2.0));
+        let n = doc
+            .get("summary")
+            .and_then(|s| s.get("by_rule"))
+            .and_then(|b| b.get("hash-iter"))
+            .and_then(Json::as_f64);
+        assert_eq!(n, Some(1.0));
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let doc = Json::parse(r#"{"schema_version": 99, "findings": []}"#).unwrap();
+        assert!(from_json(&doc).is_err());
+    }
+}

@@ -1,0 +1,812 @@
+//! The rule engine: six determinism & hot-path-hygiene rules.
+//!
+//! Every rule works on the token stream of one file plus a [`FileCtx`]
+//! describing where that file sits in the workspace (crate, hot-path
+//! membership, test regions). Rules deliberately over-approximate — a
+//! token-level analysis cannot resolve types — and the escape hatch is an
+//! inline pragma *with a written reason* (see [`crate::scan`]), so every
+//! surviving exception is documented at the site.
+
+use crate::lexer::{Tok, TokKind};
+
+/// How a finding is treated by the reporter and the `--deny` gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Rule disabled for this scope; the finding is dropped.
+    Off,
+    /// Reported; fails the build only under `--deny`.
+    Warn,
+    /// Reported; always fails the build.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name (used in reports and config).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Off => "off",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `hash-iter`.
+    pub rule: &'static str,
+    /// Effective severity after config resolution.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation with the trigger.
+    pub message: String,
+}
+
+/// Static description of a rule, for `--list-rules` and the report header.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable id used in config, pragmas, and reports.
+    pub id: &'static str,
+    /// Severity when no config overrides it.
+    pub default_severity: Severity,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// The rule table. `bad-pragma` and `unused-pragma` are diagnostics of the
+/// suppression machinery itself and cannot be suppressed.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "hash-iter",
+        default_severity: Severity::Error,
+        summary: "HashMap/HashSet iteration in sim-order-sensitive crates \
+                  (nondeterministic order can leak into event order)",
+    },
+    RuleInfo {
+        id: "wall-clock",
+        default_severity: Severity::Error,
+        summary: "wall-clock or OS-entropy source inside simulation code \
+                  (SystemTime, Instant::now, RandomState, env-dependent seeds)",
+    },
+    RuleInfo {
+        id: "float-eq",
+        default_severity: Severity::Error,
+        summary: "float ==/!= comparison on simulated time",
+    },
+    RuleInfo {
+        id: "hot-path-panic",
+        default_severity: Severity::Error,
+        summary: "unwrap/expect/panic! in an engine hot path outside tests",
+    },
+    RuleInfo {
+        id: "hot-path-vec",
+        default_severity: Severity::Error,
+        summary: "Vec::remove(0) or partial_cmp-based sort in an engine hot path",
+    },
+    RuleInfo {
+        id: "missing-docs",
+        default_severity: Severity::Warn,
+        summary: "public top-level item without a doc comment in non-test code",
+    },
+    RuleInfo {
+        id: "bad-pragma",
+        default_severity: Severity::Error,
+        summary: "malformed lsds-lint pragma (unknown rule, or missing reason)",
+    },
+    RuleInfo {
+        id: "unused-pragma",
+        default_severity: Severity::Warn,
+        summary: "lsds-lint allow pragma that suppresses nothing",
+    },
+];
+
+/// True if `id` names a rule in [`RULES`].
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// The rule's default severity ([`Severity::Off`] for unknown ids, which
+/// config validation rejects upstream anyway).
+pub fn default_severity(id: &str) -> Severity {
+    RULES
+        .iter()
+        .find(|r| r.id == id)
+        .map_or(Severity::Off, |r| r.default_severity)
+}
+
+/// Context the rules need about the file being checked.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Cargo package name owning the file (`lsds` for root-package files).
+    pub crate_name: String,
+    /// Whole file is test/bench/example code (path-based classification).
+    pub is_test_file: bool,
+    /// `#[cfg(test)]` / `#[test]` item line ranges inside the file.
+    pub test_lines: Vec<(u32, u32)>,
+    /// File is inside a sim-order-sensitive crate (config).
+    pub order_sensitive: bool,
+    /// File is inside an engine hot path (config).
+    pub hot_path: bool,
+}
+
+impl FileCtx {
+    /// True if `line` is inside test code (a test file, or a
+    /// `#[cfg(test)]`/`#[test]` item range).
+    pub fn in_test(&self, line: u32) -> bool {
+        self.is_test_file || self.test_lines.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+}
+
+/// Runs every rule over one tokenized file. Severity is attached later by
+/// the scanner (config resolution), so findings here carry the default.
+pub fn check_file(ctx: &FileCtx, tokens: &[Tok]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    hash_iter(ctx, tokens, &mut out);
+    wall_clock(ctx, tokens, &mut out);
+    float_eq(ctx, tokens, &mut out);
+    hot_path_panic(ctx, tokens, &mut out);
+    hot_path_vec(ctx, tokens, &mut out);
+    missing_docs(ctx, tokens, &mut out);
+    // one finding per (rule, line): `for x in map.iter()` should not report
+    // both the loop form and the method form
+    out.sort_by(|a, b| (a.line, a.rule, a.file.as_str()).cmp(&(b.line, b.rule, b.file.as_str())));
+    out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.file == b.file);
+    out
+}
+
+fn finding(ctx: &FileCtx, rule: &'static str, line: u32, message: String) -> Finding {
+    Finding {
+        rule,
+        severity: default_severity(rule),
+        file: ctx.rel_path.clone(),
+        line,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------- hash-iter
+
+/// Methods whose results depend on hash-map/set iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+    "extract_if",
+];
+
+/// Sorting methods that make a collected iteration deterministic again.
+const SORT_METHODS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_key",
+    "sort_unstable_by_key",
+];
+
+/// Rule `hash-iter`: iteration over a `HashMap`/`HashSet` in a crate where
+/// iteration order can leak into event order.
+///
+/// Pass A collects identifiers that are hash-typed (field/let type
+/// ascriptions and `HashMap::new()`-style initializers); pass B flags
+/// order-dependent method calls and `for … in` loops over those names.
+/// A **sorted-sink exemption** keeps the codebase's canonical safe pattern
+/// quiet: iteration inside a `let` statement whose binding is `.sort*`ed
+/// shortly after is deterministic and not reported.
+fn hash_iter(ctx: &FileCtx, tokens: &[Tok], out: &mut Vec<Finding>) {
+    if !ctx.order_sensitive {
+        return;
+    }
+    let mut names: Vec<String> = Vec::new();
+    // Pass A: `name : HashMap<…>` / `name : HashSet<…>` ascriptions
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokKind::Ident {
+            continue;
+        }
+        if i + 2 < tokens.len() && tokens[i + 1].is_punct(":") {
+            let mut j = i + 2;
+            // skip `&`, `mut`, and a `std :: collections ::` path prefix
+            while j < tokens.len()
+                && (tokens[j].is_punct("&")
+                    || tokens[j].is_ident("mut")
+                    || tokens[j].is_ident("std")
+                    || tokens[j].is_ident("collections")
+                    || tokens[j].is_punct("::"))
+            {
+                j += 1;
+            }
+            if j < tokens.len() && (tokens[j].is_ident("HashMap") || tokens[j].is_ident("HashSet"))
+            {
+                names.push(tokens[i].text.clone());
+            }
+        }
+    }
+    // Pass A': `name = HashMap::new()` / `with_capacity` initializers
+    for i in 0..tokens.len() {
+        if (tokens[i].is_ident("HashMap") || tokens[i].is_ident("HashSet"))
+            && i >= 2
+            && tokens[i - 1].is_punct("=")
+            && tokens[i - 2].kind == TokKind::Ident
+        {
+            names.push(tokens[i - 2].text.clone());
+        }
+    }
+    names.sort();
+    names.dedup();
+    let is_hash_name = |t: &Tok| t.kind == TokKind::Ident && names.binary_search(&t.text).is_ok();
+
+    for i in 0..tokens.len() {
+        // method form: `name . m (`
+        if i + 3 < tokens.len()
+            && is_hash_name(&tokens[i])
+            && tokens[i + 1].is_punct(".")
+            && tokens[i + 2].kind == TokKind::Ident
+            && ITER_METHODS.contains(&tokens[i + 2].text.as_str())
+            && tokens[i + 3].is_punct("(")
+        {
+            let line = tokens[i + 2].line;
+            if ctx.in_test(line) || sorted_sink_exempt(tokens, i) {
+                continue;
+            }
+            out.push(finding(
+                ctx,
+                "hash-iter",
+                line,
+                format!(
+                    "`{}.{}()` iterates a HashMap/HashSet in a sim-order-sensitive crate; \
+                     use a sorted key list, a BTreeMap, or pragma-annotate with a reason",
+                    tokens[i].text,
+                    tokens[i + 2].text
+                ),
+            ));
+        }
+        // loop form: `for pat in [&[mut]] [self .] name {`
+        if tokens[i].is_ident("in") && i + 1 < tokens.len() {
+            let mut j = i + 1;
+            while j < tokens.len()
+                && (tokens[j].is_punct("&")
+                    || tokens[j].is_ident("mut")
+                    || tokens[j].is_ident("self")
+                    || tokens[j].is_punct("."))
+            {
+                j += 1;
+            }
+            if j + 1 < tokens.len() && is_hash_name(&tokens[j]) && tokens[j + 1].is_punct("{") {
+                let line = tokens[j].line;
+                if ctx.in_test(line) {
+                    continue;
+                }
+                out.push(finding(
+                    ctx,
+                    "hash-iter",
+                    line,
+                    format!(
+                        "`for … in {}` iterates a HashMap/HashSet in a sim-order-sensitive \
+                         crate; iterate a sorted key list instead",
+                        tokens[j].text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// True if the iteration at token `i` sits in a `let` statement whose
+/// binding is sorted within the next few statements:
+/// `let mut ids: Vec<_> = map.keys().collect(); …; ids.sort_unstable();`.
+fn sorted_sink_exempt(tokens: &[Tok], i: usize) -> bool {
+    // find the `let` opening this statement (bounded backward scan that
+    // stops at statement/block boundaries)
+    let mut j = i;
+    let mut bound: Option<&str> = None;
+    let mut back = 0;
+    while j > 0 && back < 40 {
+        j -= 1;
+        back += 1;
+        let t = &tokens[j];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            return false;
+        }
+        if t.is_ident("let") {
+            let mut k = j + 1;
+            if k < tokens.len() && tokens[k].is_ident("mut") {
+                k += 1;
+            }
+            if k < tokens.len() && tokens[k].kind == TokKind::Ident {
+                bound = Some(tokens[k].text.as_str());
+            }
+            break;
+        }
+    }
+    let Some(bound) = bound else { return false };
+    // forward scan: statement end, then `bound . sort*` within reach
+    let mut k = i;
+    while k < tokens.len() && !tokens[k].is_punct(";") {
+        k += 1;
+    }
+    let horizon = (k + 60).min(tokens.len());
+    for m in k..horizon {
+        if tokens[m].kind == TokKind::Ident
+            && tokens[m].text == bound
+            && m + 2 < tokens.len()
+            && tokens[m + 1].is_punct(".")
+            && SORT_METHODS.contains(&tokens[m + 2].text.as_str())
+        {
+            return true;
+        }
+    }
+    false
+}
+
+// --------------------------------------------------------------- wall-clock
+
+/// Rule `wall-clock`: wall-clock reads and OS-entropy sources. Simulated
+/// time must come from the engine clock, and every random draw from a
+/// seeded [`SimRng`]-style generator, or runs stop being reproducible.
+///
+/// [`SimRng`]: https://docs.rs/lsds-stats
+fn wall_clock(ctx: &FileCtx, tokens: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        let line = tokens[i].line;
+        if ctx.in_test(line) {
+            continue;
+        }
+        let hit: Option<&str> = if tokens[i].is_ident("SystemTime")
+            && i + 1 < tokens.len()
+            && tokens[i + 1].is_punct("::")
+        {
+            Some("SystemTime")
+        } else if tokens[i].is_ident("Instant")
+            && i + 2 < tokens.len()
+            && tokens[i + 1].is_punct("::")
+            && tokens[i + 2].is_ident("now")
+        {
+            Some("Instant::now")
+        } else if tokens[i].is_ident("RandomState") {
+            Some("RandomState")
+        } else if tokens[i].is_ident("thread_rng") || tokens[i].is_ident("from_entropy") {
+            Some("OS-entropy RNG")
+        } else if tokens[i].is_ident("env")
+            && i + 2 < tokens.len()
+            && tokens[i + 1].is_punct("::")
+            && (tokens[i + 2].is_ident("var") || tokens[i + 2].is_ident("var_os"))
+        {
+            Some("std::env::var")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            out.push(finding(
+                ctx,
+                "wall-clock",
+                line,
+                format!(
+                    "{what} is a wall-clock/entropy source; simulation code must draw time \
+                     from the engine clock and randomness from a seeded generator"
+                ),
+            ));
+        }
+    }
+}
+
+// ----------------------------------------------------------------- float-eq
+
+/// Identifiers that mark an operand as "simulated time" for `float-eq`.
+const TIME_IDENTS: &[&str] = &[
+    "now",
+    "time",
+    "seconds",
+    "due",
+    "deadline",
+    "eta",
+    "clock",
+    "timestamp",
+    "t_end",
+    "t_next",
+];
+
+/// Rule `float-eq`: `==`/`!=` where either operand looks like simulated
+/// time (float literal, `.seconds()`, or a time-flavored identifier).
+/// Exact float equality on computed times is ULP-fragile; compare with
+/// [`SimTime`] ordering or an explicit epsilon helper instead.
+///
+/// [`SimTime`]: https://docs.rs/lsds-core
+fn float_eq(ctx: &FileCtx, tokens: &[Tok], out: &mut Vec<Finding>) {
+    let timeish = |t: &Tok| -> bool {
+        match t.kind {
+            // `x == 0.0` is the idiomatic exact zero-guard (zero is exactly
+            // representable); any other float literal is suspect
+            TokKind::Float => !matches!(
+                t.text.trim_end_matches("f64").trim_end_matches("f32"),
+                "0.0" | "0." | "0.00"
+            ),
+            TokKind::Ident => {
+                let lower = t.text.to_ascii_lowercase();
+                TIME_IDENTS.contains(&lower.as_str()) || lower.contains("time")
+            }
+            _ => false,
+        }
+    };
+    let continues = |t: &Tok| -> bool {
+        matches!(
+            t.kind,
+            TokKind::Ident | TokKind::Int | TokKind::Float | TokKind::Lifetime
+        ) || t.is_punct(".")
+            || t.is_punct("::")
+            || t.is_punct("(")
+            || t.is_punct(")")
+            || t.is_punct("[")
+            || t.is_punct("]")
+            || t.is_punct("&")
+            || t.is_punct(",")
+    };
+    for i in 0..tokens.len() {
+        if !(tokens[i].is_punct("==") || tokens[i].is_punct("!=")) {
+            continue;
+        }
+        let line = tokens[i].line;
+        if ctx.in_test(line) {
+            continue;
+        }
+        let mut hit = false;
+        let mut j = i;
+        let mut steps = 0;
+        while j > 0 && steps < 10 {
+            j -= 1;
+            steps += 1;
+            if !continues(&tokens[j]) {
+                break;
+            }
+            if timeish(&tokens[j]) {
+                hit = true;
+            }
+        }
+        let mut j = i + 1;
+        let mut steps = 0;
+        while j < tokens.len() && steps < 10 {
+            if !continues(&tokens[j]) {
+                break;
+            }
+            if timeish(&tokens[j]) {
+                hit = true;
+            }
+            j += 1;
+            steps += 1;
+        }
+        if hit {
+            out.push(finding(
+                ctx,
+                "float-eq",
+                line,
+                format!(
+                    "`{}` on a simulated-time operand: exact float equality is ULP-fragile; \
+                     use SimTime ordering or SimTime::approx_eq",
+                    tokens[i].text
+                ),
+            ));
+        }
+    }
+}
+
+// ----------------------------------------------------------- hot-path-panic
+
+/// Rule `hot-path-panic`: `unwrap`/`expect`/`panic!`/`unreachable!`/
+/// `todo!`/`unimplemented!` in an engine hot path, outside tests. Hot
+/// paths must stay release-panic-free: use `let … else` with a
+/// `debug_assert!` for invariants, or a pragma naming why the panic is the
+/// designed behavior.
+fn hot_path_panic(ctx: &FileCtx, tokens: &[Tok], out: &mut Vec<Finding>) {
+    if !ctx.hot_path {
+        return;
+    }
+    for i in 0..tokens.len() {
+        let line = tokens[i].line;
+        if ctx.in_test(line) {
+            continue;
+        }
+        // `. unwrap (` / `. expect (`
+        if i + 2 < tokens.len()
+            && tokens[i].is_punct(".")
+            && (tokens[i + 1].is_ident("unwrap") || tokens[i + 1].is_ident("expect"))
+            && tokens[i + 2].is_punct("(")
+        {
+            out.push(finding(
+                ctx,
+                "hot-path-panic",
+                tokens[i + 1].line,
+                format!(
+                    "`.{}()` in an engine hot path; use a fallible path \
+                     (`let … else` + debug_assert) or pragma-annotate with a reason",
+                    tokens[i + 1].text
+                ),
+            ));
+        }
+        // `panic ! (` and friends
+        if i + 2 < tokens.len()
+            && tokens[i].kind == TokKind::Ident
+            && matches!(
+                tokens[i].text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && tokens[i + 1].is_punct("!")
+            && (tokens[i + 2].is_punct("(")
+                || tokens[i + 2].is_punct("[")
+                || tokens[i + 2].is_punct("{"))
+        {
+            out.push(finding(
+                ctx,
+                "hot-path-panic",
+                line,
+                format!("`{}!` in an engine hot path", tokens[i].text),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------- hot-path-vec
+
+/// Rule `hot-path-vec`: `Vec::remove(0)` (an O(n) front pop — use a
+/// `VecDeque`) and `sort_by`/`sort_unstable_by` comparators built on
+/// `partial_cmp` (not a total order: NaN either panics or derails the
+/// sort) in engine hot paths.
+fn hot_path_vec(ctx: &FileCtx, tokens: &[Tok], out: &mut Vec<Finding>) {
+    if !ctx.hot_path {
+        return;
+    }
+    for i in 0..tokens.len() {
+        let line = tokens[i].line;
+        if ctx.in_test(line) {
+            continue;
+        }
+        if i + 4 < tokens.len()
+            && tokens[i].is_punct(".")
+            && tokens[i + 1].is_ident("remove")
+            && tokens[i + 2].is_punct("(")
+            && tokens[i + 3].kind == TokKind::Int
+            && tokens[i + 3].text == "0"
+            && tokens[i + 4].is_punct(")")
+        {
+            out.push(finding(
+                ctx,
+                "hot-path-vec",
+                line,
+                "`.remove(0)` shifts the whole vector on every front pop; use VecDeque::pop_front"
+                    .to_string(),
+            ));
+        }
+        if i + 2 < tokens.len()
+            && tokens[i].is_punct(".")
+            && (tokens[i + 1].is_ident("sort_by") || tokens[i + 1].is_ident("sort_unstable_by"))
+            && tokens[i + 2].is_punct("(")
+        {
+            // scan the comparator for partial_cmp without total_cmp
+            let mut depth = 0usize;
+            let mut has_partial = false;
+            let mut has_total = false;
+            for t in &tokens[i + 2..] {
+                if t.is_punct("(") {
+                    depth += 1;
+                } else if t.is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_ident("partial_cmp") {
+                    has_partial = true;
+                } else if t.is_ident("total_cmp") {
+                    has_total = true;
+                }
+            }
+            if has_partial && !has_total {
+                out.push(finding(
+                    ctx,
+                    "hot-path-vec",
+                    tokens[i + 1].line,
+                    format!(
+                        "`.{}` comparator uses partial_cmp, which is not a total order \
+                         (NaN panics or derails the sort); use f64::total_cmp",
+                        tokens[i + 1].text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- missing-docs
+
+/// Item keywords that require a doc comment when `pub` at the top level.
+const DOC_ITEMS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union", "async", "unsafe",
+];
+
+/// Rule `missing-docs`: a `pub` item at file top level (brace depth 0)
+/// without a doc comment. Restricted visibility (`pub(crate)`) and
+/// re-exports (`pub use`) are exempt; nested items are left to rustc's
+/// `missing_docs` lint, which every clean crate enables via
+/// `#![deny(missing_docs)]`.
+fn missing_docs(ctx: &FileCtx, tokens: &[Tok], out: &mut Vec<Finding>) {
+    if ctx.is_test_file {
+        return;
+    }
+    let mut depth = 0i32;
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            depth -= 1;
+            continue;
+        }
+        if depth != 0 || !t.is_ident("pub") || ctx.in_test(t.line) {
+            continue;
+        }
+        // visibility-restricted? `pub ( crate )` — not public API
+        if i + 1 < tokens.len() && tokens[i + 1].is_punct("(") {
+            continue;
+        }
+        // what item is this?
+        let Some(next) = tokens.get(i + 1) else {
+            continue;
+        };
+        if !(next.kind == TokKind::Ident && DOC_ITEMS.contains(&next.text.as_str())) {
+            continue; // `pub use`, macro output, …
+        }
+        // `pub mod name;` — the doc lives in the module file as `//!`,
+        // which is where rustc's missing_docs looks too
+        if next.is_ident("mod") && tokens.get(i + 3).is_some_and(|t| t.is_punct(";")) {
+            continue;
+        }
+        // walk back over attributes to the nearest doc comment
+        let mut j = i;
+        let mut documented = false;
+        while j > 0 {
+            j -= 1;
+            let p = &tokens[j];
+            if p.kind == TokKind::DocComment {
+                documented = true;
+                break;
+            }
+            if p.is_punct("]") {
+                // skip the attribute `# [ … ]` backwards
+                let mut d = 1i32;
+                while j > 0 && d > 0 {
+                    j -= 1;
+                    if tokens[j].is_punct("]") {
+                        d += 1;
+                    } else if tokens[j].is_punct("[") {
+                        d -= 1;
+                    }
+                }
+                if j > 0 && tokens[j - 1].is_punct("#") {
+                    j -= 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        if !documented {
+            let name = tokens
+                .get(i + 2)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map_or("<unnamed>", |t| t.text.as_str());
+            out.push(finding(
+                ctx,
+                "missing-docs",
+                t.line,
+                format!("public `{} {}` has no doc comment", next.text, name),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_line_ranges};
+
+    fn ctx(order: bool, hot: bool, tokens: &[Tok]) -> FileCtx {
+        FileCtx {
+            rel_path: "crates/x/src/lib.rs".to_string(),
+            crate_name: "x".to_string(),
+            is_test_file: false,
+            test_lines: test_line_ranges(tokens),
+            order_sensitive: order,
+            hot_path: hot,
+        }
+    }
+
+    fn run(src: &str, order: bool, hot: bool) -> Vec<Finding> {
+        let toks = lex(src);
+        let c = ctx(order, hot, &toks);
+        check_file(&c, &toks)
+    }
+
+    #[test]
+    fn hash_iter_flags_values_and_for_loops() {
+        let src = "struct S { m: HashMap<u64, f64> }\n\
+                   impl S { fn f(&self) -> f64 { self.m.values().sum() } }\n\
+                   fn g(m: &HashMap<u64, u64>) { for v in m { let _ = v; } }\n";
+        let f = run(src, true, false);
+        assert_eq!(f.iter().filter(|x| x.rule == "hash-iter").count(), 2);
+        assert!(run(src, false, false).iter().all(|x| x.rule != "hash-iter"));
+    }
+
+    #[test]
+    fn hash_iter_sorted_sink_is_exempt() {
+        let src = "struct S { m: HashMap<u64, f64> }\n\
+                   impl S { fn f(&self) {\n\
+                     let mut ids: Vec<u64> = self.m.keys().copied().collect();\n\
+                     ids.sort_unstable();\n\
+                   } }\n";
+        assert!(run(src, true, false).iter().all(|x| x.rule != "hash-iter"));
+    }
+
+    #[test]
+    fn wall_clock_flags_instant_now() {
+        let f = run("fn f() { let t = Instant::now(); }", false, false);
+        assert_eq!(f.iter().filter(|x| x.rule == "wall-clock").count(), 1);
+    }
+
+    #[test]
+    fn float_eq_flags_time_comparison() {
+        let f = run(
+            "fn f(now: f64, due: f64) -> bool { now == due }",
+            false,
+            false,
+        );
+        assert_eq!(f.iter().filter(|x| x.rule == "float-eq").count(), 1);
+        let clean = run("fn f(gen: u64, g: u64) -> bool { gen == g }", false, false);
+        assert!(clean.iter().all(|x| x.rule != "float-eq"));
+    }
+
+    #[test]
+    fn hot_path_panic_only_in_hot_files() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(run(src, false, true).len(), 1);
+        assert!(run(src, false, false).is_empty());
+        // tests inside hot files stay exempt
+        let test_src = "#[cfg(test)]\nmod tests { fn f(x: Option<u32>) -> u32 { x.unwrap() } }";
+        assert!(run(test_src, false, true).is_empty());
+    }
+
+    #[test]
+    fn hot_path_vec_flags_remove0_and_partial_cmp_sort() {
+        let src = "fn f(v: &mut Vec<f64>) {\n    v.remove(0);\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}";
+        let f = run(src, false, true);
+        assert_eq!(f.iter().filter(|x| x.rule == "hot-path-vec").count(), 2);
+        let clean = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }";
+        assert!(run(clean, false, true).is_empty());
+    }
+
+    #[test]
+    fn missing_docs_flags_undocumented_pub() {
+        let src =
+            "/// documented\npub fn a() {}\npub fn b() {}\npub(crate) fn c() {}\npub use x::y;\n";
+        let f = run(src, false, false);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "missing-docs");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn attributes_between_doc_and_item_are_ok() {
+        let src = "/// documented\n#[derive(Debug)]\npub struct S;\n";
+        assert!(run(src, false, false).is_empty());
+    }
+}

@@ -1,0 +1,365 @@
+//! Workspace walker, pragma parsing, and finding collection.
+//!
+//! Suppression pragmas are ordinary comments and **must carry a reason**:
+//!
+//! ```text
+//! // lsds-lint: allow(hot-path-panic) reason="documented panicking wrapper"
+//! ```
+//!
+//! A pragma on a code line suppresses matching findings on that line; a
+//! pragma on a comment-only line suppresses them on the next code line. An
+//! inner-doc pragma (`//! lsds-lint: allow(…) reason="…"`) applies to the
+//! whole file. Malformed pragmas (unknown rule, missing reason) are
+//! `bad-pragma` errors, and pragmas that suppress nothing are
+//! `unused-pragma` warnings — neither is itself suppressible, so the
+//! escape hatch cannot rot silently.
+
+use crate::config::Config;
+use crate::lexer::{lex, test_line_ranges};
+use crate::rules::{self, FileCtx, Finding, Severity};
+use std::path::{Path, PathBuf};
+
+/// A parsed suppression pragma.
+#[derive(Debug, Clone)]
+struct Pragma {
+    rules: Vec<String>,
+    /// Line the pragma suppresses (`None` = whole file).
+    target: Option<u32>,
+    /// Line the pragma itself is written on (for diagnostics).
+    at: u32,
+    used: bool,
+}
+
+/// Scans one file's source text (already classified by `ctx`), applying
+/// pragmas and config severities. Returns surviving findings.
+pub fn scan_source(cfg: &Config, ctx: &FileCtx, source: &str) -> Vec<Finding> {
+    let tokens = lex(source);
+    let mut ctx = ctx.clone();
+    ctx.test_lines = test_line_ranges(&tokens);
+    let mut findings = rules::check_file(&ctx, &tokens);
+
+    let (mut pragmas, mut pragma_errors) = parse_pragmas(&ctx, source);
+    findings.retain(|f| {
+        for p in pragmas.iter_mut() {
+            if p.rules.iter().any(|r| r == f.rule)
+                && (p.target.is_none() || p.target == Some(f.line))
+            {
+                p.used = true;
+                return false;
+            }
+        }
+        true
+    });
+    for p in &pragmas {
+        if !p.used {
+            pragma_errors.push(Finding {
+                rule: "unused-pragma",
+                severity: Severity::Warn,
+                file: ctx.rel_path.clone(),
+                line: p.at,
+                message: format!(
+                    "allow({}) suppresses nothing; delete the stale pragma",
+                    p.rules.join(", ")
+                ),
+            });
+        }
+    }
+    findings.append(&mut pragma_errors);
+
+    // config severity resolution; Off drops the finding
+    findings.retain_mut(|f| {
+        // pragma machinery diagnostics keep their built-in severity
+        if f.rule != "bad-pragma" && f.rule != "unused-pragma" {
+            f.severity = cfg.severity_for(&ctx.crate_name, f.rule);
+        }
+        f.severity != Severity::Off
+    });
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Extracts pragmas from raw source lines. Returns `(pragmas, errors)`.
+fn parse_pragmas(ctx: &FileCtx, source: &str) -> (Vec<Pragma>, Vec<Finding>) {
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    let lines: Vec<&str> = source.lines().collect();
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx as u32 + 1;
+        // Pragmas in test regions are inert (no rule fires there), so text
+        // that merely *mentions* the syntax — doc examples, test-string
+        // literals — cannot produce machinery diagnostics.
+        if ctx.in_test(line_no) {
+            continue;
+        }
+        // The marker must START its comment (`// lsds-lint:` or
+        // `//! lsds-lint:`); prose that mentions the syntax mid-sentence is
+        // not a pragma.
+        let Some(comment_pos) = find_pragma_comment(raw) else {
+            continue;
+        };
+        let comment = &raw[comment_pos..];
+        let body = comment
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim_start()
+            .trim_start_matches("lsds-lint:")
+            .trim();
+        let file_wide = comment.starts_with("//!");
+        let code_before = raw[..comment_pos].trim();
+
+        match parse_allow(body) {
+            Ok((rule_ids, _reason)) => {
+                let target = if file_wide {
+                    None
+                } else if !code_before.is_empty() {
+                    Some(line_no)
+                } else {
+                    // comment-only line: target the next code line
+                    let mut t = idx + 1;
+                    while t < lines.len() {
+                        let s = lines[t].trim();
+                        if !s.is_empty() && !s.starts_with("//") {
+                            break;
+                        }
+                        t += 1;
+                    }
+                    Some(t as u32 + 1)
+                };
+                pragmas.push(Pragma {
+                    rules: rule_ids,
+                    target,
+                    at: line_no,
+                    used: false,
+                });
+            }
+            Err(msg) => errors.push(Finding {
+                rule: "bad-pragma",
+                severity: Severity::Error,
+                file: ctx.rel_path.clone(),
+                line: line_no,
+                message: msg,
+            }),
+        }
+    }
+    (pragmas, errors)
+}
+
+/// Finds the byte offset of a `// lsds-lint:` / `//! lsds-lint:` comment
+/// opener on this line, requiring the marker to immediately follow the
+/// comment slashes.
+fn find_pragma_comment(raw: &str) -> Option<usize> {
+    // Only the first `//` on the line is considered: a marker deeper in is
+    // either inside a comment (a doc example quoting the syntax) or after a
+    // string literal containing `//`, and neither should parse as a pragma.
+    let pos = raw.find("//")?;
+    let after = raw[pos + 2..].strip_prefix('!').unwrap_or(&raw[pos + 2..]);
+    if after.trim_start().starts_with("lsds-lint:") {
+        Some(pos)
+    } else {
+        None
+    }
+}
+
+/// Parses `allow(rule[, rule…]) reason="…"`; the reason is mandatory and
+/// must be non-empty.
+fn parse_allow(body: &str) -> Result<(Vec<String>, String), String> {
+    let rest = body
+        .strip_prefix("allow")
+        .ok_or("pragma must be `allow(<rule>) reason=\"…\"`")?
+        .trim_start();
+    let rest = rest.strip_prefix('(').ok_or("expected `(` after `allow`")?;
+    let close = rest.find(')').ok_or("unclosed `allow(`")?;
+    let ids: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if ids.is_empty() {
+        return Err("allow() names no rules".to_string());
+    }
+    for id in &ids {
+        if !rules::is_known_rule(id) {
+            return Err(format!("unknown rule {id:?} in allow(…)"));
+        }
+        if id == "bad-pragma" || id == "unused-pragma" {
+            return Err(format!("{id} cannot be suppressed"));
+        }
+    }
+    let tail = rest[close + 1..].trim_start();
+    let reason = tail
+        .strip_prefix("reason=")
+        .and_then(|r| r.trim_start().strip_prefix('"'))
+        .and_then(|r| r.find('"').map(|e| r[..e].trim().to_string()))
+        .ok_or("pragma requires reason=\"…\"")?;
+    if reason.is_empty() {
+        return Err("pragma reason must not be empty".to_string());
+    }
+    Ok((ids, reason))
+}
+
+/// Recursively collects `.rs` files under `root`, skipping `target/`,
+/// hidden directories, and the configured excludes. Paths come back
+/// workspace-relative with `/` separators, sorted (deterministic reports).
+pub fn collect_files(root: &Path, cfg: &Config) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                let rel = rel_path(root, &path);
+                if Config::matches_any(&format!("{rel}/"), &cfg.exclude) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = rel_path(root, &path);
+                if !Config::matches_any(&rel, &cfg.exclude) {
+                    out.push(rel);
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Resolves the Cargo package name owning `rel_path` by reading the
+/// enclosing `crates/<dir>/Cargo.toml` (falling back to the directory name,
+/// then to the root package `lsds`).
+pub fn crate_of(root: &Path, rel_path: &str) -> String {
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        if let Some(dir) = rest.split('/').next() {
+            let manifest = root.join("crates").join(dir).join("Cargo.toml");
+            if let Ok(text) = std::fs::read_to_string(manifest) {
+                for line in text.lines() {
+                    if let Some(v) = line.trim().strip_prefix("name") {
+                        if let Some(name) = v.trim_start().strip_prefix('=') {
+                            return name.trim().trim_matches('"').to_string();
+                        }
+                    }
+                }
+            }
+            return format!("lsds-{dir}");
+        }
+    }
+    "lsds".to_string()
+}
+
+/// Builds the [`FileCtx`] for one workspace-relative path.
+pub fn file_ctx(root: &Path, cfg: &Config, rel: &str) -> FileCtx {
+    let crate_name = crate_of(root, rel);
+    let is_test_file = rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("benches/");
+    FileCtx {
+        rel_path: rel.to_string(),
+        crate_name: crate_name.clone(),
+        is_test_file,
+        test_lines: Vec::new(),
+        order_sensitive: cfg.order_sensitive_crates.contains(&crate_name),
+        hot_path: Config::matches_any(rel, &cfg.hot_paths),
+    }
+}
+
+/// Scans the whole tree under `root` (or only `only` when non-empty) and
+/// returns all surviving findings, sorted by file then line.
+pub fn scan_workspace(root: &Path, cfg: &Config, only: &[String]) -> std::io::Result<Vec<Finding>> {
+    let files = if only.is_empty() {
+        collect_files(root, cfg)?
+    } else {
+        only.to_vec()
+    };
+    let mut findings = Vec::new();
+    for rel in &files {
+        let full: PathBuf = root.join(rel);
+        let source = std::fs::read_to_string(&full)?;
+        let ctx = file_ctx(root, cfg, rel);
+        findings.extend(scan_source(cfg, &ctx, &source));
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> FileCtx {
+        FileCtx {
+            rel_path: "crates/x/src/lib.rs".to_string(),
+            crate_name: "lsds-core".to_string(),
+            is_test_file: false,
+            test_lines: Vec::new(),
+            order_sensitive: true,
+            hot_path: true,
+        }
+    }
+
+    #[test]
+    fn pragma_with_reason_suppresses_same_line() {
+        let cfg = Config::default();
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lsds-lint: allow(hot-path-panic) reason=\"test scaffold\"\n";
+        let f = scan_source(&cfg, &ctx(), src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn pragma_on_own_line_suppresses_next_code_line() {
+        let cfg = Config::default();
+        let src = "// lsds-lint: allow(hot-path-panic) reason=\"known invariant\"\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let f = scan_source(&cfg, &ctx(), src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn pragma_without_reason_is_bad_pragma() {
+        let cfg = Config::default();
+        let src =
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lsds-lint: allow(hot-path-panic)\n";
+        let f = scan_source(&cfg, &ctx(), src);
+        assert!(f.iter().any(|x| x.rule == "bad-pragma"));
+        assert!(f.iter().any(|x| x.rule == "hot-path-panic"));
+    }
+
+    #[test]
+    fn unused_pragma_is_reported() {
+        let cfg = Config::default();
+        let src = "// lsds-lint: allow(float-eq) reason=\"nothing here\"\nfn f() {}\n";
+        let f = scan_source(&cfg, &ctx(), src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unused-pragma");
+    }
+
+    #[test]
+    fn file_wide_pragma_applies_everywhere() {
+        let cfg = Config::default();
+        let src = "//! lsds-lint: allow(hot-path-panic) reason=\"whole file is a panicking adapter\"\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let f = scan_source(&cfg, &ctx(), src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unknown_rule_in_pragma_is_bad_pragma() {
+        let cfg = Config::default();
+        let src = "// lsds-lint: allow(no-such) reason=\"x\"\nfn f() {}\n";
+        let f = scan_source(&cfg, &ctx(), src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "bad-pragma");
+    }
+}

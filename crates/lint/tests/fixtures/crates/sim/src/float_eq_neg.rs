@@ -1,0 +1,9 @@
+//! Negative fixture: exact zero-guards and integer equality are fine.
+
+fn any_load(den: f64) -> bool {
+    den == 0.0
+}
+
+fn same_generation(a: u64, b: u64) -> bool {
+    a == b
+}

@@ -1,0 +1,5 @@
+//! Positive fixture: exact float equality on simulated time.
+
+fn fired(now: f64, deadline: f64) -> bool {
+    now == deadline
+}

@@ -1,0 +1,11 @@
+//! Negative fixture: collect-then-sort makes hash iteration deterministic
+//! (the sorted-sink exemption).
+
+use std::collections::HashMap;
+
+fn sorted_sum() -> f64 {
+    let m: HashMap<u64, f64> = HashMap::new();
+    let mut ids: Vec<u64> = m.keys().copied().collect();
+    ids.sort_unstable();
+    ids.iter().map(|id| m[id]).sum()
+}

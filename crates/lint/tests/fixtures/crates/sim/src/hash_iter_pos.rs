@@ -1,0 +1,12 @@
+//! Positive fixture: hash iteration order leaks into accumulation order.
+
+use std::collections::HashMap;
+
+fn unsorted_sum() -> f64 {
+    let m: HashMap<u64, f64> = HashMap::new();
+    let mut total = 0.0;
+    for (_, v) in m.iter() {
+        total += v;
+    }
+    total
+}

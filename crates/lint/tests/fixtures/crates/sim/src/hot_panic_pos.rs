@@ -1,0 +1,5 @@
+//! Positive fixture: panicking pop on the event hot path.
+
+fn pop_due(queue: &mut Vec<u64>) -> u64 {
+    queue.pop().expect("queue empty")
+}

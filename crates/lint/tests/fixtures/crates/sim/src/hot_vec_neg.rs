@@ -1,0 +1,11 @@
+//! Negative fixture: VecDeque front pop and a total-order comparator.
+
+use std::collections::VecDeque;
+
+fn shift(events: &mut VecDeque<u64>) -> Option<u64> {
+    events.pop_front()
+}
+
+fn order(rates: &mut Vec<f64>) {
+    rates.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,9 @@
+//! Positive fixture: O(n) front pop and a partial_cmp comparator.
+
+fn shift(events: &mut Vec<u64>) -> u64 {
+    events.remove(0)
+}
+
+fn order(rates: &mut Vec<f64>) {
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,7 @@
+//! Negative fixture: public items documented, restricted visibility and
+//! re-exports exempt.
+
+/// Documented public function.
+pub fn documented() {}
+
+pub(crate) fn internal() {}

@@ -1,0 +1,3 @@
+//! Positive fixture: a public item with no doc comment.
+
+pub fn undocumented() {}

@@ -1,0 +1,7 @@
+//! Fixture: a pragma without a reason is itself an error and suppresses
+//! nothing.
+
+fn fired(now: f64, deadline: f64) -> bool {
+    // lsds-lint: allow(float-eq)
+    now == deadline
+}

@@ -1,0 +1,9 @@
+//! Fixture: a justified pragma silences the finding it covers.
+
+use std::time::Instant;
+
+fn wall_elapsed() -> std::time::Duration {
+    // lsds-lint: allow(wall-clock) reason="measures host runtime for the bench harness, not simulated time"
+    let start = Instant::now();
+    start.elapsed()
+}

@@ -1,0 +1,4 @@
+//! Fixture: a pragma that suppresses nothing is reported as stale.
+
+// lsds-lint: allow(hot-path-panic) reason="stale"
+fn nothing() {}

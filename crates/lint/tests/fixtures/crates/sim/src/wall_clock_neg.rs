@@ -1,0 +1,5 @@
+//! Negative fixture: time comes from the engine clock, not the OS.
+
+fn advance(clock: &mut f64, dt: f64) {
+    *clock += dt;
+}

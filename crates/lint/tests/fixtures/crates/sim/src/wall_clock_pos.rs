@@ -1,0 +1,8 @@
+//! Positive fixture: wall-clock read inside simulation code.
+
+use std::time::Instant;
+
+fn elapsed_wall() -> std::time::Duration {
+    let start = Instant::now();
+    start.elapsed()
+}

@@ -1,0 +1,205 @@
+//! Golden fixture tests: one positive and one negative fixture per rule,
+//! pragma-suppression behavior, the JSON report round-trip through
+//! `lsds-trace`, and end-to-end `--deny` exit codes against the built
+//! binary.
+//!
+//! The fixture tree under `tests/fixtures/` mimics a workspace layout
+//! (`crates/sim/src/*.rs` plus its own `lsds-lint.json`) but is never
+//! compiled; it exists only to be scanned.
+
+use lsds_lint::config::Config;
+use lsds_lint::{report, scan, Finding, Severity};
+use lsds_trace::Json;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_cfg() -> Config {
+    Config::load(&fixture_root().join("lsds-lint.json")).expect("fixture config parses")
+}
+
+/// Scans one fixture file through the library API and returns its findings.
+fn scan_fixture(name: &str) -> Vec<Finding> {
+    let root = fixture_root();
+    let cfg = fixture_cfg();
+    let rel = format!("crates/sim/src/{name}.rs");
+    let source = std::fs::read_to_string(root.join(&rel)).expect("fixture file readable");
+    let ctx = scan::file_ctx(&root, &cfg, &rel);
+    scan::scan_source(&cfg, &ctx, &source)
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn fixture_crate_resolves_to_lsds_sim() {
+    let root = fixture_root();
+    let cfg = fixture_cfg();
+    let hot = scan::file_ctx(&root, &cfg, "crates/sim/src/hot_panic_pos.rs");
+    assert_eq!(hot.crate_name, "lsds-sim");
+    assert!(hot.order_sensitive);
+    assert!(hot.hot_path);
+    let cold = scan::file_ctx(&root, &cfg, "crates/sim/src/hash_iter_pos.rs");
+    assert!(cold.order_sensitive);
+    assert!(!cold.hot_path);
+}
+
+#[test]
+fn hash_iter_golden() {
+    assert_eq!(rules_of(&scan_fixture("hash_iter_pos")), ["hash-iter"]);
+    assert!(
+        scan_fixture("hash_iter_neg").is_empty(),
+        "sorted sink must be exempt"
+    );
+}
+
+#[test]
+fn wall_clock_golden() {
+    assert_eq!(rules_of(&scan_fixture("wall_clock_pos")), ["wall-clock"]);
+    assert!(scan_fixture("wall_clock_neg").is_empty());
+}
+
+#[test]
+fn float_eq_golden() {
+    assert_eq!(rules_of(&scan_fixture("float_eq_pos")), ["float-eq"]);
+    assert!(
+        scan_fixture("float_eq_neg").is_empty(),
+        "zero-guards and integer equality must not trip float-eq"
+    );
+}
+
+#[test]
+fn hot_path_panic_golden() {
+    assert_eq!(rules_of(&scan_fixture("hot_panic_pos")), ["hot-path-panic"]);
+    assert!(
+        scan_fixture("hot_panic_neg").is_empty(),
+        "let-else with debug_assert is the sanctioned pattern"
+    );
+}
+
+#[test]
+fn hot_path_vec_golden() {
+    // `remove(0)` and the partial_cmp comparator are two separate findings.
+    assert_eq!(
+        rules_of(&scan_fixture("hot_vec_pos")),
+        ["hot-path-vec", "hot-path-vec"]
+    );
+    assert!(scan_fixture("hot_vec_neg").is_empty());
+}
+
+#[test]
+fn missing_docs_golden() {
+    let pos = scan_fixture("missing_docs_pos");
+    assert_eq!(rules_of(&pos), ["missing-docs"]);
+    assert_eq!(
+        pos[0].severity,
+        Severity::Warn,
+        "missing-docs defaults to warn"
+    );
+    assert!(scan_fixture("missing_docs_neg").is_empty());
+}
+
+#[test]
+fn justified_pragma_suppresses() {
+    assert!(scan_fixture("pragma_ok").is_empty());
+}
+
+#[test]
+fn pragma_without_reason_is_error_and_suppresses_nothing() {
+    let findings = scan_fixture("pragma_bad");
+    let mut rules = rules_of(&findings);
+    rules.sort_unstable();
+    assert_eq!(rules, ["bad-pragma", "float-eq"]);
+    assert!(findings.iter().any(|f| f.severity == Severity::Error));
+}
+
+#[test]
+fn stale_pragma_is_reported() {
+    assert_eq!(rules_of(&scan_fixture("pragma_unused")), ["unused-pragma"]);
+}
+
+#[test]
+fn report_round_trips_through_lsds_trace() {
+    let root = fixture_root();
+    let cfg = fixture_cfg();
+    let findings = scan::scan_workspace(&root, &cfg, &[]).expect("fixture scan");
+    assert!(!findings.is_empty(), "fixture tree must produce findings");
+    let doc = report::to_json(&findings);
+    let text = doc.render_pretty();
+    let parsed = Json::parse(&text).expect("rendered report parses back");
+    let restored = report::from_json(&parsed).expect("schema accepted");
+    assert_eq!(restored, findings);
+}
+
+/// Runs the built `lsds-lint` binary against one fixture file under `--deny`.
+fn deny_exit(file: &str) -> bool {
+    let root = fixture_root();
+    let status = Command::new(env!("CARGO_BIN_EXE_lsds-lint"))
+        .arg("--root")
+        .arg(&root)
+        .arg("--config")
+        .arg(root.join("lsds-lint.json"))
+        .arg("--deny")
+        .arg(format!("crates/sim/src/{file}.rs"))
+        .status()
+        .expect("lsds-lint binary runs");
+    status.success()
+}
+
+#[test]
+fn deny_gate_fails_each_positive_fixture() {
+    for file in [
+        "hash_iter_pos",
+        "wall_clock_pos",
+        "float_eq_pos",
+        "hot_panic_pos",
+        "hot_vec_pos",
+        "missing_docs_pos",
+        "pragma_bad",
+        "pragma_unused",
+    ] {
+        assert!(!deny_exit(file), "{file} must fail under --deny");
+    }
+}
+
+#[test]
+fn deny_gate_passes_each_negative_fixture() {
+    for file in [
+        "hash_iter_neg",
+        "wall_clock_neg",
+        "float_eq_neg",
+        "hot_panic_neg",
+        "hot_vec_neg",
+        "missing_docs_neg",
+        "pragma_ok",
+    ] {
+        assert!(deny_exit(file), "{file} must pass under --deny");
+    }
+}
+
+#[test]
+fn json_artifact_is_written_and_parseable() {
+    let root = fixture_root();
+    let out = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-report.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_lsds-lint"))
+        .arg("--root")
+        .arg(&root)
+        .arg("--config")
+        .arg(root.join("lsds-lint.json"))
+        .arg("--json")
+        .arg(&out)
+        .arg("crates/sim/src/float_eq_pos.rs")
+        .status()
+        .expect("lsds-lint binary runs");
+    // float-eq is an error-severity finding, so even survey mode fails.
+    assert!(!status.success());
+    let text = std::fs::read_to_string(&out).expect("report written");
+    let doc = Json::parse(&text).expect("report parses");
+    let restored = report::from_json(&doc).expect("schema accepted");
+    assert_eq!(restored.len(), 1);
+    assert_eq!(restored[0].rule, "float-eq");
+}

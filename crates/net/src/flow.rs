@@ -24,9 +24,17 @@ pub struct FlowId(pub u64);
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FlowEvent {
     /// The flow's first byte reaches the path after propagation latency.
-    Begin { flow: u64 },
+    Begin {
+        /// Raw id of the starting flow.
+        flow: u64,
+    },
     /// Predicted completion; stale generations are ignored.
-    Complete { flow: u64, gen: u64 },
+    Complete {
+        /// Raw id of the completing flow.
+        flow: u64,
+        /// Rate-share generation this prediction was made under.
+        gen: u64,
+    },
 }
 
 /// Completion record returned to the owner.
@@ -272,6 +280,7 @@ impl FlowNet {
         sched: &mut impl Schedule<FlowEvent>,
     ) -> FlowId {
         self.try_start(src, dst, bytes, tag, sched)
+            // lsds-lint: allow(hot-path-panic) reason="start() is the documented panicking wrapper; fault-tolerant callers use try_start()"
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -327,7 +336,10 @@ impl FlowNet {
         }
         let now = sched.now();
         self.advance_progress(now);
-        let f = self.flows.remove(&id.0).expect("checked above");
+        let Some(f) = self.flows.remove(&id.0) else {
+            debug_assert!(false, "flow vanished between contains_key and remove");
+            return None;
+        };
         self.aborted += 1;
         let rec = FlowAborted {
             id,
@@ -386,14 +398,20 @@ impl FlowNet {
                         };
                         match self.routing.path(&self.topo, src, dst) {
                             Some(p) if !p.is_empty() => {
-                                let f = self.flows.get_mut(&id).expect("flow vanished");
+                                let Some(f) = self.flows.get_mut(&id) else {
+                                    debug_assert!(false, "hit-list flow vanished");
+                                    continue;
+                                };
                                 f.path = p;
                                 f.gen += 1; // stale Complete events die
                                 self.rerouted += 1;
                                 outcome.rerouted += 1;
                             }
                             _ => {
-                                let f = self.flows.remove(&id).expect("flow vanished");
+                                let Some(f) = self.flows.remove(&id) else {
+                                    debug_assert!(false, "hit-list flow vanished");
+                                    continue;
+                                };
                                 self.aborted += 1;
                                 outcome.aborted.push(FlowAborted {
                                     id: FlowId(id),
@@ -493,13 +511,9 @@ impl FlowNet {
 
     /// Instantaneous utilization of a link in `[0, 1]`.
     pub fn link_utilization(&self, link: LinkId) -> f64 {
-        let used: f64 = self
-            .flows
-            .values()
-            .filter(|f| f.active && f.path.contains(&link))
-            .map(|f| f.rate)
-            .sum();
-        used / self.topo.link(link).bandwidth
+        // sorted-id accumulation via link_load: hash order must not leak
+        // into the reported float
+        self.link_load(link) / self.topo.link(link).bandwidth
     }
 
     /// Handles a flow event, returning any completions.
@@ -526,7 +540,10 @@ impl FlowNet {
                     return Vec::new();
                 }
                 self.advance_progress(now);
-                let f = self.flows.remove(&flow).expect("validated above");
+                let Some(f) = self.flows.remove(&flow) else {
+                    debug_assert!(false, "flow vanished after validation");
+                    return Vec::new();
+                };
                 debug_assert!(
                     f.remaining <= 1e-6 * f.bytes.max(1.0),
                     "completion with {} bytes left",
@@ -559,7 +576,10 @@ impl FlowNet {
         let mut ids: Vec<u64> = self.flows.keys().copied().collect();
         ids.sort_unstable();
         for id in ids {
-            let f = self.flows.get_mut(&id).expect("flow vanished");
+            let Some(f) = self.flows.get_mut(&id) else {
+                debug_assert!(false, "flow vanished during progress advance");
+                continue;
+            };
             if !f.active {
                 continue;
             }
@@ -613,7 +633,10 @@ impl FlowNet {
                     }
                 }
             }
-            let (share, bottleneck) = best.expect("unassigned flows but no loaded link");
+            let Some((share, bottleneck)) = best else {
+                debug_assert!(false, "unassigned flows but no loaded link");
+                break;
+            };
             // fix every unassigned flow crossing the bottleneck, in
             // ascending id order (same order the retain-based version
             // produced, so float arithmetic is bit-identical)
@@ -626,7 +649,10 @@ impl FlowNet {
             for id in &batch {
                 fixed.insert(*id);
                 unassigned -= 1;
-                let f = self.flows.get_mut(id).expect("flow vanished");
+                let Some(f) = self.flows.get_mut(id) else {
+                    debug_assert!(false, "active flow vanished during reshare");
+                    continue;
+                };
                 f.rate = share;
                 let path = f.path.clone();
                 for l in path {
@@ -650,7 +676,10 @@ impl FlowNet {
             .collect();
         ids.sort_unstable();
         for id in ids {
-            let f = self.flows.get_mut(&id).expect("flow vanished");
+            let Some(f) = self.flows.get_mut(&id) else {
+                debug_assert!(false, "active flow vanished before reschedule");
+                continue;
+            };
             f.gen += 1;
             debug_assert!(f.rate > 0.0, "active flow with zero rate");
             let eta = f.remaining / f.rate;

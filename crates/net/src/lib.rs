@@ -22,6 +22,9 @@
 //! [`lsds_core::Schedule`], so the grid middleware layer (`lsds-grid`) can
 //! compose a network into its own models.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod fault;
 pub mod flow;
 pub mod packet;

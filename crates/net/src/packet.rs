@@ -33,9 +33,15 @@ pub struct Packet {
 #[derive(Debug, Clone)]
 pub enum PacketEvent {
     /// A link finished serializing its head packet.
-    TransmitDone { link: usize },
+    TransmitDone {
+        /// Index of the link that finished.
+        link: usize,
+    },
     /// A packet arrived at the input of its next hop (or destination).
-    Arrive { pkt: Packet },
+    Arrive {
+        /// The arriving packet.
+        pkt: Packet,
+    },
 }
 
 /// Notifications returned to the owning model.

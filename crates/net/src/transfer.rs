@@ -67,7 +67,10 @@ pub enum TransferEvent {
     /// Backoff expired: re-attempt the identified failed transfer.
     Retry(u64),
     /// Per-transfer timeout check for the identified flow.
-    Timeout { flow: u64 },
+    Timeout {
+        /// Raw id of the flow being checked.
+        flow: u64,
+    },
 }
 
 /// Adapts the owner's scheduler so the inner [`FlowNet`] can schedule its

@@ -17,6 +17,9 @@
 //! Times cross this interface as raw `f64` seconds (not `SimTime`) so that
 //! `lsds-core` can depend on this crate without a cycle.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod recorder;
 pub mod registry;
 

@@ -6,7 +6,9 @@ use crate::registry::Registry;
 /// An operation on an engine's event list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueueOp {
+    /// An event was inserted into the pending-event list.
     Insert,
+    /// The minimum event was removed for delivery.
     Pop,
 }
 

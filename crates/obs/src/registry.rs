@@ -75,20 +75,30 @@ impl Series {
 /// An exported series: aggregates plus retained step points.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SeriesSnapshot {
+    /// Metric name.
     pub name: String,
+    /// Last recorded value.
     pub value: f64,
+    /// Maximum value observed.
     pub max: f64,
+    /// Time-weighted average over the observation window.
     pub average: f64,
+    /// Retained `(time, value)` step points.
     pub points: Vec<(f64, f64)>,
 }
 
 /// An exported value summary (count/mean/min/max of untimed observations).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SummarySnapshot {
+    /// Metric name.
     pub name: String,
+    /// Number of observations.
     pub count: u64,
+    /// Arithmetic mean of the observations.
     pub mean: f64,
+    /// Smallest observation.
     pub min: f64,
+    /// Largest observation.
     pub max: f64,
 }
 
@@ -98,9 +108,13 @@ pub struct SummarySnapshot {
 pub struct Snapshot {
     /// Simulated time the snapshot was taken at (series averages close here).
     pub at: f64,
+    /// Counter values, by name.
     pub counters: Vec<(String, u64)>,
+    /// Gauge values, by name.
     pub gauges: Vec<(String, f64)>,
+    /// Time-weighted series, by name.
     pub series: Vec<SeriesSnapshot>,
+    /// Untimed value summaries, by name.
     pub summaries: Vec<SummarySnapshot>,
 }
 
@@ -119,6 +133,7 @@ pub struct Registry {
 }
 
 impl Registry {
+    /// An empty registry.
     pub fn new() -> Self {
         Registry::default()
     }

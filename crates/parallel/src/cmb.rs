@@ -114,14 +114,21 @@ struct Engine<'a, L: LogicalProcess> {
 
 impl<'a, L: LogicalProcess> Engine<'a, L> {
     fn apply(&mut self, tagged: Tagged<L::Msg>) {
-        let slot = self
-            .in_clocks
-            .iter_mut()
-            .find(|(id, _)| *id == tagged.src)
-            .expect("message from undeclared in-neighbor");
+        let Some(slot) = self.in_clocks.iter_mut().find(|(id, _)| *id == tagged.src) else {
+            debug_assert!(false, "message from undeclared in-neighbor");
+            return;
+        };
         match tagged.packet {
             Packet::Null { ts } => slot.1 = slot.1.max(ts),
             Packet::Event { at, tie, msg } => {
+                // the sender promised (via null messages or earlier events)
+                // that nothing below the channel clock would follow
+                debug_assert!(
+                    at.seconds() >= slot.1,
+                    "causality: LP {} sent event at t={at} below its promised bound {}",
+                    tagged.src,
+                    slot.1
+                );
                 slot.1 = slot.1.max(at.seconds());
                 self.queue.insert(ScheduledEvent::new(at, tie, msg));
             }
@@ -153,11 +160,19 @@ impl<'a, L: LogicalProcess> Engine<'a, L> {
                 Outgoing::Remote { dst, at, msg } => {
                     let tie = tie_key(self.me, self.seq);
                     self.seq += 1;
-                    let (_, tx, last) = self
-                        .outs
-                        .iter_mut()
-                        .find(|(d, _, _)| *d == dst)
-                        .expect("send to undeclared out-neighbor");
+                    let Some((_, tx, last)) = self.outs.iter_mut().find(|(d, _, _)| *d == dst)
+                    else {
+                        debug_assert!(false, "send to undeclared out-neighbor");
+                        continue;
+                    };
+                    // the null messages already sent on this edge promised
+                    // `*last` as a lower bound; an event below it would
+                    // mean our declared lookahead lied
+                    debug_assert!(
+                        at.seconds() >= *last,
+                        "causality: LP {} sending t={at} below its promised bound {last} (lookahead violated)",
+                        self.me
+                    );
                     // A disconnected receiver has already terminated (its
                     // safe time passed t_end), so anything we would send
                     // it now is beyond the horizon — drop, don't panic.
@@ -216,12 +231,14 @@ impl<'a, L: LogicalProcess> Engine<'a, L> {
             // Process strictly below the safe time (a message may still
             // arrive exactly at `safe`), and never beyond the horizon.
             while let Some(t) = self.queue.peek_time() {
-                if t.seconds() < safe && t <= self.t_end {
-                    let ev = self.queue.pop_min().expect("peeked event vanished");
-                    self.handle_one(ev.time, ev.event);
-                } else {
+                if !(t.seconds() < safe && t <= self.t_end) {
                     break;
                 }
+                let Some(ev) = self.queue.pop_min() else {
+                    debug_assert!(false, "peeked event vanished");
+                    break;
+                };
+                self.handle_one(ev.time, ev.event);
             }
             let done_locally = self.queue.peek_time().is_none_or(|t| t > self.t_end);
             if done_locally && safe > self.t_end.seconds() {
@@ -299,6 +316,7 @@ where
                 .filter(|(s, _)| *s == me)
                 .map(|(_, d)| (*d, &txs[*d], 0.0))
                 .collect();
+            // lsds-lint: allow(hot-path-panic) reason="run setup before any event is processed; each index is taken exactly once by construction"
             let rx = rxs[me].take().expect("receiver taken twice");
             let handle = scope.spawn(move || {
                 let mut engine = Engine {
@@ -331,6 +349,7 @@ where
             handles.push((me, handle));
         }
         for (me, handle) in handles {
+            // lsds-lint: allow(hot-path-panic) reason="thread teardown: propagate an LP thread panic to the caller instead of swallowing it"
             results[me] = Some(handle.join().expect("LP thread panicked"));
         }
     });
@@ -338,6 +357,7 @@ where
     let mut lps_out = Vec::with_capacity(n);
     let mut stats = Vec::with_capacity(n);
     for r in results {
+        // lsds-lint: allow(hot-path-panic) reason="post-run teardown: every LP index was joined above"
         let (lp, st) = r.expect("missing LP result");
         lps_out.push(lp);
         stats.push(st);
@@ -526,6 +546,40 @@ mod tests {
             }
             _ => panic!(),
         }
+    }
+
+    /// An LP whose sends duck under its own already-promised channel bound
+    /// (the second send is timestamped below the first) violates the CMB
+    /// lookahead contract; the debug-build causality assertion must catch
+    /// it at the sender before the receiver ever sees the stale message.
+    ///
+    /// Both LPs misbehave symmetrically so every thread terminates (by
+    /// panicking) — a lone panicking LP would leave its peer blocked on
+    /// `recv` and the scoped join waiting forever.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic]
+    fn out_of_order_send_trips_causality_assert() {
+        struct Liar;
+        impl LogicalProcess for Liar {
+            type Msg = u64;
+            fn handle(&mut self, _now: SimTime, _m: u64, ctx: &mut LpCtx<'_, u64>) {
+                // first send raises the edge's promised bound to t=5.0;
+                // the second tries to slip an event in beneath it
+                let peer = (ctx.me() + 1) % 2;
+                ctx.send(peer, 5.0, 1);
+                ctx.send(peer, 0.2, 2);
+            }
+            fn lookahead(&self) -> f64 {
+                0.1
+            }
+        }
+        impl InitialEvents for Liar {
+            fn initial_events(&mut self, ctx: &mut LpCtx<'_, u64>) {
+                ctx.schedule_in(0.0, 0);
+            }
+        }
+        run_cmb(vec![Liar, Liar], &[(0, 1), (1, 0)], SimTime::new(10.0));
     }
 
     #[test]

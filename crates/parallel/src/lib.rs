@@ -22,6 +22,9 @@
 //! process in `(time, source, sequence)` order, independent of thread
 //! interleaving, so a parallel run reproduces the centralized result.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod cmb;
 pub mod lp;
 pub mod partition;

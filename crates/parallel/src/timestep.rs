@@ -84,6 +84,7 @@ where
             let barrier = &barrier;
             let senders: Vec<&Sender<Mail<L::Msg>>> = txs.iter().collect();
             // mpsc::Receiver is !Sync: the LP thread owns its receiver
+            // lsds-lint: allow(hot-path-panic) reason="run setup before any event is processed; each index is taken exactly once by construction"
             let rx = rxs[me].take().expect("receiver taken twice");
             handles.push((
                 me,
@@ -93,6 +94,11 @@ where
                     let mut staged: Vec<Outgoing<L::Msg>> = Vec::new();
                     let mut seq: u64 = 0;
                     let mut events: u64 = 0;
+                    // delivered timestamps must never regress: a message
+                    // landing in an already-processed window would mean the
+                    // window invariant (delay ≥ δ) was violated
+                    #[cfg(debug_assertions)]
+                    let mut last_t = SimTime::ZERO;
                     let la = lp.lookahead();
 
                     // t = 0 initial events
@@ -122,7 +128,19 @@ where
                             if t.seconds() >= w_end || t > t_end {
                                 break;
                             }
-                            let ev = queue.pop_min().expect("peeked event vanished");
+                            let Some(ev) = queue.pop_min() else {
+                                debug_assert!(false, "peeked event vanished");
+                                break;
+                            };
+                            #[cfg(debug_assertions)]
+                            {
+                                assert!(
+                                    ev.time >= last_t,
+                                    "causality: LP {me} delivered t={} after t={last_t}",
+                                    ev.time
+                                );
+                                last_t = ev.time;
+                            }
                             events += 1;
                             let mut ctx = LpCtx {
                                 now: ev.time,
@@ -144,7 +162,19 @@ where
                         if t > t_end {
                             break;
                         }
-                        let ev = queue.pop_min().expect("peeked event vanished");
+                        let Some(ev) = queue.pop_min() else {
+                            debug_assert!(false, "peeked event vanished");
+                            break;
+                        };
+                        #[cfg(debug_assertions)]
+                        {
+                            assert!(
+                                ev.time >= last_t,
+                                "causality: LP {me} delivered t={} after t={last_t}",
+                                ev.time
+                            );
+                            last_t = ev.time;
+                        }
                         events += 1;
                         let mut ctx = LpCtx {
                             now: ev.time,
@@ -160,6 +190,7 @@ where
             ));
         }
         for (me, h) in handles {
+            // lsds-lint: allow(hot-path-panic) reason="thread teardown: propagate an LP thread panic to the caller instead of swallowing it"
             out[me] = Some(h.join().expect("timestep LP panicked"));
         }
     });
@@ -167,6 +198,7 @@ where
     let mut lps_out = Vec::with_capacity(n);
     let mut events = Vec::with_capacity(n);
     for o in out {
+        // lsds-lint: allow(hot-path-panic) reason="post-run teardown: every LP index was joined above"
         let (lp, ev) = o.expect("missing LP result");
         lps_out.push(lp);
         events.push(ev);

@@ -15,6 +15,9 @@
 //! multi-hop paths as Jackson networks, exactly the per-component
 //! validation regime the paper prescribes.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod erlang;
 pub mod jackson;
 pub mod markov;

@@ -19,6 +19,9 @@
 //! The paper compares *designs*, not binaries; implementing the designs on
 //! one engine isolates exactly the axes Table 1 tabulates (see DESIGN.md).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod bricks;
 pub mod chicagosim;
 pub mod gridsim;

@@ -16,29 +16,81 @@ use crate::rng::SimRng;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Dist {
     /// Point mass at `value` — no randomness (taxonomy: deterministic).
-    Deterministic { value: f64 },
+    Deterministic {
+        /// The constant returned by every sample.
+        value: f64,
+    },
     /// Uniform on `[lo, hi)`.
-    Uniform { lo: f64, hi: f64 },
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
     /// Exponential with rate `rate` (mean `1/rate`).
-    Exponential { rate: f64 },
+    Exponential {
+        /// Rate parameter λ.
+        rate: f64,
+    },
     /// Erlang-`k`: sum of `k` i.i.d. exponentials of rate `rate`.
-    Erlang { k: u32, rate: f64 },
+    Erlang {
+        /// Number of exponential phases.
+        k: u32,
+        /// Rate of each phase.
+        rate: f64,
+    },
     /// Two-phase hyperexponential: rate `r1` w.p. `p`, else rate `r2`.
-    HyperExp { p: f64, r1: f64, r2: f64 },
+    HyperExp {
+        /// Probability of drawing from the first phase.
+        p: f64,
+        /// Rate of the first phase.
+        r1: f64,
+        /// Rate of the second phase.
+        r2: f64,
+    },
     /// Normal with mean `mu` and standard deviation `sigma`.
-    Normal { mu: f64, sigma: f64 },
+    Normal {
+        /// Mean.
+        mu: f64,
+        /// Standard deviation.
+        sigma: f64,
+    },
     /// Log-normal: `exp(N(mu, sigma))`.
-    LogNormal { mu: f64, sigma: f64 },
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
     /// Pareto with scale `xm > 0` and shape `alpha > 0`.
-    Pareto { xm: f64, alpha: f64 },
+    Pareto {
+        /// Scale (minimum value).
+        xm: f64,
+        /// Tail index; heavier tails for smaller `alpha`.
+        alpha: f64,
+    },
     /// Weibull with scale `lambda` and shape `k`.
-    Weibull { lambda: f64, k: f64 },
+    Weibull {
+        /// Scale parameter.
+        lambda: f64,
+        /// Shape parameter.
+        k: f64,
+    },
     /// Poisson counting distribution with mean `lambda` (integer-valued).
-    Poisson { lambda: f64 },
+    Poisson {
+        /// Mean event count.
+        lambda: f64,
+    },
     /// Geometric on `{1, 2, ...}` with success probability `p`.
-    Geometric { p: f64 },
+    Geometric {
+        /// Per-trial success probability.
+        p: f64,
+    },
     /// Bernoulli on `{0, 1}` with success probability `p`.
-    Bernoulli { p: f64 },
+    Bernoulli {
+        /// Success probability.
+        p: f64,
+    },
 }
 
 impl Dist {

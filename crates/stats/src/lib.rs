@@ -16,6 +16,9 @@
 //! stochastic models") requires numerics we can audit against closed-form
 //! queueing results, which `lsds-queueing` does in experiment E11.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod batch;
 pub mod dist;
 pub mod histogram;

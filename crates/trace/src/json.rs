@@ -11,18 +11,26 @@ use std::fmt::Write as _;
 /// A parsed JSON value. Object keys keep their textual order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// A number (always held as `f64`).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array of values.
     Arr(Vec<Json>),
+    /// An object; keys keep their textual order.
     Obj(Vec<(String, Json)>),
 }
 
 /// Parse failure: byte offset and message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
+    /// Byte offset of the failure in the input text.
     pub offset: usize,
+    /// Human-readable description of the failure.
     pub message: String,
 }
 

@@ -18,6 +18,9 @@
 //! * [`plot`] — terminal bar charts and scatter canvases (the "visual
 //!   output analyzer" end).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod export;
 pub mod generator;
 pub mod io;

@@ -5,6 +5,9 @@
 //! the reproduced paper (Dobre, Pop, Cristea — "New Trends in Large Scale
 //! Distributed Systems Simulation", ICPP 2009).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use lsds_core as core;
 pub use lsds_grid as grid;
 pub use lsds_net as net;
