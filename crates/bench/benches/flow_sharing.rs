@@ -1,0 +1,40 @@
+//! Full vs incremental max-min fair-share recomputation in `FlowNet`,
+//! at 10 / 100 / 1000 concurrent flows, with and without link faults.
+//!
+//! The workload (see `lsds_bench::run_flow_sharing`) spreads flows over
+//! disjoint duplex pairs — the favourable many-small-components case the
+//! incremental engine is built for. `exp_flownet` regenerates the same
+//! numbers into `BENCH_flownet.json`, together with the adversarial
+//! single-component dumbbell case.
+
+use lsds_bench::{black_box, criterion_group, criterion_main, Criterion};
+use lsds_bench::{run_flow_sharing, FlowSharingResult};
+use lsds_net::ShareMode;
+
+fn completions(r: FlowSharingResult) -> usize {
+    black_box(r.completions.len())
+}
+
+fn bench_flow_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_sharing");
+    group.sample_size(10);
+    for &n in &[10usize, 100, 1000] {
+        // ~16 concurrent flows per pair at every scale
+        let pairs = (n / 16).clamp(1, 64);
+        for (label, mode) in [
+            ("full", ShareMode::Full),
+            ("incremental", ShareMode::Incremental),
+        ] {
+            group.bench_function(format!("{label}/{n}"), |b| {
+                b.iter(|| completions(run_flow_sharing(pairs, n, mode, false, 0xBE)))
+            });
+            group.bench_function(format!("{label}_faults/{n}"), |b| {
+                b.iter(|| completions(run_flow_sharing(pairs, n, mode, true, 0xBE)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_sharing);
+criterion_main!(benches);

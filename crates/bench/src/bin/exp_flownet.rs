@@ -1,0 +1,199 @@
+//! `exp_flownet` — machine-readable perf baseline for FlowNet's
+//! incremental max-min fair-share engine.
+//!
+//! Runs the `flow_sharing` workload (disjoint pairs — many small
+//! components, the favourable case) at 10/100/1000 concurrent flows,
+//! with and without Poisson link outages, under both [`ShareMode::Full`]
+//! and [`ShareMode::Incremental`]; plus the adversarial single-component
+//! dumbbell where the incremental engine cannot shrink the scope. Every
+//! scenario checks the two modes produce bit-identical completion
+//! trajectories before recording the speedup.
+//!
+//! Writes `BENCH_flownet.json` (via `lsds-trace`'s in-tree JSON) so the
+//! perf trajectory of the repo is diffable run over run; prints the same
+//! numbers as a table. `--smoke` shrinks sizes and repetitions for CI.
+
+use lsds_bench::{run_flow_sharing, run_flow_sharing_dumbbell, FlowSharingResult};
+use lsds_net::ShareMode;
+use lsds_trace::{Json, TextTable};
+use std::time::Instant;
+
+const SEED: u64 = 0xF10;
+
+/// Median wall-seconds over `reps` runs, plus the (identical) result.
+fn timed(reps: usize, mut f: impl FnMut() -> FlowSharingResult) -> (f64, FlowSharingResult) {
+    let mut walls = Vec::with_capacity(reps);
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        walls.push(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    walls.sort_by(f64::total_cmp);
+    let Some(result) = out else {
+        unreachable!("reps >= 1");
+    };
+    (walls[walls.len() / 2], result)
+}
+
+struct Scenario {
+    name: String,
+    n_flows: usize,
+    faults: bool,
+    wall_full: f64,
+    wall_inc: f64,
+    full: FlowSharingResult,
+    inc: FlowSharingResult,
+}
+
+impl Scenario {
+    fn speedup(&self) -> f64 {
+        self.wall_full / self.wall_inc
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("n_flows".into(), Json::Num(self.n_flows as f64)),
+            ("faults".into(), Json::Bool(self.faults)),
+            ("wall_full_s".into(), Json::Num(self.wall_full)),
+            ("wall_incremental_s".into(), Json::Num(self.wall_inc)),
+            ("speedup".into(), Json::Num(self.speedup())),
+            ("bit_identical".into(), Json::Bool(true)),
+            (
+                "completions".into(),
+                Json::Num(self.inc.completions.len() as f64),
+            ),
+            ("aborted".into(), Json::Num(self.inc.aborted as f64)),
+            (
+                "reshare_count".into(),
+                Json::Num(self.inc.reshare_count as f64),
+            ),
+            (
+                "links_touched_full".into(),
+                Json::Num(self.full.links_touched as f64),
+            ),
+            (
+                "links_touched_incremental".into(),
+                Json::Num(self.inc.links_touched as f64),
+            ),
+            (
+                "flows_touched_full".into(),
+                Json::Num(self.full.flows_touched as f64),
+            ),
+            (
+                "flows_touched_incremental".into(),
+                Json::Num(self.inc.flows_touched as f64),
+            ),
+            (
+                "route_cache_hits".into(),
+                Json::Num(self.inc.route_cache_hits as f64),
+            ),
+            (
+                "route_cache_misses".into(),
+                Json::Num(self.inc.route_cache_misses as f64),
+            ),
+        ])
+    }
+}
+
+fn check_identical(name: &str, full: &FlowSharingResult, inc: &FlowSharingResult) {
+    assert_eq!(
+        full.completions, inc.completions,
+        "{name}: full and incremental trajectories diverged"
+    );
+    assert_eq!(full.aborted, inc.aborted, "{name}: abort counts diverged");
+    assert_eq!(
+        full.reshare_count, inc.reshare_count,
+        "{name}: reshare counts diverged"
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke { &[10, 100] } else { &[10, 100, 1000] };
+    let reps = if smoke { 2 } else { 5 };
+
+    let mut scenarios = Vec::new();
+    for &n in sizes {
+        // ~16 concurrent flows per pair at every scale
+        let pairs = (n / 16).clamp(1, 64);
+        for faults in [false, true] {
+            let (wall_full, full) = timed(reps, || {
+                run_flow_sharing(pairs, n, ShareMode::Full, faults, SEED)
+            });
+            let (wall_inc, inc) = timed(reps, || {
+                run_flow_sharing(pairs, n, ShareMode::Incremental, faults, SEED)
+            });
+            let name = format!("pairs/{n}{}", if faults { "/faults" } else { "" });
+            check_identical(&name, &full, &inc);
+            scenarios.push(Scenario {
+                name,
+                n_flows: n,
+                faults,
+                wall_full,
+                wall_inc,
+                full,
+                inc,
+            });
+        }
+    }
+    // adversarial single-component case: every flow crosses the shared
+    // dumbbell waist, so incremental cannot beat full (speedup ≈ 1)
+    let n_dumbbell = if smoke { 64 } else { 256 };
+    let (wall_full, full) = timed(reps, || {
+        run_flow_sharing_dumbbell(8, n_dumbbell, ShareMode::Full, SEED)
+    });
+    let (wall_inc, inc) = timed(reps, || {
+        run_flow_sharing_dumbbell(8, n_dumbbell, ShareMode::Incremental, SEED)
+    });
+    check_identical("dumbbell", &full, &inc);
+    scenarios.push(Scenario {
+        name: format!("dumbbell/{n_dumbbell}"),
+        n_flows: n_dumbbell,
+        faults: false,
+        wall_full,
+        wall_inc,
+        full,
+        inc,
+    });
+
+    let mut table = TextTable::with_columns(&[
+        "scenario",
+        "full (s)",
+        "incremental (s)",
+        "speedup",
+        "flows touched full",
+        "flows touched inc",
+    ]);
+    for s in &scenarios {
+        table.row(vec![
+            s.name.clone(),
+            format!("{:.4}", s.wall_full),
+            format!("{:.4}", s.wall_inc),
+            format!("{:.2}x", s.speedup()),
+            s.full.flows_touched.to_string(),
+            s.inc.flows_touched.to_string(),
+        ]);
+    }
+    println!("E-flownet — incremental vs full max-min fair share");
+    println!("(all scenarios verified bit-identical between modes)");
+    println!("{}", table.render());
+
+    let doc = Json::Obj(vec![
+        (
+            "experiment".into(),
+            Json::Str("flownet_incremental_sharing".into()),
+        ),
+        ("seed".into(), Json::Num(SEED as f64)),
+        ("smoke".into(), Json::Bool(smoke)),
+        (
+            "scenarios".into(),
+            Json::Arr(scenarios.iter().map(Scenario::to_json).collect()),
+        ),
+    ]);
+    let path = "BENCH_flownet.json";
+    std::fs::write(path, doc.render_pretty() + "\n").expect("write BENCH_flownet.json");
+    println!("wrote {path}");
+}

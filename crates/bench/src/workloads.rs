@@ -6,6 +6,10 @@ use lsds_core::process::{Action, MappingScheme, ProcessEngine};
 use lsds_core::{
     Ctx, EventDriven, EventQueue, Model, QueueKind, ScheduledEvent, SimTime, TimeDriven,
 };
+use lsds_net::{
+    mbps, poisson_link_outages, FlowEvent, FlowNet, LinkFault, LinkId, NodeId, NodeKind, ShareMode,
+    Topology,
+};
 use lsds_stats::{Dist, SimRng};
 use std::time::Instant;
 
@@ -149,6 +153,183 @@ pub fn churn_run(kind: QueueKind, size: usize, events: u64, seed: u64) -> u64 {
     sim.model().handled
 }
 
+/// Outcome of one [`run_flow_sharing`] run: the completion fingerprint
+/// (for bit-identity checks between share modes) plus the scope counters
+/// that quantify how much work each reshare strategy did.
+pub struct FlowSharingResult {
+    /// `(tag, finished-time bits)` per completed transfer, completion order.
+    pub completions: Vec<(u64, u64)>,
+    /// Transfers aborted by link outages.
+    pub aborted: u64,
+    /// Fair-share recomputations performed.
+    pub reshare_count: u64,
+    /// Cumulative links visited across reshares.
+    pub links_touched: u64,
+    /// Cumulative flows visited across reshares.
+    pub flows_touched: u64,
+    /// Pairwise route-cache hits.
+    pub route_cache_hits: u64,
+    /// Pairwise route-cache misses.
+    pub route_cache_misses: u64,
+}
+
+struct FlowModel {
+    net: FlowNet,
+    plan: Vec<(f64, NodeId, NodeId, f64)>,
+    completions: Vec<(u64, u64)>,
+}
+
+enum FlowEv {
+    Kick(usize),
+    Fault(LinkFault),
+    Net(FlowEvent),
+}
+
+impl Model for FlowModel {
+    type Event = FlowEv;
+    fn handle(&mut self, ev: FlowEv, ctx: &mut Ctx<'_, FlowEv>) {
+        match ev {
+            FlowEv::Kick(i) => {
+                let (_, s, d, b) = self.plan[i];
+                // a transfer can race an outage and lose its only route;
+                // dropping it keeps the workload meaningful under faults
+                let _ = self
+                    .net
+                    .try_start(s, d, b, i as u64, &mut ctx.map(FlowEv::Net));
+            }
+            FlowEv::Fault(f) => {
+                self.net.apply_fault(f, &mut ctx.map(FlowEv::Net));
+            }
+            FlowEv::Net(fe) => {
+                for done in self.net.handle(fe, &mut ctx.map(FlowEv::Net)) {
+                    self.completions
+                        .push((done.tag, done.finished.seconds().to_bits()));
+                }
+            }
+        }
+    }
+}
+
+/// The flow-sharing workload behind `benches/flow_sharing.rs` and
+/// `exp_flownet` (→ `BENCH_flownet.json`): `n_flows` bulk transfers over
+/// `pairs` disjoint duplex host pairs, arrivals staggered so the target
+/// concurrency is actually reached, sizes drawn so completions keep
+/// triggering reshares throughout. With `faults`, seeded Poisson outages
+/// knock links down and back up mid-run. Returns the completion
+/// fingerprint and scope counters, so callers can both time the run and
+/// verify that [`ShareMode::Full`] and [`ShareMode::Incremental`]
+/// trajectories are bit-identical.
+///
+/// Disjoint pairs are the favourable case for the incremental engine
+/// (many small components); see [`run_flow_sharing_dumbbell`] for the
+/// adversarial single-component case.
+pub fn run_flow_sharing(
+    pairs: usize,
+    n_flows: usize,
+    mode: ShareMode,
+    faults: bool,
+    seed: u64,
+) -> FlowSharingResult {
+    let mut topo = Topology::new();
+    let mut endpoints = Vec::with_capacity(pairs);
+    for p in 0..pairs {
+        let a = topo.add_node(NodeKind::Host, format!("a{p}"));
+        let b = topo.add_node(NodeKind::Host, format!("b{p}"));
+        topo.add_duplex(a, b, mbps(100.0), 0.001);
+        endpoints.push((a, b));
+    }
+    let mut rng = SimRng::new(seed);
+    // all arrivals land inside [0, 10) while transfers take ~40–100 s, so
+    // n_flows genuinely overlap before the first completions arrive
+    let plan: Vec<(f64, NodeId, NodeId, f64)> = (0..n_flows)
+        .map(|i| {
+            let (a, b) = endpoints[i % pairs];
+            let t = rng.range_f64(0.0, 10.0);
+            let bytes =
+                rng.range_f64(2.0e7, 8.0e7) * (n_flows as f64 / pairs as f64).max(1.0) / 16.0;
+            (t, a, b, bytes)
+        })
+        .collect();
+    let fault_plan = if faults {
+        let links: Vec<LinkId> = (0..topo.link_count()).step_by(5).map(LinkId).collect();
+        poisson_link_outages(&mut rng.fork(11), &links, 120.0, 40.0, 5.0)
+    } else {
+        Vec::new()
+    };
+    run_flow_model(topo, mode, plan, fault_plan)
+}
+
+/// Adversarial counterpart of [`run_flow_sharing`]: a dumbbell where
+/// every transfer crosses the one shared middle link, so the link↔flow
+/// graph is a single connected component and the incremental engine
+/// cannot shrink the scope. `exp_flownet` reports this case alongside
+/// the favourable one so the baseline states where the optimization does
+/// *not* help.
+pub fn run_flow_sharing_dumbbell(
+    hosts: usize,
+    n_flows: usize,
+    mode: ShareMode,
+    seed: u64,
+) -> FlowSharingResult {
+    let mut topo = Topology::new();
+    let h1 = topo.add_node(NodeKind::Router, "h1");
+    let h2 = topo.add_node(NodeKind::Router, "h2");
+    topo.add_duplex(h1, h2, mbps(400.0), 0.001);
+    let mut left = Vec::with_capacity(hosts);
+    let mut right = Vec::with_capacity(hosts);
+    for i in 0..hosts {
+        let a = topo.add_node(NodeKind::Host, format!("a{i}"));
+        let b = topo.add_node(NodeKind::Host, format!("b{i}"));
+        topo.add_duplex(a, h1, mbps(100.0), 0.001);
+        topo.add_duplex(h2, b, mbps(100.0), 0.001);
+        left.push(a);
+        right.push(b);
+    }
+    let mut rng = SimRng::new(seed);
+    let plan: Vec<(f64, NodeId, NodeId, f64)> = (0..n_flows)
+        .map(|i| {
+            let t = rng.range_f64(0.0, 10.0);
+            let bytes = rng.range_f64(2.0e6, 8.0e6) * (n_flows as f64 / hosts as f64).max(1.0);
+            (t, left[i % hosts], right[(i + 1) % hosts], bytes)
+        })
+        .collect();
+    run_flow_model(topo, mode, plan, Vec::new())
+}
+
+fn run_flow_model(
+    topo: Topology,
+    mode: ShareMode,
+    plan: Vec<(f64, NodeId, NodeId, f64)>,
+    faults: Vec<(f64, LinkFault)>,
+) -> FlowSharingResult {
+    let mut net = FlowNet::new(topo);
+    net.set_share_mode(mode);
+    let mut sim = EventDriven::new(FlowModel {
+        net,
+        plan: plan.clone(),
+        completions: Vec::new(),
+    });
+    for (i, &(t, ..)) in plan.iter().enumerate() {
+        sim.schedule(SimTime::new(t), FlowEv::Kick(i));
+    }
+    for &(t, f) in &faults {
+        sim.schedule(SimTime::new(t), FlowEv::Fault(f));
+    }
+    sim.run();
+    let m = sim.into_model();
+    assert_eq!(m.net.in_flight(), 0, "flow-sharing workload must drain");
+    let (route_cache_hits, route_cache_misses) = m.net.route_cache_stats();
+    FlowSharingResult {
+        completions: m.completions,
+        aborted: m.net.aborted(),
+        reshare_count: m.net.reshare_count(),
+        links_touched: m.net.links_touched(),
+        flows_touched: m.net.flows_touched(),
+        route_cache_hits,
+        route_cache_misses,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +368,33 @@ mod tests {
     #[test]
     fn churn_counts_events() {
         assert_eq!(churn_run(QueueKind::Calendar, 64, 5_000, 3), 5_000);
+    }
+
+    #[test]
+    fn flow_sharing_modes_agree_and_incremental_shrinks_scope() {
+        let full = run_flow_sharing(8, 64, ShareMode::Full, false, 42);
+        let inc = run_flow_sharing(8, 64, ShareMode::Incremental, false, 42);
+        assert_eq!(full.completions, inc.completions, "trajectory diverged");
+        assert_eq!(full.reshare_count, inc.reshare_count);
+        assert!(inc.flows_touched < full.flows_touched);
+        assert!(inc.route_cache_hits > 0);
+    }
+
+    #[test]
+    fn flow_sharing_faulty_modes_agree() {
+        let full = run_flow_sharing(8, 64, ShareMode::Full, true, 7);
+        let inc = run_flow_sharing(8, 64, ShareMode::Incremental, true, 7);
+        assert_eq!(full.completions, inc.completions);
+        assert_eq!(full.aborted, inc.aborted);
+    }
+
+    #[test]
+    fn flow_sharing_dumbbell_is_one_component() {
+        let r = run_flow_sharing_dumbbell(6, 48, ShareMode::Incremental, 5);
+        let f = run_flow_sharing_dumbbell(6, 48, ShareMode::Full, 5);
+        assert_eq!(r.completions, f.completions);
+        // single shared component: the incremental engine touches just as
+        // many flows as the full recompute
+        assert_eq!(r.flows_touched, f.flows_touched);
     }
 }

@@ -585,10 +585,10 @@ impl GridModel {
     }
 
     fn latency_between(&self, a: SiteId, b: SiteId) -> f64 {
-        let topo = self.net.topology();
+        // served from FlowNet's pairwise route cache: replica-selection
+        // scans probe the same (holder, target) pairs over and over
         self.net
-            .routing()
-            .path_latency(topo, self.sites[a.0].node, self.sites[b.0].node)
+            .path_latency(self.sites[a.0].node, self.sites[b.0].node)
             .unwrap_or(f64::INFINITY)
     }
 

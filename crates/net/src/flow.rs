@@ -6,18 +6,53 @@
 //! simulators use: cheap ("it can model only the flows of packets going
 //! from one end to another") at the price of ignoring per-packet effects —
 //! the other side of the E13 trade-off.
+//!
+//! # Incremental sharing
+//!
+//! Resharing is *incremental* by default ([`ShareMode::Incremental`]):
+//! when a flow arrives, departs, reroutes, or a link's capacity changes,
+//! only the connected component of the link↔flow bipartite graph that is
+//! actually coupled to the change is recomputed (dirty-set propagation
+//! from the affected links). Flows in untouched components keep their
+//! rates, their progress bookkeeping, and their already-scheduled
+//! completion events. Because the max-min progressive-filling arithmetic
+//! of one component never reads another component's links, the
+//! incremental result is bit-identical to a full recompute
+//! ([`ShareMode::Full`]) — `tests/share_equivalence.rs` runs both side by
+//! side on seeded random workloads (including faults) and asserts
+//! identical trajectories. See DESIGN.md §"Incremental flow-level
+//! sharing" for the invariant.
 
 use crate::fault::LinkFault;
-use crate::routing::Routing;
+use crate::routing::{RouteCache, Routing};
 use crate::topology::{LinkId, NodeId, Topology};
 use lsds_core::{Schedule, SimTime};
 use lsds_obs::Registry;
-use std::collections::{HashMap, HashSet};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a flow within a [`FlowNet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowId(pub u64);
+
+/// How [`FlowNet`] recomputes the max-min fair allocation after a change.
+///
+/// Both modes produce bit-identical trajectories (allocations, completion
+/// timestamps, event order); `Full` exists as the self-checking reference
+/// the equivalence property tests compare against, and as a diagnostic
+/// fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShareMode {
+    /// Recompute every component's allocation from scratch on each change,
+    /// then apply only the rates that differ. O(L·min(F,L)) per change.
+    Full,
+    /// Recompute only the connected component(s) of links coupled to the
+    /// changed flow (dirty-set propagation). Cost scales with the touched
+    /// component, not the whole network.
+    #[default]
+    Incremental,
+}
 
 /// Events the flow model schedules for itself. Embed these in the owning
 /// model's event type and route them back to [`FlowNet::handle`].
@@ -109,6 +144,40 @@ struct Flow {
     requested: SimTime,
     active: bool,
     bytes: f64,
+    /// Scratch epoch: this flow is in the component being reshared.
+    mark: u64,
+    /// Scratch epoch: this flow's share was fixed by the current fill.
+    fixed: u64,
+    /// Rate computed by the current fill (applied only if it differs).
+    pending: f64,
+}
+
+/// Reusable per-reshare working memory, held by [`FlowNet`] so the hot
+/// path allocates nothing in steady state. Link-indexed vectors are
+/// epoch-stamped instead of cleared: a slot is valid only when its stamp
+/// equals the current epoch.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Monotone reshare epoch; bumping it invalidates all stamps at once.
+    epoch: u64,
+    /// Per-link: equals `epoch` when the link is in the current component.
+    link_stamp: Vec<u64>,
+    /// Residual capacity per component link during progressive filling.
+    cap: Vec<f64>,
+    /// Unassigned-flow count per component link during filling.
+    nflows: Vec<usize>,
+    /// Links of the component(s) being reshared, ascending index.
+    comp_links: Vec<usize>,
+    /// Active flows of the component(s) being reshared, ascending id.
+    comp_flows: Vec<u64>,
+    /// Flows fixed by the current bottleneck (fill inner batch).
+    batch: Vec<u64>,
+    /// Dirty links seeding the next reshare's component search.
+    seeds: Vec<usize>,
+    /// Links whose cached load changed during the current event.
+    changed_links: Vec<usize>,
+    /// BFS worklist over the link↔flow bipartite graph.
+    queue: Vec<usize>,
 }
 
 /// Optional MonALISA-style monitoring attached to a [`FlowNet`]: per-link
@@ -129,7 +198,9 @@ pub struct FlowNet {
     routing: Routing,
     flows: HashMap<u64, Flow>,
     next_id: u64,
-    /// Cumulative bytes carried per link (for utilization reports).
+    /// Cumulative bytes carried per link. Progress is charged lazily: a
+    /// flow's carried bytes are posted whenever its rate changes, it
+    /// reroutes, or it leaves the system — not on every event.
     link_bytes: Vec<f64>,
     completed: u64,
     /// Dynamic link state: `false` while a link is down (fault-injected).
@@ -144,6 +215,20 @@ pub struct FlowNet {
     rerouted: u64,
     faults_applied: u64,
     monitor: Option<NetMonitor>,
+    sharing: ShareMode,
+    /// Memoized shortest paths over the current routing tables; behind a
+    /// `RefCell` so read-side consumers (`&self`) share the memo.
+    route_cache: RefCell<RouteCache>,
+    /// Per-link ascending ids of the *active* flows crossing it — the
+    /// link→flow half of the bipartite graph the dirty-set search walks.
+    link_flows: Vec<Vec<u64>>,
+    /// Cached Σ of active-flow rates per link, maintained at each rate
+    /// change so load/utilization queries are O(1).
+    load: Vec<f64>,
+    scratch: Scratch,
+    reshare_count: u64,
+    links_touched: u64,
+    flows_touched: u64,
 }
 
 impl FlowNet {
@@ -166,7 +251,60 @@ impl FlowNet {
             rerouted: 0,
             faults_applied: 0,
             monitor: None,
+            sharing: ShareMode::default(),
+            route_cache: RefCell::new(RouteCache::new()),
+            link_flows: vec![Vec::new(); n_links],
+            load: vec![0.0; n_links],
+            scratch: Scratch {
+                link_stamp: vec![0; n_links],
+                cap: vec![0.0; n_links],
+                nflows: vec![0; n_links],
+                ..Scratch::default()
+            },
+            reshare_count: 0,
+            links_touched: 0,
+            flows_touched: 0,
         }
+    }
+
+    /// Selects how reshares are computed. [`ShareMode::Incremental`] is
+    /// the default; [`ShareMode::Full`] is the bit-identical reference.
+    pub fn set_share_mode(&mut self, mode: ShareMode) {
+        self.sharing = mode;
+    }
+
+    /// The active [`ShareMode`].
+    pub fn share_mode(&self) -> ShareMode {
+        self.sharing
+    }
+
+    /// Enables or disables the pairwise route cache (enabled by default).
+    /// Cache-off runs are bit-identical to cache-on runs; the toggle
+    /// exists for the equivalence tests and for memory-constrained runs.
+    pub fn set_route_cache(&mut self, enabled: bool) {
+        self.route_cache.borrow_mut().set_enabled(enabled);
+    }
+
+    /// `(hits, misses)` of the pairwise route cache.
+    pub fn route_cache_stats(&self) -> (u64, u64) {
+        let rc = self.route_cache.borrow();
+        (rc.hits(), rc.misses())
+    }
+
+    /// How many times the fair-share allocation was recomputed.
+    pub fn reshare_count(&self) -> u64 {
+        self.reshare_count
+    }
+
+    /// Cumulative links visited by reshares (component scope metric).
+    pub fn links_touched(&self) -> u64 {
+        self.links_touched
+    }
+
+    /// Cumulative active flows visited by reshares (component scope
+    /// metric; under [`ShareMode::Full`] every reshare counts them all).
+    pub fn flows_touched(&self) -> u64 {
+        self.flows_touched
     }
 
     /// Turns on monitoring: per-link utilization series and transfer
@@ -206,6 +344,12 @@ impl FlowNet {
         reg.inc("net.flows_aborted", self.aborted);
         reg.inc("net.flows_rerouted", self.rerouted);
         reg.inc("net.link_faults", self.faults_applied);
+        reg.inc("net.reshare_count", self.reshare_count);
+        reg.inc("net.links_touched", self.links_touched);
+        reg.inc("net.flows_touched", self.flows_touched);
+        let (hits, misses) = self.route_cache_stats();
+        reg.inc("net.route_cache_hits", hits);
+        reg.inc("net.route_cache_misses", misses);
         reg.set_gauge("net.flows_in_flight", self.flows.len() as f64);
         for i in 0..self.topo.link_count() {
             let l = self.topo.link(LinkId(i));
@@ -226,32 +370,25 @@ impl FlowNet {
         }
     }
 
-    /// Records the instantaneous utilization of every link into the
-    /// monitor's series. No-op when monitoring is off.
+    /// Records the utilization of every link whose load changed during
+    /// the current event into the monitor's series, then clears the
+    /// change list. No-op (beyond the clear) when monitoring is off.
     fn record_utilization(&mut self, now: SimTime) {
+        if self.monitor.is_none() {
+            self.scratch.changed_links.clear();
+            return;
+        }
+        self.scratch.changed_links.sort_unstable();
+        self.scratch.changed_links.dedup();
         let Some(mon) = self.monitor.as_mut() else {
             return;
         };
-        let mut used = vec![0.0f64; self.topo.link_count()];
-        // flow-id order keeps float accumulation deterministic
-        let mut ids: Vec<u64> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.active)
-            .map(|(&id, _)| id)
-            .collect();
-        ids.sort_unstable();
-        for id in ids {
-            let f = &self.flows[&id];
-            for &l in &f.path {
-                used[l.0] += f.rate;
-            }
-        }
-        for (li, u) in used.iter().enumerate() {
-            let util = u / self.topo.link(LinkId(li)).bandwidth;
+        for &li in &self.scratch.changed_links {
+            let util = self.load[li] / self.topo.link(LinkId(li)).bandwidth;
             mon.reg
                 .series_update(&mon.link_keys[li], now.seconds(), util);
         }
+        self.scratch.changed_links.clear();
     }
 
     /// The underlying topology.
@@ -262,6 +399,22 @@ impl FlowNet {
     /// The routing tables.
     pub fn routing(&self) -> &Routing {
         &self.routing
+    }
+
+    /// The link path from `src` to `dst` under the current routing state,
+    /// served from the pairwise route cache (the cache is invalidated
+    /// whenever a fault changes the routing tables).
+    pub fn cached_path(&self, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
+        self.route_cache
+            .borrow_mut()
+            .path(&self.routing, &self.topo, src, dst)
+    }
+
+    /// Propagation latency along the current route, served from the route
+    /// cache. `None` when `dst` is unreachable from `src`.
+    pub fn path_latency(&self, src: NodeId, dst: NodeId) -> Option<f64> {
+        let p = self.cached_path(src, dst)?;
+        Some(p.iter().map(|&l| self.topo.link(l).latency).sum())
     }
 
     /// Starts a transfer of `bytes` from `src` to `dst`. The flow begins
@@ -296,10 +449,7 @@ impl FlowNet {
         sched: &mut impl Schedule<FlowEvent>,
     ) -> Result<FlowId, NoRoute> {
         assert!(bytes > 0.0 && bytes.is_finite(), "bad transfer size");
-        let path = self
-            .routing
-            .path(&self.topo, src, dst)
-            .ok_or(NoRoute { src, dst })?;
+        let path = self.cached_path(src, dst).ok_or(NoRoute { src, dst })?;
         assert!(!path.is_empty(), "src == dst transfer needs no network");
         let latency: f64 = path.iter().map(|&l| self.topo.link(l).latency).sum();
         let id = self.next_id;
@@ -318,6 +468,9 @@ impl FlowNet {
                 requested: sched.now(),
                 active: false,
                 bytes,
+                mark: 0,
+                fixed: 0,
+                pending: 0.0,
             },
         );
         sched.schedule_in(latency, FlowEvent::Begin { flow: id });
@@ -335,7 +488,9 @@ impl FlowNet {
             return None;
         }
         let now = sched.now();
-        self.advance_progress(now);
+        self.advance_one(id.0, now);
+        let was_active = self.flows.get(&id.0).is_some_and(|f| f.active);
+        self.unindex(id.0);
         let Some(f) = self.flows.remove(&id.0) else {
             debug_assert!(false, "flow vanished between contains_key and remove");
             return None;
@@ -348,6 +503,11 @@ impl FlowNet {
             transferred: f.bytes - f.remaining,
             requested: f.requested,
         };
+        if was_active {
+            for &l in &f.path {
+                self.scratch.seeds.push(l.0);
+            }
+        }
         self.reshare(now, sched);
         self.record_utilization(now);
         Some(rec)
@@ -374,7 +534,6 @@ impl FlowNet {
         sched: &mut impl Schedule<FlowEvent>,
     ) -> FaultOutcome {
         let now = sched.now();
-        self.advance_progress(now);
         self.faults_applied += 1;
         let mut outcome = FaultOutcome::default();
         match fault {
@@ -383,7 +542,9 @@ impl FlowNet {
                     self.link_up[l.0] = false;
                     self.down_since[l.0] = Some(now.seconds());
                     self.routing = Routing::compute_filtered(&self.topo, &self.link_up);
+                    self.route_cache.borrow_mut().invalidate();
                     // sorted ids: abort/reroute order must be deterministic
+                    // (id-sorted sink: the HashMap scan feeds a sort)
                     let mut hit: Vec<u64> = self
                         .flows
                         .iter()
@@ -392,26 +553,52 @@ impl FlowNet {
                         .collect();
                     hit.sort_unstable();
                     for id in hit {
-                        let (src, dst) = {
-                            let f = &self.flows[&id];
-                            (f.src, f.dst)
+                        let (src, dst, was_active) = {
+                            let Some(f) = self.flows.get(&id) else {
+                                debug_assert!(false, "hit-list flow vanished");
+                                continue;
+                            };
+                            (f.src, f.dst, f.active)
                         };
-                        match self.routing.path(&self.topo, src, dst) {
+                        // the cache was just invalidated: the first flow
+                        // of each (src, dst) pair misses, the rest hit
+                        match self.cached_path(src, dst) {
                             Some(p) if !p.is_empty() => {
+                                self.advance_one(id, now);
+                                self.unindex(id);
                                 let Some(f) = self.flows.get_mut(&id) else {
                                     debug_assert!(false, "hit-list flow vanished");
                                     continue;
                                 };
+                                for &ol in &f.path {
+                                    self.scratch.seeds.push(ol.0);
+                                }
+                                for &nl in &p {
+                                    self.scratch.seeds.push(nl.0);
+                                }
+                                // the generation is *not* bumped: if the
+                                // detour leaves the rate bit-identical the
+                                // pending completion stays valid, exactly
+                                // as the full recompute would conclude
                                 f.path = p;
-                                f.gen += 1; // stale Complete events die
+                                self.index(id);
                                 self.rerouted += 1;
                                 outcome.rerouted += 1;
                             }
                             _ => {
+                                self.advance_one(id, now);
+                                if was_active {
+                                    self.unindex(id);
+                                }
                                 let Some(f) = self.flows.remove(&id) else {
                                     debug_assert!(false, "hit-list flow vanished");
                                     continue;
                                 };
+                                if was_active {
+                                    for &ol in &f.path {
+                                        self.scratch.seeds.push(ol.0);
+                                    }
+                                }
                                 self.aborted += 1;
                                 outcome.aborted.push(FlowAborted {
                                     id: FlowId(id),
@@ -432,11 +619,16 @@ impl FlowNet {
                         self.downtime[l.0] += now.seconds() - t0;
                     }
                     self.routing = Routing::compute_filtered(&self.topo, &self.link_up);
+                    self.route_cache.borrow_mut().invalidate();
+                    // no active flow can cross a link that was down, so no
+                    // allocation changes: the reshare below finds an empty
+                    // dirty set (and the Full reference finds no diffs)
                 }
             }
             LinkFault::Degrade { link, factor } => {
                 assert!(factor.is_finite() && factor > 0.0, "bad degrade factor");
                 self.degrade[link.0] = factor;
+                self.scratch.seeds.push(link.0);
             }
         }
         self.reshare(now, sched);
@@ -492,28 +684,24 @@ impl FlowNet {
         self.completed
     }
 
-    /// Cumulative bytes carried by a link.
+    /// Cumulative bytes carried by a link. Progress is charged lazily (at
+    /// each rate change, reroute, or departure of a flow), so while flows
+    /// are still in flight this lags the fluid state by at most one
+    /// constant-rate segment per flow; once the run drains it is exact.
     pub fn link_bytes(&self, link: LinkId) -> f64 {
         self.link_bytes[link.0]
     }
 
-    /// Summed current rate of the active flows crossing a link, bytes/s
-    /// (sorted-id accumulation, so the value is reproducible).
+    /// Summed current rate of the active flows crossing a link, bytes/s.
+    /// O(1): the value is maintained incrementally as rates change, and
+    /// snapped to exactly `0.0` whenever the link's last flow leaves.
     pub fn link_load(&self, link: LinkId) -> f64 {
-        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
-        ids.sort_unstable();
-        ids.iter()
-            .map(|id| &self.flows[id])
-            .filter(|f| f.active && f.path.contains(&link))
-            .map(|f| f.rate)
-            .sum()
+        self.load[link.0]
     }
 
-    /// Instantaneous utilization of a link in `[0, 1]`.
+    /// Instantaneous utilization of a link in `[0, 1]`. O(1) per query.
     pub fn link_utilization(&self, link: LinkId) -> f64 {
-        // sorted-id accumulation via link_load: hash order must not leak
-        // into the reported float
-        self.link_load(link) / self.topo.link(link).bandwidth
+        self.load[link.0] / self.topo.link(link).bandwidth
     }
 
     /// Handles a flow event, returning any completions.
@@ -521,13 +709,18 @@ impl FlowNet {
         match ev {
             FlowEvent::Begin { flow } => {
                 let now = sched.now();
-                self.advance_progress(now);
-                if let Some(f) = self.flows.get_mut(&flow) {
-                    f.active = true;
-                    f.last_update = now;
+                if self.flows.contains_key(&flow) {
+                    if let Some(f) = self.flows.get_mut(&flow) {
+                        f.active = true;
+                        f.last_update = now;
+                        for &l in &f.path {
+                            self.scratch.seeds.push(l.0);
+                        }
+                    }
+                    self.index(flow);
+                    self.reshare(now, sched);
+                    self.record_utilization(now);
                 }
-                self.reshare(now, sched);
-                self.record_utilization(now);
                 Vec::new()
             }
             FlowEvent::Complete { flow, gen } => {
@@ -539,7 +732,8 @@ impl FlowNet {
                 if !valid {
                     return Vec::new();
                 }
-                self.advance_progress(now);
+                self.advance_one(flow, now);
+                self.unindex(flow);
                 let Some(f) = self.flows.remove(&flow) else {
                     debug_assert!(false, "flow vanished after validation");
                     return Vec::new();
@@ -561,6 +755,9 @@ impl FlowNet {
                     requested: f.requested,
                     finished: now,
                 };
+                for &l in &f.path {
+                    self.scratch.seeds.push(l.0);
+                }
                 self.reshare(now, sched);
                 self.record_utilization(now);
                 vec![done]
@@ -568,66 +765,181 @@ impl FlowNet {
         }
     }
 
-    /// Moves every active flow's progress forward to `now` at its current
-    /// rate, charging the carried bytes to its links.
-    fn advance_progress(&mut self, now: SimTime) {
-        // deterministic order: link_bytes accumulation must not depend on
-        // HashMap iteration (float addition does not reassociate)
-        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            let Some(f) = self.flows.get_mut(&id) else {
-                debug_assert!(false, "flow vanished during progress advance");
-                continue;
-            };
-            if !f.active {
-                continue;
+    /// Moves one flow's progress forward to `now` at its current rate,
+    /// charging the carried bytes to its links. No-op for flows still in
+    /// their latency phase. Called exactly when a flow's rate, path, or
+    /// existence is about to change, so per-flow float arithmetic is a
+    /// fixed function of its own rate-change history — the property the
+    /// full/incremental bit-identity rests on.
+    fn advance_one(&mut self, id: u64, now: SimTime) {
+        let Some(f) = self.flows.get_mut(&id) else {
+            debug_assert!(false, "advance of a missing flow");
+            return;
+        };
+        if !f.active {
+            return;
+        }
+        let dt = now - f.last_update;
+        if dt > 0.0 {
+            let moved = (f.rate * dt).min(f.remaining);
+            f.remaining -= moved;
+            for &l in &f.path {
+                self.link_bytes[l.0] += moved;
             }
-            let dt = now - f.last_update;
-            if dt > 0.0 {
-                let moved = (f.rate * dt).min(f.remaining);
-                f.remaining -= moved;
-                for &l in &f.path {
-                    self.link_bytes[l.0] += moved;
-                }
-                f.last_update = now;
+            f.last_update = now;
+        }
+    }
+
+    /// Inserts an active flow into the per-link index and load cache.
+    fn index(&mut self, id: u64) {
+        let Some(f) = self.flows.get(&id) else {
+            debug_assert!(false, "indexing a missing flow");
+            return;
+        };
+        if !f.active {
+            return;
+        }
+        let rate = f.rate;
+        for &l in &f.path {
+            let v = &mut self.link_flows[l.0];
+            match v.binary_search(&id) {
+                Err(pos) => v.insert(pos, id),
+                Ok(_) => debug_assert!(false, "flow already in link index"),
+            }
+            if rate != 0.0 {
+                self.load[l.0] += rate;
+                self.scratch.changed_links.push(l.0);
             }
         }
     }
 
-    /// Recomputes max-min fair rates and reschedules completions.
+    /// Removes an active flow from the per-link index and load cache,
+    /// snapping a link's load to exactly zero when its last flow leaves.
+    fn unindex(&mut self, id: u64) {
+        let Some(f) = self.flows.get(&id) else {
+            debug_assert!(false, "unindexing a missing flow");
+            return;
+        };
+        if !f.active {
+            return;
+        }
+        let rate = f.rate;
+        for &l in &f.path {
+            let v = &mut self.link_flows[l.0];
+            if let Ok(pos) = v.binary_search(&id) {
+                v.remove(pos);
+            } else {
+                debug_assert!(false, "active flow missing from link index");
+            }
+            self.load[l.0] -= rate;
+            if self.link_flows[l.0].is_empty() {
+                self.load[l.0] = 0.0;
+            }
+            self.scratch.changed_links.push(l.0);
+        }
+    }
+
+    /// Recomputes max-min fair rates for the dirty scope and reschedules
+    /// completions of the flows whose rate actually changed.
+    ///
+    /// Callers push the link indices affected by the triggering change
+    /// into `scratch.seeds` first. Under [`ShareMode::Incremental`] the
+    /// recomputed scope is the connected component(s) of the link↔flow
+    /// bipartite graph reachable from those seeds; under
+    /// [`ShareMode::Full`] it is every loaded link (the seeds are
+    /// ignored). Either way, only flows whose freshly computed rate
+    /// differs bit-wise from their current rate are advanced, re-rated,
+    /// and rescheduled — flows outside the dirty component always compare
+    /// equal (their component's fill arithmetic reads nothing that
+    /// changed), which is what makes the two modes bit-identical.
     fn reshare(&mut self, now: SimTime, sched: &mut impl Schedule<FlowEvent>) {
-        // progressive filling over the *effective* (fault-adjusted) caps
-        let mut cap: Vec<f64> = (0..self.topo.link_count())
-            .map(|i| self.effective_bandwidth(LinkId(i)))
-            .collect();
-        let mut active: Vec<u64> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.active)
-            .map(|(&id, _)| id)
-            .collect();
-        active.sort_unstable(); // determinism
-        let mut flows_on_link = vec![0usize; cap.len()];
-        // per-link flow lists, ascending id (inherited from `active`), so
-        // fixing a bottleneck's flows is a scan of that link's list rather
-        // than of every unassigned flow's whole path — O(Σ path length)
-        // overall instead of O(flows²) for large fan-in
-        let mut link_flows: Vec<Vec<u64>> = vec![Vec::new(); cap.len()];
-        for &id in &active {
-            for &l in &self.flows[&id].path {
-                flows_on_link[l.0] += 1;
-                link_flows[l.0].push(id);
+        self.reshare_count += 1;
+        self.scratch.epoch += 1;
+        let epoch = self.scratch.epoch;
+        self.scratch.comp_links.clear();
+        self.scratch.comp_flows.clear();
+        match self.sharing {
+            ShareMode::Full => {
+                self.scratch.seeds.clear();
+                for (li, fl) in self.link_flows.iter().enumerate() {
+                    if !fl.is_empty() {
+                        self.scratch.link_stamp[li] = epoch;
+                        self.scratch.comp_links.push(li);
+                    }
+                }
+                // id-sorted sink: the HashMap scan feeds a sort
+                let mut ids: Vec<u64> = self
+                    .flows
+                    .iter()
+                    .filter(|(_, f)| f.active)
+                    .map(|(&id, _)| id)
+                    .collect();
+                ids.sort_unstable();
+                for &id in &ids {
+                    let Some(f) = self.flows.get_mut(&id) else {
+                        debug_assert!(false, "active flow vanished during scan");
+                        continue;
+                    };
+                    f.mark = epoch;
+                }
+                self.scratch.comp_flows = ids;
+            }
+            ShareMode::Incremental => {
+                // component search over the link↔flow bipartite graph
+                self.scratch.queue.clear();
+                while let Some(l) = self.scratch.seeds.pop() {
+                    if self.scratch.link_stamp[l] != epoch {
+                        self.scratch.link_stamp[l] = epoch;
+                        self.scratch.queue.push(l);
+                    }
+                }
+                while let Some(l) = self.scratch.queue.pop() {
+                    if self.link_flows[l].is_empty() {
+                        continue;
+                    }
+                    self.scratch.comp_links.push(l);
+                    for &fid in &self.link_flows[l] {
+                        let Some(f) = self.flows.get_mut(&fid) else {
+                            debug_assert!(false, "indexed flow vanished");
+                            continue;
+                        };
+                        if f.mark == epoch {
+                            continue;
+                        }
+                        f.mark = epoch;
+                        self.scratch.comp_flows.push(fid);
+                        for &l2 in &f.path {
+                            if self.scratch.link_stamp[l2.0] != epoch {
+                                self.scratch.link_stamp[l2.0] = epoch;
+                                self.scratch.queue.push(l2.0);
+                            }
+                        }
+                    }
+                }
+                // ascending order: the fill scans links (and fixes flows)
+                // in exactly the per-component order a full scan would
+                self.scratch.comp_links.sort_unstable();
+                self.scratch.comp_flows.sort_unstable();
             }
         }
-        let mut fixed: HashSet<u64> = HashSet::with_capacity(active.len());
-        let mut unassigned = active.len();
+        self.links_touched += self.scratch.comp_links.len() as u64;
+        self.flows_touched += self.scratch.comp_flows.len() as u64;
+
+        // progressive filling over the *effective* (fault-adjusted) caps,
+        // restricted to the component: repeatedly saturate the bottleneck
+        // link (minimal fair share), fixing its unassigned flows
+        for i in 0..self.scratch.comp_links.len() {
+            let li = self.scratch.comp_links[i];
+            self.scratch.cap[li] = self.effective_bandwidth(LinkId(li));
+            self.scratch.nflows[li] = self.link_flows[li].len();
+        }
+        let mut unassigned = self.scratch.comp_flows.len();
         while unassigned > 0 {
-            // bottleneck link: minimal fair share among links with load
             let mut best: Option<(f64, usize)> = None;
-            for (li, &n) in flows_on_link.iter().enumerate() {
+            for &li in &self.scratch.comp_links {
+                let n = self.scratch.nflows[li];
                 if n > 0 {
-                    let share = cap[li] / n as f64;
+                    let share = self.scratch.cap[li] / n as f64;
                     if best.is_none_or(|(s, _)| share < s) {
                         best = Some((share, li));
                     }
@@ -638,57 +950,86 @@ impl FlowNet {
                 break;
             };
             // fix every unassigned flow crossing the bottleneck, in
-            // ascending id order (same order the retain-based version
-            // produced, so float arithmetic is bit-identical)
-            let batch: Vec<u64> = link_flows[bottleneck]
-                .iter()
-                .copied()
-                .filter(|id| !fixed.contains(id))
-                .collect();
-            debug_assert!(!batch.is_empty());
-            for id in &batch {
-                fixed.insert(*id);
-                unassigned -= 1;
-                let Some(f) = self.flows.get_mut(id) else {
-                    debug_assert!(false, "active flow vanished during reshare");
+            // ascending id order (link_flows lists are kept sorted)
+            self.scratch.batch.clear();
+            for &fid in &self.link_flows[bottleneck] {
+                if self.flows.get(&fid).is_some_and(|f| f.fixed != epoch) {
+                    self.scratch.batch.push(fid);
+                }
+            }
+            debug_assert!(!self.scratch.batch.is_empty());
+            for i in 0..self.scratch.batch.len() {
+                let fid = self.scratch.batch[i];
+                let Some(f) = self.flows.get_mut(&fid) else {
+                    debug_assert!(false, "flow vanished during fill");
                     continue;
                 };
-                f.rate = share;
-                let path = f.path.clone();
-                for l in path {
-                    cap[l.0] -= share;
-                    if cap[l.0] < 0.0 {
-                        cap[l.0] = 0.0; // guard accumulated rounding
+                f.fixed = epoch;
+                f.pending = share;
+                unassigned -= 1;
+                for &l in &f.path {
+                    self.scratch.cap[l.0] -= share;
+                    if self.scratch.cap[l.0] < 0.0 {
+                        self.scratch.cap[l.0] = 0.0; // guard accumulated rounding
                     }
-                    flows_on_link[l.0] -= 1;
+                    self.scratch.nflows[l.0] -= 1;
                 }
             }
         }
-        // Reschedule completions in flow-id order: scheduling order
-        // assigns engine sequence numbers, which break ties between
-        // equal-timestamp events — iterating the HashMap directly would
-        // make tie order (and thus ULP-level arithmetic) vary run to run.
-        let mut ids: Vec<u64> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.active)
-            .map(|(&id, _)| id)
-            .collect();
-        ids.sort_unstable();
-        for id in ids {
-            let Some(f) = self.flows.get_mut(&id) else {
-                debug_assert!(false, "active flow vanished before reschedule");
+
+        // apply + reschedule, ascending flow id: scheduling order assigns
+        // engine sequence numbers, which break ties between equal-time
+        // events. Flows whose freshly computed rate is bit-equal to their
+        // current rate are left entirely alone — no progress charge, no
+        // generation bump, no reschedule — so their pending completion
+        // events survive verbatim.
+        for i in 0..self.scratch.comp_flows.len() {
+            let fid = self.scratch.comp_flows[i];
+            let changed = self
+                .flows
+                .get(&fid)
+                .is_some_and(|f| f.pending.to_bits() != f.rate.to_bits());
+            if !changed {
+                continue;
+            }
+            self.advance_one(fid, now);
+            let Some(f) = self.flows.get_mut(&fid) else {
+                debug_assert!(false, "flow vanished before reschedule");
                 continue;
             };
+            let old = f.rate;
+            f.rate = f.pending;
             f.gen += 1;
+            f.last_update = now;
             debug_assert!(f.rate > 0.0, "active flow with zero rate");
             let eta = f.remaining / f.rate;
-            sched.schedule_at(
-                now.after(eta),
-                FlowEvent::Complete {
-                    flow: id,
-                    gen: f.gen,
-                },
+            let gen = f.gen;
+            let new = f.rate;
+            for &l in &f.path {
+                self.load[l.0] = self.load[l.0] - old + new;
+                self.scratch.changed_links.push(l.0);
+            }
+            sched.schedule_at(now.after(eta), FlowEvent::Complete { flow: fid, gen });
+        }
+        #[cfg(debug_assertions)]
+        self.verify_load_cache();
+    }
+
+    /// Debug-build cross-check: the O(1) load cache must agree with a
+    /// fresh sorted-id accumulation on every touched link.
+    #[cfg(debug_assertions)]
+    fn verify_load_cache(&self) {
+        for &li in &self.scratch.comp_links {
+            let mut sum = 0.0;
+            for &fid in &self.link_flows[li] {
+                if let Some(f) = self.flows.get(&fid) {
+                    sum += f.rate;
+                }
+            }
+            let cached = self.load[li];
+            debug_assert!(
+                (cached - sum).abs() <= 1e-6 * sum.abs().max(1.0),
+                "link {li}: cached load {cached} drifted from {sum}"
             );
         }
     }
@@ -733,8 +1074,18 @@ mod tests {
         topo: Topology,
         plan: Vec<(f64, NodeId, NodeId, f64, u64)>,
     ) -> (Vec<FlowDone>, FlowNet) {
+        run_plan_mode(topo, plan, ShareMode::Incremental)
+    }
+
+    fn run_plan_mode(
+        topo: Topology,
+        plan: Vec<(f64, NodeId, NodeId, f64, u64)>,
+        mode: ShareMode,
+    ) -> (Vec<FlowDone>, FlowNet) {
+        let mut net = FlowNet::new(topo);
+        net.set_share_mode(mode);
         let mut sim = EventDriven::new(Harness {
-            net: FlowNet::new(topo),
+            net,
             done: vec![],
             plan: plan.clone(),
         });
@@ -793,31 +1144,35 @@ mod tests {
         // Classic: flows A (l1), B (l1+l2), C (l2).
         // l1 cap 10, l2 cap 6 (MB/s). Max-min: bottleneck l2 share 3 →
         // B=C=3; l1 remaining 7 → A=7.
-        let mut t = Topology::new();
-        let n0 = t.add_node(NodeKind::Host, "n0");
-        let n1 = t.add_node(NodeKind::Router, "n1");
-        let n2 = t.add_node(NodeKind::Host, "n2");
-        t.add_link(n0, n1, 10.0e6, 0.0);
-        t.add_link(n1, n2, 6.0e6, 0.0);
-        // sizes chosen so nothing completes before we inspect rates
-        let mut sim = EventDriven::new(Harness {
-            net: FlowNet::new(t),
-            done: vec![],
-            plan: vec![
-                (0.0, n0, n1, 1.0e9, 1), // A over l1
-                (0.0, n0, n2, 1.0e9, 2), // B over l1+l2
-                (0.0, n1, n2, 1.0e9, 3), // C over l2
-            ],
-        });
-        for i in 0..3 {
-            sim.schedule(SimTime::ZERO, Ev::Kickoff(i));
+        for mode in [ShareMode::Full, ShareMode::Incremental] {
+            let mut t = Topology::new();
+            let n0 = t.add_node(NodeKind::Host, "n0");
+            let n1 = t.add_node(NodeKind::Router, "n1");
+            let n2 = t.add_node(NodeKind::Host, "n2");
+            t.add_link(n0, n1, 10.0e6, 0.0);
+            t.add_link(n1, n2, 6.0e6, 0.0);
+            // sizes chosen so nothing completes before we inspect rates
+            let mut net = FlowNet::new(t);
+            net.set_share_mode(mode);
+            let mut sim = EventDriven::new(Harness {
+                net,
+                done: vec![],
+                plan: vec![
+                    (0.0, n0, n1, 1.0e9, 1), // A over l1
+                    (0.0, n0, n2, 1.0e9, 2), // B over l1+l2
+                    (0.0, n1, n2, 1.0e9, 3), // C over l2
+                ],
+            });
+            for i in 0..3 {
+                sim.schedule(SimTime::ZERO, Ev::Kickoff(i));
+            }
+            sim.run_until(SimTime::new(1.0));
+            let net = &sim.model().net;
+            let rates: HashMap<u64, f64> = net.flows.values().map(|f| (f.tag, f.rate)).collect();
+            assert!((rates[&1] - 7.0e6).abs() < 1.0, "A {}", rates[&1]);
+            assert!((rates[&2] - 3.0e6).abs() < 1.0, "B {}", rates[&2]);
+            assert!((rates[&3] - 3.0e6).abs() < 1.0, "C {}", rates[&3]);
         }
-        sim.run_until(SimTime::new(1.0));
-        let net = &sim.model().net;
-        let rates: HashMap<u64, f64> = net.flows.values().map(|f| (f.tag, f.rate)).collect();
-        assert!((rates[&1] - 7.0e6).abs() < 1.0, "A {}", rates[&1]);
-        assert!((rates[&2] - 3.0e6).abs() < 1.0, "B {}", rates[&2]);
-        assert!((rates[&3] - 3.0e6).abs() < 1.0, "C {}", rates[&3]);
     }
 
     #[test]
@@ -893,6 +1248,66 @@ mod tests {
         net_mon.export_metrics(&mut merged);
         assert_eq!(merged.counter("net.transfers_completed"), 8);
         assert!(merged.gauge("net.link.a->b.bytes").unwrap() > 0.0);
+        assert!(merged.counter("net.reshare_count") > 0);
+        assert!(merged.counter("net.route_cache_misses") > 0);
+    }
+
+    #[test]
+    fn incremental_leaves_disjoint_components_untouched() {
+        // two disjoint host pairs: flows on pair 0 must never widen the
+        // reshare scope to pair 1's links
+        let mut t = Topology::new();
+        let a0 = t.add_node(NodeKind::Host, "a0");
+        let b0 = t.add_node(NodeKind::Host, "b0");
+        let a1 = t.add_node(NodeKind::Host, "a1");
+        let b1 = t.add_node(NodeKind::Host, "b1");
+        t.add_duplex(a0, b0, mbps(80.0), 0.0);
+        t.add_duplex(a1, b1, mbps(80.0), 0.0);
+        let plan = vec![
+            (0.0, a0, b0, 50.0e6, 0),
+            (0.0, a1, b1, 50.0e6, 1),
+            (1.0, a0, b0, 50.0e6, 2),
+            (1.0, a1, b1, 50.0e6, 3),
+        ];
+        let (done, net) = run_plan(t, plan);
+        assert_eq!(done.len(), 4);
+        // 8 reshares (4 begins + 4 completes), each touching at most the
+        // one forward link and its 1–2 flows — never the other pair's.
+        // The last completion of each pair leaves an empty component
+        // (0 links), so per pair: 1 + 1 + 1 + 0 links, 1 + 2 + 1 + 0 flows.
+        assert_eq!(net.reshare_count(), 8);
+        assert_eq!(net.links_touched(), 6);
+        assert_eq!(net.flows_touched(), 8);
+    }
+
+    #[test]
+    fn full_and_incremental_trajectories_match_bitwise() {
+        let (t, a, b) = pair(mbps(80.0), 0.01);
+        let plan: Vec<_> = (0..16)
+            .map(|i| (i as f64 * 0.61, a, b, 1.0e6 * (i % 5 + 1) as f64, i as u64))
+            .collect();
+        let (full, _) = run_plan_mode(t.clone(), plan.clone(), ShareMode::Full);
+        let (inc, _) = run_plan_mode(t, plan, ShareMode::Incremental);
+        assert_eq!(full.len(), inc.len());
+        for (f, i) in full.iter().zip(&inc) {
+            assert_eq!(f.tag, i.tag);
+            assert_eq!(
+                f.finished.seconds().to_bits(),
+                i.finished.seconds().to_bits(),
+                "tag {} diverged",
+                f.tag
+            );
+        }
+    }
+
+    #[test]
+    fn route_cache_serves_repeated_pairs() {
+        let (t, a, b) = pair(mbps(80.0), 0.0);
+        let plan: Vec<_> = (0..6).map(|i| (i as f64, a, b, 1.0e6, i as u64)).collect();
+        let (_, net) = run_plan(t, plan);
+        let (hits, misses) = net.route_cache_stats();
+        assert_eq!(misses, 1, "one miss fills the (a, b) entry");
+        assert_eq!(hits, 5, "the remaining starts are cache hits");
     }
 
     #[test]

@@ -35,9 +35,11 @@ pub mod transfer;
 pub mod transport;
 
 pub use fault::{poisson_link_outages, LinkFault, RetryPolicy};
-pub use flow::{FaultOutcome, FlowAborted, FlowDone, FlowEvent, FlowId, FlowNet, NoRoute};
+pub use flow::{
+    FaultOutcome, FlowAborted, FlowDone, FlowEvent, FlowId, FlowNet, NoRoute, ShareMode,
+};
 pub use packet::{PacketEvent, PacketNet, PacketNote};
-pub use routing::Routing;
+pub use routing::{RouteCache, Routing};
 pub use topology::{gbps, mbps, LinkId, NodeId, NodeKind, Topology};
 pub use traffic::{BackgroundTraffic, FlowDemand, TrafficEvent};
 pub use transfer::{FtpService, TransferDone, TransferEvent, TransferRequest};

@@ -1,6 +1,7 @@
-//! Shortest-path routing over a [`Topology`].
+//! Shortest-path routing over a [`Topology`], plus a pairwise route cache.
 
 use crate::topology::{LinkId, NodeId, Topology};
+use std::collections::HashMap;
 
 /// All-pairs next-hop routing, computed with Dijkstra per source.
 ///
@@ -113,6 +114,105 @@ impl Routing {
         p.iter()
             .map(|&l| topo.link(l).bandwidth)
             .fold(None, |acc, b| Some(acc.map_or(b, |a: f64| a.min(b))))
+    }
+}
+
+/// Memoized [`Routing::path`] lookups keyed by `(src, dst)`.
+///
+/// [`Routing`]'s tables store next *hops*; materializing a full path walks
+/// the tables once per query. Workloads repeat the same endpoint pairs
+/// constantly (every retry, every replica of a dataset, every job on the
+/// same site pair), so [`crate::FlowNet`] keeps one of these in front of
+/// its routing tables and serves repeats from the memo.
+///
+/// The cache stores *negative* results too (`None` = unreachable), and
+/// must be [`RouteCache::invalidate`]d whenever the routing tables are
+/// rebuilt — in `FlowNet` that is exactly the fault paths
+/// (`apply_fault` down/up). A cache hit returns a clone of the stored
+/// path, bit-identical to what a fresh table walk would build, so cache-on
+/// and cache-off runs produce identical trajectories (property-tested in
+/// `tests/share_equivalence.rs`).
+#[derive(Debug, Clone)]
+pub struct RouteCache {
+    // keyed by raw node indices; never iterated, only probed, so the
+    // HashMap cannot leak iteration order into simulation state
+    map: HashMap<(usize, usize), Option<Vec<LinkId>>>,
+    hits: u64,
+    misses: u64,
+    enabled: bool,
+}
+
+impl Default for RouteCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RouteCache {
+    /// An empty, enabled cache.
+    pub fn new() -> Self {
+        RouteCache {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            enabled: true,
+        }
+    }
+
+    /// Turns the memo on or off (off = every lookup recomputes; the hit
+    /// and miss counters stop advancing). Disabling drops stored entries.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.map.clear();
+        }
+    }
+
+    /// The path from `src` to `dst`, served from the memo when possible.
+    pub fn path(
+        &mut self,
+        routing: &Routing,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Option<Vec<LinkId>> {
+        if !self.enabled {
+            return routing.path(topo, src, dst);
+        }
+        if let Some(cached) = self.map.get(&(src.0, dst.0)) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        self.misses += 1;
+        let p = routing.path(topo, src, dst);
+        self.map.insert((src.0, dst.0), p.clone());
+        p
+    }
+
+    /// Drops every memoized entry. Call after rebuilding the [`Routing`]
+    /// tables this cache fronts.
+    pub fn invalidate(&mut self) {
+        self.map.clear();
+    }
+
+    /// Lookups served from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to walk the routing tables.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of memoized `(src, dst)` pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 }
 
@@ -229,6 +329,51 @@ mod tests {
         usable[detour[0].0] = false;
         let none = Routing::compute_filtered(&t, &usable);
         assert!(none.path(&t, a, c).is_none());
+    }
+
+    #[test]
+    fn route_cache_memoizes_and_invalidates() {
+        let (t, hosts) = Topology::star(4, mbps(100.0), 0.001);
+        let r = Routing::compute(&t);
+        let mut cache = RouteCache::new();
+        let p1 = cache.path(&r, &t, hosts[0], hosts[2]);
+        let p2 = cache.path(&r, &t, hosts[0], hosts[2]);
+        assert_eq!(p1, r.path(&t, hosts[0], hosts[2]));
+        assert_eq!(p1, p2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        cache.invalidate();
+        assert!(cache.is_empty());
+        let p3 = cache.path(&r, &t, hosts[0], hosts[2]);
+        assert_eq!(p1, p3);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn route_cache_stores_negative_results() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host, "a");
+        let b = t.add_node(NodeKind::Host, "b");
+        t.add_link(a, b, 1.0, 0.0); // one-way: b cannot reach a
+        let r = Routing::compute(&t);
+        let mut cache = RouteCache::new();
+        assert!(cache.path(&r, &t, b, a).is_none());
+        assert!(cache.path(&r, &t, b, a).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn disabled_route_cache_computes_fresh() {
+        let (t, hosts) = Topology::star(3, mbps(100.0), 0.001);
+        let r = Routing::compute(&t);
+        let mut cache = RouteCache::new();
+        cache.set_enabled(false);
+        let p1 = cache.path(&r, &t, hosts[0], hosts[1]);
+        let p2 = cache.path(&r, &t, hosts[0], hosts[1]);
+        assert_eq!(p1, r.path(&t, hosts[0], hosts[1]));
+        assert_eq!(p1, p2);
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -152,6 +152,19 @@ impl Registry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// All counters whose name starts with `prefix`, in name order.
+    /// Handy for pulling one subsystem's counter block out of a merged
+    /// registry (e.g. every `net.` counter after `export_metrics`).
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// Sets the named gauge to `v`.
     pub fn set_gauge(&mut self, name: &str, v: f64) {
         if let Some(g) = self.gauges.get_mut(name) {
@@ -264,6 +277,21 @@ mod tests {
         assert_eq!(reg.counter("events"), 5);
         assert_eq!(reg.counter("missing"), 0);
         assert_eq!(reg.gauge("clock"), Some(2.5));
+    }
+
+    #[test]
+    fn counters_with_prefix_selects_one_block() {
+        let mut reg = Registry::new();
+        reg.inc("net.reshare_count", 4);
+        reg.inc("net.route_cache_hits", 9);
+        reg.inc("grid.jobs_done", 2);
+        reg.inc("nets_other", 1); // shares a string prefix, not the block
+        let net: Vec<(&str, u64)> = reg.counters_with_prefix("net.").collect();
+        assert_eq!(
+            net,
+            vec![("net.reshare_count", 4), ("net.route_cache_hits", 9)]
+        );
+        assert_eq!(reg.counters_with_prefix("none.").count(), 0);
     }
 
     #[test]

@@ -103,11 +103,19 @@ fn main() {
         t_end
     );
     eprintln!(
-        "{} counters, {} gauges, {} time series, {} summaries\n",
+        "{} counters, {} gauges, {} time series, {} summaries",
         snap.counters.len(),
         snap.gauges.len(),
         snap.series.len(),
         snap.summaries.len()
     );
+    // the incremental fair-share engine's scope counters: how many
+    // links/flows each reshare actually touched, and how often the
+    // pairwise route cache short-circuited a path walk
+    eprintln!("network sharing scope:");
+    for (name, v) in reg.counters_with_prefix("net.") {
+        eprintln!("  {name} = {v}");
+    }
+    eprintln!();
     println!("{}", lsds::trace::snapshot_to_json_string(&snap));
 }
