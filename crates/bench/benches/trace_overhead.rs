@@ -1,0 +1,57 @@
+//! Cost of causal event tracing on the 1000-flow sharing workload:
+//! untraced (`NoopTracer`, must compile away), fully traced, and 1-in-16
+//! sampled. `exp_trace` regenerates the same comparison into
+//! `BENCH_trace.json` with the bit-identity check.
+
+use lsds_bench::{black_box, criterion_group, criterion_main, Criterion};
+use lsds_bench::{run_flow_sharing, run_flow_sharing_traced};
+use lsds_net::ShareMode;
+use lsds_obs::TraceConfig;
+
+const SEED: u64 = 0x7ACE;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    let n = 1000;
+    let pairs = (n / 16).clamp(1, 64);
+    group.bench_function("untraced/1000", |b| {
+        b.iter(|| {
+            black_box(
+                run_flow_sharing(pairs, n, ShareMode::Incremental, false, SEED)
+                    .completions
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("traced_full/1000", |b| {
+        b.iter(|| {
+            let (r, trace) = run_flow_sharing_traced(
+                pairs,
+                n,
+                ShareMode::Incremental,
+                false,
+                SEED,
+                TraceConfig::default(),
+            );
+            black_box((r.completions.len(), trace.len()))
+        })
+    });
+    group.bench_function("traced_sampled_16/1000", |b| {
+        b.iter(|| {
+            let (r, trace) = run_flow_sharing_traced(
+                pairs,
+                n,
+                ShareMode::Incremental,
+                false,
+                SEED,
+                TraceConfig::default().sampled(16),
+            );
+            black_box((r.completions.len(), trace.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

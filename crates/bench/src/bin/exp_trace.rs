@@ -1,0 +1,143 @@
+//! `exp_trace` — machine-readable baseline for the causal-tracing layer.
+//!
+//! Runs the 1000-flow sharing workload three ways — untraced
+//! (`NoopTracer`), fully traced, and 1-in-16 sampled — asserting the
+//! traced runs are bit-identical to the untraced one before recording the
+//! wall-time overhead ratios. Exports the full trace as Chrome
+//! trace-event JSON (`exp_trace.trace.json`), reloads it through the
+//! in-tree parser, and validates the viewer-required fields, so CI's
+//! trace smoke check exercises the whole export path. Writes
+//! `BENCH_trace.json`; `--smoke` shrinks sizes and repetitions for CI.
+
+use lsds_bench::{run_flow_sharing, run_flow_sharing_traced};
+use lsds_net::ShareMode;
+use lsds_obs::TraceConfig;
+use lsds_trace::{validate_chrome_trace, write_chrome_trace, Json, TextTable};
+use std::time::Instant;
+
+const SEED: u64 = 0x7ACE;
+
+/// Median wall-seconds over `reps` runs of `f`, plus the last result.
+fn timed<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut walls = Vec::with_capacity(reps);
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        walls.push(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    walls.sort_by(f64::total_cmp);
+    let Some(result) = out else {
+        unreachable!("reps >= 1");
+    };
+    (walls[walls.len() / 2], result)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 100 } else { 1000 };
+    let reps = if smoke { 2 } else { 5 };
+    let pairs = (n / 16).clamp(1, 64);
+    let mode = ShareMode::Incremental;
+
+    let (wall_plain, plain) = timed(reps, || run_flow_sharing(pairs, n, mode, false, SEED));
+    let (wall_full, (full, trace)) = timed(reps, || {
+        run_flow_sharing_traced(pairs, n, mode, false, SEED, TraceConfig::default())
+    });
+    let (wall_sampled, (sampled, strace)) = timed(reps, || {
+        run_flow_sharing_traced(
+            pairs,
+            n,
+            mode,
+            false,
+            SEED,
+            TraceConfig::default().sampled(16),
+        )
+    });
+
+    // tracing must only observe: every fingerprint identical
+    assert_eq!(
+        plain.completions, full.completions,
+        "full tracing changed the trajectory"
+    );
+    assert_eq!(
+        plain.completions, sampled.completions,
+        "sampled tracing changed the trajectory"
+    );
+    assert_eq!(plain.reshare_count, full.reshare_count);
+    assert_eq!(plain.reshare_count, sampled.reshare_count);
+    assert!(!trace.is_empty(), "full trace recorded no spans");
+    assert!(
+        strace.len() < trace.len(),
+        "sampling must record fewer spans"
+    );
+
+    let overhead_full = wall_full / wall_plain;
+    let overhead_sampled = wall_sampled / wall_plain;
+    let path = trace.critical_path();
+
+    // export → reload → validate: the CI trace smoke check
+    let trace_file = "exp_trace.trace.json";
+    let mut buf = Vec::new();
+    write_chrome_trace(&trace, &mut buf).expect("render chrome trace");
+    std::fs::write(trace_file, &buf).expect("write exp_trace.trace.json");
+    let reloaded = std::fs::read_to_string(trace_file).expect("reload trace");
+    let slices = validate_chrome_trace(&reloaded).expect("chrome trace must validate");
+    assert_eq!(slices, trace.len(), "exported slice count mismatch");
+    assert!(slices > 0, "trace export must contain spans");
+
+    let mut table = TextTable::with_columns(&["variant", "wall (s)", "overhead", "spans"]);
+    table.row(vec![
+        "untraced".into(),
+        format!("{wall_plain:.4}"),
+        "1.00x".into(),
+        "-".into(),
+    ]);
+    table.row(vec![
+        "traced (full)".into(),
+        format!("{wall_full:.4}"),
+        format!("{overhead_full:.2}x"),
+        trace.len().to_string(),
+    ]);
+    table.row(vec![
+        "traced (1/16)".into(),
+        format!("{wall_sampled:.4}"),
+        format!("{overhead_sampled:.2}x"),
+        strace.len().to_string(),
+    ]);
+    println!("E-trace — causal tracing overhead on the {n}-flow workload");
+    println!("(all variants verified bit-identical to the untraced run)");
+    println!("{}", table.render());
+    println!(
+        "critical path: {} events over {:.1} s virtual time ({} spans exported to {trace_file})",
+        path.steps.len(),
+        path.makespan,
+        slices
+    );
+
+    let doc = Json::Obj(vec![
+        ("experiment".into(), Json::Str("trace_overhead".into())),
+        ("seed".into(), Json::Num(SEED as f64)),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("n_flows".into(), Json::Num(n as f64)),
+        ("wall_untraced_s".into(), Json::Num(wall_plain)),
+        ("wall_traced_full_s".into(), Json::Num(wall_full)),
+        ("wall_traced_sampled16_s".into(), Json::Num(wall_sampled)),
+        ("overhead_full".into(), Json::Num(overhead_full)),
+        ("overhead_sampled16".into(), Json::Num(overhead_sampled)),
+        ("bit_identical".into(), Json::Bool(true)),
+        ("spans_full".into(), Json::Num(trace.len() as f64)),
+        ("spans_sampled16".into(), Json::Num(strace.len() as f64)),
+        ("spans_dropped".into(), Json::Num(trace.dropped as f64)),
+        (
+            "critical_path_events".into(),
+            Json::Num(path.steps.len() as f64),
+        ),
+        ("critical_path_vt_s".into(), Json::Num(path.makespan)),
+        ("chrome_trace_slices".into(), Json::Num(slices as f64)),
+    ]);
+    let out = "BENCH_trace.json";
+    std::fs::write(out, doc.render_pretty() + "\n").expect("write BENCH_trace.json");
+    println!("wrote {out}");
+}

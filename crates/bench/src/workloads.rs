@@ -10,6 +10,7 @@ use lsds_net::{
     mbps, poisson_link_outages, FlowEvent, FlowNet, LinkFault, LinkId, NodeId, NodeKind, ShareMode,
     Topology,
 };
+use lsds_obs::{NoopTracer, RingTracer, SpanKind, SpanTrace, TraceConfig, Tracer};
 use lsds_stats::{Dist, SimRng};
 use std::time::Instant;
 
@@ -173,9 +174,14 @@ pub struct FlowSharingResult {
     pub route_cache_misses: u64,
 }
 
+/// `(arrival, src, dst, bytes)` per planned transfer.
+type FlowPlan = Vec<(f64, NodeId, NodeId, f64)>;
+/// `(at, fault)` per scheduled link fault.
+type FaultPlan = Vec<(f64, LinkFault)>;
+
 struct FlowModel {
     net: FlowNet,
-    plan: Vec<(f64, NodeId, NodeId, f64)>,
+    plan: FlowPlan,
     completions: Vec<(u64, u64)>,
 }
 
@@ -187,6 +193,15 @@ enum FlowEv {
 
 impl Model for FlowModel {
     type Event = FlowEv;
+
+    fn trace_kind(&self, ev: &FlowEv) -> SpanKind {
+        match ev {
+            FlowEv::Kick(i) => SpanKind::tagged("bench.kick", *i as u64),
+            FlowEv::Fault(_) => SpanKind::new("net.fault"),
+            FlowEv::Net(fe) => fe.span_kind(),
+        }
+    }
+
     fn handle(&mut self, ev: FlowEv, ctx: &mut Ctx<'_, FlowEv>) {
         match ev {
             FlowEv::Kick(i) => {
@@ -230,6 +245,33 @@ pub fn run_flow_sharing(
     faults: bool,
     seed: u64,
 ) -> FlowSharingResult {
+    let (topo, plan, fault_plan) = flow_sharing_setup(pairs, n_flows, faults, seed);
+    run_flow_model(topo, mode, plan, fault_plan)
+}
+
+/// [`run_flow_sharing`] with causal tracing enabled: same workload, same
+/// trajectory (the tracer only observes), plus the span trace. The
+/// `trace_overhead` bench and `exp_trace` compare its wall time against
+/// the untraced run to price the instrumentation.
+pub fn run_flow_sharing_traced(
+    pairs: usize,
+    n_flows: usize,
+    mode: ShareMode,
+    faults: bool,
+    seed: u64,
+    cfg: TraceConfig,
+) -> (FlowSharingResult, SpanTrace) {
+    let (topo, plan, fault_plan) = flow_sharing_setup(pairs, n_flows, faults, seed);
+    let (result, tracer) = run_flow_model_with(topo, mode, plan, fault_plan, RingTracer::new(cfg));
+    (result, tracer.finish())
+}
+
+fn flow_sharing_setup(
+    pairs: usize,
+    n_flows: usize,
+    faults: bool,
+    seed: u64,
+) -> (Topology, FlowPlan, FaultPlan) {
     let mut topo = Topology::new();
     let mut endpoints = Vec::with_capacity(pairs);
     for p in 0..pairs {
@@ -241,7 +283,7 @@ pub fn run_flow_sharing(
     let mut rng = SimRng::new(seed);
     // all arrivals land inside [0, 10) while transfers take ~40–100 s, so
     // n_flows genuinely overlap before the first completions arrive
-    let plan: Vec<(f64, NodeId, NodeId, f64)> = (0..n_flows)
+    let plan: FlowPlan = (0..n_flows)
         .map(|i| {
             let (a, b) = endpoints[i % pairs];
             let t = rng.range_f64(0.0, 10.0);
@@ -256,7 +298,7 @@ pub fn run_flow_sharing(
     } else {
         Vec::new()
     };
-    run_flow_model(topo, mode, plan, fault_plan)
+    (topo, plan, fault_plan)
 }
 
 /// Adversarial counterpart of [`run_flow_sharing`]: a dumbbell where
@@ -286,7 +328,7 @@ pub fn run_flow_sharing_dumbbell(
         right.push(b);
     }
     let mut rng = SimRng::new(seed);
-    let plan: Vec<(f64, NodeId, NodeId, f64)> = (0..n_flows)
+    let plan: FlowPlan = (0..n_flows)
         .map(|i| {
             let t = rng.range_f64(0.0, 10.0);
             let bytes = rng.range_f64(2.0e6, 8.0e6) * (n_flows as f64 / hosts as f64).max(1.0);
@@ -299,16 +341,28 @@ pub fn run_flow_sharing_dumbbell(
 fn run_flow_model(
     topo: Topology,
     mode: ShareMode,
-    plan: Vec<(f64, NodeId, NodeId, f64)>,
-    faults: Vec<(f64, LinkFault)>,
+    plan: FlowPlan,
+    faults: FaultPlan,
 ) -> FlowSharingResult {
+    let (result, _tracer) = run_flow_model_with(topo, mode, plan, faults, NoopTracer);
+    result
+}
+
+fn run_flow_model_with<T: Tracer>(
+    topo: Topology,
+    mode: ShareMode,
+    plan: FlowPlan,
+    faults: FaultPlan,
+    tracer: T,
+) -> (FlowSharingResult, T) {
     let mut net = FlowNet::new(topo);
     net.set_share_mode(mode);
     let mut sim = EventDriven::new(FlowModel {
         net,
         plan: plan.clone(),
         completions: Vec::new(),
-    });
+    })
+    .with_tracer(tracer);
     for (i, &(t, ..)) in plan.iter().enumerate() {
         sim.schedule(SimTime::new(t), FlowEv::Kick(i));
     }
@@ -316,18 +370,21 @@ fn run_flow_model(
         sim.schedule(SimTime::new(t), FlowEv::Fault(f));
     }
     sim.run();
-    let m = sim.into_model();
+    let (m, tracer) = sim.into_model_and_tracer();
     assert_eq!(m.net.in_flight(), 0, "flow-sharing workload must drain");
     let (route_cache_hits, route_cache_misses) = m.net.route_cache_stats();
-    FlowSharingResult {
-        completions: m.completions,
-        aborted: m.net.aborted(),
-        reshare_count: m.net.reshare_count(),
-        links_touched: m.net.links_touched(),
-        flows_touched: m.net.flows_touched(),
-        route_cache_hits,
-        route_cache_misses,
-    }
+    (
+        FlowSharingResult {
+            completions: m.completions,
+            aborted: m.net.aborted(),
+            reshare_count: m.net.reshare_count(),
+            links_touched: m.net.links_touched(),
+            flows_touched: m.net.flows_touched(),
+            route_cache_hits,
+            route_cache_misses,
+        },
+        tracer,
+    )
 }
 
 #[cfg(test)]

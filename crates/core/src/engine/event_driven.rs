@@ -4,7 +4,7 @@ use super::{Ctx, Model, RunStats};
 use crate::event::{EventSeq, ScheduledEvent};
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::time::SimTime;
-use lsds_obs::{NoopRecorder, QueueOp, Recorder};
+use lsds_obs::{NoopRecorder, NoopTracer, QueueOp, Recorder, SpanKind, Tracer};
 
 /// The canonical discrete-event executor.
 ///
@@ -38,10 +38,12 @@ pub struct EventDriven<
     M: Model,
     Q: EventQueue<M::Event> = BinaryHeapQueue<<M as Model>::Event>,
     R: Recorder = NoopRecorder,
+    T: Tracer = NoopTracer,
 > {
     model: M,
     queue: Q,
     recorder: R,
+    tracer: T,
     clock: SimTime,
     seq: EventSeq,
     staged: Vec<ScheduledEvent<M::Event>>,
@@ -49,40 +51,78 @@ pub struct EventDriven<
     processed: u64,
 }
 
-impl<M: Model> EventDriven<M, BinaryHeapQueue<M::Event>, NoopRecorder> {
+impl<M: Model> EventDriven<M, BinaryHeapQueue<M::Event>, NoopRecorder, NoopTracer> {
     /// Creates an engine with the default binary-heap event list.
     pub fn new(model: M) -> Self {
         Self::with_queue(model, BinaryHeapQueue::new())
     }
 }
 
-impl<M: Model, Q: EventQueue<M::Event>> EventDriven<M, Q, NoopRecorder> {
+impl<M: Model, Q: EventQueue<M::Event>> EventDriven<M, Q, NoopRecorder, NoopTracer> {
     /// Creates an engine over a specific event-list structure.
     pub fn with_queue(model: M, queue: Q) -> Self {
         Self::with_parts(model, queue, NoopRecorder)
     }
 }
 
-impl<M: Model, R: Recorder> EventDriven<M, BinaryHeapQueue<M::Event>, R> {
+impl<M: Model, R: Recorder> EventDriven<M, BinaryHeapQueue<M::Event>, R, NoopTracer> {
     /// Creates a monitored engine with the default binary-heap event list.
     pub fn with_recorder(model: M, recorder: R) -> Self {
         Self::with_parts(model, BinaryHeapQueue::new(), recorder)
     }
 }
 
-impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> EventDriven<M, Q, R> {
+impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> EventDriven<M, Q, R, NoopTracer> {
     /// Creates an engine from an explicit queue and recorder.
     pub fn with_parts(model: M, queue: Q, recorder: R) -> Self {
         EventDriven {
             model,
             queue,
             recorder,
+            tracer: NoopTracer,
             clock: SimTime::ZERO,
             seq: 0,
             staged: Vec::new(),
             stopped: false,
             processed: 0,
         }
+    }
+}
+
+impl<M: Model, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> EventDriven<M, Q, R, T> {
+    /// Swaps the tracer, preserving all engine state (clock, event list,
+    /// sequence counter, model). Because a tracer only observes, a run
+    /// continued after this conversion is bit-identical to one that never
+    /// converted — enabling tracing mid-setup costs nothing in fidelity.
+    pub fn with_tracer<T2: Tracer>(self, tracer: T2) -> EventDriven<M, Q, R, T2> {
+        EventDriven {
+            model: self.model,
+            queue: self.queue,
+            recorder: self.recorder,
+            tracer,
+            clock: self.clock,
+            seq: self.seq,
+            staged: self.staged,
+            stopped: self.stopped,
+            processed: self.processed,
+        }
+    }
+
+    /// Shared view of the tracer.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Consumes the engine, returning the tracer (e.g. to `finish()` a
+    /// `RingTracer` into a `SpanTrace`).
+    pub fn into_tracer(self) -> T {
+        self.tracer
+    }
+
+    /// Consumes the engine, returning both the model and the tracer —
+    /// for callers that need the final state *and* the recorded trace.
+    pub fn into_model_and_tracer(self) -> (M, T) {
+        (self.model, self.tracer)
     }
 
     /// Schedules an initial event at absolute time `t`.
@@ -162,13 +202,27 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> EventDriven<M, Q, R> {
         self.clock = ev.time;
         self.processed += 1;
         self.recorder.on_event(self.clock.seconds());
+        let kind = if T::ENABLED {
+            self.model.trace_kind(&ev.event)
+        } else {
+            SpanKind::DEFAULT
+        };
+        let track = if T::ENABLED {
+            self.model.trace_track(&ev.event)
+        } else {
+            0
+        };
+        let token = self.tracer.begin(ev.seq);
         let mut ctx = Ctx::new(
             self.clock,
+            ev.seq,
             &mut self.staged,
             &mut self.seq,
             &mut self.stopped,
         );
         self.model.handle(ev.event, &mut ctx);
+        self.tracer
+            .record(ev.seq, ev.parent, kind, track, self.clock.seconds(), token);
         for staged in self.staged.drain(..) {
             self.queue.insert(staged);
             self.recorder

@@ -8,10 +8,10 @@
 //! rewrite the continuous state.
 
 use super::{Ctx, RunStats};
-use crate::event::{EventSeq, ScheduledEvent};
+use crate::event::{EventSeq, ScheduledEvent, NO_PARENT};
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::time::SimTime;
-use lsds_obs::{NoopRecorder, QueueOp, Recorder};
+use lsds_obs::{NoopRecorder, NoopTracer, QueueOp, Recorder, SpanKind, Tracer};
 
 /// A model with both a continuous state vector and discrete events.
 pub trait HybridModel {
@@ -27,6 +27,18 @@ pub trait HybridModel {
 
     /// Called after each integration step (threshold detection, logging).
     fn on_step(&mut self, _t: SimTime, _y: &mut [f64], _ctx: &mut Ctx<'_, Self::Event>) {}
+
+    /// Classifies a discrete event for the tracing layer (see
+    /// [`super::Model::trace_kind`]).
+    fn trace_kind(&self, _event: &Self::Event) -> SpanKind {
+        SpanKind::DEFAULT
+    }
+
+    /// Track exported spans for this event appear on (see
+    /// [`super::Model::trace_track`]).
+    fn trace_track(&self, _event: &Self::Event) -> u32 {
+        0
+    }
 }
 
 /// Hybrid continuous + discrete-event engine.
@@ -34,9 +46,11 @@ pub struct Hybrid<
     M: HybridModel,
     Q: EventQueue<M::Event> = BinaryHeapQueue<<M as HybridModel>::Event>,
     R: Recorder = NoopRecorder,
+    T: Tracer = NoopTracer,
 > {
     model: M,
     recorder: R,
+    tracer: T,
     y: Vec<f64>,
     dt_max: f64,
     queue: Q,
@@ -54,7 +68,7 @@ pub struct Hybrid<
     tmp: Vec<f64>,
 }
 
-impl<M: HybridModel> Hybrid<M, BinaryHeapQueue<M::Event>, NoopRecorder> {
+impl<M: HybridModel> Hybrid<M, BinaryHeapQueue<M::Event>, NoopRecorder, NoopTracer> {
     /// Creates a hybrid engine with initial continuous state `y0` and
     /// maximum integration step `dt_max`.
     pub fn new(model: M, y0: Vec<f64>, dt_max: f64) -> Self {
@@ -62,7 +76,7 @@ impl<M: HybridModel> Hybrid<M, BinaryHeapQueue<M::Event>, NoopRecorder> {
     }
 }
 
-impl<M: HybridModel, R: Recorder> Hybrid<M, BinaryHeapQueue<M::Event>, R> {
+impl<M: HybridModel, R: Recorder> Hybrid<M, BinaryHeapQueue<M::Event>, R, NoopTracer> {
     /// Creates a monitored hybrid engine.
     pub fn with_recorder(model: M, y0: Vec<f64>, dt_max: f64, recorder: R) -> Self {
         assert!(
@@ -73,6 +87,7 @@ impl<M: HybridModel, R: Recorder> Hybrid<M, BinaryHeapQueue<M::Event>, R> {
         Hybrid {
             model,
             recorder,
+            tracer: NoopTracer,
             y: y0,
             dt_max,
             queue: BinaryHeapQueue::new(),
@@ -91,7 +106,40 @@ impl<M: HybridModel, R: Recorder> Hybrid<M, BinaryHeapQueue<M::Event>, R> {
     }
 }
 
-impl<M: HybridModel, Q: EventQueue<M::Event>, R: Recorder> Hybrid<M, Q, R> {
+impl<M: HybridModel, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> Hybrid<M, Q, R, T> {
+    /// Swaps the tracer, preserving all engine state (see
+    /// [`super::EventDriven::with_tracer`]).
+    pub fn with_tracer<T2: Tracer>(self, tracer: T2) -> Hybrid<M, Q, R, T2> {
+        Hybrid {
+            model: self.model,
+            recorder: self.recorder,
+            tracer,
+            y: self.y,
+            dt_max: self.dt_max,
+            queue: self.queue,
+            clock: self.clock,
+            seq: self.seq,
+            staged: self.staged,
+            stopped: self.stopped,
+            processed: self.processed,
+            integration_steps: self.integration_steps,
+            k1: self.k1,
+            k2: self.k2,
+            k3: self.k3,
+            k4: self.k4,
+            tmp: self.tmp,
+        }
+    }
+
+    /// Shared view of the tracer.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Consumes the engine, returning the tracer.
+    pub fn into_tracer(self) -> T {
+        self.tracer
+    }
     /// Schedules a discrete event.
     pub fn schedule(&mut self, t: SimTime, event: M::Event) {
         assert!(t >= self.clock, "cannot schedule into the past");
@@ -172,8 +220,11 @@ impl<M: HybridModel, Q: EventQueue<M::Event>, R: Recorder> Hybrid<M, Q, R> {
             self.clock += h;
             self.recorder
                 .on_advance(from.seconds(), self.clock.seconds());
+            // integration steps are not events: anything scheduled from
+            // on_step is externally caused as far as the trace DAG goes
             let mut ctx = Ctx::new(
                 self.clock,
+                NO_PARENT,
                 &mut self.staged,
                 &mut self.seq,
                 &mut self.stopped,
@@ -212,13 +263,27 @@ impl<M: HybridModel, Q: EventQueue<M::Event>, R: Recorder> Hybrid<M, Q, R> {
                     }
                     self.processed += 1;
                     self.recorder.on_event(self.clock.seconds());
+                    let kind = if T::ENABLED {
+                        self.model.trace_kind(&ev.event)
+                    } else {
+                        SpanKind::DEFAULT
+                    };
+                    let track = if T::ENABLED {
+                        self.model.trace_track(&ev.event)
+                    } else {
+                        0
+                    };
+                    let token = self.tracer.begin(ev.seq);
                     let mut ctx = Ctx::new(
                         self.clock,
+                        ev.seq,
                         &mut self.staged,
                         &mut self.seq,
                         &mut self.stopped,
                     );
                     self.model.handle(ev.event, &mut self.y, &mut ctx);
+                    self.tracer
+                        .record(ev.seq, ev.parent, kind, track, self.clock.seconds(), token);
                     for staged in self.staged.drain(..) {
                         self.queue.insert(staged);
                         self.recorder.on_queue_op(

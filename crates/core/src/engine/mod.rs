@@ -29,6 +29,7 @@ pub use trace_driven::{TraceDriven, TraceSource};
 
 use crate::event::{EventSeq, ScheduledEvent};
 use crate::time::SimTime;
+use lsds_obs::SpanKind;
 
 /// A discrete-event simulation model: application state plus an event
 /// handler. The engine owns the clock and the event list; the model reacts
@@ -39,6 +40,20 @@ pub trait Model {
 
     /// Handles one delivered event at `ctx.now()`.
     fn handle(&mut self, event: Self::Event, ctx: &mut Ctx<'_, Self::Event>);
+
+    /// Classifies an event for the tracing layer (`lsds_obs::prof`): the
+    /// kind name becomes the span/profile label, the tag an optional
+    /// domain id (flow, job, site). Only called when tracing is enabled;
+    /// the default lumps everything under `"event"`.
+    fn trace_kind(&self, _event: &Self::Event) -> SpanKind {
+        SpanKind::DEFAULT
+    }
+
+    /// Track (entity lane) exported spans for this event appear on. Only
+    /// called when tracing is enabled; defaults to a single track.
+    fn trace_track(&self, _event: &Self::Event) -> u32 {
+        0
+    }
 }
 
 /// Anything that can schedule events of type `E` at simulated times.
@@ -84,6 +99,7 @@ impl<'c, 'a, E, E2, F: Fn(E2) -> E> Schedule<E2> for MappedCtx<'c, 'a, E, F> {
 /// disjoint without interior mutability.
 pub struct Ctx<'a, E> {
     now: SimTime,
+    cause: EventSeq,
     staged: &'a mut Vec<ScheduledEvent<E>>,
     seq: &'a mut EventSeq,
     stop: &'a mut bool,
@@ -92,12 +108,14 @@ pub struct Ctx<'a, E> {
 impl<'a, E> Ctx<'a, E> {
     pub(crate) fn new(
         now: SimTime,
+        cause: EventSeq,
         staged: &'a mut Vec<ScheduledEvent<E>>,
         seq: &'a mut EventSeq,
         stop: &'a mut bool,
     ) -> Self {
         Ctx {
             now,
+            cause,
             staged,
             seq,
             stop,
@@ -110,6 +128,14 @@ impl<'a, E> Ctx<'a, E> {
         self.now
     }
 
+    /// Seq of the event being handled (stamped as the causal parent of
+    /// everything scheduled from this context), or
+    /// [`crate::event::NO_PARENT`] outside an event handler.
+    #[inline]
+    pub fn cause(&self) -> EventSeq {
+        self.cause
+    }
+
     /// Schedules `event` at absolute time `t` (must not be in the past).
     pub fn schedule_at(&mut self, t: SimTime, event: E) {
         assert!(
@@ -119,7 +145,8 @@ impl<'a, E> Ctx<'a, E> {
         );
         let seq = *self.seq;
         *self.seq += 1;
-        self.staged.push(ScheduledEvent::new(t, seq, event));
+        self.staged
+            .push(ScheduledEvent::with_parent(t, seq, self.cause, event));
     }
 
     /// Schedules `event` after a non-negative delay `dt`.
@@ -127,7 +154,8 @@ impl<'a, E> Ctx<'a, E> {
         let t = self.now.after(dt);
         let seq = *self.seq;
         *self.seq += 1;
-        self.staged.push(ScheduledEvent::new(t, seq, event));
+        self.staged
+            .push(ScheduledEvent::with_parent(t, seq, self.cause, event));
     }
 
     /// Requests that the run stop after this handler returns.

@@ -13,7 +13,7 @@ use super::{Ctx, Model, RunStats};
 use crate::event::{EventSeq, ScheduledEvent};
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::time::SimTime;
-use lsds_obs::{NoopRecorder, QueueOp, Recorder};
+use lsds_obs::{NoopRecorder, NoopTracer, QueueOp, Recorder, SpanKind, Tracer};
 
 /// Fixed-increment executor over the same [`Model`] interface as
 /// [`super::EventDriven`].
@@ -24,10 +24,12 @@ pub struct TimeDriven<
     M: Model,
     Q: EventQueue<M::Event> = BinaryHeapQueue<<M as Model>::Event>,
     R: Recorder = NoopRecorder,
+    T: Tracer = NoopTracer,
 > {
     model: M,
     queue: Q,
     recorder: R,
+    tracer: T,
     dt: f64,
     clock: SimTime,
     seq: EventSeq,
@@ -37,28 +39,28 @@ pub struct TimeDriven<
     ticks: u64,
 }
 
-impl<M: Model> TimeDriven<M, BinaryHeapQueue<M::Event>, NoopRecorder> {
+impl<M: Model> TimeDriven<M, BinaryHeapQueue<M::Event>, NoopRecorder, NoopTracer> {
     /// Creates a time-driven engine with step `dt` and the default queue.
     pub fn new(model: M, dt: f64) -> Self {
         Self::with_queue(model, dt, BinaryHeapQueue::new())
     }
 }
 
-impl<M: Model, Q: EventQueue<M::Event>> TimeDriven<M, Q, NoopRecorder> {
+impl<M: Model, Q: EventQueue<M::Event>> TimeDriven<M, Q, NoopRecorder, NoopTracer> {
     /// Creates a time-driven engine with step `dt` over a specific queue.
     pub fn with_queue(model: M, dt: f64, queue: Q) -> Self {
         Self::with_parts(model, dt, queue, NoopRecorder)
     }
 }
 
-impl<M: Model, R: Recorder> TimeDriven<M, BinaryHeapQueue<M::Event>, R> {
+impl<M: Model, R: Recorder> TimeDriven<M, BinaryHeapQueue<M::Event>, R, NoopTracer> {
     /// Creates a monitored time-driven engine with the default queue.
     pub fn with_recorder(model: M, dt: f64, recorder: R) -> Self {
         Self::with_parts(model, dt, BinaryHeapQueue::new(), recorder)
     }
 }
 
-impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> TimeDriven<M, Q, R> {
+impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> TimeDriven<M, Q, R, NoopTracer> {
     /// Creates a time-driven engine from an explicit queue and recorder.
     pub fn with_parts(model: M, dt: f64, queue: Q, recorder: R) -> Self {
         assert!(dt.is_finite() && dt > 0.0, "step must be positive");
@@ -66,6 +68,7 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> TimeDriven<M, Q, R> {
             model,
             queue,
             recorder,
+            tracer: NoopTracer,
             dt,
             clock: SimTime::ZERO,
             seq: 0,
@@ -74,6 +77,36 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> TimeDriven<M, Q, R> {
             processed: 0,
             ticks: 0,
         }
+    }
+}
+
+impl<M: Model, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> TimeDriven<M, Q, R, T> {
+    /// Swaps the tracer, preserving all engine state (see
+    /// [`super::EventDriven::with_tracer`]).
+    pub fn with_tracer<T2: Tracer>(self, tracer: T2) -> TimeDriven<M, Q, R, T2> {
+        TimeDriven {
+            model: self.model,
+            queue: self.queue,
+            recorder: self.recorder,
+            tracer,
+            dt: self.dt,
+            clock: self.clock,
+            seq: self.seq,
+            staged: self.staged,
+            stopped: self.stopped,
+            processed: self.processed,
+            ticks: self.ticks,
+        }
+    }
+
+    /// Shared view of the tracer.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Consumes the engine, returning the tracer.
+    pub fn into_tracer(self) -> T {
+        self.tracer
     }
 
     /// Schedules an initial event.
@@ -133,9 +166,28 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> TimeDriven<M, Q, R> {
                 .on_queue_op(next.seconds(), QueueOp::Pop, self.queue.len());
             self.processed += 1;
             self.recorder.on_event(next.seconds());
+            let kind = if T::ENABLED {
+                self.model.trace_kind(&ev.event)
+            } else {
+                SpanKind::DEFAULT
+            };
+            let track = if T::ENABLED {
+                self.model.trace_track(&ev.event)
+            } else {
+                0
+            };
+            let token = self.tracer.begin(ev.seq);
             // Quantized delivery: the model observes the step boundary.
-            let mut ctx = Ctx::new(next, &mut self.staged, &mut self.seq, &mut self.stopped);
+            let mut ctx = Ctx::new(
+                next,
+                ev.seq,
+                &mut self.staged,
+                &mut self.seq,
+                &mut self.stopped,
+            );
             self.model.handle(ev.event, &mut ctx);
+            self.tracer
+                .record(ev.seq, ev.parent, kind, track, next.seconds(), token);
             for staged in self.staged.drain(..) {
                 self.queue.insert(staged);
                 self.recorder

@@ -10,10 +10,10 @@
 //! generators.
 
 use super::{Ctx, Model, RunStats};
-use crate::event::{EventSeq, ScheduledEvent};
+use crate::event::{EventSeq, ScheduledEvent, NO_PARENT};
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::time::SimTime;
-use lsds_obs::{NoopRecorder, QueueOp, Recorder};
+use lsds_obs::{NoopRecorder, NoopTracer, QueueOp, Recorder, SpanKind, Tracer};
 
 /// A time-ordered stream of externally collected events.
 ///
@@ -46,12 +46,14 @@ pub struct TraceDriven<
     S: TraceSource<Record = M::Event>,
     Q = BinaryHeapQueue<<M as Model>::Event>,
     R: Recorder = NoopRecorder,
+    T: Tracer = NoopTracer,
 > where
     Q: EventQueue<M::Event>,
 {
     model: M,
     source: S,
     recorder: R,
+    tracer: T,
     lookahead: Option<(SimTime, M::Event)>,
     last_trace_time: SimTime,
     queue: Q,
@@ -64,7 +66,7 @@ pub struct TraceDriven<
 }
 
 impl<M: Model, S: TraceSource<Record = M::Event>>
-    TraceDriven<M, S, BinaryHeapQueue<M::Event>, NoopRecorder>
+    TraceDriven<M, S, BinaryHeapQueue<M::Event>, NoopRecorder, NoopTracer>
 {
     /// Creates a trace-driven engine with the default internal queue.
     pub fn new(model: M, source: S) -> Self {
@@ -73,7 +75,7 @@ impl<M: Model, S: TraceSource<Record = M::Event>>
 }
 
 impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>>
-    TraceDriven<M, S, Q, NoopRecorder>
+    TraceDriven<M, S, Q, NoopRecorder, NoopTracer>
 {
     /// Creates a trace-driven engine over a specific internal queue.
     pub fn with_queue(model: M, source: S, queue: Q) -> Self {
@@ -82,7 +84,7 @@ impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>>
 }
 
 impl<M: Model, S: TraceSource<Record = M::Event>, R: Recorder>
-    TraceDriven<M, S, BinaryHeapQueue<M::Event>, R>
+    TraceDriven<M, S, BinaryHeapQueue<M::Event>, R, NoopTracer>
 {
     /// Creates a monitored trace-driven engine with the default queue.
     pub fn with_recorder(model: M, source: S, recorder: R) -> Self {
@@ -91,7 +93,7 @@ impl<M: Model, S: TraceSource<Record = M::Event>, R: Recorder>
 }
 
 impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>, R: Recorder>
-    TraceDriven<M, S, Q, R>
+    TraceDriven<M, S, Q, R, NoopTracer>
 {
     /// Creates a trace-driven engine from explicit parts.
     pub fn with_parts(model: M, source: S, queue: Q, recorder: R) -> Self {
@@ -99,6 +101,7 @@ impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>, R: Re
             model,
             source,
             recorder,
+            tracer: NoopTracer,
             lookahead: None,
             last_trace_time: SimTime::ZERO,
             queue,
@@ -109,6 +112,45 @@ impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>, R: Re
             processed: 0,
             replayed: 0,
         }
+    }
+}
+
+impl<
+        M: Model,
+        S: TraceSource<Record = M::Event>,
+        Q: EventQueue<M::Event>,
+        R: Recorder,
+        T: Tracer,
+    > TraceDriven<M, S, Q, R, T>
+{
+    /// Swaps the tracer, preserving all engine state (see
+    /// [`super::EventDriven::with_tracer`]).
+    pub fn with_tracer<T2: Tracer>(self, tracer: T2) -> TraceDriven<M, S, Q, R, T2> {
+        TraceDriven {
+            model: self.model,
+            source: self.source,
+            recorder: self.recorder,
+            tracer,
+            lookahead: self.lookahead,
+            last_trace_time: self.last_trace_time,
+            queue: self.queue,
+            clock: self.clock,
+            seq: self.seq,
+            staged: self.staged,
+            stopped: self.stopped,
+            processed: self.processed,
+            replayed: self.replayed,
+        }
+    }
+
+    /// Shared view of the tracer.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Consumes the engine, returning the tracer.
+    pub fn into_tracer(self) -> T {
+        self.tracer
     }
 
     /// Current simulated time.
@@ -155,22 +197,33 @@ impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>, R: Re
         }
     }
 
-    fn deliver(&mut self, t: SimTime, event: M::Event, from_trace: bool) {
+    fn deliver(&mut self, t: SimTime, id: EventSeq, parent: EventSeq, event: M::Event) {
         debug_assert!(t >= self.clock);
         self.recorder.on_advance(self.clock.seconds(), t.seconds());
         self.clock = t;
         self.processed += 1;
-        if from_trace {
-            self.replayed += 1;
-        }
         self.recorder.on_event(t.seconds());
+        let kind = if T::ENABLED {
+            self.model.trace_kind(&event)
+        } else {
+            SpanKind::DEFAULT
+        };
+        let track = if T::ENABLED {
+            self.model.trace_track(&event)
+        } else {
+            0
+        };
+        let token = self.tracer.begin(id);
         let mut ctx = Ctx::new(
             self.clock,
+            id,
             &mut self.staged,
             &mut self.seq,
             &mut self.stopped,
         );
         self.model.handle(event, &mut ctx);
+        self.tracer
+            .record(id, parent, kind, track, self.clock.seconds(), token);
         for staged in self.staged.drain(..) {
             self.queue.insert(staged);
             self.recorder
@@ -201,13 +254,19 @@ impl<M: Model, S: TraceSource<Record = M::Event>, Q: EventQueue<M::Event>, R: Re
             };
             self.recorder
                 .on_queue_op(ev.time.seconds(), QueueOp::Pop, self.queue.len());
-            self.deliver(ev.time, ev.event, false);
+            self.deliver(ev.time, ev.seq, ev.parent, ev.event);
         } else {
             let Some((t, r)) = self.lookahead.take() else {
                 debug_assert!(false, "lookahead vanished");
                 return false;
             };
-            self.deliver(t, r, true);
+            // Replayed records get a fresh event id; done unconditionally
+            // (not only when traced) so the seq stream — and with it every
+            // tie-break downstream — is identical with tracing on or off.
+            let id = self.seq;
+            self.seq += 1;
+            self.replayed += 1;
+            self.deliver(t, id, NO_PARENT, r);
         }
         true
     }

@@ -9,6 +9,10 @@ use crate::time::SimTime;
 /// simulation will always return the same simulation results" (§3).
 pub type EventSeq = u64;
 
+/// Sentinel parent for events scheduled from outside any handler (initial
+/// events, replayed trace records). Matches `lsds_obs::NO_PARENT`.
+pub const NO_PARENT: EventSeq = lsds_obs::NO_PARENT;
+
 /// An event stamped with its due time and scheduling sequence number.
 #[derive(Debug, Clone)]
 pub struct ScheduledEvent<E> {
@@ -16,14 +20,30 @@ pub struct ScheduledEvent<E> {
     pub time: SimTime,
     /// Scheduling sequence number; ties on `time` are broken by `seq`.
     pub seq: EventSeq,
+    /// Seq of the event whose handler scheduled this one, or
+    /// [`NO_PARENT`]. Threads causality through the engines so the
+    /// tracing layer can reconstruct the event DAG.
+    pub parent: EventSeq,
     /// The model-defined payload.
     pub event: E,
 }
 
 impl<E> ScheduledEvent<E> {
-    /// Bundles a payload with its due time and sequence number.
+    /// Bundles a payload with its due time and sequence number, with no
+    /// recorded cause (externally scheduled).
     pub fn new(time: SimTime, seq: EventSeq, event: E) -> Self {
-        ScheduledEvent { time, seq, event }
+        Self::with_parent(time, seq, NO_PARENT, event)
+    }
+
+    /// Bundles a payload with its due time, sequence number, and the seq
+    /// of the event that caused it.
+    pub fn with_parent(time: SimTime, seq: EventSeq, parent: EventSeq, event: E) -> Self {
+        ScheduledEvent {
+            time,
+            seq,
+            parent,
+            event,
+        }
     }
 
     /// The `(time, seq)` priority key.

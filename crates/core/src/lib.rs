@@ -42,7 +42,7 @@ pub use engine::{
     Ctx, EventDriven, Hybrid, MappedCtx, Model, RunStats, Schedule, TimeDriven, TraceDriven,
     TraceSource,
 };
-pub use event::{EventSeq, ScheduledEvent};
+pub use event::{EventSeq, ScheduledEvent, NO_PARENT};
 pub use queue::{
     BinaryHeapQueue, CalendarQueue, EventQueue, LadderQueue, QueueKind, SortedListQueue,
 };

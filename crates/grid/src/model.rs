@@ -17,7 +17,7 @@ use crate::site::{Site, SiteId};
 use crate::storage::{DbEvent, FileMeta, TapeEvent};
 use lsds_core::{Ctx, EventDriven, Model, SimTime};
 use lsds_net::{FlowEvent, FlowNet, NodeId, RetryPolicy};
-use lsds_obs::Registry;
+use lsds_obs::{Registry, SpanKind};
 use lsds_stats::{Dist, SimRng, Summary};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -1378,6 +1378,35 @@ impl Model for GridModel {
             GridEvent::Resubmit(spec) => self.submit_job(spec, ctx),
         }
         self.record_site_state(ctx.now());
+    }
+
+    fn trace_kind(&self, event: &GridEvent) -> SpanKind {
+        match event {
+            GridEvent::Init => SpanKind::new("grid.init"),
+            GridEvent::Activity { idx } => SpanKind::tagged("grid.activity", *idx as u64),
+            GridEvent::Cpu { .. } => SpanKind::new("grid.cpu"),
+            GridEvent::Submit(spec) => SpanKind::tagged("grid.submit", spec.id.0),
+            GridEvent::Net(fe) => fe.span_kind(),
+            GridEvent::Tape { .. } => SpanKind::new("grid.tape"),
+            GridEvent::Db { .. } => SpanKind::new("grid.db"),
+            GridEvent::Produce => SpanKind::new("grid.produce"),
+            GridEvent::Fault(_) => SpanKind::new("grid.fault"),
+            GridEvent::RetryTransfer { tag } => SpanKind::tagged("grid.retry_transfer", *tag),
+            GridEvent::TransferFailed { tag } => SpanKind::tagged("grid.transfer_failed", *tag),
+            GridEvent::RetryDeferred => SpanKind::new("grid.retry_deferred"),
+            GridEvent::Resubmit(spec) => SpanKind::tagged("grid.resubmit", spec.id.0),
+        }
+    }
+
+    fn trace_track(&self, event: &GridEvent) -> u32 {
+        // Site-local events trace onto that site's track; grid-wide events
+        // (brokering, network, production) share track 0.
+        match event {
+            GridEvent::Cpu { site, .. }
+            | GridEvent::Tape { site, .. }
+            | GridEvent::Db { site, .. } => *site as u32,
+            _ => 0,
+        }
     }
 }
 

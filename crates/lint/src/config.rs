@@ -53,6 +53,7 @@ impl Default for Config {
                 "crates/core/src/queue/",
                 "crates/core/src/engine/",
                 "crates/parallel/src/",
+                "crates/prof/src/",
                 "crates/net/src/flow.rs",
             ]
             .iter()

@@ -72,6 +72,19 @@ pub enum FlowEvent {
     },
 }
 
+impl FlowEvent {
+    /// Classifies this event for the tracing layer, tagging the span with
+    /// the flow id so trace tooling can follow one transfer end to end.
+    pub fn span_kind(&self) -> lsds_obs::SpanKind {
+        match self {
+            FlowEvent::Begin { flow } => lsds_obs::SpanKind::tagged("net.flow_begin", *flow),
+            FlowEvent::Complete { flow, .. } => {
+                lsds_obs::SpanKind::tagged("net.flow_complete", *flow)
+            }
+        }
+    }
+}
+
 /// Completion record returned to the owner.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowDone {

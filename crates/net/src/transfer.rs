@@ -73,6 +73,19 @@ pub enum TransferEvent {
     },
 }
 
+impl TransferEvent {
+    /// Classifies this event for the tracing layer; network events keep
+    /// their flow-level kind, retry/timeout spans are tagged with the
+    /// transfer's flow id.
+    pub fn span_kind(&self) -> lsds_obs::SpanKind {
+        match self {
+            TransferEvent::Net(ev) => ev.span_kind(),
+            TransferEvent::Retry(id) => lsds_obs::SpanKind::tagged("net.retry", *id),
+            TransferEvent::Timeout { flow } => lsds_obs::SpanKind::tagged("net.timeout", *flow),
+        }
+    }
+}
+
 /// Adapts the owner's scheduler so the inner [`FlowNet`] can schedule its
 /// own events wrapped in [`TransferEvent::Net`].
 struct NetSched<'a, S>(&'a mut S);

@@ -16,6 +16,10 @@
 //!
 //! Times cross this interface as raw `f64` seconds (not `SimTime`) so that
 //! `lsds-core` can depend on this crate without a cycle.
+//!
+//! The causal tracing/profiling layer lives in its own crate and is
+//! re-exported here as [`prof`]: engines reach the [`Tracer`] hook through
+//! `lsds_obs` exactly like they reach [`Recorder`].
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -23,5 +27,11 @@
 pub mod recorder;
 pub mod registry;
 
+pub use lsds_prof as prof;
+
+pub use prof::{
+    CriticalPath, CriticalStep, HandlerProfile, KindProfile, NoopTracer, RingTracer, Span,
+    SpanKind, SpanTrace, TraceConfig, Tracer, NO_PARENT, NO_TAG,
+};
 pub use recorder::{MetricsRecorder, NoopRecorder, QueueOp, Recorder};
 pub use registry::{Registry, Series, SeriesSnapshot, Snapshot, SummarySnapshot};

@@ -100,6 +100,12 @@ pub struct SummarySnapshot {
     pub min: f64,
     /// Largest observation.
     pub max: f64,
+    /// Median estimate (log-bucketed, ≈6% relative error).
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
 }
 
 /// A point-in-time export of a [`Registry`], ordered by metric name so the
@@ -163,6 +169,30 @@ impl Registry {
             .range(prefix.to_string()..)
             .take_while(move |(k, _)| k.starts_with(prefix))
             .map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges whose name starts with `prefix`, in name order
+    /// (parity with [`Registry::counters_with_prefix`]).
+    pub fn gauges_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, f64)> + 'a {
+        self.gauges
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All series whose name starts with `prefix`, in name order
+    /// (parity with [`Registry::counters_with_prefix`]).
+    pub fn series_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a Series)> + 'a {
+        self.series
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), v))
     }
 
     /// Sets the named gauge to `v`.
@@ -257,6 +287,9 @@ impl Registry {
                     mean: s.mean(),
                     min: s.min(),
                     max: s.max(),
+                    p50: s.p50(),
+                    p95: s.p95(),
+                    p99: s.p99(),
                 })
                 .collect(),
         }
@@ -292,6 +325,47 @@ mod tests {
             vec![("net.reshare_count", 4), ("net.route_cache_hits", 9)]
         );
         assert_eq!(reg.counters_with_prefix("none.").count(), 0);
+    }
+
+    #[test]
+    fn gauges_with_prefix_selects_one_block() {
+        let mut reg = Registry::new();
+        reg.set_gauge("engine.clock", 5.0);
+        reg.set_gauge("engine.queue_high", 3.0);
+        reg.set_gauge("net.load", 0.5);
+        reg.set_gauge("engines_other", 1.0); // shares a string prefix only
+        let eng: Vec<(&str, f64)> = reg.gauges_with_prefix("engine.").collect();
+        assert_eq!(eng, vec![("engine.clock", 5.0), ("engine.queue_high", 3.0)]);
+        assert_eq!(reg.gauges_with_prefix("none.").count(), 0);
+    }
+
+    #[test]
+    fn series_with_prefix_selects_one_block() {
+        let mut reg = Registry::new();
+        reg.series_update("site.cpu", 0.0, 1.0);
+        reg.series_update("site.queue", 0.0, 2.0);
+        reg.series_update("net.util", 0.0, 0.5);
+        reg.series_update("sites_other", 0.0, 9.0); // string prefix only
+        let site: Vec<(&str, f64)> = reg
+            .series_with_prefix("site.")
+            .map(|(k, s)| (k, s.value()))
+            .collect();
+        assert_eq!(site, vec![("site.cpu", 1.0), ("site.queue", 2.0)]);
+        assert_eq!(reg.series_with_prefix("none.").count(), 0);
+    }
+
+    #[test]
+    fn snapshot_summaries_carry_percentiles() {
+        let mut reg = Registry::new();
+        for i in 1..=1000 {
+            reg.observe("lat", i as f64);
+        }
+        let snap = reg.snapshot(1.0);
+        let s = &snap.summaries[0];
+        assert_eq!(s.count, 1000);
+        assert!((s.p50 - 500.0).abs() / 500.0 < 0.07, "p50 {}", s.p50);
+        assert!((s.p95 - 950.0).abs() / 950.0 < 0.07, "p95 {}", s.p95);
+        assert!((s.p99 - 990.0).abs() / 990.0 < 0.07, "p99 {}", s.p99);
     }
 
     #[test]

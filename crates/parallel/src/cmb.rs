@@ -15,8 +15,8 @@
 //! sweeps it.
 
 use crate::lp::{tie_key, LogicalProcess, LpCtx, LpId, Outgoing};
-use lsds_core::{BinaryHeapQueue, EventQueue, ScheduledEvent, SimTime};
-use lsds_obs::Registry;
+use lsds_core::{BinaryHeapQueue, EventQueue, ScheduledEvent, SimTime, NO_PARENT};
+use lsds_obs::{NoopTracer, Registry, RingTracer, SpanKind, SpanTrace, TraceConfig, Tracer};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Per-LP execution counters.
@@ -74,8 +74,14 @@ impl<L> CmbReport<L> {
 enum Packet<M> {
     /// Promise: no message with timestamp `< ts` will follow on this edge.
     Null { ts: f64 },
-    /// A real message due at `at`, with its deterministic tie-break key.
-    Event { at: SimTime, tie: u64, msg: M },
+    /// A real message due at `at`, with its deterministic tie-break key
+    /// and the tie key of the event that caused it (for the trace DAG).
+    Event {
+        at: SimTime,
+        tie: u64,
+        parent: u64,
+        msg: M,
+    },
     /// The sender has finished the run; treat its channel clock as +∞.
     Done,
 }
@@ -94,9 +100,10 @@ pub trait InitialEvents: LogicalProcess {
     fn initial_events(&mut self, ctx: &mut LpCtx<'_, Self::Msg>);
 }
 
-struct Engine<'a, L: LogicalProcess> {
+struct Engine<'a, L: LogicalProcess, T: Tracer> {
     me: LpId,
     lp: L,
+    tracer: T,
     queue: BinaryHeapQueue<L::Msg>,
     clock: SimTime,
     seq: u64,
@@ -112,7 +119,7 @@ struct Engine<'a, L: LogicalProcess> {
     t_end: SimTime,
 }
 
-impl<'a, L: LogicalProcess> Engine<'a, L> {
+impl<'a, L: LogicalProcess, T: Tracer> Engine<'a, L, T> {
     fn apply(&mut self, tagged: Tagged<L::Msg>) {
         let Some(slot) = self.in_clocks.iter_mut().find(|(id, _)| *id == tagged.src) else {
             debug_assert!(false, "message from undeclared in-neighbor");
@@ -120,7 +127,12 @@ impl<'a, L: LogicalProcess> Engine<'a, L> {
         };
         match tagged.packet {
             Packet::Null { ts } => slot.1 = slot.1.max(ts),
-            Packet::Event { at, tie, msg } => {
+            Packet::Event {
+                at,
+                tie,
+                parent,
+                msg,
+            } => {
                 // the sender promised (via null messages or earlier events)
                 // that nothing below the channel clock would follow
                 debug_assert!(
@@ -130,7 +142,8 @@ impl<'a, L: LogicalProcess> Engine<'a, L> {
                     slot.1
                 );
                 slot.1 = slot.1.max(at.seconds());
-                self.queue.insert(ScheduledEvent::new(at, tie, msg));
+                self.queue
+                    .insert(ScheduledEvent::with_parent(at, tie, parent, msg));
             }
             Packet::Done => slot.1 = f64::INFINITY,
         }
@@ -152,12 +165,18 @@ impl<'a, L: LogicalProcess> Engine<'a, L> {
     fn flush_staged(&mut self) {
         for out in self.staged.drain(..) {
             match out {
-                Outgoing::Local { at, msg } => {
+                Outgoing::Local { at, parent, msg } => {
                     let tie = tie_key(self.me, self.seq);
                     self.seq += 1;
-                    self.queue.insert(ScheduledEvent::new(at, tie, msg));
+                    self.queue
+                        .insert(ScheduledEvent::with_parent(at, tie, parent, msg));
                 }
-                Outgoing::Remote { dst, at, msg } => {
+                Outgoing::Remote {
+                    dst,
+                    at,
+                    parent,
+                    msg,
+                } => {
                     let tie = tie_key(self.me, self.seq);
                     self.seq += 1;
                     let Some((_, tx, last)) = self.outs.iter_mut().find(|(d, _, _)| *d == dst)
@@ -178,7 +197,12 @@ impl<'a, L: LogicalProcess> Engine<'a, L> {
                     // it now is beyond the horizon — drop, don't panic.
                     tx.send(Tagged {
                         src: self.me,
-                        packet: Packet::Event { at, tie, msg },
+                        packet: Packet::Event {
+                            at,
+                            tie,
+                            parent,
+                            msg,
+                        },
                     })
                     .ok();
                     *last = last.max(at.seconds());
@@ -188,17 +212,27 @@ impl<'a, L: LogicalProcess> Engine<'a, L> {
         }
     }
 
-    fn handle_one(&mut self, at: SimTime, msg: L::Msg) {
+    fn handle_one(&mut self, ev: ScheduledEvent<L::Msg>) {
+        let at = ev.time;
         debug_assert!(at >= self.clock, "causality violation");
         self.clock = at;
         self.stats.events += 1;
+        let kind = if T::ENABLED {
+            self.lp.trace_kind(&ev.event)
+        } else {
+            SpanKind::DEFAULT
+        };
+        let token = self.tracer.begin(ev.seq);
         let mut ctx = LpCtx {
             now: at,
             me: self.me,
             lookahead: self.lp.lookahead(),
+            cause: ev.seq,
             staged: &mut self.staged,
         };
-        self.lp.handle(at, msg, &mut ctx);
+        self.lp.handle(at, ev.event, &mut ctx);
+        self.tracer
+            .record(ev.seq, ev.parent, kind, self.me as u32, at.seconds(), token);
         self.flush_staged();
     }
 
@@ -224,7 +258,7 @@ impl<'a, L: LogicalProcess> Engine<'a, L> {
         }
     }
 
-    fn run(mut self) -> (L, CmbStats) {
+    fn run(mut self) -> (L, CmbStats, T) {
         loop {
             self.drain_nonblocking();
             let safe = self.safe_time();
@@ -238,7 +272,7 @@ impl<'a, L: LogicalProcess> Engine<'a, L> {
                     debug_assert!(false, "peeked event vanished");
                     break;
                 };
-                self.handle_one(ev.time, ev.event);
+                self.handle_one(ev);
             }
             let done_locally = self.queue.peek_time().is_none_or(|t| t > self.t_end);
             if done_locally && safe > self.t_end.seconds() {
@@ -249,7 +283,7 @@ impl<'a, L: LogicalProcess> Engine<'a, L> {
                     })
                     .ok();
                 }
-                return (self.lp, self.stats);
+                return (self.lp, self.stats, self.tracer);
             }
             // Blocked: publish our lower bound, then wait for progress.
             self.send_nulls();
@@ -266,7 +300,7 @@ impl<'a, L: LogicalProcess> Engine<'a, L> {
                 Ok(tagged) => self.apply(tagged),
                 Err(_) => {
                     // all senders done and channel drained
-                    return (self.lp, self.stats);
+                    return (self.lp, self.stats, self.tracer);
                 }
             }
         }
@@ -283,6 +317,41 @@ impl<'a, L: LogicalProcess> Engine<'a, L> {
 pub fn run_cmb<L>(lps: Vec<L>, edges: &[(LpId, LpId)], t_end: SimTime) -> CmbReport<L>
 where
     L: InitialEvents,
+{
+    let (report, _tracers) = run_cmb_with(lps, edges, t_end, |_| NoopTracer);
+    report
+}
+
+/// Like [`run_cmb`], but records a causal span per handled event into a
+/// per-LP [`RingTracer`] (each with its own `cfg`-sized ring), then merges
+/// the per-LP traces deterministically by `(virtual time, event id)`.
+///
+/// The tracer only observes — event ids, tie-breaks, and delivery order
+/// are computed identically with tracing on or off, so the returned
+/// [`CmbReport`] is bit-identical to an untraced run's.
+pub fn run_cmb_traced<L>(
+    lps: Vec<L>,
+    edges: &[(LpId, LpId)],
+    t_end: SimTime,
+    cfg: TraceConfig,
+) -> (CmbReport<L>, SpanTrace)
+where
+    L: InitialEvents,
+{
+    let (report, tracers) = run_cmb_with(lps, edges, t_end, |_| RingTracer::new(cfg));
+    let trace = SpanTrace::merge(tracers.into_iter().map(RingTracer::finish).collect());
+    (report, trace)
+}
+
+fn run_cmb_with<L, T>(
+    lps: Vec<L>,
+    edges: &[(LpId, LpId)],
+    t_end: SimTime,
+    mk_tracer: impl Fn(LpId) -> T,
+) -> (CmbReport<L>, Vec<T>)
+where
+    L: InitialEvents,
+    T: Tracer + Send,
 {
     let n = lps.len();
     for &(s, d) in edges {
@@ -302,7 +371,7 @@ where
         rxs.push(Some(rx));
     }
 
-    let mut results: Vec<Option<(L, CmbStats)>> = (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<(L, CmbStats, T)>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for (me, lp) in lps.into_iter().enumerate() {
@@ -318,10 +387,12 @@ where
                 .collect();
             // lsds-lint: allow(hot-path-panic) reason="run setup before any event is processed; each index is taken exactly once by construction"
             let rx = rxs[me].take().expect("receiver taken twice");
+            let tracer = mk_tracer(me);
             let handle = scope.spawn(move || {
                 let mut engine = Engine {
                     me,
                     lp,
+                    tracer,
                     queue: BinaryHeapQueue::new(),
                     clock: SimTime::ZERO,
                     seq: 0,
@@ -339,6 +410,7 @@ where
                         now: SimTime::ZERO,
                         me,
                         lookahead: la,
+                        cause: NO_PARENT,
                         staged: &mut engine.staged,
                     };
                     engine.lp.initial_events(&mut ctx);
@@ -356,16 +428,21 @@ where
 
     let mut lps_out = Vec::with_capacity(n);
     let mut stats = Vec::with_capacity(n);
+    let mut tracers = Vec::with_capacity(n);
     for r in results {
         // lsds-lint: allow(hot-path-panic) reason="post-run teardown: every LP index was joined above"
-        let (lp, st) = r.expect("missing LP result");
+        let (lp, st, tr) = r.expect("missing LP result");
         lps_out.push(lp);
         stats.push(st);
+        tracers.push(tr);
     }
-    CmbReport {
-        lps: lps_out,
-        stats,
-    }
+    (
+        CmbReport {
+            lps: lps_out,
+            stats,
+        },
+        tracers,
+    )
 }
 
 #[cfg(test)]
@@ -580,6 +657,41 @@ mod tests {
             }
         }
         run_cmb(vec![Liar, Liar], &[(0, 1), (1, 0)], SimTime::new(10.0));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_links_parents() {
+        let plain = run_ring(4, 1.0, 1.0, 100.0);
+        let lps: Vec<RingNode> = (0..4)
+            .map(|_| RingNode {
+                n: 4,
+                hops_seen: 0,
+                last_time: 0.0,
+                delay: 1.0,
+                la: 1.0,
+            })
+            .collect();
+        let (traced, trace) = run_cmb_traced(
+            lps,
+            &ring_edges(4),
+            SimTime::new(100.0),
+            TraceConfig::default(),
+        );
+        assert_eq!(plain.total_events(), traced.total_events());
+        for i in 0..4 {
+            assert_eq!(plain.lps[i].hops_seen, traced.lps[i].hops_seen);
+            assert_eq!(plain.lps[i].last_time, traced.lps[i].last_time);
+        }
+        // one span per event, merged in (vt, id) order, on per-LP tracks
+        assert_eq!(trace.len() as u64, traced.total_events());
+        assert!(trace.spans.windows(2).all(|w| w[0].vt <= w[1].vt));
+        assert!(trace.spans.iter().any(|s| s.track == 3));
+        // the token chain: every span but the initial one has its parent
+        // in the trace, and the critical path covers the whole run
+        let path = trace.critical_path();
+        assert!(path.complete);
+        assert_eq!(path.steps.len() as u64, traced.total_events());
+        assert!((path.makespan - 100.0).abs() < 1e-9);
     }
 
     #[test]

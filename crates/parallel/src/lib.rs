@@ -30,7 +30,7 @@ pub mod lp;
 pub mod partition;
 pub mod timestep;
 
-pub use cmb::{run_cmb, CmbReport, CmbStats, InitialEvents};
+pub use cmb::{run_cmb, run_cmb_traced, CmbReport, CmbStats, InitialEvents};
 pub use lp::{LogicalProcess, LpCtx, LpId};
 pub use partition::{block_partition, round_robin_partition};
-pub use timestep::{run_timestep, TimestepReport};
+pub use timestep::{run_timestep, run_timestep_traced, TimestepReport};

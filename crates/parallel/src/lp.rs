@@ -1,6 +1,7 @@
 //! Logical processes — the unit of distribution.
 
 use lsds_core::SimTime;
+use lsds_obs::SpanKind;
 
 /// Identifier of a logical process within a parallel run.
 pub type LpId = usize;
@@ -27,13 +28,30 @@ pub trait LogicalProcess: Send {
     /// live; it must be strictly positive. Larger lookahead means fewer
     /// null messages (E4 sweeps this).
     fn lookahead(&self) -> f64;
+
+    /// Classifies a message for the tracing layer (`lsds_obs::prof`).
+    /// Only called when tracing is enabled; the exported track is always
+    /// the handling LP's id.
+    fn trace_kind(&self, _msg: &Self::Msg) -> SpanKind {
+        SpanKind::DEFAULT
+    }
 }
 
-/// Outgoing traffic staged by an LP handler.
+/// Outgoing traffic staged by an LP handler. `parent` is the tie key of
+/// the event whose handler staged it (the causal edge of the trace DAG).
 #[derive(Debug)]
 pub(crate) enum Outgoing<M> {
-    Local { at: SimTime, msg: M },
-    Remote { dst: LpId, at: SimTime, msg: M },
+    Local {
+        at: SimTime,
+        parent: u64,
+        msg: M,
+    },
+    Remote {
+        dst: LpId,
+        at: SimTime,
+        parent: u64,
+        msg: M,
+    },
 }
 
 /// Scheduling/communication handle passed to [`LogicalProcess::handle`].
@@ -41,6 +59,9 @@ pub struct LpCtx<'a, M> {
     pub(crate) now: SimTime,
     pub(crate) me: LpId,
     pub(crate) lookahead: f64,
+    /// Tie key of the event being handled ([`lsds_core::NO_PARENT`] for
+    /// initial-event staging).
+    pub(crate) cause: u64,
     pub(crate) staged: &'a mut Vec<Outgoing<M>>,
 }
 
@@ -69,7 +90,11 @@ impl<'a, M> LpCtx<'a, M> {
             self.now
         );
         let at = self.now.after(dt);
-        self.staged.push(Outgoing::Local { at, msg });
+        self.staged.push(Outgoing::Local {
+            at,
+            parent: self.cause,
+            msg,
+        });
     }
 
     /// Sends a message to LP `dst`, arriving after `delay`.
@@ -85,7 +110,12 @@ impl<'a, M> LpCtx<'a, M> {
         );
         assert!(dst != self.me, "use schedule_in for local events");
         let at = self.now.after(delay);
-        self.staged.push(Outgoing::Remote { dst, at, msg });
+        self.staged.push(Outgoing::Remote {
+            dst,
+            at,
+            parent: self.cause,
+            msg,
+        });
     }
 }
 
@@ -101,6 +131,7 @@ pub(crate) fn tie_key(src: LpId, seq: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lsds_core::NO_PARENT;
 
     #[test]
     fn tie_key_orders_by_src_then_seq() {
@@ -116,13 +147,14 @@ mod tests {
             now: SimTime::new(10.0),
             me: 0,
             lookahead: 1.0,
+            cause: NO_PARENT,
             staged: &mut staged,
         };
         ctx.schedule_in(0.0, 1);
         ctx.send(1, 1.0, 2);
         assert_eq!(staged.len(), 2);
         match &staged[1] {
-            Outgoing::Remote { dst, at, msg } => {
+            Outgoing::Remote { dst, at, msg, .. } => {
                 assert_eq!(*dst, 1);
                 assert_eq!(*at, SimTime::new(11.0));
                 assert_eq!(*msg, 2);
@@ -139,6 +171,7 @@ mod tests {
             now: SimTime::new(10.0),
             me: 0,
             lookahead: 1.0,
+            cause: NO_PARENT,
             staged: &mut staged,
         };
         ctx.schedule_in(-0.5, 1);
@@ -152,6 +185,7 @@ mod tests {
             now: SimTime::new(10.0),
             me: 0,
             lookahead: 1.0,
+            cause: NO_PARENT,
             staged: &mut staged,
         };
         ctx.schedule_in(f64::NAN, 1);
@@ -165,6 +199,7 @@ mod tests {
             now: SimTime::new(10.0),
             me: 0,
             lookahead: 1.0,
+            cause: NO_PARENT,
             staged: &mut staged,
         };
         ctx.send(1, 0.5, 2);

@@ -10,8 +10,8 @@
 //! (measured in experiment E4).
 
 use crate::lp::{tie_key, LpCtx, LpId, Outgoing};
-use lsds_core::{BinaryHeapQueue, EventQueue, ScheduledEvent, SimTime};
-use lsds_obs::Registry;
+use lsds_core::{BinaryHeapQueue, EventQueue, ScheduledEvent, SimTime, NO_PARENT};
+use lsds_obs::{NoopTracer, Registry, RingTracer, SpanKind, SpanTrace, TraceConfig, Tracer};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Barrier;
 
@@ -46,6 +46,7 @@ impl<L> TimestepReport<L> {
 struct Mail<M> {
     at: SimTime,
     tie: u64,
+    parent: u64,
     msg: M,
 }
 
@@ -56,6 +57,41 @@ struct Mail<M> {
 pub fn run_timestep<L>(lps: Vec<L>, delta: f64, t_end: SimTime) -> TimestepReport<L>
 where
     L: crate::cmb::InitialEvents,
+{
+    let (report, _tracers) = run_timestep_with(lps, delta, t_end, |_| NoopTracer);
+    report
+}
+
+/// Like [`run_timestep`], but records a causal span per handled event into
+/// a per-LP [`RingTracer`], then merges the per-LP traces deterministically
+/// by `(virtual time, event id)`.
+///
+/// The tracer only observes — event ids, tie-breaks, and delivery order
+/// are computed identically with tracing on or off, so the returned
+/// [`TimestepReport`] is bit-identical to an untraced run's.
+pub fn run_timestep_traced<L>(
+    lps: Vec<L>,
+    delta: f64,
+    t_end: SimTime,
+    cfg: TraceConfig,
+) -> (TimestepReport<L>, SpanTrace)
+where
+    L: crate::cmb::InitialEvents,
+{
+    let (report, tracers) = run_timestep_with(lps, delta, t_end, |_| RingTracer::new(cfg));
+    let trace = SpanTrace::merge(tracers.into_iter().map(RingTracer::finish).collect());
+    (report, trace)
+}
+
+fn run_timestep_with<L, T>(
+    lps: Vec<L>,
+    delta: f64,
+    t_end: SimTime,
+    mk_tracer: impl Fn(LpId) -> T,
+) -> (TimestepReport<L>, Vec<T>)
+where
+    L: crate::cmb::InitialEvents,
+    T: Tracer + Send,
 {
     assert!(delta > 0.0 && delta.is_finite(), "delta must be positive");
     let n = lps.len();
@@ -76,7 +112,7 @@ where
         rxs.push(Some(rx));
     }
 
-    let mut out: Vec<Option<(L, u64)>> = (0..n).map(|_| None).collect();
+    let mut out: Vec<Option<(L, u64, T)>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         let txs = &txs;
@@ -86,10 +122,12 @@ where
             // mpsc::Receiver is !Sync: the LP thread owns its receiver
             // lsds-lint: allow(hot-path-panic) reason="run setup before any event is processed; each index is taken exactly once by construction"
             let rx = rxs[me].take().expect("receiver taken twice");
+            let tracer = mk_tracer(me);
             handles.push((
                 me,
                 scope.spawn(move || {
                     let mut lp = lp;
+                    let mut tracer = tracer;
                     let mut queue: BinaryHeapQueue<L::Msg> = BinaryHeapQueue::new();
                     let mut staged: Vec<Outgoing<L::Msg>> = Vec::new();
                     let mut seq: u64 = 0;
@@ -107,6 +145,7 @@ where
                             now: SimTime::ZERO,
                             me,
                             lookahead: la,
+                            cause: NO_PARENT,
                             staged: &mut staged,
                         };
                         lp.initial_events(&mut ctx);
@@ -122,7 +161,12 @@ where
                         // mail sent in earlier windows is fully delivered
                         // (the barrier below is the happens-before edge)
                         while let Ok(mail) = rx.try_recv() {
-                            queue.insert(ScheduledEvent::new(mail.at, mail.tie, mail.msg));
+                            queue.insert(ScheduledEvent::with_parent(
+                                mail.at,
+                                mail.tie,
+                                mail.parent,
+                                mail.msg,
+                            ));
                         }
                         while let Some(t) = queue.peek_time() {
                             if t.seconds() >= w_end || t > t_end {
@@ -142,13 +186,28 @@ where
                                 last_t = ev.time;
                             }
                             events += 1;
+                            let kind = if T::ENABLED {
+                                lp.trace_kind(&ev.event)
+                            } else {
+                                SpanKind::DEFAULT
+                            };
+                            let token = tracer.begin(ev.seq);
                             let mut ctx = LpCtx {
                                 now: ev.time,
                                 me,
                                 lookahead: la,
+                                cause: ev.seq,
                                 staged: &mut staged,
                             };
                             lp.handle(ev.time, ev.event, &mut ctx);
+                            tracer.record(
+                                ev.seq,
+                                ev.parent,
+                                kind,
+                                me as u32,
+                                ev.time.seconds(),
+                                token,
+                            );
                             flush(me, &mut staged, &mut seq, &mut queue, &senders);
                         }
                         barrier.wait();
@@ -156,7 +215,12 @@ where
                     // Closing phase: events landing exactly on t_end (the
                     // half-open windows above exclude the right edge).
                     while let Ok(mail) = rx.try_recv() {
-                        queue.insert(ScheduledEvent::new(mail.at, mail.tie, mail.msg));
+                        queue.insert(ScheduledEvent::with_parent(
+                            mail.at,
+                            mail.tie,
+                            mail.parent,
+                            mail.msg,
+                        ));
                     }
                     while let Some(t) = queue.peek_time() {
                         if t > t_end {
@@ -176,16 +240,24 @@ where
                             last_t = ev.time;
                         }
                         events += 1;
+                        let kind = if T::ENABLED {
+                            lp.trace_kind(&ev.event)
+                        } else {
+                            SpanKind::DEFAULT
+                        };
+                        let token = tracer.begin(ev.seq);
                         let mut ctx = LpCtx {
                             now: ev.time,
                             me,
                             lookahead: la,
+                            cause: ev.seq,
                             staged: &mut staged,
                         };
                         lp.handle(ev.time, ev.event, &mut ctx);
+                        tracer.record(ev.seq, ev.parent, kind, me as u32, ev.time.seconds(), token);
                         flush(me, &mut staged, &mut seq, &mut queue, &senders);
                     }
-                    (lp, events)
+                    (lp, events, tracer)
                 }),
             ));
         }
@@ -197,17 +269,22 @@ where
 
     let mut lps_out = Vec::with_capacity(n);
     let mut events = Vec::with_capacity(n);
+    let mut tracers = Vec::with_capacity(n);
     for o in out {
         // lsds-lint: allow(hot-path-panic) reason="post-run teardown: every LP index was joined above"
-        let (lp, ev) = o.expect("missing LP result");
+        let (lp, ev, tr) = o.expect("missing LP result");
         lps_out.push(lp);
         events.push(ev);
+        tracers.push(tr);
     }
-    TimestepReport {
-        lps: lps_out,
-        events,
-        windows,
-    }
+    (
+        TimestepReport {
+            lps: lps_out,
+            events,
+            windows,
+        },
+        tracers,
+    )
 }
 
 fn flush<M>(
@@ -221,15 +298,27 @@ fn flush<M>(
         let tie = tie_key(me, *seq);
         *seq += 1;
         match outgoing {
-            Outgoing::Local { at, msg } => {
-                queue.insert(ScheduledEvent::new(at, tie, msg));
+            Outgoing::Local { at, parent, msg } => {
+                queue.insert(ScheduledEvent::with_parent(at, tie, parent, msg));
             }
-            Outgoing::Remote { dst, at, msg } => {
+            Outgoing::Remote {
+                dst,
+                at,
+                parent,
+                msg,
+            } => {
                 // A peer that already returned (closing phase, after the
                 // last barrier) only drops mail due past t_end — the
                 // window invariant (delay ≥ δ) makes such mail
                 // unprocessable anyway, so ignore the disconnect.
-                senders[dst].send(Mail { at, tie, msg }).ok();
+                senders[dst]
+                    .send(Mail {
+                        at,
+                        tie,
+                        parent,
+                        msg,
+                    })
+                    .ok();
             }
         }
     }
@@ -295,5 +384,26 @@ mod tests {
     #[should_panic]
     fn window_wider_than_lookahead_rejected() {
         run_timestep(hoppers(2, 0.5), 1.0, SimTime::new(10.0));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_links_parents() {
+        let plain = run_timestep(hoppers(4, 1.0), 1.0, SimTime::new(100.0));
+        let (traced, trace) = run_timestep_traced(
+            hoppers(4, 1.0),
+            1.0,
+            SimTime::new(100.0),
+            TraceConfig::default(),
+        );
+        assert_eq!(plain.total_events(), traced.total_events());
+        let sa: Vec<u64> = plain.lps.iter().map(|l| l.seen).collect();
+        let sb: Vec<u64> = traced.lps.iter().map(|l| l.seen).collect();
+        assert_eq!(sa, sb);
+        assert_eq!(trace.len() as u64, traced.total_events());
+        assert!(trace.spans.windows(2).all(|w| w[0].vt <= w[1].vt));
+        // the hop chain is one causal path through all four LP tracks
+        let path = trace.critical_path();
+        assert!(path.complete);
+        assert_eq!(path.steps.len() as u64, traced.total_events());
     }
 }

@@ -1,0 +1,60 @@
+//! The span record: one handled event, with its causal parent.
+
+/// Sentinel parent id for spans with no recorded cause — events scheduled
+/// from outside any handler (initial events, replayed trace records).
+pub const NO_PARENT: u64 = u64::MAX;
+
+/// Sentinel tag for spans that carry no domain id (flow id, job id, …).
+pub const NO_TAG: u64 = u64::MAX;
+
+/// A static label plus an optional domain id, classifying a span.
+///
+/// `name` is the handler kind (`"net.flow_complete"`, `"grid.submit"`, …)
+/// and `tag` an optional entity id within that kind — a flow id, job id, or
+/// site index — so exported traces can be filtered per entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanKind {
+    /// Handler kind label; one histogram per distinct name.
+    pub name: &'static str,
+    /// Domain id within the kind, or [`NO_TAG`].
+    pub tag: u64,
+}
+
+impl SpanKind {
+    /// The kind models fall back to when they don't classify events.
+    pub const DEFAULT: SpanKind = SpanKind::new("event");
+
+    /// An untagged kind.
+    pub const fn new(name: &'static str) -> Self {
+        SpanKind { name, tag: NO_TAG }
+    }
+
+    /// A kind carrying a domain id (flow, job, site, …).
+    pub const fn tagged(name: &'static str, tag: u64) -> Self {
+        SpanKind { name, tag }
+    }
+}
+
+impl Default for SpanKind {
+    fn default() -> Self {
+        SpanKind::DEFAULT
+    }
+}
+
+/// One handled event: identity, causal parent, location, and cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Unique event id within the run (the engine's scheduling sequence
+    /// number; the cross-LP tie key in the parallel engines).
+    pub id: u64,
+    /// Id of the event whose handler scheduled this one, or [`NO_PARENT`].
+    pub parent: u64,
+    /// Track the event was handled on: entity index or LP id.
+    pub track: u32,
+    /// Virtual (simulated) time the event was delivered at.
+    pub vt: f64,
+    /// Wall-clock nanoseconds the handler took.
+    pub wall_ns: u64,
+    /// Handler classification.
+    pub kind: SpanKind,
+}

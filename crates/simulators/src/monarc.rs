@@ -158,6 +158,29 @@ impl Monarc {
 
     /// Runs the scenario until `horizon`.
     pub fn run(self, horizon: f64) -> MonarcReport {
+        let mut sim = self.prepare();
+        sim.run_until(SimTime::new(horizon));
+        self.summarize(sim.model())
+    }
+
+    /// Runs the scenario until `horizon` with causal event tracing.
+    ///
+    /// Identical to [`Monarc::run`] — the tracer only observes, so the
+    /// report is bit-identical — but also returns the span trace for
+    /// profiling, critical-path analysis, and Chrome trace export.
+    pub fn run_traced(
+        self,
+        horizon: f64,
+        cfg: lsds_obs::TraceConfig,
+    ) -> (MonarcReport, lsds_obs::SpanTrace) {
+        let mut sim = self.prepare().with_tracer(lsds_obs::RingTracer::new(cfg));
+        sim.run_until(SimTime::new(horizon));
+        let report = self.summarize(sim.model());
+        (report, sim.into_tracer().finish())
+    }
+
+    /// Builds the configured grid engine, ready to run.
+    fn prepare(&self) -> lsds_core::EventDriven<GridModel> {
         let grid = self.build_grid();
         let master = SimRng::new(self.seed);
         let initial_files: Vec<(f64, SiteId)> = if self.archive_initial {
@@ -232,8 +255,11 @@ impl Monarc {
                 }
             }
         }
-        sim.run_until(SimTime::new(horizon));
-        let m = sim.model();
+        sim
+    }
+
+    /// Distills the post-run model state into the report.
+    fn summarize(&self, m: &GridModel) -> MonarcReport {
         let produced_at: std::collections::HashMap<u64, f64> =
             m.produced_log().iter().copied().collect();
         let mut lag = Summary::new();
@@ -446,6 +472,29 @@ mod tests {
             faulty.max_availability_lag,
             clean.max_availability_lag
         );
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_names_a_critical_path() {
+        let plain = transfer_study(30.0);
+        let (traced, trace) = Monarc {
+            uplink_gbps: 30.0,
+            datasets: 30,
+            ..Monarc::default()
+        }
+        .run_traced(1.0e6, lsds_obs::TraceConfig::default());
+        assert_eq!(plain.produced, traced.produced);
+        assert_eq!(plain.shipped, traced.shipped);
+        assert_eq!(plain.last_shipment, traced.last_shipment);
+        assert_eq!(plain.mean_availability_lag, traced.mean_availability_lag);
+        assert!(!trace.is_empty());
+        let path = trace.critical_path();
+        assert!(!path.steps.is_empty());
+        // every span kind on the path is a named grid/net handler
+        assert!(path
+            .steps
+            .iter()
+            .all(|s| s.kind.name.starts_with("grid.") || s.kind.name.starts_with("net.")));
     }
 
     #[test]

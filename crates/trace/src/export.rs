@@ -6,7 +6,7 @@
 //! summary, keyed by metric name.
 
 use crate::json::Json;
-use lsds_obs::Snapshot;
+use lsds_obs::{Snapshot, SpanTrace, NO_PARENT, NO_TAG};
 use std::io::{self, Write};
 
 /// Converts a metrics snapshot into a JSON value.
@@ -25,7 +25,8 @@ use std::io::{self, Write};
 ///     }
 ///   },
 ///   "summaries": {
-///     "net.transfer_latency": {"count": 40, "mean": 2.1, "min": 0.4, "max": 9.0}
+///     "net.transfer_latency": {"count": 40, "mean": 2.1, "min": 0.4, "max": 9.0,
+///                              "p50": 1.8, "p95": 7.2, "p99": 8.8}
 ///   }
 /// }
 /// ```
@@ -71,6 +72,9 @@ pub fn snapshot_to_json(snap: &Snapshot) -> Json {
                     ("mean".to_string(), Json::Num(s.mean)),
                     ("min".to_string(), Json::Num(s.min)),
                     ("max".to_string(), Json::Num(s.max)),
+                    ("p50".to_string(), Json::Num(s.p50)),
+                    ("p95".to_string(), Json::Num(s.p95)),
+                    ("p99".to_string(), Json::Num(s.p99)),
                 ]),
             )
         })
@@ -92,6 +96,106 @@ pub fn snapshot_to_json_string(snap: &Snapshot) -> String {
 /// Writes the pretty-printed snapshot JSON to `w`.
 pub fn write_snapshot(snap: &Snapshot, mut w: impl Write) -> io::Result<()> {
     w.write_all(snapshot_to_json_string(snap).as_bytes())
+}
+
+/// Converts a causal span trace into Chrome trace-event JSON.
+///
+/// The document loads directly in `chrome://tracing` and Perfetto: one
+/// complete event (`"ph": "X"`) per span, with virtual time mapped to the
+/// microsecond timeline (`ts = vt · 1e6`), host handler cost as the slice
+/// duration (`dur`, µs), and one named thread per track (entity, site, or
+/// LP). Event ids and parents ride in `args` as decimal strings — they are
+/// `u64` tie keys that would lose precision as JSON numbers.
+pub fn chrome_trace_json(trace: &SpanTrace) -> Json {
+    let mut tracks: Vec<u32> = trace.spans.iter().map(|s| s.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    let mut events = Vec::with_capacity(trace.spans.len() + tracks.len());
+    for track in tracks {
+        events.push(Json::Obj(vec![
+            ("name".to_string(), Json::Str("thread_name".to_string())),
+            ("ph".to_string(), Json::Str("M".to_string())),
+            ("pid".to_string(), Json::Num(0.0)),
+            ("tid".to_string(), Json::Num(track as f64)),
+            (
+                "args".to_string(),
+                Json::Obj(vec![(
+                    "name".to_string(),
+                    Json::Str(format!("track-{track}")),
+                )]),
+            ),
+        ]));
+    }
+    for s in &trace.spans {
+        let mut args = vec![
+            ("event_id".to_string(), Json::Str(s.id.to_string())),
+            ("wall_ns".to_string(), Json::Num(s.wall_ns as f64)),
+        ];
+        if s.parent != NO_PARENT {
+            args.push(("parent".to_string(), Json::Str(s.parent.to_string())));
+        }
+        if s.kind.tag != NO_TAG {
+            args.push(("tag".to_string(), Json::Str(s.kind.tag.to_string())));
+        }
+        events.push(Json::Obj(vec![
+            ("name".to_string(), Json::Str(s.kind.name.to_string())),
+            ("ph".to_string(), Json::Str("X".to_string())),
+            ("ts".to_string(), Json::Num(s.vt * 1e6)),
+            ("dur".to_string(), Json::Num(s.wall_ns as f64 / 1000.0)),
+            ("pid".to_string(), Json::Num(0.0)),
+            ("tid".to_string(), Json::Num(s.track as f64)),
+            ("args".to_string(), Json::Obj(args)),
+        ]));
+    }
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+        ("dropped_spans".to_string(), Json::Num(trace.dropped as f64)),
+    ])
+}
+
+/// Compact Chrome trace-event JSON (ends with a newline).
+pub fn chrome_trace_to_string(trace: &SpanTrace) -> String {
+    let mut s = chrome_trace_json(trace).render();
+    s.push('\n');
+    s
+}
+
+/// Writes the Chrome trace-event JSON to `w`.
+pub fn write_chrome_trace(trace: &SpanTrace, mut w: impl Write) -> io::Result<()> {
+    w.write_all(chrome_trace_to_string(trace).as_bytes())
+}
+
+/// Parses a Chrome trace-event document and counts its span slices,
+/// checking each carries the fields the viewers require (`ph`, `ts`,
+/// `dur`, `pid`, `tid`, `name`). Returns the number of `"X"` events, or a
+/// description of the first malformed one. CI runs this over the exported
+/// artifact as the trace smoke check.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        return Err("missing traceEvents array".to_string());
+    };
+    let mut slices = 0;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph != "X" {
+            continue;
+        }
+        for field in ["ts", "dur", "pid", "tid"] {
+            if ev.get(field).and_then(Json::as_f64).is_none() {
+                return Err(format!("event {i}: missing numeric {field}"));
+            }
+        }
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("event {i}: missing name"));
+        }
+        slices += 1;
+    }
+    Ok(slices)
 }
 
 #[cfg(test)]
@@ -141,5 +245,75 @@ mod tests {
         let text = snapshot_to_json_string(&sample());
         let parsed = Json::parse(&text).unwrap();
         assert_eq!(parsed.get("at").and_then(Json::as_f64), Some(10.0));
+    }
+
+    #[test]
+    fn summaries_carry_percentiles() {
+        let json = snapshot_to_json(&sample());
+        let sum = json
+            .get("summaries")
+            .and_then(|s| s.get("latency"))
+            .unwrap();
+        for field in ["p50", "p95", "p99"] {
+            assert!(
+                sum.get(field).and_then(Json::as_f64).is_some(),
+                "missing {field}"
+            );
+        }
+    }
+
+    fn span(id: u64, parent: u64, track: u32, vt: f64, kind: lsds_obs::SpanKind) -> lsds_obs::Span {
+        lsds_obs::Span {
+            id,
+            parent,
+            track,
+            vt,
+            wall_ns: 1500,
+            kind,
+        }
+    }
+
+    fn sample_trace() -> SpanTrace {
+        let mut t = SpanTrace::new();
+        t.spans
+            .push(span(0, NO_PARENT, 0, 0.0, lsds_obs::SpanKind::new("boot")));
+        t.spans
+            .push(span(1, 0, 1, 2.5, lsds_obs::SpanKind::tagged("work", 7)));
+        t
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_with_required_fields() {
+        let text = chrome_trace_to_string(&sample_trace());
+        assert_eq!(validate_chrome_trace(&text), Ok(2));
+        let doc = Json::parse(&text).unwrap();
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+            panic!("missing traceEvents");
+        };
+        // one thread_name metadata record per distinct track, then slices
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 2);
+        let slice = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("work"))
+            .unwrap();
+        assert_eq!(slice.get("ts").and_then(Json::as_f64), Some(2.5e6));
+        assert_eq!(slice.get("dur").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(slice.get("tid").and_then(Json::as_f64), Some(1.0));
+        let args = slice.get("args").unwrap();
+        assert_eq!(args.get("event_id").and_then(Json::as_str), Some("1"));
+        assert_eq!(args.get("parent").and_then(Json::as_str), Some("0"));
+        assert_eq!(args.get("tag").and_then(Json::as_str), Some("7"));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{\"a\": 1}").is_err());
+        let no_ts = "{\"traceEvents\": [{\"ph\": \"X\", \"name\": \"x\"}]}";
+        assert!(validate_chrome_trace(no_ts).unwrap_err().contains("ts"));
     }
 }

@@ -29,7 +29,10 @@ pub mod plot;
 pub mod record;
 pub mod series;
 
-pub use export::{snapshot_to_json, snapshot_to_json_string, write_snapshot};
+pub use export::{
+    chrome_trace_json, chrome_trace_to_string, snapshot_to_json, snapshot_to_json_string,
+    validate_chrome_trace, write_chrome_trace, write_snapshot,
+};
 pub use generator::WorkloadGenerator;
 pub use io::{read_trace, write_trace};
 pub use json::Json;

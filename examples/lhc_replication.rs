@@ -9,12 +9,18 @@
 //! retry/backoff path, and the replication agent's eager shipping is
 //! compared against on-demand pulls under the failure.
 //!
+//! The closing profiling section re-runs the 2.5 Gbps scenario with
+//! causal tracing enabled, prints the per-handler wall-time profile and
+//! the virtual-time critical path, and writes a Chrome trace-event file
+//! (`lhc_replication.trace.json`, loadable in Perfetto).
+//!
 //! ```sh
 //! cargo run --release --example lhc_replication
 //! ```
 
+use lsds::obs::TraceConfig;
 use lsds::simulators::monarc::Monarc;
-use lsds::trace::TextTable;
+use lsds::trace::{write_chrome_trace, TextTable};
 
 fn main() {
     let mut table = TextTable::with_columns(&[
@@ -92,4 +98,51 @@ fn main() {
     println!();
     println!("Every aborted transfer is retried with exponential backoff;");
     println!("pre-staged replicas (agent ON) shield analysis from the outage.");
+
+    println!();
+    println!("Profiling the historical 2.5 Gbps scenario (tracing ON):");
+    let (rep, spans) = Monarc {
+        uplink_gbps: 2.5,
+        datasets: 40,
+        ..Monarc::default()
+    }
+    .run_traced(1.0e6, TraceConfig::default());
+    println!(
+        "  {} spans recorded ({} evicted), shipped {}/{}",
+        spans.len(),
+        spans.dropped,
+        rep.shipped,
+        rep.produced * 5
+    );
+    let profile = spans.profile();
+    let mut prof_table =
+        TextTable::with_columns(&["handler", "count", "p50 (µs)", "p99 (µs)", "total (ms)"]);
+    let mut kinds = profile.kinds;
+    kinds.sort_by(|a, b| b.wall_ns.sum().total_cmp(&a.wall_ns.sum()));
+    for k in kinds.iter().take(6) {
+        prof_table.row(vec![
+            k.name.to_string(),
+            format!("{}", k.wall_ns.count()),
+            format!("{:.1}", k.wall_ns.p50() / 1e3),
+            format!("{:.1}", k.wall_ns.p99() / 1e3),
+            format!("{:.2}", k.wall_ns.sum() / 1e6),
+        ]);
+    }
+    print!("{}", prof_table.render());
+    let path = spans.critical_path();
+    let share = path.by_kind();
+    println!(
+        "  critical path: {} events over {:.0} s of virtual time{}",
+        path.steps.len(),
+        path.makespan,
+        if path.complete { "" } else { " (truncated)" }
+    );
+    for (kind, vt, n) in share.iter().take(3) {
+        println!("    {kind}: {n} events, {vt:.0} s of the path");
+    }
+    let file = "lhc_replication.trace.json";
+    match std::fs::File::create(file).and_then(|f| write_chrome_trace(&spans, f)) {
+        Ok(()) => println!("  Chrome trace written to {file} (open in Perfetto)"),
+        Err(e) => println!("  could not write {file}: {e}"),
+    }
 }
