@@ -387,6 +387,250 @@ fn run_flow_model_with<T: Tracer>(
     )
 }
 
+/// Outcome of one [`run_net_scale`] run: enough to check cross-variant
+/// agreement (fingerprint) and to compute throughput (events / wall).
+pub struct ScaleResult {
+    /// Transfers completed (must equal `pairs * per_pair`).
+    pub completions: u64,
+    /// Order-sensitive rolling hash over `(tag, finished-time bits)` —
+    /// identical across queue structures on the same engine.
+    pub fingerprint: u64,
+    /// Events the engine delivered.
+    pub events: u64,
+    /// Wall-clock seconds for the run (excluding topology setup).
+    pub wall: f64,
+    /// Modeled entities: nodes + links in the topology.
+    pub entities: usize,
+}
+
+/// Sliding-window transfer generator over disjoint duplex host pairs.
+///
+/// Each pair runs `per_pair` sequential transfers; at most `window` pairs
+/// are active at once, and a pair finishing its quota activates the next
+/// inactive pair. This keeps the pending-event set ~`window` (so even the
+/// O(n)-insert sorted list survives a million jobs) while every entity in
+/// the topology eventually participates — the scale profile the paper's
+/// §5 describes: huge modeled system, bounded simulator working set.
+struct ScaleModel {
+    net: FlowNet,
+    endpoints: Vec<(NodeId, NodeId)>,
+    remaining: Vec<u32>,
+    next_pair: usize,
+    rng: SimRng,
+    completions: u64,
+    fingerprint: u64,
+    /// Reused completion buffer: the per-event `FlowNet` call is
+    /// allocation-free in steady state.
+    done: Vec<lsds_net::FlowDone>,
+}
+
+/// Event alphabet of the scale scenario (public so callers can build a
+/// queue of the right payload type, e.g. `QueueKind::build::<ScaleEv>()`).
+pub enum ScaleEv {
+    /// Start the next transfer for this pair.
+    Kick(u32),
+    /// Internal FlowNet event.
+    Net(FlowEvent),
+}
+
+fn fold_fingerprint(acc: u64, tag: u64, bits: u64) -> u64 {
+    acc.wrapping_mul(0x100000001b3)
+        .wrapping_add(tag)
+        .wrapping_mul(0x100000001b3)
+        .wrapping_add(bits)
+}
+
+impl ScaleModel {
+    fn kick(&mut self, p: u32, ctx: &mut Ctx<'_, ScaleEv>) {
+        let (a, b) = self.endpoints[p as usize];
+        let bytes = self.rng.range_f64(5.0e5, 2.0e6);
+        // disjoint pairs: the only way to lose the route is a fault, and
+        // this workload injects none, so the start must succeed
+        let started = self
+            .net
+            .try_start(a, b, bytes, p as u64, &mut ctx.map(ScaleEv::Net));
+        assert!(started.is_ok(), "scale workload transfer failed to route");
+    }
+}
+
+impl Model for ScaleModel {
+    type Event = ScaleEv;
+
+    fn trace_kind(&self, ev: &ScaleEv) -> SpanKind {
+        match ev {
+            ScaleEv::Kick(p) => SpanKind::tagged("scale.kick", *p as u64),
+            ScaleEv::Net(fe) => fe.span_kind(),
+        }
+    }
+
+    fn handle(&mut self, ev: ScaleEv, ctx: &mut Ctx<'_, ScaleEv>) {
+        match ev {
+            ScaleEv::Kick(p) => self.kick(p, ctx),
+            ScaleEv::Net(fe) => {
+                let mut done_buf = std::mem::take(&mut self.done);
+                self.net
+                    .handle_into(fe, &mut ctx.map(ScaleEv::Net), &mut done_buf);
+                for done in done_buf.drain(..) {
+                    self.completions += 1;
+                    self.fingerprint = fold_fingerprint(
+                        self.fingerprint,
+                        done.tag,
+                        done.finished.seconds().to_bits(),
+                    );
+                    let p = done.tag as u32;
+                    self.remaining[p as usize] -= 1;
+                    if self.remaining[p as usize] > 0 {
+                        let gap = self.rng.range_f64(0.01, 0.5);
+                        ctx.schedule_in(gap, ScaleEv::Kick(p));
+                    } else if self.next_pair < self.endpoints.len() {
+                        let np = self.next_pair as u32;
+                        self.next_pair += 1;
+                        let gap = self.rng.range_f64(0.01, 0.5);
+                        ctx.schedule_in(gap, ScaleEv::Kick(np));
+                    }
+                }
+                self.done = done_buf;
+            }
+        }
+    }
+}
+
+fn scale_model(pairs: usize, per_pair: u32, window: usize, seed: u64) -> (ScaleModel, usize) {
+    let mut topo = Topology::new();
+    let mut endpoints = Vec::with_capacity(pairs);
+    for p in 0..pairs {
+        let a = topo.add_node(NodeKind::Host, format!("a{p}"));
+        let b = topo.add_node(NodeKind::Host, format!("b{p}"));
+        topo.add_duplex(a, b, mbps(100.0), 0.001);
+        endpoints.push((a, b));
+    }
+    let entities = topo.node_count() + topo.link_count();
+    let mut net = FlowNet::new(topo);
+    net.set_share_mode(ShareMode::Incremental);
+    let window = window.min(pairs);
+    (
+        ScaleModel {
+            net,
+            endpoints,
+            remaining: vec![per_pair; pairs],
+            next_pair: window,
+            rng: SimRng::new(seed),
+            completions: 0,
+            fingerprint: 0,
+            done: Vec::new(),
+        },
+        entities,
+    )
+}
+
+fn scale_result(m: &ScaleModel, events: u64, wall: f64, entities: usize) -> ScaleResult {
+    assert_eq!(m.net.in_flight(), 0, "scale workload must drain");
+    ScaleResult {
+        completions: m.completions,
+        fingerprint: m.fingerprint,
+        events,
+        wall,
+        entities,
+    }
+}
+
+/// Runs the sliding-window transfer scenario (`pairs * per_pair` jobs over
+/// `2*pairs` hosts and `2*pairs` links) on the event-driven engine with
+/// the given event-list structure. See [`ScaleResult`].
+pub fn run_net_scale(
+    pairs: usize,
+    per_pair: u32,
+    window: usize,
+    queue: impl EventQueue<ScaleEv>,
+    seed: u64,
+) -> ScaleResult {
+    let (model, entities) = scale_model(pairs, per_pair, window, seed);
+    let n_endpoints = model.endpoints.len().min(window.max(1));
+    let mut sim = EventDriven::with_queue(model, queue);
+    for p in 0..n_endpoints {
+        sim.schedule(SimTime::new(p as f64 * 1.0e-3), ScaleEv::Kick(p as u32));
+    }
+    let start = Instant::now();
+    let stats = sim.run();
+    let wall = start.elapsed().as_secs_f64();
+    scale_result(sim.model(), stats.events, wall, entities)
+}
+
+/// [`run_net_scale`] on the time-driven engine with step `dt` (event
+/// delivery quantized to tick boundaries, so the trajectory legitimately
+/// differs from the event-driven one).
+pub fn run_net_scale_time_driven(
+    pairs: usize,
+    per_pair: u32,
+    window: usize,
+    dt: f64,
+    seed: u64,
+) -> ScaleResult {
+    let (model, entities) = scale_model(pairs, per_pair, window, seed);
+    let n_endpoints = model.endpoints.len().min(window.max(1));
+    let total = pairs as u64 * per_pair as u64;
+    let mut sim = TimeDriven::new(model, dt);
+    for p in 0..n_endpoints {
+        sim.schedule(SimTime::new(p as f64 * 1.0e-3), ScaleEv::Kick(p as u32));
+    }
+    let start = Instant::now();
+    while sim.model().completions < total && sim.tick() {
+        assert!(
+            sim.pending() > 0 || sim.model().completions >= total,
+            "time-driven scale run wedged with no pending events"
+        );
+    }
+    let wall = start.elapsed().as_secs_f64();
+    scale_result(sim.model(), sim.processed(), wall, entities)
+}
+
+/// [`run_net_scale`] with the metrics recorder attached: exercises the
+/// monitored engine path (handler output staged in a side buffer, then
+/// drained with a queue-op hook per insert) rather than the unmonitored
+/// direct-insert path. The trajectory must match the unmonitored run
+/// bit-for-bit — asserted by the bit-identity tests below.
+pub fn run_net_scale_monitored(
+    pairs: usize,
+    per_pair: u32,
+    window: usize,
+    queue: impl EventQueue<ScaleEv>,
+    seed: u64,
+) -> ScaleResult {
+    let (model, entities) = scale_model(pairs, per_pair, window, seed);
+    let n_endpoints = model.endpoints.len().min(window.max(1));
+    let mut sim = EventDriven::with_parts(model, queue, lsds_obs::MetricsRecorder::new());
+    for p in 0..n_endpoints {
+        sim.schedule(SimTime::new(p as f64 * 1.0e-3), ScaleEv::Kick(p as u32));
+    }
+    let start = Instant::now();
+    let stats = sim.run();
+    let wall = start.elapsed().as_secs_f64();
+    scale_result(sim.model(), stats.events, wall, entities)
+}
+
+/// [`run_net_scale`] with causal tracing, for per-handler-kind profiles.
+pub fn run_net_scale_traced(
+    pairs: usize,
+    per_pair: u32,
+    window: usize,
+    queue: impl EventQueue<ScaleEv>,
+    seed: u64,
+    cfg: TraceConfig,
+) -> (ScaleResult, SpanTrace) {
+    let (model, entities) = scale_model(pairs, per_pair, window, seed);
+    let n_endpoints = model.endpoints.len().min(window.max(1));
+    let mut sim = EventDriven::with_queue(model, queue).with_tracer(RingTracer::new(cfg));
+    for p in 0..n_endpoints {
+        sim.schedule(SimTime::new(p as f64 * 1.0e-3), ScaleEv::Kick(p as u32));
+    }
+    let start = Instant::now();
+    let stats = sim.run();
+    let wall = start.elapsed().as_secs_f64();
+    let result = scale_result(sim.model(), stats.events, wall, entities);
+    let (_, tracer) = sim.into_model_and_tracer();
+    (result, tracer.finish())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +669,53 @@ mod tests {
     #[test]
     fn churn_counts_events() {
         assert_eq!(churn_run(QueueKind::Calendar, 64, 5_000, 3), 5_000);
+    }
+
+    #[test]
+    fn scale_trajectory_identity_across_storage_and_instrumentation() {
+        // one scenario, every storage/instrumentation combination: the
+        // trajectory fingerprint must be identical for plain vs pooled
+        // event storage (all four structures), traced vs untraced, and
+        // monitored vs unmonitored delivery
+        let (pairs, per_pair, window, seed) = (48, 6, 16, 9);
+        let base = run_net_scale(pairs, per_pair, window, QueueKind::BinaryHeap.build(), seed);
+        assert_eq!(base.completions, pairs as u64 * per_pair as u64);
+        for kind in QueueKind::ALL {
+            let plain = run_net_scale(pairs, per_pair, window, kind.build(), seed);
+            let pooled = run_net_scale(pairs, per_pair, window, kind.build_pooled(), seed);
+            assert_eq!(
+                plain.fingerprint, base.fingerprint,
+                "{kind:?} plain diverged"
+            );
+            assert_eq!(
+                pooled.fingerprint, base.fingerprint,
+                "{kind:?} pooled storage diverged"
+            );
+        }
+        let (traced, spans) = run_net_scale_traced(
+            pairs,
+            per_pair,
+            window,
+            QueueKind::BinaryHeap.build_pooled(),
+            seed,
+            TraceConfig::default(),
+        );
+        assert_eq!(
+            traced.fingerprint, base.fingerprint,
+            "tracing changed the trajectory"
+        );
+        assert!(!spans.spans.is_empty(), "traced run must capture spans");
+        let mon = run_net_scale_monitored(
+            pairs,
+            per_pair,
+            window,
+            QueueKind::BinaryHeap.build_pooled(),
+            seed,
+        );
+        assert_eq!(
+            mon.fingerprint, base.fingerprint,
+            "monitoring changed the trajectory"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Event-driven executor: the clock jumps to the next pending event.
 
-use super::{Ctx, Model, RunStats};
+use super::{Ctx, Model, QueueSink, RunStats};
 use crate::event::{EventSeq, ScheduledEvent};
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::time::SimTime;
@@ -47,6 +47,15 @@ pub struct EventDriven<
     clock: SimTime,
     seq: EventSeq,
     staged: Vec<ScheduledEvent<M::Event>>,
+    /// Same-timestamp run drained from the queue in one `pop_run` call,
+    /// held in *reverse* `(time, seq)` order so each `step` takes the next
+    /// event by value with an `O(1)` `pop`. Logically these events are
+    /// still pending: `pending()` and every recorded queue length count
+    /// them, so a batched run is observationally identical to per-event
+    /// popping. Events a handler stages at the batch's own timestamp go to
+    /// the queue and are picked up by the *next* `pop_run` — their seqs
+    /// exceed every seq in the current batch, so `(time, seq)` order holds.
+    batch: Vec<ScheduledEvent<M::Event>>,
     stopped: bool,
     processed: u64,
 }
@@ -83,6 +92,7 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> EventDriven<M, Q, R, NoopTr
             clock: SimTime::ZERO,
             seq: 0,
             staged: Vec::new(),
+            batch: Vec::new(),
             stopped: false,
             processed: 0,
         }
@@ -103,6 +113,7 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> EventDriven<M, Q
             clock: self.clock,
             seq: self.seq,
             staged: self.staged,
+            batch: self.batch,
             stopped: self.stopped,
             processed: self.processed,
         }
@@ -145,9 +156,9 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> EventDriven<M, Q
         self.processed
     }
 
-    /// Pending events.
+    /// Pending events (including any batched but not yet delivered).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.batch.len()
     }
 
     /// Shared view of the model.
@@ -185,23 +196,56 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> EventDriven<M, Q
         self.stopped
     }
 
+    /// Due time of the next event to deliver — the batch head when a
+    /// same-timestamp run is in flight, the queue minimum otherwise.
+    fn next_time(&mut self) -> Option<SimTime> {
+        match self.batch.last() {
+            Some(ev) => Some(ev.time),
+            None => self.queue.peek_time(),
+        }
+    }
+
     /// Delivers the next event, if any. Returns `false` when the event list
     /// is empty or a stop was requested.
     pub fn step(&mut self) -> bool {
         if self.stopped {
             return false;
         }
-        let Some(ev) = self.queue.pop_min() else {
-            return false;
+        let ev = match self.batch.pop() {
+            Some(ev) => ev,
+            None => {
+                // Deliver the queue head directly; only its timestamp
+                // *ties* — drained in the same queue call, so structures
+                // with contiguous ties pay a single bucket search — go
+                // through the batch, reversed so `pop` hands them out in
+                // `(time, seq)` order. Singleton runs, the common case
+                // under continuous-time models, skip the batch entirely.
+                match self.queue.pop_next(&mut self.batch) {
+                    Some(ev) => {
+                        if !self.batch.is_empty() {
+                            self.batch.reverse();
+                        }
+                        ev
+                    }
+                    None => return false,
+                }
+            }
         };
         debug_assert!(ev.time >= self.clock, "event list returned past event");
-        self.recorder
-            .on_queue_op(ev.time.seconds(), QueueOp::Pop, self.queue.len());
+        if R::ENABLED {
+            self.recorder.on_queue_op(
+                ev.time.seconds(),
+                QueueOp::Pop,
+                self.queue.len() + self.batch.len(),
+            );
+        }
         self.recorder
             .on_advance(self.clock.seconds(), ev.time.seconds());
         self.clock = ev.time;
         self.processed += 1;
-        self.recorder.on_event(self.clock.seconds());
+        if R::ENABLED {
+            self.recorder.on_event(self.clock.seconds());
+        }
         let kind = if T::ENABLED {
             self.model.trace_kind(&ev.event)
         } else {
@@ -213,20 +257,41 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> EventDriven<M, Q
             0
         };
         let token = self.tracer.begin(ev.seq);
-        let mut ctx = Ctx::new(
-            self.clock,
-            ev.seq,
-            &mut self.staged,
-            &mut self.seq,
-            &mut self.stopped,
-        );
-        self.model.handle(ev.event, &mut ctx);
-        self.tracer
-            .record(ev.seq, ev.parent, kind, track, self.clock.seconds(), token);
-        for staged in self.staged.drain(..) {
-            self.queue.insert(staged);
-            self.recorder
-                .on_queue_op(self.clock.seconds(), QueueOp::Insert, self.queue.len());
+        if R::ENABLED {
+            // Monitored: stage, then drain with a queue-op hook per insert.
+            let mut ctx = Ctx::new(
+                self.clock,
+                ev.seq,
+                &mut self.staged,
+                &mut self.seq,
+                &mut self.stopped,
+            );
+            self.model.handle(ev.event, &mut ctx);
+            self.tracer
+                .record(ev.seq, ev.parent, kind, track, self.clock.seconds(), token);
+            for staged in self.staged.drain(..) {
+                self.queue.insert(staged);
+                self.recorder.on_queue_op(
+                    self.clock.seconds(),
+                    QueueOp::Insert,
+                    self.queue.len() + self.batch.len(),
+                );
+            }
+        } else {
+            // Unmonitored: scheduled events go straight into the event
+            // list, skipping the staging round-trip. Same insert order,
+            // same `(time, seq)` stamps — the trajectory is identical.
+            let mut sink = QueueSink(&mut self.queue);
+            let mut ctx = Ctx::new(
+                self.clock,
+                ev.seq,
+                &mut sink,
+                &mut self.seq,
+                &mut self.stopped,
+            );
+            self.model.handle(ev.event, &mut ctx);
+            self.tracer
+                .record(ev.seq, ev.parent, kind, track, self.clock.seconds(), token);
         }
         true
     }
@@ -244,7 +309,7 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> EventDriven<M, Q
     pub fn run_until(&mut self, t_end: SimTime) -> RunStats {
         let start = self.processed;
         while !self.stopped {
-            match self.queue.peek_time() {
+            match self.next_time() {
                 Some(t) if t <= t_end => {
                     self.step();
                 }

@@ -262,7 +262,9 @@ impl<M: HybridModel, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> Hybrid<M, 
                         debug_assert!(false, "clock behind event after integrate_to");
                     }
                     self.processed += 1;
-                    self.recorder.on_event(self.clock.seconds());
+                    if R::ENABLED {
+                        self.recorder.on_event(self.clock.seconds());
+                    }
                     let kind = if T::ENABLED {
                         self.model.trace_kind(&ev.event)
                     } else {
@@ -286,11 +288,13 @@ impl<M: HybridModel, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> Hybrid<M, 
                         .record(ev.seq, ev.parent, kind, track, self.clock.seconds(), token);
                     for staged in self.staged.drain(..) {
                         self.queue.insert(staged);
-                        self.recorder.on_queue_op(
-                            self.clock.seconds(),
-                            QueueOp::Insert,
-                            self.queue.len(),
-                        );
+                        if R::ENABLED {
+                            self.recorder.on_queue_op(
+                                self.clock.seconds(),
+                                QueueOp::Insert,
+                                self.queue.len(),
+                            );
+                        }
                     }
                 }
                 _ => {

@@ -28,8 +28,37 @@ pub use time_driven::TimeDriven;
 pub use trace_driven::{TraceDriven, TraceSource};
 
 use crate::event::{EventSeq, ScheduledEvent};
+use crate::queue::EventQueue;
 use crate::time::SimTime;
 use lsds_obs::SpanKind;
+
+/// Destination for events scheduled through a [`Ctx`]: the engine's
+/// staging buffer (monitored runs, where the engine emits a queue-op hook
+/// per insert; engines that route events elsewhere, like the trace/hybrid
+/// executors), or the event list itself (unmonitored sequential runs,
+/// which skip the staging round-trip). Either way events arrive in the
+/// queue in the same `(time, seq)`-stamped order, so the choice is
+/// invisible to the trajectory.
+pub(crate) trait EventSink<E> {
+    fn accept(&mut self, ev: ScheduledEvent<E>);
+}
+
+impl<E> EventSink<E> for Vec<ScheduledEvent<E>> {
+    #[inline]
+    fn accept(&mut self, ev: ScheduledEvent<E>) {
+        self.push(ev);
+    }
+}
+
+/// Sink that inserts straight into an event list.
+pub(crate) struct QueueSink<'q, Q>(pub &'q mut Q);
+
+impl<E, Q: EventQueue<E>> EventSink<E> for QueueSink<'_, Q> {
+    #[inline]
+    fn accept(&mut self, ev: ScheduledEvent<E>) {
+        self.0.insert(ev);
+    }
+}
 
 /// A discrete-event simulation model: application state plus an event
 /// handler. The engine owns the clock and the event list; the model reacts
@@ -94,13 +123,14 @@ impl<'c, 'a, E, E2, F: Fn(E2) -> E> Schedule<E2> for MappedCtx<'c, 'a, E, F> {
 
 /// Scheduling handle passed to [`Model::handle`].
 ///
-/// New events are staged here and moved into the engine's event list after
-/// the handler returns, which keeps the borrow of the model and the queue
+/// New events flow into the engine through an [`EventSink`] — a staging
+/// buffer drained after the handler returns, or the event list directly —
+/// which keeps the borrow of the model and the engine's other state
 /// disjoint without interior mutability.
 pub struct Ctx<'a, E> {
     now: SimTime,
     cause: EventSeq,
-    staged: &'a mut Vec<ScheduledEvent<E>>,
+    staged: &'a mut dyn EventSink<E>,
     seq: &'a mut EventSeq,
     stop: &'a mut bool,
 }
@@ -109,7 +139,7 @@ impl<'a, E> Ctx<'a, E> {
     pub(crate) fn new(
         now: SimTime,
         cause: EventSeq,
-        staged: &'a mut Vec<ScheduledEvent<E>>,
+        staged: &'a mut dyn EventSink<E>,
         seq: &'a mut EventSeq,
         stop: &'a mut bool,
     ) -> Self {
@@ -146,7 +176,7 @@ impl<'a, E> Ctx<'a, E> {
         let seq = *self.seq;
         *self.seq += 1;
         self.staged
-            .push(ScheduledEvent::with_parent(t, seq, self.cause, event));
+            .accept(ScheduledEvent::with_parent(t, seq, self.cause, event));
     }
 
     /// Schedules `event` after a non-negative delay `dt`.
@@ -155,7 +185,7 @@ impl<'a, E> Ctx<'a, E> {
         let seq = *self.seq;
         *self.seq += 1;
         self.staged
-            .push(ScheduledEvent::with_parent(t, seq, self.cause, event));
+            .accept(ScheduledEvent::with_parent(t, seq, self.cause, event));
     }
 
     /// Requests that the run stop after this handler returns.

@@ -9,7 +9,7 @@
 //! quantizes delivery times to step boundaries (the fidelity cost of coarse
 //! steps).
 
-use super::{Ctx, Model, RunStats};
+use super::{Ctx, Model, QueueSink, RunStats};
 use crate::event::{EventSeq, ScheduledEvent};
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::time::SimTime;
@@ -34,6 +34,10 @@ pub struct TimeDriven<
     clock: SimTime,
     seq: EventSeq,
     staged: Vec<ScheduledEvent<M::Event>>,
+    /// Same-timestamp run drained via `pop_run`, held in reverse `(time,
+    /// seq)` order (see [`super::EventDriven`]'s batch field). Logically
+    /// still pending; non-empty across ticks only after a mid-run stop.
+    batch: Vec<ScheduledEvent<M::Event>>,
     stopped: bool,
     processed: u64,
     ticks: u64,
@@ -73,6 +77,7 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> TimeDriven<M, Q, R, NoopTra
             clock: SimTime::ZERO,
             seq: 0,
             staged: Vec::new(),
+            batch: Vec::new(),
             stopped: false,
             processed: 0,
             ticks: 0,
@@ -93,6 +98,7 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> TimeDriven<M, Q,
             clock: self.clock,
             seq: self.seq,
             staged: self.staged,
+            batch: self.batch,
             stopped: self.stopped,
             processed: self.processed,
             ticks: self.ticks,
@@ -121,6 +127,16 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> TimeDriven<M, Q,
     /// Current simulated time (always a step boundary after a run).
     pub fn now(&self) -> SimTime {
         self.clock
+    }
+
+    /// Events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Pending events (including any batched but not yet delivered).
+    pub fn pending(&self) -> usize {
+        self.queue.len() + self.batch.len()
     }
 
     /// Shared view of the model.
@@ -154,18 +170,43 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> TimeDriven<M, Q,
         self.recorder
             .on_advance(self.clock.seconds(), next.seconds());
         self.clock = next;
-        while let Some(t) = self.queue.peek_time() {
-            if t > next || self.stopped {
+        loop {
+            if self.stopped {
                 break;
             }
-            let Some(ev) = self.queue.pop_min() else {
-                debug_assert!(false, "peeked event vanished");
-                break;
+            let ev = match self.batch.pop() {
+                Some(ev) => ev,
+                None => {
+                    match self.queue.peek_time() {
+                        Some(t) if t <= next => {}
+                        _ => break,
+                    }
+                    // Deliver the queue head directly; only its timestamp
+                    // ties (drained in the same queue call) go through the
+                    // batch, reversed so `pop` hands them out in
+                    // `(time, seq)` order.
+                    match self.queue.pop_next(&mut self.batch) {
+                        Some(ev) => {
+                            if !self.batch.is_empty() {
+                                self.batch.reverse();
+                            }
+                            ev
+                        }
+                        None => break,
+                    }
+                }
             };
-            self.recorder
-                .on_queue_op(next.seconds(), QueueOp::Pop, self.queue.len());
+            if R::ENABLED {
+                self.recorder.on_queue_op(
+                    next.seconds(),
+                    QueueOp::Pop,
+                    self.queue.len() + self.batch.len(),
+                );
+            }
             self.processed += 1;
-            self.recorder.on_event(next.seconds());
+            if R::ENABLED {
+                self.recorder.on_event(next.seconds());
+            }
             let kind = if T::ENABLED {
                 self.model.trace_kind(&ev.event)
             } else {
@@ -178,20 +219,34 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> TimeDriven<M, Q,
             };
             let token = self.tracer.begin(ev.seq);
             // Quantized delivery: the model observes the step boundary.
-            let mut ctx = Ctx::new(
-                next,
-                ev.seq,
-                &mut self.staged,
-                &mut self.seq,
-                &mut self.stopped,
-            );
-            self.model.handle(ev.event, &mut ctx);
-            self.tracer
-                .record(ev.seq, ev.parent, kind, track, next.seconds(), token);
-            for staged in self.staged.drain(..) {
-                self.queue.insert(staged);
-                self.recorder
-                    .on_queue_op(next.seconds(), QueueOp::Insert, self.queue.len());
+            if R::ENABLED {
+                // Monitored: stage, then drain with a hook per insert.
+                let mut ctx = Ctx::new(
+                    next,
+                    ev.seq,
+                    &mut self.staged,
+                    &mut self.seq,
+                    &mut self.stopped,
+                );
+                self.model.handle(ev.event, &mut ctx);
+                self.tracer
+                    .record(ev.seq, ev.parent, kind, track, next.seconds(), token);
+                for staged in self.staged.drain(..) {
+                    self.queue.insert(staged);
+                    self.recorder.on_queue_op(
+                        next.seconds(),
+                        QueueOp::Insert,
+                        self.queue.len() + self.batch.len(),
+                    );
+                }
+            } else {
+                // Unmonitored: insert straight into the event list (same
+                // insert order and stamps — identical trajectory).
+                let mut sink = QueueSink(&mut self.queue);
+                let mut ctx = Ctx::new(next, ev.seq, &mut sink, &mut self.seq, &mut self.stopped);
+                self.model.handle(ev.event, &mut ctx);
+                self.tracer
+                    .record(ev.seq, ev.parent, kind, track, next.seconds(), token);
             }
         }
         !self.stopped

@@ -199,10 +199,14 @@ impl<
 
     fn deliver(&mut self, t: SimTime, id: EventSeq, parent: EventSeq, event: M::Event) {
         debug_assert!(t >= self.clock);
-        self.recorder.on_advance(self.clock.seconds(), t.seconds());
+        if R::ENABLED {
+            self.recorder.on_advance(self.clock.seconds(), t.seconds());
+        }
         self.clock = t;
         self.processed += 1;
-        self.recorder.on_event(t.seconds());
+        if R::ENABLED {
+            self.recorder.on_event(t.seconds());
+        }
         let kind = if T::ENABLED {
             self.model.trace_kind(&event)
         } else {

@@ -32,17 +32,21 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod engine;
 pub mod event;
+pub mod pool;
 pub mod process;
 pub mod queue;
 pub mod time;
 
+pub use arena::{IdMap, Slab};
 pub use engine::{
     Ctx, EventDriven, Hybrid, MappedCtx, Model, RunStats, Schedule, TimeDriven, TraceDriven,
     TraceSource,
 };
 pub use event::{EventSeq, ScheduledEvent, NO_PARENT};
+pub use pool::{EventPool, PooledQueue};
 pub use queue::{
     BinaryHeapQueue, CalendarQueue, EventQueue, LadderQueue, QueueKind, SortedListQueue,
 };

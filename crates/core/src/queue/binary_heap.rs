@@ -1,52 +1,114 @@
 //! `O(log n)` binary-heap event list — the textbook default structure.
 
 use super::EventQueue;
+use crate::arena::Slab;
 use crate::event::ScheduledEvent;
 use crate::time::SimTime;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
-/// Entry wrapper ordering the heap by `(time, seq)` ascending.
-struct Entry<E>(ScheduledEvent<E>);
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.key() == other.0.key()
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.key().cmp(&other.0.key())
-    }
+/// Packs a `(time, seq)` priority into one integer so heap compares are a
+/// single `u128` comparison instead of a float compare plus a tie-break
+/// branch. The high half is the time's bit pattern passed through the
+/// standard total-order involution (sign bit flipped for non-negatives,
+/// all bits flipped for negatives), which sorts exactly like the `f64`
+/// values themselves; the low half is the sequence number.
+#[inline]
+fn okey(time: SimTime, seq: u64) -> u128 {
+    // `+ 0.0` collapses -0.0 onto +0.0 so the two (equal as times) also
+    // map to equal keys and the tie falls through to `seq`
+    let b = (time.seconds() + 0.0).to_bits();
+    let mask = (((b as i64) >> 63) as u64) | (1u64 << 63);
+    (((b ^ mask) as u128) << 64) | seq as u128
 }
 
-/// Event list backed by `std::collections::BinaryHeap`.
+/// Heap branching factor. A 4-ary layout halves the tree depth — and so
+/// the node copies per sift — at the price of up to three extra key
+/// compares per level; with 32-byte `Copy` nodes the compares are nearly
+/// free and the shallower tree wins.
+const ARITY: usize = 4;
+
+/// One heap node: the packed priority plus the slab slot of its payload.
+/// `Copy`, so the sift loops can hold the moving node in a register and
+/// shift ancestors/children into the hole instead of swapping.
+#[derive(Clone, Copy)]
+struct Node {
+    key: u128,
+    slot: u32,
+}
+
+/// Event list backed by an array-embedded binary min-heap.
 ///
 /// Insert and pop are `O(log n)`; this is the baseline the amortized-`O(1)`
-/// structures are compared against in experiment E2.
+/// structures are compared against in experiment E2. The heap array holds
+/// only `(packed key, payload slot)` nodes — 32 bytes, `Copy` — while the
+/// [`ScheduledEvent`] records sit still in a free-list [`Slab`] until
+/// delivery, so sifting never moves payload bytes and never compares
+/// floats.
 pub struct BinaryHeapQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    nodes: Vec<Node>,
+    events: Slab<ScheduledEvent<E>>,
 }
 
 impl<E> BinaryHeapQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         BinaryHeapQueue {
-            heap: BinaryHeap::new(),
+            nodes: Vec::new(),
+            events: Slab::new(),
         }
     }
 
     /// Creates an empty queue with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
         BinaryHeapQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            nodes: Vec::with_capacity(cap),
+            events: Slab::with_capacity(cap),
         }
+    }
+
+    /// Moves `node` up from position `i` (a freshly appended leaf) to its
+    /// heap position, shifting smaller-priority ancestors down.
+    #[inline]
+    fn sift_up(&mut self, mut i: usize, node: Node) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            let pn = self.nodes[parent];
+            if pn.key <= node.key {
+                break;
+            }
+            self.nodes[i] = pn;
+            i = parent;
+        }
+        self.nodes[i] = node;
+    }
+
+    /// Places `node` into the root hole, shifting the smallest child up at
+    /// each level until the heap property holds.
+    #[inline]
+    fn sift_down(&mut self, node: Node) {
+        let n = self.nodes.len();
+        let mut i = 0;
+        loop {
+            let first = ARITY * i + 1;
+            if first >= n {
+                break;
+            }
+            let last = (first + ARITY).min(n);
+            let mut child = first;
+            let mut ck = self.nodes[first].key;
+            for c in first + 1..last {
+                let k = self.nodes[c].key;
+                if k < ck {
+                    ck = k;
+                    child = c;
+                }
+            }
+            if node.key <= ck {
+                break;
+            }
+            self.nodes[i] = self.nodes[child];
+            i = child;
+        }
+        self.nodes[i] = node;
     }
 }
 
@@ -58,19 +120,60 @@ impl<E> Default for BinaryHeapQueue<E> {
 
 impl<E> EventQueue<E> for BinaryHeapQueue<E> {
     fn insert(&mut self, ev: ScheduledEvent<E>) {
-        self.heap.push(Reverse(Entry(ev)));
+        let key = okey(ev.time, ev.seq);
+        let slot = self.events.insert(ev);
+        let i = self.nodes.len();
+        self.nodes.push(Node { key, slot });
+        self.sift_up(i, Node { key, slot });
     }
 
     fn pop_min(&mut self) -> Option<ScheduledEvent<E>> {
-        self.heap.pop().map(|Reverse(Entry(ev))| ev)
+        let first = *self.nodes.first()?;
+        let Some(last) = self.nodes.pop() else {
+            debug_assert!(false, "non-empty heap has a last node");
+            return None;
+        };
+        if !self.nodes.is_empty() {
+            self.sift_down(last);
+        }
+        let ev = self.events.remove(first.slot);
+        debug_assert!(ev.is_some(), "heap node without payload");
+        ev
     }
 
     fn peek_time(&mut self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(Entry(ev))| ev.time)
+        let slot = self.nodes.first()?.slot;
+        self.events.get(slot).map(|ev| ev.time)
+    }
+
+    fn pop_run(&mut self, out: &mut Vec<ScheduledEvent<E>>) -> usize {
+        let base = out.len();
+        let Some(first) = self.pop_next(out) else {
+            return 0;
+        };
+        // `pop_next` appended the ties first; rotate the head in front.
+        out.push(first);
+        out[base..].rotate_right(1);
+        out.len() - base
+    }
+
+    fn pop_next(&mut self, ties: &mut Vec<ScheduledEvent<E>>) -> Option<ScheduledEvent<E>> {
+        let first = self.pop_min()?;
+        // Ties share the key's high (time) half, so the run boundary check
+        // is a shift-compare on the root node — no payload access.
+        let tbits = okey(first.time, 0) >> 64;
+        while self.nodes.first().is_some_and(|nd| nd.key >> 64 == tbits) {
+            let Some(ev) = self.pop_min() else {
+                debug_assert!(false, "non-empty heap refused to pop");
+                break;
+            };
+            ties.push(ev);
+        }
+        Some(first)
     }
 
     fn len(&self) -> usize {
-        self.heap.len()
+        self.nodes.len()
     }
 
     fn name(&self) -> &'static str {
@@ -111,5 +214,33 @@ mod tests {
     #[test]
     fn clustered() {
         conformance::clustered_times(BinaryHeapQueue::new(), 4);
+    }
+
+    #[test]
+    fn run_pop() {
+        conformance::pop_run_matches_pop_min(BinaryHeapQueue::new(), BinaryHeapQueue::new(), 5);
+    }
+
+    #[test]
+    fn okey_orders_like_time_then_seq() {
+        let times = [-2.5, -1.0e-300, 0.0, 1.0e-300, 0.5, 1.0, 1.0e300];
+        let seqs = [0u64, 1, u64::MAX];
+        for &ta in &times {
+            for &tb in &times {
+                for &sa in &seqs {
+                    for &sb in &seqs {
+                        let expect = (SimTime::new(ta), sa).cmp(&(SimTime::new(tb), sb));
+                        let got = okey(SimTime::new(ta), sa).cmp(&okey(SimTime::new(tb), sb));
+                        assert_eq!(expect, got, "({ta}, {sa}) vs ({tb}, {sb})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn okey_treats_negative_zero_as_zero() {
+        assert_eq!(okey(SimTime::new(-0.0), 3), okey(SimTime::new(0.0), 3));
+        assert!(okey(SimTime::new(-0.0), 3) > okey(SimTime::new(0.0), 2));
     }
 }

@@ -32,23 +32,24 @@ struct Rung<E> {
 }
 
 impl<E> Rung<E> {
-    fn from_events(events: Vec<ScheduledEvent<E>>) -> Self {
+    /// Builds a rung covering the half-open span `[start, end)`, with one
+    /// bucket per event (+1 so an event sitting exactly at `end` still
+    /// lands inside the last bucket). The span must be the full range the
+    /// rung is responsible for — not merely the range of `events` — so
+    /// that later inserts anywhere in the span are accepted by this rung
+    /// rather than leaking past the ladder.
+    fn spanning(events: Vec<ScheduledEvent<E>>, start: f64, end: f64) -> Self {
         debug_assert!(!events.is_empty());
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
-        for ev in &events {
-            let t = ev.time.seconds();
-            lo = lo.min(t);
-            hi = hi.max(t);
-        }
         let n = events.len();
-        let width = if hi > lo { (hi - lo) / n as f64 } else { 1.0 };
-        // +1 so hi itself lands inside the last bucket
-        let nb = n + 1;
+        let width = if end > start {
+            (end - start) / (n + 1) as f64
+        } else {
+            1.0
+        };
         let mut rung = Rung {
-            start: lo,
+            start,
             width,
-            buckets: (0..nb).map(|_| Vec::new()).collect(),
+            buckets: (0..n + 1).map(|_| Vec::new()).collect(),
             cur: 0,
             count: 0,
         };
@@ -138,8 +139,17 @@ impl<E> LadderQueue<E> {
             if let Some(rung) = self.rungs.last_mut() {
                 match rung.take_next_bucket() {
                     Some(bucket) => {
+                        // Span of the bucket just consumed, from the
+                        // parent's geometry. A child rung built from this
+                        // bucket must cover the whole span — not just its
+                        // current events' [min, max] — or a later insert
+                        // into the uncovered gap falls through the rung
+                        // walk into the sorted bottom behind events that
+                        // are still sitting in the child rung.
+                        let bs = rung.start + (rung.cur - 1) as f64 * rung.width;
+                        let bw = rung.width;
                         if bucket.len() > THRES && self.rungs.len() < MAX_RUNGS {
-                            self.rungs.push(Rung::from_events(bucket));
+                            self.rungs.push(Rung::spanning(bucket, bs, bs + bw));
                             continue;
                         }
                         let mut bucket = bucket;
@@ -156,7 +166,13 @@ impl<E> LadderQueue<E> {
             } else if !self.top.is_empty() {
                 let events = std::mem::take(&mut self.top);
                 self.top_start = self.top_max;
-                self.rungs.push(Rung::from_events(events));
+                // The new first rung owns everything below the raised
+                // top boundary; inserts at or past `top_start` go to top.
+                let lo = events
+                    .iter()
+                    .map(|ev| ev.time.seconds())
+                    .fold(f64::INFINITY, f64::min);
+                self.rungs.push(Rung::spanning(events, lo, self.top_start));
                 continue;
             } else {
                 return false;
@@ -257,6 +273,11 @@ mod tests {
     }
 
     #[test]
+    fn run_pop() {
+        conformance::pop_run_matches_pop_min(LadderQueue::new(), LadderQueue::new(), 35);
+    }
+
+    #[test]
     fn all_same_time_bucket() {
         // degenerate single-time bucket must not split forever
         let mut q = LadderQueue::new();
@@ -267,6 +288,123 @@ mod tests {
             assert_eq!(q.pop_min().unwrap().event, s);
         }
         assert!(q.pop_min().is_none());
+    }
+
+    #[test]
+    fn insert_into_split_gap_stays_ordered() {
+        // A dense cluster splits into a child rung whose events span only
+        // [5.0, 5.099]; the parent bucket it came from spans ~[5, 15). An
+        // insert at 10.0 must refine into the child rung, not fall through
+        // to the bottom where it would be delivered out of order.
+        let mut q = LadderQueue::new();
+        let mut seq = 0u64;
+        for i in 0..100 {
+            q.insert(ScheduledEvent::new(
+                SimTime::new(5.0 + i as f64 * 0.001),
+                seq,
+                seq,
+            ));
+            seq += 1;
+        }
+        q.insert(ScheduledEvent::new(SimTime::new(1000.0), seq, seq));
+        seq += 1;
+        let first = q.pop_min().unwrap();
+        assert_eq!(first.time, SimTime::new(5.0));
+        q.insert(ScheduledEvent::new(SimTime::new(10.0), seq, seq));
+        let mut last = first.time;
+        while let Some(ev) = q.pop_min() {
+            assert!(ev.time >= last, "out of order: {} after {}", ev.time, last);
+            last = ev.time;
+        }
+    }
+
+    /// Runs the same insert/pop script against the ladder and the sorted
+    /// list (the trivially-correct reference), asserting both produce the
+    /// identical `(time-bits, seq, event)` stream — order *and* content.
+    fn assert_matches_sorted_list(script: impl Fn(&mut dyn FnMut(Op))) {
+        use super::super::sorted_list::SortedListQueue;
+        enum Run<E> {
+            Ladder(LadderQueue<E>),
+            List(SortedListQueue<E>),
+        }
+        let mut outs: Vec<Vec<(u64, u64, u64)>> = Vec::new();
+        for mut q in [
+            Run::Ladder(LadderQueue::new()),
+            Run::List(SortedListQueue::new()),
+        ] {
+            let mut out = Vec::new();
+            script(&mut |op| match op {
+                Op::Insert(t, s) => match &mut q {
+                    Run::Ladder(q) => q.insert(ScheduledEvent::new(SimTime::new(t), s, s)),
+                    Run::List(q) => q.insert(ScheduledEvent::new(SimTime::new(t), s, s)),
+                },
+                Op::Pop => {
+                    let ev = match &mut q {
+                        Run::Ladder(q) => q.pop_min(),
+                        Run::List(q) => q.pop_min(),
+                    };
+                    if let Some(ev) = ev {
+                        out.push((ev.time.seconds().to_bits(), ev.seq, ev.event));
+                    }
+                }
+            });
+            outs.push(out);
+        }
+        assert_eq!(outs[0], outs[1], "ladder diverged from sorted list");
+    }
+
+    enum Op {
+        Insert(f64, u64),
+        Pop,
+    }
+
+    #[test]
+    fn matches_sorted_list_on_all_equal_times() {
+        // adversarial: every event at the same timestamp, pops interleaved
+        // with inserts so the degenerate zero-width bucket keeps splitting
+        assert_matches_sorted_list(|do_op| {
+            let mut seq = 0u64;
+            for round in 0..6 {
+                for _ in 0..120 {
+                    do_op(Op::Insert(7.5, seq));
+                    seq += 1;
+                }
+                for _ in 0..(40 + round * 10) {
+                    do_op(Op::Pop);
+                }
+            }
+            for _ in 0..2000 {
+                do_op(Op::Pop);
+            }
+        });
+    }
+
+    #[test]
+    fn matches_sorted_list_on_monotone_decreasing_inserts() {
+        // adversarial: after a partial drain, each insert lands *earlier*
+        // than the one before (but still >= the last pop), repeatedly
+        // probing the gap between consumed buckets and live rung spans
+        assert_matches_sorted_list(|do_op| {
+            let mut seq = 0u64;
+            for i in 0..300 {
+                do_op(Op::Insert(i as f64 * 0.01, seq));
+                seq += 1;
+            }
+            for _ in 0..50 {
+                do_op(Op::Pop);
+            }
+            // last pop was at ~0.49; walk inserts downward toward it
+            for i in 0..200 {
+                do_op(Op::Insert(2.9 - i as f64 * 0.012, seq));
+                seq += 1;
+                if i % 3 == 0 {
+                    do_op(Op::Pop);
+                }
+            }
+            for _ in 0..1000 {
+                do_op(Op::Pop);
+            }
+        });
     }
 
     #[test]

@@ -50,6 +50,51 @@ pub trait EventQueue<E> {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Removes the earliest *run* — every pending event sharing the
+    /// minimal timestamp — appending the events to `out` in `(time, seq)`
+    /// order and returning the run length (0 when empty). Engines use this
+    /// to drain simultaneous events in one dispatch loop instead of
+    /// re-touching the queue per event; structures whose ties sit
+    /// contiguously (calendar day rings, the sorted list) override the
+    /// default peek/pop loop with a contiguous drain.
+    fn pop_run(&mut self, out: &mut Vec<ScheduledEvent<E>>) -> usize {
+        let Some(first) = self.pop_min() else {
+            return 0;
+        };
+        let t = first.time;
+        out.push(first);
+        let mut n = 1;
+        while self.peek_time().is_some_and(|pt| pt.same_instant(t)) {
+            let Some(ev) = self.pop_min() else {
+                debug_assert!(false, "peeked event vanished");
+                break;
+            };
+            out.push(ev);
+            n += 1;
+        }
+        n
+    }
+    /// Removes and returns the earliest event, appending any *ties* —
+    /// later-seq events sharing its timestamp — to `ties` in `(time, seq)`
+    /// order. Equivalent to [`EventQueue::pop_run`] with the head returned
+    /// directly instead of pushed, which lets engines deliver the common
+    /// singleton run without a `Vec` round-trip; structures whose ties sit
+    /// contiguously override the default peek/pop loop with a contiguous
+    /// drain.
+    fn pop_next(&mut self, ties: &mut Vec<ScheduledEvent<E>>) -> Option<ScheduledEvent<E>> {
+        let first = self.pop_min()?;
+        while self
+            .peek_time()
+            .is_some_and(|pt| pt.same_instant(first.time))
+        {
+            let Some(ev) = self.pop_min() else {
+                debug_assert!(false, "peeked event vanished");
+                break;
+            };
+            ties.push(ev);
+        }
+        Some(first)
+    }
     /// Human-readable structure name (for experiment output).
     fn name(&self) -> &'static str;
 }
@@ -109,6 +154,12 @@ impl<E> EventQueue<E> for Box<dyn EventQueue<E>> {
     }
     fn len(&self) -> usize {
         (**self).len()
+    }
+    fn pop_run(&mut self, out: &mut Vec<ScheduledEvent<E>>) -> usize {
+        (**self).pop_run(out)
+    }
+    fn pop_next(&mut self, ties: &mut Vec<ScheduledEvent<E>>) -> Option<ScheduledEvent<E>> {
+        (**self).pop_next(ties)
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -211,6 +262,44 @@ pub(crate) mod conformance {
         assert_eq!(q.peek_time(), Some(SimTime::new(3.0)));
         assert_eq!(q.pop_min().unwrap().event, 7);
         assert!(q.pop_min().is_none());
+    }
+
+    pub fn pop_run_matches_pop_min<Q: EventQueue<u64>>(mut a: Q, mut b: Q, seed: u64) {
+        // heavy ties: many events land on the same quantized timestamp
+        let mut rng = SimRng::new(seed);
+        for s in 0..3000u64 {
+            let t = (rng.next_f64() * 40.0).floor() * 0.5;
+            a.insert(ScheduledEvent::new(SimTime::new(t), s, s));
+            b.insert(ScheduledEvent::new(SimTime::new(t), s, s));
+        }
+        let mut runs = Vec::new();
+        let mut total = 0;
+        while !a.is_empty() {
+            runs.clear();
+            let n = a.pop_run(&mut runs);
+            assert_eq!(n, runs.len(), "{}: bad run length", a.name());
+            assert!(n > 0, "{}: empty run from non-empty queue", a.name());
+            let t = runs[0].time;
+            for ev in &runs {
+                assert_eq!(ev.time, t, "{}: mixed-time run", a.name());
+                let single = b.pop_min().expect("reference queue drained early");
+                assert_eq!(
+                    (ev.time, ev.seq, ev.event),
+                    (single.time, single.seq, single.event),
+                    "{}: run order diverged from pop_min order",
+                    a.name()
+                );
+            }
+            assert_ne!(
+                a.peek_time(),
+                Some(t),
+                "{}: run left same-time events behind",
+                a.name()
+            );
+            total += n;
+        }
+        assert_eq!(total, 3000);
+        assert!(b.pop_min().is_none());
     }
 
     pub fn clustered_times<Q: EventQueue<u64>>(mut q: Q, seed: u64) {

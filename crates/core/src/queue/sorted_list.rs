@@ -58,6 +58,30 @@ impl<E> EventQueue<E> for SortedListQueue<E> {
         self.items.len()
     }
 
+    fn pop_run(&mut self, out: &mut Vec<ScheduledEvent<E>>) -> usize {
+        let base = out.len();
+        let Some(first) = self.pop_next(out) else {
+            return 0;
+        };
+        // `pop_next` appended the ties first; rotate the head in front.
+        out.push(first);
+        out[base..].rotate_right(1);
+        out.len() - base
+    }
+
+    fn pop_next(&mut self, ties: &mut Vec<ScheduledEvent<E>>) -> Option<ScheduledEvent<E>> {
+        // ties are contiguous at the front: drain without re-peeking
+        let first = self.items.pop_front()?;
+        let t = first.time;
+        while self.items.front().is_some_and(|ev| ev.time.same_instant(t)) {
+            let Some(ev) = self.items.pop_front() else {
+                break;
+            };
+            ties.push(ev);
+        }
+        Some(first)
+    }
+
     fn name(&self) -> &'static str {
         "sorted-list"
     }
@@ -96,6 +120,11 @@ mod tests {
     #[test]
     fn clustered() {
         conformance::clustered_times(SortedListQueue::new(), 14);
+    }
+
+    #[test]
+    fn run_pop() {
+        conformance::pop_run_matches_pop_min(SortedListQueue::new(), SortedListQueue::new(), 15);
     }
 
     #[test]

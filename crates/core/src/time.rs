@@ -70,6 +70,18 @@ impl SimTime {
     pub fn approx_eq(self, other: SimTime) -> bool {
         (self.0 - other.0).abs() <= Self::EPSILON
     }
+
+    /// True when the two timestamps carry identical bits — the engine's
+    /// *tie* test. Events are delivered as a same-timestamp run only when
+    /// their stamps are exactly equal (ties inherit their stamp from the
+    /// same arithmetic), so [`SimTime::approx_eq`]'s tolerance would be
+    /// wrong here: it would merge distinct instants.
+    #[inline]
+    pub fn same_instant(self, other: SimTime) -> bool {
+        let a = self.0.to_bits();
+        let b = other.0.to_bits();
+        a == b
+    }
 }
 
 impl Eq for SimTime {}

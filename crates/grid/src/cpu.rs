@@ -13,7 +13,6 @@
 
 use crate::job::JobId;
 use lsds_core::{Schedule, SimTime};
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// CPU sharing mode.
@@ -82,10 +81,15 @@ pub struct CpuFarm {
     speed: f64,
     sharing: Sharing,
     discipline: Discipline,
-    running: HashMap<u64, Running>,
+    /// Executing jobs, kept sorted ascending by job id. The running set is
+    /// scanned in id order on every progress advance and reshare, so a
+    /// sorted vec gives those walks for free (no key collection, no sort,
+    /// no hashing) and point lookups are a binary search.
+    running: Vec<(u64, Running)>,
     queue: VecDeque<Waiting>,
-    /// Cumulative CPU-seconds consumed per owner (fair-share state).
-    usage: HashMap<u32, f64>,
+    /// Cumulative CPU-seconds consumed per owner, indexed by owner id
+    /// (owners are small dense ids; absent entries read as `0.0`).
+    usage: Vec<f64>,
     /// Cumulative busy core-seconds (utilization reporting).
     busy_core_seconds: f64,
     completed: u64,
@@ -101,9 +105,9 @@ impl CpuFarm {
             speed,
             sharing,
             discipline,
-            running: HashMap::new(),
+            running: Vec::new(),
             queue: VecDeque::new(),
-            usage: HashMap::new(),
+            usage: Vec::new(),
             busy_core_seconds: 0.0,
             completed: 0,
         }
@@ -183,25 +187,32 @@ impl CpuFarm {
     }
 
     fn start(&mut self, job: u64, work: f64, owner: u32, now: SimTime) {
-        let prev = self.running.insert(
-            job,
-            Running {
-                work_left: work,
-                rate: self.speed,
-                last_update: now,
-                gen: 0,
-                started: now,
-                owner,
-            },
-        );
-        assert!(prev.is_none(), "job {job} already running");
+        let r = Running {
+            work_left: work,
+            rate: self.speed,
+            last_update: now,
+            gen: 0,
+            started: now,
+            owner,
+        };
+        match self.running.binary_search_by_key(&job, |&(j, _)| j) {
+            Err(pos) => self.running.insert(pos, (job, r)),
+            Ok(_) => panic!("job {job} already running"),
+        }
+    }
+
+    /// Mutable access to a running job by id.
+    fn running_mut(&mut self, job: u64) -> Option<&mut Running> {
+        let i = self.running.binary_search_by_key(&job, |&(j, _)| j).ok()?;
+        Some(&mut self.running[i].1)
     }
 
     /// Space-shared: completion is deterministic once started.
     fn reschedule_space(&mut self, job: u64, sched: &mut impl Schedule<CpuEvent>) {
-        let r = self.running.get_mut(&job).expect("job not running");
+        let speed = self.speed;
+        let r = self.running_mut(job).expect("job not running");
         r.gen += 1;
-        let eta = r.work_left / self.speed;
+        let eta = r.work_left / speed;
         sched.schedule_in(eta, CpuEvent::Finish { job, gen: r.gen });
     }
 
@@ -212,31 +223,36 @@ impl CpuFarm {
             return;
         }
         let rate = (self.cores as f64 * self.speed / n as f64).min(self.speed);
-        let mut keys: Vec<u64> = self.running.keys().copied().collect();
-        keys.sort_unstable(); // determinism
-        for k in keys {
-            let r = self.running.get_mut(&k).expect("key vanished");
+        // ascending job id (the vec's sort order): determinism
+        for (k, r) in self.running.iter_mut() {
             r.rate = rate;
             r.gen += 1;
             let eta = r.work_left / rate;
-            sched.schedule_at(now.after(eta), CpuEvent::Finish { job: k, gen: r.gen });
+            sched.schedule_at(
+                now.after(eta),
+                CpuEvent::Finish {
+                    job: *k,
+                    gen: r.gen,
+                },
+            );
         }
     }
 
     /// Accrues progress (and usage accounting) up to `now`.
     fn advance_progress(&mut self, now: SimTime) {
-        // deterministic order: the per-owner usage sums feed fair-share
-        // decisions, and float accumulation must not depend on HashMap
-        // iteration order
-        let mut keys: Vec<u64> = self.running.keys().copied().collect();
-        keys.sort_unstable();
-        for k in keys {
-            let r = self.running.get_mut(&k).expect("key vanished");
+        // ascending job id (the vec's sort order): the per-owner usage
+        // sums feed fair-share decisions, and float accumulation must not
+        // depend on storage order
+        for (_, r) in self.running.iter_mut() {
             let dt = now - r.last_update;
             if dt > 0.0 {
                 let done = (r.rate * dt).min(r.work_left);
                 r.work_left -= done;
-                *self.usage.entry(r.owner).or_insert(0.0) += done / self.speed;
+                let o = r.owner as usize;
+                if o >= self.usage.len() {
+                    self.usage.resize(o + 1, 0.0);
+                }
+                self.usage[o] += done / self.speed;
                 self.busy_core_seconds += (r.rate / self.speed) * dt;
                 r.last_update = now;
             }
@@ -264,8 +280,8 @@ impl CpuFarm {
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    let ua = self.usage.get(&a.owner).copied().unwrap_or(0.0);
-                    let ub = self.usage.get(&b.owner).copied().unwrap_or(0.0);
+                    let ua = self.usage.get(a.owner as usize).copied().unwrap_or(0.0);
+                    let ub = self.usage.get(b.owner as usize).copied().unwrap_or(0.0);
                     ua.total_cmp(&ub).then(a.enqueued.cmp(&b.enqueued))
                 })
                 .map(|(i, _)| i)
@@ -282,7 +298,7 @@ impl CpuFarm {
     /// recovery is the owner's decision; see the grid model's `site_up`).
     pub fn crash(&mut self, now: SimTime) -> Vec<u64> {
         self.advance_progress(now); // usage/busy accounting stays exact
-        let mut lost: Vec<u64> = self.running.keys().copied().collect();
+        let mut lost: Vec<u64> = self.running.iter().map(|&(j, _)| j).collect();
         lost.extend(self.queue.iter().map(|w| w.job));
         lost.sort_unstable();
         self.running.clear();
@@ -293,13 +309,20 @@ impl CpuFarm {
     /// Handles a farm event, returning completions.
     pub fn handle(&mut self, ev: CpuEvent, sched: &mut impl Schedule<CpuEvent>) -> Vec<CpuDone> {
         let CpuEvent::Finish { job, gen } = ev;
-        let valid = self.running.get(&job).is_some_and(|r| r.gen == gen);
+        let valid = self
+            .running
+            .binary_search_by_key(&job, |&(j, _)| j)
+            .is_ok_and(|i| self.running[i].1.gen == gen);
         if !valid {
             return Vec::new();
         }
         let now = sched.now();
         self.advance_progress(now);
-        let r = self.running.remove(&job).expect("validated above");
+        let i = self
+            .running
+            .binary_search_by_key(&job, |&(j, _)| j)
+            .expect("validated above");
+        let (_, r) = self.running.remove(i);
         debug_assert!(r.work_left <= 1e-6 * self.speed.max(1.0), "early finish");
         self.completed += 1;
         let done = CpuDone {
@@ -326,6 +349,7 @@ impl CpuFarm {
 mod tests {
     use super::*;
     use lsds_core::{Ctx, EventDriven, Model};
+    use std::collections::HashMap;
 
     struct Harness {
         farm: CpuFarm,

@@ -15,7 +15,7 @@ use crate::replication::{FileCatalog, FileId, PushTracker, ReplicationAgent, Rep
 use crate::scheduler::{Placement, PlacementView, SchedulerPolicy, SiteSnapshot};
 use crate::site::{Site, SiteId};
 use crate::storage::{DbEvent, FileMeta, TapeEvent};
-use lsds_core::{Ctx, EventDriven, Model, SimTime};
+use lsds_core::{Ctx, EventDriven, IdMap, Model, SimTime, Slab};
 use lsds_net::{FlowEvent, FlowNet, NodeId, RetryPolicy};
 use lsds_obs::{Registry, SpanKind};
 use lsds_stats::{Dist, SimRng, Summary};
@@ -143,6 +143,8 @@ struct PendingJob {
     missing: usize,
     staged_bytes: f64,
     pinned: Vec<FileId>,
+    /// When staging finished (set when the job enters execution).
+    staged: Option<SimTime>,
 }
 
 /// Optional MonALISA-style monitoring attached to a [`GridModel`]: per-site
@@ -210,13 +212,15 @@ pub struct GridModel {
     production: Option<Production>,
     produced: u64,
     next_job_id: u64,
-    pending: HashMap<u64, PendingJob>,
+    /// In-flight jobs, slab-allocated; `pmap` maps the dense monotone job
+    /// id to its slot so the per-event lookups are array indexing, not
+    /// hashing (the million-job scenarios touch this map twice per job).
+    pending: Slab<PendingJob>,
+    pmap: IdMap,
     /// In-flight stage transfers: `(file, dst site) → waiting job ids`.
     /// A second job needing the same file at the same site joins the
     /// existing fetch instead of starting a duplicate transfer.
     inflight_fetch: HashMap<(u64, usize), Vec<u64>>,
-    /// When each in-flight job finished staging (keyed by job id).
-    staged_at: HashMap<u64, SimTime>,
     /// Files archived on a site's tape (not on its disk): `(file, site)`.
     on_tape: HashSet<(u64, usize)>,
     /// In-flight tape recalls: `(file, holding site) → destination sites
@@ -237,6 +241,9 @@ pub struct GridModel {
     site_up: Vec<bool>,
     /// Failed attempts so far per transfer tag (absent = clean record).
     retry_attempts: HashMap<u64, u32>,
+    /// Reused [`FlowNet::handle_into`] completion buffer (empty between
+    /// events).
+    net_done: Vec<lsds_net::FlowDone>,
     /// Jobs the broker deferred while no site was available.
     deferred: VecDeque<JobSpec>,
     /// Whether a `RetryDeferred` sweep is already scheduled.
@@ -333,9 +340,9 @@ impl GridModel {
             production,
             produced: 0,
             next_job_id: 0,
-            pending: HashMap::new(),
+            pending: Slab::new(),
+            pmap: IdMap::new(),
             inflight_fetch: HashMap::new(),
-            staged_at: HashMap::new(),
             on_tape: HashSet::new(),
             inflight_recall: HashMap::new(),
             awaiting_db: HashMap::new(),
@@ -348,6 +355,7 @@ impl GridModel {
             retry: RetryPolicy::default(),
             site_up: vec![true; n_sites],
             retry_attempts: HashMap::new(),
+            net_done: Vec::new(),
             deferred: VecDeque::new(),
             deferred_retry_pending: false,
             defer_retry_delay: 30.0,
@@ -798,10 +806,13 @@ impl GridModel {
     /// Pulls a not-yet-finished job out of the pending set and resubmits
     /// it through the broker, keeping its original submission time.
     fn requeue_pending(&mut self, job: u64, ctx: &mut Ctx<'_, GridEvent>) {
-        let Some(pj) = self.pending.remove(&job) else {
+        let Some(pj) = self
+            .pmap
+            .unbind(job)
+            .and_then(|slot| self.pending.remove(slot))
+        else {
             return;
         };
-        self.staged_at.remove(&job);
         for f in &pj.pinned {
             self.sites[pj.site.0].disk.unpin(*f);
         }
@@ -1014,15 +1025,23 @@ impl GridModel {
             staged_bytes: 0.0,
             pinned,
             spec,
+            staged: None,
         };
         if pj.missing == 0 {
             self.start_execution(pj, now, ctx);
         } else {
-            self.pending.insert(pj.spec.id.0, pj);
+            let id = pj.spec.id.0;
+            let slot = self.pending.insert(pj);
+            self.pmap.bind(id, slot);
         }
     }
 
-    fn start_execution(&mut self, pj: PendingJob, staged: SimTime, ctx: &mut Ctx<'_, GridEvent>) {
+    fn start_execution(
+        &mut self,
+        mut pj: PendingJob,
+        staged: SimTime,
+        ctx: &mut Ctx<'_, GridEvent>,
+    ) {
         if !self.site_up[pj.site.0] {
             // the chosen site crashed while inputs were staging: send the
             // job back through the broker
@@ -1037,10 +1056,11 @@ impl GridModel {
         let id = pj.spec.id;
         let work = pj.spec.work;
         let owner = pj.spec.owner;
-        self.staged_at.insert(id.0, staged);
+        pj.staged = Some(staged);
         // the pending entry lives on (with staging accounting) until the
         // CPU completion builds the job record
-        self.pending.insert(id.0, pj);
+        let slot = self.pending.insert(pj);
+        self.pmap.bind(id.0, slot);
         self.sites[site].cpu.submit(
             id,
             work,
@@ -1150,7 +1170,7 @@ impl GridModel {
         let stored = self.replication.is_pull() && self.try_store_replica(file, site, finished);
         let share = bytes / waiters.len() as f64;
         for job in waiters {
-            let Some(pj) = self.pending.get_mut(&job) else {
+            let Some(pj) = self.pmap.get(job).and_then(|s| self.pending.get_mut(s)) else {
                 continue;
             };
             pj.staged_bytes += share;
@@ -1160,7 +1180,11 @@ impl GridModel {
                 pj.pinned.push(file);
             }
             if pj.missing == 0 {
-                let pj = self.pending.remove(&job).expect("pending vanished");
+                let pj = self
+                    .pmap
+                    .unbind(job)
+                    .and_then(|slot| self.pending.remove(slot))
+                    .expect("pending vanished");
                 self.start_execution(pj, finished, ctx);
             }
         }
@@ -1214,13 +1238,11 @@ impl GridModel {
         ctx: &mut Ctx<'_, GridEvent>,
     ) {
         let pj = self
-            .pending
-            .remove(&job.0)
+            .pmap
+            .unbind(job.0)
+            .and_then(|slot| self.pending.remove(slot))
             .expect("finished job was not pending");
-        let staged = self
-            .staged_at
-            .remove(&job.0)
-            .expect("finished job has no staged time");
+        let staged = pj.staged.expect("finished job has no staged time");
         for f in pj.pinned {
             self.sites[site].disk.unpin(f);
         }
@@ -1339,10 +1361,13 @@ impl Model for GridModel {
                 }
             }
             GridEvent::Net(fe) => {
-                let dones = self.net.handle(fe, &mut ctx.map(GridEvent::Net));
-                for d in dones {
+                let mut dones = std::mem::take(&mut self.net_done);
+                self.net
+                    .handle_into(fe, &mut ctx.map(GridEvent::Net), &mut dones);
+                for d in dones.drain(..) {
                     self.on_flow_done(d.tag, d.bytes, d.finished, ctx);
                 }
+                self.net_done = dones;
             }
             GridEvent::Tape { site, ev } => {
                 let file = self.sites[site]

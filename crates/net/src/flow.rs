@@ -26,10 +26,9 @@
 use crate::fault::LinkFault;
 use crate::routing::{RouteCache, Routing};
 use crate::topology::{LinkId, NodeId, Topology};
-use lsds_core::{Schedule, SimTime};
+use lsds_core::{IdMap, Schedule, SimTime, Slab};
 use lsds_obs::Registry;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a flow within a [`FlowNet`].
@@ -146,6 +145,8 @@ pub struct FaultOutcome {
 }
 
 struct Flow {
+    /// The flow's public monotone id (the key events and orderings use).
+    id: u64,
     src: NodeId,
     dst: NodeId,
     path: Vec<LinkId>,
@@ -209,7 +210,16 @@ struct NetMonitor {
 pub struct FlowNet {
     topo: Topology,
     routing: Routing,
-    flows: HashMap<u64, Flow>,
+    /// Flow storage: a free-list arena indexed by `u32` slot. Events and
+    /// all deterministic orderings keep using the monotone `u64` flow id;
+    /// `fmap` turns an id into its slot with one array index — no hashing
+    /// on the event path.
+    flows: Slab<Flow>,
+    /// Direct-indexed id → slot map (ids are issued densely from 0).
+    fmap: IdMap,
+    /// Retired path `Vec`s, reused by new flows so steady-state transfer
+    /// starts allocate nothing.
+    spare_paths: Vec<Vec<LinkId>>,
     next_id: u64,
     /// Cumulative bytes carried per link. Progress is charged lazily: a
     /// flow's carried bytes are posted whenever its rate changes, it
@@ -252,7 +262,9 @@ impl FlowNet {
         FlowNet {
             topo,
             routing,
-            flows: HashMap::new(),
+            flows: Slab::new(),
+            fmap: IdMap::new(),
+            spare_paths: Vec::new(),
             next_id: 0,
             link_bytes: vec![0.0; n_links],
             completed: 0,
@@ -462,30 +474,39 @@ impl FlowNet {
         sched: &mut impl Schedule<FlowEvent>,
     ) -> Result<FlowId, NoRoute> {
         assert!(bytes > 0.0 && bytes.is_finite(), "bad transfer size");
-        let path = self.cached_path(src, dst).ok_or(NoRoute { src, dst })?;
+        // reuse a retired flow's path buffer: a cache hit fills it with one
+        // memcpy, so the steady-state start path performs zero allocations
+        let mut path = self.spare_paths.pop().unwrap_or_default();
+        let routed =
+            self.route_cache
+                .borrow_mut()
+                .path_into(&self.routing, &self.topo, src, dst, &mut path);
+        if !routed {
+            self.spare_paths.push(path);
+            return Err(NoRoute { src, dst });
+        }
         assert!(!path.is_empty(), "src == dst transfer needs no network");
         let latency: f64 = path.iter().map(|&l| self.topo.link(l).latency).sum();
         let id = self.next_id;
         self.next_id += 1;
-        self.flows.insert(
+        let slot = self.flows.insert(Flow {
             id,
-            Flow {
-                src,
-                dst,
-                path,
-                remaining: bytes,
-                rate: 0.0,
-                last_update: sched.now(),
-                gen: 0,
-                tag,
-                requested: sched.now(),
-                active: false,
-                bytes,
-                mark: 0,
-                fixed: 0,
-                pending: 0.0,
-            },
-        );
+            src,
+            dst,
+            path,
+            remaining: bytes,
+            rate: 0.0,
+            last_update: sched.now(),
+            gen: 0,
+            tag,
+            requested: sched.now(),
+            active: false,
+            bytes,
+            mark: 0,
+            fixed: 0,
+            pending: 0.0,
+        });
+        self.fmap.bind(id, slot);
         sched.schedule_in(latency, FlowEvent::Begin { flow: id });
         Ok(FlowId(id))
     }
@@ -497,15 +518,17 @@ impl FlowNet {
         id: FlowId,
         sched: &mut impl Schedule<FlowEvent>,
     ) -> Option<FlowAborted> {
-        if !self.flows.contains_key(&id.0) {
-            return None;
-        }
+        self.fmap.get(id.0)?;
         let now = sched.now();
         self.advance_one(id.0, now);
-        let was_active = self.flows.get(&id.0).is_some_and(|f| f.active);
+        let was_active = self
+            .fmap
+            .get(id.0)
+            .and_then(|s| self.flows.get(s))
+            .is_some_and(|f| f.active);
         self.unindex(id.0);
-        let Some(f) = self.flows.remove(&id.0) else {
-            debug_assert!(false, "flow vanished between contains_key and remove");
+        let Some(mut f) = self.remove_flow(id.0) else {
+            debug_assert!(false, "flow vanished between lookup and remove");
             return None;
         };
         self.aborted += 1;
@@ -521,6 +544,7 @@ impl FlowNet {
                 self.scratch.seeds.push(l.0);
             }
         }
+        self.spare_paths.push(std::mem::take(&mut f.path));
         self.reshare(now, sched);
         self.record_utilization(now);
         Some(rec)
@@ -556,18 +580,18 @@ impl FlowNet {
                     self.down_since[l.0] = Some(now.seconds());
                     self.routing = Routing::compute_filtered(&self.topo, &self.link_up);
                     self.route_cache.borrow_mut().invalidate();
-                    // sorted ids: abort/reroute order must be deterministic
-                    // (id-sorted sink: the HashMap scan feeds a sort)
-                    let mut hit: Vec<u64> = self
-                        .flows
-                        .iter()
-                        .filter(|(_, f)| f.path.contains(&l))
-                        .map(|(&id, _)| id)
-                        .collect();
+                    // sorted ids: abort/reroute order must be
+                    // deterministic (the slot-order slab scan feeds a sort)
+                    let mut hit: Vec<u64> = Vec::new();
+                    self.flows.for_each(|_, f| {
+                        if f.path.contains(&l) {
+                            hit.push(f.id);
+                        }
+                    });
                     hit.sort_unstable();
                     for id in hit {
                         let (src, dst, was_active) = {
-                            let Some(f) = self.flows.get(&id) else {
+                            let Some(f) = self.fmap.get(id).and_then(|s| self.flows.get(s)) else {
                                 debug_assert!(false, "hit-list flow vanished");
                                 continue;
                             };
@@ -579,7 +603,8 @@ impl FlowNet {
                             Some(p) if !p.is_empty() => {
                                 self.advance_one(id, now);
                                 self.unindex(id);
-                                let Some(f) = self.flows.get_mut(&id) else {
+                                let Some(f) = self.fmap.get(id).and_then(|s| self.flows.get_mut(s))
+                                else {
                                     debug_assert!(false, "hit-list flow vanished");
                                     continue;
                                 };
@@ -593,7 +618,8 @@ impl FlowNet {
                                 // detour leaves the rate bit-identical the
                                 // pending completion stays valid, exactly
                                 // as the full recompute would conclude
-                                f.path = p;
+                                let old = std::mem::replace(&mut f.path, p);
+                                self.spare_paths.push(old);
                                 self.index(id);
                                 self.rerouted += 1;
                                 outcome.rerouted += 1;
@@ -603,7 +629,7 @@ impl FlowNet {
                                 if was_active {
                                     self.unindex(id);
                                 }
-                                let Some(f) = self.flows.remove(&id) else {
+                                let Some(mut f) = self.remove_flow(id) else {
                                     debug_assert!(false, "hit-list flow vanished");
                                     continue;
                                 };
@@ -612,6 +638,7 @@ impl FlowNet {
                                         self.scratch.seeds.push(ol.0);
                                     }
                                 }
+                                self.spare_paths.push(std::mem::take(&mut f.path));
                                 self.aborted += 1;
                                 outcome.aborted.push(FlowAborted {
                                     id: FlowId(id),
@@ -718,38 +745,93 @@ impl FlowNet {
     }
 
     /// Handles a flow event, returning any completions.
+    ///
+    /// Convenience wrapper over [`FlowNet::handle_into`]; allocates a
+    /// fresh `Vec` per completion. Hot callers (million-job drivers)
+    /// should pass a reused buffer to `handle_into` instead.
     pub fn handle(&mut self, ev: FlowEvent, sched: &mut impl Schedule<FlowEvent>) -> Vec<FlowDone> {
+        let mut out = Vec::new();
+        self.handle_into(ev, sched, &mut out);
+        out
+    }
+
+    /// Handles a flow event, pushing any completions into `out` (which is
+    /// not cleared). Allocation-free in steady state when the caller
+    /// recycles `out` across events.
+    pub fn handle_into(
+        &mut self,
+        ev: FlowEvent,
+        sched: &mut impl Schedule<FlowEvent>,
+        out: &mut Vec<FlowDone>,
+    ) {
         match ev {
             FlowEvent::Begin { flow } => {
                 let now = sched.now();
-                if self.flows.contains_key(&flow) {
-                    if let Some(f) = self.flows.get_mut(&flow) {
+                if let Some(slot) = self.fmap.get(flow) {
+                    if let Some(f) = self.flows.get_mut(slot) {
                         f.active = true;
                         f.last_update = now;
+                        // inline of `index(flow)`: a flow's rate is still
+                        // zero at Begin (rates only change in `reshare`,
+                        // which only touches active flows), so the load
+                        // cache needs no update here
+                        debug_assert!(f.rate.to_bits() == 0);
                         for &l in &f.path {
                             self.scratch.seeds.push(l.0);
+                            let v = &mut self.link_flows[l.0];
+                            match v.binary_search(&flow) {
+                                Err(pos) => v.insert(pos, flow),
+                                Ok(_) => debug_assert!(false, "flow already in link index"),
+                            }
                         }
                     }
-                    self.index(flow);
                     self.reshare(now, sched);
                     self.record_utilization(now);
                 }
-                Vec::new()
             }
             FlowEvent::Complete { flow, gen } => {
                 let now = sched.now();
-                let valid = self
-                    .flows
-                    .get(&flow)
-                    .is_some_and(|f| f.gen == gen && f.active);
-                if !valid {
-                    return Vec::new();
+                let Some(slot) = self.fmap.get(flow) else {
+                    return;
+                };
+                {
+                    // single lookup: validate, then inline `advance_one`
+                    // and `unindex` (same arithmetic, same order) while the
+                    // flow is still borrowed
+                    let Some(f) = self.flows.get_mut(slot) else {
+                        return;
+                    };
+                    if f.gen != gen || !f.active {
+                        return;
+                    }
+                    let dt = now - f.last_update;
+                    if dt > 0.0 {
+                        let moved = (f.rate * dt).min(f.remaining);
+                        f.remaining -= moved;
+                        for &l in &f.path {
+                            self.link_bytes[l.0] += moved;
+                        }
+                        f.last_update = now;
+                    }
+                    let rate = f.rate;
+                    for &l in &f.path {
+                        let v = &mut self.link_flows[l.0];
+                        if let Ok(pos) = v.binary_search(&flow) {
+                            v.remove(pos);
+                        } else {
+                            debug_assert!(false, "active flow missing from link index");
+                        }
+                        self.load[l.0] -= rate;
+                        if v.is_empty() {
+                            self.load[l.0] = 0.0;
+                        }
+                        self.scratch.changed_links.push(l.0);
+                    }
                 }
-                self.advance_one(flow, now);
-                self.unindex(flow);
-                let Some(f) = self.flows.remove(&flow) else {
+                self.fmap.unbind(flow);
+                let Some(mut f) = self.flows.remove(slot) else {
                     debug_assert!(false, "flow vanished after validation");
-                    return Vec::new();
+                    return;
                 };
                 debug_assert!(
                     f.remaining <= 1e-6 * f.bytes.max(1.0),
@@ -761,21 +843,28 @@ impl FlowNet {
                     mon.reg.observe("net.transfer_latency", now - f.requested);
                     mon.reg.observe("net.transfer_bytes", f.bytes);
                 }
-                let done = FlowDone {
+                out.push(FlowDone {
                     id: FlowId(flow),
                     tag: f.tag,
                     bytes: f.bytes,
                     requested: f.requested,
                     finished: now,
-                };
+                });
                 for &l in &f.path {
                     self.scratch.seeds.push(l.0);
                 }
+                self.spare_paths.push(std::mem::take(&mut f.path));
                 self.reshare(now, sched);
                 self.record_utilization(now);
-                vec![done]
             }
         }
+    }
+
+    /// Unbinds a flow id and removes its slot, returning the flow.
+    /// Callers recycle `f.path` into `spare_paths` once done with it.
+    fn remove_flow(&mut self, id: u64) -> Option<Flow> {
+        let slot = self.fmap.unbind(id)?;
+        self.flows.remove(slot)
     }
 
     /// Moves one flow's progress forward to `now` at its current rate,
@@ -785,7 +874,7 @@ impl FlowNet {
     /// fixed function of its own rate-change history — the property the
     /// full/incremental bit-identity rests on.
     fn advance_one(&mut self, id: u64, now: SimTime) {
-        let Some(f) = self.flows.get_mut(&id) else {
+        let Some(f) = self.fmap.get(id).and_then(|s| self.flows.get_mut(s)) else {
             debug_assert!(false, "advance of a missing flow");
             return;
         };
@@ -805,7 +894,7 @@ impl FlowNet {
 
     /// Inserts an active flow into the per-link index and load cache.
     fn index(&mut self, id: u64) {
-        let Some(f) = self.flows.get(&id) else {
+        let Some(f) = self.fmap.get(id).and_then(|s| self.flows.get(s)) else {
             debug_assert!(false, "indexing a missing flow");
             return;
         };
@@ -829,7 +918,7 @@ impl FlowNet {
     /// Removes an active flow from the per-link index and load cache,
     /// snapping a link's load to exactly zero when its last flow leaves.
     fn unindex(&mut self, id: u64) {
-        let Some(f) = self.flows.get(&id) else {
+        let Some(f) = self.fmap.get(id).and_then(|s| self.flows.get(s)) else {
             debug_assert!(false, "unindexing a missing flow");
             return;
         };
@@ -880,16 +969,16 @@ impl FlowNet {
                         self.scratch.comp_links.push(li);
                     }
                 }
-                // id-sorted sink: the HashMap scan feeds a sort
-                let mut ids: Vec<u64> = self
-                    .flows
-                    .iter()
-                    .filter(|(_, f)| f.active)
-                    .map(|(&id, _)| id)
-                    .collect();
+                // id-sorted sink: the slot-order slab scan feeds a sort
+                let mut ids: Vec<u64> = Vec::new();
+                self.flows.for_each(|_, f| {
+                    if f.active {
+                        ids.push(f.id);
+                    }
+                });
                 ids.sort_unstable();
                 for &id in &ids {
-                    let Some(f) = self.flows.get_mut(&id) else {
+                    let Some(f) = self.fmap.get(id).and_then(|s| self.flows.get_mut(s)) else {
                         debug_assert!(false, "active flow vanished during scan");
                         continue;
                     };
@@ -912,7 +1001,7 @@ impl FlowNet {
                     }
                     self.scratch.comp_links.push(l);
                     for &fid in &self.link_flows[l] {
-                        let Some(f) = self.flows.get_mut(&fid) else {
+                        let Some(f) = self.fmap.get(fid).and_then(|s| self.flows.get_mut(s)) else {
                             debug_assert!(false, "indexed flow vanished");
                             continue;
                         };
@@ -937,6 +1026,33 @@ impl FlowNet {
         }
         self.links_touched += self.scratch.comp_links.len() as u64;
         self.flows_touched += self.scratch.comp_flows.len() as u64;
+        if self.scratch.comp_flows.is_empty() {
+            // nothing is coupled to the change (e.g. the departing flow
+            // was the last on its links): no rate can differ, so skip the
+            // fill and apply scaffolding outright
+            return;
+        }
+
+        if let [fid] = self.scratch.comp_flows[..] {
+            // single-flow component: every component link carries exactly
+            // this one flow, so the generic fill would compute each link's
+            // share as `cap / 1` (an exact division) and fix the flow at
+            // the minimum — compute that minimum directly
+            let mut share = f64::INFINITY;
+            for &li in &self.scratch.comp_links {
+                let cap = self.effective_bandwidth(LinkId(li));
+                if cap < share {
+                    share = cap;
+                }
+            }
+            let Some(f) = self.fmap.get(fid).and_then(|s| self.flows.get_mut(s)) else {
+                debug_assert!(false, "flow vanished during fill");
+                return;
+            };
+            f.pending = share;
+            self.apply_pending(now, sched);
+            return;
+        }
 
         // progressive filling over the *effective* (fault-adjusted) caps,
         // restricted to the component: repeatedly saturate the bottleneck
@@ -966,14 +1082,19 @@ impl FlowNet {
             // ascending id order (link_flows lists are kept sorted)
             self.scratch.batch.clear();
             for &fid in &self.link_flows[bottleneck] {
-                if self.flows.get(&fid).is_some_and(|f| f.fixed != epoch) {
+                let unfixed = self
+                    .fmap
+                    .get(fid)
+                    .and_then(|s| self.flows.get(s))
+                    .is_some_and(|f| f.fixed != epoch);
+                if unfixed {
                     self.scratch.batch.push(fid);
                 }
             }
             debug_assert!(!self.scratch.batch.is_empty());
             for i in 0..self.scratch.batch.len() {
                 let fid = self.scratch.batch[i];
-                let Some(f) = self.flows.get_mut(&fid) else {
+                let Some(f) = self.fmap.get(fid).and_then(|s| self.flows.get_mut(s)) else {
                     debug_assert!(false, "flow vanished during fill");
                     continue;
                 };
@@ -990,26 +1111,36 @@ impl FlowNet {
             }
         }
 
-        // apply + reschedule, ascending flow id: scheduling order assigns
-        // engine sequence numbers, which break ties between equal-time
-        // events. Flows whose freshly computed rate is bit-equal to their
-        // current rate are left entirely alone — no progress charge, no
-        // generation bump, no reschedule — so their pending completion
-        // events survive verbatim.
+        self.apply_pending(now, sched);
+    }
+
+    /// Applies the rates computed into `pending` by the current fill and
+    /// reschedules completions, ascending flow id over the component:
+    /// scheduling order assigns engine sequence numbers, which break ties
+    /// between equal-time events. Flows whose freshly computed rate is
+    /// bit-equal to their current rate are left entirely alone — no
+    /// progress charge, no generation bump, no reschedule — so their
+    /// pending completion events survive verbatim.
+    fn apply_pending(&mut self, now: SimTime, sched: &mut impl Schedule<FlowEvent>) {
         for i in 0..self.scratch.comp_flows.len() {
             let fid = self.scratch.comp_flows[i];
-            let changed = self
-                .flows
-                .get(&fid)
-                .is_some_and(|f| f.pending.to_bits() != f.rate.to_bits());
-            if !changed {
-                continue;
-            }
-            self.advance_one(fid, now);
-            let Some(f) = self.flows.get_mut(&fid) else {
+            // one lookup: check, then inline `advance_one` (the flow is in
+            // the component, hence active) and the rate switch
+            let Some(f) = self.fmap.get(fid).and_then(|s| self.flows.get_mut(s)) else {
                 debug_assert!(false, "flow vanished before reschedule");
                 continue;
             };
+            if f.pending.to_bits() == f.rate.to_bits() {
+                continue;
+            }
+            let dt = now - f.last_update;
+            if dt > 0.0 {
+                let moved = (f.rate * dt).min(f.remaining);
+                f.remaining -= moved;
+                for &l in &f.path {
+                    self.link_bytes[l.0] += moved;
+                }
+            }
             let old = f.rate;
             f.rate = f.pending;
             f.gen += 1;
@@ -1035,7 +1166,7 @@ impl FlowNet {
         for &li in &self.scratch.comp_links {
             let mut sum = 0.0;
             for &fid in &self.link_flows[li] {
-                if let Some(f) = self.flows.get(&fid) {
+                if let Some(f) = self.fmap.get(fid).and_then(|s| self.flows.get(s)) {
                     sum += f.rate;
                 }
             }
@@ -1181,7 +1312,10 @@ mod tests {
             }
             sim.run_until(SimTime::new(1.0));
             let net = &sim.model().net;
-            let rates: HashMap<u64, f64> = net.flows.values().map(|f| (f.tag, f.rate)).collect();
+            let mut rates: std::collections::HashMap<u64, f64> = Default::default();
+            net.flows.for_each(|_, f| {
+                rates.insert(f.tag, f.rate);
+            });
             assert!((rates[&1] - 7.0e6).abs() < 1.0, "A {}", rates[&1]);
             assert!((rates[&2] - 3.0e6).abs() < 1.0, "B {}", rates[&2]);
             assert!((rates[&3] - 3.0e6).abs() < 1.0, "C {}", rates[&3]);

@@ -1,105 +1,222 @@
 //! Shortest-path routing over a [`Topology`], plus a pairwise route cache.
 
 use crate::topology::{LinkId, NodeId, Topology};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
-/// All-pairs next-hop routing, computed with Dijkstra per source.
+/// Next-hop routing, computed with Dijkstra per source *on demand*.
 ///
 /// Path weight is propagation latency, with hop count as tie-break, which
 /// matches the static shortest-path routing the surveyed Grid simulators
 /// assume. Routes are computed once per topology *state*: a static network
 /// computes them once, and a network with injected link faults recomputes
 /// them on each link state change (see [`Routing::compute_filtered`]).
+///
+/// Per-source rows are *lazy and sparse*: a row is materialized by one
+/// Dijkstra run the first time any query touches that source, and stores
+/// only the nodes actually reachable from it. An eager all-pairs table is
+/// `O(n²)` memory — a hard wall near 100k nodes — while lazy rows cost
+/// `O(Σ reachable)` over the sources a workload actually routes from.
+/// Laziness is invisible to results: each row is a pure function of the
+/// topology state, so query order cannot change any path.
 #[derive(Debug, Clone)]
 pub struct Routing {
-    /// `next[src][dst]` = first link on the path, or `None` if unreachable.
-    next: Vec<Vec<Option<LinkId>>>,
+    /// Link mask for fault-filtered routing (`None` = every link usable).
+    usable: Option<Vec<bool>>,
+    /// Lazily materialized per-source rows plus reusable Dijkstra scratch;
+    /// behind a `RefCell` so read-side queries (`&self`) can fill rows.
+    rows: RefCell<Rows>,
 }
 
-impl Routing {
-    /// Computes routes for every ordered node pair.
-    pub fn compute(topo: &Topology) -> Self {
-        Self::compute_inner(topo, None)
+/// Heap entry: (latency bits, hops, node, first link from the source).
+type HeapEntry = std::cmp::Reverse<(u64, u32, usize, Option<LinkId>)>;
+
+/// One materialized routing row: sorted `(dst, first link)` pairs for
+/// every node reachable from a source.
+type Row = Box<[(u32, LinkId)]>;
+
+#[derive(Debug, Clone, Default)]
+struct Rows {
+    /// `sources[src]` = sorted `(dst, first link)` pairs for every node
+    /// reachable from `src`; `None` until materialized. Absent `dst` =
+    /// unreachable.
+    sources: Vec<Option<Row>>,
+    /// Dijkstra scratch, validated by `stamp[v] == epoch` so runs reset in
+    /// `O(touched)` instead of `O(n)`.
+    stamp: Vec<u64>,
+    epoch: u64,
+    dist: Vec<(f64, u32)>,
+    visited: Vec<bool>,
+    first: Vec<Option<LinkId>>,
+    heap: std::collections::BinaryHeap<HeapEntry>,
+}
+
+impl Rows {
+    fn new(n: usize) -> Self {
+        Rows {
+            sources: vec![None; n],
+            stamp: vec![0; n],
+            epoch: 0,
+            dist: vec![(f64::INFINITY, u32::MAX); n],
+            visited: vec![false; n],
+            first: vec![None; n],
+            heap: std::collections::BinaryHeap::new(),
+        }
     }
 
-    /// Computes routes using only links whose `usable` entry is `true`
-    /// (indexed by [`LinkId`]). This is how [`crate::FlowNet`] routes
-    /// around failed links: recompute with the down links masked out.
-    pub fn compute_filtered(topo: &Topology, usable: &[bool]) -> Self {
-        assert_eq!(usable.len(), topo.link_count(), "usable mask size");
-        Self::compute_inner(topo, Some(usable))
-    }
-
-    fn compute_inner(topo: &Topology, usable: Option<&[bool]>) -> Self {
-        let n = topo.node_count();
-        let mut next = vec![vec![None; n]; n];
-        for src in 0..n {
-            // Dijkstra from src; dist = (latency, hops)
-            let mut dist = vec![(f64::INFINITY, u32::MAX); n];
-            let mut first_link: Vec<Option<LinkId>> = vec![None; n];
-            let mut visited = vec![false; n];
-            dist[src] = (0.0, 0);
-            let mut heap = std::collections::BinaryHeap::new();
-            heap.push(std::cmp::Reverse((
-                ordered_float(0.0),
-                0u32,
-                src,
-                None::<LinkId>,
-            )));
-            while let Some(std::cmp::Reverse((d, hops, u, via))) = heap.pop() {
-                if visited[u] {
-                    continue;
-                }
-                visited[u] = true;
-                first_link[u] = via;
-                for &lid in topo.out_links(NodeId(u)) {
-                    if usable.is_some_and(|mask| !mask[lid.0]) {
-                        continue;
-                    }
-                    let link = topo.link(lid);
-                    let v = link.to.0;
-                    if visited[v] {
-                        continue;
-                    }
-                    let nd = from_ordered(d) + link.latency;
-                    let nh = hops + 1;
-                    if (nd, nh) < dist[v] {
-                        dist[v] = (nd, nh);
-                        let via_v = via.or(Some(lid));
-                        heap.push(std::cmp::Reverse((ordered_float(nd), nh, v, via_v)));
-                    }
+    /// One Dijkstra from `src`; identical relaxation and tie-breaking to a
+    /// full-table build, so the lazy row equals the eager row bit for bit.
+    fn materialize(&mut self, topo: &Topology, usable: Option<&[bool]>, src: usize) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let touch = |stamp: &mut Vec<u64>,
+                     visited: &mut Vec<bool>,
+                     first: &mut Vec<Option<LinkId>>,
+                     dist: &mut Vec<(f64, u32)>,
+                     v: usize| {
+            if stamp[v] != epoch {
+                stamp[v] = epoch;
+                visited[v] = false;
+                first[v] = None;
+                dist[v] = (f64::INFINITY, u32::MAX);
+            }
+        };
+        touch(
+            &mut self.stamp,
+            &mut self.visited,
+            &mut self.first,
+            &mut self.dist,
+            src,
+        );
+        self.dist[src] = (0.0, 0);
+        let mut reached: Vec<(u32, LinkId)> = Vec::new();
+        self.heap
+            .push(std::cmp::Reverse((ordered_float(0.0), 0u32, src, None)));
+        while let Some(std::cmp::Reverse((d, hops, u, via))) = self.heap.pop() {
+            if self.visited[u] {
+                continue;
+            }
+            self.visited[u] = true;
+            self.first[u] = via;
+            if u != src {
+                if let Some(lid) = via {
+                    reached.push((u as u32, lid));
                 }
             }
-            for dst in 0..n {
-                if dst != src {
-                    next[src][dst] = first_link[dst];
+            for &lid in topo.out_links(NodeId(u)) {
+                if usable.is_some_and(|mask| !mask[lid.0]) {
+                    continue;
+                }
+                let link = topo.link(lid);
+                let v = link.to.0;
+                touch(
+                    &mut self.stamp,
+                    &mut self.visited,
+                    &mut self.first,
+                    &mut self.dist,
+                    v,
+                );
+                if self.visited[v] {
+                    continue;
+                }
+                let nd = from_ordered(d) + link.latency;
+                let nh = hops + 1;
+                if (nd, nh) < self.dist[v] {
+                    self.dist[v] = (nd, nh);
+                    let via_v = via.or(Some(lid));
+                    self.heap
+                        .push(std::cmp::Reverse((ordered_float(nd), nh, v, via_v)));
                 }
             }
         }
-        Routing { next }
+        reached.sort_unstable_by_key(|&(dst, _)| dst);
+        self.sources[src] = Some(reached.into_boxed_slice());
+    }
+
+    /// First link from `src` toward `dst`, materializing the row on first
+    /// touch.
+    fn next_hop(
+        &mut self,
+        topo: &Topology,
+        usable: Option<&[bool]>,
+        src: usize,
+        dst: usize,
+    ) -> Option<LinkId> {
+        if self.sources[src].is_none() {
+            self.materialize(topo, usable, src);
+        }
+        let row = self.sources[src].as_deref()?;
+        let i = row.binary_search_by_key(&(dst as u32), |&(d, _)| d).ok()?;
+        Some(row[i].1)
+    }
+}
+
+impl Routing {
+    /// Builds routing over every link (rows materialize on first query).
+    pub fn compute(topo: &Topology) -> Self {
+        Routing {
+            usable: None,
+            rows: RefCell::new(Rows::new(topo.node_count())),
+        }
+    }
+
+    /// Builds routing using only links whose `usable` entry is `true`
+    /// (indexed by [`LinkId`]). This is how [`crate::FlowNet`] routes
+    /// around failed links: rebuild with the down links masked out.
+    pub fn compute_filtered(topo: &Topology, usable: &[bool]) -> Self {
+        assert_eq!(usable.len(), topo.link_count(), "usable mask size");
+        Routing {
+            usable: Some(usable.to_vec()),
+            rows: RefCell::new(Rows::new(topo.node_count())),
+        }
     }
 
     /// First link on the route from `src` to `dst`, or `None`.
-    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
-        self.next[src.0][dst.0]
+    pub fn next_hop(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        if src == dst {
+            return None;
+        }
+        self.rows
+            .borrow_mut()
+            .next_hop(topo, self.usable.as_deref(), src.0, dst.0)
     }
 
     /// Full link path from `src` to `dst`, or `None` if unreachable.
     pub fn path(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
-        if src == dst {
-            return Some(Vec::new());
-        }
-        let mut at = src;
         let mut out = Vec::new();
+        self.path_into(topo, src, dst, &mut out).then_some(out)
+    }
+
+    /// Like [`Routing::path`] but appends into a caller-owned buffer
+    /// (cleared first), returning `false` when `dst` is unreachable — the
+    /// allocation-free form hot paths use.
+    pub fn path_into(
+        &self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<LinkId>,
+    ) -> bool {
+        out.clear();
+        if src == dst {
+            return true;
+        }
+        // the walk consults each intermediate node's own row, exactly as
+        // the eager table walk did
+        let mut rows = self.rows.borrow_mut();
+        let mut at = src;
         let mut guard = 0;
         while at != dst {
-            let lid = self.next[at.0][dst.0]?;
+            let Some(lid) = rows.next_hop(topo, self.usable.as_deref(), at.0, dst.0) else {
+                out.clear();
+                return false;
+            };
             out.push(lid);
             at = topo.link(lid).to;
             guard += 1;
             assert!(guard <= topo.node_count(), "routing loop");
         }
-        Some(out)
+        true
     }
 
     /// Sum of link latencies along the path.
@@ -136,7 +253,7 @@ impl Routing {
 pub struct RouteCache {
     // keyed by raw node indices; never iterated, only probed, so the
     // HashMap cannot leak iteration order into simulation state
-    map: HashMap<(usize, usize), Option<Vec<LinkId>>>,
+    map: HashMap<(usize, usize), Option<Vec<LinkId>>, std::hash::BuildHasherDefault<PairHasher>>,
     hits: u64,
     misses: u64,
     enabled: bool,
@@ -148,11 +265,43 @@ impl Default for RouteCache {
     }
 }
 
+/// Multiplicative hasher for the cache's integer pair keys. SipHash (the
+/// `HashMap` default) costs more than the rest of a cache probe put
+/// together on the per-transfer hot path; node ids are simulation-internal
+/// (not attacker-controlled), so a fixed multiplicative mix with a
+/// splitmix64 finisher is safe and much cheaper.
+#[derive(Debug, Default, Clone)]
+struct PairHasher(u64);
+
+impl std::hash::Hasher for PairHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(29) ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
 impl RouteCache {
     /// An empty, enabled cache.
     pub fn new() -> Self {
         RouteCache {
-            map: HashMap::new(),
+            map: HashMap::default(),
             hits: 0,
             misses: 0,
             enabled: true,
@@ -187,6 +336,41 @@ impl RouteCache {
         let p = routing.path(topo, src, dst);
         self.map.insert((src.0, dst.0), p.clone());
         p
+    }
+
+    /// Like [`RouteCache::path`] but copies the path into a caller-owned
+    /// buffer (cleared first), returning `false` when unreachable. A hit
+    /// costs one memo probe and one memcpy — no allocation — which is what
+    /// the per-transfer hot path in [`crate::FlowNet`] uses.
+    pub fn path_into(
+        &mut self,
+        routing: &Routing,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<LinkId>,
+    ) -> bool {
+        if !self.enabled {
+            return routing.path_into(topo, src, dst, out);
+        }
+        if let Some(cached) = self.map.get(&(src.0, dst.0)) {
+            self.hits += 1;
+            return match cached {
+                Some(p) => {
+                    out.clear();
+                    out.extend_from_slice(p);
+                    true
+                }
+                None => {
+                    out.clear();
+                    false
+                }
+            };
+        }
+        self.misses += 1;
+        let ok = routing.path_into(topo, src, dst, out);
+        self.map.insert((src.0, dst.0), ok.then(|| out.clone()));
+        ok
     }
 
     /// Drops every memoized entry. Call after rebuilding the [`Routing`]

@@ -220,3 +220,132 @@ fn redundant_path_keeps_flows_alive() {
     let dt = m.net.link_downtime(ar1, SimTime::new(1000.0));
     assert!((dt - 495.0).abs() < 1e-9, "downtime {dt}");
 }
+
+/// Exercises the route cache's staleness contract when `cancel`,
+/// `try_start`, and `apply_fault` interleave inside a *single* event
+/// handler: after every fault the cache must be invalidated before any
+/// same-handler lookup, so `cached_path` never serves a route crossing a
+/// link that just went down.
+struct StaleProbe {
+    net: FlowNet,
+    a: NodeId,
+    b: NodeId,
+    ab1: LinkId,
+    ab2: LinkId,
+    checks: u64,
+}
+
+enum PEv {
+    Go,
+    Net(FlowEvent),
+}
+
+impl StaleProbe {
+    fn assert_no_stale_paths(&self) {
+        let n = self.net.topology().node_count();
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                if let Some(p) = self.net.cached_path(NodeId(s), NodeId(d)) {
+                    for &l in &p {
+                        assert!(
+                            self.net.link_is_up(l),
+                            "cached path {s}->{d} crosses down link {l:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Model for StaleProbe {
+    type Event = PEv;
+    fn handle(&mut self, ev: PEv, ctx: &mut Ctx<'_, PEv>) {
+        match ev {
+            PEv::Go => {
+                // 1. start a flow over whichever path routing picks now
+                let f1 = self
+                    .net
+                    .try_start(self.a, self.b, 1e6, 1, &mut ctx.map(PEv::Net))
+                    .expect("diamond is connected");
+                self.checks += 1;
+                self.assert_no_stale_paths();
+                // 2. kill the first arm: the flow reroutes, and any
+                //    cached a->b path must already avoid the dead link
+                self.net
+                    .apply_fault(LinkFault::Down(self.ab1), &mut ctx.map(PEv::Net));
+                self.checks += 1;
+                self.assert_no_stale_paths();
+                // 3. start another flow mid-handler (warms the cache with
+                //    the detour), then cancel the first
+                let _f2 = self
+                    .net
+                    .try_start(self.a, self.b, 1e6, 2, &mut ctx.map(PEv::Net))
+                    .expect("second arm still up");
+                self.net.cancel(f1, &mut ctx.map(PEv::Net));
+                self.checks += 1;
+                self.assert_no_stale_paths();
+                // 4. kill the second arm too: now unreachable, and the
+                //    warmed cache entry must not resurrect either route
+                self.net
+                    .apply_fault(LinkFault::Down(self.ab2), &mut ctx.map(PEv::Net));
+                assert!(
+                    self.net.cached_path(self.a, self.b).is_none(),
+                    "both arms down: cache served a stale route"
+                );
+                assert!(self
+                    .net
+                    .try_start(self.a, self.b, 1e6, 3, &mut ctx.map(PEv::Net))
+                    .is_err());
+                self.checks += 1;
+                self.assert_no_stale_paths();
+                // 5. bring the first arm back: new flows route again, and
+                //    the revived path only uses up links
+                self.net
+                    .apply_fault(LinkFault::Up(self.ab1), &mut ctx.map(PEv::Net));
+                let _f3 = self
+                    .net
+                    .try_start(self.a, self.b, 1e6, 4, &mut ctx.map(PEv::Net))
+                    .expect("first arm is back");
+                self.checks += 1;
+                self.assert_no_stale_paths();
+            }
+            PEv::Net(fe) => {
+                self.net.handle(fe, &mut ctx.map(PEv::Net));
+                self.assert_no_stale_paths();
+            }
+        }
+    }
+}
+
+#[test]
+fn route_cache_never_stale_across_same_handler_faults() {
+    // diamond: two disjoint a->b arms through r1 and r2
+    let mut topo = Topology::new();
+    let a = topo.add_node(NodeKind::Host, "a");
+    let b = topo.add_node(NodeKind::Host, "b");
+    let r1 = topo.add_node(NodeKind::Router, "r1");
+    let r2 = topo.add_node(NodeKind::Router, "r2");
+    let (ab1, _) = topo.add_duplex(a, r1, mbps(100.0), 0.001);
+    topo.add_duplex(r1, b, mbps(100.0), 0.001);
+    let (ab2, _) = topo.add_duplex(a, r2, mbps(100.0), 0.002);
+    topo.add_duplex(r2, b, mbps(100.0), 0.002);
+    let net = FlowNet::new(topo);
+    let model = StaleProbe {
+        net,
+        a,
+        b,
+        ab1,
+        ab2,
+        checks: 0,
+    };
+    let mut sim = EventDriven::new(model);
+    sim.schedule(SimTime::ZERO, PEv::Go);
+    sim.run();
+    let m = sim.model();
+    assert_eq!(m.checks, 5, "probe handler must run all five phases");
+    assert_eq!(m.net.in_flight(), 0, "surviving flows must drain");
+}

@@ -20,6 +20,12 @@ pub enum QueueOp {
 /// body at every call site, the optimizer erases the hook entirely and the
 /// instrumented engine is bit-for-bit the seed engine.
 pub trait Recorder {
+    /// Whether this recorder observes anything at all. Engines consult
+    /// this to skip not just the hook call but the *computation of its
+    /// arguments* (e.g. a queue-length query through a `dyn` event list,
+    /// which the optimizer cannot prove side-effect-free and erase).
+    const ENABLED: bool = true;
+
     /// An event was delivered to the model at time `t`.
     #[inline(always)]
     fn on_event(&mut self, _t: f64) {}
@@ -39,7 +45,9 @@ pub trait Recorder {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NoopRecorder;
 
-impl Recorder for NoopRecorder {}
+impl Recorder for NoopRecorder {
+    const ENABLED: bool = false;
+}
 
 /// A recorder that feeds a [`Registry`].
 ///

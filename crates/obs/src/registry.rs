@@ -285,8 +285,14 @@ impl Registry {
                     name: k.clone(),
                     count: s.count(),
                     mean: s.mean(),
-                    min: s.min(),
-                    max: s.max(),
+                    // An empty summary carries ±inf min/max sentinels
+                    // (never observed values); export finite zeros so the
+                    // snapshot round-trips through JSON, which has no
+                    // infinity literal. Empty summaries reach here via
+                    // [`Registry::merge`], which materializes the entry
+                    // before the inner merge no-ops on zero counts.
+                    min: if s.count() == 0 { 0.0 } else { s.min() },
+                    max: if s.count() == 0 { 0.0 } else { s.max() },
                     p50: s.p50(),
                     p95: s.p95(),
                     p99: s.p99(),
@@ -366,6 +372,62 @@ mod tests {
         assert!((s.p50 - 500.0).abs() / 500.0 < 0.07, "p50 {}", s.p50);
         assert!((s.p95 - 950.0).abs() / 950.0 < 0.07, "p95 {}", s.p95);
         assert!((s.p99 - 990.0).abs() / 990.0 < 0.07, "p99 {}", s.p99);
+    }
+
+    #[test]
+    fn snapshot_of_empty_summary_is_finite() {
+        // a summary entry that exists but holds zero observations (a
+        // merge can materialize one) must not leak the ±inf min/max
+        // sentinels into the snapshot — JSON would render them as null
+        let mut via = Registry::new();
+        via.summaries.insert("lat".into(), Summary::new());
+        let s = &via.snapshot(0.0).summaries[0];
+        assert_eq!(s.count, 0);
+        for (label, v) in [
+            ("mean", s.mean),
+            ("min", s.min),
+            ("max", s.max),
+            ("p50", s.p50),
+            ("p95", s.p95),
+            ("p99", s.p99),
+        ] {
+            assert!(v.is_finite(), "{label} not finite on empty summary: {v}");
+            assert_eq!(v, 0.0, "{label} must export 0.0 on empty summary");
+        }
+    }
+
+    #[test]
+    fn snapshot_of_single_sample_summary() {
+        let mut reg = Registry::new();
+        reg.observe("lat", 42.0);
+        let s = &reg.snapshot(0.0).summaries[0];
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        // one sample: every percentile is that sample, exactly (the
+        // log-bucket estimate clamps into [min, max])
+        assert_eq!(s.p50, 42.0);
+        assert_eq!(s.p95, 42.0);
+        assert_eq!(s.p99, 42.0);
+    }
+
+    #[test]
+    fn snapshot_of_two_sample_summary() {
+        let mut reg = Registry::new();
+        reg.observe("lat", 10.0);
+        reg.observe("lat", 30.0);
+        let s = &reg.snapshot(0.0).summaries[0];
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 20.0);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 30.0);
+        // percentiles stay inside the observed range and ordered
+        assert!(s.p50 >= 10.0 && s.p50 <= 30.0, "p50 {}", s.p50);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99, "percentiles unordered");
+        assert!(s.p99 <= 30.0);
+        // the p50 rank (ceil(0.5·2) = 1st smallest) is the low sample
+        assert!((s.p50 - 10.0).abs() / 10.0 < 0.07, "p50 {}", s.p50);
     }
 
     #[test]
