@@ -1,0 +1,503 @@
+//! `exp_timewarp` — conservative vs optimistic synchronization (E4's
+//! second leg).
+//!
+//! E4 (`exp_parallel`) showed conservative CMB paying for short lookahead
+//! in null messages: the blocking bound advances by `lookahead` per null,
+//! so halving lookahead doubles the sync traffic while the event count
+//! stays fixed. Time Warp (Jefferson 1985) removes the dependence on
+//! lookahead entirely — LPs speculate ahead and repair mis-speculation
+//! with rollback + anti-messages — trading null messages for wasted work.
+//! This experiment runs the same workloads under all three engines:
+//!
+//! * `e4` — the E4 ring with dense internal compute and cross-LP traffic
+//!   at `delay == lookahead`, swept from comfortable (1.0) down to short
+//!   (0.02), the regime where the paper's "considerable efforts and
+//!   expertise" quote bites;
+//! * `scale` — the PR 6 throughput scenario re-partitioned over LPs:
+//!   each LP burns through a fixed budget of jitter-spaced job
+//!   completions (the sliding-window transfer shape without the network
+//!   model), with a cross notification every 32 completions.
+//!
+//! All engines must deliver the identical event set and final state
+//! fingerprint; the point of the table is the synchronization cost
+//! column: nulls/event for CMB, windows for timestep, rolled-back work +
+//! anti-messages + GVT rounds for Time Warp.
+//!
+//! Writes `BENCH_timewarp.json`. Flags: `--smoke` (tiny sizes for CI).
+
+use lsds_core::SimTime;
+use lsds_parallel::cmb::InitialEvents;
+use lsds_parallel::{
+    run_cmb, run_timestep, run_timewarp_cfg, LogicalProcess, LpCtx, SaveState, TwConfig, TwReport,
+};
+use lsds_trace::{Json, TextTable};
+use std::time::Instant;
+
+/// Per-event model computation, identical under every engine.
+fn busy_work(seed: u64, iters: u32) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..iters {
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ 0xD1B5;
+    }
+    x
+}
+
+#[derive(Clone, Copy)]
+enum Ev {
+    /// Locally scheduled work (self-clocking chain).
+    Internal,
+    /// Cross-LP notification: folds into state, schedules nothing.
+    Cross(u64),
+}
+
+// ---- e4: dense internal compute, cross traffic at delay == lookahead ----
+
+const E4_PERIOD: f64 = 0.1;
+const E4_CROSS_EVERY: u64 = 5;
+const E4_WORK_ITERS: u32 = 2_000;
+
+#[derive(Clone)]
+struct E4Lp {
+    n: usize,
+    la: f64,
+    horizon: f64,
+    counter: u64,
+    sink: u64,
+}
+
+impl LogicalProcess for E4Lp {
+    type Msg = Ev;
+    fn handle(&mut self, now: SimTime, ev: Ev, ctx: &mut LpCtx<'_, Ev>) {
+        self.counter += 1;
+        let v = match ev {
+            Ev::Internal => self.counter,
+            Ev::Cross(x) => x,
+        };
+        self.sink ^= busy_work(v ^ now.seconds().to_bits(), E4_WORK_ITERS);
+        if let Ev::Internal = ev {
+            if now.seconds() + E4_PERIOD <= self.horizon {
+                ctx.schedule_in(E4_PERIOD, Ev::Internal);
+            }
+            if self.counter.is_multiple_of(E4_CROSS_EVERY)
+                && now.seconds() + self.la <= self.horizon
+            {
+                ctx.send((ctx.me() + 1) % self.n, self.la, Ev::Cross(self.sink));
+            }
+        }
+    }
+    fn lookahead(&self) -> f64 {
+        self.la
+    }
+}
+
+impl InitialEvents for E4Lp {
+    fn initial_events(&mut self, ctx: &mut LpCtx<'_, Ev>) {
+        ctx.schedule_in(0.0, Ev::Internal);
+    }
+}
+
+impl SaveState for E4Lp {
+    type Saved = (u64, u64);
+    fn save(&self) -> (u64, u64) {
+        (self.counter, self.sink)
+    }
+    fn restore(&mut self, saved: (u64, u64)) {
+        self.counter = saved.0;
+        self.sink = saved.1;
+    }
+}
+
+fn e4_lps(n: usize, la: f64, horizon: f64) -> Vec<E4Lp> {
+    (0..n)
+        .map(|_| E4Lp {
+            n,
+            la,
+            horizon,
+            counter: 0,
+            sink: 0,
+        })
+        .collect()
+}
+
+// ---- scale: PR 6 job-budget throughput shape, partitioned over LPs ----
+
+const SCALE_CROSS_EVERY: u64 = 32;
+const SCALE_LA: f64 = 1.0;
+
+/// Deterministic per-LP jitter stream; completions are spaced
+/// `0.5 + u` apart with `u ∈ [0, 1)`, so every delay is ≥ lookahead/2
+/// and cross sends at exactly `SCALE_LA` satisfy CMB's contract.
+#[inline]
+fn lcg(x: &mut u64) -> f64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[derive(Clone)]
+struct ScaleLp {
+    n: usize,
+    jobs_left: u64,
+    rng: u64,
+    done: u64,
+    acc: u64,
+}
+
+impl LogicalProcess for ScaleLp {
+    type Msg = Ev;
+    fn handle(&mut self, now: SimTime, ev: Ev, ctx: &mut LpCtx<'_, Ev>) {
+        self.done += 1;
+        let v = match ev {
+            Ev::Internal => self.done,
+            Ev::Cross(x) => x,
+        };
+        self.acc = self
+            .acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(v ^ now.seconds().to_bits());
+        if let Ev::Internal = ev {
+            if self.jobs_left > 0 {
+                self.jobs_left -= 1;
+                let dt = 0.5 + lcg(&mut self.rng);
+                ctx.schedule_in(dt, Ev::Internal);
+            }
+            if self.done.is_multiple_of(SCALE_CROSS_EVERY) && self.n > 1 {
+                ctx.send((ctx.me() + 1) % self.n, SCALE_LA, Ev::Cross(self.acc));
+            }
+        }
+    }
+    fn lookahead(&self) -> f64 {
+        SCALE_LA
+    }
+}
+
+impl InitialEvents for ScaleLp {
+    fn initial_events(&mut self, ctx: &mut LpCtx<'_, Ev>) {
+        ctx.schedule_in(0.0, Ev::Internal);
+    }
+}
+
+impl SaveState for ScaleLp {
+    type Saved = (u64, u64, u64, u64);
+    fn save(&self) -> (u64, u64, u64, u64) {
+        (self.jobs_left, self.rng, self.done, self.acc)
+    }
+    fn restore(&mut self, saved: (u64, u64, u64, u64)) {
+        self.jobs_left = saved.0;
+        self.rng = saved.1;
+        self.done = saved.2;
+        self.acc = saved.3;
+    }
+}
+
+fn scale_lps(n: usize, jobs_per_lp: u64) -> Vec<ScaleLp> {
+    (0..n)
+        .map(|i| ScaleLp {
+            n,
+            jobs_left: jobs_per_lp,
+            rng: 0x5CA1E ^ (i as u64).wrapping_mul(0x9E37_79B9),
+            done: 0,
+            acc: 0,
+        })
+        .collect()
+}
+
+/// Exact end of the jitter chains: replay each LP's delay stream. Keeps
+/// `t_end` tight so CMB's termination tail costs only a handful of nulls.
+fn scale_t_end(n: usize, jobs_per_lp: u64) -> f64 {
+    let mut max_end = 0.0f64;
+    for lp in scale_lps(n, jobs_per_lp) {
+        let mut rng = lp.rng;
+        let mut t = 0.0;
+        for _ in 0..jobs_per_lp {
+            t += 0.5 + lcg(&mut rng);
+        }
+        max_end = max_end.max(t);
+    }
+    // cross sends go at +SCALE_LA from a completion, never later than
+    // the last completion + SCALE_LA
+    max_end + SCALE_LA
+}
+
+fn ring_edges(n: usize) -> Vec<(usize, usize)> {
+    (0..n).map(|i| (i, (i + 1) % n)).collect()
+}
+
+/// XOR-fold of per-LP state: any divergence between engines flips bits.
+fn fingerprint(parts: impl Iterator<Item = u64>) -> String {
+    let mut h = 0xcbf29ce484222325u64;
+    for p in parts {
+        h = (h ^ p).wrapping_mul(0x100000001b3);
+    }
+    format!("{h:016x}")
+}
+
+struct EngineRow {
+    engine: &'static str,
+    events: u64,
+    wall_s: f64,
+    fingerprint: String,
+    sync: Json,
+    sync_label: String,
+}
+
+fn tw_sync(report: &TwReport<impl Sized>, window: f64) -> (Json, String) {
+    let gvt_rounds: u64 = report.stats.iter().map(|s| s.gvt_rounds).sum();
+    let annihilated: u64 = report.stats.iter().map(|s| s.annihilated).sum();
+    let json = Json::Obj(vec![
+        ("window".into(), Json::Num(window)),
+        (
+            "processed".into(),
+            Json::Num(report.total_processed() as f64),
+        ),
+        (
+            "rolled_back".into(),
+            Json::Num(report.total_rolled_back() as f64),
+        ),
+        (
+            "rollbacks".into(),
+            Json::Num(report.total_rollbacks() as f64),
+        ),
+        ("antis_sent".into(), Json::Num(report.total_antis() as f64)),
+        ("annihilated".into(), Json::Num(annihilated as f64)),
+        ("gvt_rounds".into(), Json::Num(gvt_rounds as f64)),
+        ("efficiency".into(), Json::Num(report.efficiency())),
+    ]);
+    let label = format!(
+        "{} rolled back, {} antis, eff {:.2}",
+        report.total_rolled_back(),
+        report.total_antis(),
+        report.efficiency()
+    );
+    (json, label)
+}
+
+fn run_e4(n: usize, la: f64, horizon: f64) -> Vec<EngineRow> {
+    let t_end = SimTime::new(horizon);
+    let mut rows = Vec::new();
+
+    let start = Instant::now();
+    let cmb = run_cmb(e4_lps(n, la, horizon), &ring_edges(n), t_end);
+    let wall = start.elapsed().as_secs_f64();
+    let nulls = cmb.total_nulls();
+    let ev = cmb.total_events();
+    rows.push(EngineRow {
+        engine: "cmb",
+        events: ev,
+        wall_s: wall,
+        fingerprint: fingerprint(cmb.lps.iter().map(|l| l.sink ^ l.counter)),
+        sync: Json::Obj(vec![
+            ("nulls".into(), Json::Num(nulls as f64)),
+            (
+                "nulls_per_event".into(),
+                Json::Num(nulls as f64 / ev as f64),
+            ),
+        ]),
+        sync_label: format!("{nulls} nulls ({:.2}/ev)", nulls as f64 / ev as f64),
+    });
+
+    let start = Instant::now();
+    let ts = run_timestep(e4_lps(n, la, horizon), la, t_end);
+    let wall = start.elapsed().as_secs_f64();
+    rows.push(EngineRow {
+        engine: "timestep",
+        events: ts.total_events(),
+        wall_s: wall,
+        fingerprint: fingerprint(ts.lps.iter().map(|l| l.sink ^ l.counter)),
+        sync: Json::Obj(vec![("windows".into(), Json::Num(ts.windows as f64))]),
+        sync_label: format!("{} windows", ts.windows),
+    });
+
+    let start = Instant::now();
+    // bounded optimism: on an oversubscribed host, unbounded speculation
+    // lets one LP run to the horizon before its peers are scheduled at
+    // all; a few periods of headroom keeps rollbacks shallow
+    let cfg = TwConfig {
+        window: 4.0 * E4_PERIOD,
+        ..TwConfig::default()
+    };
+    let tw = run_timewarp_cfg(e4_lps(n, la, horizon), &ring_edges(n), t_end, cfg);
+    let wall = start.elapsed().as_secs_f64();
+    let (sync, sync_label) = tw_sync(&tw, cfg.window);
+    rows.push(EngineRow {
+        engine: "timewarp",
+        events: tw.total_events(),
+        wall_s: wall,
+        fingerprint: fingerprint(tw.lps.iter().map(|l| l.sink ^ l.counter)),
+        sync,
+        sync_label,
+    });
+    rows
+}
+
+fn run_scale(n: usize, jobs_per_lp: u64) -> Vec<EngineRow> {
+    let t_end = SimTime::new(scale_t_end(n, jobs_per_lp));
+    let mut rows = Vec::new();
+
+    let start = Instant::now();
+    let cmb = run_cmb(scale_lps(n, jobs_per_lp), &ring_edges(n), t_end);
+    let wall = start.elapsed().as_secs_f64();
+    let nulls = cmb.total_nulls();
+    let ev = cmb.total_events();
+    rows.push(EngineRow {
+        engine: "cmb",
+        events: ev,
+        wall_s: wall,
+        fingerprint: fingerprint(cmb.lps.iter().map(|l| l.acc)),
+        sync: Json::Obj(vec![
+            ("nulls".into(), Json::Num(nulls as f64)),
+            (
+                "nulls_per_event".into(),
+                Json::Num(nulls as f64 / ev as f64),
+            ),
+        ]),
+        sync_label: format!("{nulls} nulls ({:.2}/ev)", nulls as f64 / ev as f64),
+    });
+
+    let start = Instant::now();
+    let ts = run_timestep(scale_lps(n, jobs_per_lp), SCALE_LA, t_end);
+    let wall = start.elapsed().as_secs_f64();
+    rows.push(EngineRow {
+        engine: "timestep",
+        events: ts.total_events(),
+        wall_s: wall,
+        fingerprint: fingerprint(ts.lps.iter().map(|l| l.acc)),
+        sync: Json::Obj(vec![("windows".into(), Json::Num(ts.windows as f64))]),
+        sync_label: format!("{} windows", ts.windows),
+    });
+
+    let start = Instant::now();
+    let cfg = TwConfig {
+        window: 2.0 * SCALE_LA,
+        ..TwConfig::default()
+    };
+    let tw = run_timewarp_cfg(scale_lps(n, jobs_per_lp), &ring_edges(n), t_end, cfg);
+    let wall = start.elapsed().as_secs_f64();
+    let (sync, sync_label) = tw_sync(&tw, cfg.window);
+    rows.push(EngineRow {
+        engine: "timewarp",
+        events: tw.total_events(),
+        wall_s: wall,
+        fingerprint: fingerprint(tw.lps.iter().map(|l| l.acc)),
+        sync,
+        sync_label,
+    });
+    rows
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = 4;
+    let e4_horizon = if smoke { 20.0 } else { 400.0 };
+    let jobs_per_lp: u64 = if smoke { 500 } else { 100_000 };
+    let lookaheads: &[f64] = if smoke {
+        &[0.5, 0.05]
+    } else {
+        &[1.0, 0.1, 0.02, 0.005]
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+
+    println!("conservative vs optimistic synchronization ({n} LPs, {cores} cores)\n");
+    let mut table = TextTable::with_columns(&[
+        "scenario",
+        "engine",
+        "events",
+        "wall (ms)",
+        "events/s",
+        "sync cost",
+    ]);
+    let mut results: Vec<Json> = Vec::new();
+    let mut short_la: Option<(f64, f64)> = None; // (cmb wall, tw wall) at min la
+
+    for &la in lookaheads {
+        let rows = run_e4(n, la, e4_horizon);
+        let fp = rows[0].fingerprint.clone();
+        let mut cmb_wall = 0.0;
+        for row in rows {
+            assert_eq!(row.fingerprint, fp, "e4 la={la}: {} diverged", row.engine);
+            if row.engine == "cmb" {
+                cmb_wall = row.wall_s;
+            }
+            if row.engine == "timewarp" {
+                short_la = Some((cmb_wall, row.wall_s));
+            }
+            table.row(vec![
+                format!("e4 la={la}"),
+                row.engine.into(),
+                format!("{}", row.events),
+                format!("{:.0}", row.wall_s * 1e3),
+                format!("{:.0}", row.events as f64 / row.wall_s),
+                row.sync_label.clone(),
+            ]);
+            results.push(Json::Obj(vec![
+                ("scenario".into(), Json::Str("e4".into())),
+                ("lookahead".into(), Json::Num(la)),
+                ("engine".into(), Json::Str(row.engine.into())),
+                ("events".into(), Json::Num(row.events as f64)),
+                ("wall_s".into(), Json::Num(row.wall_s)),
+                (
+                    "events_per_sec".into(),
+                    Json::Num(row.events as f64 / row.wall_s),
+                ),
+                ("fingerprint".into(), Json::Str(row.fingerprint)),
+                ("sync".into(), row.sync),
+            ]));
+        }
+    }
+
+    let rows = run_scale(n, jobs_per_lp);
+    let fp = rows[0].fingerprint.clone();
+    for row in rows {
+        assert_eq!(row.fingerprint, fp, "scale: {} diverged", row.engine);
+        table.row(vec![
+            format!("scale {}k jobs", n as u64 * jobs_per_lp / 1000),
+            row.engine.into(),
+            format!("{}", row.events),
+            format!("{:.0}", row.wall_s * 1e3),
+            format!("{:.0}", row.events as f64 / row.wall_s),
+            row.sync_label.clone(),
+        ]);
+        results.push(Json::Obj(vec![
+            ("scenario".into(), Json::Str("scale".into())),
+            ("jobs".into(), Json::Num((n as u64 * jobs_per_lp) as f64)),
+            ("engine".into(), Json::Str(row.engine.into())),
+            ("events".into(), Json::Num(row.events as f64)),
+            ("wall_s".into(), Json::Num(row.wall_s)),
+            (
+                "events_per_sec".into(),
+                Json::Num(row.events as f64 / row.wall_s),
+            ),
+            ("fingerprint".into(), Json::Str(row.fingerprint)),
+            ("sync".into(), row.sync),
+        ]));
+    }
+    print!("{}", table.render());
+
+    let (cmb_wall, tw_wall) = short_la.unwrap_or((0.0, 1.0));
+    let speedup = cmb_wall / tw_wall;
+    println!(
+        "\nshortest lookahead ({}): Time Warp {:.2}x vs CMB — optimism pays\n\
+         exactly where conservative blocking is most expensive; at long\n\
+         lookahead the engines tie and CMB's simplicity wins.",
+        lookaheads.last().map_or(0.0, |l| *l),
+        speedup
+    );
+
+    let doc = Json::Obj(vec![
+        ("experiment".into(), Json::Str("timewarp".into())),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("lps".into(), Json::Num(n as f64)),
+        ("host_cores".into(), Json::Num(cores as f64)),
+        (
+            "tw_speedup_vs_cmb_short_lookahead".into(),
+            Json::Num(speedup),
+        ),
+        ("results".into(), Json::Arr(results)),
+    ]);
+    std::fs::write("BENCH_timewarp.json", doc.render_pretty() + "\n")
+        .expect("write BENCH_timewarp.json");
+    println!("\nwrote BENCH_timewarp.json");
+}

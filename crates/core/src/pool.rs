@@ -53,6 +53,15 @@ impl<E> EventPool<E> {
         self.slab.remove(slot)
     }
 
+    /// Borrows a parked payload without vacating its slot. Optimistic
+    /// engines deliver payloads by reference/clone and keep the slot
+    /// occupied until the event is past GVT, so a rollback can re-deliver
+    /// the same payload without re-parking it.
+    #[inline]
+    pub fn get(&self, slot: u32) -> Option<&E> {
+        self.slab.get(slot)
+    }
+
     /// Payloads currently parked.
     #[inline]
     pub fn len(&self) -> usize {

@@ -281,21 +281,26 @@ impl Registry {
             summaries: self
                 .summaries
                 .iter()
-                .map(|(k, s)| SummarySnapshot {
-                    name: k.clone(),
-                    count: s.count(),
-                    mean: s.mean(),
-                    // An empty summary carries ±inf min/max sentinels
-                    // (never observed values); export finite zeros so the
-                    // snapshot round-trips through JSON, which has no
-                    // infinity literal. Empty summaries reach here via
-                    // [`Registry::merge`], which materializes the entry
-                    // before the inner merge no-ops on zero counts.
-                    min: if s.count() == 0 { 0.0 } else { s.min() },
-                    max: if s.count() == 0 { 0.0 } else { s.max() },
-                    p50: s.p50(),
-                    p95: s.p95(),
-                    p99: s.p99(),
+                .map(|(k, s)| {
+                    // Export only finite values so the snapshot round-trips
+                    // through JSON, which has no infinity/NaN literal. The
+                    // ±inf min/max sentinels of an empty summary (reachable
+                    // via [`Registry::merge`], which materializes the entry
+                    // before the inner merge no-ops on zero counts), a
+                    // NaN-poisoned mean, or percentiles of a stream holding
+                    // non-finite observations all become 0.0, the same
+                    // convention PR 6 set for the empty min/max.
+                    let fin = |x: f64| if x.is_finite() { x } else { 0.0 };
+                    SummarySnapshot {
+                        name: k.clone(),
+                        count: s.count(),
+                        mean: fin(s.mean()),
+                        min: if s.count() == 0 { 0.0 } else { fin(s.min()) },
+                        max: if s.count() == 0 { 0.0 } else { fin(s.max()) },
+                        p50: fin(s.p50()),
+                        p95: fin(s.p95()),
+                        p99: fin(s.p99()),
+                    }
                 })
                 .collect(),
         }
@@ -428,6 +433,52 @@ mod tests {
         assert!(s.p99 <= 30.0);
         // the p50 rank (ceil(0.5·2) = 1st smallest) is the low sample
         assert!((s.p50 - 10.0).abs() / 10.0 < 0.07, "p50 {}", s.p50);
+    }
+
+    /// Regression (PR 7): a NaN-poisoned summary (mean NaN, min/max stuck
+    /// at their ±inf sentinels) must still snapshot to all-finite fields —
+    /// JSON has no NaN/infinity literal and `BENCH_*.json` consumers
+    /// assume numbers.
+    #[test]
+    fn snapshot_of_nan_poisoned_summary_is_finite() {
+        let mut reg = Registry::new();
+        reg.observe("bad", f64::NAN);
+        reg.observe("bad", f64::NAN);
+        let s = &reg.snapshot(0.0).summaries[0];
+        assert_eq!(s.count, 2);
+        for (name, v) in [
+            ("mean", s.mean),
+            ("min", s.min),
+            ("max", s.max),
+            ("p50", s.p50),
+            ("p95", s.p95),
+            ("p99", s.p99),
+        ] {
+            assert!(v.is_finite(), "{name} leaked non-finite: {v}");
+        }
+    }
+
+    /// Regression (PR 7): an infinite observation must not leak ±inf into
+    /// the exported min/max/mean/percentiles.
+    #[test]
+    fn snapshot_with_infinite_observation_is_finite() {
+        let mut reg = Registry::new();
+        reg.observe("mixed", 1.0);
+        reg.observe("mixed", f64::INFINITY);
+        let s = &reg.snapshot(0.0).summaries[0];
+        assert_eq!(s.count, 2);
+        for (name, v) in [
+            ("mean", s.mean),
+            ("min", s.min),
+            ("max", s.max),
+            ("p50", s.p50),
+            ("p95", s.p95),
+            ("p99", s.p99),
+        ] {
+            assert!(v.is_finite(), "{name} leaked non-finite: {v}");
+        }
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 0.0, "inf max sanitized to the 0.0 convention");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! sweeps it.
 
 use crate::lp::{tie_key, LogicalProcess, LpCtx, LpId, Outgoing};
-use lsds_core::{BinaryHeapQueue, EventQueue, ScheduledEvent, SimTime, NO_PARENT};
+use lsds_core::{BinaryHeapQueue, EventQueue, PooledQueue, ScheduledEvent, SimTime, NO_PARENT};
 use lsds_obs::{NoopTracer, Registry, RingTracer, SpanKind, SpanTrace, TraceConfig, Tracer};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
@@ -104,7 +104,9 @@ struct Engine<'a, L: LogicalProcess, T: Tracer> {
     me: LpId,
     lp: L,
     tracer: T,
-    queue: BinaryHeapQueue<L::Msg>,
+    /// Pooled (PR 6): payloads park in a slab, the heap orders fixed
+    /// 32-byte records — no per-event boxing in the LP hot loop.
+    queue: PooledQueue<L::Msg, BinaryHeapQueue<u32>>,
     clock: SimTime,
     seq: u64,
     /// channel clock per in-neighbor id
@@ -393,7 +395,7 @@ where
                     me,
                     lp,
                     tracer,
-                    queue: BinaryHeapQueue::new(),
+                    queue: PooledQueue::new(BinaryHeapQueue::new()),
                     clock: SimTime::ZERO,
                     seq: 0,
                     in_clocks,
@@ -629,6 +631,9 @@ mod tests {
     /// (the second send is timestamped below the first) violates the CMB
     /// lookahead contract; the debug-build causality assertion must catch
     /// it at the sender before the receiver ever sees the stale message.
+    /// (The Time Warp engine tolerates exactly this shape — a send far
+    /// below the declared lookahead arrives as a straggler and is repaired
+    /// by rollback; see `timewarp::tests::forced_stragglers_match_sequential`.)
     ///
     /// Both LPs misbehave symmetrically so every thread terminates (by
     /// panicking) — a lone panicking LP would leave its peer blocked on
@@ -692,6 +697,157 @@ mod tests {
         assert!(path.complete);
         assert_eq!(path.steps.len() as u64, traced.total_events());
         assert!((path.makespan - 100.0).abs() < 1e-9);
+    }
+
+    // ---- S1 bug sweep: the t_end fold in the null-message bound ----
+    //
+    // `send_nulls` computes `lb = min(next_local, safe, t_end) + la`. The
+    // t_end fold caps promises near the horizon, so these tests pin the
+    // boundary behavior: the bound must still exceed t_end (else peers
+    // with events exactly AT t_end would never clear `safe > t` and the
+    // run would deadlock or drop the final events).
+
+    /// Logs every delivery as `(time bits, payload)` so runs can be
+    /// compared bit-exactly across engines.
+    struct Recorder {
+        n: usize,
+        log: Vec<(u64, u64)>,
+        limit: f64,
+    }
+    impl LogicalProcess for Recorder {
+        type Msg = u64;
+        fn handle(&mut self, now: SimTime, v: u64, ctx: &mut LpCtx<'_, u64>) {
+            self.log.push((now.seconds().to_bits(), v));
+            if now.seconds() + 1.0 <= self.limit {
+                ctx.send((ctx.me() + 1) % self.n, 1.0, v + 1);
+            }
+        }
+        fn lookahead(&self) -> f64 {
+            1.0
+        }
+    }
+    impl InitialEvents for Recorder {
+        fn initial_events(&mut self, ctx: &mut LpCtx<'_, u64>) {
+            if ctx.me() == 0 {
+                ctx.schedule_in(0.0, 0);
+            }
+        }
+    }
+
+    fn recorders(n: usize, limit: f64) -> Vec<Recorder> {
+        (0..n)
+            .map(|_| Recorder {
+                n,
+                log: Vec::new(),
+                limit,
+            })
+            .collect()
+    }
+
+    /// The last hop of the chain lands exactly on t_end; it must be
+    /// delivered (horizon is inclusive), once, and the run must terminate.
+    #[test]
+    fn event_exactly_at_t_end_is_delivered() {
+        let t_end = SimTime::new(7.0);
+        let seq = crate::sequential::run_sequential(recorders(3, 7.0), &ring_edges(3), t_end);
+        let par = run_cmb(recorders(3, 7.0), &ring_edges(3), t_end);
+        assert_eq!(par.total_events(), 8, "events at t=0..=7 inclusive");
+        for i in 0..3 {
+            assert_eq!(seq.lps[i].log, par.lps[i].log, "LP {i} log diverged");
+        }
+        // the t=7.0 delivery exists exactly once
+        let at_end: usize = par
+            .lps
+            .iter()
+            .flat_map(|l| &l.log)
+            .filter(|(tb, _)| *tb == 7.0f64.to_bits())
+            .count();
+        assert_eq!(at_end, 1);
+    }
+
+    /// Two senders' messages arrive at a third LP at exactly t_end, at the
+    /// same timestamp — the equal-time cross-LP tie must break by
+    /// `(source LP, sequence)` and match the sequential reference.
+    #[test]
+    fn equal_time_cross_lp_ties_at_the_bound() {
+        struct FanIn {
+            log: Vec<(u64, u64)>,
+            horizon: f64,
+        }
+        impl LogicalProcess for FanIn {
+            type Msg = u64;
+            fn handle(&mut self, now: SimTime, v: u64, ctx: &mut LpCtx<'_, u64>) {
+                self.log.push((now.seconds().to_bits(), v));
+                if ctx.me() < 2 && now.seconds() == 0.0 {
+                    // both senders stage two messages each, all landing on
+                    // LP2 exactly at the horizon
+                    ctx.send(2, self.horizon, 10 * ctx.me() as u64);
+                    ctx.send(2, self.horizon, 10 * ctx.me() as u64 + 1);
+                }
+            }
+            fn lookahead(&self) -> f64 {
+                1.0
+            }
+        }
+        impl InitialEvents for FanIn {
+            fn initial_events(&mut self, ctx: &mut LpCtx<'_, u64>) {
+                if ctx.me() < 2 {
+                    ctx.schedule_in(0.0, 99);
+                }
+            }
+        }
+        let mk = || {
+            (0..3)
+                .map(|_| FanIn {
+                    log: Vec::new(),
+                    horizon: 5.0,
+                })
+                .collect::<Vec<_>>()
+        };
+        let edges = [(0usize, 2usize), (1, 2)];
+        let t_end = SimTime::new(5.0);
+        let seq = crate::sequential::run_sequential(mk(), &edges, t_end);
+        let par = run_cmb(mk(), &edges, t_end);
+        // all four arrive at t=5.0 == t_end, ordered by (src, seq)
+        assert_eq!(
+            par.lps[2].log,
+            vec![
+                (5.0f64.to_bits(), 0),
+                (5.0f64.to_bits(), 1),
+                (5.0f64.to_bits(), 10),
+                (5.0f64.to_bits(), 11),
+            ]
+        );
+        assert_eq!(seq.lps[2].log, par.lps[2].log);
+    }
+
+    /// Degenerate horizon: only the t = 0 initial events run; cross-LP
+    /// messages (delay ≥ lookahead > 0) are all beyond the horizon and the
+    /// run must still terminate cleanly.
+    #[test]
+    fn t_end_zero_runs_initial_events_only() {
+        let t_end = SimTime::ZERO;
+        let par = run_cmb(recorders(3, 10.0), &ring_edges(3), t_end);
+        assert_eq!(par.total_events(), 1, "only LP0's t=0 event");
+        assert_eq!(par.lps[0].log, vec![(0.0f64.to_bits(), 0)]);
+    }
+
+    /// A send whose arrival equals the sender's promised null bound
+    /// exactly (at == lb after a null was sent) must be accepted by the
+    /// receiver-side causality assert (bounds are promises about strictly
+    /// earlier messages).
+    #[test]
+    fn arrival_exactly_at_promised_bound_accepted() {
+        // LP0's first null promises lb = min(∞, safe, t_end) + 1.0; its
+        // later event arrives exactly at an integer bound repeatedly as
+        // the chain advances in lookahead-sized steps.
+        let t_end = SimTime::new(4.0);
+        let seq = crate::sequential::run_sequential(recorders(2, 4.0), &ring_edges(2), t_end);
+        let par = run_cmb(recorders(2, 4.0), &ring_edges(2), t_end);
+        assert_eq!(par.total_events(), 5);
+        for i in 0..2 {
+            assert_eq!(seq.lps[i].log, par.lps[i].log);
+        }
     }
 
     #[test]

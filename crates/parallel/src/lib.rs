@@ -17,10 +17,17 @@
 //!   message overhead.
 //! * [`timestep`] — synchronous (barrier) execution in fixed windows no
 //!   wider than the system lookahead.
+//! * [`timewarp`] — **optimistic** synchronization (Jefferson's Time
+//!   Warp): speculative execution with state saving, rollback on
+//!   stragglers, anti-message annihilation, and token-based GVT driving
+//!   fossil collection. Wins where lookahead is short (E4's bad case for
+//!   CMB).
 //!
-//! Both engines are deterministic: events are processed per logical
+//! All engines are deterministic: events are processed per logical
 //! process in `(time, source, sequence)` order, independent of thread
-//! interleaving, so a parallel run reproduces the centralized result.
+//! interleaving, so a parallel run reproduces the centralized result —
+//! [`sequential`] is the single-threaded reference the equivalence tests
+//! compare every engine against.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -28,9 +35,15 @@
 pub mod cmb;
 pub mod lp;
 pub mod partition;
+pub mod sequential;
 pub mod timestep;
+pub mod timewarp;
 
 pub use cmb::{run_cmb, run_cmb_traced, CmbReport, CmbStats, InitialEvents};
 pub use lp::{LogicalProcess, LpCtx, LpId};
 pub use partition::{block_partition, round_robin_partition};
+pub use sequential::{run_sequential, SequentialReport};
 pub use timestep::{run_timestep, run_timestep_traced, TimestepReport};
+pub use timewarp::{
+    run_timewarp, run_timewarp_cfg, run_timewarp_traced, SaveState, TwConfig, TwReport, TwStats,
+};

@@ -99,9 +99,14 @@ impl<'a, M> LpCtx<'a, M> {
 
     /// Sends a message to LP `dst`, arriving after `delay`.
     ///
-    /// `delay` must be at least the LP's declared lookahead — the engine
-    /// asserts this, because a shorter delay would invalidate the null-
-    /// message guarantees already given to `dst`.
+    /// Under the conservative engines `delay` must be at least the LP's
+    /// declared lookahead — the engine asserts this, because a shorter
+    /// delay would invalidate the null-message guarantees already given
+    /// to `dst`. The optimistic engine ([`crate::run_timewarp`]) instead
+    /// runs handlers with an effective lookahead of the smallest positive
+    /// double: it tolerates any *strictly positive* delay, however far
+    /// below the declared lookahead, repairing mis-speculation with
+    /// rollback where CMB would have tripped this assertion.
     pub fn send(&mut self, dst: LpId, delay: f64, msg: M) {
         assert!(
             delay >= self.lookahead,
@@ -191,6 +196,11 @@ mod tests {
         ctx.schedule_in(f64::NAN, 1);
     }
 
+    /// The conservative contract: `send` rejects delays below the
+    /// declared lookahead. Time Warp runs handlers with `lookahead =
+    /// f64::MIN_POSITIVE`, so the same model code is accepted there for
+    /// any strictly positive delay — only zero-delay cross-LP sends stay
+    /// forbidden (they would make equal-time ordering race-dependent).
     #[test]
     #[should_panic]
     fn send_below_lookahead_panics() {

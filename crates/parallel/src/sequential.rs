@@ -1,0 +1,160 @@
+//! Sequential reference execution of a [`LogicalProcess`] topology.
+//!
+//! Runs the *same* LP code the parallel engines run, in a single thread,
+//! with one global event list ordered by `(time, tie key)`. Because the
+//! tie key is `(source LP, per-source sequence)` and every engine assigns
+//! sequences in each LP's local delivery order, the per-LP subsequence of
+//! this global order is exactly the order CMB, the time-stepped engine,
+//! and Time Warp deliver — so this executor is the bit-identity oracle the
+//! engine-equivalence and rollback property tests compare against.
+
+use crate::lp::{tie_key, LpCtx, LpId, Outgoing};
+use lsds_core::{BinaryHeapQueue, EventQueue, PooledQueue, ScheduledEvent, SimTime, NO_PARENT};
+
+/// Result of a sequential reference run.
+#[derive(Debug)]
+pub struct SequentialReport<L> {
+    /// The logical processes, in id order, with their final state.
+    pub lps: Vec<L>,
+    /// Events delivered per LP, in id order.
+    pub events: Vec<u64>,
+}
+
+impl<L> SequentialReport<L> {
+    /// Total events delivered across all LPs.
+    pub fn total_events(&self) -> u64 {
+        self.events.iter().sum()
+    }
+}
+
+/// Runs `lps` to `t_end` (inclusive) in one thread, delivering all events
+/// in global `(time, source LP, sequence)` order.
+///
+/// `edges` lists the directed channels `(src, dst)` exactly as for
+/// [`crate::run_cmb`]; sends are validated against the same declared
+/// topology. Lookahead is *not* enforced here — the reference delivers
+/// whatever timestamps the LPs produce, which is what lets it double as
+/// the oracle for Time Warp runs whose sends duck below the declared
+/// lookahead (see [`crate::timewarp`]).
+pub fn run_sequential<L>(lps: Vec<L>, edges: &[(LpId, LpId)], t_end: SimTime) -> SequentialReport<L>
+where
+    L: crate::cmb::InitialEvents,
+{
+    let n = lps.len();
+    for &(s, d) in edges {
+        assert!(s < n && d < n && s != d, "bad edge ({s},{d})");
+    }
+    let mut lps = lps;
+    let mut seqs = vec![0u64; n];
+    let mut events = vec![0u64; n];
+    // One global list; the payload carries its destination LP. The `seq`
+    // field holds the cross-LP tie key, as in the parallel engines.
+    let mut queue: PooledQueue<(LpId, L::Msg), BinaryHeapQueue<u32>> =
+        PooledQueue::new(BinaryHeapQueue::new());
+    let mut staged: Vec<Outgoing<L::Msg>> = Vec::new();
+
+    let flush = |me: LpId,
+                 staged: &mut Vec<Outgoing<L::Msg>>,
+                 seqs: &mut Vec<u64>,
+                 queue: &mut PooledQueue<(LpId, L::Msg), BinaryHeapQueue<u32>>| {
+        for out in staged.drain(..) {
+            let tie = tie_key(me, seqs[me]);
+            seqs[me] += 1;
+            match out {
+                Outgoing::Local { at, parent, msg } => {
+                    queue.insert(ScheduledEvent::with_parent(at, tie, parent, (me, msg)));
+                }
+                Outgoing::Remote {
+                    dst,
+                    at,
+                    parent,
+                    msg,
+                } => {
+                    queue.insert(ScheduledEvent::with_parent(at, tie, parent, (dst, msg)));
+                }
+            }
+        }
+    };
+
+    for (me, lp) in lps.iter_mut().enumerate() {
+        let mut ctx = LpCtx {
+            now: SimTime::ZERO,
+            me,
+            lookahead: 0.0,
+            cause: NO_PARENT,
+            staged: &mut staged,
+        };
+        lp.initial_events(&mut ctx);
+        flush(me, &mut staged, &mut seqs, &mut queue);
+    }
+
+    while let Some(t) = queue.peek_time() {
+        if t > t_end {
+            break;
+        }
+        let Some(ev) = queue.pop_min() else {
+            debug_assert!(false, "peeked event vanished");
+            break;
+        };
+        let (dst, msg) = ev.event;
+        events[dst] += 1;
+        let mut ctx = LpCtx {
+            now: ev.time,
+            me: dst,
+            lookahead: 0.0,
+            cause: ev.seq,
+            staged: &mut staged,
+        };
+        lps[dst].handle(ev.time, msg, &mut ctx);
+        flush(dst, &mut staged, &mut seqs, &mut queue);
+    }
+
+    SequentialReport { lps, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmb::InitialEvents;
+    use crate::lp::LogicalProcess;
+
+    struct Hop {
+        n: usize,
+        seen: u64,
+        delay: f64,
+    }
+    impl LogicalProcess for Hop {
+        type Msg = u64;
+        fn handle(&mut self, _now: SimTime, hop: u64, ctx: &mut LpCtx<'_, u64>) {
+            self.seen += 1;
+            ctx.send((ctx.me() + 1) % self.n, self.delay, hop + 1);
+        }
+        fn lookahead(&self) -> f64 {
+            self.delay
+        }
+    }
+    impl InitialEvents for Hop {
+        fn initial_events(&mut self, ctx: &mut LpCtx<'_, u64>) {
+            if ctx.me() == 0 {
+                ctx.schedule_in(0.0, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_analytic_ring_count() {
+        let lps: Vec<Hop> = (0..4)
+            .map(|_| Hop {
+                n: 4,
+                seen: 0,
+                delay: 1.0,
+            })
+            .collect();
+        let edges: Vec<(usize, usize)> = (0..4).map(|i| (i, (i + 1) % 4)).collect();
+        let report = run_sequential(lps, &edges, SimTime::new(100.0));
+        // token at t = 0..=100 → 101 events, LP0 sees 26 of them
+        assert_eq!(report.total_events(), 101);
+        assert_eq!(report.lps[0].seen, 26);
+        assert_eq!(report.events[0], 26);
+    }
+}

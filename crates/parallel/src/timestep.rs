@@ -10,7 +10,7 @@
 //! (measured in experiment E4).
 
 use crate::lp::{tie_key, LpCtx, LpId, Outgoing};
-use lsds_core::{BinaryHeapQueue, EventQueue, ScheduledEvent, SimTime, NO_PARENT};
+use lsds_core::{BinaryHeapQueue, EventQueue, PooledQueue, ScheduledEvent, SimTime, NO_PARENT};
 use lsds_obs::{NoopTracer, Registry, RingTracer, SpanKind, SpanTrace, TraceConfig, Tracer};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Barrier;
@@ -128,7 +128,10 @@ where
                 scope.spawn(move || {
                     let mut lp = lp;
                     let mut tracer = tracer;
-                    let mut queue: BinaryHeapQueue<L::Msg> = BinaryHeapQueue::new();
+                    // pooled (PR 6): payloads park in a slab, the heap
+                    // orders fixed 32-byte records — no per-event boxing
+                    let mut queue: PooledQueue<L::Msg, BinaryHeapQueue<u32>> =
+                        PooledQueue::new(BinaryHeapQueue::new());
                     let mut staged: Vec<Outgoing<L::Msg>> = Vec::new();
                     let mut seq: u64 = 0;
                     let mut events: u64 = 0;
@@ -291,7 +294,7 @@ fn flush<M>(
     me: LpId,
     staged: &mut Vec<Outgoing<M>>,
     seq: &mut u64,
-    queue: &mut BinaryHeapQueue<M>,
+    queue: &mut PooledQueue<M, BinaryHeapQueue<u32>>,
     senders: &[&Sender<Mail<M>>],
 ) {
     for outgoing in staged.drain(..) {

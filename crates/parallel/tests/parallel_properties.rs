@@ -9,12 +9,15 @@
 
 use lsds_core::SimTime;
 use lsds_parallel::cmb::InitialEvents;
-use lsds_parallel::{run_cmb, run_timestep, LogicalProcess, LpCtx};
+use lsds_parallel::{
+    run_cmb, run_sequential, run_timestep, run_timewarp, LogicalProcess, LpCtx, SaveState,
+};
 use lsds_stats::SimRng;
 
 const TRIALS: u64 = 24;
 
 /// Token-passing ring node with per-node hop counts.
+#[derive(Clone)]
 struct Ring {
     n: usize,
     delay: f64,
@@ -37,6 +40,16 @@ impl InitialEvents for Ring {
         if ctx.me() == 0 {
             ctx.schedule_in(0.0, 0);
         }
+    }
+}
+
+impl SaveState for Ring {
+    type Saved = u64;
+    fn save(&self) -> u64 {
+        self.seen
+    }
+    fn restore(&mut self, saved: u64) {
+        self.seen = saved;
     }
 }
 
@@ -87,6 +100,173 @@ fn timestep_matches_cmb() {
         let cb: Vec<u64> = b.lps.iter().map(|l| l.seen).collect();
         assert_eq!(ca, cb, "n={n} delay={delay} periods={periods}");
     }
+}
+
+#[test]
+fn timewarp_matches_analytic_ring() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0xC3B3 + trial);
+        let n = 2 + rng.next_below(4) as usize;
+        let delay = rng.range_f64(0.1, 5.0);
+        let periods = 10 + rng.next_below(190) as u32;
+        let t_end = delay * periods as f64 * 0.999;
+        let report = run_timewarp(ring(n, delay), &ring_edges(n), SimTime::new(t_end));
+        let expect = analytic_counts(n, delay, t_end);
+        let got: Vec<u64> = report.lps.iter().map(|l| l.seen).collect();
+        assert_eq!(got, expect, "n={n} delay={delay} periods={periods}");
+        assert_eq!(
+            report.total_events(),
+            report.total_processed() - report.total_rolled_back(),
+            "accounting must balance"
+        );
+    }
+}
+
+/// All four executors agree with t_end landing *exactly* on event times —
+/// the adversarial boundary for CMB's t_end fold (S1) and for Time Warp's
+/// inclusive-horizon handling. No `0.999` slack on purpose.
+#[test]
+fn engines_agree_at_exact_horizon_boundary() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0xC3B4 + trial);
+        let n = 2 + rng.next_below(3) as usize;
+        let delay = rng.range_f64(0.2, 2.0);
+        let periods = 5 + rng.next_below(45) as u32;
+        let t_end = SimTime::new(delay * periods as f64);
+        let seq = run_sequential(ring(n, delay), &ring_edges(n), t_end);
+        let cmb = run_cmb(ring(n, delay), &ring_edges(n), t_end);
+        let ts = run_timestep(ring(n, delay), delay, t_end);
+        let tw = run_timewarp(ring(n, delay), &ring_edges(n), t_end);
+        let cs: Vec<u64> = seq.lps.iter().map(|l| l.seen).collect();
+        let cc: Vec<u64> = cmb.lps.iter().map(|l| l.seen).collect();
+        let ct: Vec<u64> = ts.lps.iter().map(|l| l.seen).collect();
+        let cw: Vec<u64> = tw.lps.iter().map(|l| l.seen).collect();
+        assert_eq!(cs, cc, "cmb diverged: n={n} delay={delay} p={periods}");
+        assert_eq!(cs, ct, "timestep diverged: n={n} delay={delay} p={periods}");
+        assert_eq!(cs, cw, "timewarp diverged: n={n} delay={delay} p={periods}");
+        assert_eq!(seq.total_events(), tw.total_events());
+    }
+}
+
+/// S4: a workload whose inter-LP delays are *far below* the declared
+/// lookahead (so Time Warp speculates wrongly and must roll back) commits
+/// exactly the sequential engine's event set and final state, across
+/// seeds. The messages sent and their timestamps depend only on model
+/// state, so any lost/duplicated/mis-ordered delivery diverges the hash.
+///
+/// Remote messages carry [`REMOTE`] and are pure sinks (they mutate state
+/// but schedule nothing) — otherwise every delivery would seed a fresh
+/// local chain and the event population would grow combinatorially. The
+/// sinks still force rollbacks at the receiver, and rolling back the
+/// *local* chain cancels its optimistic sends, exercising anti-messages.
+const REMOTE: u64 = 1 << 63;
+
+#[derive(Clone)]
+struct Chaotic {
+    n: usize,
+    acc: u64,
+    events: u64,
+    local_dt: f64,
+    until: f64,
+}
+
+impl LogicalProcess for Chaotic {
+    type Msg = u64;
+    fn handle(&mut self, now: SimTime, v: u64, ctx: &mut LpCtx<'_, u64>) {
+        self.events += 1;
+        self.acc = self
+            .acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add((v & !REMOTE) ^ now.seconds().to_bits());
+        if v & REMOTE != 0 {
+            return;
+        }
+        if now.seconds() + self.local_dt <= self.until {
+            ctx.schedule_in(self.local_dt, self.acc >> 32);
+        }
+        // deterministic function of state: roughly every third event sends
+        // to the next LP with a sub-lookahead delay in (0, 0.16]
+        if self.acc.is_multiple_of(3) && self.n > 1 {
+            let delay = 0.01 + (self.acc % 16) as f64 * 0.01;
+            if now.seconds() + delay <= self.until {
+                ctx.send(
+                    (ctx.me() + 1) % self.n,
+                    delay,
+                    REMOTE | (self.acc & 0xffff_ffff),
+                );
+            }
+        }
+    }
+    fn lookahead(&self) -> f64 {
+        1.0 // a lie: actual sends go as low as 0.01
+    }
+}
+
+impl InitialEvents for Chaotic {
+    fn initial_events(&mut self, ctx: &mut LpCtx<'_, u64>) {
+        ctx.schedule_in(0.0, ctx.me() as u64 + 1);
+    }
+}
+
+impl SaveState for Chaotic {
+    type Saved = (u64, u64);
+    fn save(&self) -> (u64, u64) {
+        (self.acc, self.events)
+    }
+    fn restore(&mut self, saved: (u64, u64)) {
+        self.acc = saved.0;
+        self.events = saved.1;
+    }
+}
+
+#[test]
+fn forced_stragglers_bit_identical_across_seeds() {
+    let mut total_rollbacks = 0u64;
+    for trial in 0..12 {
+        let mut rng = SimRng::new(0x7153 + trial);
+        let n = 2 + rng.next_below(3) as usize;
+        let until = 10.0 + rng.next_below(20) as f64;
+        let mk = |rng: &mut SimRng| -> Vec<Chaotic> {
+            (0..n)
+                .map(|i| Chaotic {
+                    n,
+                    acc: 0x9e37 + i as u64 + rng.next_below(1000),
+                    events: 0,
+                    local_dt: 0.05 + (i as f64) * 0.03,
+                    until,
+                })
+                .collect()
+        };
+        let proto = mk(&mut rng);
+        let edges = ring_edges(n);
+        let t_end = SimTime::new(until);
+        let seq = run_sequential(proto.clone(), &edges, t_end);
+        let tw = run_timewarp(proto, &edges, t_end);
+        // bit-identical final state
+        for i in 0..n {
+            assert_eq!(
+                seq.lps[i].acc, tw.lps[i].acc,
+                "trial {trial} LP {i} state diverged"
+            );
+            assert_eq!(seq.lps[i].events, tw.lps[i].events, "trial {trial} LP {i}");
+            // event-count accounting: committed == sequential deliveries
+            assert_eq!(
+                seq.events[i], tw.stats[i].committed,
+                "trial {trial} LP {i} committed count"
+            );
+        }
+        assert_eq!(
+            tw.total_events(),
+            tw.total_processed() - tw.total_rolled_back(),
+            "trial {trial} accounting"
+        );
+        total_rollbacks += tw.total_rollbacks();
+    }
+    // the whole point: optimism must actually have been wrong sometimes
+    assert!(
+        total_rollbacks > 0,
+        "straggler workload never forced a rollback — test lost its teeth"
+    );
 }
 
 #[test]

@@ -38,6 +38,25 @@ pub trait Tracer {
         vt: f64,
         token: Self::Token,
     );
+
+    /// Records a span whose wall time was measured externally, in one call.
+    ///
+    /// Optimistic engines execute events speculatively and may roll them
+    /// back; they buffer `(kind, wall_ns)` per executed event and commit
+    /// the span only once the event is irrevocable (behind GVT), so the
+    /// `begin`/`record` bracket cannot be used. Each committed event is
+    /// reported exactly once, keeping traced optimistic runs causally
+    /// consistent with the final (post-rollback) execution.
+    fn commit_span(
+        &mut self,
+        _id: u64,
+        _parent: u64,
+        _kind: SpanKind,
+        _track: u32,
+        _vt: f64,
+        _wall_ns: u64,
+    ) {
+    }
 }
 
 /// The zero-cost default tracer: does nothing, costs nothing.
@@ -141,6 +160,21 @@ impl RingTracer {
         self.cfg
     }
 
+    /// Ring insert shared by [`Tracer::record`] and [`Tracer::commit_span`]:
+    /// capacity 0 collects nothing, a full ring evicts the oldest span.
+    #[inline]
+    fn push_span(&mut self, span: Span) {
+        if self.cfg.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.spans.len() >= self.cfg.capacity {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(span);
+    }
+
     /// Consumes the tracer, yielding the collected trace sorted by
     /// `(virtual time, event id)`.
     pub fn finish(self) -> SpanTrace {
@@ -187,16 +221,33 @@ impl Tracer for RingTracer {
         let Some(start) = token else {
             return;
         };
-        if self.cfg.capacity == 0 {
-            self.dropped += 1;
+        let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.push_span(Span {
+            id,
+            parent,
+            track,
+            vt,
+            wall_ns,
+            kind,
+        });
+    }
+
+    #[inline]
+    fn commit_span(
+        &mut self,
+        id: u64,
+        parent: u64,
+        kind: SpanKind,
+        track: u32,
+        vt: f64,
+        wall_ns: u64,
+    ) {
+        // same 1-in-N policy `begin` applies, so sampled commit-time traces
+        // match sampled record-time traces event-for-event
+        if self.cfg.sample > 1 && !id.is_multiple_of(self.cfg.sample) {
             return;
         }
-        let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        if self.spans.len() >= self.cfg.capacity {
-            self.spans.pop_front();
-            self.dropped += 1;
-        }
-        self.spans.push_back(Span {
+        self.push_span(Span {
             id,
             parent,
             track,

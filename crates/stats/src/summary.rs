@@ -207,7 +207,16 @@ impl Summary {
         for (&b, &c) in &self.buckets {
             seen += c;
             if seen >= rank {
-                return bucket_value(b).clamp(self.min, self.max);
+                let v = bucket_value(b);
+                // A stream of only NaN observations leaves min/max at
+                // their ±inf sentinels (NaN comparisons are all false),
+                // inverting the clamp range — `f64::clamp` panics on
+                // min > max, so fall back to the raw bucket value.
+                return if self.min <= self.max {
+                    v.clamp(self.min, self.max)
+                } else {
+                    v
+                };
             }
         }
         self.max
@@ -439,6 +448,47 @@ mod tests {
         assert_eq!(super::bucket_of(-1.0), 0);
         assert_eq!(super::bucket_of(f64::NAN), 0);
         assert_eq!(super::bucket_of(0.0), 0);
+    }
+
+    /// Regression (PR 7): an all-NaN stream leaves min/max at their ±inf
+    /// sentinels (every NaN comparison is false) while `n > 0`, so the
+    /// percentile clamp saw an inverted `[+inf, -inf]` range and
+    /// `f64::clamp` panicked. It must return a finite value instead.
+    #[test]
+    fn percentile_of_all_nan_stream_does_not_panic() {
+        let mut s = Summary::new();
+        s.add(f64::NAN);
+        s.add(f64::NAN);
+        assert_eq!(s.p50(), 0.0, "NaN lands in bucket 0");
+        assert_eq!(s.p95(), 0.0);
+        assert_eq!(s.p99(), 0.0);
+    }
+
+    /// NaN mixed into an otherwise-ordinary stream: min/max ignore the
+    /// NaN, so the clamp range is valid and percentiles stay finite.
+    #[test]
+    fn percentile_with_nan_among_samples_stays_finite() {
+        let mut s = Summary::new();
+        s.add(5.0);
+        s.add(f64::NAN);
+        s.add(10.0);
+        for q in [0.5, 0.95, 0.99] {
+            assert!(s.percentile(q).is_finite(), "q={q}");
+        }
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 10.0);
+    }
+
+    /// An infinite observation drives max (and the top-rank percentile
+    /// fallback) to +inf; the summary itself reports what it saw, and the
+    /// snapshot layer (`lsds-obs`) sanitizes for JSON export.
+    #[test]
+    fn percentile_with_infinite_sample() {
+        let mut s = Summary::new();
+        s.add(1.0);
+        s.add(f64::INFINITY);
+        assert!(s.p50().is_finite(), "median is the finite sample");
+        assert_eq!(s.max(), f64::INFINITY);
     }
 
     /// Regression: a derived `Default` zeroed the min/max sentinels, so a

@@ -289,11 +289,13 @@ fn cmb_traced_is_bit_identical() {
     for i in 0..n {
         assert_eq!(plain.lps[i].seen, traced.lps[i].seen, "LP {i} diverged");
     }
-    // `blocks` counts scheduler-dependent waits; the deterministic fields
-    // (events processed, protocol messages sent) must match exactly.
+    // `blocks` and `nulls_sent` are scheduler-dependent: nulls go out
+    // only when an LP blocks, and a drain that picks up two arrivals at
+    // once skips the intermediate bound — so under host load two runs
+    // can legitimately differ by a few nulls. The deterministic fields
+    // (events processed, model-driven messages sent) must match exactly.
     for (p, t) in plain.stats.iter().zip(&traced.stats) {
         assert_eq!(p.events, t.events, "event counts diverged");
-        assert_eq!(p.nulls_sent, t.nulls_sent, "null-message counts diverged");
         assert_eq!(p.remote_sent, t.remote_sent, "remote-send counts diverged");
     }
     assert_eq!(trace.len() as u64, traced.total_events());
