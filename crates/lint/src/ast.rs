@@ -1,0 +1,1259 @@
+//! A lightweight Rust AST built by recursive descent over the lexer's
+//! token stream.
+//!
+//! The parser recovers exactly the structure the semantic rules need and
+//! no more: the **item tree** (functions, impl blocks with their trait and
+//! self-type names, traits, structs with field lists, consts, inline
+//! modules) and, inside function bodies, a **statement list** where each
+//! statement is classified (`let` bindings, assignments, `for` loops,
+//! other expressions) and carries its token [`Span`]. Expressions are kept
+//! as token spans — the dataflow pass pattern-matches inside them — which
+//! keeps the parser total: any token sequence parses, unknown constructs
+//! degrade to [`ItemKind::Other`] or an unclassified expression statement,
+//! and `rustc` remains the real syntax gate in CI.
+//!
+//! Generic argument lists are skipped with shift-aware angle matching
+//! (the lexer emits `<<`/`>>` as single tokens, so they open/close two
+//! levels at once).
+
+use crate::lexer::{Tok, TokKind};
+
+/// Half-open range of token indices into the file's token stream.
+pub type Span = std::ops::Range<usize>;
+
+/// One parsed source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One item, anywhere in the tree.
+#[derive(Debug)]
+pub struct Item {
+    /// 1-based line of the item keyword.
+    pub line: u32,
+    /// What the item is.
+    pub kind: ItemKind,
+}
+
+/// Item classification.
+#[derive(Debug)]
+pub enum ItemKind {
+    /// A free function.
+    Fn(FnDef),
+    /// An `impl` block (inherent or trait).
+    Impl(ImplDef),
+    /// A trait definition (methods with default bodies are parsed).
+    Trait(TraitDef),
+    /// A struct with named fields (tuple/unit structs keep an empty list).
+    Struct(StructDef),
+    /// A module-level `const` or `static` with its value span.
+    Const(ConstDef),
+    /// An inline `mod name { … }` with its items.
+    Mod(String, Vec<Item>),
+    /// Anything else (`use`, `enum`, `type`, macros, …) — parsed past,
+    /// not modeled.
+    Other,
+}
+
+/// A function definition (or trait method with a default body).
+#[derive(Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token span of the parameter list, parens excluded.
+    pub params: Span,
+    /// Token span of the return type (between `->` and the body/`where`),
+    /// empty when the function returns `()`.
+    pub ret: Span,
+    /// Body block; `None` for bodiless trait method signatures.
+    pub body: Option<Block>,
+}
+
+/// An `impl` block.
+#[derive(Debug)]
+pub struct ImplDef {
+    /// Last path segment of the implemented trait (`None` for inherent
+    /// impls).
+    pub trait_name: Option<String>,
+    /// Last path segment of the self type.
+    pub type_name: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+    /// Functions defined in the block.
+    pub fns: Vec<FnDef>,
+    /// Associated consts defined in the block.
+    pub consts: Vec<ConstDef>,
+}
+
+/// A trait definition.
+#[derive(Debug)]
+pub struct TraitDef {
+    /// Trait name.
+    pub name: String,
+    /// 1-based line of the `trait` keyword.
+    pub line: u32,
+    /// Methods (with bodies when a default is given).
+    pub fns: Vec<FnDef>,
+}
+
+/// A struct definition.
+#[derive(Debug)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Named fields in declaration order (empty for tuple/unit structs).
+    pub fields: Vec<FieldDef>,
+}
+
+/// One named struct field.
+#[derive(Debug)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// Token span of the field's type.
+    pub ty: Span,
+}
+
+/// A `const`/`static` item (module-level or associated).
+#[derive(Debug)]
+pub struct ConstDef {
+    /// Const name.
+    pub name: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Token span of the initializer expression.
+    pub value: Span,
+}
+
+/// A brace-delimited block of statements.
+#[derive(Debug)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+    /// Token span of the block's interior (braces excluded).
+    pub span: Span,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub struct Stmt {
+    /// 1-based line the statement starts on.
+    pub line: u32,
+    /// Token span of the whole statement (nested blocks included).
+    pub span: Span,
+    /// Statement classification.
+    pub kind: StmtKind,
+}
+
+/// Statement classification — the shapes the dataflow pass distinguishes.
+#[derive(Debug)]
+pub enum StmtKind {
+    /// `let [mut] pat [: ty] = init;` — `names` are the bound identifiers
+    /// extracted from the pattern (filtered heuristically: type/variant
+    /// segments and `_` are dropped).
+    Let {
+        /// Bound variable names.
+        names: Vec<String>,
+        /// Initializer span (`None` for `let x;`).
+        init: Option<Span>,
+    },
+    /// `target = value;` / `target op= value;` at statement level.
+    Assign {
+        /// Left-hand-side span.
+        target: Span,
+        /// `true` for compound assignment (`+=` …), which reads the old
+        /// value — taint accumulates instead of being replaced.
+        compound: bool,
+        /// Right-hand-side span.
+        value: Span,
+    },
+    /// `for pat in iter { body }`.
+    For {
+        /// Loop variable names (same pattern filter as `Let`).
+        vars: Vec<String>,
+        /// Span of the iterated expression.
+        iter: Span,
+        /// Loop body.
+        body: Block,
+    },
+    /// Any other expression statement. `blocks` are the statement's
+    /// top-level brace groups (if/else arms, match bodies, loop bodies),
+    /// parsed recursively so nested statements are visible to dataflow.
+    Expr {
+        /// Nested blocks, in source order.
+        blocks: Vec<Block>,
+    },
+    /// A nested item (fn/struct/const declared inside a body).
+    Item(Box<Item>),
+}
+
+/// Item keywords that can follow modifiers like `pub`/`const`/`unsafe`.
+const MODIFIERS: &[&str] = &["pub", "default", "async", "unsafe", "extern"];
+
+/// Parses one file's token stream. Never fails: unknown constructs are
+/// skipped structurally (balanced delimiters) and recorded as
+/// [`ItemKind::Other`].
+pub fn parse(tokens: &[Tok]) -> ParsedFile {
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
+    ParsedFile {
+        items: p.items_until(None),
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self, off: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + off)
+    }
+
+    fn peek_is_punct(&self, off: usize, s: &str) -> bool {
+        self.peek(off).is_some_and(|t| t.is_punct(s))
+    }
+
+    fn peek_is_ident(&self, off: usize, s: &str) -> bool {
+        self.peek(off).is_some_and(|t| t.is_ident(s))
+    }
+
+    fn line(&self) -> u32 {
+        self.peek(0).map_or(0, |t| t.line)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Skips one `#[…]` / `#![…]` attribute if present.
+    fn skip_attr(&mut self) -> bool {
+        if !self.peek_is_punct(0, "#") {
+            return false;
+        }
+        let bracket = if self.peek_is_punct(1, "[") {
+            1
+        } else if self.peek_is_punct(1, "!") && self.peek_is_punct(2, "[") {
+            2
+        } else {
+            return false;
+        };
+        self.pos += bracket;
+        self.skip_balanced("[", "]");
+        true
+    }
+
+    /// Assumes the cursor is on `open`; advances past its matching `close`.
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a generic argument list if the cursor is on `<`. The lexer
+    /// emits `<<`/`>>` as single tokens (two levels at once).
+    fn skip_generics(&mut self) {
+        if !self.peek_is_punct(0, "<") && !self.peek_is_punct(0, "<<") {
+            return;
+        }
+        let mut depth = 0i32;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct("<<") {
+                depth += 2;
+            } else if t.is_punct(">") {
+                depth -= 1;
+            } else if t.is_punct(">>") {
+                depth -= 2;
+            } else if t.is_punct("->") || t.is_punct(";") || t.is_punct("{") {
+                // safety valve: a stray comparison would otherwise eat the
+                // rest of the file
+                return;
+            }
+            self.bump();
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// Parses items until `end` (a closing brace) or EOF. The cursor must
+    /// be *inside* the braces; the closing brace is consumed.
+    fn items_until(&mut self, end: Option<&str>) -> Vec<Item> {
+        let mut items = Vec::new();
+        while !self.at_end() {
+            if let Some(close) = end {
+                if self.peek_is_punct(0, close) {
+                    self.bump();
+                    return items;
+                }
+            }
+            if self.skip_attr() {
+                continue;
+            }
+            if let Some(item) = self.item() {
+                items.push(item);
+            }
+        }
+        items
+    }
+
+    /// Parses one item at the cursor, or advances one token and returns
+    /// `None` for stray tokens.
+    fn item(&mut self) -> Option<Item> {
+        let line = self.line();
+        // modifiers: `pub`, `pub(crate)`, `default`, `async`, `unsafe`,
+        // `extern "C"`, and `const` only when followed by `fn`
+        let mut saw_modifier = true;
+        while saw_modifier {
+            saw_modifier = false;
+            if let Some(t) = self.peek(0) {
+                if t.kind == TokKind::Ident && MODIFIERS.contains(&t.text.as_str()) {
+                    let is_extern = t.is_ident("extern");
+                    self.bump();
+                    if self.peek_is_punct(0, "(") {
+                        self.skip_balanced("(", ")");
+                    }
+                    if is_extern && self.peek(0).is_some_and(|t| t.kind == TokKind::Str) {
+                        self.bump();
+                    }
+                    saw_modifier = true;
+                } else if t.is_ident("const") && self.peek_is_ident(1, "fn") {
+                    self.bump();
+                    saw_modifier = true;
+                }
+            }
+        }
+        let t = self.peek(0)?;
+        if t.kind != TokKind::Ident {
+            self.bump();
+            return None;
+        }
+        let kw = t.text.clone();
+        match kw.as_str() {
+            "fn" => {
+                let f = self.fn_def();
+                Some(Item {
+                    line,
+                    kind: ItemKind::Fn(f),
+                })
+            }
+            "impl" => Some(Item {
+                line,
+                kind: self.impl_def(),
+            }),
+            "trait" => Some(Item {
+                line,
+                kind: self.trait_def(),
+            }),
+            "struct" => Some(Item {
+                line,
+                kind: self.struct_def(),
+            }),
+            "const" | "static" => Some(Item {
+                line,
+                kind: self.const_def(),
+            }),
+            "mod" => {
+                self.bump();
+                let name = self
+                    .peek(0)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                self.bump();
+                if self.peek_is_punct(0, "{") {
+                    self.bump();
+                    let items = self.items_until(Some("}"));
+                    Some(Item {
+                        line,
+                        kind: ItemKind::Mod(name, items),
+                    })
+                } else {
+                    // `mod name;` — out-of-line, nothing to parse here
+                    if self.peek_is_punct(0, ";") {
+                        self.bump();
+                    }
+                    Some(Item {
+                        line,
+                        kind: ItemKind::Other,
+                    })
+                }
+            }
+            "enum" | "union" => {
+                self.bump(); // keyword
+                self.bump(); // name
+                self.skip_generics();
+                while !self.at_end() && !self.peek_is_punct(0, "{") && !self.peek_is_punct(0, ";") {
+                    self.bump();
+                }
+                if self.peek_is_punct(0, "{") {
+                    self.skip_balanced("{", "}");
+                } else {
+                    self.bump();
+                }
+                Some(Item {
+                    line,
+                    kind: ItemKind::Other,
+                })
+            }
+            "use" | "type" => {
+                while !self.at_end() && !self.peek_is_punct(0, ";") {
+                    self.bump();
+                }
+                self.bump();
+                Some(Item {
+                    line,
+                    kind: ItemKind::Other,
+                })
+            }
+            _ => {
+                // macro invocation / macro_rules / unknown: skip to the end
+                // of the construct — a balanced brace group or a `;`
+                while !self.at_end() {
+                    if self.peek_is_punct(0, ";") {
+                        self.bump();
+                        break;
+                    }
+                    if self.peek_is_punct(0, "{") {
+                        self.skip_balanced("{", "}");
+                        break;
+                    }
+                    if self.peek_is_punct(0, "}") {
+                        break; // container's closing brace, not ours
+                    }
+                    self.bump();
+                }
+                Some(Item {
+                    line,
+                    kind: ItemKind::Other,
+                })
+            }
+        }
+    }
+
+    /// Parses `fn name<g>(params) [-> ret] [where …] { body }` with the
+    /// cursor on `fn`.
+    fn fn_def(&mut self) -> FnDef {
+        let line = self.line();
+        self.bump(); // `fn`
+        let name = self
+            .peek(0)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        self.bump();
+        self.skip_generics();
+        let mut params = 0..0;
+        if self.peek_is_punct(0, "(") {
+            let start = self.pos + 1;
+            self.skip_balanced("(", ")");
+            params = start..self.pos - 1;
+        }
+        let mut ret = 0..0;
+        if self.peek_is_punct(0, "->") {
+            self.bump();
+            let start = self.pos;
+            // return type runs to `where`, `{`, or `;` at angle depth 0
+            let mut angle = 0i32;
+            while let Some(t) = self.peek(0) {
+                if t.is_punct("<") {
+                    angle += 1;
+                } else if t.is_punct("<<") {
+                    angle += 2;
+                } else if t.is_punct(">") {
+                    angle -= 1;
+                } else if t.is_punct(">>") {
+                    angle -= 2;
+                } else if angle <= 0 && (t.is_ident("where") || t.is_punct("{") || t.is_punct(";"))
+                {
+                    break;
+                }
+                self.bump();
+            }
+            ret = start..self.pos;
+        }
+        // where clause
+        if self.peek_is_ident(0, "where") {
+            while !self.at_end() && !self.peek_is_punct(0, "{") && !self.peek_is_punct(0, ";") {
+                self.bump();
+            }
+        }
+        let body = if self.peek_is_punct(0, "{") {
+            Some(self.block())
+        } else {
+            if self.peek_is_punct(0, ";") {
+                self.bump();
+            }
+            None
+        };
+        FnDef {
+            name,
+            line,
+            params,
+            ret,
+            body,
+        }
+    }
+
+    /// Parses `impl<g> [Trait for] Type { … }` with the cursor on `impl`.
+    fn impl_def(&mut self) -> ItemKind {
+        let line = self.line();
+        self.bump(); // `impl`
+        self.skip_generics();
+        // collect the path tokens up to `for` / `{` / `where` at depth 0
+        let first = self.path_head();
+        let (trait_name, type_name) = if self.peek_is_ident(0, "for") {
+            self.bump();
+            let second = self.path_head();
+            (Some(first), second)
+        } else {
+            (None, first)
+        };
+        if self.peek_is_ident(0, "where") {
+            while !self.at_end() && !self.peek_is_punct(0, "{") {
+                self.bump();
+            }
+        }
+        let mut fns = Vec::new();
+        let mut consts = Vec::new();
+        if self.peek_is_punct(0, "{") {
+            self.bump();
+            while !self.at_end() && !self.peek_is_punct(0, "}") {
+                if self.skip_attr() {
+                    continue;
+                }
+                // modifiers inside impls
+                if self.peek(0).is_some_and(|t| {
+                    t.kind == TokKind::Ident && MODIFIERS.contains(&t.text.as_str())
+                }) {
+                    self.bump();
+                    if self.peek_is_punct(0, "(") {
+                        self.skip_balanced("(", ")");
+                    }
+                    continue;
+                }
+                if self.peek_is_ident(0, "fn")
+                    || (self.peek_is_ident(0, "const") && self.peek_is_ident(1, "fn"))
+                {
+                    if self.peek_is_ident(0, "const") {
+                        self.bump();
+                    }
+                    fns.push(self.fn_def());
+                } else if self.peek_is_ident(0, "const") {
+                    if let ItemKind::Const(c) = self.const_def() {
+                        consts.push(c);
+                    }
+                } else if self.peek_is_ident(0, "type") {
+                    while !self.at_end() && !self.peek_is_punct(0, ";") {
+                        self.bump();
+                    }
+                    self.bump();
+                } else {
+                    self.bump();
+                }
+            }
+            self.bump(); // `}`
+        }
+        ItemKind::Impl(ImplDef {
+            trait_name,
+            type_name,
+            line,
+            fns,
+            consts,
+        })
+    }
+
+    /// Reads a type/trait path at the cursor and returns its last plain
+    /// segment, skipping generics, `&`, lifetimes, and `dyn`/`mut`.
+    fn path_head(&mut self) -> String {
+        let mut last = String::new();
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Ident {
+                if t.is_ident("for") || t.is_ident("where") {
+                    break;
+                }
+                if !t.is_ident("dyn") && !t.is_ident("mut") {
+                    last = t.text.clone();
+                }
+                self.bump();
+            } else if t.is_punct("::") || t.is_punct("&") || t.kind == TokKind::Lifetime {
+                self.bump();
+            } else if t.is_punct("<") || t.is_punct("<<") {
+                self.skip_generics();
+            } else if t.is_punct("(") {
+                // tuple type / fn pointer args
+                self.skip_balanced("(", ")");
+            } else if t.is_punct("[") {
+                self.skip_balanced("[", "]");
+            } else {
+                break;
+            }
+        }
+        last
+    }
+
+    /// Parses `trait Name … { fns }` with the cursor on `trait`.
+    fn trait_def(&mut self) -> ItemKind {
+        let line = self.line();
+        self.bump(); // `trait`
+        let name = self
+            .peek(0)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        self.bump();
+        self.skip_generics();
+        while !self.at_end() && !self.peek_is_punct(0, "{") && !self.peek_is_punct(0, ";") {
+            self.bump();
+        }
+        let mut fns = Vec::new();
+        if self.peek_is_punct(0, "{") {
+            self.bump();
+            while !self.at_end() && !self.peek_is_punct(0, "}") {
+                if self.skip_attr() {
+                    continue;
+                }
+                if self.peek_is_ident(0, "fn") {
+                    fns.push(self.fn_def());
+                } else {
+                    self.bump();
+                }
+            }
+            self.bump();
+        } else {
+            self.bump();
+        }
+        ItemKind::Trait(TraitDef { name, line, fns })
+    }
+
+    /// Parses `struct Name<g> { fields } | (tuple); | ;` with the cursor
+    /// on `struct`.
+    fn struct_def(&mut self) -> ItemKind {
+        let line = self.line();
+        self.bump(); // `struct`
+        let name = self
+            .peek(0)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        self.bump();
+        self.skip_generics();
+        if self.peek_is_ident(0, "where") {
+            while !self.at_end() && !self.peek_is_punct(0, "{") && !self.peek_is_punct(0, ";") {
+                self.bump();
+            }
+        }
+        let mut fields = Vec::new();
+        if self.peek_is_punct(0, "{") {
+            self.bump();
+            while !self.at_end() && !self.peek_is_punct(0, "}") {
+                if self.skip_attr() {
+                    continue;
+                }
+                if self.peek_is_ident(0, "pub") {
+                    self.bump();
+                    if self.peek_is_punct(0, "(") {
+                        self.skip_balanced("(", ")");
+                    }
+                    continue;
+                }
+                // `name : ty ,`
+                if self.peek(0).is_some_and(|t| t.kind == TokKind::Ident)
+                    && self.peek_is_punct(1, ":")
+                {
+                    let fname = self.peek(0).map(|t| t.text.clone()).unwrap_or_default();
+                    self.bump();
+                    self.bump(); // `:`
+                    let start = self.pos;
+                    // type runs to `,` or `}` at depth 0
+                    let mut depth = 0i32;
+                    while let Some(t) = self.peek(0) {
+                        if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+                            depth += 1;
+                        } else if t.is_punct("<<") {
+                            depth += 2;
+                        } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+                            depth -= 1;
+                        } else if t.is_punct(">>") {
+                            depth -= 2;
+                        } else if depth <= 0 && (t.is_punct(",") || t.is_punct("}")) {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    fields.push(FieldDef {
+                        name: fname,
+                        ty: start..self.pos,
+                    });
+                    if self.peek_is_punct(0, ",") {
+                        self.bump();
+                    }
+                } else {
+                    self.bump();
+                }
+            }
+            self.bump(); // `}`
+        } else if self.peek_is_punct(0, "(") {
+            self.skip_balanced("(", ")");
+            if self.peek_is_punct(0, ";") {
+                self.bump();
+            }
+        } else if self.peek_is_punct(0, ";") {
+            self.bump();
+        }
+        ItemKind::Struct(StructDef { name, line, fields })
+    }
+
+    /// Parses `const NAME: ty = value;` / `static [mut] NAME: ty = value;`
+    /// with the cursor on the keyword.
+    fn const_def(&mut self) -> ItemKind {
+        let line = self.line();
+        self.bump(); // `const` / `static`
+        if self.peek_is_ident(0, "mut") {
+            self.bump();
+        }
+        let name = self
+            .peek(0)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        self.bump();
+        // skip `: ty` to the `=` at depth 0
+        let mut depth = 0i32;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("<<") {
+                depth += 2;
+            } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if t.is_punct(">>") {
+                depth -= 2;
+            } else if depth <= 0 && (t.is_punct("=") || t.is_punct(";")) {
+                break;
+            }
+            self.bump();
+        }
+        let mut value = 0..0;
+        if self.peek_is_punct(0, "=") {
+            self.bump();
+            let start = self.pos;
+            let mut d = 0i32;
+            while let Some(t) = self.peek(0) {
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    d += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                    d -= 1;
+                } else if d <= 0 && t.is_punct(";") {
+                    break;
+                }
+                self.bump();
+            }
+            value = start..self.pos;
+        }
+        if self.peek_is_punct(0, ";") {
+            self.bump();
+        }
+        ItemKind::Const(ConstDef { name, line, value })
+    }
+
+    /// Parses a `{ … }` block with the cursor on `{`.
+    fn block(&mut self) -> Block {
+        self.bump(); // `{`
+        let start = self.pos;
+        let stmts = self.stmts_until_close();
+        Block {
+            stmts,
+            span: start..self.pos.saturating_sub(1),
+        }
+    }
+
+    /// Statement keywords that open a block-form expression statement.
+    fn is_block_keyword(t: &Tok) -> bool {
+        t.is_ident("if")
+            || t.is_ident("match")
+            || t.is_ident("while")
+            || t.is_ident("loop")
+            || t.is_ident("unsafe")
+    }
+
+    /// Parses statements until the block's closing `}` (consumed).
+    fn stmts_until_close(&mut self) -> Vec<Stmt> {
+        let mut stmts = Vec::new();
+        while !self.at_end() {
+            if self.peek_is_punct(0, "}") {
+                self.bump();
+                return stmts;
+            }
+            if self.peek_is_punct(0, ";") {
+                self.bump();
+                continue;
+            }
+            if self.skip_attr() {
+                continue;
+            }
+            // nested items inside bodies
+            if self.peek_is_ident(0, "fn")
+                || self.peek_is_ident(0, "struct")
+                || (self.peek_is_ident(0, "const")
+                    && self
+                        .peek(1)
+                        .is_some_and(|t| t.kind == TokKind::Ident && !t.is_ident("fn"))
+                    && self.peek_is_punct(2, ":"))
+            {
+                let line = self.line();
+                if let Some(item) = self.item() {
+                    let at = self.pos;
+                    stmts.push(Stmt {
+                        line,
+                        span: at..at,
+                        kind: StmtKind::Item(Box::new(item)),
+                    });
+                }
+                continue;
+            }
+            if self.peek_is_ident(0, "let") {
+                stmts.push(self.let_stmt());
+                continue;
+            }
+            if self.peek_is_ident(0, "for") {
+                stmts.push(self.for_stmt());
+                continue;
+            }
+            stmts.push(self.expr_stmt());
+        }
+        stmts
+    }
+
+    /// Extracts binding names from a pattern span: plain lowercase-start
+    /// identifiers, minus keywords, `_`, and path segments (uppercase by
+    /// convention — `Some`, `Ev::Cross`).
+    fn pattern_names(&self, span: Span) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut i = span.start;
+        while i < span.end {
+            let t = &self.toks[i];
+            let next = (i + 1 < span.end).then(|| &self.toks[i + 1]);
+            i += 1;
+            if t.kind != TokKind::Ident
+                || matches!(t.text.as_str(), "mut" | "ref" | "box" | "_" | "self")
+                || t.text.starts_with(|c: char| c.is_ascii_uppercase())
+            {
+                continue;
+            }
+            // A path segment followed by `::` is a type/enum, not a binding;
+            // an ident before `:` is a struct-pattern field name. Both
+            // lookaheads stay inside the span: a `:` just past it is the
+            // let's type ascription, not a field pattern.
+            if let Some(n) = next {
+                if n.is_punct("::") || n.is_punct(":") {
+                    continue;
+                }
+            }
+            names.push(t.text.clone());
+        }
+        names
+    }
+
+    /// Parses `let pat [: ty] [= init] [else { … }] ;` with the cursor on
+    /// `let`.
+    fn let_stmt(&mut self) -> Stmt {
+        let line = self.line();
+        let start = self.pos;
+        self.bump(); // `let`
+                     // pattern: to `:` / `=` / `;` at depth 0
+        let pat_start = self.pos;
+        let mut depth = 0i32;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth <= 0 && (t.is_punct(":") || t.is_punct("=") || t.is_punct(";")) {
+                break;
+            }
+            self.bump();
+        }
+        let names = self.pattern_names(pat_start..self.pos);
+        // optional type ascription
+        if self.peek_is_punct(0, ":") {
+            self.bump();
+            let mut d = 0i32;
+            while let Some(t) = self.peek(0) {
+                if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+                    d += 1;
+                } else if t.is_punct("<<") {
+                    d += 2;
+                } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+                    d -= 1;
+                } else if t.is_punct(">>") {
+                    d -= 2;
+                } else if d <= 0 && (t.is_punct("=") || t.is_punct(";")) {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        let mut init = None;
+        if self.peek_is_punct(0, "=") {
+            self.bump();
+            let istart = self.pos;
+            let mut d = 0i32;
+            while let Some(t) = self.peek(0) {
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    d += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                    if d == 0 {
+                        break; // unbalanced: container close, stop here
+                    }
+                    d -= 1;
+                } else if d == 0 && t.is_punct(";") {
+                    break;
+                } else if d == 0 && t.is_ident("else") && self.peek_is_punct(1, "{") {
+                    break; // let-else diverging arm
+                }
+                self.bump();
+            }
+            init = Some(istart..self.pos);
+            if self.peek_is_ident(0, "else") {
+                self.bump();
+                if self.peek_is_punct(0, "{") {
+                    self.skip_balanced("{", "}");
+                }
+            }
+        }
+        if self.peek_is_punct(0, ";") {
+            self.bump();
+        }
+        Stmt {
+            line,
+            span: start..self.pos,
+            kind: StmtKind::Let { names, init },
+        }
+    }
+
+    /// Parses `for pat in iter { body }` with the cursor on `for`.
+    fn for_stmt(&mut self) -> Stmt {
+        let line = self.line();
+        let start = self.pos;
+        self.bump(); // `for`
+        let pat_start = self.pos;
+        let mut depth = 0i32;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth <= 0 && t.is_ident("in") {
+                break;
+            }
+            self.bump();
+        }
+        let vars = self.pattern_names(pat_start..self.pos);
+        self.bump(); // `in`
+        let iter_start = self.pos;
+        let mut d = 0i32;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct("(") || t.is_punct("[") {
+                d += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                d -= 1;
+            } else if d <= 0 && t.is_punct("{") {
+                break;
+            }
+            self.bump();
+        }
+        let iter = iter_start..self.pos;
+        let body = if self.peek_is_punct(0, "{") {
+            self.block()
+        } else {
+            Block {
+                stmts: Vec::new(),
+                span: self.pos..self.pos,
+            }
+        };
+        Stmt {
+            line,
+            span: start..self.pos,
+            kind: StmtKind::For { vars, iter, body },
+        }
+    }
+
+    /// Parses a general expression statement: runs to `;` at depth 0, or —
+    /// for block-form statements (`if`/`match`/`while`/`loop`/bare block) —
+    /// to the closing brace of the construct (handling `else` chains).
+    /// Top-level `=`/compound assignments are classified as `Assign`;
+    /// depth-0 brace groups are parsed recursively into `blocks`.
+    fn expr_stmt(&mut self) -> Stmt {
+        let line = self.line();
+        let start = self.pos;
+        let block_form =
+            self.peek(0).is_some_and(Self::is_block_keyword) || self.peek_is_punct(0, "{");
+        let mut blocks = Vec::new();
+        let mut assign_at: Option<(usize, bool)> = None;
+        let mut depth = 0i32;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+                self.bump();
+                continue;
+            }
+            if t.is_punct(")") || t.is_punct("]") {
+                if depth == 0 {
+                    break; // container close — malformed input, stop
+                }
+                depth -= 1;
+                self.bump();
+                continue;
+            }
+            if t.is_punct("}") && depth == 0 {
+                break; // enclosing block's close
+            }
+            if t.is_punct("{") && depth == 0 {
+                blocks.push(self.block());
+                // block-form statement ends at its construct's last brace —
+                // unless an `else` chains on
+                if block_form && !self.peek_is_ident(0, "else") {
+                    // `match`/`loop`/`while`/final `else` → done; but an
+                    // `if` inside `match arms` etc. is nested, so only the
+                    // outermost decides. We are at depth 0, so done.
+                    break;
+                }
+                continue;
+            }
+            if t.is_punct("{") {
+                // brace group inside parens/brackets (closure body in a
+                // call): skip structurally, not a statement-level block
+                self.skip_balanced("{", "}");
+                continue;
+            }
+            if depth == 0 && t.is_punct(";") {
+                self.bump();
+                break;
+            }
+            if depth == 0 && assign_at.is_none() && !block_form {
+                if t.is_punct("=") {
+                    assign_at = Some((self.pos, false));
+                } else if matches!(
+                    t.text.as_str(),
+                    "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>="
+                ) && t.kind == TokKind::Punct
+                {
+                    assign_at = Some((self.pos, true));
+                }
+            }
+            self.bump();
+        }
+        let end = self.pos;
+        let kind = if let Some((eq, compound)) = assign_at {
+            let vend = if self
+                .toks
+                .get(end.saturating_sub(1))
+                .is_some_and(|t| t.is_punct(";"))
+            {
+                end - 1
+            } else {
+                end
+            };
+            StmtKind::Assign {
+                target: start..eq,
+                compound,
+                value: eq + 1..vend,
+            }
+        } else {
+            StmtKind::Expr { blocks }
+        };
+        Stmt {
+            line,
+            span: start..end,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn parses_items_and_impls() {
+        let f = parse_src(
+            "pub struct S { pub a: u64, b: HashMap<u64, f64> }\n\
+             impl LogicalProcess for S {\n\
+                 fn handle(&mut self) { self.a += 1; }\n\
+                 fn lookahead(&self) -> f64 { 0.5 }\n\
+             }\n\
+             impl S { fn helper(&self) {} }\n\
+             const LA: f64 = 0.25;\n",
+        );
+        assert_eq!(f.items.len(), 4);
+        let ItemKind::Struct(s) = &f.items[0].kind else {
+            panic!("expected struct")
+        };
+        assert_eq!(s.name, "S");
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[1].name, "b");
+        let ItemKind::Impl(i) = &f.items[1].kind else {
+            panic!("expected impl")
+        };
+        assert_eq!(i.trait_name.as_deref(), Some("LogicalProcess"));
+        assert_eq!(i.type_name, "S");
+        assert_eq!(i.fns.len(), 2);
+        assert_eq!(i.fns[0].name, "handle");
+        let ItemKind::Impl(inh) = &f.items[2].kind else {
+            panic!("expected inherent impl")
+        };
+        assert!(inh.trait_name.is_none());
+        let ItemKind::Const(c) = &f.items[3].kind else {
+            panic!("expected const")
+        };
+        assert_eq!(c.name, "LA");
+    }
+
+    #[test]
+    fn generic_impls_resolve_last_segment() {
+        let f = parse_src(
+            "impl<'a, M: Send> lp::LogicalProcess for path::To<Type<M>> { fn handle(&mut self) {} }",
+        );
+        let ItemKind::Impl(i) = &f.items[0].kind else {
+            panic!()
+        };
+        assert_eq!(i.trait_name.as_deref(), Some("LogicalProcess"));
+        assert_eq!(i.type_name, "To");
+        assert_eq!(i.fns.len(), 1);
+    }
+
+    #[test]
+    fn statements_classify() {
+        let f = parse_src(
+            "fn f(m: &HashMap<u64, u64>) {\n\
+                 let mut ids: Vec<u64> = m.keys().copied().collect();\n\
+                 ids.sort_unstable();\n\
+                 let (a, b) = (1, 2);\n\
+                 total += a;\n\
+                 for k in ids { go(k); }\n\
+                 if a > 0 { let c = b; go(c); } else { stop(); }\n\
+             }",
+        );
+        let ItemKind::Fn(fun) = &f.items[0].kind else {
+            panic!()
+        };
+        let stmts = &fun.body.as_ref().unwrap().stmts;
+        assert_eq!(stmts.len(), 6);
+        assert!(matches!(&stmts[0].kind, StmtKind::Let { names, .. } if names == &["ids"]));
+        assert!(matches!(&stmts[1].kind, StmtKind::Expr { .. }));
+        assert!(
+            matches!(&stmts[2].kind, StmtKind::Let { names, .. } if names == &["a".to_string(), "b".to_string()])
+        );
+        assert!(matches!(
+            &stmts[3].kind,
+            StmtKind::Assign { compound: true, .. }
+        ));
+        let StmtKind::For { vars, body, .. } = &stmts[4].kind else {
+            panic!("expected for, got {:?}", stmts[4].kind)
+        };
+        assert_eq!(vars, &["k"]);
+        assert_eq!(body.stmts.len(), 1);
+        let StmtKind::Expr { blocks } = &stmts[5].kind else {
+            panic!("expected if as expr stmt")
+        };
+        assert_eq!(blocks.len(), 2, "then and else blocks");
+        assert_eq!(blocks[0].stmts.len(), 2);
+    }
+
+    #[test]
+    fn let_else_and_match_parse_through() {
+        let f = parse_src(
+            "fn f(x: Option<u64>) -> u64 {\n\
+                 let Some(v) = x else { return 0; };\n\
+                 match v { 0 => zero(), n => { other(n); } }\n\
+                 v\n\
+             }",
+        );
+        let ItemKind::Fn(fun) = &f.items[0].kind else {
+            panic!()
+        };
+        let stmts = &fun.body.as_ref().unwrap().stmts;
+        assert!(matches!(&stmts[0].kind, StmtKind::Let { names, .. } if names == &["v"]));
+        assert!(stmts.len() >= 2);
+    }
+
+    #[test]
+    fn trait_with_default_bodies() {
+        let f = parse_src(
+            "pub trait T: Send {\n\
+                 fn required(&self) -> f64;\n\
+                 fn provided(&self) -> u64 { 7 }\n\
+             }",
+        );
+        let ItemKind::Trait(t) = &f.items[0].kind else {
+            panic!()
+        };
+        assert_eq!(t.name, "T");
+        assert_eq!(t.fns.len(), 2);
+        assert!(t.fns[0].body.is_none());
+        assert!(t.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn inline_mods_nest() {
+        let f = parse_src("mod inner { pub fn g() {} }\nfn top() {}");
+        let ItemKind::Mod(name, items) = &f.items[0].kind else {
+            panic!()
+        };
+        assert_eq!(name, "inner");
+        assert!(matches!(items[0].kind, ItemKind::Fn(_)));
+        assert!(matches!(f.items[1].kind, ItemKind::Fn(_)));
+    }
+
+    #[test]
+    fn shift_ops_inside_generics_do_not_derail() {
+        let f = parse_src("fn f(v: Vec<Vec<u64>>) -> Vec<Vec<u64>> { v }\nfn g() {}");
+        assert_eq!(f.items.len(), 2);
+        assert!(matches!(f.items[1].kind, ItemKind::Fn(_)));
+    }
+
+    #[test]
+    fn closures_in_call_args_stay_inside_the_statement() {
+        let f = parse_src(
+            "fn f(v: &mut Vec<f64>) {\n\
+                 v.sort_by(|a, b| { a.total_cmp(b) });\n\
+                 second();\n\
+             }",
+        );
+        let ItemKind::Fn(fun) = &f.items[0].kind else {
+            panic!()
+        };
+        assert_eq!(fun.body.as_ref().unwrap().stmts.len(), 2);
+    }
+}

@@ -1,0 +1,587 @@
+//! Intra-function taint tracking for the `determinism-taint` rule.
+//!
+//! The token-level `hash-iter` rule sees `map.keys()` but not what happens
+//! to the result; this pass follows nondeterminism through local bindings
+//! until it reaches a scheduling sink:
+//!
+//! ```text
+//! let ids: Vec<u64> = self.peers.keys().copied().collect();  // source
+//! let order = ids;                                           // propagate
+//! for p in order { ctx.schedule_in(0.1, Ev::Ping(p)); }      // sink → flag
+//! ```
+//!
+//! Three taint kinds are tracked, because their sanitizers differ:
+//! **hash-order** (cleared by a `.sort*()` call — sorted data no longer
+//! depends on iteration order), **wall-clock**, and **ptr-cast** (value
+//! nondeterminism; nothing local clears it).
+//!
+//! The analysis is a single in-order walk of the statement tree carrying a
+//! name → taint map: `let`/`=` bind or clear, compound assignment
+//! accumulates, `.push(tainted)` taints the receiver, `.sort*()`
+//! sanitizes hash-order taint, and every scheduling call is checked
+//! against the map as it stood at that statement. Loop bodies are walked
+//! **twice**, so taint carried backward by iteration (`x` assigned at the
+//! bottom, used in a sink at the top) is visible on the second pass. The
+//! pass is deliberately biased toward reporting — it cannot prove
+//! commutativity or branch feasibility — and the pragma escape hatch
+//! documents the survivors.
+
+use crate::ast::{Block, FnDef, Span, Stmt, StmtKind};
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{finding, FileCtx, Finding, ITER_METHODS, SORT_METHODS};
+use std::collections::BTreeMap;
+
+/// Why a local is considered nondeterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintKind {
+    /// Derived from HashMap/HashSet iteration order.
+    HashOrder,
+    /// Derived from wall-clock time or OS entropy.
+    WallClock,
+    /// Derived from a pointer-to-integer cast (address-space layout).
+    PtrCast,
+}
+
+impl TaintKind {
+    fn describe(self) -> &'static str {
+        match self {
+            TaintKind::HashOrder => "HashMap/HashSet iteration order",
+            TaintKind::WallClock => "a wall-clock/OS-entropy value",
+            TaintKind::PtrCast => "a pointer-to-integer cast",
+        }
+    }
+}
+
+/// One tainted binding: where the nondeterminism entered.
+#[derive(Debug, Clone)]
+struct Taint {
+    kind: TaintKind,
+    source_line: u32,
+}
+
+type State = BTreeMap<String, Taint>;
+
+/// Methods that fold their argument into the receiver — a tainted argument
+/// taints the receiver collection.
+const ABSORB_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "extend",
+    "append",
+];
+
+/// Scheduling/event-payload sinks: a tainted value reaching any argument
+/// of these calls makes event content or order depend on the taint source.
+const SINK_METHODS: &[&str] = &["schedule", "schedule_at", "schedule_in", "send", "send_at"];
+
+/// Receiver accessors that do *not* depend on iteration order — a
+/// hash-order-tainted name used only through these is deterministic.
+const ORDER_FREE: &[&str] = &[
+    "len",
+    "count",
+    "is_empty",
+    "contains",
+    "contains_key",
+    "get",
+];
+
+/// Runs the determinism-taint analysis over one function body.
+pub fn check_fn(ctx: &FileCtx, toks: &[Tok], f: &FnDef, out: &mut Vec<Finding>) {
+    let Some(body) = &f.body else { return };
+    let hash_names = crate::rules::hash_typed_names(toks);
+    let mut state = State::new();
+    let mut hits: Vec<(u32, String, Taint)> = Vec::new();
+    walk_block(body, toks, &hash_names, &mut state, &mut hits);
+    hits.sort_by(|a, b| (a.0, a.1.as_str()).cmp(&(b.0, b.1.as_str())));
+    hits.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+    for (line, name, taint) in hits {
+        if ctx.in_test(line) {
+            continue;
+        }
+        out.push(finding(
+            ctx,
+            "determinism-taint",
+            line,
+            format!(
+                "`{name}` carries {} (tainted at line {}) into a scheduling sink; \
+                 event order/content now depends on a nondeterministic source — \
+                 sort or canonicalize before scheduling",
+                taint.kind.describe(),
+                taint.source_line
+            ),
+        ));
+    }
+}
+
+/// In-order walk: per statement, check sinks against the current state,
+/// apply the statement's effects, then recurse into nested blocks (loop
+/// bodies twice, to surface loop-carried taint).
+fn walk_block(
+    block: &Block,
+    toks: &[Tok],
+    hash_names: &[String],
+    state: &mut State,
+    hits: &mut Vec<(u32, String, Taint)>,
+) {
+    for stmt in &block.stmts {
+        // sinks in the statement's own tokens — for block-bearing
+        // statements only the header (before the first block), so inner
+        // statements are judged by their own, possibly shadowed, state
+        let header = match &stmt.kind {
+            StmtKind::Expr { blocks } if !blocks.is_empty() => {
+                stmt.span.start..blocks[0].span.start.saturating_sub(1)
+            }
+            StmtKind::For { iter, .. } => stmt.span.start..iter.end,
+            _ => stmt.span.clone(),
+        };
+        check_sinks(toks, header.clone(), state, hits);
+        apply_stmt(stmt, &header, toks, hash_names, state);
+        match &stmt.kind {
+            StmtKind::For { body, .. } => {
+                walk_block(body, toks, hash_names, state, hits);
+                walk_block(body, toks, hash_names, state, hits);
+            }
+            StmtKind::Expr { blocks } if !blocks.is_empty() => {
+                let looping = toks
+                    .get(stmt.span.start)
+                    .is_some_and(|t| t.is_ident("loop") || t.is_ident("while"));
+                for b in blocks {
+                    walk_block(b, toks, hash_names, state, hits);
+                }
+                if looping {
+                    for b in blocks {
+                        walk_block(b, toks, hash_names, state, hits);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Applies one statement's *shallow* effects (nested blocks are handled by
+/// the walk itself).
+fn apply_stmt(stmt: &Stmt, header: &Span, toks: &[Tok], hash_names: &[String], state: &mut State) {
+    match &stmt.kind {
+        StmtKind::Let { names, init } => {
+            let taint = init
+                .as_ref()
+                .and_then(|sp| span_taint(toks, sp.clone(), hash_names, state));
+            for n in names {
+                match &taint {
+                    Some(t) => {
+                        state.insert(n.clone(), t.clone());
+                    }
+                    None => {
+                        // (re)binding to a clean value clears
+                        state.remove(n);
+                    }
+                }
+            }
+            apply_effect_calls(toks, stmt.span.clone(), hash_names, state);
+        }
+        StmtKind::Assign {
+            target,
+            compound,
+            value,
+        } => {
+            let taint = span_taint(toks, value.clone(), hash_names, state);
+            if let Some(name) = target_name(toks, target.clone()) {
+                match taint {
+                    Some(t) => {
+                        state.insert(name, t);
+                    }
+                    None if !*compound => {
+                        // `x = clean` replaces the value outright
+                        state.remove(&name);
+                    }
+                    None => {}
+                }
+            }
+        }
+        StmtKind::For { vars, iter, .. } => {
+            if let Some(t) = span_taint(toks, iter.clone(), hash_names, state) {
+                for v in vars {
+                    state.insert(v.clone(), t.clone());
+                }
+            }
+        }
+        StmtKind::Expr { .. } => {
+            apply_effect_calls(toks, header.clone(), hash_names, state);
+        }
+        StmtKind::Item(_) => {}
+    }
+}
+
+/// Finds `recv . sink_method ( args )` in `span` and records tainted
+/// arguments.
+fn check_sinks(toks: &[Tok], span: Span, state: &State, hits: &mut Vec<(u32, String, Taint)>) {
+    let end = span.end.min(toks.len());
+    let mut i = span.start;
+    while i + 2 < end {
+        if toks[i].is_punct(".")
+            && toks[i + 1].kind == TokKind::Ident
+            && SINK_METHODS.contains(&toks[i + 1].text.as_str())
+            && toks[i + 2].is_punct("(")
+        {
+            let args = paren_span(toks, i + 2);
+            if let Some((name, t)) = tainted_mention(toks, args.clone(), state) {
+                hits.push((toks[i + 1].line, name, t));
+            }
+            i = args.end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Applies collection-level effects found anywhere in `span`:
+/// `x.sort*()` clears hash-order taint on `x`; `x.push(tainted)` and
+/// friends taint `x`.
+fn apply_effect_calls(toks: &[Tok], span: Span, hash_names: &[String], state: &mut State) {
+    let end = span.end.min(toks.len());
+    for i in span.start..end {
+        if i + 3 >= toks.len()
+            || toks[i].kind != TokKind::Ident
+            || !toks[i + 1].is_punct(".")
+            || toks[i + 2].kind != TokKind::Ident
+            || !toks[i + 3].is_punct("(")
+        {
+            continue;
+        }
+        let recv = &toks[i].text;
+        let m = toks[i + 2].text.as_str();
+        if SORT_METHODS.contains(&m) {
+            if state
+                .get(recv)
+                .is_some_and(|t| t.kind == TaintKind::HashOrder)
+            {
+                state.remove(recv);
+            }
+        } else if ABSORB_METHODS.contains(&m) {
+            let args = paren_span(toks, i + 3);
+            if let Some(t) = span_taint(toks, args, hash_names, state) {
+                state.insert(recv.clone(), t);
+            }
+        }
+    }
+}
+
+/// Token span of a paren group's interior, given the index of `(`.
+fn paren_span(toks: &[Tok], open: usize) -> Span {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return open + 1..j;
+            }
+        }
+    }
+    open + 1..toks.len()
+}
+
+/// The root local name of an assignment target (`x`, `x[i]`, `x.f` → `x`;
+/// `self.f` → the composite `self.f` so struct fields track separately).
+fn target_name(toks: &[Tok], span: Span) -> Option<String> {
+    let inner: Vec<&Tok> = toks[span.start..span.end.min(toks.len())]
+        .iter()
+        .filter(|t| !t.is_punct("*") && !t.is_punct("&") && !t.is_ident("mut"))
+        .collect();
+    let first = inner.first().filter(|t| t.kind == TokKind::Ident)?;
+    if first.is_ident("self")
+        && inner.get(1).is_some_and(|t| t.is_punct("."))
+        && inner.get(2).is_some_and(|t| t.kind == TokKind::Ident)
+    {
+        return Some(format!("self.{}", inner[2].text));
+    }
+    Some(first.text.clone())
+}
+
+/// Does this span *produce* a tainted value? Checks direct sources first,
+/// then mentions of already-tainted names.
+fn span_taint(toks: &[Tok], span: Span, hash_names: &[String], state: &State) -> Option<Taint> {
+    if let Some(t) = span_source(toks, span.clone(), hash_names) {
+        return Some(t);
+    }
+    tainted_mention(toks, span, state).map(|(_, t)| t)
+}
+
+/// Direct nondeterminism sources inside a span.
+fn span_source(toks: &[Tok], span: Span, hash_names: &[String]) -> Option<Taint> {
+    let end = span.end.min(toks.len());
+    let mut saw_ptr_cast = false;
+    for i in span.start..end {
+        let t = &toks[i];
+        let line = t.line;
+        // hash-order: an `.iter()`-family call on a hash-typed name, or
+        // the bare collection in an iterated/argument position; order-free
+        // accessors (`map.len()`, `map.get(k)`) stay clean
+        if t.kind == TokKind::Ident && hash_names.binary_search(&t.text).is_ok() {
+            let next_dot = toks.get(i + 1).is_some_and(|n| n.is_punct("."));
+            let method = toks.get(i + 2).map(|n| n.text.as_str());
+            if next_dot {
+                if method.is_some_and(|m| ITER_METHODS.contains(&m)) {
+                    return Some(Taint {
+                        kind: TaintKind::HashOrder,
+                        source_line: line,
+                    });
+                }
+            } else if !toks.get(i + 1).is_some_and(|n| n.is_punct("::")) {
+                // bare mention (not a path segment, not a field/method
+                // access): the collection itself flows — `for v in &map`,
+                // `collect_from(&map)`
+                return Some(Taint {
+                    kind: TaintKind::HashOrder,
+                    source_line: line,
+                });
+            }
+            let _ = ORDER_FREE; // non-iter accessors fall through un-flagged
+        }
+        // wall-clock / OS entropy
+        if (t.is_ident("SystemTime") && toks.get(i + 1).is_some_and(|n| n.is_punct("::")))
+            || (t.is_ident("Instant")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident("now")))
+            || t.is_ident("RandomState")
+            || t.is_ident("thread_rng")
+            || t.is_ident("from_entropy")
+        {
+            return Some(Taint {
+                kind: TaintKind::WallClock,
+                source_line: line,
+            });
+        }
+        // pointer-to-int: `… as *const T as usize` or `.as_ptr() as u64`
+        if t.is_ident("as") && toks.get(i + 1).is_some_and(|n| n.is_punct("*")) {
+            saw_ptr_cast = true;
+        }
+        if t.is_ident("as_ptr")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(")"))
+        {
+            saw_ptr_cast = true;
+        }
+        if saw_ptr_cast
+            && t.is_ident("as")
+            && toks.get(i + 1).is_some_and(|n| {
+                matches!(
+                    n.text.as_str(),
+                    "usize" | "u64" | "u32" | "u128" | "i64" | "isize"
+                )
+            })
+        {
+            return Some(Taint {
+                kind: TaintKind::PtrCast,
+                source_line: line,
+            });
+        }
+    }
+    None
+}
+
+/// First mention of an already-tainted name in `span` that actually uses
+/// the nondeterministic aspect (hash-order taint read through `.len()`
+/// and friends does not count).
+fn tainted_mention(toks: &[Tok], span: Span, state: &State) -> Option<(String, Taint)> {
+    let end = span.end.min(toks.len());
+    let mut i = span.start;
+    while i < end {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            // `self.f` composite names
+            let (name, width) = if t.is_ident("self")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("."))
+                && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+            {
+                (format!("self.{}", toks[i + 2].text), 3)
+            } else {
+                (t.text.clone(), 1)
+            };
+            if let Some(taint) = state.get(&name) {
+                let order_free = taint.kind == TaintKind::HashOrder
+                    && toks.get(i + width).is_some_and(|n| n.is_punct("."))
+                    && toks
+                        .get(i + width + 1)
+                        .is_some_and(|n| ORDER_FREE.contains(&n.text.as_str()));
+                if !order_free {
+                    return Some((name, taint.clone()));
+                }
+            }
+            i += width;
+            continue;
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{parse, ItemKind};
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let toks = lex(src);
+        let parsed = parse(&toks);
+        let ctx = FileCtx {
+            rel_path: "crates/x/src/lib.rs".into(),
+            crate_name: "lsds-x".into(),
+            is_test_file: false,
+            test_lines: Vec::new(),
+            order_sensitive: true,
+            hot_path: false,
+        };
+        let mut out = Vec::new();
+        for item in &parsed.items {
+            if let ItemKind::Fn(f) = &item.kind {
+                check_fn(&ctx, &toks, f, &mut out);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn laundered_hash_iteration_reaches_sink() {
+        let f = run("fn f(ctx: &mut Ctx, peers: HashMap<u64, Peer>) {\n\
+                let ids: Vec<u64> = peers.keys().copied().collect();\n\
+                let order = ids;\n\
+                for p in order { ctx.schedule_in(0.1, Ev::Ping(p)); }\n\
+             }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "determinism-taint");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn sorting_sanitizes_hash_order() {
+        let f = run("fn f(ctx: &mut Ctx, peers: HashMap<u64, Peer>) {\n\
+                let mut ids: Vec<u64> = peers.keys().copied().collect();\n\
+                ids.sort_unstable();\n\
+                for p in ids { ctx.schedule_in(0.1, Ev::Ping(p)); }\n\
+             }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn sorting_does_not_sanitize_wall_clock() {
+        let f = run("fn f(ctx: &mut Ctx) {\n\
+                let mut ts = vec![Instant::now()];\n\
+                ts.sort();\n\
+                ctx.send(1, 0.5, Ev::Stamp(ts));\n\
+             }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn ptr_cast_taints_payload() {
+        let f = run("fn f(ctx: &mut Ctx, job: &Job) {\n\
+                let key = job as *const Job as usize;\n\
+                ctx.schedule_in(0.1, Ev::Key(key));\n\
+             }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn reassignment_clears_taint() {
+        let f = run("fn f(ctx: &mut Ctx, peers: HashMap<u64, Peer>) {\n\
+                let mut x: Vec<u64> = peers.keys().copied().collect();\n\
+                x = vec![1, 2, 3];\n\
+                ctx.send(1, 0.5, Ev::Ids(x));\n\
+             }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn compound_assignment_accumulates() {
+        let f = run("fn f(ctx: &mut Ctx, m: HashMap<u64, u64>) {\n\
+                let mut acc = 0u64;\n\
+                for v in m.values() { acc += v; }\n\
+                ctx.send(1, 0.5, Ev::Acc(acc));\n\
+             }");
+        // `acc += v` with v hash-order tainted keeps acc tainted into the
+        // sink (commutative-sum false positive by design: the analysis
+        // cannot prove commutativity, pragma it when intended)
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn absorb_methods_taint_the_collection() {
+        let f = run("fn f(ctx: &mut Ctx, m: HashMap<u64, u64>) {\n\
+                let mut out = Vec::new();\n\
+                for v in m.values() { out.push(v); }\n\
+                ctx.send(1, 0.5, Ev::All(out));\n\
+             }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn order_free_accessors_do_not_fire() {
+        let f = run("fn f(ctx: &mut Ctx, m: HashMap<u64, u64>) {\n\
+                ctx.schedule_in(0.1, Ev::Count(m.len()));\n\
+                if m.contains_key(&7) { ctx.send(1, 0.5, Ev::Seen); }\n\
+             }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn loop_carried_taint_is_seen_above_the_assignment() {
+        let f = run("fn f(ctx: &mut Ctx, m: HashMap<u64, u64>) {\n\
+                let mut x = 0u64;\n\
+                loop {\n\
+                    ctx.send(1, 0.5, Ev::V(x));\n\
+                    x = first_value(&m);\n\
+                }\n\
+             }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn shadowed_inner_binding_stays_clean() {
+        let f = run("fn f(ctx: &mut Ctx, m: HashMap<u64, u64>) {\n\
+                let x: Vec<u64> = m.keys().copied().collect();\n\
+                if flip() {\n\
+                    let x = 3u64;\n\
+                    ctx.send(1, 0.5, Ev::V(x));\n\
+                }\n\
+             }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                fn f(ctx: &mut Ctx, m: HashMap<u64, u64>) {\n\
+                    let v: Vec<u64> = m.keys().copied().collect();\n\
+                    ctx.send(1, 0.5, Ev::Ids(v));\n\
+                }\n\
+             }";
+        let toks = lex(src);
+        let parsed = parse(&toks);
+        let ctx = FileCtx {
+            rel_path: "crates/x/src/lib.rs".into(),
+            crate_name: "lsds-x".into(),
+            is_test_file: false,
+            test_lines: crate::lexer::test_line_ranges(&toks),
+            order_sensitive: true,
+            hot_path: false,
+        };
+        let mut out = Vec::new();
+        fn visit(items: &[crate::ast::Item], ctx: &FileCtx, toks: &[Tok], out: &mut Vec<Finding>) {
+            for it in items {
+                match &it.kind {
+                    ItemKind::Fn(f) => check_fn(ctx, toks, f, out),
+                    ItemKind::Mod(_, nested) => visit(nested, ctx, toks, out),
+                    _ => {}
+                }
+            }
+        }
+        visit(&parsed.items, &ctx, &toks, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,270 @@
+//! Incremental scanning: `--changed <git-ref>` target selection and the
+//! `--cache` content-hash finding cache.
+//!
+//! Both features restrict *which files get the rule passes*, never what
+//! the passes can see: the symbol table is always built from the whole
+//! workspace, so a one-file incremental run reports exactly the findings
+//! a full run would report for that file (cross-file facts — another
+//! file's `SaveState` impl, a const feeding a lookahead — stay visible).
+//!
+//! The cache is a JSON document keyed twice: a **global key** hashing the
+//! config text, the rule table, and the symbol-table fingerprint (any of
+//! those changing invalidates everything), and a per-file **content
+//! hash**. A hit replays the stored findings without running the passes.
+
+use crate::report::SCHEMA_VERSION;
+use crate::rules::{Finding, Severity, RULES};
+use crate::symbols::fnv64;
+use lsds_trace::Json;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Command;
+
+/// Workspace-relative `.rs` paths changed against `git_ref`, per
+/// `git diff --name-only`. Untracked files are not listed by `git diff`,
+/// so freshly added files fall back to a full-path scan by the caller.
+pub fn changed_files(root: &Path, git_ref: &str) -> Result<Vec<String>, String> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", git_ref, "--"])
+        .output()
+        .map_err(|e| format!("cannot run git: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git diff --name-only {git_ref} failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    let mut files: Vec<String> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.trim().replace('\\', "/"))
+        .filter(|l| l.ends_with(".rs"))
+        .collect();
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+/// The global cache key: config text + rule table + symbol-table
+/// fingerprint, FNV-hashed.
+pub fn cache_key(config_text: &str, symtab_fingerprint: u64) -> u64 {
+    let mut dump = String::new();
+    dump.push_str(config_text);
+    for r in RULES {
+        dump.push_str(r.id);
+        dump.push(':');
+        dump.push_str(r.default_severity.name());
+        dump.push(';');
+    }
+    dump.push_str(&format!("symtab={symtab_fingerprint:016x}"));
+    fnv64(dump.as_bytes())
+}
+
+/// The on-disk finding cache.
+#[derive(Debug, Default)]
+pub struct Cache {
+    /// Global key the stored entries were computed under.
+    key: u64,
+    /// rel path → (content hash, findings).
+    files: BTreeMap<String, (u64, Vec<Finding>)>,
+    /// Entries were loaded under a different key and dropped.
+    invalidated: bool,
+}
+
+impl Cache {
+    /// A fresh cache for `key`.
+    pub fn new(key: u64) -> Cache {
+        Cache {
+            key,
+            files: BTreeMap::new(),
+            invalidated: false,
+        }
+    }
+
+    /// Loads the cache at `path`, dropping all entries when the stored
+    /// global key differs from `key` (config/rules/symbols changed).
+    /// Unreadable or malformed caches start empty — never an error.
+    pub fn load(path: &Path, key: u64) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Cache::new(key);
+        };
+        let Ok(doc) = Json::parse(&text) else {
+            return Cache::new(key);
+        };
+        let stored_key = doc
+            .get("key")
+            .and_then(Json::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok());
+        if doc.get("schema_version").and_then(Json::as_f64) != Some(SCHEMA_VERSION)
+            || stored_key != Some(key)
+        {
+            let mut c = Cache::new(key);
+            c.invalidated = stored_key.is_some();
+            return c;
+        }
+        let mut cache = Cache::new(key);
+        if let Some(Json::Obj(entries)) = doc.get("files") {
+            for (rel, entry) in entries {
+                let Some(hash) = entry
+                    .get("hash")
+                    .and_then(Json::as_str)
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                else {
+                    continue;
+                };
+                let Some(Json::Arr(items)) = entry.get("findings") else {
+                    continue;
+                };
+                let findings: Option<Vec<Finding>> = items.iter().map(finding_from_json).collect();
+                if let Some(fs) = findings {
+                    cache.files.insert(rel.clone(), (hash, fs));
+                }
+            }
+        }
+        cache
+    }
+
+    /// True when a previous cache existed but its key no longer matches.
+    pub fn was_invalidated(&self) -> bool {
+        self.invalidated
+    }
+
+    /// Cached findings for `rel` if the content hash matches.
+    pub fn lookup(&self, rel: &str, hash: u64) -> Option<&[Finding]> {
+        self.files
+            .get(rel)
+            .filter(|(h, _)| *h == hash)
+            .map(|(_, f)| f.as_slice())
+    }
+
+    /// Records a scan result.
+    pub fn insert(&mut self, rel: &str, hash: u64, findings: Vec<Finding>) {
+        self.files.insert(rel.to_string(), (hash, findings));
+    }
+
+    /// Writes the cache to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let entries: Vec<(String, Json)> = self
+            .files
+            .iter()
+            .map(|(rel, (hash, findings))| {
+                (
+                    rel.clone(),
+                    Json::Obj(vec![
+                        ("hash".to_string(), Json::Str(format!("{hash:016x}"))),
+                        (
+                            "findings".to_string(),
+                            Json::Arr(findings.iter().map(finding_to_json).collect()),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("tool".to_string(), Json::Str("lsds-lint-cache".to_string())),
+            ("schema_version".to_string(), Json::Num(SCHEMA_VERSION)),
+            ("key".to_string(), Json::Str(format!("{:016x}", self.key))),
+            ("files".to_string(), Json::Obj(entries)),
+        ]);
+        std::fs::write(path, doc.render_pretty())
+    }
+}
+
+fn finding_to_json(f: &Finding) -> Json {
+    Json::Obj(vec![
+        ("rule".to_string(), Json::Str(f.rule.to_string())),
+        (
+            "severity".to_string(),
+            Json::Str(f.severity.name().to_string()),
+        ),
+        ("file".to_string(), Json::Str(f.file.clone())),
+        ("line".to_string(), Json::Num(f.line as f64)),
+        ("message".to_string(), Json::Str(f.message.clone())),
+    ])
+}
+
+fn finding_from_json(item: &Json) -> Option<Finding> {
+    let rule_name = item.get("rule").and_then(Json::as_str)?;
+    let rule = RULES.iter().find(|r| r.id == rule_name)?.id;
+    let severity = match item.get("severity").and_then(Json::as_str)? {
+        "off" => Severity::Off,
+        "warn" => Severity::Warn,
+        "error" => Severity::Error,
+        _ => return None,
+    };
+    Some(Finding {
+        rule,
+        severity,
+        file: item.get("file").and_then(Json::as_str)?.to_string(),
+        line: item.get("line").and_then(Json::as_f64)? as u32,
+        message: item.get("message").and_then(Json::as_str)?.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            rule: "determinism-taint",
+            severity: Severity::Error,
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            message: "taint reaches sink".to_string(),
+        }]
+    }
+
+    #[test]
+    fn cache_round_trips_and_honors_content_hash() {
+        let dir = std::env::temp_dir().join("lsds-lint-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        let key = cache_key("{}", 42);
+        let mut c = Cache::new(key);
+        c.insert("crates/x/src/lib.rs", 0xabc, sample());
+        c.save(&path).unwrap();
+
+        let back = Cache::load(&path, key);
+        assert_eq!(
+            back.lookup("crates/x/src/lib.rs", 0xabc),
+            Some(sample().as_slice())
+        );
+        // content changed → miss
+        assert!(back.lookup("crates/x/src/lib.rs", 0xdef).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn key_change_invalidates_everything() {
+        let dir = std::env::temp_dir().join("lsds-lint-cache-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        let mut c = Cache::new(cache_key("{}", 1));
+        c.insert("a.rs", 1, sample());
+        c.save(&path).unwrap();
+
+        let other = Cache::load(&path, cache_key("{}", 2));
+        assert!(other.lookup("a.rs", 1).is_none());
+        assert!(other.was_invalidated());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_cache_starts_empty() {
+        let dir = std::env::temp_dir().join("lsds-lint-cache-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        let c = Cache::load(&path, 7);
+        assert!(c.lookup("a.rs", 1).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cache_key_varies_with_inputs() {
+        assert_ne!(cache_key("{}", 1), cache_key("{}", 2));
+        assert_ne!(cache_key("{}", 1), cache_key("{\"x\":1}", 1));
+    }
+}

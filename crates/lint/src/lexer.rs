@@ -144,7 +144,10 @@ impl<'a> Lexer<'a> {
         let start = self.pos;
         self.bump(); // '/'
         self.bump(); // '*'
-        let is_doc = matches!(self.peek(0), b'*' | b'!') && self.peek(1) != b'*';
+                     // `/** …` and `/*! …` are docs; `/***…` is not (rustdoc rule) and
+                     // the empty `/**/` is a plain comment, not an empty doc
+        let is_doc =
+            matches!(self.peek(0), b'*' | b'!') && self.peek(1) != b'*' && self.peek(1) != b'/';
         let mut depth = 1usize;
         while self.pos < self.src.len() && depth > 0 {
             if self.peek(0) == b'/' && self.peek(1) == b'*' {
@@ -179,7 +182,15 @@ impl<'a> Lexer<'a> {
         // String prefixes: r"", r#"", b"", br"", b'', and raw idents r#x.
         match self.peek(0) {
             b'r' => {
-                if self.peek(1) == b'"' || (self.peek(1) == b'#' && self.peek(2) == b'"') {
+                // raw string: `r"…"` or `r#…#"…"#…#` with any number of
+                // hashes — scan past the hash run before deciding, so
+                // `r##"…"##` does not fall through to the ident path (which
+                // would let the string's body swallow the following lines)
+                let mut h = 1usize;
+                while self.peek(h) == b'#' {
+                    h += 1;
+                }
+                if self.peek(h) == b'"' {
                     self.raw_string();
                     return;
                 }
@@ -360,20 +371,23 @@ impl<'a> Lexer<'a> {
             self.push(TokKind::Lifetime, text, line);
             return;
         }
-        // char literal, possibly escaped
-        if self.peek(0) == b'\\' {
-            self.bump();
-            if self.peek(0) == b'u' && self.peek(1) == b'{' {
-                while self.pos < self.src.len() && self.peek(0) != b'}' {
+        // char literal: consume to the closing quote, skipping escapes —
+        // multi-byte escapes (`'\x41'`, `'\u{1F600}'`) must not leave the
+        // tail of the literal behind as stray tokens
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
                     self.bump();
                 }
             }
-            self.bump();
-        } else {
-            self.bump();
-        }
-        if self.peek(0) == b'\'' {
-            self.bump();
         }
         let text = std::str::from_utf8(&self.src[start..self.pos])
             .unwrap_or("")
@@ -532,6 +546,58 @@ mod tests {
             .map(|t| t.text.as_str())
             .collect();
         assert_eq!(inner, ["inner"]);
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_do_not_swallow_following_lines() {
+        // regression: `r##"…"##` used to fall through to the ident path,
+        // letting the string body open an ordinary `"` literal that ran to
+        // the next quote — silently swallowing the following lines (and any
+        // rule triggers on them)
+        let src = "let s = r##\"contains \"# quote\"##;\nlet t = Instant::now();\n";
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("Instant") && t.line == 2));
+        assert!(toks.iter().any(|t| t.is_ident("now")));
+        // byte raw strings with multiple hashes take the same path
+        let toks = lex("let b = br##\"x\"#y\"##; after");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn byte_string_literals_tokenize_as_one_str() {
+        // regression: byte strings with escapes and hash-raw byte strings
+        // must not leak their contents as tokens
+        let src = "let a = b\"Hash\\\"Map\"; let b = br#\"iter()\"#; tail";
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+        assert!(!toks.iter().any(|t| t.is_ident("iter")));
+        assert!(toks.iter().any(|t| t.is_ident("tail")));
+    }
+
+    #[test]
+    fn multi_byte_char_escapes_stay_inside_the_literal() {
+        // regression: `'\x41'` used to leave `41` and a stray `';` behind,
+        // desynchronizing everything after it on the line
+        let src = "let c = '\\x41'; let u = '\\u{1F600}'; let b = b'\\xFF'; done";
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 3);
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert!(!toks.iter().any(|t| t.kind == TokKind::Int));
+    }
+
+    #[test]
+    fn nested_block_comments_consume_exactly_their_extent() {
+        let src = "/* a /* b \"not a string\" */ c */ fn after() {}\n/* x /* y */ z */ let i = Instant::now();";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+        assert!(toks.iter().any(|t| t.is_ident("Instant") && t.line == 2));
+        assert!(!toks.iter().any(|t| t.is_ident("b")));
+        // `/**/` is a plain empty comment, not a doc comment
+        let toks = lex("/**/ pub fn f() {}");
+        assert!(!toks.iter().any(|t| t.kind == TokKind::DocComment));
     }
 
     #[test]

@@ -27,11 +27,16 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod ast;
 pub mod config;
+pub mod dataflow;
+pub mod incremental;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod sem;
+pub mod symbols;
 
 pub use config::Config;
 pub use rules::{Finding, Severity};

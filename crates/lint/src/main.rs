@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p lsds-lint -- [--deny] [--json PATH] [--root DIR]
-//!                                     [--config PATH] [--list-rules] [FILES…]
+//!                                     [--config PATH] [--changed GIT_REF]
+//!                                     [--cache PATH] [--list-rules] [FILES…]
 //! ```
 //!
 //! Without `--deny` the tool reports and exits 0 (survey mode); with
@@ -10,11 +11,18 @@
 //! is the CI gate. `--json` writes the machine-readable report (the CI
 //! job prints it on failure). Positional `FILES` restrict the scan to
 //! specific workspace-relative paths (used by the fixture tests).
+//!
+//! Incremental mode: `--changed <git-ref>` restricts the rule passes to
+//! files `git diff --name-only <ref>` reports (PR builds lint their diff
+//! in seconds), and `--cache <path>` keeps a content-hash finding cache
+//! across runs. Both modes still build the symbol table from the whole
+//! workspace, so restricted runs report exactly what a full run would for
+//! the scanned files.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use lsds_lint::{config::Config, report, rules, scan};
+use lsds_lint::{config::Config, incremental, report, rules, scan};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -24,6 +32,8 @@ struct Args {
     json: Option<PathBuf>,
     root: PathBuf,
     config: Option<PathBuf>,
+    changed: Option<String>,
+    cache: Option<PathBuf>,
     files: Vec<String>,
 }
 
@@ -34,6 +44,8 @@ fn parse_args() -> Result<Args, String> {
         json: None,
         root: PathBuf::from("."),
         config: None,
+        changed: None,
+        cache: None,
         files: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -46,10 +58,14 @@ fn parse_args() -> Result<Args, String> {
             "--config" => {
                 args.config = Some(PathBuf::from(it.next().ok_or("--config requires a path")?))
             }
+            "--changed" => args.changed = Some(it.next().ok_or("--changed requires a git ref")?),
+            "--cache" => {
+                args.cache = Some(PathBuf::from(it.next().ok_or("--cache requires a path")?))
+            }
             "--help" | "-h" => {
                 println!(
                     "lsds-lint [--deny] [--json PATH] [--root DIR] [--config PATH] \
-                     [--list-rules] [FILES…]"
+                     [--changed GIT_REF] [--cache PATH] [--list-rules] [FILES…]"
                 );
                 std::process::exit(0);
             }
@@ -71,7 +87,7 @@ fn main() -> ExitCode {
     if args.list_rules {
         for r in rules::RULES {
             println!(
-                "{:<16} {:<6} {}",
+                "{:<20} {:<6} {}",
                 r.id,
                 r.default_severity.name(),
                 r.summary
@@ -90,13 +106,75 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let findings = match scan::scan_workspace(&args.root, &cfg, &args.files) {
-        Ok(f) => f,
+
+    // one whole-workspace prepare: every file lexed + parsed, symbol table
+    // built from all of them (incremental modes restrict the rule passes,
+    // never the symbols)
+    let ws = match scan::prepare_workspace(&args.root, &cfg, &args.files) {
+        Ok(w) => w,
         Err(e) => {
             eprintln!("lsds-lint: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
+
+    // target selection: --changed beats positional FILES beats everything
+    let targets: Option<Vec<String>> = if let Some(git_ref) = &args.changed {
+        match incremental::changed_files(&args.root, git_ref) {
+            Ok(changed) => {
+                // only files the walker knows (excludes non-workspace paths)
+                let known: Vec<String> = changed
+                    .into_iter()
+                    .filter(|rel| ws.files.iter().any(|f| &f.rel == rel))
+                    .collect();
+                Some(known)
+            }
+            Err(e) => {
+                eprintln!("lsds-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if !args.files.is_empty() {
+        Some(args.files.clone())
+    } else {
+        None
+    };
+
+    let mut cache = args.cache.as_ref().map(|path| {
+        let config_text = std::fs::read_to_string(&config_path).unwrap_or_default();
+        let key = incremental::cache_key(&config_text, ws.symtab.fingerprint());
+        incremental::Cache::load(path, key)
+    });
+
+    let mut findings = Vec::new();
+    let mut cache_hits = 0usize;
+    for pf in &ws.files {
+        if targets
+            .as_ref()
+            .is_some_and(|t| !t.iter().any(|x| x == &pf.rel))
+        {
+            continue;
+        }
+        let hash = pf.content_hash();
+        if let Some(cached) = cache.as_ref().and_then(|c| c.lookup(&pf.rel, hash)) {
+            cache_hits += 1;
+            findings.extend(cached.iter().cloned());
+            continue;
+        }
+        let fs = ws.scan_one(&cfg, &pf.rel).unwrap_or_default();
+        if let Some(c) = cache.as_mut() {
+            c.insert(&pf.rel, hash, fs.clone());
+        }
+        findings.extend(fs);
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+
+    if let (Some(c), Some(path)) = (&cache, &args.cache) {
+        if let Err(e) = c.save(path) {
+            eprintln!("lsds-lint: cannot write cache {}: {e}", path.display());
+        }
+    }
 
     for f in &findings {
         println!(
@@ -113,9 +191,16 @@ fn main() -> ExitCode {
         .filter(|f| f.severity == lsds_lint::Severity::Error)
         .count();
     let warns = findings.len() - errors;
+    let scanned = targets.as_ref().map_or(ws.files.len(), Vec::len);
     println!(
-        "lsds-lint: {} finding(s) ({errors} error(s), {warns} warning(s))",
-        findings.len()
+        "lsds-lint: {} finding(s) ({errors} error(s), {warns} warning(s)) \
+         across {scanned} file(s){}",
+        findings.len(),
+        if cache.is_some() {
+            format!(", {cache_hits} from cache")
+        } else {
+            String::new()
+        }
     );
 
     if let Some(path) = &args.json {

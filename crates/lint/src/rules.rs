@@ -93,6 +93,25 @@ pub const RULES: &[RuleInfo] = &[
         summary: "public top-level item without a doc comment in non-test code",
     },
     RuleInfo {
+        id: "determinism-taint",
+        default_severity: Severity::Error,
+        summary: "nondeterminism source (hash iteration, wall clock, \
+                  RandomState, pointer-to-int cast) flows through locals \
+                  into a scheduling or event-payload sink",
+    },
+    RuleInfo {
+        id: "rollback-safety",
+        default_severity: Severity::Error,
+        summary: "Time Warp handler of a SaveState type uses interior \
+                  mutability, I/O, or writes a field save() never reads",
+    },
+    RuleInfo {
+        id: "lookahead-contract",
+        default_severity: Severity::Error,
+        summary: "ctx.send/send_at delay provably below the LP's declared \
+                  lookahead (would assert at runtime)",
+    },
+    RuleInfo {
         id: "bad-pragma",
         default_severity: Severity::Error,
         summary: "malformed lsds-lint pragma (unknown rule, or missing reason)",
@@ -160,7 +179,7 @@ pub fn check_file(ctx: &FileCtx, tokens: &[Tok]) -> Vec<Finding> {
     out
 }
 
-fn finding(ctx: &FileCtx, rule: &'static str, line: u32, message: String) -> Finding {
+pub(crate) fn finding(ctx: &FileCtx, rule: &'static str, line: u32, message: String) -> Finding {
     Finding {
         rule,
         severity: default_severity(rule),
@@ -173,7 +192,7 @@ fn finding(ctx: &FileCtx, rule: &'static str, line: u32, message: String) -> Fin
 // ---------------------------------------------------------------- hash-iter
 
 /// Methods whose results depend on hash-map/set iteration order.
-const ITER_METHODS: &[&str] = &[
+pub(crate) const ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "keys",
@@ -188,7 +207,7 @@ const ITER_METHODS: &[&str] = &[
 ];
 
 /// Sorting methods that make a collected iteration deterministic again.
-const SORT_METHODS: &[&str] = &[
+pub(crate) const SORT_METHODS: &[&str] = &[
     "sort",
     "sort_unstable",
     "sort_by",
@@ -210,42 +229,7 @@ fn hash_iter(ctx: &FileCtx, tokens: &[Tok], out: &mut Vec<Finding>) {
     if !ctx.order_sensitive {
         return;
     }
-    let mut names: Vec<String> = Vec::new();
-    // Pass A: `name : HashMap<…>` / `name : HashSet<…>` ascriptions
-    for i in 0..tokens.len() {
-        if tokens[i].kind != TokKind::Ident {
-            continue;
-        }
-        if i + 2 < tokens.len() && tokens[i + 1].is_punct(":") {
-            let mut j = i + 2;
-            // skip `&`, `mut`, and a `std :: collections ::` path prefix
-            while j < tokens.len()
-                && (tokens[j].is_punct("&")
-                    || tokens[j].is_ident("mut")
-                    || tokens[j].is_ident("std")
-                    || tokens[j].is_ident("collections")
-                    || tokens[j].is_punct("::"))
-            {
-                j += 1;
-            }
-            if j < tokens.len() && (tokens[j].is_ident("HashMap") || tokens[j].is_ident("HashSet"))
-            {
-                names.push(tokens[i].text.clone());
-            }
-        }
-    }
-    // Pass A': `name = HashMap::new()` / `with_capacity` initializers
-    for i in 0..tokens.len() {
-        if (tokens[i].is_ident("HashMap") || tokens[i].is_ident("HashSet"))
-            && i >= 2
-            && tokens[i - 1].is_punct("=")
-            && tokens[i - 2].kind == TokKind::Ident
-        {
-            names.push(tokens[i - 2].text.clone());
-        }
-    }
-    names.sort();
-    names.dedup();
+    let names = hash_typed_names(tokens);
     let is_hash_name = |t: &Tok| t.kind == TokKind::Ident && names.binary_search(&t.text).is_ok();
 
     for i in 0..tokens.len() {
@@ -302,6 +286,51 @@ fn hash_iter(ctx: &FileCtx, tokens: &[Tok], out: &mut Vec<Finding>) {
             }
         }
     }
+}
+
+/// Collects identifiers that are provably hash-typed in this file:
+/// `name: HashMap<…>` / `HashSet` ascriptions (fields, params, lets) and
+/// `name = HashMap::new()`-style initializers. Sorted + deduped so callers
+/// can `binary_search`. Shared by `hash-iter` and the determinism-taint
+/// dataflow pass.
+pub(crate) fn hash_typed_names(tokens: &[Tok]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    // Pass A: `name : HashMap<…>` / `name : HashSet<…>` ascriptions
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokKind::Ident {
+            continue;
+        }
+        if i + 2 < tokens.len() && tokens[i + 1].is_punct(":") {
+            let mut j = i + 2;
+            // skip `&`, `mut`, and a `std :: collections ::` path prefix
+            while j < tokens.len()
+                && (tokens[j].is_punct("&")
+                    || tokens[j].is_ident("mut")
+                    || tokens[j].is_ident("std")
+                    || tokens[j].is_ident("collections")
+                    || tokens[j].is_punct("::"))
+            {
+                j += 1;
+            }
+            if j < tokens.len() && (tokens[j].is_ident("HashMap") || tokens[j].is_ident("HashSet"))
+            {
+                names.push(tokens[i].text.clone());
+            }
+        }
+    }
+    // Pass A': `name = HashMap::new()` / `with_capacity` initializers
+    for i in 0..tokens.len() {
+        if (tokens[i].is_ident("HashMap") || tokens[i].is_ident("HashSet"))
+            && i >= 2
+            && tokens[i - 1].is_punct("=")
+            && tokens[i - 2].kind == TokKind::Ident
+        {
+            names.push(tokens[i - 2].text.clone());
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
 }
 
 /// True if the iteration at token `i` sits in a `let` statement whose
@@ -435,7 +464,9 @@ fn float_eq(ctx: &FileCtx, tokens: &[Tok], out: &mut Vec<Finding>) {
             ),
             TokKind::Ident => {
                 let lower = t.text.to_ascii_lowercase();
-                TIME_IDENTS.contains(&lower.as_str()) || lower.contains("time")
+                TIME_IDENTS.contains(&lower.as_str())
+                    // "lifetime" names borrows, not clocks
+                    || (lower.contains("time") && !lower.contains("lifetime"))
             }
             _ => false,
         }

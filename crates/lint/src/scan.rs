@@ -14,10 +14,12 @@
 //! `unused-pragma` warnings — neither is itself suppressible, so the
 //! escape hatch cannot rot silently.
 
+use crate::ast::{self, ParsedFile};
 use crate::config::Config;
-use crate::lexer::{lex, test_line_ranges};
+use crate::lexer::{lex, test_line_ranges, Tok};
 use crate::rules::{self, FileCtx, Finding, Severity};
-use std::path::{Path, PathBuf};
+use crate::symbols::{fnv64, FileInput, SymbolTable};
+use std::path::Path;
 
 /// A parsed suppression pragma.
 #[derive(Debug, Clone)]
@@ -30,15 +32,134 @@ struct Pragma {
     used: bool,
 }
 
-/// Scans one file's source text (already classified by `ctx`), applying
-/// pragmas and config severities. Returns surviving findings.
-pub fn scan_source(cfg: &Config, ctx: &FileCtx, source: &str) -> Vec<Finding> {
-    let tokens = lex(source);
-    let mut ctx = ctx.clone();
-    ctx.test_lines = test_line_ranges(&tokens);
-    let mut findings = rules::check_file(&ctx, &tokens);
+/// One file read, lexed, and parsed — ready for the rule passes and for
+/// symbol-table construction.
+pub struct PreparedFile {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// File context with `test_lines` resolved from the token stream.
+    pub ctx: FileCtx,
+    /// Raw source (pragma parsing works on text lines).
+    pub source: String,
+    /// Token stream.
+    pub tokens: Vec<Tok>,
+    /// Item tree.
+    pub parsed: ParsedFile,
+}
 
-    let (mut pragmas, mut pragma_errors) = parse_pragmas(&ctx, source);
+impl PreparedFile {
+    /// Builds a prepared file from in-memory source.
+    pub fn from_source(ctx: &FileCtx, source: &str) -> PreparedFile {
+        let tokens = lex(source);
+        let mut ctx = ctx.clone();
+        ctx.test_lines = test_line_ranges(&tokens);
+        let parsed = ast::parse(&tokens);
+        PreparedFile {
+            rel: ctx.rel_path.clone(),
+            ctx,
+            source: source.to_string(),
+            tokens,
+            parsed,
+        }
+    }
+
+    /// The file's view for [`SymbolTable::build`].
+    pub fn input(&self) -> FileInput<'_> {
+        FileInput {
+            ctx: &self.ctx,
+            tokens: &self.tokens,
+            parsed: &self.parsed,
+        }
+    }
+
+    /// Content hash of the raw source (incremental-cache key).
+    pub fn content_hash(&self) -> u64 {
+        fnv64(self.source.as_bytes())
+    }
+}
+
+/// The whole workspace prepared for scanning: every file plus the
+/// cross-file symbol table built from all of them. Scanning a subset of
+/// files (incremental mode) still sees whole-workspace trait impls, so a
+/// restricted run reports exactly what a full run would for those files.
+pub struct Workspace {
+    /// Prepared files, sorted by relative path.
+    pub files: Vec<PreparedFile>,
+    /// Symbol table over all files.
+    pub symtab: SymbolTable,
+}
+
+/// Reads, lexes, and parses the whole tree under `root` (plus any `extra`
+/// paths not caught by the normal walk) and builds the symbol table.
+pub fn prepare_workspace(
+    root: &Path,
+    cfg: &Config,
+    extra: &[String],
+) -> std::io::Result<Workspace> {
+    let mut rels = collect_files(root, cfg)?;
+    for e in extra {
+        if !rels.contains(e) {
+            rels.push(e.clone());
+        }
+    }
+    rels.sort();
+    let mut files = Vec::with_capacity(rels.len());
+    for rel in &rels {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        let ctx = file_ctx(root, cfg, rel);
+        files.push(PreparedFile::from_source(&ctx, &source));
+    }
+    let inputs: Vec<FileInput<'_>> = files.iter().map(PreparedFile::input).collect();
+    let symtab = SymbolTable::build(&inputs);
+    Ok(Workspace { files, symtab })
+}
+
+impl Workspace {
+    /// Scans one prepared file against the workspace symbol table.
+    /// Returns `None` when `rel` is not part of the workspace.
+    pub fn scan_one(&self, cfg: &Config, rel: &str) -> Option<Vec<Finding>> {
+        let pf = self.files.iter().find(|f| f.rel == rel)?;
+        Some(scan_prepared(cfg, pf, &self.symtab))
+    }
+
+    /// Scans `targets` (or every file when `None`), sorted by file/line.
+    pub fn scan(&self, cfg: &Config, targets: Option<&[String]>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for pf in &self.files {
+            if targets.is_some_and(|t| !t.iter().any(|x| x == &pf.rel)) {
+                continue;
+            }
+            findings.extend(scan_prepared(cfg, pf, &self.symtab));
+        }
+        findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+        });
+        findings
+    }
+}
+
+/// Scans one file's source text (already classified by `ctx`), applying
+/// pragmas and config severities. The symbol table is built from this
+/// file alone — fixture scans and unit tests use this; workspace runs go
+/// through [`prepare_workspace`] for cross-file symbols.
+pub fn scan_source(cfg: &Config, ctx: &FileCtx, source: &str) -> Vec<Finding> {
+    let pf = PreparedFile::from_source(ctx, source);
+    let symtab = SymbolTable::build(&[pf.input()]);
+    scan_prepared(cfg, &pf, &symtab)
+}
+
+/// Runs every pass (token rules, semantic rules, pragmas, config
+/// severities) over one prepared file.
+fn scan_prepared(cfg: &Config, pf: &PreparedFile, symtab: &SymbolTable) -> Vec<Finding> {
+    let ctx = &pf.ctx;
+    let source = &pf.source;
+    let mut findings = rules::check_file(ctx, &pf.tokens);
+    crate::sem::check_sem(ctx, &pf.tokens, &pf.parsed, symtab, &mut findings);
+    findings
+        .sort_by(|a, b| (a.line, a.rule, a.file.as_str()).cmp(&(b.line, b.rule, b.file.as_str())));
+    findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.file == b.file);
+
+    let (mut pragmas, mut pragma_errors) = parse_pragmas(ctx, source);
     findings.retain(|f| {
         for p in pragmas.iter_mut() {
             if p.rules.iter().any(|r| r == f.rule)
@@ -277,23 +398,12 @@ pub fn file_ctx(root: &Path, cfg: &Config, rel: &str) -> FileCtx {
 }
 
 /// Scans the whole tree under `root` (or only `only` when non-empty) and
-/// returns all surviving findings, sorted by file then line.
+/// returns all surviving findings, sorted by file then line. The symbol
+/// table always covers the whole workspace, even for restricted scans.
 pub fn scan_workspace(root: &Path, cfg: &Config, only: &[String]) -> std::io::Result<Vec<Finding>> {
-    let files = if only.is_empty() {
-        collect_files(root, cfg)?
-    } else {
-        only.to_vec()
-    };
-    let mut findings = Vec::new();
-    for rel in &files {
-        let full: PathBuf = root.join(rel);
-        let source = std::fs::read_to_string(&full)?;
-        let ctx = file_ctx(root, cfg, rel);
-        findings.extend(scan_source(cfg, &ctx, &source));
-    }
-    findings
-        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    Ok(findings)
+    let ws = prepare_workspace(root, cfg, only)?;
+    let targets = if only.is_empty() { None } else { Some(only) };
+    Ok(ws.scan(cfg, targets))
 }
 
 #[cfg(test)]

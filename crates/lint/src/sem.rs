@@ -1,0 +1,496 @@
+//! Semantic rules: the analyses that need the AST and the symbol table.
+//!
+//! Three rule families run here, all specific to PDES correctness:
+//!
+//! - **determinism-taint** — the [`crate::dataflow`] pass over every fn
+//!   body in order-sensitive crates, catching nondeterminism laundered
+//!   through locals into scheduling sinks.
+//! - **rollback-safety** — inside `handle` bodies of types that also
+//!   implement `SaveState`, anything Time Warp cannot undo: interior
+//!   mutability, I/O macros, and writes to fields `save()` provably never
+//!   reads (those survive a rollback with post-rollback values — the
+//!   silent-corruption case the Erlang PDES literature warns about).
+//! - **lookahead-contract** — `ctx.send(dst, delay, msg)` where both the
+//!   delay and the LP's declared `lookahead()` resolve to constants and
+//!   `delay < lookahead`: the runtime `assert!` in `LpCtx::send` would
+//!   fire on the first call, so the lint catches it at review time.
+
+use crate::ast::{FnDef, ImplDef, Item, ItemKind, ParsedFile, Span};
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{finding, FileCtx, Finding};
+use crate::symbols::{SaveInfo, SymbolTable};
+
+/// Interior-mutability types that bypass `&mut self` and therefore bypass
+/// the save/restore snapshot.
+const INTERIOR_MUT: &[&str] = &["RefCell", "Cell", "Mutex", "RwLock"];
+
+/// Macros that perform I/O — unrollbackable side effects in a handler.
+const IO_MACROS: &[&str] = &[
+    "println", "print", "eprintln", "eprint", "dbg", "write", "writeln",
+];
+
+/// Methods that mutate their receiver (for `self.field.push(…)`-style
+/// writes).
+const MUTATOR_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "pop",
+    "pop_back",
+    "pop_front",
+    "insert",
+    "remove",
+    "clear",
+    "extend",
+    "append",
+    "drain",
+    "retain",
+    "truncate",
+    "take",
+    "replace",
+    "set",
+    "swap",
+    "sort",
+    "sort_unstable",
+];
+
+/// Runs all semantic rules over one parsed file.
+pub fn check_sem(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    parsed: &ParsedFile,
+    symtab: &SymbolTable,
+    out: &mut Vec<Finding>,
+) {
+    visit_items(&parsed.items, ctx, toks, symtab, out);
+}
+
+fn visit_items(
+    items: &[Item],
+    ctx: &FileCtx,
+    toks: &[Tok],
+    symtab: &SymbolTable,
+    out: &mut Vec<Finding>,
+) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Fn(f) => taint_fn(ctx, toks, f, out),
+            ItemKind::Trait(t) => {
+                for f in &t.fns {
+                    taint_fn(ctx, toks, f, out);
+                }
+            }
+            ItemKind::Impl(imp) => {
+                for f in &imp.fns {
+                    taint_fn(ctx, toks, f, out);
+                }
+                rollback_safety(ctx, toks, imp, symtab, out);
+                lookahead_contract(ctx, toks, imp, symtab, out);
+            }
+            ItemKind::Mod(_, nested) => visit_items(nested, ctx, toks, symtab, out),
+            _ => {}
+        }
+    }
+}
+
+/// determinism-taint: dataflow over one fn body (order-sensitive crates
+/// only; per-line test exemption happens inside the pass).
+fn taint_fn(ctx: &FileCtx, toks: &[Tok], f: &FnDef, out: &mut Vec<Finding>) {
+    if !ctx.order_sensitive {
+        return;
+    }
+    crate::dataflow::check_fn(ctx, toks, f, out);
+}
+
+// ---------------------------------------------------------- rollback-safety
+
+/// rollback-safety over one `impl LogicalProcess for T` block, active only
+/// when `T` also implements `SaveState` (i.e. it runs under Time Warp and
+/// its `handle` effects must be undoable).
+fn rollback_safety(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    imp: &ImplDef,
+    symtab: &SymbolTable,
+    out: &mut Vec<Finding>,
+) {
+    if imp.trait_name.as_deref() != Some("LogicalProcess") {
+        return;
+    }
+    let Some(entry) = symtab.type_entry(&ctx.crate_name, &imp.type_name) else {
+        return;
+    };
+    let Some(save) = &entry.save else { return };
+    let Some(handle) = imp.fns.iter().find(|f| f.name == "handle") else {
+        return;
+    };
+    let Some(body) = &handle.body else { return };
+    let span = body.span.clone();
+    let ty = &imp.type_name;
+
+    let mut reported: Vec<(u32, String)> = Vec::new();
+    let mut report = |out: &mut Vec<Finding>, line: u32, key: String, msg: String| {
+        if ctx.in_test(line) || reported.contains(&(line, key.clone())) {
+            return;
+        }
+        reported.push((line, key));
+        out.push(finding(ctx, "rollback-safety", line, msg));
+    };
+
+    let end = span.end.min(toks.len());
+    let mut i = span.start;
+    while i < end {
+        let t = &toks[i];
+        // interior mutability
+        if t.kind == TokKind::Ident && INTERIOR_MUT.contains(&t.text.as_str()) {
+            report(
+                out,
+                t.line,
+                format!("im:{}", t.text),
+                format!(
+                    "`{}` inside `{ty}::handle` bypasses the SaveState snapshot; \
+                     Time Warp rollback cannot undo mutations made through it",
+                    t.text
+                ),
+            );
+        }
+        // `static mut`
+        if t.is_ident("static") && toks.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+            report(
+                out,
+                t.line,
+                "static-mut".to_string(),
+                format!(
+                    "`static mut` inside `{ty}::handle` is shared state outside the \
+                     SaveState snapshot; rollback cannot undo writes to it"
+                ),
+            );
+        }
+        // I/O macros
+        if t.kind == TokKind::Ident
+            && IO_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            report(
+                out,
+                t.line,
+                format!("io:{}", t.text),
+                format!(
+                    "`{}!` inside `{ty}::handle` performs I/O that rollback cannot \
+                     retract; buffer output and flush at commit (GVT) time instead",
+                    t.text
+                ),
+            );
+        }
+        // field writes: `self.f = …` / `self.f op= …` / `self.f.mutator(…)`
+        // / `&mut self.f`
+        if t.is_ident("self")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("."))
+            && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            let fname = toks[i + 2].text.clone();
+            let written = match toks.get(i + 3) {
+                Some(n) if n.kind == TokKind::Punct && is_assign_op(&n.text) => true,
+                Some(n) if n.is_punct(".") => {
+                    toks.get(i + 4)
+                        .is_some_and(|m| MUTATOR_METHODS.contains(&m.text.as_str()))
+                        && toks.get(i + 5).is_some_and(|p| p.is_punct("("))
+                }
+                _ => i >= 2 && toks[i - 2].is_punct("&") && toks[i - 1].is_ident("mut"),
+            };
+            if written && !save.captures(&fname) {
+                report(
+                    out,
+                    toks[i + 2].line,
+                    format!("field:{fname}"),
+                    unsaved_field_msg(ty, &fname, save),
+                );
+            }
+            i += 3;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+fn unsaved_field_msg(ty: &str, field: &str, save: &SaveInfo) -> String {
+    format!(
+        "`{ty}::handle` writes `self.{field}`, but `save()` ({}:{}) never reads \
+         it — rollback restores the other fields and leaves `{field}` at its \
+         post-rollback value, silently corrupting re-execution",
+        save.file, save.line
+    )
+}
+
+/// `=` and the compound-assignment operators (not `==`/`<=`/`>=`/`!=`).
+fn is_assign_op(p: &str) -> bool {
+    matches!(
+        p,
+        "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>="
+    )
+}
+
+// ------------------------------------------------------- lookahead-contract
+
+/// lookahead-contract over one impl block: if the self type's declared
+/// lookahead resolves to a constant, every `.send(dst, delay, msg)` /
+/// `.send_at(dst, delay, msg)` whose delay also resolves must satisfy
+/// `delay >= lookahead`.
+fn lookahead_contract(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    imp: &ImplDef,
+    symtab: &SymbolTable,
+    out: &mut Vec<Finding>,
+) {
+    let Some(entry) = symtab.type_entry(&ctx.crate_name, &imp.type_name) else {
+        return;
+    };
+    let Some(la) = entry.lookahead else { return };
+    let ty = &imp.type_name;
+    for f in &imp.fns {
+        if f.name == "lookahead" {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        let end = body.span.end.min(toks.len());
+        let mut i = body.span.start;
+        while i + 2 < end {
+            if toks[i].is_punct(".")
+                && (toks[i + 1].is_ident("send") || toks[i + 1].is_ident("send_at"))
+                && toks[i + 2].is_punct("(")
+            {
+                let args = split_args(toks, i + 2);
+                if let Some(delay_span) = args.get(1) {
+                    let delay =
+                        symtab.resolve_expr(&ctx.crate_name, Some(ty), toks, delay_span.clone());
+                    if let Some(d) = delay {
+                        let line = toks[i + 1].line;
+                        if d + 1e-12 < la && !ctx.in_test(line) {
+                            out.push(finding(
+                                ctx,
+                                "lookahead-contract",
+                                line,
+                                format!(
+                                    "`{ty}` declares lookahead {la} but sends with delay {d}; \
+                                     `LpCtx::send` asserts delay >= lookahead, so this panics \
+                                     on first use — lower the declared lookahead or raise the \
+                                     delay"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Splits a call's arguments at top-level commas. `open` indexes the `(`.
+fn split_args(toks: &[Tok], open: usize) -> Vec<Span> {
+    let mut depth = 0usize;
+    let mut args: Vec<Span> = Vec::new();
+    let mut start = open + 1;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                if j > start {
+                    args.push(start..j);
+                }
+                break;
+            }
+        } else if depth == 1 && t.is_punct(",") {
+            args.push(start..j);
+            start = j + 1;
+        }
+    }
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lexer::{lex, test_line_ranges};
+    use crate::symbols::FileInput;
+
+    fn run(src: &str, order_sensitive: bool) -> Vec<Finding> {
+        let toks = lex(src);
+        let parsed = parse(&toks);
+        let mut ctx = FileCtx {
+            rel_path: "crates/x/src/lib.rs".into(),
+            crate_name: "lsds-x".into(),
+            is_test_file: false,
+            test_lines: Vec::new(),
+            order_sensitive,
+            hot_path: false,
+        };
+        ctx.test_lines = test_line_ranges(&toks);
+        let symtab = SymbolTable::build(&[FileInput {
+            ctx: &ctx,
+            tokens: &toks,
+            parsed: &parsed,
+        }]);
+        let mut out = Vec::new();
+        check_sem(&ctx, &toks, &parsed, &symtab, &mut out);
+        out
+    }
+
+    const TW_LP: &str = "struct Lp { fired: u64, skew: u64 }\n\
+        impl SaveState for Lp {\n\
+            type Saved = u64;\n\
+            fn save(&self) -> u64 { self.fired }\n\
+            fn restore(&mut self, s: u64) { self.fired = s; }\n\
+        }\n";
+
+    #[test]
+    fn unsaved_field_write_in_handle_fires() {
+        let src = format!(
+            "{TW_LP}impl LogicalProcess for Lp {{\n\
+                 type Msg = ();\n\
+                 fn handle(&mut self, now: f64, msg: (), ctx: &mut LpCtx) {{\n\
+                     self.fired += 1;\n\
+                     self.skew += 1;\n\
+                 }}\n\
+             }}\n"
+        );
+        let f = run(&src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "rollback-safety");
+        assert!(f[0].message.contains("skew"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn saved_field_writes_are_clean() {
+        let src = format!(
+            "{TW_LP}impl LogicalProcess for Lp {{\n\
+                 fn handle(&mut self, now: f64, msg: (), ctx: &mut LpCtx) {{\n\
+                     self.fired += 1;\n\
+                 }}\n\
+             }}\n"
+        );
+        assert!(run(&src, false).is_empty());
+    }
+
+    #[test]
+    fn clone_save_accepts_any_field_write() {
+        let src = "struct Lp { a: u64 }\n\
+             impl SaveState for Lp { type Saved = Lp; fn save(&self) -> Lp { self.clone() } }\n\
+             impl LogicalProcess for Lp {\n\
+                 fn handle(&mut self, now: f64, msg: (), ctx: &mut LpCtx) { self.a += 1; }\n\
+             }\n";
+        assert!(run(src, false).is_empty());
+    }
+
+    #[test]
+    fn interior_mutability_and_io_fire() {
+        let src = format!(
+            "{TW_LP}impl LogicalProcess for Lp {{\n\
+                 fn handle(&mut self, now: f64, msg: (), ctx: &mut LpCtx) {{\n\
+                     CACHE.with(|c: &RefCell<u64>| {{ }});\n\
+                     println!(\"handled\");\n\
+                     self.fired += 1;\n\
+                 }}\n\
+             }}\n"
+        );
+        let f = run(&src, false);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("RefCell")));
+        assert!(f.iter().any(|x| x.message.contains("println")));
+    }
+
+    #[test]
+    fn non_savestate_lp_is_not_checked() {
+        let src = "struct Lp { a: u64 }\n\
+             impl LogicalProcess for Lp {\n\
+                 fn handle(&mut self, now: f64, msg: (), ctx: &mut LpCtx) {\n\
+                     self.a += 1; println!(\"free to do I/O: no rollback here\");\n\
+                 }\n\
+             }\n";
+        assert!(run(src, false).is_empty());
+    }
+
+    #[test]
+    fn mutator_method_on_unsaved_field_fires() {
+        let src = format!(
+            "{TW_LP}impl LogicalProcess for Lp {{\n\
+                 fn handle(&mut self, now: f64, msg: (), ctx: &mut LpCtx) {{\n\
+                     self.skew.push(now);\n\
+                 }}\n\
+             }}\n"
+        );
+        let f = run(&src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn send_below_declared_lookahead_fires() {
+        let src = "struct Lp;\n\
+             impl LogicalProcess for Lp {\n\
+                 fn lookahead(&self) -> f64 { 0.5 }\n\
+                 fn handle(&mut self, now: f64, msg: (), ctx: &mut LpCtx) {\n\
+                     ctx.send(1, 0.1, ());\n\
+                 }\n\
+             }\n";
+        let f = run(src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "lookahead-contract");
+    }
+
+    #[test]
+    fn send_at_or_above_lookahead_is_clean() {
+        let src = "const LA: f64 = 0.5;\n\
+             struct Lp;\n\
+             impl LogicalProcess for Lp {\n\
+                 fn lookahead(&self) -> f64 { LA }\n\
+                 fn handle(&mut self, now: f64, msg: (), ctx: &mut LpCtx) {\n\
+                     ctx.send(1, LA, ());\n\
+                     ctx.send(1, 0.75, ());\n\
+                     ctx.send(1, self.jitter, ());\n\
+                 }\n\
+             }\n";
+        assert!(run(src, false).is_empty());
+    }
+
+    #[test]
+    fn const_delay_below_const_lookahead_fires() {
+        let src = "const LA: f64 = 0.5;\n\
+             const FAST: f64 = 0.25;\n\
+             struct Lp;\n\
+             impl LogicalProcess for Lp {\n\
+                 fn lookahead(&self) -> f64 { LA }\n\
+                 fn handle(&mut self, now: f64, msg: (), ctx: &mut LpCtx) {\n\
+                     ctx.send(1, FAST, ());\n\
+                 }\n\
+             }\n";
+        let f = run(src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn lookahead_applies_to_initial_events_impls_too() {
+        let src = "struct Lp;\n\
+             impl LogicalProcess for Lp {\n\
+                 fn lookahead(&self) -> f64 { 1.0 }\n\
+             }\n\
+             impl InitialEvents for Lp {\n\
+                 fn initial(&self, ctx: &mut LpCtx) { ctx.send(1, 0.5, ()); }\n\
+             }\n";
+        let f = run(src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn taint_runs_only_in_order_sensitive_crates() {
+        let src = "fn f(ctx: &mut Ctx, m: HashMap<u64, u64>) {\n\
+                let v: Vec<u64> = m.keys().copied().collect();\n\
+                ctx.send(1, 0.5, Ev::Ids(v));\n\
+             }\n";
+        assert_eq!(run(src, true).len(), 1);
+        assert!(run(src, false).is_empty());
+    }
+}

@@ -1,0 +1,474 @@
+//! Workspace symbol table: which types implement which simulation traits.
+//!
+//! Built in **two passes** over every parsed file. Pass one registers raw
+//! facts per `(crate, type)` key — struct field lists, `const`/`static`
+//! numeric values (module-level and associated), and the impl blocks of
+//! the simulation traits (`LogicalProcess`, `SaveState`, `InitialEvents`,
+//! `Model`). Pass two resolves what needs cross-file knowledge: the
+//! numeric value of each LP's declared `lookahead()` (a literal, or a
+//! const that pass one registered from anywhere in the same crate) and the
+//! field set `save()` provably reads.
+//!
+//! Impls found inside test files or `#[cfg(test)]` regions are skipped
+//! entirely: rules never fire there, and test-only types frequently reuse
+//! names (`RingNode` exists in three test modules), which would otherwise
+//! collide in the table.
+
+use crate::ast::{ConstDef, FnDef, Item, ItemKind, ParsedFile};
+use crate::lexer::{Tok, TokKind};
+use crate::rules::FileCtx;
+use std::collections::BTreeMap;
+
+/// What `save()` provably reads of the LP's state.
+#[derive(Debug, Clone)]
+pub struct SaveInfo {
+    /// `save()` reads the whole value (`self.clone()`, `*self`, or a
+    /// `self` method call the analysis cannot see through) — the field
+    /// diff is vacuously satisfied.
+    pub reads_all: bool,
+    /// Field names read as `self.field` in the body.
+    pub fields: Vec<String>,
+    /// Line of the `fn save` definition (for messages).
+    pub line: u32,
+    /// File the impl lives in (for messages).
+    pub file: String,
+}
+
+impl SaveInfo {
+    /// True if rollback restores `field` (read by `save`, or the snapshot
+    /// is the whole value).
+    pub fn captures(&self, field: &str) -> bool {
+        self.reads_all || self.fields.iter().any(|f| f == field)
+    }
+}
+
+/// Everything known about one `(crate, type)` pair.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEntry {
+    /// Type has a non-test `impl LogicalProcess for …`.
+    pub lp_impl: bool,
+    /// `save()` analysis from a `SaveState` impl, if any.
+    pub save: Option<SaveInfo>,
+    /// Resolved numeric value of `fn lookahead` when it is a literal or a
+    /// resolvable const.
+    pub lookahead: Option<f64>,
+    /// Declared struct fields (empty when the struct was not seen).
+    pub fields: Vec<String>,
+}
+
+/// The cross-file symbol table.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    types: BTreeMap<(String, String), TypeEntry>,
+    /// `(crate, NAME)` → value, for module-level consts; associated
+    /// consts are keyed `(crate, "Type::NAME")`.
+    consts: BTreeMap<(String, String), f64>,
+}
+
+/// One file's inputs to the build: its context, tokens, and parse.
+pub struct FileInput<'a> {
+    /// Path/crate/test classification.
+    pub ctx: &'a FileCtx,
+    /// Token stream.
+    pub tokens: &'a [Tok],
+    /// Parsed item tree.
+    pub parsed: &'a ParsedFile,
+}
+
+impl SymbolTable {
+    /// Builds the table from every file of the workspace (or a single file
+    /// for fixture scans).
+    pub fn build(files: &[FileInput<'_>]) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        // pass 1: register structs, consts, and raw impl facts
+        struct PendingLookahead {
+            krate: String,
+            ty: String,
+            body: std::ops::Range<usize>,
+            file_idx: usize,
+        }
+        let mut pending: Vec<PendingLookahead> = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            table.collect_items(f, &f.parsed.items, fi, &mut |krate, ty, body, idx| {
+                pending.push(PendingLookahead {
+                    krate,
+                    ty,
+                    body,
+                    file_idx: idx,
+                });
+            });
+        }
+        // pass 2: resolve lookahead bodies against the now-complete const
+        // table
+        for p in pending {
+            let toks = files[p.file_idx].tokens;
+            let val = table.resolve_expr(&p.krate, Some(&p.ty), toks, p.body.clone());
+            if let Some(v) = val {
+                table.types.entry((p.krate, p.ty)).or_default().lookahead = Some(v);
+            }
+        }
+        table
+    }
+
+    /// Looks up a type entry.
+    pub fn type_entry(&self, krate: &str, ty: &str) -> Option<&TypeEntry> {
+        self.types.get(&(krate.to_string(), ty.to_string()))
+    }
+
+    /// Resolves a const by name within a crate (associated consts use the
+    /// `"Type::NAME"` form).
+    pub fn const_value(&self, krate: &str, name: &str) -> Option<f64> {
+        self.consts
+            .get(&(krate.to_string(), name.to_string()))
+            .copied()
+    }
+
+    /// A stable fingerprint over the table contents; cached findings are
+    /// invalidated when any impl/const the rules depend on changes.
+    pub fn fingerprint(&self) -> u64 {
+        let mut dump = String::new();
+        for ((k, t), e) in &self.types {
+            dump.push_str(k);
+            dump.push('/');
+            dump.push_str(t);
+            dump.push(':');
+            dump.push_str(&format!(
+                "lp={} la={:?} save={:?} fields={:?};",
+                e.lp_impl,
+                e.lookahead,
+                e.save.as_ref().map(|s| (s.reads_all, s.fields.clone())),
+                e.fields
+            ));
+        }
+        for ((k, n), v) in &self.consts {
+            dump.push_str(&format!("{k}.{n}={v};"));
+        }
+        fnv64(dump.as_bytes())
+    }
+
+    /// Walks one file's item tree, registering facts. `on_lookahead` defers
+    /// lookahead-body resolution to pass two.
+    fn collect_items(
+        &mut self,
+        f: &FileInput<'_>,
+        items: &[Item],
+        file_idx: usize,
+        on_lookahead: &mut dyn FnMut(String, String, std::ops::Range<usize>, usize),
+    ) {
+        let krate = f.ctx.crate_name.clone();
+        for item in items {
+            match &item.kind {
+                ItemKind::Struct(s) => {
+                    if f.ctx.in_test(s.line) {
+                        continue;
+                    }
+                    let e = self
+                        .types
+                        .entry((krate.clone(), s.name.clone()))
+                        .or_default();
+                    if e.fields.is_empty() {
+                        e.fields = s.fields.iter().map(|fd| fd.name.clone()).collect();
+                    }
+                }
+                ItemKind::Const(c) => {
+                    if f.ctx.in_test(c.line) {
+                        continue;
+                    }
+                    self.register_const(&krate, None, c, f.tokens);
+                }
+                ItemKind::Impl(imp) => {
+                    if f.ctx.in_test(imp.line) {
+                        continue;
+                    }
+                    for c in &imp.consts {
+                        self.register_const(&krate, Some(&imp.type_name), c, f.tokens);
+                    }
+                    match imp.trait_name.as_deref() {
+                        Some("LogicalProcess") => {
+                            self.types
+                                .entry((krate.clone(), imp.type_name.clone()))
+                                .or_default()
+                                .lp_impl = true;
+                            if let Some(la) = imp.fns.iter().find(|fun| fun.name == "lookahead") {
+                                if let Some(body) = &la.body {
+                                    on_lookahead(
+                                        krate.clone(),
+                                        imp.type_name.clone(),
+                                        body.span.clone(),
+                                        file_idx,
+                                    );
+                                }
+                            }
+                        }
+                        Some("SaveState") => {
+                            if let Some(save) = imp.fns.iter().find(|fun| fun.name == "save") {
+                                let info = analyze_save(save, f.tokens, &f.ctx.rel_path);
+                                let e = self
+                                    .types
+                                    .entry((krate.clone(), imp.type_name.clone()))
+                                    .or_default();
+                                e.save = Some(info);
+                            } else {
+                                // SaveState impl without a parsed save body
+                                // (macro-generated?): conservatively treat
+                                // as full-state so the diff never fires
+                                let e = self
+                                    .types
+                                    .entry((krate.clone(), imp.type_name.clone()))
+                                    .or_default();
+                                e.save = Some(SaveInfo {
+                                    reads_all: true,
+                                    fields: Vec::new(),
+                                    line: imp.line,
+                                    file: f.ctx.rel_path.clone(),
+                                });
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                ItemKind::Mod(_, nested) => {
+                    self.collect_items(f, nested, file_idx, on_lookahead);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn register_const(&mut self, krate: &str, ty: Option<&str>, c: &ConstDef, toks: &[Tok]) {
+        let Some(v) = literal_value(toks, c.value.clone()) else {
+            return;
+        };
+        let name = match ty {
+            Some(t) => format!("{t}::{}", c.name),
+            None => c.name.clone(),
+        };
+        self.consts.insert((krate.to_string(), name), v);
+        // associated consts are also reachable as `Self::NAME` from inside
+        // the impl; the resolver tries the qualified form first
+    }
+
+    /// Resolves a single-expression span to a number: a literal, a const
+    /// name, `Self::NAME`, or `Type::NAME`.
+    pub fn resolve_expr(
+        &self,
+        krate: &str,
+        self_ty: Option<&str>,
+        toks: &[Tok],
+        span: std::ops::Range<usize>,
+    ) -> Option<f64> {
+        if let Some(v) = literal_value(toks, span.clone()) {
+            return Some(v);
+        }
+        let inner: Vec<&Tok> = toks[span]
+            .iter()
+            .filter(|t| !t.is_punct("(") && !t.is_punct(")"))
+            .collect();
+        match inner.as_slice() {
+            [t] if t.kind == TokKind::Ident => {
+                let name = t.text.as_str();
+                self.const_value(krate, name).or_else(|| {
+                    self_ty.and_then(|ty| self.const_value(krate, &format!("{ty}::{name}")))
+                })
+            }
+            [a, sep, b]
+                if a.kind == TokKind::Ident && sep.is_punct("::") && b.kind == TokKind::Ident =>
+            {
+                let scope = if a.is_ident("Self") {
+                    self_ty.map(str::to_string)
+                } else {
+                    Some(a.text.clone())
+                };
+                scope.and_then(|s| self.const_value(krate, &format!("{s}::{}", b.text)))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Parses a literal span (`1.0`, `0.5f64`, `- 0.25`, `3`) to f64.
+fn literal_value(toks: &[Tok], span: std::ops::Range<usize>) -> Option<f64> {
+    let inner: Vec<&Tok> = toks[span]
+        .iter()
+        .filter(|t| !t.is_punct("(") && !t.is_punct(")"))
+        .collect();
+    let (neg, lit) = match inner.as_slice() {
+        [l] => (false, *l),
+        [m, l] if m.is_punct("-") => (true, *l),
+        _ => return None,
+    };
+    if !matches!(lit.kind, TokKind::Float | TokKind::Int) {
+        return None;
+    }
+    let text = lit
+        .text
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches("u64")
+        .trim_end_matches("u32")
+        .trim_end_matches("usize")
+        .trim_end_matches('_')
+        .replace('_', "");
+    let v: f64 = text.parse().ok()?;
+    Some(if neg { -v } else { v })
+}
+
+/// Extracts the field-read set of a `save()` body: every `self.field`
+/// mention that is not a method call. A bare `self` (`self.clone()`,
+/// `*self`, `Self::Saved::from(self)`) or any `self.method(…)` call makes
+/// the analysis conservative: `reads_all`.
+fn analyze_save(save: &FnDef, toks: &[Tok], file: &str) -> SaveInfo {
+    let mut fields = Vec::new();
+    let mut reads_all = false;
+    if let Some(body) = &save.body {
+        let span = body.span.clone();
+        let mut i = span.start;
+        while i < span.end {
+            if toks[i].is_ident("self") {
+                if toks.get(i + 1).is_some_and(|t| t.is_punct(".")) {
+                    if let Some(f) = toks.get(i + 2).filter(|t| t.kind == TokKind::Ident) {
+                        if toks.get(i + 3).is_some_and(|t| t.is_punct("(")) {
+                            // `self.m()` — a method; it can read anything
+                            reads_all = true;
+                        } else if !fields.contains(&f.text) {
+                            fields.push(f.text.clone());
+                        }
+                        i += 3;
+                        continue;
+                    }
+                } else {
+                    // bare `self`: passed/cloned/dereferenced as a whole
+                    reads_all = true;
+                }
+            }
+            i += 1;
+        }
+    } else {
+        reads_all = true;
+    }
+    SaveInfo {
+        reads_all,
+        fields,
+        line: save.line,
+        file: file.to_string(),
+    }
+}
+
+/// FNV-1a 64-bit — the content hash for the incremental cache and the
+/// symbol-table fingerprint (dependency-free and deterministic across
+/// runs, unlike `DefaultHasher`).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lexer::lex;
+
+    fn ctx(path: &str, krate: &str) -> FileCtx {
+        FileCtx {
+            rel_path: path.to_string(),
+            crate_name: krate.to_string(),
+            is_test_file: false,
+            test_lines: Vec::new(),
+            order_sensitive: true,
+            hot_path: false,
+        }
+    }
+
+    fn build_one(src: &str) -> SymbolTable {
+        let toks = lex(src);
+        let parsed = parse(&toks);
+        let c = ctx("crates/x/src/lib.rs", "lsds-x");
+        SymbolTable::build(&[FileInput {
+            ctx: &c,
+            tokens: &toks,
+            parsed: &parsed,
+        }])
+    }
+
+    #[test]
+    fn registers_save_field_reads() {
+        let t = build_one(
+            "struct Lp { fired: u64, skew: u64 }\n\
+             impl SaveState for Lp {\n\
+                 type Saved = u64;\n\
+                 fn save(&self) -> u64 { self.fired }\n\
+                 fn restore(&mut self, s: u64) { self.fired = s; }\n\
+             }",
+        );
+        let e = t.type_entry("lsds-x", "Lp").expect("Lp registered");
+        let save = e.save.as_ref().expect("save analyzed");
+        assert!(!save.reads_all);
+        assert_eq!(save.fields, ["fired"]);
+        assert!(save.captures("fired"));
+        assert!(!save.captures("skew"));
+    }
+
+    #[test]
+    fn clone_based_save_reads_all() {
+        let t = build_one(
+            "struct Lp { a: u64 }\n\
+             impl SaveState for Lp { type Saved = Lp; fn save(&self) -> Lp { self.clone() } }",
+        );
+        let save = t.type_entry("lsds-x", "Lp").unwrap().save.as_ref().unwrap();
+        assert!(save.reads_all);
+        assert!(save.captures("anything"));
+    }
+
+    #[test]
+    fn lookahead_resolves_literals_and_consts() {
+        let t = build_one(
+            "const LA: f64 = 0.25;\n\
+             struct A; struct B; struct C;\n\
+             impl LogicalProcess for A { fn lookahead(&self) -> f64 { 0.5 } }\n\
+             impl LogicalProcess for B { fn lookahead(&self) -> f64 { LA } }\n\
+             impl LogicalProcess for C { fn lookahead(&self) -> f64 { self.la } }",
+        );
+        assert_eq!(t.type_entry("lsds-x", "A").unwrap().lookahead, Some(0.5));
+        assert_eq!(t.type_entry("lsds-x", "B").unwrap().lookahead, Some(0.25));
+        assert_eq!(t.type_entry("lsds-x", "C").unwrap().lookahead, None);
+    }
+
+    #[test]
+    fn assoc_consts_resolve_via_self() {
+        let t = build_one(
+            "struct A;\n\
+             impl A { const LA: f64 = 2.0; }\n\
+             impl LogicalProcess for A { fn lookahead(&self) -> f64 { Self::LA } }",
+        );
+        assert_eq!(t.type_entry("lsds-x", "A").unwrap().lookahead, Some(2.0));
+    }
+
+    #[test]
+    fn test_region_impls_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+             struct Lp { a: u64 }\n\
+             impl LogicalProcess for Lp { fn lookahead(&self) -> f64 { 1.0 } }\n\
+        }";
+        let toks = lex(src);
+        let parsed = parse(&toks);
+        let mut c = ctx("crates/x/src/lib.rs", "lsds-x");
+        c.test_lines = crate::lexer::test_line_ranges(&toks);
+        let t = SymbolTable::build(&[FileInput {
+            ctx: &c,
+            tokens: &toks,
+            parsed: &parsed,
+        }]);
+        assert!(t.type_entry("lsds-x", "Lp").is_none());
+    }
+
+    #[test]
+    fn fingerprint_changes_with_contents() {
+        let a = build_one("const LA: f64 = 0.25;");
+        let b = build_one("const LA: f64 = 0.5;");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -1,0 +1,14 @@
+//! Positive fixture: hash iteration laundered through a `Vec` before
+//! reaching the scheduler — the motivating case for the dataflow pass.
+//! The token rule flags the iteration itself; the taint rule flags the
+//! sink it reaches three statements later.
+
+use std::collections::HashMap;
+
+fn broadcast(ctx: &mut Ctx, peers: &HashMap<u64, Peer>) {
+    let ids: Vec<u64> = peers.keys().copied().collect();
+    let order = ids;
+    for p in order {
+        ctx.send(p, 1.0, Ev::Ping);
+    }
+}

@@ -1,0 +1,17 @@
+//! Negative fixture: the same laundering shape, made deterministic by
+//! sorting before the scheduling sink — the sanctioned pattern.
+
+use std::collections::HashMap;
+
+fn broadcast_sorted(ctx: &mut Ctx, peers: &HashMap<u64, Peer>) {
+    let mut ids: Vec<u64> = peers.keys().copied().collect();
+    ids.sort_unstable();
+    for p in ids {
+        ctx.send(p, 1.0, Ev::Ping);
+    }
+}
+
+fn count_only(ctx: &mut Ctx, peers: &HashMap<u64, Peer>) {
+    // order-free accessors of a hash map are deterministic
+    ctx.schedule_in(0.5, Ev::Census(peers.len()));
+}

@@ -1,0 +1,9 @@
+//! Positive fixture: a pointer-to-integer cast flows through a local into
+//! a scheduling sink. No token-level rule sees this — only the dataflow
+//! pass does.
+
+fn schedule_by_address(ctx: &mut Ctx, job: &Job) {
+    let key = job as *const Job as usize;
+    let routed = key % 16;
+    ctx.schedule_in(0.5, Ev::Dispatch(routed));
+}

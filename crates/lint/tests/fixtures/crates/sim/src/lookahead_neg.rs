@@ -1,0 +1,20 @@
+//! Negative fixture: delays at or above the declared lookahead, plus a
+//! runtime-computed delay the lint cannot (and must not) judge.
+
+const SAFE_LA: f64 = 0.5;
+
+struct SafeRouter {
+    jitter: f64,
+}
+
+impl LogicalProcess for SafeRouter {
+    type Msg = u64;
+    fn lookahead(&self) -> f64 {
+        SAFE_LA
+    }
+    fn handle(&mut self, _now: f64, msg: u64, ctx: &mut LpCtx<u64>) {
+        ctx.send(msg, SAFE_LA, msg);
+        ctx.send(msg, 0.75, msg);
+        ctx.send(msg, SAFE_LA + self.jitter, msg);
+    }
+}

@@ -1,0 +1,18 @@
+//! Positive fixture: the LP declares its lookahead through a const, then
+//! sends with a smaller literal delay. `LpCtx::send` asserts
+//! `delay >= lookahead`, so this panics on first use — the lint catches
+//! it at review time by resolving both constants.
+
+const LINK_LA: f64 = 0.5;
+
+struct Router;
+
+impl LogicalProcess for Router {
+    type Msg = u64;
+    fn lookahead(&self) -> f64 {
+        LINK_LA
+    }
+    fn handle(&mut self, _now: f64, msg: u64, ctx: &mut LpCtx<u64>) {
+        ctx.send(msg, 0.1, msg);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a justified pragma silences a semantic-rule finding, same as
+//! it does for token rules.
+
+fn schedule_by_address(ctx: &mut Ctx, job: &Job) {
+    let key = job as *const Job as usize;
+    // lsds-lint: allow(determinism-taint) reason="key feeds a debug-only overlay event that never touches sim state"
+    ctx.schedule_in(0.5, Ev::Overlay(key));
+}

@@ -1,0 +1,26 @@
+//! Negative fixture: every field `handle` writes is captured by `save()`,
+//! so rollback fully restores the LP.
+
+struct Gauge {
+    fired: u64,
+    skew: u64,
+}
+
+impl SaveState for Gauge {
+    type Saved = (u64, u64);
+    fn save(&self) -> (u64, u64) {
+        (self.fired, self.skew)
+    }
+    fn restore(&mut self, s: (u64, u64)) {
+        self.fired = s.0;
+        self.skew = s.1;
+    }
+}
+
+impl LogicalProcess for Gauge {
+    type Msg = ();
+    fn handle(&mut self, _now: f64, _msg: (), _ctx: &mut LpCtx<()>) {
+        self.fired += 1;
+        self.skew += 1;
+    }
+}

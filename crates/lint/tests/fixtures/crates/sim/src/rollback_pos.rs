@@ -1,0 +1,27 @@
+//! Positive fixture (the seeded acceptance case): a Time Warp LP whose
+//! `handle` writes a field `save()` never reads. Rollback restores
+//! `fired` but leaves `skew` at its post-rollback value — silent state
+//! corruption on re-execution.
+
+struct Meter {
+    fired: u64,
+    skew: u64,
+}
+
+impl SaveState for Meter {
+    type Saved = u64;
+    fn save(&self) -> u64 {
+        self.fired
+    }
+    fn restore(&mut self, s: u64) {
+        self.fired = s;
+    }
+}
+
+impl LogicalProcess for Meter {
+    type Msg = ();
+    fn handle(&mut self, _now: f64, _msg: (), _ctx: &mut LpCtx<()>) {
+        self.fired += 1;
+        self.skew += 1;
+    }
+}

@@ -104,8 +104,59 @@ fn missing_docs_golden() {
 }
 
 #[test]
+fn determinism_taint_golden() {
+    // ptr-cast laundered through two locals into a scheduling sink
+    assert_eq!(
+        rules_of(&scan_fixture("det_taint_pos")),
+        ["determinism-taint"]
+    );
+    // the motivating case: hash iteration collected into a Vec — the token
+    // rule flags the source, the dataflow pass flags the sink it reaches
+    assert_eq!(
+        rules_of(&scan_fixture("det_taint_launder")),
+        ["hash-iter", "determinism-taint"]
+    );
+    assert!(
+        scan_fixture("det_taint_neg").is_empty(),
+        "sorted laundering and order-free accessors must stay clean"
+    );
+}
+
+#[test]
+fn rollback_safety_golden() {
+    let pos = scan_fixture("rollback_pos");
+    assert_eq!(rules_of(&pos), ["rollback-safety"]);
+    assert!(
+        pos[0].message.contains("skew"),
+        "must name the unsaved field: {}",
+        pos[0].message
+    );
+    assert!(
+        scan_fixture("rollback_neg").is_empty(),
+        "handle writing only saved fields must stay clean"
+    );
+}
+
+#[test]
+fn lookahead_contract_golden() {
+    assert_eq!(
+        rules_of(&scan_fixture("lookahead_pos")),
+        ["lookahead-contract"]
+    );
+    assert!(
+        scan_fixture("lookahead_neg").is_empty(),
+        "delays >= lookahead and runtime-computed delays must stay clean"
+    );
+}
+
+#[test]
 fn justified_pragma_suppresses() {
     assert!(scan_fixture("pragma_ok").is_empty());
+}
+
+#[test]
+fn justified_pragma_suppresses_semantic_rules() {
+    assert!(scan_fixture("pragma_sem_ok").is_empty());
 }
 
 #[test]
@@ -133,6 +184,13 @@ fn report_round_trips_through_lsds_trace() {
     let parsed = Json::parse(&text).expect("rendered report parses back");
     let restored = report::from_json(&parsed).expect("schema accepted");
     assert_eq!(restored, findings);
+    // the new semantic finding kinds must survive the round-trip too
+    for kind in ["determinism-taint", "rollback-safety", "lookahead-contract"] {
+        assert!(
+            restored.iter().any(|f| f.rule == kind),
+            "fixture tree must exercise {kind} in the report"
+        );
+    }
 }
 
 /// Runs the built `lsds-lint` binary against one fixture file under `--deny`.
@@ -161,6 +219,10 @@ fn deny_gate_fails_each_positive_fixture() {
         "missing_docs_pos",
         "pragma_bad",
         "pragma_unused",
+        "det_taint_pos",
+        "det_taint_launder",
+        "rollback_pos",
+        "lookahead_pos",
     ] {
         assert!(!deny_exit(file), "{file} must fail under --deny");
     }
@@ -176,6 +238,10 @@ fn deny_gate_passes_each_negative_fixture() {
         "hot_vec_neg",
         "missing_docs_neg",
         "pragma_ok",
+        "det_taint_neg",
+        "rollback_neg",
+        "lookahead_neg",
+        "pragma_sem_ok",
     ] {
         assert!(deny_exit(file), "{file} must pass under --deny");
     }

@@ -1,0 +1,179 @@
+//! End-to-end tests for incremental mode: `--changed <git-ref>` target
+//! selection against a real git repo, and the `--cache` content-hash
+//! finding cache.
+
+use lsds_lint::report;
+use lsds_trace::Json;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn copy_tree(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+fn git(dir: &Path, args: &[&str]) {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(dir)
+        .args(args)
+        .output()
+        .expect("git runs");
+    assert!(
+        out.status.success(),
+        "git {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Runs the built binary; returns (success, stdout, report findings if
+/// `--json` was among the args and the file was written).
+fn run_lint(root: &Path, extra: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_lsds-lint"))
+        .arg("--root")
+        .arg(root)
+        .arg("--config")
+        .arg(root.join("lsds-lint.json"))
+        .args(extra)
+        .output()
+        .expect("lsds-lint binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+    )
+}
+
+fn report_findings(path: &Path) -> Vec<lsds_lint::Finding> {
+    let text = std::fs::read_to_string(path).expect("report written");
+    let doc = Json::parse(&text).expect("report parses");
+    report::from_json(&doc).expect("schema accepted")
+}
+
+/// A fixture tree turned into a one-commit git repo, with one file then
+/// modified in the working tree.
+fn seeded_repo(name: &str, touch: &str) -> PathBuf {
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&tmp);
+    copy_tree(&fixture_root(), &tmp);
+    git(&tmp, &["init", "-q"]);
+    git(&tmp, &["add", "."]);
+    git(
+        &tmp,
+        &[
+            "-c",
+            "user.email=ci@local",
+            "-c",
+            "user.name=ci",
+            "commit",
+            "-q",
+            "-m",
+            "seed",
+        ],
+    );
+    let target = tmp.join(touch);
+    let mut src = std::fs::read_to_string(&target).unwrap();
+    src.push_str("\n// touched by incremental test\n");
+    std::fs::write(&target, src).unwrap();
+    tmp
+}
+
+#[test]
+fn changed_mode_reports_same_findings_as_full_run_for_that_file() {
+    let repo = seeded_repo("changed-mode", "crates/sim/src/det_taint_pos.rs");
+    let started = std::time::Instant::now();
+
+    let changed_json = repo.join("changed.json");
+    let (ok, _) = run_lint(
+        &repo,
+        &[
+            "--changed",
+            "HEAD",
+            "--json",
+            changed_json.to_str().unwrap(),
+        ],
+    );
+    assert!(!ok, "det_taint_pos carries an error finding");
+    assert!(
+        started.elapsed().as_secs() < 5,
+        "one-file incremental run must finish in under 5 seconds"
+    );
+
+    let full_json = repo.join("full.json");
+    let (_, _) = run_lint(&repo, &["--json", full_json.to_str().unwrap()]);
+
+    let changed = report_findings(&changed_json);
+    let full: Vec<_> = report_findings(&full_json)
+        .into_iter()
+        .filter(|f| f.file == "crates/sim/src/det_taint_pos.rs")
+        .collect();
+    assert!(!changed.is_empty());
+    assert_eq!(
+        changed, full,
+        "incremental run must report exactly the full run's findings for the changed file"
+    );
+}
+
+#[test]
+fn changed_mode_with_clean_tree_reports_nothing() {
+    let repo = seeded_repo("changed-clean", "crates/sim/src/det_taint_pos.rs");
+    git(&repo, &["checkout", "--", "."]);
+    let (ok, out) = run_lint(&repo, &["--changed", "HEAD", "--deny"]);
+    assert!(ok, "no changed files → no findings → deny passes: {out}");
+    assert!(out.contains("0 finding(s)"), "{out}");
+}
+
+#[test]
+fn cache_replays_findings_and_reacts_to_edits() {
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cache-mode");
+    let _ = std::fs::remove_dir_all(&tmp);
+    copy_tree(&fixture_root(), &tmp);
+    let cache = tmp.join("lint-cache.json");
+    let cache_arg = ["--cache", cache.to_str().unwrap()];
+
+    let json1 = tmp.join("r1.json");
+    let (_, out1) = run_lint(
+        &tmp,
+        &[&cache_arg[..], &["--json", json1.to_str().unwrap()]].concat(),
+    );
+    assert!(out1.contains("0 from cache"), "cold run: {out1}");
+
+    let json2 = tmp.join("r2.json");
+    let (_, out2) = run_lint(
+        &tmp,
+        &[&cache_arg[..], &["--json", json2.to_str().unwrap()]].concat(),
+    );
+    assert!(!out2.contains("0 from cache"), "warm run must hit: {out2}");
+    assert_eq!(
+        report_findings(&json1),
+        report_findings(&json2),
+        "cached findings must be bit-identical to scanned ones"
+    );
+
+    // editing a file invalidates exactly that entry
+    let target = tmp.join("crates/sim/src/float_eq_pos.rs");
+    let mut src = std::fs::read_to_string(&target).unwrap();
+    src.push_str("\n// cache-buster\n");
+    std::fs::write(&target, src).unwrap();
+    let json3 = tmp.join("r3.json");
+    let (_, _) = run_lint(
+        &tmp,
+        &[&cache_arg[..], &["--json", json3.to_str().unwrap()]].concat(),
+    );
+    assert_eq!(
+        report_findings(&json2),
+        report_findings(&json3),
+        "an appended comment must not change findings"
+    );
+}
