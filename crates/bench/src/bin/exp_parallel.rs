@@ -9,11 +9,14 @@
 //! * centralized — all partitions in one event-driven engine;
 //! * distributed — one logical process per partition under conservative
 //!   CMB synchronization, with a lookahead sweep showing the
-//!   null-message overhead that conservatism costs.
+//!   null-message overhead that conservatism costs;
+//! * work-stealing — the same conservative synchronization on a fixed
+//!   worker pool (`--workers N`, default host parallelism), where the
+//!   sync column counts shared-memory bound updates instead of nulls.
 
 use lsds_core::{Ctx, EventDriven, Model, SimTime};
 use lsds_parallel::cmb::InitialEvents;
-use lsds_parallel::{run_cmb, LogicalProcess, LpCtx};
+use lsds_parallel::{run_cmb, run_worksteal_cfg, LogicalProcess, LpCtx, WsConfig};
 use lsds_trace::TextTable;
 use std::time::Instant;
 
@@ -141,7 +144,50 @@ fn run_distributed(n_parts: usize, la: f64, horizon: f64) -> (u64, u64, f64) {
     (report.total_events(), report.total_nulls(), wall)
 }
 
+/// Same partitioned workload on the work-stealing pool; returns
+/// `(events, bound updates, actual workers, wall seconds)`.
+fn run_worksteal_engine(
+    n_parts: usize,
+    la: f64,
+    horizon: f64,
+    workers: usize,
+) -> (u64, u64, usize, f64) {
+    let lps: Vec<PartLp> = (0..n_parts)
+        .map(|_| PartLp {
+            n_parts,
+            la,
+            counter: 0,
+            sink: 0,
+        })
+        .collect();
+    let edges: Vec<(usize, usize)> = (0..n_parts).map(|i| (i, (i + 1) % n_parts)).collect();
+    let start = Instant::now();
+    let report = run_worksteal_cfg(
+        lps,
+        &edges,
+        SimTime::new(horizon),
+        WsConfig {
+            workers,
+            ..WsConfig::default()
+        },
+    );
+    let wall = start.elapsed().as_secs_f64();
+    (
+        report.total_events(),
+        report.sched.bound_updates,
+        report.sched.workers,
+        wall,
+    )
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // 0 = let the scheduler use the host's available parallelism
+    let ws_workers: usize = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map_or(0, |v| v.parse().expect("--workers takes a number"));
     let horizon = 200.0;
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -177,8 +223,23 @@ fn main() {
             format!("{:.2}x", wall_c / wall_d),
         ]);
         assert_eq!(ev_c, ev_d, "both engines process identical events");
+        let (ev_w, bound_updates, used, wall_w) =
+            run_worksteal_engine(parts, CROSS_DELAY, horizon, ws_workers);
+        table.row(vec![
+            format!("{parts}"),
+            format!("worksteal ({used}w)"),
+            format!("{ev_w}"),
+            format!("{bound_updates}*"),
+            format!("{:.0}", wall_w * 1e3),
+            format!("{:.2}x", wall_c / wall_w),
+        ]);
+        assert_eq!(
+            ev_c, ev_w,
+            "work-stealing engine processes identical events"
+        );
     }
     print!("{}", table.render());
+    println!("(* shared-memory channel-bound updates, the worksteal analog of nulls)");
 
     println!("\nnull-message overhead vs lookahead (8 partitions):");
     let mut t2 = TextTable::with_columns(&["lookahead", "nulls", "nulls/event", "wall (ms)"]);

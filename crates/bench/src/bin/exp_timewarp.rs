@@ -7,7 +7,8 @@
 //! stays fixed. Time Warp (Jefferson 1985) removes the dependence on
 //! lookahead entirely — LPs speculate ahead and repair mis-speculation
 //! with rollback + anti-messages — trading null messages for wasted work.
-//! This experiment runs the same workloads under all three engines:
+//! This experiment runs the same workloads under all four engines
+//! (CMB, timestep, Time Warp, and the work-stealing scheduler):
 //!
 //! * `e4` — the E4 ring with dense internal compute and cross-LP traffic
 //!   at `delay == lookahead`, swept from comfortable (1.0) down to short
@@ -23,12 +24,15 @@
 //! column: nulls/event for CMB, windows for timestep, rolled-back work +
 //! anti-messages + GVT rounds for Time Warp.
 //!
-//! Writes `BENCH_timewarp.json`. Flags: `--smoke` (tiny sizes for CI).
+//! Writes `BENCH_timewarp.json`. Flags: `--smoke` (tiny sizes for CI),
+//! `--workers N` (worker threads for the work-stealing rows; default
+//! host parallelism).
 
 use lsds_core::SimTime;
 use lsds_parallel::cmb::InitialEvents;
 use lsds_parallel::{
-    run_cmb, run_timestep, run_timewarp_cfg, LogicalProcess, LpCtx, SaveState, TwConfig, TwReport,
+    run_cmb, run_timestep, run_timewarp_cfg, run_worksteal_cfg, LogicalProcess, LpCtx, SaveState,
+    TwConfig, TwReport, WsConfig,
 };
 use lsds_trace::{Json, TextTable};
 use std::time::Instant;
@@ -273,7 +277,24 @@ fn tw_sync(report: &TwReport<impl Sized>, window: f64) -> (Json, String) {
     (json, label)
 }
 
-fn run_e4(n: usize, la: f64, horizon: f64) -> Vec<EngineRow> {
+fn ws_sync(sched: &lsds_parallel::WsSchedStats) -> (Json, String) {
+    let json = Json::Obj(vec![
+        ("workers".into(), Json::Num(sched.workers as f64)),
+        (
+            "bound_updates".into(),
+            Json::Num(sched.bound_updates as f64),
+        ),
+        ("steals".into(), Json::Num(sched.steals as f64)),
+        ("parks".into(), Json::Num(sched.parks as f64)),
+    ]);
+    let label = format!(
+        "{} bounds, {} steals ({}w)",
+        sched.bound_updates, sched.steals, sched.workers
+    );
+    (json, label)
+}
+
+fn run_e4(n: usize, la: f64, horizon: f64, ws_workers: usize) -> Vec<EngineRow> {
     let t_end = SimTime::new(horizon);
     let mut rows = Vec::new();
 
@@ -328,10 +349,31 @@ fn run_e4(n: usize, la: f64, horizon: f64) -> Vec<EngineRow> {
         sync,
         sync_label,
     });
+
+    let start = Instant::now();
+    let ws = run_worksteal_cfg(
+        e4_lps(n, la, horizon),
+        &ring_edges(n),
+        t_end,
+        WsConfig {
+            workers: ws_workers,
+            ..WsConfig::default()
+        },
+    );
+    let wall = start.elapsed().as_secs_f64();
+    let (sync, sync_label) = ws_sync(&ws.sched);
+    rows.push(EngineRow {
+        engine: "worksteal",
+        events: ws.total_events(),
+        wall_s: wall,
+        fingerprint: fingerprint(ws.lps.iter().map(|l| l.sink ^ l.counter)),
+        sync,
+        sync_label,
+    });
     rows
 }
 
-fn run_scale(n: usize, jobs_per_lp: u64) -> Vec<EngineRow> {
+fn run_scale(n: usize, jobs_per_lp: u64, ws_workers: usize) -> Vec<EngineRow> {
     let t_end = SimTime::new(scale_t_end(n, jobs_per_lp));
     let mut rows = Vec::new();
 
@@ -383,11 +425,39 @@ fn run_scale(n: usize, jobs_per_lp: u64) -> Vec<EngineRow> {
         sync,
         sync_label,
     });
+
+    let start = Instant::now();
+    let ws = run_worksteal_cfg(
+        scale_lps(n, jobs_per_lp),
+        &ring_edges(n),
+        t_end,
+        WsConfig {
+            workers: ws_workers,
+            ..WsConfig::default()
+        },
+    );
+    let wall = start.elapsed().as_secs_f64();
+    let (sync, sync_label) = ws_sync(&ws.sched);
+    rows.push(EngineRow {
+        engine: "worksteal",
+        events: ws.total_events(),
+        wall_s: wall,
+        fingerprint: fingerprint(ws.lps.iter().map(|l| l.acc)),
+        sync,
+        sync_label,
+    });
     rows
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // 0 = let the scheduler use the host's available parallelism
+    let ws_workers: usize = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map_or(0, |v| v.parse().expect("--workers takes a number"));
     let n = 4;
     let e4_horizon = if smoke { 20.0 } else { 400.0 };
     let jobs_per_lp: u64 = if smoke { 500 } else { 100_000 };
@@ -413,7 +483,7 @@ fn main() {
     let mut short_la: Option<(f64, f64)> = None; // (cmb wall, tw wall) at min la
 
     for &la in lookaheads {
-        let rows = run_e4(n, la, e4_horizon);
+        let rows = run_e4(n, la, e4_horizon, ws_workers);
         let fp = rows[0].fingerprint.clone();
         let mut cmb_wall = 0.0;
         for row in rows {
@@ -448,7 +518,7 @@ fn main() {
         }
     }
 
-    let rows = run_scale(n, jobs_per_lp);
+    let rows = run_scale(n, jobs_per_lp, ws_workers);
     let fp = rows[0].fingerprint.clone();
     for row in rows {
         assert_eq!(row.fingerprint, fp, "scale: {} diverged", row.engine);

@@ -1,0 +1,354 @@
+//! `exp_worksteal` — LP scheduling when LPs outnumber cores.
+//!
+//! The thread-per-LP engines hand scheduling to the OS: every LP is an
+//! OS thread, so a 32-LP model on a small host pays a context switch per
+//! blocking null-message round, and a skewed model leaves most threads
+//! parked while the hot one runs. The work-stealing engine
+//! ([`lsds_parallel::worksteal`]) decouples the two — N workers pull
+//! runnable LPs from deques — so the comparison this experiment measures
+//! is *scheduler against scheduler on identical simulation work*:
+//!
+//! * `hotspot` — one LP owns nearly all events and per-event compute,
+//!   the rest idle (the adversarial case for static thread-per-LP);
+//! * `zipf` — per-LP compute follows a harmonic (Zipf-like) decay, the
+//!   realistic many-small-few-large mix of partitioned models;
+//! * `partition` — no simulation at all: the deterministic imbalance
+//!   (max LP load / mean LP load) of count-based partitionings vs
+//!   [`lsds_parallel::profiled`] on the same cost vectors, the metric a
+//!   profile-guided repartition removes.
+//!
+//! Every engine run must produce the same fingerprint as the sequential
+//! oracle — worker count, batch size, and mid-run migration are
+//! scheduling noise by construction, and the binary asserts it.
+//!
+//! Writes `BENCH_worksteal.json`. Flags: `--smoke` (tiny sizes for CI),
+//! `--workers N` (run only that worker count instead of the sweep).
+
+use lsds_core::SimTime;
+use lsds_parallel::cmb::InitialEvents;
+use lsds_parallel::{
+    block_partition, profiled, round_robin_partition, run_cmb, run_sequential, run_worksteal_cfg,
+    LogicalProcess, LpCtx, WsConfig,
+};
+use lsds_trace::{Json, TextTable};
+use std::time::Instant;
+
+/// Marks a cross-LP message as a pure sink (mutates state, schedules
+/// nothing) so the event population stays linear in the horizon.
+const REMOTE: u64 = 1 << 63;
+
+/// Every `CROSS_EVERY`-th local event also pokes the next LP, keeping
+/// the ring synchronized for real (bounds alone would be free).
+const CROSS_EVERY: u64 = 8;
+
+/// Ring node with per-LP event rate (`local_dt`) and per-event compute
+/// (`work` state-mixing iterations) — the two skew knobs. Cross sends go
+/// at exactly the declared lookahead: conservative channel clocks
+/// require per-edge sends in nondecreasing timestamp order.
+#[derive(Clone)]
+struct SkewLp {
+    n: usize,
+    la: f64,
+    until: f64,
+    local_dt: f64,
+    work: u32,
+    acc: u64,
+    events: u64,
+}
+
+impl LogicalProcess for SkewLp {
+    type Msg = u64;
+    fn handle(&mut self, now: SimTime, v: u64, ctx: &mut LpCtx<'_, u64>) {
+        self.events += 1;
+        let mut h = self.acc ^ (v & !REMOTE) ^ now.seconds().to_bits();
+        for i in 0..self.work {
+            h = h.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+        }
+        self.acc = h;
+        if v & REMOTE != 0 {
+            return;
+        }
+        if now.seconds() + self.local_dt <= self.until {
+            ctx.schedule_in(self.local_dt, h >> 32);
+        }
+        if self.events.is_multiple_of(CROSS_EVERY)
+            && self.n > 1
+            && now.seconds() + self.la <= self.until
+        {
+            ctx.send((ctx.me() + 1) % self.n, self.la, REMOTE | (h & 0xffff_ffff));
+        }
+    }
+    fn lookahead(&self) -> f64 {
+        self.la
+    }
+}
+
+impl InitialEvents for SkewLp {
+    fn initial_events(&mut self, ctx: &mut LpCtx<'_, u64>) {
+        ctx.schedule_in(0.0, ctx.me() as u64 + 1);
+    }
+}
+
+fn ring_edges(n: usize) -> Vec<(usize, usize)> {
+    (0..n).map(|i| (i, (i + 1) % n)).collect()
+}
+
+/// LP 0 fires ~100× more often with ~200× the per-event compute.
+fn hotspot(n: usize, until: f64) -> Vec<SkewLp> {
+    (0..n)
+        .map(|i| SkewLp {
+            n,
+            la: 0.25,
+            until,
+            local_dt: if i == 0 { 0.005 } else { 0.5 },
+            work: if i == 0 { 2_000 } else { 10 },
+            acc: 0x9e37 + i as u64,
+            events: 0,
+        })
+        .collect()
+}
+
+/// Harmonic decay: LP `i` does `~1/(i+1)` of LP 0's per-event compute at
+/// a uniform event rate — many light LPs, a few heavy ones.
+fn zipf(n: usize, until: f64) -> Vec<SkewLp> {
+    (0..n)
+        .map(|i| SkewLp {
+            n,
+            la: 0.25,
+            until,
+            local_dt: 0.05,
+            work: (2_000 / (i as u32 + 1)).max(1),
+            acc: 0x51F0 + i as u64,
+            events: 0,
+        })
+        .collect()
+}
+
+/// FNV-1a fold of per-LP final state; any divergence anywhere flips it.
+fn fingerprint<'a>(lps: impl Iterator<Item = &'a SkewLp>) -> String {
+    let mut h = 0xcbf29ce484222325u64;
+    for lp in lps {
+        for part in [lp.acc, lp.events] {
+            h = (h ^ part).wrapping_mul(0x100000001b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+struct Row {
+    engine: String,
+    events: u64,
+    wall_s: f64,
+    fingerprint: String,
+    sync_label: String,
+    sync: Json,
+}
+
+fn run_scenario(name: &str, proto: Vec<SkewLp>, until: f64, worker_counts: &[usize]) -> Vec<Row> {
+    let n = proto.len();
+    let edges = ring_edges(n);
+    let t_end = SimTime::new(until);
+    let mut rows = Vec::new();
+
+    let start = Instant::now();
+    let seq = run_sequential(proto.clone(), &edges, t_end);
+    rows.push(Row {
+        engine: "sequential".into(),
+        events: seq.total_events(),
+        wall_s: start.elapsed().as_secs_f64(),
+        fingerprint: fingerprint(seq.lps.iter()),
+        sync_label: "-".into(),
+        sync: Json::Obj(vec![]),
+    });
+
+    let start = Instant::now();
+    let cmb = run_cmb(proto.clone(), &edges, t_end);
+    let nulls = cmb.total_nulls();
+    rows.push(Row {
+        engine: format!("cmb ({n} threads)"),
+        events: cmb.total_events(),
+        wall_s: start.elapsed().as_secs_f64(),
+        fingerprint: fingerprint(cmb.lps.iter()),
+        sync_label: format!("{nulls} nulls"),
+        sync: Json::Obj(vec![("nulls".into(), Json::Num(nulls as f64))]),
+    });
+
+    for &workers in worker_counts {
+        for migration in [None, Some(5_000u64)] {
+            let cfg = WsConfig {
+                workers,
+                batch: 64,
+                migration_epoch: migration,
+            };
+            let start = Instant::now();
+            let ws = run_worksteal_cfg(proto.clone(), &edges, t_end, cfg);
+            let wall = start.elapsed().as_secs_f64();
+            let migr_tag = if migration.is_some() { "+migr" } else { "" };
+            rows.push(Row {
+                engine: format!("worksteal w={}{migr_tag}", ws.sched.workers),
+                events: ws.total_events(),
+                wall_s: wall,
+                fingerprint: fingerprint(ws.lps.iter()),
+                sync_label: format!(
+                    "{} bounds, {} steals, {} migr",
+                    ws.sched.bound_updates, ws.sched.steals, ws.sched.migrations
+                ),
+                sync: Json::Obj(vec![
+                    ("workers".into(), Json::Num(ws.sched.workers as f64)),
+                    (
+                        "migration_epoch".into(),
+                        migration.map_or(Json::Null, |e| Json::Num(e as f64)),
+                    ),
+                    (
+                        "bound_updates".into(),
+                        Json::Num(ws.sched.bound_updates as f64),
+                    ),
+                    ("steals".into(), Json::Num(ws.sched.steals as f64)),
+                    ("parks".into(), Json::Num(ws.sched.parks as f64)),
+                    ("epochs".into(), Json::Num(ws.sched.epochs as f64)),
+                    ("migrations".into(), Json::Num(ws.sched.migrations as f64)),
+                ]),
+            });
+        }
+    }
+
+    let fp = rows[0].fingerprint.clone();
+    for row in &rows {
+        assert_eq!(
+            row.fingerprint, fp,
+            "{name}: {} diverged from sequential",
+            row.engine
+        );
+        assert_eq!(
+            row.events, rows[0].events,
+            "{name}: {} event count",
+            row.engine
+        );
+    }
+    rows
+}
+
+/// Max LP load over mean LP load under an assignment — 1.0 is perfect.
+fn imbalance(assignment: &[usize], costs: &[f64], n_lps: usize) -> f64 {
+    let mut load = vec![0.0f64; n_lps];
+    for (e, &lp) in assignment.iter().enumerate() {
+        load[lp] += costs[e];
+    }
+    let total: f64 = load.iter().sum();
+    let max = load.iter().fold(0.0f64, |a, &b| a.max(b));
+    max / (total / n_lps as f64)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let workers_flag: Option<usize> = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--workers takes a number"));
+
+    let n = if smoke { 8 } else { 32 };
+    let until = if smoke { 8.0 } else { 40.0 };
+    let worker_counts: Vec<usize> = match workers_flag {
+        Some(w) => vec![w],
+        None => vec![1, 2, 4],
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+
+    println!(
+        "work-stealing scheduler vs thread-per-LP ({n} LPs, {cores} core(s), horizon {until} s)\n"
+    );
+    let mut table =
+        TextTable::with_columns(&["scenario", "engine", "events", "wall (ms)", "sync cost"]);
+    let mut results: Vec<Json> = Vec::new();
+    let mut headline: Option<f64> = None; // cmb wall / best ws wall on hotspot
+
+    for (name, proto) in [("hotspot", hotspot(n, until)), ("zipf", zipf(n, until))] {
+        let rows = run_scenario(name, proto, until, &worker_counts);
+        let cmb_wall = rows
+            .iter()
+            .find(|r| r.engine.starts_with("cmb"))
+            .map_or(0.0, |r| r.wall_s);
+        let best_ws = rows
+            .iter()
+            .filter(|r| r.engine.starts_with("worksteal"))
+            .map(|r| r.wall_s)
+            .fold(f64::INFINITY, f64::min);
+        if name == "hotspot" {
+            headline = Some(cmb_wall / best_ws);
+        }
+        for row in rows {
+            table.row(vec![
+                name.into(),
+                row.engine.clone(),
+                format!("{}", row.events),
+                format!("{:.1}", row.wall_s * 1e3),
+                row.sync_label.clone(),
+            ]);
+            results.push(Json::Obj(vec![
+                ("scenario".into(), Json::Str(name.into())),
+                ("engine".into(), Json::Str(row.engine)),
+                ("events".into(), Json::Num(row.events as f64)),
+                ("wall_s".into(), Json::Num(row.wall_s)),
+                ("fingerprint".into(), Json::Str(row.fingerprint)),
+                ("sync".into(), row.sync),
+            ]));
+        }
+    }
+
+    // ---- partition: deterministic imbalance of the assignment itself ----
+    let n_entities = if smoke { 32 } else { 128 };
+    let n_lps = 8;
+    let mut hot_costs = vec![1.0f64; n_entities];
+    // one entity's fair share of the total: profiled can balance exactly
+    hot_costs[0] = (n_entities as f64 - 1.0) / (n_lps as f64 - 1.0);
+    let zipf_costs: Vec<f64> = (0..n_entities).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    for (name, costs) in [("hot entity", &hot_costs), ("zipf costs", &zipf_costs)] {
+        let block = imbalance(&block_partition(n_entities, n_lps), costs, n_lps);
+        let rr = imbalance(&round_robin_partition(n_entities, n_lps), costs, n_lps);
+        let prof = imbalance(&profiled(costs, n_lps), costs, n_lps);
+        assert!(
+            prof <= block + 1e-9 && prof <= rr + 1e-9,
+            "profiled partition must not lose to count-based ones"
+        );
+        table.row(vec![
+            "partition".into(),
+            format!("imbalance: {name}"),
+            format!("{n_entities} entities"),
+            "-".into(),
+            format!("block {block:.2} / rr {rr:.2} / profiled {prof:.2}"),
+        ]);
+        results.push(Json::Obj(vec![
+            ("scenario".into(), Json::Str("partition".into())),
+            ("costs".into(), Json::Str(name.into())),
+            ("entities".into(), Json::Num(n_entities as f64)),
+            ("lps".into(), Json::Num(n_lps as f64)),
+            ("imbalance_block".into(), Json::Num(block)),
+            ("imbalance_round_robin".into(), Json::Num(rr)),
+            ("imbalance_profiled".into(), Json::Num(prof)),
+        ]));
+    }
+    print!("{}", table.render());
+
+    let speedup = headline.unwrap_or(1.0);
+    println!(
+        "\nhotspot: best work-stealing config {speedup:.2}x vs thread-per-LP CMB —\n\
+         with {n} LPs on {cores} core(s) the OS scheduler pays a context switch\n\
+         per blocking round while the worker pool just runs the next runnable\n\
+         LP; identical fingerprints across every engine, worker count, and\n\
+         migration setting."
+    );
+
+    let doc = Json::Obj(vec![
+        ("experiment".into(), Json::Str("worksteal".into())),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("lps".into(), Json::Num(n as f64)),
+        ("host_cores".into(), Json::Num(cores as f64)),
+        ("ws_speedup_vs_cmb_hotspot".into(), Json::Num(speedup)),
+        ("results".into(), Json::Arr(results)),
+    ]);
+    std::fs::write("BENCH_worksteal.json", doc.render_pretty() + "\n")
+        .expect("write BENCH_worksteal.json");
+    println!("\nwrote BENCH_worksteal.json");
+}

@@ -123,7 +123,7 @@ impl<'c, 'a, E, E2, F: Fn(E2) -> E> Schedule<E2> for MappedCtx<'c, 'a, E, F> {
 
 /// Scheduling handle passed to [`Model::handle`].
 ///
-/// New events flow into the engine through an [`EventSink`] — a staging
+/// New events flow into the engine through an `EventSink` — a staging
 /// buffer drained after the handler returns, or the event list directly —
 /// which keeps the borrow of the model and the engine's other state
 /// disjoint without interior mutability.

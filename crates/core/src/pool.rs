@@ -1,6 +1,6 @@
 //! Pooled event storage: fixed-size keys in the queue, payloads in a slab.
 //!
-//! Every [`EventQueue`](crate::queue::EventQueue) structure shuffles whole
+//! Every [`EventQueue`] structure shuffles whole
 //! [`ScheduledEvent`]s while sifting, rotating buckets, or resizing. With a
 //! large payload `E` that movement dominates queue cost; with a boxed
 //! payload every schedule is a heap allocation. [`PooledQueue`] splits the

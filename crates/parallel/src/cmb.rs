@@ -14,7 +14,9 @@
 //! to lookahead; [`CmbStats::nulls_sent`] exposes it and experiment E4
 //! sweeps it.
 
-use crate::lp::{tie_key, LogicalProcess, LpCtx, LpId, Outgoing};
+use crate::lp::{
+    in_neighbors, out_neighbors, tie_key, validate_edges, LogicalProcess, LpCtx, LpId, Outgoing,
+};
 use lsds_core::{BinaryHeapQueue, EventQueue, PooledQueue, ScheduledEvent, SimTime, NO_PARENT};
 use lsds_obs::{NoopTracer, Registry, RingTracer, SpanKind, SpanTrace, TraceConfig, Tracer};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -356,9 +358,7 @@ where
     T: Tracer + Send,
 {
     let n = lps.len();
-    for &(s, d) in edges {
-        assert!(s < n && d < n && s != d, "bad edge ({s},{d})");
-    }
+    validate_edges(n, edges);
     for (i, lp) in lps.iter().enumerate() {
         assert!(
             lp.lookahead() > 0.0 && lp.lookahead().is_finite(),
@@ -377,15 +377,13 @@ where
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for (me, lp) in lps.into_iter().enumerate() {
-            let in_clocks: Vec<(LpId, f64)> = edges
-                .iter()
-                .filter(|(_, d)| *d == me)
-                .map(|(s, _)| (*s, 0.0))
+            let in_clocks: Vec<(LpId, f64)> = in_neighbors(edges, me)
+                .into_iter()
+                .map(|s| (s, 0.0))
                 .collect();
-            let outs: OutEdges<'_, L::Msg> = edges
-                .iter()
-                .filter(|(s, _)| *s == me)
-                .map(|(_, d)| (*d, &txs[*d], 0.0))
+            let outs: OutEdges<'_, L::Msg> = out_neighbors(edges, me)
+                .into_iter()
+                .map(|d| (d, &txs[d], 0.0))
                 .collect();
             // lsds-lint: allow(hot-path-panic) reason="run setup before any event is processed; each index is taken exactly once by construction"
             let rx = rxs[me].take().expect("receiver taken twice");

@@ -22,6 +22,12 @@
 //!   stragglers, anti-message annihilation, and token-based GVT driving
 //!   fossil collection. Wins where lookahead is short (E4's bad case for
 //!   CMB).
+//! * [`worksteal`] — conservative synchronization on a **work-stealing
+//!   worker pool**: LPs are decoupled from OS threads, channel clocks
+//!   are written through shared memory instead of null messages, and an
+//!   epoch rebalancer migrates LPs between workers by measured cost.
+//!   Wins when LPs outnumber cores (the oversubscription case
+//!   `exp_worksteal` measures).
 //!
 //! All engines are deterministic: events are processed per logical
 //! process in `(time, source, sequence)` order, independent of thread
@@ -38,12 +44,16 @@ pub mod partition;
 pub mod sequential;
 pub mod timestep;
 pub mod timewarp;
+pub mod worksteal;
 
 pub use cmb::{run_cmb, run_cmb_traced, CmbReport, CmbStats, InitialEvents};
 pub use lp::{LogicalProcess, LpCtx, LpId};
-pub use partition::{block_partition, round_robin_partition};
+pub use partition::{
+    block_partition, owned_by, owners, profiled, profiled_from_trace, round_robin_partition,
+};
 pub use sequential::{run_sequential, SequentialReport};
 pub use timestep::{run_timestep, run_timestep_traced, TimestepReport};
 pub use timewarp::{
     run_timewarp, run_timewarp_cfg, run_timewarp_traced, SaveState, TwConfig, TwReport, TwStats,
 };
+pub use worksteal::{run_worksteal, run_worksteal_cfg, WsConfig, WsReport, WsSchedStats, WsStats};

@@ -133,10 +133,68 @@ pub(crate) fn tie_key(src: LpId, seq: u64) -> u64 {
     ((src as u64) << 48) | seq
 }
 
+/// Total order on `(time, tie)` as one integer: IEEE-754 bit patterns of
+/// non-negative finite doubles compare like the doubles themselves.
+#[inline]
+pub(crate) fn pack(at: SimTime, tie: u64) -> u128 {
+    let s = at.seconds();
+    debug_assert!(s >= 0.0, "negative sim time in tie pack");
+    ((s.to_bits() as u128) << 64) | tie as u128
+}
+
+/// Validates a declared topology: every edge in range, no self-loops.
+/// Shared by every engine so a bad edge list fails identically whichever
+/// executor runs it.
+pub(crate) fn validate_edges(n: usize, edges: &[(LpId, LpId)]) {
+    for &(s, d) in edges {
+        assert!(s < n && d < n && s != d, "bad edge ({s},{d})");
+    }
+}
+
+/// In-neighbors of `me` under a declared edge list, in declaration order.
+pub(crate) fn in_neighbors(edges: &[(LpId, LpId)], me: LpId) -> Vec<LpId> {
+    edges
+        .iter()
+        .filter(|(_, d)| *d == me)
+        .map(|(s, _)| *s)
+        .collect()
+}
+
+/// Out-neighbors of `me` under a declared edge list, in declaration order.
+pub(crate) fn out_neighbors(edges: &[(LpId, LpId)], me: LpId) -> Vec<LpId> {
+    edges
+        .iter()
+        .filter(|(s, _)| *s == me)
+        .map(|(_, d)| *d)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use lsds_core::NO_PARENT;
+
+    #[test]
+    fn pack_orders_by_time_then_tie() {
+        assert!(pack(SimTime::new(1.0), 7) < pack(SimTime::new(2.0), 0));
+        assert!(pack(SimTime::new(3.0), 1) < pack(SimTime::new(3.0), 2));
+        assert!(pack(SimTime::ZERO, u64::MAX) < pack(SimTime::new(1e-300), 0));
+    }
+
+    #[test]
+    fn neighbor_lists_follow_declaration_order() {
+        let edges = [(0usize, 2usize), (1, 2), (2, 0), (0, 1)];
+        assert_eq!(in_neighbors(&edges, 2), vec![0, 1]);
+        assert_eq!(out_neighbors(&edges, 0), vec![2, 1]);
+        assert_eq!(in_neighbors(&edges, 0), vec![2]);
+        assert_eq!(out_neighbors(&edges, 2), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad edge")]
+    fn validate_edges_rejects_self_loop() {
+        validate_edges(3, &[(1, 1)]);
+    }
 
     #[test]
     fn tie_key_orders_by_src_then_seq() {

@@ -2,11 +2,13 @@
 //!
 //! "Using the underlying physical distributed resources of clusters of
 //! nodes" (§5) requires splitting the model; these helpers provide the two
-//! standard static assignments. The mapping affects inter-LP traffic (and
-//! hence null-message overhead) but never results, since the engines are
-//! deterministic.
+//! standard static assignments plus a **profile-guided** one that balances
+//! measured work instead of entity counts. The mapping affects inter-LP
+//! traffic (and hence synchronization overhead) but never results, since
+//! the engines are deterministic.
 
 use crate::lp::LpId;
+use lsds_obs::{CriticalPath, SpanTrace};
 
 /// Assigns `n_entities` to `n_lps` in contiguous blocks.
 ///
@@ -33,19 +35,102 @@ pub fn round_robin_partition(n_entities: usize, n_lps: usize) -> Vec<LpId> {
     (0..n_entities).map(|i| i % n_lps).collect()
 }
 
+/// Full inverse index of an assignment in one pass: element `lp` lists
+/// the entities owned by `lp`, in ascending entity order.
+///
+/// `n_lps` sizes the result (assignments may leave trailing LPs empty);
+/// it must cover every LP id that appears in `assignment`.
+pub fn owners(assignment: &[LpId], n_lps: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); n_lps];
+    for (entity, &lp) in assignment.iter().enumerate() {
+        assert!(lp < n_lps, "assignment names LP {lp} but n_lps is {n_lps}");
+        out[lp].push(entity);
+    }
+    out
+}
+
 /// Entities owned by `lp` under a given assignment.
+///
+/// Thin wrapper over [`owners`] kept for callers that need a single LP;
+/// anything iterating over *all* LPs should call [`owners`] once instead
+/// of paying a scan per LP.
 pub fn owned_by(assignment: &[LpId], lp: LpId) -> Vec<usize> {
-    assignment
-        .iter()
-        .enumerate()
-        .filter(|(_, &a)| a == lp)
-        .map(|(i, _)| i)
-        .collect()
+    let n_lps = assignment.iter().map(|&a| a + 1).max().unwrap_or(0);
+    let mut inverse = owners(assignment, n_lps.max(lp + 1));
+    std::mem::take(&mut inverse[lp])
+}
+
+/// Assigns entities to LPs by **estimated work**, heaviest first onto the
+/// least-loaded LP (longest-processing-time greedy; ties by entity id,
+/// then by LP id — fully deterministic).
+///
+/// `costs[i]` is entity `i`'s estimated cost in arbitrary units (e.g.
+/// measured handler wall-time from [`SpanTrace::track_costs`]). LPT is a
+/// 4/3-approximation of the optimal makespan, which is enough to undo the
+/// hot-spot imbalance that defeats count-based partitioning: a block
+/// partition puts one hot entity and its cold neighbors on the same LP,
+/// while `profiled` spreads the heavy entities first.
+pub fn profiled(costs: &[f64], n_lps: usize) -> Vec<LpId> {
+    assert!(n_lps > 0, "need at least one LP");
+    for (i, c) in costs.iter().enumerate() {
+        assert!(
+            c.is_finite() && *c >= 0.0,
+            "entity {i} has invalid cost {c}"
+        );
+    }
+    let mut by_cost: Vec<usize> = (0..costs.len()).collect();
+    // total_cmp is exact on the finite, non-negative costs asserted above
+    by_cost.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+    let mut load = vec![0.0f64; n_lps];
+    let mut out = vec![0usize; costs.len()];
+    for entity in by_cost {
+        let mut best = 0usize;
+        for lp in 1..n_lps {
+            if load[lp] < load[best] {
+                best = lp;
+            }
+        }
+        out[entity] = best;
+        load[best] += costs[entity];
+    }
+    out
+}
+
+/// How much [`profiled_from_trace`] inflates the cost of entities on the
+/// critical path: the chain that bounds the makespan must not queue on
+/// one LP, so its entities are spread before equally-expensive bystanders.
+const CRITICAL_TRACK_BOOST: f64 = 2.0;
+
+/// Profile-guided assignment from a recorded run: per-entity measured
+/// handler wall-time (via [`SpanTrace::track_costs`], tracks = entity
+/// ids), optionally boosted along the critical path, fed to [`profiled`].
+///
+/// The intended workflow is a cheap profiling pass with one LP per
+/// entity (`run_cmb_traced` / `run_worksteal`), then a production run
+/// whose entity→LP mapping comes from this function — `exp_worksteal`'s
+/// `partition` scenario measures the imbalance this removes. Entities
+/// that never ran (zero spans) get cost 0 and fill in last.
+pub fn profiled_from_trace(
+    trace: &SpanTrace,
+    critical: Option<&CriticalPath>,
+    n_entities: usize,
+    n_lps: usize,
+) -> Vec<LpId> {
+    let mut costs = trace.track_costs(n_entities);
+    if let Some(cp) = critical {
+        for track in cp.tracks() {
+            if let Some(c) = costs.get_mut(track as usize) {
+                *c *= CRITICAL_TRACK_BOOST;
+            }
+        }
+    }
+    profiled(&costs, n_lps)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lsds_obs::{Span, SpanKind, NO_PARENT};
 
     #[test]
     fn block_partition_sizes_balanced() {
@@ -77,14 +162,135 @@ mod tests {
     }
 
     #[test]
+    fn owners_matches_owned_by_in_one_pass() {
+        let p = block_partition(11, 4);
+        let inv = owners(&p, 4);
+        assert_eq!(inv.len(), 4);
+        for (lp, owned) in inv.iter().enumerate() {
+            assert_eq!(*owned, owned_by(&p, lp));
+        }
+        // trailing empty LPs are represented, not dropped
+        let inv = owners(&[0, 0], 3);
+        assert_eq!(inv, vec![vec![0, 1], vec![], vec![]]);
+    }
+
+    #[test]
+    fn owned_by_of_unused_lp_is_empty() {
+        assert!(owned_by(&[0, 0, 0], 2).is_empty());
+        assert!(owned_by(&[], 5).is_empty());
+    }
+
+    #[test]
     fn empty_entities() {
         assert!(block_partition(0, 4).is_empty());
         assert!(round_robin_partition(0, 4).is_empty());
+        assert!(profiled(&[], 4).is_empty());
     }
 
     #[test]
     fn more_lps_than_entities() {
         let p = block_partition(2, 5);
         assert_eq!(p, vec![0, 1]);
+    }
+
+    /// Max LP load over mean LP load — 1.0 is perfect balance.
+    fn imbalance(assignment: &[LpId], costs: &[f64], n_lps: usize) -> f64 {
+        let mut load = vec![0.0; n_lps];
+        for (e, &lp) in assignment.iter().enumerate() {
+            load[lp] += costs[e];
+        }
+        let total: f64 = load.iter().sum();
+        let max = load.iter().fold(0.0f64, |a, &b| a.max(b));
+        max / (total / n_lps as f64)
+    }
+
+    #[test]
+    fn profiled_balances_hot_spot_where_block_cannot() {
+        // entity 0 is 5× hotter than the other 15: one LP's fair share,
+        // so LPT can balance perfectly while block stacks it with 3 more
+        let mut costs = vec![1.0; 16];
+        costs[0] = 5.0;
+        let block = block_partition(16, 4);
+        let prof = profiled(&costs, 4);
+        let bi = imbalance(&block, &costs, 4);
+        let pi = imbalance(&prof, &costs, 4);
+        assert!(bi > 1.5, "block partition should be imbalanced, got {bi}");
+        assert!(pi < 1.01, "profiled partition should balance, got {pi}");
+        // every entity assigned, all LPs in range
+        assert_eq!(prof.len(), 16);
+        assert!(prof.iter().all(|&lp| lp < 4));
+    }
+
+    #[test]
+    fn profiled_is_deterministic_under_ties() {
+        let costs = vec![1.0; 12];
+        let a = profiled(&costs, 3);
+        let b = profiled(&costs, 3);
+        assert_eq!(a, b);
+        // equal costs degrade to a balanced count split
+        let inv = owners(&a, 3);
+        assert!(inv.iter().all(|o| o.len() == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cost")]
+    fn profiled_rejects_nan_cost() {
+        profiled(&[1.0, f64::NAN], 2);
+    }
+
+    fn span_on(id: u64, track: u32, wall_ns: u64) -> Span {
+        Span {
+            id,
+            parent: if id == 0 { NO_PARENT } else { id - 1 },
+            track,
+            vt: id as f64,
+            wall_ns,
+            kind: SpanKind::DEFAULT,
+        }
+    }
+
+    #[test]
+    fn profiled_from_trace_spreads_measured_load() {
+        // entity 1 did all the work; entities 0 and 2 were idle
+        let trace = SpanTrace {
+            spans: vec![span_on(0, 1, 500), span_on(1, 1, 500), span_on(2, 0, 10)],
+            dropped: 0,
+        };
+        let p = profiled_from_trace(&trace, None, 3, 2);
+        assert_eq!(p.len(), 3);
+        // the hot entity gets an LP to itself
+        assert_eq!(owners(&p, 2)[p[1]], vec![1]);
+    }
+
+    #[test]
+    fn critical_path_boost_separates_chain_from_bystander() {
+        // three independent roots; the latest-delivered span (track 0)
+        // is the whole critical path. Tracks 0 and 1 cost the same.
+        let root = |id: u64, track: u32, vt: f64, wall_ns: u64| Span {
+            id,
+            parent: NO_PARENT,
+            track,
+            vt,
+            wall_ns,
+            kind: SpanKind::DEFAULT,
+        };
+        let trace = SpanTrace {
+            spans: vec![
+                root(0, 0, 1.0, 100),
+                root(1, 1, 0.5, 100),
+                root(2, 2, 0.4, 120),
+            ],
+            dropped: 0,
+        };
+        // Unboosted, the critical entity ties with the bystander and
+        // ends up sharing an LP with it behind the heavier track 2.
+        let plain = profiled_from_trace(&trace, None, 3, 2);
+        assert_eq!(plain[0], plain[1]);
+        // Boosted (100 → 200), it is placed first and gets an LP alone.
+        let cp = trace.critical_path();
+        assert_eq!(cp.tracks(), vec![0]);
+        let boosted = profiled_from_trace(&trace, Some(&cp), 3, 2);
+        assert_ne!(boosted[0], boosted[1]);
+        assert_eq!(owners(&boosted, 2)[boosted[0]], vec![0]);
     }
 }

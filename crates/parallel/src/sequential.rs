@@ -1,4 +1,5 @@
-//! Sequential reference execution of a [`LogicalProcess`] topology.
+//! Sequential reference execution of a
+//! [`LogicalProcess`](crate::lp::LogicalProcess) topology.
 //!
 //! Runs the *same* LP code the parallel engines run, in a single thread,
 //! with one global event list ordered by `(time, tie key)`. Because the
@@ -8,7 +9,7 @@
 //! and Time Warp deliver — so this executor is the bit-identity oracle the
 //! engine-equivalence and rollback property tests compare against.
 
-use crate::lp::{tie_key, LpCtx, LpId, Outgoing};
+use crate::lp::{tie_key, validate_edges, LpCtx, LpId, Outgoing};
 use lsds_core::{BinaryHeapQueue, EventQueue, PooledQueue, ScheduledEvent, SimTime, NO_PARENT};
 
 /// Result of a sequential reference run.
@@ -41,9 +42,7 @@ where
     L: crate::cmb::InitialEvents,
 {
     let n = lps.len();
-    for &(s, d) in edges {
-        assert!(s < n && d < n && s != d, "bad edge ({s},{d})");
-    }
+    validate_edges(n, edges);
     let mut lps = lps;
     let mut seqs = vec![0u64; n];
     let mut events = vec![0u64; n];

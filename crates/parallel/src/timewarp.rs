@@ -28,7 +28,7 @@
 //! canonical order of equal-time events depend on message arrival timing.
 
 use crate::cmb::InitialEvents;
-use crate::lp::{tie_key, LogicalProcess, LpCtx, LpId, Outgoing};
+use crate::lp::{pack, tie_key, validate_edges, LogicalProcess, LpCtx, LpId, Outgoing};
 use lsds_core::{EventPool, SimTime, NO_PARENT};
 use lsds_obs::{NoopTracer, Registry, RingTracer, SpanKind, SpanTrace, TraceConfig, Tracer};
 use std::collections::{BTreeMap, VecDeque};
@@ -227,15 +227,6 @@ const NO_STATE: u32 = u32::MAX;
 /// How many events an LP speculates through between input-queue drains
 /// and token forwards.
 const BATCH: usize = 32;
-
-/// Total order on `(time, tie)` as one integer: IEEE-754 bit patterns of
-/// non-negative finite doubles compare like the doubles themselves.
-#[inline]
-fn pack(at: SimTime, tie: u64) -> u128 {
-    let s = at.seconds();
-    debug_assert!(s >= 0.0, "negative sim time in tie pack");
-    ((s.to_bits() as u128) << 64) | tie as u128
-}
 
 /// An unprocessed event: payload parked in the pool, causal parent kept
 /// for the trace DAG.
@@ -811,9 +802,7 @@ where
     assert!(n > 0, "no logical processes");
     assert!(cfg.checkpoint_every >= 1, "checkpoint_every must be ≥ 1");
     assert!(cfg.window >= 0.0, "window must be non-negative");
-    for &(s, d) in edges {
-        assert!(s < n && d < n && s != d, "bad edge ({s},{d})");
-    }
+    validate_edges(n, edges);
     let mut txs: Vec<Sender<TwPacket<L::Msg>>> = Vec::with_capacity(n);
     let mut rxs: Vec<Option<Receiver<TwPacket<L::Msg>>>> = Vec::with_capacity(n);
     for _ in 0..n {

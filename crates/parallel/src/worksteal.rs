@@ -1,0 +1,1024 @@
+//! Work-stealing execution: logical processes decoupled from OS threads.
+//!
+//! The thread-per-LP engines ([`crate::cmb`], [`crate::timewarp`]) hand
+//! scheduling to the OS the moment LPs outnumber cores — the common case
+//! for fine-grained partitions (`BENCH_timewarp.json` ran 4 LPs on one
+//! core), where a single slow LP stalls every null-message round while
+//! its peers burn context switches. This engine inverts the mapping: a
+//! fixed pool of **worker threads** pulls *runnable LPs* from per-worker
+//! deques, stealing from the tail of a peer's deque when idle, and an LP
+//! that cannot progress simply is not queued — blocked-on-neighbor waits
+//! become yields instead of parked OS threads.
+//!
+//! Synchronization is conservative, but shared memory replaces the null
+//! message: each LP keeps per-in-edge **channel clocks** exactly as CMB
+//! does, and a sender *writes its new lower bound directly into the
+//! receiver's state* (under the receiver's lock) instead of mailing a
+//! null. The classical liveness argument is unchanged — positive
+//! lookahead makes bounds strictly increase around any cycle — but a
+//! bound update costs one mutex acquisition instead of a channel
+//! round-trip plus an OS thread wake-up. (The optimistic analog — an LP
+//! is runnable when it holds unprocessed events above GVT — drops into
+//! the same scheduler skeleton; [`crate::timewarp`] keeps thread-per-LP
+//! for now and shares the ordering helpers in `lp.rs` instead.)
+//!
+//! Determinism is inherited wholesale: events carry the same `(time,
+//! source LP, sequence)` tie keys, each LP delivers in ascending
+//! `(time, tie)` order gated by its safe time, and neither worker count,
+//! steal order, batch size, nor migration can reorder a delivery — so a
+//! run reproduces [`crate::run_sequential`] bit-for-bit (property-tested
+//! under adversarial imbalance in `tests/worksteal_properties.rs`).
+//!
+//! **Adaptive rebalancing** ([`WsConfig::migration_epoch`]): every epoch
+//! (a global budget of processed events) the scheduler re-partitions LP
+//! *home workers* by measured per-LP host cost, longest-processing-time
+//! first — the Erlang-PDES lever of migrating simulation load between
+//! schedulers. Migration happens only at a safe point: an LP is re-homed
+//! strictly between activations, when it sits in no deque and no worker
+//! holds its lock, so placement changes scheduling and nothing else.
+//!
+//! ## Why per-LP activations are serialized
+//!
+//! The `queued` flag is cleared only *after* an activation has delivered
+//! its staged events and published its channel bounds. This makes the
+//! whole activation (process → deliver → promise) atomic per LP: if a
+//! second worker could start the next batch while staged events from the
+//! previous one were still in flight, it would publish a bound computed
+//! from the drained queue — above the in-flight events' timestamps — and
+//! the receiver could run past a message that had not landed yet.
+
+use crate::cmb::InitialEvents;
+use crate::lp::{tie_key, validate_edges, LogicalProcess, LpCtx, LpId, Outgoing};
+use lsds_core::{BinaryHeapQueue, EventQueue, PooledQueue, ScheduledEvent, SimTime, NO_PARENT};
+use lsds_obs::Registry;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Condvar, Mutex};
+
+/// Tuning knobs for the work-stealing engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WsConfig {
+    /// Worker threads. `0` (the default) uses the host's available
+    /// parallelism; any value is clamped to the LP count. On an
+    /// oversubscribed host *fewer* workers than LPs is the whole point —
+    /// see the "choosing worker count" note in the README.
+    pub workers: usize,
+    /// Maximum events one activation processes before the LP is
+    /// re-queued at the back of its deque (≥ 1). Small batches improve
+    /// fairness under skew; large batches amortize locking.
+    pub batch: u32,
+    /// Adaptive rebalancing period in globally processed events: at each
+    /// epoch boundary the scheduler re-homes LPs onto workers by
+    /// measured per-LP cost (longest-processing-time first). `None`
+    /// disables migration. Placement only — results are bit-identical
+    /// with migration on or off.
+    pub migration_epoch: Option<u64>,
+}
+
+impl Default for WsConfig {
+    fn default() -> Self {
+        WsConfig {
+            workers: 0,
+            batch: 64,
+            migration_epoch: None,
+        }
+    }
+}
+
+/// Per-LP execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WsStats {
+    /// Events (local + remote) processed by this LP.
+    pub events: u64,
+    /// Batches run for this LP, including spurious activations that
+    /// found nothing safe to process.
+    pub activations: u64,
+    /// Real messages sent to other LPs.
+    pub remote_sent: u64,
+}
+
+/// Scheduler-wide counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WsSchedStats {
+    /// Worker threads the run actually used.
+    pub workers: usize,
+    /// Activations taken from another worker's deque.
+    pub steals: u64,
+    /// Times a worker went to sleep with no runnable LP anywhere.
+    pub parks: u64,
+    /// Channel-clock advances written into neighbor state — the
+    /// shared-memory analog of CMB null messages.
+    pub bound_updates: u64,
+    /// Rebalancing epochs that ran.
+    pub epochs: u64,
+    /// LP home-worker changes applied at epoch boundaries.
+    pub migrations: u64,
+}
+
+/// Result of a work-stealing run.
+#[derive(Debug)]
+pub struct WsReport<L> {
+    /// The logical processes, in id order, with their final state.
+    pub lps: Vec<L>,
+    /// Per-LP counters, in id order.
+    pub stats: Vec<WsStats>,
+    /// Scheduler-wide counters.
+    pub sched: WsSchedStats,
+}
+
+impl<L> WsReport<L> {
+    /// Total events processed across all LPs.
+    pub fn total_events(&self) -> u64 {
+        self.stats.iter().map(|s| s.events).sum()
+    }
+
+    /// Total real inter-LP messages.
+    pub fn total_remote(&self) -> u64 {
+        self.stats.iter().map(|s| s.remote_sent).sum()
+    }
+
+    /// Exports the run's scheduling counters into a metrics registry:
+    /// aggregate `ws.*` counters plus per-LP event counts.
+    pub fn export_metrics(&self, reg: &mut Registry) {
+        reg.inc("ws.events", self.total_events());
+        reg.inc("ws.remote_sent", self.total_remote());
+        reg.inc(
+            "ws.activations",
+            self.stats.iter().map(|s| s.activations).sum(),
+        );
+        reg.inc("ws.steals", self.sched.steals);
+        reg.inc("ws.parks", self.sched.parks);
+        reg.inc("ws.bound_updates", self.sched.bound_updates);
+        reg.inc("ws.epochs", self.sched.epochs);
+        reg.inc("ws.migrations", self.sched.migrations);
+        reg.set_gauge("ws.lps", self.lps.len() as f64);
+        reg.set_gauge("ws.workers", self.sched.workers as f64);
+        for (i, st) in self.stats.iter().enumerate() {
+            reg.inc(&format!("ws.lp.{i}.events"), st.events);
+        }
+    }
+}
+
+/// Mutable core of one LP; every access goes through the slot's mutex.
+struct LpState<L: LogicalProcess> {
+    lp: L,
+    lookahead: f64,
+    /// Pooled pending events in `(time, tie)` order.
+    queue: PooledQueue<L::Msg, BinaryHeapQueue<u32>>,
+    /// Channel clock per in-neighbor: lower bound on future arrivals,
+    /// written directly by the sending LP's activation.
+    in_clocks: Vec<(LpId, f64)>,
+    /// Last bound promised on each out-edge (parallel to `LpSlot::outs`);
+    /// skips redundant neighbor locking when the promise has not moved.
+    out_bounds: Vec<f64>,
+    clock: SimTime,
+    seq: u64,
+    done: bool,
+    staged: Vec<Outgoing<L::Msg>>,
+    stats: WsStats,
+}
+
+impl<L: LogicalProcess> LpState<L> {
+    fn safe_time(&self) -> f64 {
+        self.in_clocks
+            .iter()
+            .map(|(_, c)| *c)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Lower bound on this LP's future sends: its earliest possible next
+    /// handler time plus lookahead — identical to CMB's null payload.
+    /// (`&mut` only because the pooled queue's peek is `&mut`.)
+    fn lower_bound(&mut self, t_end: SimTime) -> f64 {
+        let next_local = self
+            .queue
+            .peek_time()
+            .map_or(f64::INFINITY, |t| t.seconds());
+        next_local.min(self.safe_time()).min(t_end.seconds()) + self.lookahead
+    }
+}
+
+/// One LP's scheduling shell. The flags live outside the mutex so
+/// senders and the rebalancer never block on a running LP.
+struct LpSlot<L: LogicalProcess> {
+    state: Mutex<LpState<L>>,
+    /// Set while the LP sits in a deque *or* is being activated; cleared
+    /// only at the end of an activation (see module docs). Guarantees at
+    /// most one worker activates the LP at a time.
+    queued: AtomicBool,
+    /// Home worker; activations are pushed here, thieves may run them
+    /// elsewhere. Rewritten by the epoch rebalancer.
+    home: AtomicUsize,
+    /// Host nanoseconds of handler work since the last epoch.
+    cost_ns: AtomicU64,
+    /// Static out-edge table: `(dst, index of this LP in dst.in_clocks)`.
+    outs: Vec<(LpId, usize)>,
+}
+
+/// A staged remote delivery, carried from the producing activation
+/// (computed under the sender's lock) to the delivery phase (applied
+/// under the receiver's lock) — the two locks are never held at once.
+struct Delivery<M> {
+    dst: LpId,
+    /// Index of the sender in `dst`'s `in_clocks`.
+    idx: usize,
+    at: SimTime,
+    tie: u64,
+    parent: u64,
+    msg: M,
+}
+
+struct Scheduler<L: LogicalProcess> {
+    slots: Vec<LpSlot<L>>,
+    deques: Vec<Mutex<VecDeque<LpId>>>,
+    park_lock: Mutex<()>,
+    park_cv: Condvar,
+    /// LPs currently sitting in some deque.
+    pending: AtomicUsize,
+    /// LPs that have not finished yet; 0 terminates the workers.
+    live: AtomicUsize,
+    /// Set when a worker panics (e.g. a model handler), so its peers shut
+    /// down instead of parking forever on work the dead worker owned; the
+    /// panic itself propagates through the thread scope.
+    failed: AtomicBool,
+    events_total: AtomicU64,
+    epoch_idx: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    bound_updates: AtomicU64,
+    epochs: AtomicU64,
+    migrations: AtomicU64,
+    t_end: SimTime,
+    cfg: WsConfig,
+}
+
+impl<L: LogicalProcess> Scheduler<L> {
+    fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Queues `lp` on its home deque unless it is already queued or
+    /// mid-activation (the activation's closing re-check covers it).
+    fn enqueue(&self, lp: LpId) {
+        if self.slots[lp]
+            .queued
+            .compare_exchange(false, true, SeqCst, SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        let w = self.slots[lp].home.load(SeqCst) % self.workers();
+        if let Ok(mut dq) = self.deques[w].lock() {
+            dq.push_back(lp);
+        }
+        self.pending.fetch_add(1, SeqCst);
+        // Notify under the park lock: a worker re-checks `pending` under
+        // the same lock before waiting, so this wake-up cannot be lost.
+        let _g = self.park_lock.lock();
+        self.park_cv.notify_one();
+    }
+
+    /// Next LP for worker `me`: own deque first (FIFO for fairness),
+    /// then steal from the tail of each peer's deque.
+    fn next_lp(&self, me: usize) -> Option<LpId> {
+        if let Ok(mut dq) = self.deques[me].lock() {
+            if let Some(lp) = dq.pop_front() {
+                self.pending.fetch_sub(1, SeqCst);
+                return Some(lp);
+            }
+        }
+        let n = self.workers();
+        for off in 1..n {
+            let w = (me + off) % n;
+            if let Ok(mut dq) = self.deques[w].lock() {
+                if let Some(lp) = dq.pop_back() {
+                    self.pending.fetch_sub(1, SeqCst);
+                    self.steals.fetch_add(1, SeqCst);
+                    return Some(lp);
+                }
+            }
+        }
+        None
+    }
+
+    /// Epoch boundary: re-home LPs by measured cost, heaviest first onto
+    /// the least-loaded worker (longest-processing-time greedy, ties by
+    /// id). Runs on whichever worker crossed the epoch; touches only the
+    /// `home` atomics, so a re-homed LP lands on its new deque at its
+    /// *next* enqueue — the safe point, since between activations it is
+    /// running nowhere and queued nowhere.
+    fn rebalance(&self) {
+        self.epochs.fetch_add(1, SeqCst);
+        let mut by_cost: Vec<(u64, LpId)> = (0..self.slots.len())
+            .map(|i| (self.slots[i].cost_ns.swap(0, SeqCst), i))
+            .collect();
+        by_cost.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut load = vec![0u64; self.workers()];
+        for (cost, lp) in by_cost {
+            let mut best = 0usize;
+            for w in 1..load.len() {
+                if load[w] < load[best] {
+                    best = w;
+                }
+            }
+            load[best] += cost.max(1);
+            if self.slots[lp].home.swap(best, SeqCst) != best {
+                self.migrations.fetch_add(1, SeqCst);
+            }
+        }
+    }
+
+    /// One activation of `lp`: a bounded batch of safe events under the
+    /// LP's own lock, then event delivery and bound publication into
+    /// neighbor state lock-by-lock, then the closing re-check.
+    ///
+    /// `outbox`/`bounds`/`wake` are worker-local scratch, reused across
+    /// activations to avoid reallocating.
+    fn activate(
+        &self,
+        lp: LpId,
+        outbox: &mut Vec<Delivery<L::Msg>>,
+        bounds: &mut Vec<(LpId, usize, f64)>,
+        wake: &mut Vec<LpId>,
+    ) {
+        let slot = &self.slots[lp];
+        let mut became_done = false;
+        let mut did = 0u64;
+        {
+            let Ok(mut guard) = slot.state.lock() else {
+                return;
+            };
+            // Reborrow through the guard once so disjoint-field borrows
+            // (queue vs. staged vs. stats) work inside the loop.
+            let st = &mut *guard;
+            if st.done {
+                slot.queued.store(false, SeqCst);
+                return;
+            }
+            st.stats.activations += 1;
+            // lsds-lint: allow(wall-clock) reason="scheduler load measurement for epoch rebalancing; feeds worker placement only, never simulated time or results"
+            let wall_start = std::time::Instant::now();
+            while did < self.cfg.batch as u64 {
+                let safe = st.safe_time();
+                let Some(t) = st.queue.peek_time() else {
+                    break;
+                };
+                // Strictly below the safe time (a message may still land
+                // exactly at `safe`), never beyond the horizon.
+                if !(t.seconds() < safe && t <= self.t_end) {
+                    break;
+                }
+                let Some(ev) = st.queue.pop_min() else {
+                    debug_assert!(false, "peeked event vanished");
+                    break;
+                };
+                debug_assert!(ev.time >= st.clock, "causality violation");
+                st.clock = ev.time;
+                st.stats.events += 1;
+                did += 1;
+                let la = st.lookahead;
+                let LpState {
+                    lp: ref mut model,
+                    ref mut staged,
+                    ..
+                } = *st;
+                let mut ctx = LpCtx {
+                    now: ev.time,
+                    me: lp,
+                    lookahead: la,
+                    cause: ev.seq,
+                    staged,
+                };
+                model.handle(ev.time, ev.event, &mut ctx);
+                // Assign ties in staging order and route: locals back
+                // into our queue, remotes into the outbox.
+                for out in st.staged.drain(..) {
+                    let tie = tie_key(lp, st.seq);
+                    st.seq += 1;
+                    match out {
+                        Outgoing::Local { at, parent, msg } => {
+                            st.queue
+                                .insert(ScheduledEvent::with_parent(at, tie, parent, msg));
+                        }
+                        Outgoing::Remote {
+                            dst,
+                            at,
+                            parent,
+                            msg,
+                        } => {
+                            let Some(k) = slot.outs.iter().position(|(d, _)| *d == dst) else {
+                                debug_assert!(false, "send to undeclared out-neighbor");
+                                continue;
+                            };
+                            // Earlier nulls/events on this edge promised
+                            // `out_bounds[k]`; going below it would mean
+                            // the declared lookahead lied.
+                            debug_assert!(
+                                at.seconds() >= st.out_bounds[k],
+                                "causality: LP {lp} sending t={at} below its promised bound {} (lookahead violated)",
+                                st.out_bounds[k]
+                            );
+                            st.out_bounds[k] = st.out_bounds[k].max(at.seconds());
+                            st.stats.remote_sent += 1;
+                            outbox.push(Delivery {
+                                dst,
+                                idx: slot.outs[k].1,
+                                at,
+                                tie,
+                                parent,
+                                msg,
+                            });
+                        }
+                    }
+                }
+            }
+            slot.cost_ns.fetch_add(
+                u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                SeqCst,
+            );
+            // New promises to publish once the staged events are out.
+            let lb = st.lower_bound(self.t_end);
+            for (k, &(dst, idx)) in slot.outs.iter().enumerate() {
+                if lb > st.out_bounds[k] {
+                    st.out_bounds[k] = lb;
+                    bounds.push((dst, idx, lb));
+                }
+            }
+            let drained = st.queue.peek_time().is_none_or(|t| t > self.t_end);
+            if drained && st.safe_time() > self.t_end.seconds() {
+                st.done = true;
+                became_done = true;
+            }
+        }
+        // Deliver events BEFORE publishing bounds: a bound computed from
+        // the drained queue may exceed a staged event's timestamp, so the
+        // event must land first.
+        for d in outbox.drain(..) {
+            if let Ok(mut dst_st) = self.slots[d.dst].state.lock() {
+                debug_assert!(
+                    d.at.seconds() >= dst_st.in_clocks[d.idx].1,
+                    "causality: LP {lp} delivered t={} below its promised bound {}",
+                    d.at,
+                    dst_st.in_clocks[d.idx].1
+                );
+                // Per-edge deliveries are in send order (activations are
+                // serialized), so as with CMB's FIFO channels the event
+                // itself also advances the channel clock.
+                dst_st.in_clocks[d.idx].1 = dst_st.in_clocks[d.idx].1.max(d.at.seconds());
+                dst_st
+                    .queue
+                    .insert(ScheduledEvent::with_parent(d.at, d.tie, d.parent, d.msg));
+            }
+            wake.push(d.dst);
+        }
+        for (dst, idx, lb) in bounds.drain(..) {
+            let advanced = match self.slots[dst].state.lock() {
+                Ok(mut dst_st) => {
+                    let c = &mut dst_st.in_clocks[idx].1;
+                    if lb > *c {
+                        *c = lb;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Err(_) => false,
+            };
+            if advanced {
+                self.bound_updates.fetch_add(1, SeqCst);
+                wake.push(dst);
+            }
+        }
+        for dst in wake.drain(..) {
+            self.enqueue(dst);
+        }
+        if became_done && self.live.fetch_sub(1, SeqCst) == 1 {
+            // Last LP finished: release every parked worker.
+            let _g = self.park_lock.lock();
+            self.park_cv.notify_all();
+        }
+        if did > 0 {
+            if let Some(epoch) = self.cfg.migration_epoch {
+                let total = self.events_total.fetch_add(did, SeqCst) + did;
+                let idx = total / epoch;
+                let cur = self.epoch_idx.load(SeqCst);
+                if idx > cur
+                    && self
+                        .epoch_idx
+                        .compare_exchange(cur, idx, SeqCst, SeqCst)
+                        .is_ok()
+                {
+                    self.rebalance();
+                }
+            }
+        }
+        // End of activation: allow re-queueing, then re-check our own
+        // state. Senders that delivered to us mid-activation failed the
+        // enqueue CAS, so any work they left — or work this activation
+        // left (batch limit, unpublished future bound) — is picked up
+        // here; their deliveries happened under our lock before the
+        // `queued` clear, so this re-check cannot miss them.
+        slot.queued.store(false, SeqCst);
+        if became_done {
+            return;
+        }
+        let rerun = match slot.state.lock() {
+            Ok(mut guard) => {
+                let st = &mut *guard;
+                if st.done {
+                    false
+                } else {
+                    let safe = st.safe_time();
+                    let runnable = st
+                        .queue
+                        .peek_time()
+                        .is_some_and(|t| t.seconds() < safe && t <= self.t_end);
+                    let drained = st.queue.peek_time().is_none_or(|t| t > self.t_end);
+                    let finishable = drained && safe > self.t_end.seconds();
+                    // A higher in-clock can raise our own promise even
+                    // with nothing runnable; neighbors may need it.
+                    let lb = st.lower_bound(self.t_end);
+                    let promotes = st.out_bounds.iter().any(|&b| lb > b);
+                    runnable || finishable || promotes
+                }
+            }
+            Err(_) => false,
+        };
+        if rerun {
+            self.enqueue(lp);
+        }
+    }
+
+    fn worker(&self, me: usize) {
+        /// Unwinding out of the loop (a panicking model handler or a
+        /// tripped causality assertion) must not strand peers parked on
+        /// work this worker owned: flag the failure and wake everyone,
+        /// then let the panic propagate through the thread scope.
+        struct AbortOnPanic<'a, L: LogicalProcess>(&'a Scheduler<L>);
+        impl<L: LogicalProcess> Drop for AbortOnPanic<'_, L> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.failed.store(true, SeqCst);
+                    let _g = self.0.park_lock.lock();
+                    self.0.park_cv.notify_all();
+                }
+            }
+        }
+        let _abort = AbortOnPanic(self);
+        let mut outbox = Vec::new();
+        let mut bounds = Vec::new();
+        let mut wake = Vec::new();
+        loop {
+            if self.live.load(SeqCst) == 0 || self.failed.load(SeqCst) {
+                return;
+            }
+            if let Some(lp) = self.next_lp(me) {
+                self.activate(lp, &mut outbox, &mut bounds, &mut wake);
+                continue;
+            }
+            let Ok(g) = self.park_lock.lock() else {
+                return;
+            };
+            if self.live.load(SeqCst) == 0 || self.failed.load(SeqCst) {
+                return;
+            }
+            if self.pending.load(SeqCst) > 0 {
+                continue;
+            }
+            self.parks.fetch_add(1, SeqCst);
+            // Spurious wake-ups are fine: the loop re-checks everything.
+            drop(self.park_cv.wait(g));
+        }
+    }
+}
+
+/// Runs logical processes to `t_end` on a work-stealing worker pool with
+/// the default [`WsConfig`] (workers = available parallelism, batch 64,
+/// no migration).
+///
+/// `edges` lists the directed channels `(src, dst)` exactly as for
+/// [`crate::run_cmb`]; the synchronization contract is the same (every
+/// LP must declare strictly positive lookahead) and the result is
+/// bit-identical to [`crate::run_cmb`] and [`crate::run_sequential`].
+pub fn run_worksteal<L>(lps: Vec<L>, edges: &[(LpId, LpId)], t_end: SimTime) -> WsReport<L>
+where
+    L: InitialEvents,
+{
+    run_worksteal_cfg(lps, edges, t_end, WsConfig::default())
+}
+
+/// Like [`run_worksteal`], with explicit scheduler configuration.
+pub fn run_worksteal_cfg<L>(
+    lps: Vec<L>,
+    edges: &[(LpId, LpId)],
+    t_end: SimTime,
+    cfg: WsConfig,
+) -> WsReport<L>
+where
+    L: InitialEvents,
+{
+    let n = lps.len();
+    validate_edges(n, edges);
+    assert!(cfg.batch >= 1, "batch must be at least 1");
+    if let Some(epoch) = cfg.migration_epoch {
+        assert!(epoch >= 1, "migration epoch must be at least 1");
+    }
+    for (i, lp) in lps.iter().enumerate() {
+        assert!(
+            lp.lookahead() > 0.0 && lp.lookahead().is_finite(),
+            "LP {i} must declare positive finite lookahead"
+        );
+    }
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map_or(1, |c| c.get())
+    } else {
+        cfg.workers
+    }
+    .clamp(1, n.max(1));
+
+    // Build slots: per-LP state, channel clocks per in-edge, and the
+    // static out-edge table pointing at each receiver's clock index.
+    let in_lists: Vec<Vec<LpId>> = (0..n).map(|d| crate::lp::in_neighbors(edges, d)).collect();
+    let mut slots: Vec<LpSlot<L>> = Vec::with_capacity(n);
+    for (me, lp) in lps.into_iter().enumerate() {
+        let outs: Vec<(LpId, usize)> = crate::lp::out_neighbors(edges, me)
+            .into_iter()
+            .map(|d| {
+                let Some(idx) = in_lists[d].iter().position(|&s| s == me) else {
+                    // lsds-lint: allow(hot-path-panic) reason="one-time topology construction before any worker starts; both lists derive from the same validated edge set"
+                    unreachable!("out-edge without matching in-edge");
+                };
+                (d, idx)
+            })
+            .collect();
+        let lookahead = lp.lookahead();
+        let out_bounds = vec![0.0; outs.len()];
+        slots.push(LpSlot {
+            state: Mutex::new(LpState {
+                lp,
+                lookahead,
+                queue: PooledQueue::new(BinaryHeapQueue::new()),
+                in_clocks: in_lists[me].iter().map(|&s| (s, 0.0)).collect(),
+                out_bounds,
+                clock: SimTime::ZERO,
+                seq: 0,
+                done: false,
+                staged: Vec::new(),
+                stats: WsStats::default(),
+            }),
+            queued: AtomicBool::new(true),
+            home: AtomicUsize::new(me % workers),
+            cost_ns: AtomicU64::new(0),
+            outs,
+        });
+    }
+
+    let sched = Scheduler {
+        slots,
+        deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        park_lock: Mutex::new(()),
+        park_cv: Condvar::new(),
+        pending: AtomicUsize::new(0),
+        live: AtomicUsize::new(n),
+        failed: AtomicBool::new(false),
+        events_total: AtomicU64::new(0),
+        epoch_idx: AtomicU64::new(0),
+        steals: AtomicU64::new(0),
+        parks: AtomicU64::new(0),
+        bound_updates: AtomicU64::new(0),
+        epochs: AtomicU64::new(0),
+        migrations: AtomicU64::new(0),
+        t_end,
+        cfg,
+    };
+
+    // Initial events at t = 0, staged single-threaded before any worker
+    // starts: locals go straight into each queue, remotes are delivered
+    // directly (no promise can be violated — every channel clock is
+    // still at its initial 0.0 and sends respect lookahead > 0).
+    let mut initial_remote: Vec<Delivery<L::Msg>> = Vec::new();
+    for me in 0..n {
+        let slot = &sched.slots[me];
+        let Ok(mut guard) = slot.state.lock() else {
+            continue;
+        };
+        let st = &mut *guard;
+        let la = st.lookahead;
+        {
+            let LpState {
+                ref mut lp,
+                ref mut staged,
+                ..
+            } = *st;
+            let mut ctx = LpCtx {
+                now: SimTime::ZERO,
+                me,
+                lookahead: la,
+                cause: NO_PARENT,
+                staged,
+            };
+            lp.initial_events(&mut ctx);
+        }
+        for out in st.staged.drain(..) {
+            let tie = tie_key(me, st.seq);
+            st.seq += 1;
+            match out {
+                Outgoing::Local { at, parent, msg } => {
+                    st.queue
+                        .insert(ScheduledEvent::with_parent(at, tie, parent, msg));
+                }
+                Outgoing::Remote {
+                    dst,
+                    at,
+                    parent,
+                    msg,
+                } => {
+                    let Some(k) = slot.outs.iter().position(|(d, _)| *d == dst) else {
+                        debug_assert!(false, "initial send to undeclared out-neighbor");
+                        continue;
+                    };
+                    st.out_bounds[k] = st.out_bounds[k].max(at.seconds());
+                    st.stats.remote_sent += 1;
+                    initial_remote.push(Delivery {
+                        dst,
+                        idx: slot.outs[k].1,
+                        at,
+                        tie,
+                        parent,
+                        msg,
+                    });
+                }
+            }
+        }
+    }
+    for d in initial_remote {
+        if let Ok(mut st) = sched.slots[d.dst].state.lock() {
+            st.in_clocks[d.idx].1 = st.in_clocks[d.idx].1.max(d.at.seconds());
+            st.queue
+                .insert(ScheduledEvent::with_parent(d.at, d.tie, d.parent, d.msg));
+        }
+    }
+
+    // Every LP starts queued (the flags were initialized `true`) so each
+    // publishes its first bound even if it holds no events.
+    for me in 0..n {
+        let w = sched.slots[me].home.load(SeqCst);
+        if let Ok(mut dq) = sched.deques[w].lock() {
+            dq.push_back(me);
+        }
+        sched.pending.fetch_add(1, SeqCst);
+    }
+
+    if n > 0 {
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let s = &sched;
+                scope.spawn(move || s.worker(w));
+            }
+        });
+    }
+
+    let mut lps_out = Vec::with_capacity(n);
+    let mut stats = Vec::with_capacity(n);
+    for slot in sched.slots {
+        // lsds-lint: allow(hot-path-panic) reason="post-run teardown: a panicked worker has already propagated through the thread scope"
+        let st = slot.state.into_inner().expect("worker panicked");
+        debug_assert!(st.done, "scheduler terminated with an unfinished LP");
+        lps_out.push(st.lp);
+        stats.push(st.stats);
+    }
+    WsReport {
+        lps: lps_out,
+        stats,
+        sched: WsSchedStats {
+            workers,
+            steals: sched.steals.load(SeqCst),
+            parks: sched.parks.load(SeqCst),
+            bound_updates: sched.bound_updates.load(SeqCst),
+            epochs: sched.epochs.load(SeqCst),
+            migrations: sched.migrations.load(SeqCst),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::run_sequential;
+
+    /// Ring of LPs passing a token every `delay`.
+    struct RingNode {
+        n: usize,
+        hops_seen: u64,
+        last_time: f64,
+        delay: f64,
+    }
+
+    impl LogicalProcess for RingNode {
+        type Msg = u64;
+        fn handle(&mut self, now: SimTime, hop: u64, ctx: &mut LpCtx<'_, u64>) {
+            self.hops_seen += 1;
+            self.last_time = now.seconds();
+            let next = (ctx.me() + 1) % self.n;
+            ctx.send(next, self.delay, hop + 1);
+        }
+        fn lookahead(&self) -> f64 {
+            self.delay
+        }
+    }
+
+    impl InitialEvents for RingNode {
+        fn initial_events(&mut self, ctx: &mut LpCtx<'_, u64>) {
+            if ctx.me() == 0 {
+                ctx.schedule_in(0.0, 0);
+            }
+        }
+    }
+
+    fn ring(n: usize) -> (Vec<RingNode>, Vec<(LpId, LpId)>) {
+        let lps = (0..n)
+            .map(|_| RingNode {
+                n,
+                hops_seen: 0,
+                last_time: 0.0,
+                delay: 1.0,
+            })
+            .collect();
+        let edges = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        (lps, edges)
+    }
+
+    #[test]
+    fn ring_matches_sequential() {
+        let (lps, edges) = ring(4);
+        let seq = run_sequential(lps, &edges, SimTime::new(100.0));
+        let (lps, edges) = ring(4);
+        let ws = run_worksteal(lps, &edges, SimTime::new(100.0));
+        assert_eq!(ws.total_events(), seq.total_events());
+        for (a, b) in ws.lps.iter().zip(seq.lps.iter()) {
+            assert_eq!(a.hops_seen, b.hops_seen);
+            assert_eq!(a.last_time.to_bits(), b.last_time.to_bits());
+        }
+        assert!(ws.sched.workers >= 1);
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let mut runs = Vec::new();
+        for batch in [1u32, 3, 64] {
+            let (lps, edges) = ring(5);
+            let ws = run_worksteal_cfg(
+                lps,
+                &edges,
+                SimTime::new(50.0),
+                WsConfig {
+                    workers: 2,
+                    batch,
+                    migration_epoch: None,
+                },
+            );
+            runs.push(
+                ws.lps
+                    .iter()
+                    .map(|l| (l.hops_seen, l.last_time.to_bits()))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn migration_epoch_preserves_results_and_counts_epochs() {
+        let (lps, edges) = ring(6);
+        let plain = run_worksteal_cfg(
+            lps,
+            &edges,
+            SimTime::new(200.0),
+            WsConfig {
+                workers: 2,
+                batch: 4,
+                migration_epoch: None,
+            },
+        );
+        let (lps, edges) = ring(6);
+        let migr = run_worksteal_cfg(
+            lps,
+            &edges,
+            SimTime::new(200.0),
+            WsConfig {
+                workers: 2,
+                batch: 4,
+                migration_epoch: Some(10),
+            },
+        );
+        assert_eq!(plain.total_events(), migr.total_events());
+        for (a, b) in plain.lps.iter().zip(migr.lps.iter()) {
+            assert_eq!(a.hops_seen, b.hops_seen);
+            assert_eq!(a.last_time.to_bits(), b.last_time.to_bits());
+        }
+        assert!(migr.sched.epochs > 0, "epoch rebalancer never ran");
+        assert_eq!(plain.sched.epochs, 0);
+    }
+
+    #[test]
+    fn lp_with_no_events_terminates() {
+        // LP 1 never receives a real event; it must still finish once
+        // LP 0's published bounds pass the horizon.
+        struct Quiet;
+        impl LogicalProcess for Quiet {
+            type Msg = ();
+            fn handle(&mut self, _: SimTime, _: (), _: &mut LpCtx<'_, ()>) {}
+            fn lookahead(&self) -> f64 {
+                1.0
+            }
+        }
+        impl InitialEvents for Quiet {
+            fn initial_events(&mut self, _: &mut LpCtx<'_, ()>) {}
+        }
+        let ws = run_worksteal(vec![Quiet, Quiet], &[(0, 1)], SimTime::new(5.0));
+        assert_eq!(ws.total_events(), 0);
+    }
+
+    #[test]
+    fn empty_run_returns_empty_report() {
+        let ws = run_worksteal(Vec::<RingNode>::new(), &[], SimTime::new(1.0));
+        assert_eq!(ws.lps.len(), 0);
+        assert_eq!(ws.total_events(), 0);
+    }
+
+    #[test]
+    fn export_metrics_accepts_report() {
+        let (lps, edges) = ring(3);
+        let ws = run_worksteal(lps, &edges, SimTime::new(10.0));
+        let mut reg = Registry::new();
+        ws.export_metrics(&mut reg);
+        assert!(ws.total_events() > 0);
+    }
+
+    /// A model whose per-edge send timestamps decrease (delays vary
+    /// while its clock barely advances) violates the channel-clock
+    /// contract. The causality assertion must abort the whole run —
+    /// every worker exits and the panic propagates — rather than
+    /// stranding peer workers parked forever (debug builds only; the
+    /// check is a `debug_assert`). The scope re-raises the worker's
+    /// death as its own generic panic; the original "lookahead
+    /// violated" assertion message goes to stderr.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn non_monotone_sends_abort_instead_of_hanging() {
+        struct Shrinking {
+            sent_far: bool,
+        }
+        impl LogicalProcess for Shrinking {
+            type Msg = u64;
+            fn handle(&mut self, _now: SimTime, _v: u64, ctx: &mut LpCtx<'_, u64>) {
+                if !self.sent_far {
+                    self.sent_far = true;
+                    ctx.send(1, 1.0, 0); // promises t >= 1.0 on the edge
+                    ctx.schedule_in(0.1, 0);
+                } else {
+                    ctx.send(1, 0.2, 0); // t = 0.3: below the promise
+                }
+            }
+            fn lookahead(&self) -> f64 {
+                0.1
+            }
+        }
+        impl InitialEvents for Shrinking {
+            fn initial_events(&mut self, ctx: &mut LpCtx<'_, u64>) {
+                if ctx.me() == 0 {
+                    ctx.schedule_in(0.0, 0);
+                }
+            }
+        }
+        run_worksteal_cfg(
+            vec![Shrinking { sent_far: false }, Shrinking { sent_far: false }],
+            &[(0, 1)],
+            SimTime::new(5.0),
+            WsConfig {
+                workers: 2,
+                batch: 1,
+                migration_epoch: None,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite lookahead")]
+    fn zero_lookahead_rejected() {
+        struct Bad;
+        impl LogicalProcess for Bad {
+            type Msg = ();
+            fn handle(&mut self, _: SimTime, _: (), _: &mut LpCtx<'_, ()>) {}
+            fn lookahead(&self) -> f64 {
+                0.0
+            }
+        }
+        impl InitialEvents for Bad {
+            fn initial_events(&mut self, _: &mut LpCtx<'_, ()>) {}
+        }
+        run_worksteal(vec![Bad, Bad], &[(0, 1)], SimTime::new(1.0));
+    }
+}

@@ -10,7 +10,8 @@
 use lsds_core::SimTime;
 use lsds_parallel::cmb::InitialEvents;
 use lsds_parallel::{
-    run_cmb, run_sequential, run_timestep, run_timewarp, LogicalProcess, LpCtx, SaveState,
+    run_cmb, run_sequential, run_timestep, run_timewarp, run_worksteal, LogicalProcess, LpCtx,
+    SaveState,
 };
 use lsds_stats::SimRng;
 
@@ -122,7 +123,7 @@ fn timewarp_matches_analytic_ring() {
     }
 }
 
-/// All four executors agree with t_end landing *exactly* on event times —
+/// All five executors agree with t_end landing *exactly* on event times —
 /// the adversarial boundary for CMB's t_end fold (S1) and for Time Warp's
 /// inclusive-horizon handling. No `0.999` slack on purpose.
 #[test]
@@ -137,14 +138,21 @@ fn engines_agree_at_exact_horizon_boundary() {
         let cmb = run_cmb(ring(n, delay), &ring_edges(n), t_end);
         let ts = run_timestep(ring(n, delay), delay, t_end);
         let tw = run_timewarp(ring(n, delay), &ring_edges(n), t_end);
+        let ws = run_worksteal(ring(n, delay), &ring_edges(n), t_end);
         let cs: Vec<u64> = seq.lps.iter().map(|l| l.seen).collect();
         let cc: Vec<u64> = cmb.lps.iter().map(|l| l.seen).collect();
         let ct: Vec<u64> = ts.lps.iter().map(|l| l.seen).collect();
         let cw: Vec<u64> = tw.lps.iter().map(|l| l.seen).collect();
+        let cx: Vec<u64> = ws.lps.iter().map(|l| l.seen).collect();
         assert_eq!(cs, cc, "cmb diverged: n={n} delay={delay} p={periods}");
         assert_eq!(cs, ct, "timestep diverged: n={n} delay={delay} p={periods}");
         assert_eq!(cs, cw, "timewarp diverged: n={n} delay={delay} p={periods}");
+        assert_eq!(
+            cs, cx,
+            "worksteal diverged: n={n} delay={delay} p={periods}"
+        );
         assert_eq!(seq.total_events(), tw.total_events());
+        assert_eq!(seq.total_events(), ws.total_events());
     }
 }
 
