@@ -1,0 +1,289 @@
+//! `bench_check` — performance-regression checker for committed
+//! `BENCH_*.json` baselines.
+//!
+//! Compares a freshly generated experiment document against the
+//! committed baseline produced by the same `exp_*` binary:
+//!
+//! * **fingerprints are exact** — a changed fingerprint means the
+//!   simulation trajectory itself changed, which no scheduling or
+//!   observability change may do;
+//! * **event counts are exact** — same workload, same horizon, same
+//!   population;
+//! * **wall times get a tolerance band** — CI machines and laptops
+//!   differ wildly, so a fresh row only fails when it exceeds
+//!   `baseline * tolerance` (default 3.0, `--tolerance X` to adjust).
+//!   Rows whose baseline wall time sits under `--min-wall` seconds
+//!   (default 0.05) are reported but never fail on time: below that,
+//!   scheduler jitter dwarfs the measurement and a ratio is noise.
+//!
+//! Rows are matched by the join of their string-valued fields
+//! (`scenario`, `engine`, `costs`, …), which works across every
+//! experiment schema without a per-experiment parser. A baseline row
+//! missing from the fresh run fails the check; extra fresh rows are
+//! reported but allowed (new configurations are additive).
+//!
+//! Usage: `bench_check <baseline.json> <fresh.json> [--tolerance X]
+//! [--report FILE]`. Exits 1 on any mismatch; the trajectory table goes
+//! to stdout (and to `--report FILE` for CI artifacts).
+
+use lsds_trace::{Json, TextTable};
+use std::process::ExitCode;
+
+/// Stable identity of one result row: every string field except the
+/// fingerprint, joined in document order.
+fn row_key(row: &Json) -> String {
+    let Json::Obj(fields) = row else {
+        return String::new();
+    };
+    let mut parts = Vec::new();
+    for (k, v) in fields {
+        if k == "fingerprint" {
+            continue;
+        }
+        if let Json::Str(s) = v {
+            parts.push(format!("{k}={s}"));
+        }
+    }
+    parts.join(" ")
+}
+
+fn results(doc: &Json) -> &[Json] {
+    match doc.get("results") {
+        Some(Json::Arr(rows)) => rows,
+        _ => &[],
+    }
+}
+
+struct Check {
+    failures: Vec<String>,
+    notes: Vec<String>,
+    table: TextTable,
+}
+
+impl Check {
+    fn fail(&mut self, msg: String) {
+        self.failures.push(msg);
+    }
+}
+
+fn compare(baseline: &Json, fresh: &Json, tolerance: f64, min_wall: f64, check: &mut Check) {
+    for key in ["experiment", "smoke"] {
+        let (b, f) = (baseline.get(key), fresh.get(key));
+        if b.map(Json::render) != f.map(Json::render) {
+            check.fail(format!(
+                "{key} mismatch: baseline {:?} vs fresh {:?} — not the same run shape",
+                b.map(Json::render),
+                f.map(Json::render)
+            ));
+        }
+    }
+    let fresh_rows: Vec<(String, &Json)> = results(fresh).iter().map(|r| (row_key(r), r)).collect();
+    let mut matched = vec![false; fresh_rows.len()];
+    for row in results(baseline) {
+        let key = row_key(row);
+        let Some(pos) = fresh_rows.iter().position(|(k, _)| *k == key) else {
+            check.fail(format!("baseline row missing from fresh run: {key}"));
+            continue;
+        };
+        matched[pos] = true;
+        let fresh_row = fresh_rows[pos].1;
+        let mut verdict = "ok";
+        // Trajectory identity: exact or nothing.
+        for field in ["fingerprint", "events", "entities", "lps"] {
+            let (b, f) = (row.get(field), fresh_row.get(field));
+            if b.is_some() && b.map(Json::render) != f.map(Json::render) {
+                check.fail(format!(
+                    "{key}: {field} changed from {} to {}",
+                    b.map(Json::render).unwrap_or_default(),
+                    f.map(Json::render).unwrap_or_default()
+                ));
+                verdict = "FP-DIVERGED";
+            }
+        }
+        // Wall time: banded.
+        let (bw, fw) = (
+            row.get("wall_s").and_then(Json::as_f64),
+            fresh_row.get("wall_s").and_then(Json::as_f64),
+        );
+        let (bw_ms, fw_ms, ratio) = match (bw, fw) {
+            (Some(b), Some(f)) => {
+                let ratio = if b > 0.0 { f / b } else { 1.0 };
+                if ratio > tolerance && b >= min_wall {
+                    check.fail(format!(
+                        "{key}: wall time {:.1} ms exceeds baseline {:.1} ms × {tolerance:.1}",
+                        f * 1e3,
+                        b * 1e3
+                    ));
+                    verdict = "SLOW";
+                } else if ratio > tolerance {
+                    // Sub-floor rows: jitter dominates, report but allow.
+                    verdict = "noise";
+                }
+                (
+                    format!("{:.1}", b * 1e3),
+                    format!("{:.1}", f * 1e3),
+                    format!("{ratio:.2}x"),
+                )
+            }
+            _ => ("-".into(), "-".into(), "-".into()),
+        };
+        check
+            .table
+            .row(vec![key, bw_ms, fw_ms, ratio, verdict.into()]);
+    }
+    for (pos, (key, _)) in fresh_rows.iter().enumerate() {
+        if !matched[pos] {
+            check.notes.push(format!("fresh-only row (allowed): {key}"));
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 3.0;
+    let mut min_wall = 0.05;
+    let mut report: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance takes a number");
+            }
+            "--min-wall" => {
+                i += 1;
+                min_wall = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-wall takes seconds");
+            }
+            "--report" => {
+                i += 1;
+                report = Some(args.get(i).expect("--report takes a path").clone());
+            }
+            p => paths.push(p.to_string()),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        eprintln!(
+            "usage: bench_check <baseline.json> <fresh.json> [--tolerance X] [--min-wall S] [--report FILE]"
+        );
+        return ExitCode::FAILURE;
+    }
+    let load = |path: &str| -> Json {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        Json::parse(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e:?}"))
+    };
+    let baseline = load(&paths[0]);
+    let fresh = load(&paths[1]);
+
+    let mut check = Check {
+        failures: Vec::new(),
+        notes: Vec::new(),
+        table: TextTable::with_columns(&["row", "base (ms)", "fresh (ms)", "ratio", "verdict"]),
+    };
+    compare(&baseline, &fresh, tolerance, min_wall, &mut check);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bench_check: {} vs {} (wall tolerance {tolerance:.1}x, floor {:.0} ms)\n\n",
+        paths[0],
+        paths[1],
+        min_wall * 1e3
+    ));
+    out.push_str(&check.table.render());
+    for note in &check.notes {
+        out.push_str(&format!("note: {note}\n"));
+    }
+    if check.failures.is_empty() {
+        out.push_str("\nPASS: fingerprints exact, wall times within band\n");
+    } else {
+        out.push_str(&format!("\nFAIL ({} problem(s)):\n", check.failures.len()));
+        for f in &check.failures {
+            out.push_str(&format!("  - {f}\n"));
+        }
+    }
+    print!("{out}");
+    if let Some(path) = report {
+        std::fs::write(&path, &out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    }
+    if check.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(wall: f64, fp: &str) -> Json {
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str("x".into())),
+            ("smoke".into(), Json::Bool(true)),
+            (
+                "results".into(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("scenario".into(), Json::Str("s".into())),
+                    ("engine".into(), Json::Str("e".into())),
+                    ("events".into(), Json::Num(10.0)),
+                    ("wall_s".into(), Json::Num(wall)),
+                    ("fingerprint".into(), Json::Str(fp.into())),
+                ])]),
+            ),
+        ])
+    }
+
+    fn run(baseline: &Json, fresh: &Json, tol: f64) -> Vec<String> {
+        let mut check = Check {
+            failures: Vec::new(),
+            notes: Vec::new(),
+            table: TextTable::with_columns(&["row", "b", "f", "r", "v"]),
+        };
+        compare(baseline, fresh, tol, 0.05, &mut check);
+        check.failures
+    }
+
+    #[test]
+    fn identical_docs_pass() {
+        assert!(run(&doc(0.1, "abc"), &doc(0.1, "abc"), 3.0).is_empty());
+    }
+
+    #[test]
+    fn fingerprint_change_fails() {
+        let fails = run(&doc(0.1, "abc"), &doc(0.1, "def"), 3.0);
+        assert!(fails.iter().any(|f| f.contains("fingerprint")), "{fails:?}");
+    }
+
+    #[test]
+    fn slow_run_fails_only_past_band() {
+        assert!(run(&doc(0.1, "abc"), &doc(0.25, "abc"), 3.0).is_empty());
+        let fails = run(&doc(0.1, "abc"), &doc(0.5, "abc"), 3.0);
+        assert!(fails.iter().any(|f| f.contains("wall time")), "{fails:?}");
+    }
+
+    #[test]
+    fn sub_floor_rows_never_fail_on_time() {
+        // 2 ms baseline ballooning 10x is scheduler jitter, not a
+        // regression — under the 50 ms floor it must stay green.
+        assert!(run(&doc(0.002, "abc"), &doc(0.02, "abc"), 3.0).is_empty());
+    }
+
+    #[test]
+    fn missing_row_fails() {
+        let empty = Json::Obj(vec![
+            ("experiment".into(), Json::Str("x".into())),
+            ("smoke".into(), Json::Bool(true)),
+            ("results".into(), Json::Arr(vec![])),
+        ]);
+        let fails = run(&doc(0.1, "abc"), &empty, 3.0);
+        assert!(fails.iter().any(|f| f.contains("missing")), "{fails:?}");
+    }
+}

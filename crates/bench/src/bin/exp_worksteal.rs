@@ -21,16 +21,28 @@
 //! oracle — worker count, batch size, and mid-run migration are
 //! scheduling noise by construction, and the binary asserts it.
 //!
+//! Migration runs go through [`lsds_parallel::run_worksteal_telemetry`]:
+//! the per-worker scheduler telemetry (steals, parks, migrations, deque
+//! depths) is exported as Perfetto counter tracks to
+//! `TRACE_worksteal.json`, and the **online** placement the epoch
+//! rebalancer learned from observed per-LP cost is checked against a
+//! [`lsds_parallel::profiled`] assignment built from the *same* observed
+//! costs — live telemetry must match profile-guided partitioning without
+//! a prior profiling run (ROADMAP item 2).
+//!
 //! Writes `BENCH_worksteal.json`. Flags: `--smoke` (tiny sizes for CI),
-//! `--workers N` (run only that worker count instead of the sweep).
+//! `--workers N` (run only that worker count instead of the sweep),
+//! `--progress` (live stderr progress line on the largest migration run).
 
 use lsds_core::SimTime;
+use lsds_obs::{ProgressReporter, SpanTrace, TelemetryConfig, TelemetryReport};
 use lsds_parallel::cmb::InitialEvents;
 use lsds_parallel::{
     block_partition, profiled, round_robin_partition, run_cmb, run_sequential, run_worksteal_cfg,
-    LogicalProcess, LpCtx, WsConfig,
+    run_worksteal_telemetry, LogicalProcess, LpCtx, WsConfig,
 };
-use lsds_trace::{Json, TextTable};
+use lsds_trace::{validate_chrome_trace_full, write_chrome_trace_with_counters, Json, TextTable};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Marks a cross-LP message as a pure sink (mutates state, schedules
@@ -144,11 +156,19 @@ struct Row {
     sync: Json,
 }
 
-fn run_scenario(name: &str, proto: Vec<SkewLp>, until: f64, worker_counts: &[usize]) -> Vec<Row> {
+fn run_scenario(
+    name: &str,
+    proto: Vec<SkewLp>,
+    until: f64,
+    worker_counts: &[usize],
+    migration_epoch: u64,
+    progress: bool,
+) -> (Vec<Row>, Option<TelemetryReport>) {
     let n = proto.len();
     let edges = ring_edges(n);
     let t_end = SimTime::new(until);
     let mut rows = Vec::new();
+    let mut tel_out = None;
 
     let start = Instant::now();
     let seq = run_sequential(proto.clone(), &edges, t_end);
@@ -174,16 +194,76 @@ fn run_scenario(name: &str, proto: Vec<SkewLp>, until: f64, worker_counts: &[usi
     });
 
     for &workers in worker_counts {
-        for migration in [None, Some(5_000u64)] {
+        for migration in [None, Some(migration_epoch)] {
             let cfg = WsConfig {
                 workers,
                 batch: 64,
                 migration_epoch: migration,
             };
             let start = Instant::now();
-            let ws = run_worksteal_cfg(proto.clone(), &edges, t_end, cfg);
+            let (ws, tel) = if migration.is_some() {
+                // Migration runs carry the telemetry sinks: scheduler
+                // counters feed the Perfetto counter tracks, and the
+                // learned placement is checked below.
+                let mut tcfg = TelemetryConfig::new().every_events(2048);
+                let reporter = (progress && Some(&workers) == worker_counts.last())
+                    .then(|| Arc::new(ProgressReporter::new(until)));
+                if let Some(rep) = &reporter {
+                    tcfg = tcfg.with_progress(Arc::clone(rep));
+                }
+                let (ws, tel) = run_worksteal_telemetry(proto.clone(), &edges, t_end, cfg, tcfg);
+                // Always close with the summary line: short runs finish
+                // inside the reporter's wall interval and would otherwise
+                // print nothing at all.
+                if let Some(rep) = &reporter {
+                    rep.finish();
+                }
+                (ws, Some(tel))
+            } else {
+                (run_worksteal_cfg(proto.clone(), &edges, t_end, cfg), None)
+            };
             let wall = start.elapsed().as_secs_f64();
             let migr_tag = if migration.is_some() { "+migr" } else { "" };
+            let mut sync = vec![
+                ("workers".into(), Json::Num(ws.sched.workers as f64)),
+                (
+                    "migration_epoch".into(),
+                    migration.map_or(Json::Null, |e| Json::Num(e as f64)),
+                ),
+                (
+                    "bound_updates".into(),
+                    Json::Num(ws.sched.bound_updates as f64),
+                ),
+                ("steals".into(), Json::Num(ws.sched.steals as f64)),
+                ("parks".into(), Json::Num(ws.sched.parks as f64)),
+                ("epochs".into(), Json::Num(ws.sched.epochs as f64)),
+                ("migrations".into(), Json::Num(ws.sched.migrations as f64)),
+            ];
+            // ROADMAP item 2: the placement the rebalancer learned online
+            // from its own cost telemetry must match what profile-guided
+            // partitioning would build from the same observed costs — no
+            // prior `lsds-prof` run needed. (Weighted imbalance over
+            // workers; costs are wall-measured, hence the slack factor.)
+            if migration.is_some() && ws.sched.workers > 1 && ws.sched.epochs > 0 {
+                let costs: Vec<f64> = ws.cost_ns.iter().map(|&c| c as f64).collect();
+                let prof = imbalance(
+                    &profiled(&costs, ws.sched.workers),
+                    &costs,
+                    ws.sched.workers,
+                );
+                let online = ws.observed_imbalance();
+                assert!(
+                    online <= prof * 1.15 + 1e-6,
+                    "{name} w={}: online-learned placement imbalance {online:.3} \
+                     lost to profiled {prof:.3}",
+                    ws.sched.workers
+                );
+                sync.push(("imbalance_online".into(), Json::Num(online)));
+                sync.push(("imbalance_profiled".into(), Json::Num(prof)));
+            }
+            if let Some(tel) = tel {
+                tel_out = Some(tel);
+            }
             rows.push(Row {
                 engine: format!("worksteal w={}{migr_tag}", ws.sched.workers),
                 events: ws.total_events(),
@@ -193,21 +273,7 @@ fn run_scenario(name: &str, proto: Vec<SkewLp>, until: f64, worker_counts: &[usi
                     "{} bounds, {} steals, {} migr",
                     ws.sched.bound_updates, ws.sched.steals, ws.sched.migrations
                 ),
-                sync: Json::Obj(vec![
-                    ("workers".into(), Json::Num(ws.sched.workers as f64)),
-                    (
-                        "migration_epoch".into(),
-                        migration.map_or(Json::Null, |e| Json::Num(e as f64)),
-                    ),
-                    (
-                        "bound_updates".into(),
-                        Json::Num(ws.sched.bound_updates as f64),
-                    ),
-                    ("steals".into(), Json::Num(ws.sched.steals as f64)),
-                    ("parks".into(), Json::Num(ws.sched.parks as f64)),
-                    ("epochs".into(), Json::Num(ws.sched.epochs as f64)),
-                    ("migrations".into(), Json::Num(ws.sched.migrations as f64)),
-                ]),
+                sync: Json::Obj(sync),
             });
         }
     }
@@ -225,7 +291,7 @@ fn run_scenario(name: &str, proto: Vec<SkewLp>, until: f64, worker_counts: &[usi
             row.engine
         );
     }
-    rows
+    (rows, tel_out)
 }
 
 /// Max LP load over mean LP load under an assignment — 1.0 is perfect.
@@ -242,6 +308,7 @@ fn imbalance(assignment: &[usize], costs: &[f64], n_lps: usize) -> f64 {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let progress = args.iter().any(|a| a == "--progress");
     let workers_flag: Option<usize> = args
         .iter()
         .position(|a| a == "--workers")
@@ -250,6 +317,9 @@ fn main() {
 
     let n = if smoke { 8 } else { 32 };
     let until = if smoke { 8.0 } else { 40.0 };
+    // Keep several epochs inside even the smoke run so the online
+    // repartitioning check exercises real migrations in CI.
+    let migration_epoch = if smoke { 500 } else { 5_000 };
     let worker_counts: Vec<usize> = match workers_flag {
         Some(w) => vec![w],
         None => vec![1, 2, 4],
@@ -264,8 +334,19 @@ fn main() {
     let mut results: Vec<Json> = Vec::new();
     let mut headline: Option<f64> = None; // cmb wall / best ws wall on hotspot
 
+    let mut last_tel: Option<TelemetryReport> = None;
     for (name, proto) in [("hotspot", hotspot(n, until)), ("zipf", zipf(n, until))] {
-        let rows = run_scenario(name, proto, until, &worker_counts);
+        let (rows, tel) = run_scenario(
+            name,
+            proto,
+            until,
+            &worker_counts,
+            migration_epoch,
+            progress,
+        );
+        if let Some(tel) = tel {
+            last_tel = Some(tel);
+        }
         let cmb_wall = rows
             .iter()
             .find(|r| r.engine.starts_with("cmb"))
@@ -340,14 +421,50 @@ fn main() {
          migration setting."
     );
 
-    let doc = Json::Obj(vec![
+    // Export the last migration run's scheduler telemetry as Perfetto
+    // counter tracks (per-worker steals/parks/activations, deque depths,
+    // event rate) and validate the document round-trips.
+    if let Some(tel) = &last_tel {
+        let tracks = tel.counter_tracks();
+        let out = std::fs::File::create("TRACE_worksteal.json").expect("create trace file");
+        write_chrome_trace_with_counters(&SpanTrace::new(), &tracks, out)
+            .expect("write TRACE_worksteal.json");
+        let text = std::fs::read_to_string("TRACE_worksteal.json").expect("reread trace");
+        let (slices, samples) = validate_chrome_trace_full(&text).expect("trace must validate");
+        assert!(samples > 0, "counter tracks must carry samples");
+        println!(
+            "\nwrote TRACE_worksteal.json ({} counter tracks, {samples} samples, {slices} slices)",
+            tracks.len()
+        );
+    }
+
+    let mut doc = vec![
         ("experiment".into(), Json::Str("worksteal".into())),
         ("smoke".into(), Json::Bool(smoke)),
         ("lps".into(), Json::Num(n as f64)),
         ("host_cores".into(), Json::Num(cores as f64)),
         ("ws_speedup_vs_cmb_hotspot".into(), Json::Num(speedup)),
-        ("results".into(), Json::Arr(results)),
-    ]);
+    ];
+    if let Some(tel) = &last_tel {
+        doc.push((
+            "telemetry".into(),
+            Json::Obj(vec![
+                ("events".into(), Json::Num(tel.events() as f64)),
+                ("steals".into(), Json::Num(tel.counter("ws.steals") as f64)),
+                ("parks".into(), Json::Num(tel.counter("ws.parks") as f64)),
+                (
+                    "migrations".into(),
+                    Json::Num(tel.counter("ws.migrations") as f64),
+                ),
+                (
+                    "activations".into(),
+                    Json::Num(tel.counter("ws.activations") as f64),
+                ),
+            ]),
+        ));
+    }
+    doc.push(("results".into(), Json::Arr(results)));
+    let doc = Json::Obj(doc);
     std::fs::write("BENCH_worksteal.json", doc.render_pretty() + "\n")
         .expect("write BENCH_worksteal.json");
     println!("\nwrote BENCH_worksteal.json");

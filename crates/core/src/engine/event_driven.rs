@@ -4,7 +4,9 @@ use super::{Ctx, Model, QueueSink, RunStats};
 use crate::event::{EventSeq, ScheduledEvent};
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::time::SimTime;
-use lsds_obs::{NoopRecorder, NoopTracer, QueueOp, Recorder, SpanKind, Tracer};
+use lsds_obs::{
+    NoopRecorder, NoopTelemetry, NoopTracer, QueueOp, Recorder, SpanKind, Telemetry, Tracer,
+};
 
 /// The canonical discrete-event executor.
 ///
@@ -39,11 +41,13 @@ pub struct EventDriven<
     Q: EventQueue<M::Event> = BinaryHeapQueue<<M as Model>::Event>,
     R: Recorder = NoopRecorder,
     T: Tracer = NoopTracer,
+    Y: Telemetry = NoopTelemetry,
 > {
     model: M,
     queue: Q,
     recorder: R,
     tracer: T,
+    tel: Y,
     clock: SimTime,
     seq: EventSeq,
     staged: Vec<ScheduledEvent<M::Event>>,
@@ -60,28 +64,32 @@ pub struct EventDriven<
     processed: u64,
 }
 
-impl<M: Model> EventDriven<M, BinaryHeapQueue<M::Event>, NoopRecorder, NoopTracer> {
+impl<M: Model> EventDriven<M, BinaryHeapQueue<M::Event>, NoopRecorder, NoopTracer, NoopTelemetry> {
     /// Creates an engine with the default binary-heap event list.
     pub fn new(model: M) -> Self {
         Self::with_queue(model, BinaryHeapQueue::new())
     }
 }
 
-impl<M: Model, Q: EventQueue<M::Event>> EventDriven<M, Q, NoopRecorder, NoopTracer> {
+impl<M: Model, Q: EventQueue<M::Event>> EventDriven<M, Q, NoopRecorder, NoopTracer, NoopTelemetry> {
     /// Creates an engine over a specific event-list structure.
     pub fn with_queue(model: M, queue: Q) -> Self {
         Self::with_parts(model, queue, NoopRecorder)
     }
 }
 
-impl<M: Model, R: Recorder> EventDriven<M, BinaryHeapQueue<M::Event>, R, NoopTracer> {
+impl<M: Model, R: Recorder>
+    EventDriven<M, BinaryHeapQueue<M::Event>, R, NoopTracer, NoopTelemetry>
+{
     /// Creates a monitored engine with the default binary-heap event list.
     pub fn with_recorder(model: M, recorder: R) -> Self {
         Self::with_parts(model, BinaryHeapQueue::new(), recorder)
     }
 }
 
-impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> EventDriven<M, Q, R, NoopTracer> {
+impl<M: Model, Q: EventQueue<M::Event>, R: Recorder>
+    EventDriven<M, Q, R, NoopTracer, NoopTelemetry>
+{
     /// Creates an engine from an explicit queue and recorder.
     pub fn with_parts(model: M, queue: Q, recorder: R) -> Self {
         EventDriven {
@@ -89,6 +97,7 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> EventDriven<M, Q, R, NoopTr
             queue,
             recorder,
             tracer: NoopTracer,
+            tel: NoopTelemetry,
             clock: SimTime::ZERO,
             seq: 0,
             staged: Vec::new(),
@@ -99,17 +108,20 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder> EventDriven<M, Q, R, NoopTr
     }
 }
 
-impl<M: Model, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> EventDriven<M, Q, R, T> {
+impl<M: Model, Q: EventQueue<M::Event>, R: Recorder, T: Tracer, Y: Telemetry>
+    EventDriven<M, Q, R, T, Y>
+{
     /// Swaps the tracer, preserving all engine state (clock, event list,
     /// sequence counter, model). Because a tracer only observes, a run
     /// continued after this conversion is bit-identical to one that never
     /// converted — enabling tracing mid-setup costs nothing in fidelity.
-    pub fn with_tracer<T2: Tracer>(self, tracer: T2) -> EventDriven<M, Q, R, T2> {
+    pub fn with_tracer<T2: Tracer>(self, tracer: T2) -> EventDriven<M, Q, R, T2, Y> {
         EventDriven {
             model: self.model,
             queue: self.queue,
             recorder: self.recorder,
             tracer,
+            tel: self.tel,
             clock: self.clock,
             seq: self.seq,
             staged: self.staged,
@@ -117,6 +129,37 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> EventDriven<M, Q
             stopped: self.stopped,
             processed: self.processed,
         }
+    }
+
+    /// Swaps the telemetry sink, preserving all engine state — the same
+    /// state-preserving conversion as [`EventDriven::with_tracer`].
+    /// Telemetry only observes (queue depth, pool occupancy, event rate),
+    /// so a converted run stays bit-identical to an unconverted one.
+    pub fn with_telemetry<Y2: Telemetry>(self, tel: Y2) -> EventDriven<M, Q, R, T, Y2> {
+        EventDriven {
+            model: self.model,
+            queue: self.queue,
+            recorder: self.recorder,
+            tracer: self.tracer,
+            tel,
+            clock: self.clock,
+            seq: self.seq,
+            staged: self.staged,
+            batch: self.batch,
+            stopped: self.stopped,
+            processed: self.processed,
+        }
+    }
+
+    /// Shared view of the telemetry sink.
+    pub fn telemetry(&self) -> &Y {
+        &self.tel
+    }
+
+    /// Consumes the engine, returning the telemetry sink (e.g. to
+    /// `finish()` an `EngineTelemetry` into a `TelemetryReport`).
+    pub fn into_telemetry(self) -> Y {
+        self.tel
     }
 
     /// Shared view of the tracer.
@@ -245,6 +288,17 @@ impl<M: Model, Q: EventQueue<M::Event>, R: Recorder, T: Tracer> EventDriven<M, Q
         self.processed += 1;
         if R::ENABLED {
             self.recorder.on_event(self.clock.seconds());
+        }
+        if Y::ENABLED && self.tel.tick(self.clock.seconds()) {
+            let pending = self.queue.len() + self.batch.len();
+            self.tel
+                .sample("engine.queue_len", 0, self.clock.seconds(), pending as f64);
+            self.tel.peak("engine.queue_high_water", 0, pending as u64);
+            if let Some((live, high)) = self.queue.occupancy() {
+                self.tel
+                    .sample("engine.pool_live", 0, self.clock.seconds(), live as f64);
+                self.tel.peak("engine.pool_high_water", 0, high as u64);
+            }
         }
         let kind = if T::ENABLED {
             self.model.trace_kind(&ev.event)
@@ -466,6 +520,44 @@ mod tests {
         assert_eq!(reg.counter("engine.inserts"), 7);
         assert_eq!(reg.gauge("engine.clock"), Some(3.0));
         assert!(reg.series("engine.queue_len").is_some());
+    }
+
+    #[test]
+    fn telemetry_run_matches_plain_and_samples_queue() {
+        use crate::pool::PooledQueue;
+        use lsds_obs::{EngineTelemetry, TelemetryConfig, TelemetryReport};
+        let run_plain = || {
+            let mut sim = EventDriven::new(PingPong {
+                hops: 0,
+                limit: 64,
+                times: vec![],
+            });
+            sim.schedule(SimTime::ZERO, 0);
+            sim.run();
+            sim.into_model().times
+        };
+        let mut sim = EventDriven::with_queue(
+            PingPong {
+                hops: 0,
+                limit: 64,
+                times: vec![],
+            },
+            PooledQueue::new(BinaryHeapQueue::new()),
+        )
+        .with_telemetry(EngineTelemetry::new(TelemetryConfig::new().every_events(8)));
+        sim.schedule(SimTime::ZERO, 0);
+        sim.run();
+        let (model, tel) = {
+            let times = sim.model().times.clone();
+            (times, sim.into_telemetry())
+        };
+        assert_eq!(model, run_plain(), "telemetry must not perturb the run");
+        let report = TelemetryReport::merge(vec![tel]);
+        assert_eq!(report.events(), 64);
+        assert!(report.series_on("engine.queue_len", 0).is_some());
+        // Hold model: exactly one event in flight at a time, and the
+        // pooled queue reports its slab occupancy through the engine.
+        assert_eq!(report.peak("engine.pool_high_water"), 1);
     }
 
     #[test]

@@ -184,6 +184,10 @@ impl<E, Q: EventQueue<u32>> EventQueue<E> for PooledQueue<E, Q> {
         self.inner.len()
     }
 
+    fn occupancy(&self) -> Option<(usize, usize)> {
+        Some((self.pool.len(), self.pool.slot_high_water() as usize))
+    }
+
     fn name(&self) -> &'static str {
         match self.inner.name() {
             "binary-heap" => "pooled-binary-heap",

@@ -97,6 +97,13 @@ pub trait EventQueue<E> {
     }
     /// Human-readable structure name (for experiment output).
     fn name(&self) -> &'static str;
+    /// Storage occupancy `(live, high_water)` for structures that park
+    /// payloads out-of-line (the pooled adaptor reports its slab's
+    /// current and peak slot usage). `None` — the default — for plain
+    /// structures whose only size measure is [`EventQueue::len`].
+    fn occupancy(&self) -> Option<(usize, usize)> {
+        None
+    }
 }
 
 /// Selector for the event-list structure, usable in experiment configs.

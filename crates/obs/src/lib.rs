@@ -26,6 +26,7 @@
 
 pub mod recorder;
 pub mod registry;
+pub mod telemetry;
 
 pub use lsds_prof as prof;
 
@@ -35,3 +36,7 @@ pub use prof::{
 };
 pub use recorder::{MetricsRecorder, NoopRecorder, QueueOp, Recorder};
 pub use registry::{Registry, Series, SeriesSnapshot, Snapshot, SummarySnapshot};
+pub use telemetry::{
+    CounterTrack, EngineTelemetry, NoopTelemetry, ProgressReporter, Telemetry, TelemetryConfig,
+    TelemetryReport,
+};

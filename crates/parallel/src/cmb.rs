@@ -18,7 +18,10 @@ use crate::lp::{
     in_neighbors, out_neighbors, tie_key, validate_edges, LogicalProcess, LpCtx, LpId, Outgoing,
 };
 use lsds_core::{BinaryHeapQueue, EventQueue, PooledQueue, ScheduledEvent, SimTime, NO_PARENT};
-use lsds_obs::{NoopTracer, Registry, RingTracer, SpanKind, SpanTrace, TraceConfig, Tracer};
+use lsds_obs::{
+    EngineTelemetry, NoopTelemetry, NoopTracer, Registry, RingTracer, SpanKind, SpanTrace,
+    Telemetry, TelemetryConfig, TelemetryReport, TraceConfig, Tracer,
+};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Per-LP execution counters.
@@ -102,10 +105,11 @@ pub trait InitialEvents: LogicalProcess {
     fn initial_events(&mut self, ctx: &mut LpCtx<'_, Self::Msg>);
 }
 
-struct Engine<'a, L: LogicalProcess, T: Tracer> {
+struct Engine<'a, L: LogicalProcess, T: Tracer, Y: Telemetry> {
     me: LpId,
     lp: L,
     tracer: T,
+    tel: Y,
     /// Pooled (PR 6): payloads park in a slab, the heap orders fixed
     /// 32-byte records — no per-event boxing in the LP hot loop.
     queue: PooledQueue<L::Msg, BinaryHeapQueue<u32>>,
@@ -123,7 +127,7 @@ struct Engine<'a, L: LogicalProcess, T: Tracer> {
     t_end: SimTime,
 }
 
-impl<'a, L: LogicalProcess, T: Tracer> Engine<'a, L, T> {
+impl<'a, L: LogicalProcess, T: Tracer, Y: Telemetry> Engine<'a, L, T, Y> {
     fn apply(&mut self, tagged: Tagged<L::Msg>) {
         let Some(slot) = self.in_clocks.iter_mut().find(|(id, _)| *id == tagged.src) else {
             debug_assert!(false, "message from undeclared in-neighbor");
@@ -238,6 +242,11 @@ impl<'a, L: LogicalProcess, T: Tracer> Engine<'a, L, T> {
         self.tracer
             .record(ev.seq, ev.parent, kind, self.me as u32, at.seconds(), token);
         self.flush_staged();
+        if Y::ENABLED && self.tel.tick(at.seconds()) {
+            let lane = self.me as u32;
+            self.tel
+                .sample("cmb.queue_len", lane, at.seconds(), self.queue.len() as f64);
+        }
     }
 
     fn send_nulls(&mut self) {
@@ -258,11 +267,14 @@ impl<'a, L: LogicalProcess, T: Tracer> Engine<'a, L, T> {
                 .ok();
                 self.outs[i].2 = lb;
                 self.stats.nulls_sent += 1;
+                if Y::ENABLED {
+                    self.tel.inc("cmb.nulls", self.me as u32, 1);
+                }
             }
         }
     }
 
-    fn run(mut self) -> (L, CmbStats, T) {
+    fn run(mut self) -> (L, CmbStats, T, Y) {
         loop {
             self.drain_nonblocking();
             let safe = self.safe_time();
@@ -287,7 +299,7 @@ impl<'a, L: LogicalProcess, T: Tracer> Engine<'a, L, T> {
                     })
                     .ok();
                 }
-                return (self.lp, self.stats, self.tracer);
+                return (self.lp, self.stats, self.tracer, self.tel);
             }
             // Blocked: publish our lower bound, then wait for progress.
             self.send_nulls();
@@ -300,11 +312,24 @@ impl<'a, L: LogicalProcess, T: Tracer> Engine<'a, L, T> {
                 self.me
             );
             self.stats.blocks += 1;
-            match self.rx.recv() {
+            if Y::ENABLED {
+                self.tel.inc("cmb.blocks", self.me as u32, 1);
+            }
+            // lsds-lint: allow(wall-clock) reason="telemetry measures host time blocked on input; never feeds back into simulated time or delivery order"
+            let blocked_from = Y::ENABLED.then(std::time::Instant::now);
+            let received = self.rx.recv();
+            if let Some(from) = blocked_from {
+                self.tel.inc(
+                    "cmb.blocked_ns",
+                    self.me as u32,
+                    from.elapsed().as_nanos() as u64,
+                );
+            }
+            match received {
                 Ok(tagged) => self.apply(tagged),
                 Err(_) => {
                     // all senders done and channel drained
-                    return (self.lp, self.stats, self.tracer);
+                    return (self.lp, self.stats, self.tracer, self.tel);
                 }
             }
         }
@@ -322,8 +347,34 @@ pub fn run_cmb<L>(lps: Vec<L>, edges: &[(LpId, LpId)], t_end: SimTime) -> CmbRep
 where
     L: InitialEvents,
 {
-    let (report, _tracers) = run_cmb_with(lps, edges, t_end, |_| NoopTracer);
+    let (report, _tracers, _tels) =
+        run_cmb_with(lps, edges, t_end, |_| NoopTracer, |_| NoopTelemetry);
     report
+}
+
+/// Like [`run_cmb`], but records scheduler telemetry — per-LP null
+/// messages, blocked wall time, and sampled queue lengths — into one
+/// [`EngineTelemetry`] sink per LP, merged after the run.
+///
+/// Telemetry only observes: the returned [`CmbReport`] is bit-identical
+/// to a plain [`run_cmb`] run's.
+pub fn run_cmb_telemetry<L>(
+    lps: Vec<L>,
+    edges: &[(LpId, LpId)],
+    t_end: SimTime,
+    tcfg: TelemetryConfig,
+) -> (CmbReport<L>, TelemetryReport)
+where
+    L: InitialEvents,
+{
+    let (report, _tracers, tels) = run_cmb_with(
+        lps,
+        edges,
+        t_end,
+        |_| NoopTracer,
+        |lp| EngineTelemetry::for_track(tcfg.clone(), lp as u32),
+    );
+    (report, TelemetryReport::merge(tels))
 }
 
 /// Like [`run_cmb`], but records a causal span per handled event into a
@@ -342,20 +393,28 @@ pub fn run_cmb_traced<L>(
 where
     L: InitialEvents,
 {
-    let (report, tracers) = run_cmb_with(lps, edges, t_end, |_| RingTracer::new(cfg));
+    let (report, tracers, _tels) = run_cmb_with(
+        lps,
+        edges,
+        t_end,
+        |_| RingTracer::new(cfg),
+        |_| NoopTelemetry,
+    );
     let trace = SpanTrace::merge(tracers.into_iter().map(RingTracer::finish).collect());
     (report, trace)
 }
 
-fn run_cmb_with<L, T>(
+fn run_cmb_with<L, T, Y>(
     lps: Vec<L>,
     edges: &[(LpId, LpId)],
     t_end: SimTime,
     mk_tracer: impl Fn(LpId) -> T,
-) -> (CmbReport<L>, Vec<T>)
+    mk_tel: impl Fn(LpId) -> Y,
+) -> (CmbReport<L>, Vec<T>, Vec<Y>)
 where
     L: InitialEvents,
     T: Tracer + Send,
+    Y: Telemetry + Send,
 {
     let n = lps.len();
     validate_edges(n, edges);
@@ -373,7 +432,7 @@ where
         rxs.push(Some(rx));
     }
 
-    let mut results: Vec<Option<(L, CmbStats, T)>> = (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<(L, CmbStats, T, Y)>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for (me, lp) in lps.into_iter().enumerate() {
@@ -388,11 +447,13 @@ where
             // lsds-lint: allow(hot-path-panic) reason="run setup before any event is processed; each index is taken exactly once by construction"
             let rx = rxs[me].take().expect("receiver taken twice");
             let tracer = mk_tracer(me);
+            let tel = mk_tel(me);
             let handle = scope.spawn(move || {
                 let mut engine = Engine {
                     me,
                     lp,
                     tracer,
+                    tel,
                     queue: PooledQueue::new(BinaryHeapQueue::new()),
                     clock: SimTime::ZERO,
                     seq: 0,
@@ -429,12 +490,14 @@ where
     let mut lps_out = Vec::with_capacity(n);
     let mut stats = Vec::with_capacity(n);
     let mut tracers = Vec::with_capacity(n);
+    let mut tels = Vec::with_capacity(n);
     for r in results {
         // lsds-lint: allow(hot-path-panic) reason="post-run teardown: every LP index was joined above"
-        let (lp, st, tr) = r.expect("missing LP result");
+        let (lp, st, tr, tel) = r.expect("missing LP result");
         lps_out.push(lp);
         stats.push(st);
         tracers.push(tr);
+        tels.push(tel);
     }
     (
         CmbReport {
@@ -442,6 +505,7 @@ where
             stats,
         },
         tracers,
+        tels,
     )
 }
 
@@ -695,6 +759,40 @@ mod tests {
         assert!(path.complete);
         assert_eq!(path.steps.len() as u64, traced.total_events());
         assert!((path.makespan - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_run_matches_plain_and_counts_sync() {
+        let plain = run_ring(4, 1.0, 1.0, 100.0);
+        let lps: Vec<RingNode> = (0..4)
+            .map(|_| RingNode {
+                n: 4,
+                hops_seen: 0,
+                last_time: 0.0,
+                delay: 1.0,
+                la: 1.0,
+            })
+            .collect();
+        let (telr, tel) = run_cmb_telemetry(
+            lps,
+            &ring_edges(4),
+            SimTime::new(100.0),
+            TelemetryConfig::new().every_events(8),
+        );
+        assert_eq!(plain.total_events(), telr.total_events());
+        for i in 0..4 {
+            assert_eq!(plain.lps[i].hops_seen, telr.lps[i].hops_seen);
+            assert_eq!(plain.lps[i].last_time, telr.lps[i].last_time);
+        }
+        // telemetry counters agree with the engine's own stats
+        assert_eq!(tel.counter("cmb.nulls"), telr.total_nulls());
+        assert_eq!(tel.events(), telr.total_events());
+        assert_eq!(
+            tel.counter("cmb.blocks"),
+            telr.stats.iter().map(|s| s.blocks).sum::<u64>()
+        );
+        // queue-length samples landed on per-LP lanes
+        assert!(tel.series_on("cmb.queue_len", 0).is_some());
     }
 
     // ---- S1 bug sweep: the t_end fold in the null-message bound ----

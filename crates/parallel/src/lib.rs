@@ -46,14 +46,18 @@ pub mod timestep;
 pub mod timewarp;
 pub mod worksteal;
 
-pub use cmb::{run_cmb, run_cmb_traced, CmbReport, CmbStats, InitialEvents};
+pub use cmb::{run_cmb, run_cmb_telemetry, run_cmb_traced, CmbReport, CmbStats, InitialEvents};
 pub use lp::{LogicalProcess, LpCtx, LpId};
 pub use partition::{
     block_partition, owned_by, owners, profiled, profiled_from_trace, round_robin_partition,
 };
-pub use sequential::{run_sequential, SequentialReport};
-pub use timestep::{run_timestep, run_timestep_traced, TimestepReport};
+pub use sequential::{run_sequential, run_sequential_telemetry, SequentialReport};
+pub use timestep::{run_timestep, run_timestep_telemetry, run_timestep_traced, TimestepReport};
 pub use timewarp::{
-    run_timewarp, run_timewarp_cfg, run_timewarp_traced, SaveState, TwConfig, TwReport, TwStats,
+    run_timewarp, run_timewarp_cfg, run_timewarp_telemetry, run_timewarp_traced, SaveState,
+    TwConfig, TwReport, TwStats,
 };
-pub use worksteal::{run_worksteal, run_worksteal_cfg, WsConfig, WsReport, WsSchedStats, WsStats};
+pub use worksteal::{
+    run_worksteal, run_worksteal_cfg, run_worksteal_telemetry, WsConfig, WsReport, WsSchedStats,
+    WsStats,
+};

@@ -11,6 +11,7 @@
 
 use crate::lp::{tie_key, validate_edges, LpCtx, LpId, Outgoing};
 use lsds_core::{BinaryHeapQueue, EventQueue, PooledQueue, ScheduledEvent, SimTime, NO_PARENT};
+use lsds_obs::{EngineTelemetry, NoopTelemetry, Telemetry, TelemetryConfig, TelemetryReport};
 
 /// Result of a sequential reference run.
 #[derive(Debug)]
@@ -40,6 +41,38 @@ impl<L> SequentialReport<L> {
 pub fn run_sequential<L>(lps: Vec<L>, edges: &[(LpId, LpId)], t_end: SimTime) -> SequentialReport<L>
 where
     L: crate::cmb::InitialEvents,
+{
+    run_sequential_with(lps, edges, t_end, NoopTelemetry).0
+}
+
+/// Like [`run_sequential`], with a [`Telemetry`] sink sampling the
+/// global event-list length (`seq.queue_len`) on the configured cadence.
+/// The single-threaded reference has no scheduler to introspect, but the
+/// telemetry variant gives the oracle run the same live-progress and
+/// series surface as the parallel engines; results are bit-identical to
+/// the plain run.
+pub fn run_sequential_telemetry<L>(
+    lps: Vec<L>,
+    edges: &[(LpId, LpId)],
+    t_end: SimTime,
+    tcfg: TelemetryConfig,
+) -> (SequentialReport<L>, TelemetryReport)
+where
+    L: crate::cmb::InitialEvents,
+{
+    let (report, tel) = run_sequential_with(lps, edges, t_end, EngineTelemetry::new(tcfg));
+    (report, TelemetryReport::merge(vec![tel]))
+}
+
+fn run_sequential_with<L, Y>(
+    lps: Vec<L>,
+    edges: &[(LpId, LpId)],
+    t_end: SimTime,
+    mut tel: Y,
+) -> (SequentialReport<L>, Y)
+where
+    L: crate::cmb::InitialEvents,
+    Y: Telemetry,
 {
     let n = lps.len();
     validate_edges(n, edges);
@@ -97,6 +130,9 @@ where
         };
         let (dst, msg) = ev.event;
         events[dst] += 1;
+        if Y::ENABLED && tel.tick(ev.time.seconds()) {
+            tel.sample("seq.queue_len", 0, ev.time.seconds(), queue.len() as f64);
+        }
         let mut ctx = LpCtx {
             now: ev.time,
             me: dst,
@@ -108,7 +144,7 @@ where
         flush(dst, &mut staged, &mut seqs, &mut queue);
     }
 
-    SequentialReport { lps, events }
+    (SequentialReport { lps, events }, tel)
 }
 
 #[cfg(test)]
@@ -155,5 +191,38 @@ mod tests {
         assert_eq!(report.total_events(), 101);
         assert_eq!(report.lps[0].seen, 26);
         assert_eq!(report.events[0], 26);
+    }
+
+    #[test]
+    fn telemetry_run_matches_plain_and_samples_queue() {
+        let mk = || -> (Vec<Hop>, Vec<(usize, usize)>) {
+            (
+                (0..4)
+                    .map(|_| Hop {
+                        n: 4,
+                        seen: 0,
+                        delay: 1.0,
+                    })
+                    .collect(),
+                (0..4).map(|i| (i, (i + 1) % 4)).collect(),
+            )
+        };
+        let (lps, edges) = mk();
+        let plain = run_sequential(lps, &edges, SimTime::new(100.0));
+        let (lps, edges) = mk();
+        let (report, tel) = run_sequential_telemetry(
+            lps,
+            &edges,
+            SimTime::new(100.0),
+            lsds_obs::TelemetryConfig::new().every_events(16),
+        );
+        assert_eq!(report.total_events(), plain.total_events());
+        for (a, b) in report.lps.iter().zip(plain.lps.iter()) {
+            assert_eq!(a.seen, b.seen);
+        }
+        assert_eq!(tel.events(), report.total_events());
+        let series = tel.series_on("seq.queue_len", 0).expect("queue series");
+        assert!(!series.is_empty());
+        assert!(series.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 }

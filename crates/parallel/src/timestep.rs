@@ -11,7 +11,10 @@
 
 use crate::lp::{tie_key, LpCtx, LpId, Outgoing};
 use lsds_core::{BinaryHeapQueue, EventQueue, PooledQueue, ScheduledEvent, SimTime, NO_PARENT};
-use lsds_obs::{NoopTracer, Registry, RingTracer, SpanKind, SpanTrace, TraceConfig, Tracer};
+use lsds_obs::{
+    EngineTelemetry, NoopTelemetry, NoopTracer, Registry, RingTracer, SpanKind, SpanTrace,
+    Telemetry, TelemetryConfig, TelemetryReport, TraceConfig, Tracer,
+};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Barrier;
 
@@ -58,8 +61,34 @@ pub fn run_timestep<L>(lps: Vec<L>, delta: f64, t_end: SimTime) -> TimestepRepor
 where
     L: crate::cmb::InitialEvents,
 {
-    let (report, _tracers) = run_timestep_with(lps, delta, t_end, |_| NoopTracer);
+    let (report, _tracers, _tels) =
+        run_timestep_with(lps, delta, t_end, |_| NoopTracer, |_| NoopTelemetry);
     report
+}
+
+/// Like [`run_timestep`], but records scheduler telemetry — per-LP barrier
+/// waits, barrier wall time, and sampled queue lengths — into one
+/// [`EngineTelemetry`] sink per LP, merged after the run.
+///
+/// Telemetry only observes: the returned [`TimestepReport`] is
+/// bit-identical to a plain [`run_timestep`] run's.
+pub fn run_timestep_telemetry<L>(
+    lps: Vec<L>,
+    delta: f64,
+    t_end: SimTime,
+    tcfg: TelemetryConfig,
+) -> (TimestepReport<L>, TelemetryReport)
+where
+    L: crate::cmb::InitialEvents,
+{
+    let (report, _tracers, tels) = run_timestep_with(
+        lps,
+        delta,
+        t_end,
+        |_| NoopTracer,
+        |lp| EngineTelemetry::for_track(tcfg.clone(), lp as u32),
+    );
+    (report, TelemetryReport::merge(tels))
 }
 
 /// Like [`run_timestep`], but records a causal span per handled event into
@@ -78,20 +107,28 @@ pub fn run_timestep_traced<L>(
 where
     L: crate::cmb::InitialEvents,
 {
-    let (report, tracers) = run_timestep_with(lps, delta, t_end, |_| RingTracer::new(cfg));
+    let (report, tracers, _tels) = run_timestep_with(
+        lps,
+        delta,
+        t_end,
+        |_| RingTracer::new(cfg),
+        |_| NoopTelemetry,
+    );
     let trace = SpanTrace::merge(tracers.into_iter().map(RingTracer::finish).collect());
     (report, trace)
 }
 
-fn run_timestep_with<L, T>(
+fn run_timestep_with<L, T, Y>(
     lps: Vec<L>,
     delta: f64,
     t_end: SimTime,
     mk_tracer: impl Fn(LpId) -> T,
-) -> (TimestepReport<L>, Vec<T>)
+    mk_tel: impl Fn(LpId) -> Y,
+) -> (TimestepReport<L>, Vec<T>, Vec<Y>)
 where
     L: crate::cmb::InitialEvents,
     T: Tracer + Send,
+    Y: Telemetry + Send,
 {
     assert!(delta > 0.0 && delta.is_finite(), "delta must be positive");
     let n = lps.len();
@@ -112,7 +149,7 @@ where
         rxs.push(Some(rx));
     }
 
-    let mut out: Vec<Option<(L, u64, T)>> = (0..n).map(|_| None).collect();
+    let mut out: Vec<Option<(L, u64, T, Y)>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         let txs = &txs;
@@ -123,11 +160,13 @@ where
             // lsds-lint: allow(hot-path-panic) reason="run setup before any event is processed; each index is taken exactly once by construction"
             let rx = rxs[me].take().expect("receiver taken twice");
             let tracer = mk_tracer(me);
+            let tel = mk_tel(me);
             handles.push((
                 me,
                 scope.spawn(move || {
                     let mut lp = lp;
                     let mut tracer = tracer;
+                    let mut tel = tel;
                     // pooled (PR 6): payloads park in a slab, the heap
                     // orders fixed 32-byte records — no per-event boxing
                     let mut queue: PooledQueue<L::Msg, BinaryHeapQueue<u32>> =
@@ -212,8 +251,24 @@ where
                                 token,
                             );
                             flush(me, &mut staged, &mut seq, &mut queue, &senders);
+                            if Y::ENABLED && tel.tick(ev.time.seconds()) {
+                                tel.sample(
+                                    "ts.queue_len",
+                                    me as u32,
+                                    ev.time.seconds(),
+                                    queue.len() as f64,
+                                );
+                            }
                         }
-                        barrier.wait();
+                        if Y::ENABLED {
+                            tel.inc("ts.barrier_waits", me as u32, 1);
+                            // lsds-lint: allow(wall-clock) reason="telemetry measures host time waiting at the window barrier; never feeds back into simulated time or delivery order"
+                            let from = std::time::Instant::now();
+                            barrier.wait();
+                            tel.inc("ts.barrier_ns", me as u32, from.elapsed().as_nanos() as u64);
+                        } else {
+                            barrier.wait();
+                        }
                     }
                     // Closing phase: events landing exactly on t_end (the
                     // half-open windows above exclude the right edge).
@@ -259,8 +314,16 @@ where
                         lp.handle(ev.time, ev.event, &mut ctx);
                         tracer.record(ev.seq, ev.parent, kind, me as u32, ev.time.seconds(), token);
                         flush(me, &mut staged, &mut seq, &mut queue, &senders);
+                        if Y::ENABLED && tel.tick(ev.time.seconds()) {
+                            tel.sample(
+                                "ts.queue_len",
+                                me as u32,
+                                ev.time.seconds(),
+                                queue.len() as f64,
+                            );
+                        }
                     }
-                    (lp, events, tracer)
+                    (lp, events, tracer, tel)
                 }),
             ));
         }
@@ -273,12 +336,14 @@ where
     let mut lps_out = Vec::with_capacity(n);
     let mut events = Vec::with_capacity(n);
     let mut tracers = Vec::with_capacity(n);
+    let mut tels = Vec::with_capacity(n);
     for o in out {
         // lsds-lint: allow(hot-path-panic) reason="post-run teardown: every LP index was joined above"
-        let (lp, ev, tr) = o.expect("missing LP result");
+        let (lp, ev, tr, tel) = o.expect("missing LP result");
         lps_out.push(lp);
         events.push(ev);
         tracers.push(tr);
+        tels.push(tel);
     }
     (
         TimestepReport {
@@ -287,6 +352,7 @@ where
             windows,
         },
         tracers,
+        tels,
     )
 }
 
@@ -387,6 +453,25 @@ mod tests {
     #[should_panic]
     fn window_wider_than_lookahead_rejected() {
         run_timestep(hoppers(2, 0.5), 1.0, SimTime::new(10.0));
+    }
+
+    #[test]
+    fn telemetry_run_matches_plain_and_counts_barriers() {
+        let plain = run_timestep(hoppers(4, 1.0), 1.0, SimTime::new(100.0));
+        let (telr, tel) = run_timestep_telemetry(
+            hoppers(4, 1.0),
+            1.0,
+            SimTime::new(100.0),
+            TelemetryConfig::new().every_events(4),
+        );
+        assert_eq!(plain.total_events(), telr.total_events());
+        let sa: Vec<u64> = plain.lps.iter().map(|l| l.seen).collect();
+        let sb: Vec<u64> = telr.lps.iter().map(|l| l.seen).collect();
+        assert_eq!(sa, sb);
+        // every LP waits at every window barrier
+        assert_eq!(tel.counter("ts.barrier_waits"), 4 * telr.windows);
+        assert_eq!(tel.counter_on("ts.barrier_waits", 2), telr.windows);
+        assert_eq!(tel.events(), telr.total_events());
     }
 
     #[test]

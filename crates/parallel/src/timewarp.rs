@@ -30,7 +30,10 @@
 use crate::cmb::InitialEvents;
 use crate::lp::{pack, tie_key, validate_edges, LogicalProcess, LpCtx, LpId, Outgoing};
 use lsds_core::{EventPool, SimTime, NO_PARENT};
-use lsds_obs::{NoopTracer, Registry, RingTracer, SpanKind, SpanTrace, TraceConfig, Tracer};
+use lsds_obs::{
+    EngineTelemetry, NoopTelemetry, NoopTracer, Registry, RingTracer, SpanKind, SpanTrace,
+    Telemetry, TelemetryConfig, TelemetryReport, TraceConfig, Tracer,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
@@ -179,10 +182,15 @@ impl<L> TwReport<L> {
             self.stats.iter().map(|s| s.gvt_rounds).sum(),
         );
         reg.inc("tw.blocks", self.stats.iter().map(|s| s.blocks).sum());
+        reg.inc(
+            "tw.token_visits",
+            self.stats.iter().map(|s| s.token_visits).sum(),
+        );
         reg.set_gauge("tw.lps", self.lps.len() as f64);
         reg.set_gauge("tw.efficiency", self.efficiency());
         for (i, st) in self.stats.iter().enumerate() {
             reg.inc(&format!("tw.lp.{i}.committed"), st.committed);
+            reg.inc(&format!("tw.lp.{i}.rollbacks"), st.rollbacks);
         }
     }
 }
@@ -271,11 +279,12 @@ struct LocalRec {
     tie: u64,
 }
 
-struct Engine<L: SaveState, T: Tracer> {
+struct Engine<L: SaveState, T: Tracer, Y: Telemetry> {
     me: LpId,
     n: usize,
     lp: L,
     tracer: T,
+    tel: Y,
     /// Unprocessed events in `(time, tie)` order.
     pending: BTreeMap<u128, PendingEv>,
     /// Parked payloads of pending *and* processed-but-uncommitted events.
@@ -306,11 +315,12 @@ struct Engine<L: SaveState, T: Tracer> {
     t_end: SimTime,
 }
 
-impl<L, T> Engine<L, T>
+impl<L, T, Y> Engine<L, T, Y>
 where
     L: SaveState,
     L::Msg: Clone,
     T: Tracer,
+    Y: Telemetry,
 {
     fn apply(&mut self, packet: TwPacket<L::Msg>) {
         match packet {
@@ -361,6 +371,9 @@ where
         if let Some(pe) = self.pending.remove(&key) {
             self.pool.claim(pe.slot);
             self.stats.annihilated += 1;
+            if Y::ENABLED {
+                self.tel.inc("tw.annihilated", self.me as u32, 1);
+            }
             return;
         }
         // The positive twin was already executed: roll back to its time
@@ -370,6 +383,9 @@ where
             if let Some(pe) = self.pending.remove(&key) {
                 self.pool.claim(pe.slot);
                 self.stats.annihilated += 1;
+                if Y::ENABLED {
+                    self.tel.inc("tw.annihilated", self.me as u32, 1);
+                }
                 return;
             }
         }
@@ -396,6 +412,11 @@ where
             cut -= 1;
         }
         self.stats.rollbacks += 1;
+        if Y::ENABLED {
+            self.tel.inc("tw.rollbacks", self.me as u32, 1);
+            self.tel
+                .inc("tw.rolled_back", self.me as u32, (len - cut) as u64);
+        }
         for i in (cut..len).rev() {
             let Some(rec) = self.processed.pop_back() else {
                 debug_assert!(false, "processed record vanished mid-rollback");
@@ -428,6 +449,9 @@ where
                     })
                     .ok();
                 self.stats.antis_sent += 1;
+                if Y::ENABLED {
+                    self.tel.inc("tw.antis", self.me as u32, 1);
+                }
                 self.sent_delta += 1;
                 self.min_sent = self.min_sent.min(sr.at.seconds());
             }
@@ -528,6 +552,19 @@ where
         });
         self.clock = at;
         self.stats.processed += 1;
+        // Tick on GVT, not the rollback-prone local clock, so the cadence
+        // and series timestamps stay monotone; the lag sample captures how
+        // far this LP is speculating ahead of the committed frontier.
+        if Y::ENABLED && self.tel.tick(self.gvt.max(0.0)) {
+            let lane = self.me as u32;
+            let gvt = self.gvt.max(0.0);
+            self.tel
+                .sample("tw.gvt_lag", lane, gvt, self.clock.seconds() - self.gvt);
+            self.tel
+                .sample("tw.pending_len", lane, gvt, self.pending.len() as f64);
+            self.tel
+                .sample("tw.processed_len", lane, gvt, self.processed.len() as f64);
+        }
         let (n_sends, n_locals) = self.flush_staged();
         self.processed.push_back(Done {
             at,
@@ -662,6 +699,11 @@ where
             debug_assert!(floor > 0, "no snapshot below fossil floor");
             floor -= 1;
         }
+        if Y::ENABLED && floor > 0 {
+            self.tel.inc("tw.fossil_batches", self.me as u32, 1);
+            self.tel
+                .inc("tw.fossil_events", self.me as u32, floor as u64);
+        }
         for _ in 0..floor {
             self.commit_front();
         }
@@ -695,7 +737,7 @@ where
         self.stats.committed += 1;
     }
 
-    fn run(mut self) -> (L, TwStats, T) {
+    fn run(mut self) -> (L, TwStats, T, Y) {
         loop {
             // Stragglers before speculation: drain everything available.
             while let Ok(packet) = self.rx.try_recv() {
@@ -729,7 +771,7 @@ where
         while !self.processed.is_empty() {
             self.commit_front();
         }
-        (self.lp, self.stats, self.tracer)
+        (self.lp, self.stats, self.tracer, self.tel)
     }
 }
 
@@ -761,8 +803,39 @@ where
     L: SaveState + InitialEvents,
     L::Msg: Clone,
 {
-    let (report, _tracers) = run_timewarp_with(lps, edges, t_end, cfg, |_| NoopTracer);
+    let (report, _tracers, _tels) =
+        run_timewarp_with(lps, edges, t_end, cfg, |_| NoopTracer, |_| NoopTelemetry);
     report
+}
+
+/// Like [`run_timewarp_cfg`], but records scheduler telemetry — per-LP
+/// rollbacks, anti-messages, annihilations, fossil batches, and sampled
+/// GVT lag / queue depths — into one [`EngineTelemetry`] sink per LP,
+/// merged after the run.
+///
+/// Telemetry only observes: the returned [`TwReport`] is bit-identical to
+/// a plain run's. Samples tick on GVT (monotone), so attaching a
+/// [`lsds_obs::ProgressReporter`] shows GVT versus the horizon.
+pub fn run_timewarp_telemetry<L>(
+    lps: Vec<L>,
+    edges: &[(LpId, LpId)],
+    t_end: SimTime,
+    cfg: TwConfig,
+    tcfg: TelemetryConfig,
+) -> (TwReport<L>, TelemetryReport)
+where
+    L: SaveState + InitialEvents,
+    L::Msg: Clone,
+{
+    let (report, _tracers, tels) = run_timewarp_with(
+        lps,
+        edges,
+        t_end,
+        cfg,
+        |_| NoopTracer,
+        |lp| EngineTelemetry::for_track(tcfg.clone(), lp as u32),
+    );
+    (report, TelemetryReport::merge(tels))
 }
 
 /// Like [`run_timewarp`], but emits one causal span per *committed* event
@@ -779,24 +852,31 @@ where
     L: SaveState + InitialEvents,
     L::Msg: Clone,
 {
-    let (report, tracers) = run_timewarp_with(lps, edges, t_end, TwConfig::default(), |_| {
-        RingTracer::new(cfg)
-    });
+    let (report, tracers, _tels) = run_timewarp_with(
+        lps,
+        edges,
+        t_end,
+        TwConfig::default(),
+        |_| RingTracer::new(cfg),
+        |_| NoopTelemetry,
+    );
     let trace = SpanTrace::merge(tracers.into_iter().map(RingTracer::finish).collect());
     (report, trace)
 }
 
-fn run_timewarp_with<L, T>(
+fn run_timewarp_with<L, T, Y>(
     lps: Vec<L>,
     edges: &[(LpId, LpId)],
     t_end: SimTime,
     cfg: TwConfig,
     mk_tracer: impl Fn(LpId) -> T,
-) -> (TwReport<L>, Vec<T>)
+    mk_tel: impl Fn(LpId) -> Y,
+) -> (TwReport<L>, Vec<T>, Vec<Y>)
 where
     L: SaveState + InitialEvents,
     L::Msg: Clone,
     T: Tracer + Send,
+    Y: Telemetry + Send,
 {
     let n = lps.len();
     assert!(n > 0, "no logical processes");
@@ -811,7 +891,7 @@ where
         rxs.push(Some(rx));
     }
 
-    let mut results: Vec<Option<(L, TwStats, T)>> = (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<(L, TwStats, T, Y)>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for (me, lp) in lps.into_iter().enumerate() {
@@ -819,12 +899,14 @@ where
             let rx = rxs[me].take().expect("receiver taken twice");
             let txs = txs.clone();
             let tracer = mk_tracer(me);
+            let tel = mk_tel(me);
             let handle = scope.spawn(move || {
                 let mut engine = Engine {
                     me,
                     n,
                     lp,
                     tracer,
+                    tel,
                     pending: BTreeMap::new(),
                     pool: EventPool::new(),
                     states: EventPool::new(),
@@ -882,12 +964,14 @@ where
     let mut lps_out = Vec::with_capacity(n);
     let mut stats = Vec::with_capacity(n);
     let mut tracers = Vec::with_capacity(n);
+    let mut tels = Vec::with_capacity(n);
     for r in results {
         // lsds-lint: allow(hot-path-panic) reason="post-run teardown: every LP index was joined above"
-        let (lp, st, tr) = r.expect("missing LP result");
+        let (lp, st, tr, tel) = r.expect("missing LP result");
         lps_out.push(lp);
         stats.push(st);
         tracers.push(tr);
+        tels.push(tel);
     }
     (
         TwReport {
@@ -895,6 +979,7 @@ where
             stats,
         },
         tracers,
+        tels,
     )
 }
 
@@ -1207,5 +1292,54 @@ mod tests {
         report.export_metrics(&mut reg);
         assert_eq!(reg.counter("tw.committed"), report.total_events());
         assert_eq!(reg.counter("tw.processed"), report.total_processed());
+        assert_eq!(
+            reg.counter("tw.token_visits"),
+            report.stats.iter().map(|s| s.token_visits).sum::<u64>()
+        );
+        assert_eq!(reg.counter("tw.lp.0.rollbacks"), report.stats[0].rollbacks);
+    }
+
+    #[test]
+    fn telemetry_run_matches_plain_and_counts_rollbacks() {
+        let mk = || {
+            vec![
+                Strag {
+                    acc: 1,
+                    dense: false,
+                    until: 40.0,
+                },
+                Strag {
+                    acc: 2,
+                    dense: true,
+                    until: 40.0,
+                },
+            ]
+        };
+        let edges = [(0usize, 1usize)];
+        let plain = run_timewarp(mk(), &edges, SimTime::new(40.0));
+        let (telr, tel) = run_timewarp_telemetry(
+            mk(),
+            &edges,
+            SimTime::new(40.0),
+            TwConfig::default(),
+            TelemetryConfig::new().every_events(16),
+        );
+        assert_eq!(plain.total_events(), telr.total_events());
+        assert_eq!(plain.lps[0].acc, telr.lps[0].acc);
+        assert_eq!(plain.lps[1].acc, telr.lps[1].acc);
+        // telemetry counters agree with the engine's own stats (this run's
+        // stats, not the plain run's — rollback counts are timing-dependent)
+        assert_eq!(tel.counter("tw.rollbacks"), telr.total_rollbacks());
+        assert_eq!(tel.counter("tw.rolled_back"), telr.total_rolled_back());
+        assert_eq!(tel.counter("tw.antis"), telr.total_antis());
+        assert_eq!(
+            tel.counter("tw.annihilated"),
+            telr.stats.iter().map(|s| s.annihilated).sum::<u64>()
+        );
+        // anti-messages can only come from rollback-cancelled sends
+        assert!(
+            tel.counter("tw.antis") <= tel.counter("tw.rolled_back") + tel.counter("tw.rollbacks")
+        );
+        assert_eq!(tel.events(), telr.total_processed());
     }
 }

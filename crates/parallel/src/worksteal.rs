@@ -50,7 +50,9 @@
 use crate::cmb::InitialEvents;
 use crate::lp::{tie_key, validate_edges, LogicalProcess, LpCtx, LpId, Outgoing};
 use lsds_core::{BinaryHeapQueue, EventQueue, PooledQueue, ScheduledEvent, SimTime, NO_PARENT};
-use lsds_obs::Registry;
+use lsds_obs::{
+    EngineTelemetry, NoopTelemetry, Registry, Telemetry, TelemetryConfig, TelemetryReport,
+};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Condvar, Mutex};
@@ -124,6 +126,17 @@ pub struct WsReport<L> {
     pub stats: Vec<WsStats>,
     /// Scheduler-wide counters.
     pub sched: WsSchedStats,
+    /// Final home worker of each LP, in id order. With
+    /// [`WsConfig::migration_epoch`] set this is the placement the epoch
+    /// rebalancer converged to from *observed* per-LP cost — the online
+    /// analog of a [`crate::partition::profiled`] assignment, available
+    /// with no prior profiling run.
+    pub homes: Vec<usize>,
+    /// Cumulative host nanoseconds of handler work per LP, in id order.
+    /// Unlike the epoch-local accumulator that drives rebalancing, this
+    /// never resets, so it weights [`WsReport::observed_imbalance`] over
+    /// the whole run.
+    pub cost_ns: Vec<u64>,
 }
 
 impl<L> WsReport<L> {
@@ -135,6 +148,26 @@ impl<L> WsReport<L> {
     /// Total real inter-LP messages.
     pub fn total_remote(&self) -> u64 {
         self.stats.iter().map(|s| s.remote_sent).sum()
+    }
+
+    /// Weighted load imbalance of the final placement: max worker load
+    /// over mean worker load, where an LP's load is its observed
+    /// cumulative host cost. `1.0` is perfect balance; returns `1.0`
+    /// for degenerate runs (no workers or no measured cost).
+    pub fn observed_imbalance(&self) -> f64 {
+        if self.sched.workers == 0 {
+            return 1.0;
+        }
+        let mut load = vec![0u64; self.sched.workers];
+        for (lp, &home) in self.homes.iter().enumerate() {
+            load[home % self.sched.workers] += self.cost_ns[lp];
+        }
+        let total: u64 = load.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = load.iter().copied().max().unwrap_or(0) as f64;
+        max / (total as f64 / self.sched.workers as f64)
     }
 
     /// Exports the run's scheduling counters into a metrics registry:
@@ -156,6 +189,13 @@ impl<L> WsReport<L> {
         for (i, st) in self.stats.iter().enumerate() {
             reg.inc(&format!("ws.lp.{i}.events"), st.events);
         }
+        for (i, &c) in self.cost_ns.iter().enumerate() {
+            reg.inc(&format!("ws.lp.{i}.cost_ns"), c);
+        }
+        for (i, &h) in self.homes.iter().enumerate() {
+            reg.set_gauge(&format!("ws.lp.{i}.home"), h as f64);
+        }
+        reg.set_gauge("ws.observed_imbalance", self.observed_imbalance());
     }
 }
 
@@ -209,8 +249,12 @@ struct LpSlot<L: LogicalProcess> {
     /// Home worker; activations are pushed here, thieves may run them
     /// elsewhere. Rewritten by the epoch rebalancer.
     home: AtomicUsize,
-    /// Host nanoseconds of handler work since the last epoch.
-    cost_ns: AtomicU64,
+    /// Cumulative host nanoseconds of handler work — the live cost
+    /// telemetry. Never reset: the rebalancer partitions on the whole
+    /// observed history (converging to what a profiled partition would
+    /// build from the same costs) instead of one epoch's noisy sample,
+    /// and teardown reports it as [`WsReport::cost_ns`].
+    cost_total_ns: AtomicU64,
     /// Static out-edge table: `(dst, index of this LP in dst.in_clocks)`.
     outs: Vec<(LpId, usize)>,
 }
@@ -280,7 +324,7 @@ impl<L: LogicalProcess> Scheduler<L> {
 
     /// Next LP for worker `me`: own deque first (FIFO for fairness),
     /// then steal from the tail of each peer's deque.
-    fn next_lp(&self, me: usize) -> Option<LpId> {
+    fn next_lp<Y: Telemetry>(&self, me: usize, tel: &mut Y) -> Option<LpId> {
         if let Ok(mut dq) = self.deques[me].lock() {
             if let Some(lp) = dq.pop_front() {
                 self.pending.fetch_sub(1, SeqCst);
@@ -294,6 +338,9 @@ impl<L: LogicalProcess> Scheduler<L> {
                 if let Some(lp) = dq.pop_back() {
                     self.pending.fetch_sub(1, SeqCst);
                     self.steals.fetch_add(1, SeqCst);
+                    if Y::ENABLED {
+                        tel.inc("ws.steals", me as u32, 1);
+                    }
                     return Some(lp);
                 }
             }
@@ -306,14 +353,30 @@ impl<L: LogicalProcess> Scheduler<L> {
     /// id). Runs on whichever worker crossed the epoch; touches only the
     /// `home` atomics, so a re-homed LP lands on its new deque at its
     /// *next* enqueue — the safe point, since between activations it is
-    /// running nowhere and queued nowhere.
-    fn rebalance(&self) {
+    /// running nowhere and queued nowhere. Returns the number of LPs
+    /// re-homed by this epoch.
+    fn rebalance(&self) -> u64 {
         self.epochs.fetch_add(1, SeqCst);
+        let mut moved = 0u64;
+        for (lp, &best) in self.lpt_homes().iter().enumerate() {
+            if self.slots[lp].home.swap(best, SeqCst) != best {
+                self.migrations.fetch_add(1, SeqCst);
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// The LPT placement over the cumulative observed costs: heaviest LP
+    /// first, each to the least-loaded worker (ties by id) — the same
+    /// greedy `partition::profiled` applies to an offline profile.
+    fn lpt_homes(&self) -> Vec<usize> {
         let mut by_cost: Vec<(u64, LpId)> = (0..self.slots.len())
-            .map(|i| (self.slots[i].cost_ns.swap(0, SeqCst), i))
+            .map(|i| (self.slots[i].cost_total_ns.load(SeqCst), i))
             .collect();
         by_cost.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         let mut load = vec![0u64; self.workers()];
+        let mut homes = vec![0usize; self.slots.len()];
         for (cost, lp) in by_cost {
             let mut best = 0usize;
             for w in 1..load.len() {
@@ -322,10 +385,9 @@ impl<L: LogicalProcess> Scheduler<L> {
                 }
             }
             load[best] += cost.max(1);
-            if self.slots[lp].home.swap(best, SeqCst) != best {
-                self.migrations.fetch_add(1, SeqCst);
-            }
+            homes[lp] = best;
         }
+        homes
     }
 
     /// One activation of `lp`: a bounded batch of safe events under the
@@ -333,10 +395,14 @@ impl<L: LogicalProcess> Scheduler<L> {
     /// neighbor state lock-by-lock, then the closing re-check.
     ///
     /// `outbox`/`bounds`/`wake` are worker-local scratch, reused across
-    /// activations to avoid reallocating.
-    fn activate(
+    /// activations to avoid reallocating. `me` is the *executing* worker
+    /// (possibly a thief), which is the telemetry track the activation's
+    /// counters land on.
+    fn activate<Y: Telemetry>(
         &self,
+        me: usize,
         lp: LpId,
+        tel: &mut Y,
         outbox: &mut Vec<Delivery<L::Msg>>,
         bounds: &mut Vec<(LpId, usize, f64)>,
         wake: &mut Vec<LpId>,
@@ -356,6 +422,9 @@ impl<L: LogicalProcess> Scheduler<L> {
                 return;
             }
             st.stats.activations += 1;
+            if Y::ENABLED {
+                tel.inc("ws.activations", me as u32, 1);
+            }
             // lsds-lint: allow(wall-clock) reason="scheduler load measurement for epoch rebalancing; feeds worker placement only, never simulated time or results"
             let wall_start = std::time::Instant::now();
             while did < self.cfg.batch as u64 {
@@ -376,6 +445,14 @@ impl<L: LogicalProcess> Scheduler<L> {
                 st.clock = ev.time;
                 st.stats.events += 1;
                 did += 1;
+                if Y::ENABLED && tel.tick(ev.time.seconds()) {
+                    // Deque depth of the executing worker at the sample
+                    // point. Lock order state → deque is acyclic: no
+                    // path takes an LP state lock while holding a deque
+                    // lock.
+                    let depth = self.deques[me].lock().map_or(0, |d| d.len());
+                    tel.sample("ws.deque_len", me as u32, ev.time.seconds(), depth as f64);
+                }
                 let la = st.lookahead;
                 let LpState {
                     lp: ref mut model,
@@ -432,10 +509,8 @@ impl<L: LogicalProcess> Scheduler<L> {
                     }
                 }
             }
-            slot.cost_ns.fetch_add(
-                u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                SeqCst,
-            );
+            let spent = u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            slot.cost_total_ns.fetch_add(spent, SeqCst);
             // New promises to publish once the staged events are out.
             let lb = st.lower_bound(self.t_end);
             for (k, &(dst, idx)) in slot.outs.iter().enumerate() {
@@ -508,7 +583,10 @@ impl<L: LogicalProcess> Scheduler<L> {
                         .compare_exchange(cur, idx, SeqCst, SeqCst)
                         .is_ok()
                 {
-                    self.rebalance();
+                    let moved = self.rebalance();
+                    if Y::ENABLED && moved > 0 {
+                        tel.inc("ws.migrations", me as u32, moved);
+                    }
                 }
             }
         }
@@ -549,7 +627,7 @@ impl<L: LogicalProcess> Scheduler<L> {
         }
     }
 
-    fn worker(&self, me: usize) {
+    fn worker<Y: Telemetry>(&self, me: usize, mut tel: Y) -> Y {
         /// Unwinding out of the loop (a panicking model handler or a
         /// tripped causality assertion) must not strand peers parked on
         /// work this worker owned: flag the failure and wake everyone,
@@ -570,22 +648,25 @@ impl<L: LogicalProcess> Scheduler<L> {
         let mut wake = Vec::new();
         loop {
             if self.live.load(SeqCst) == 0 || self.failed.load(SeqCst) {
-                return;
+                return tel;
             }
-            if let Some(lp) = self.next_lp(me) {
-                self.activate(lp, &mut outbox, &mut bounds, &mut wake);
+            if let Some(lp) = self.next_lp(me, &mut tel) {
+                self.activate(me, lp, &mut tel, &mut outbox, &mut bounds, &mut wake);
                 continue;
             }
             let Ok(g) = self.park_lock.lock() else {
-                return;
+                return tel;
             };
             if self.live.load(SeqCst) == 0 || self.failed.load(SeqCst) {
-                return;
+                return tel;
             }
             if self.pending.load(SeqCst) > 0 {
                 continue;
             }
             self.parks.fetch_add(1, SeqCst);
+            if Y::ENABLED {
+                tel.inc("ws.parks", me as u32, 1);
+            }
             // Spurious wake-ups are fine: the loop re-checks everything.
             drop(self.park_cv.wait(g));
         }
@@ -616,6 +697,45 @@ pub fn run_worksteal_cfg<L>(
 ) -> WsReport<L>
 where
     L: InitialEvents,
+{
+    run_worksteal_with(lps, edges, t_end, cfg, |_| NoopTelemetry).0
+}
+
+/// Like [`run_worksteal_cfg`], with a per-worker [`Telemetry`] sink
+/// capturing scheduler internals — steals, parks, migrations, deque
+/// depths — as counter and sample series keyed by worker track. The
+/// merged [`TelemetryReport`] aggregates every worker's sink; results
+/// are bit-identical to the plain run (telemetry observes placement and
+/// timing, never event order).
+pub fn run_worksteal_telemetry<L>(
+    lps: Vec<L>,
+    edges: &[(LpId, LpId)],
+    t_end: SimTime,
+    cfg: WsConfig,
+    tcfg: TelemetryConfig,
+) -> (WsReport<L>, TelemetryReport)
+where
+    L: InitialEvents,
+{
+    let (report, tels) = run_worksteal_with(lps, edges, t_end, cfg, |w| {
+        EngineTelemetry::for_track(tcfg.clone(), w as u32)
+    });
+    (report, TelemetryReport::merge(tels))
+}
+
+/// Shared driver: builds the scheduler, runs the worker pool with one
+/// telemetry sink per worker, and returns the sinks (in worker order)
+/// alongside the report.
+fn run_worksteal_with<L, Y>(
+    lps: Vec<L>,
+    edges: &[(LpId, LpId)],
+    t_end: SimTime,
+    cfg: WsConfig,
+    mk_tel: impl Fn(usize) -> Y,
+) -> (WsReport<L>, Vec<Y>)
+where
+    L: InitialEvents,
+    Y: Telemetry + Send,
 {
     let n = lps.len();
     validate_edges(n, edges);
@@ -668,7 +788,7 @@ where
             }),
             queued: AtomicBool::new(true),
             home: AtomicUsize::new(me % workers),
-            cost_ns: AtomicU64::new(0),
+            cost_total_ns: AtomicU64::new(0),
             outs,
         });
     }
@@ -769,36 +889,66 @@ where
         sched.pending.fetch_add(1, SeqCst);
     }
 
+    // Workers park their finished sinks here keyed by worker id; a
+    // panicking worker never reports one, and the scope re-raises its
+    // panic before the sinks are read.
+    let tel_out: Mutex<Vec<(usize, Y)>> = Mutex::new(Vec::with_capacity(workers));
     if n > 0 {
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let s = &sched;
-                scope.spawn(move || s.worker(w));
+                let out = &tel_out;
+                let tel = mk_tel(w);
+                scope.spawn(move || {
+                    let tel = s.worker(w, tel);
+                    if let Ok(mut v) = out.lock() {
+                        v.push((w, tel));
+                    }
+                });
             }
         });
     }
+    let mut tels: Vec<(usize, Y)> = tel_out.into_inner().unwrap_or_else(|e| e.into_inner());
+    tels.sort_by_key(|&(w, _)| w);
 
     let mut lps_out = Vec::with_capacity(n);
     let mut stats = Vec::with_capacity(n);
+    let mut cost_ns = Vec::with_capacity(n);
+    // Settle the learned placement on the complete cost record: the epoch
+    // rebalancer last ran at an epoch boundary, but cost kept accruing
+    // until the horizon, so the converged placement — what one more epoch
+    // would compute — is the LPT greedy over the *final* cumulative
+    // costs. Pure bookkeeping on a finished scheduler; no LP runs again.
+    let homes = if sched.cfg.migration_epoch.is_some() && sched.epochs.load(SeqCst) > 0 {
+        sched.lpt_homes()
+    } else {
+        sched.slots.iter().map(|s| s.home.load(SeqCst)).collect()
+    };
     for slot in sched.slots {
+        cost_ns.push(slot.cost_total_ns.load(SeqCst));
         // lsds-lint: allow(hot-path-panic) reason="post-run teardown: a panicked worker has already propagated through the thread scope"
         let st = slot.state.into_inner().expect("worker panicked");
         debug_assert!(st.done, "scheduler terminated with an unfinished LP");
         lps_out.push(st.lp);
         stats.push(st.stats);
     }
-    WsReport {
-        lps: lps_out,
-        stats,
-        sched: WsSchedStats {
-            workers,
-            steals: sched.steals.load(SeqCst),
-            parks: sched.parks.load(SeqCst),
-            bound_updates: sched.bound_updates.load(SeqCst),
-            epochs: sched.epochs.load(SeqCst),
-            migrations: sched.migrations.load(SeqCst),
+    (
+        WsReport {
+            lps: lps_out,
+            stats,
+            sched: WsSchedStats {
+                workers,
+                steals: sched.steals.load(SeqCst),
+                parks: sched.parks.load(SeqCst),
+                bound_updates: sched.bound_updates.load(SeqCst),
+                epochs: sched.epochs.load(SeqCst),
+                migrations: sched.migrations.load(SeqCst),
+            },
+            homes,
+            cost_ns,
         },
-    }
+        tels.into_iter().map(|(_, t)| t).collect(),
+    )
 }
 
 #[cfg(test)]
@@ -954,6 +1104,55 @@ mod tests {
         let mut reg = Registry::new();
         ws.export_metrics(&mut reg);
         assert!(ws.total_events() > 0);
+        assert_eq!(reg.counter("ws.lp.0.events"), ws.stats[0].events);
+        assert_eq!(reg.counter("ws.lp.1.cost_ns"), ws.cost_ns[1]);
+        assert_eq!(reg.gauge("ws.lp.2.home"), Some(ws.homes[2] as f64));
+        assert_eq!(
+            reg.gauge("ws.observed_imbalance"),
+            Some(ws.observed_imbalance())
+        );
+    }
+
+    #[test]
+    fn telemetry_run_matches_plain_and_counts_scheduler() {
+        let cfg = WsConfig {
+            workers: 2,
+            batch: 4,
+            migration_epoch: Some(16),
+        };
+        let (lps, edges) = ring(6);
+        let plain = run_worksteal_cfg(lps, &edges, SimTime::new(200.0), cfg);
+        let (lps, edges) = ring(6);
+        let (ws, tel) = run_worksteal_telemetry(
+            lps,
+            &edges,
+            SimTime::new(200.0),
+            cfg,
+            TelemetryConfig::new().every_events(8),
+        );
+        // Bit-identity: telemetry observes scheduling, never alters it.
+        for (a, b) in ws.lps.iter().zip(plain.lps.iter()) {
+            assert_eq!(a.hops_seen, b.hops_seen);
+            assert_eq!(a.last_time.to_bits(), b.last_time.to_bits());
+        }
+        assert_eq!(ws.total_events(), plain.total_events());
+        // Telemetry counters mirror this run's scheduler stats exactly:
+        // each increments alongside its atomic. (Steal/park counts are
+        // timing-dependent, so compare within the run, not across runs.)
+        assert_eq!(tel.events(), ws.total_events());
+        assert_eq!(
+            tel.counter("ws.activations"),
+            ws.stats.iter().map(|s| s.activations).sum::<u64>()
+        );
+        assert_eq!(tel.counter("ws.steals"), ws.sched.steals);
+        assert_eq!(tel.counter("ws.parks"), ws.sched.parks);
+        assert_eq!(tel.counter("ws.migrations"), ws.sched.migrations);
+        // Online-placement surface for the repartitioning demo.
+        assert_eq!(ws.homes.len(), 6);
+        assert_eq!(ws.cost_ns.len(), 6);
+        assert!(ws.homes.iter().all(|&h| h < ws.sched.workers));
+        let imb = ws.observed_imbalance();
+        assert!(imb.is_finite() && imb >= 1.0 - 1e-9, "imbalance {imb}");
     }
 
     /// A model whose per-edge send timestamps decrease (delays vary

@@ -6,7 +6,7 @@
 //! summary, keyed by metric name.
 
 use crate::json::Json;
-use lsds_obs::{Snapshot, SpanTrace, NO_PARENT, NO_TAG};
+use lsds_obs::{CounterTrack, Snapshot, SpanTrace, NO_PARENT, NO_TAG};
 use std::io::{self, Write};
 
 /// Converts a metrics snapshot into a JSON value.
@@ -107,6 +107,19 @@ pub fn write_snapshot(snap: &Snapshot, mut w: impl Write) -> io::Result<()> {
 /// LP). Event ids and parents ride in `args` as decimal strings — they are
 /// `u64` tie keys that would lose precision as JSON numbers.
 pub fn chrome_trace_json(trace: &SpanTrace) -> Json {
+    chrome_trace_json_with_counters(trace, &[])
+}
+
+/// Chrome trace-event JSON with telemetry counter tracks alongside the
+/// span tracks.
+///
+/// Each [`CounterTrack`] becomes a run of counter events (`"ph": "C"`) on
+/// the same microsecond timeline as the spans (`ts = vt · 1e6`), with the
+/// sampled value in `args.value`. Counter events on lane 0 keep the bare
+/// counter name; other lanes get a `name[track]` suffix so per-LP or
+/// per-worker lanes render as separate counter tracks in Perfetto (which
+/// keys counters by `(pid, name)`).
+pub fn chrome_trace_json_with_counters(trace: &SpanTrace, counters: &[CounterTrack]) -> Json {
     let mut tracks: Vec<u32> = trace.spans.iter().map(|s| s.track).collect();
     tracks.sort_unstable();
     tracks.dedup();
@@ -147,6 +160,26 @@ pub fn chrome_trace_json(trace: &SpanTrace) -> Json {
             ("args".to_string(), Json::Obj(args)),
         ]));
     }
+    for c in counters {
+        let name = if c.track == 0 {
+            c.name.clone()
+        } else {
+            format!("{}[{}]", c.name, c.track)
+        };
+        for &(vt, v) in &c.points {
+            events.push(Json::Obj(vec![
+                ("name".to_string(), Json::Str(name.clone())),
+                ("ph".to_string(), Json::Str("C".to_string())),
+                ("ts".to_string(), Json::Num(vt * 1e6)),
+                ("pid".to_string(), Json::Num(0.0)),
+                ("tid".to_string(), Json::Num(c.track as f64)),
+                (
+                    "args".to_string(),
+                    Json::Obj(vec![("value".to_string(), Json::Num(v))]),
+                ),
+            ]));
+        }
+    }
     Json::Obj(vec![
         ("traceEvents".to_string(), Json::Arr(events)),
         ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
@@ -166,26 +199,58 @@ pub fn write_chrome_trace(trace: &SpanTrace, mut w: impl Write) -> io::Result<()
     w.write_all(chrome_trace_to_string(trace).as_bytes())
 }
 
+/// Compact Chrome trace-event JSON with counter tracks (ends with a
+/// newline).
+pub fn chrome_trace_to_string_with_counters(
+    trace: &SpanTrace,
+    counters: &[CounterTrack],
+) -> String {
+    let mut s = chrome_trace_json_with_counters(trace, counters).render();
+    s.push('\n');
+    s
+}
+
+/// Writes the Chrome trace-event JSON with counter tracks to `w`.
+pub fn write_chrome_trace_with_counters(
+    trace: &SpanTrace,
+    counters: &[CounterTrack],
+    mut w: impl Write,
+) -> io::Result<()> {
+    w.write_all(chrome_trace_to_string_with_counters(trace, counters).as_bytes())
+}
+
 /// Parses a Chrome trace-event document and counts its span slices,
 /// checking each carries the fields the viewers require (`ph`, `ts`,
 /// `dur`, `pid`, `tid`, `name`). Returns the number of `"X"` events, or a
 /// description of the first malformed one. CI runs this over the exported
 /// artifact as the trace smoke check.
 pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    validate_chrome_trace_full(text).map(|(slices, _)| slices)
+}
+
+/// Like [`validate_chrome_trace`], but also validates counter events
+/// (`"ph": "C"`: numeric `ts`/`pid`/`tid`, a `name`, and a numeric
+/// `args.value`) and returns `(span slices, counter samples)`. CI runs
+/// this over the telemetry smoke artifact to check counter tracks made it
+/// into the export.
+pub fn validate_chrome_trace_full(text: &str) -> Result<(usize, usize), String> {
     let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
     let Some(Json::Arr(events)) = doc.get("traceEvents") else {
         return Err("missing traceEvents array".to_string());
     };
     let mut slices = 0;
+    let mut samples = 0;
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
             .get("ph")
             .and_then(Json::as_str)
             .ok_or_else(|| format!("event {i}: missing ph"))?;
-        if ph != "X" {
-            continue;
-        }
-        for field in ["ts", "dur", "pid", "tid"] {
+        let fields: &[&str] = match ph {
+            "X" => &["ts", "dur", "pid", "tid"],
+            "C" => &["ts", "pid", "tid"],
+            _ => continue,
+        };
+        for field in fields {
             if ev.get(field).and_then(Json::as_f64).is_none() {
                 return Err(format!("event {i}: missing numeric {field}"));
             }
@@ -193,9 +258,21 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
         if ev.get("name").and_then(Json::as_str).is_none() {
             return Err(format!("event {i}: missing name"));
         }
-        slices += 1;
+        if ph == "C" {
+            if ev
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64)
+                .is_none()
+            {
+                return Err(format!("event {i}: counter missing numeric args.value"));
+            }
+            samples += 1;
+        } else {
+            slices += 1;
+        }
     }
-    Ok(slices)
+    Ok((slices, samples))
 }
 
 #[cfg(test)]
@@ -307,6 +384,51 @@ mod tests {
         assert_eq!(args.get("event_id").and_then(Json::as_str), Some("1"));
         assert_eq!(args.get("parent").and_then(Json::as_str), Some("0"));
         assert_eq!(args.get("tag").and_then(Json::as_str), Some("7"));
+    }
+
+    #[test]
+    fn counter_tracks_export_as_c_events() {
+        let counters = vec![
+            CounterTrack {
+                name: "tw.gvt_lag".to_string(),
+                track: 0,
+                points: vec![(0.5, 0.1), (1.0, 0.3)],
+            },
+            CounterTrack {
+                name: "ws.deque_len".to_string(),
+                track: 3,
+                points: vec![(2.0, 7.0)],
+            },
+        ];
+        let text = chrome_trace_to_string_with_counters(&sample_trace(), &counters);
+        assert_eq!(validate_chrome_trace_full(&text), Ok((2, 3)));
+        // The plain validator still counts only span slices.
+        assert_eq!(validate_chrome_trace(&text), Ok(2));
+        let doc = Json::parse(&text).unwrap();
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+            panic!("missing traceEvents");
+        };
+        let c0 = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("tw.gvt_lag"))
+            .unwrap();
+        assert_eq!(c0.get("ph").and_then(Json::as_str), Some("C"));
+        assert_eq!(c0.get("ts").and_then(Json::as_f64), Some(0.5e6));
+        let args = c0.get("args").unwrap();
+        assert_eq!(args.get("value").and_then(Json::as_f64), Some(0.1));
+        // Non-zero lanes carry the lane suffix so Perfetto separates them.
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("ws.deque_len[3]")));
+    }
+
+    #[test]
+    fn validate_full_rejects_counter_without_value() {
+        let bad = "{\"traceEvents\": [{\"ph\": \"C\", \"name\": \"c\", \"ts\": 1, \
+                    \"pid\": 0, \"tid\": 0, \"args\": {}}]}";
+        assert!(validate_chrome_trace_full(bad)
+            .unwrap_err()
+            .contains("args.value"));
     }
 
     #[test]

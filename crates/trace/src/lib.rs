@@ -30,8 +30,10 @@ pub mod record;
 pub mod series;
 
 pub use export::{
-    chrome_trace_json, chrome_trace_to_string, snapshot_to_json, snapshot_to_json_string,
-    validate_chrome_trace, write_chrome_trace, write_snapshot,
+    chrome_trace_json, chrome_trace_json_with_counters, chrome_trace_to_string,
+    chrome_trace_to_string_with_counters, snapshot_to_json, snapshot_to_json_string,
+    validate_chrome_trace, validate_chrome_trace_full, write_chrome_trace,
+    write_chrome_trace_with_counters, write_snapshot,
 };
 pub use generator::WorkloadGenerator;
 pub use io::{read_trace, write_trace};
